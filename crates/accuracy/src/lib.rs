@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Concave piecewise-linear accuracy models for compressible ML inference
+//! tasks.
+//!
+//! The DSCT-EA paper (ICPP 2024) models each inference task with an
+//! *accuracy function* `a(f)`: the accuracy reached when `f` floating-point
+//! operations are dedicated to the task. Slimmable networks such as
+//! Once-For-All exhibit concave accuracy curves, which the paper approximates
+//! with piecewise-linear functions (5 segments in its experiments) fitted to
+//! an exponential curve of parameter θ (the "task efficiency", equal to the
+//! slope of the first segment).
+//!
+//! This crate provides:
+//!
+//! - [`PwlAccuracy`] — a validated concave, non-decreasing piecewise-linear
+//!   accuracy function with evaluation, marginal gain/loss, and inverse
+//!   queries;
+//! - [`ExponentialAccuracy`] — the paper's exponential accuracy model
+//!   `a(f) = a_min + (a_max − a_min)·(1 − e^{−θf}) / (1 − e^{−θ f_max})`;
+//! - [`fit`] — chord interpolation and least-squares segmented regression
+//!   (with concavity repair) used to derive the piecewise-linear model;
+//! - [`catalog`] — OFA-style reference curves for well-known backbones.
+//!
+//! Units: work `f` is measured in GFLOP throughout the workspace; accuracy
+//! is a fraction in `[0, 1]`.
+
+mod error;
+mod exponential;
+pub mod catalog;
+pub mod fit;
+mod pwl;
+
+pub use error::AccuracyError;
+pub use exponential::ExponentialAccuracy;
+pub use pwl::{PwlAccuracy, Segment};
+
+/// Relative tolerance used when validating concavity and monotonicity.
+pub const SLOPE_TOL: f64 = 1e-9;

@@ -1,0 +1,124 @@
+//! Property tests for the piecewise-linear accuracy machinery: random
+//! concave curves must satisfy the structural invariants every scheduler
+//! component relies on.
+
+use dsct_accuracy::fit::BreakpointSpacing;
+use dsct_accuracy::{ExponentialAccuracy, PwlAccuracy};
+use proptest::prelude::*;
+
+/// Builds a random valid concave accuracy function from positive widths
+/// and a decreasing positive slope sequence.
+fn arb_pwl() -> impl Strategy<Value = PwlAccuracy> {
+    (
+        proptest::collection::vec((0.05f64..3.0, 0.05f64..1.0), 1..6),
+        0.0f64..0.2,
+    )
+        .prop_map(|(parts, a0)| {
+            let mut slope = parts.iter().map(|&(_, s)| s).sum::<f64>() + 0.1;
+            let mut f = 0.0;
+            let mut a = a0;
+            let mut pts = vec![(0.0, a0)];
+            for (width, slope_drop) in parts {
+                slope = (slope - slope_drop).max(1e-3);
+                f += width;
+                a += slope * width;
+                pts.push((f, a));
+            }
+            // Normalize accuracies into [0, 1].
+            let a_max = pts.last().unwrap().1;
+            if a_max > 1.0 {
+                for p in &mut pts {
+                    p.1 /= a_max;
+                }
+            }
+            PwlAccuracy::new(&pts).expect("constructed concave")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Evaluation is monotone non-decreasing and bounded by [a_min, a_max].
+    #[test]
+    fn eval_is_monotone_and_bounded(acc in arb_pwl(), t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let f_lo = lo * acc.f_max() * 1.5; // also probe beyond f_max
+        let f_hi = hi * acc.f_max() * 1.5;
+        prop_assert!(acc.eval(f_lo) <= acc.eval(f_hi) + 1e-12);
+        prop_assert!(acc.eval(f_lo) >= acc.a_min() - 1e-12);
+        prop_assert!(acc.eval(f_hi) <= acc.a_max() + 1e-12);
+    }
+
+    /// Marginal gain is non-increasing in f (concavity) and bounded by the
+    /// first slope; marginal loss ≥ marginal gain at every point.
+    #[test]
+    fn marginals_are_concave_consistent(acc in arb_pwl(), t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let f_lo = lo * acc.f_max();
+        let f_hi = hi * acc.f_max();
+        prop_assert!(acc.marginal_gain(f_hi) <= acc.marginal_gain(f_lo) + 1e-12);
+        prop_assert!(acc.marginal_gain(f_lo) <= acc.first_slope() + 1e-12);
+        prop_assert!(acc.marginal_loss(f_lo) >= acc.marginal_gain(f_lo) - 1e-12);
+    }
+
+    /// inverse(eval(f)) returns the smallest work reaching that accuracy:
+    /// evaluating there reproduces the accuracy and never exceeds f.
+    #[test]
+    fn inverse_is_minimal_preimage(acc in arb_pwl(), t in 0.0f64..1.0) {
+        let f = t * acc.f_max();
+        let a = acc.eval(f);
+        let back = acc.inverse(a).expect("in range");
+        prop_assert!(back <= f + 1e-9);
+        prop_assert!((acc.eval(back) - a).abs() < 1e-9);
+    }
+
+    /// Segment decomposition reconstructs the function value everywhere.
+    #[test]
+    fn segments_reconstruct_eval(acc in arb_pwl(), t in 0.0f64..1.0) {
+        let f = t * acc.f_max();
+        let mut a = acc.a_min();
+        for s in acc.segments() {
+            let used = (f - s.f_lo).clamp(0.0, s.width());
+            a += s.slope * used;
+        }
+        prop_assert!((a - acc.eval(f)).abs() < 1e-9, "sum {} vs eval {}", a, acc.eval(f));
+    }
+
+    /// Chord fits of the exponential model are valid, exact at endpoints,
+    /// and never overshoot the curve, for both spacings and any θ.
+    #[test]
+    fn chord_fit_bounds_exponential(theta in 0.05f64..5.0, k in 1usize..9) {
+        let e = ExponentialAccuracy::paper_default(theta).expect("valid");
+        for spacing in [BreakpointSpacing::Uniform, BreakpointSpacing::Geometric] {
+            let p = e.to_pwl(k, spacing).expect("valid fit");
+            prop_assert_eq!(p.num_segments(), k);
+            prop_assert!((p.a_max() - e.a_max()).abs() < 1e-9);
+            prop_assert!((p.a_min() - e.a_min()).abs() < 1e-9);
+            for i in 0..=32 {
+                let f = e.f_max() * i as f64 / 32.0;
+                prop_assert!(p.eval(f) <= e.eval(f) + 1e-9);
+            }
+        }
+    }
+
+    /// θ-normalization makes the first slope equal θ exactly while
+    /// preserving the accuracy range.
+    #[test]
+    fn theta_normalization_is_exact(theta in 0.05f64..5.0) {
+        let e = ExponentialAccuracy::paper_default(theta).expect("valid");
+        let p = e
+            .to_pwl_theta_normalized(5, BreakpointSpacing::Geometric)
+            .expect("valid");
+        prop_assert!((p.first_slope() - theta).abs() <= 1e-9 * theta);
+        prop_assert!((p.a_max() - e.a_max()).abs() < 1e-12);
+    }
+
+    /// Scaling the work axis preserves values and divides slopes.
+    #[test]
+    fn scale_f_roundtrip(acc in arb_pwl(), factor in 0.1f64..10.0, t in 0.0f64..1.0) {
+        let scaled = acc.scale_f(factor).expect("positive factor");
+        let f = t * acc.f_max();
+        prop_assert!((scaled.eval(f * factor) - acc.eval(f)).abs() < 1e-9);
+        prop_assert!((scaled.f_max() - acc.f_max() * factor).abs() < 1e-9 * acc.f_max());
+    }
+}

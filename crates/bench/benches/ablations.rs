@@ -1,0 +1,147 @@
+//! Ablation benches for the design choices called out in DESIGN.md §9:
+//!
+//! 1. refinement pipeline stages (naive only / +transfer pass / +profile
+//!    search / full);
+//! 2. budget-slack source in the task-level transfer pass on/off;
+//! 3. APPROX placement rule: least-loaded vs first-fit;
+//! 4. replication engine: rayon-parallel vs sequential;
+//! 5. Algorithm 1 at scale (segment-tree inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsct_core::algo_naive::collect_segments;
+use dsct_core::algo_refine::RefineOptions;
+use dsct_core::algo_single::schedule_single_machine;
+use dsct_core::approx::{solve_approx, ApproxOptions, Placement};
+use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_sim::runner::{run_replications, Execution};
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::hint::black_box;
+
+fn instance(n: usize, m: usize, seed: u64) -> dsct_core::problem::Instance {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 4.9 }),
+        machines: MachineConfig::paper_random(m),
+        rho: 0.1,
+        beta: 0.4,
+    };
+    generate(&cfg, seed)
+}
+
+fn bench_refine_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_refine_stages");
+    group.sample_size(10);
+    let inst = instance(100, 4, 11);
+    let variants: [(&str, FrOptOptions); 4] = [
+        (
+            "naive_only",
+            FrOptOptions {
+                skip_refine: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "transfer_pass_only",
+            FrOptOptions {
+                skip_profile_search: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "profile_search_only",
+            FrOptOptions {
+                skip_transfer_pass: true,
+                ..Default::default()
+            },
+        ),
+        ("full", FrOptOptions::default()),
+    ];
+    for (name, opts) in variants {
+        // Report the accuracy each stage reaches alongside its cost.
+        let acc = solve_fr_opt(&inst, &opts).total_accuracy;
+        eprintln!("[ablation] {name}: total accuracy {acc:.6}");
+        group.bench_with_input(BenchmarkId::new("fr_opt", name), &opts, |b, opts| {
+            b.iter(|| black_box(solve_fr_opt(black_box(&inst), opts).total_accuracy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_slack_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_slack_source");
+    group.sample_size(10);
+    let inst = instance(80, 3, 5);
+    for (name, use_slack) in [("with_slack", true), ("no_slack", false)] {
+        let opts = FrOptOptions {
+            skip_profile_search: true,
+            refine: RefineOptions {
+                use_slack,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let acc = solve_fr_opt(&inst, &opts).total_accuracy;
+        eprintln!("[ablation] transfer pass {name}: total accuracy {acc:.6}");
+        group.bench_with_input(BenchmarkId::new("transfer_pass", name), &opts, |b, opts| {
+            b.iter(|| black_box(solve_fr_opt(black_box(&inst), opts).total_accuracy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_placement");
+    group.sample_size(10);
+    let inst = instance(100, 5, 3);
+    for (name, placement) in [("least_loaded", Placement::LeastLoaded), ("first_fit", Placement::FirstFit)] {
+        let opts = ApproxOptions {
+            placement,
+            ..Default::default()
+        };
+        let acc = solve_approx(&inst, &opts).total_accuracy;
+        eprintln!("[ablation] placement {name}: total accuracy {acc:.6}");
+        group.bench_with_input(BenchmarkId::new("approx", name), &opts, |b, opts| {
+            b.iter(|| black_box(solve_approx(black_box(&inst), opts).total_accuracy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replication_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_replication_engine");
+    group.sample_size(10);
+    for (name, execution) in [("parallel", Execution::Parallel), ("sequential", Execution::Sequential)] {
+        group.bench_function(BenchmarkId::new("replications16_n40", name), |b| {
+            b.iter(|| {
+                let out = run_replications(1, 16, execution, |seed| {
+                    let inst = instance(40, 3, seed);
+                    solve_approx(&inst, &ApproxOptions::default()).total_accuracy
+                });
+                black_box(out.iter().sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_algo1_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_algo1");
+    for n in [100usize, 1000] {
+        let inst = instance(n, 3, 9);
+        let segments = collect_segments(&inst);
+        let deadlines: Vec<f64> = inst.tasks().iter().map(|t| t.deadline).collect();
+        group.bench_with_input(BenchmarkId::new("single_machine", n), &n, |b, _| {
+            b.iter(|| black_box(schedule_single_machine(&deadlines, 1000.0, &segments).times[0]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_refine_stages,
+    bench_slack_source,
+    bench_placement,
+    bench_replication_engine,
+    bench_algo1_scale
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benches for Fig. 1 / Fig. 2 substrate: the GPU-catalog trend fit and
+//! the accuracy-model kernels (exponential evaluation, chord fit,
+//! least-squares segmented regression, PWL evaluation/inverse).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsct_accuracy::fit::{breakpoints, chord_fit, least_squares_fit, BreakpointSpacing};
+use dsct_accuracy::ExponentialAccuracy;
+use dsct_machines::catalog::{efficiency_speed_trend, NVIDIA_SERVER_GPUS};
+use std::hint::black_box;
+
+fn bench_fig1_trend(c: &mut Criterion) {
+    c.bench_function("fig1_efficiency_trend", |b| {
+        b.iter(|| black_box(efficiency_speed_trend(black_box(&NVIDIA_SERVER_GPUS))))
+    });
+}
+
+fn bench_fig2_models(c: &mut Criterion) {
+    let exp = ExponentialAccuracy::paper_default(0.55).expect("valid");
+    c.bench_function("fig2_chord_fit_5seg", |b| {
+        b.iter(|| black_box(chord_fit(|f| exp.eval(f), exp.f_max(), 5, BreakpointSpacing::Geometric)))
+    });
+
+    let xs: Vec<f64> = (0..=500).map(|i| exp.f_max() * i as f64 / 500.0).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| exp.eval(x)).collect();
+    let bps = breakpoints(exp.f_max(), 5, BreakpointSpacing::Geometric);
+    c.bench_function("fig2_least_squares_fit_500pts", |b| {
+        b.iter(|| black_box(least_squares_fit(black_box(&xs), black_box(&ys), &bps)))
+    });
+
+    let pwl = exp.to_pwl(5, BreakpointSpacing::Geometric).expect("valid");
+    c.bench_function("pwl_eval", |b| {
+        let mut f = 0.0;
+        b.iter(|| {
+            f = (f + 0.37) % pwl.f_max();
+            black_box(pwl.eval(black_box(f)))
+        })
+    });
+    c.bench_function("pwl_inverse", |b| {
+        let mut a = pwl.a_min();
+        let range = pwl.a_max() - pwl.a_min();
+        b.iter(|| {
+            a = pwl.a_min() + ((a - pwl.a_min()) + range * 0.137) % range;
+            black_box(pwl.inverse(black_box(a)).expect("in range"))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig1_trend, bench_fig2_models);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench for Fig. 3: the optimality-gap experiment's computational kernel
+//! — one full `DSCT-EA-APPROX` solve (fractional optimum + rounding) at
+//! the paper's operating point (n = 100, m = 5, ρ = 0.35, β = 0.5) across
+//! the heterogeneity sweep μ ∈ {5, 12.5, 20}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsct_core::approx::{solve_approx, ApproxOptions};
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_optgap");
+    group.sample_size(10);
+    for mu in [5.0, 12.5, 20.0] {
+        let cfg = InstanceConfig {
+            tasks: TaskConfig::paper(100, ThetaDistribution::heterogeneity(mu)),
+            machines: MachineConfig::paper_random(5),
+            rho: 0.35,
+            beta: 0.5,
+        };
+        let inst = generate(&cfg, 42);
+        group.bench_with_input(
+            BenchmarkId::new("approx_n100_m5", format!("mu{mu}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let sol = solve_approx(black_box(inst), &ApproxOptions::default());
+                    black_box(sol.total_accuracy)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Bench for Fig. 4: runtime scaling of `DSCT-EA-APPROX` vs the exact MIP
+//! solver. Sweep (a) scales tasks at m = 5; sweep (b) scales machines at
+//! n = 50. The MIP is benchmarked only at toy sizes — the whole point of
+//! the figure is that it stops being runnable (the paper's MOSEK hit its
+//! 60 s limit at n = 30 / m = 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsct_core::approx::{solve_approx, ApproxOptions};
+use dsct_core::mip_model::solve_mip_exact;
+use dsct_mip::MipOptions;
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn instance(n: usize, m: usize) -> dsct_core::problem::Instance {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+        machines: MachineConfig::paper_random(m),
+        rho: 0.35,
+        beta: 0.5,
+    };
+    generate(&cfg, 4242)
+}
+
+fn bench_by_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_by_tasks");
+    group.sample_size(10);
+    for n in [10usize, 50, 100, 200, 500] {
+        let inst = instance(n, 5);
+        group.bench_with_input(BenchmarkId::new("approx", n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_approx(black_box(inst), &ApproxOptions::default()).total_accuracy))
+        });
+    }
+    // The exact solver already needs seconds at n = 10 and hits a 20 s
+    // limit at n = 15 (measured); bench only the sizes that finish.
+    for n in [5usize, 8] {
+        let inst = instance(n, 5);
+        let opts = MipOptions {
+            time_limit: Some(Duration::from_secs(10)),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("mip", n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_mip_exact(black_box(inst), &opts).expect("builds").total_accuracy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_machines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_by_machines");
+    group.sample_size(10);
+    for m in [2usize, 5, 10] {
+        let inst = instance(50, m);
+        group.bench_with_input(BenchmarkId::new("approx", m), &inst, |b, inst| {
+            b.iter(|| black_box(solve_approx(black_box(inst), &ApproxOptions::default()).total_accuracy))
+        });
+    }
+    for m in [2usize, 3] {
+        let inst = instance(8, m);
+        let opts = MipOptions {
+            time_limit: Some(Duration::from_secs(10)),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("mip_n8", m), &inst, |b, inst| {
+            b.iter(|| black_box(solve_mip_exact(black_box(inst), &opts).expect("builds").total_accuracy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_tasks, bench_by_machines);
+criterion_main!(benches);

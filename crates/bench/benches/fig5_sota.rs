@@ -1,0 +1,44 @@
+//! Bench for Fig. 5: the state-of-the-art comparison's kernels at the
+//! paper's operating point (n = 100, m = 2, ρ = 1.0, θ = 0.1) across
+//! budget ratios — `DSCT-EA-APPROX` vs the two EDF baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsct_core::approx::{solve_approx, ApproxOptions};
+use dsct_core::baselines::{edf_no_compression, edf_three_levels};
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::hint::black_box;
+
+fn instance(beta: f64) -> dsct_core::problem::Instance {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(100, ThetaDistribution::Fixed(0.1)),
+        machines: MachineConfig::paper_random(2),
+        rho: 1.0,
+        beta,
+    };
+    generate(&cfg, 5050)
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_sota");
+    group.sample_size(10);
+    for beta in [0.1, 0.5, 1.0] {
+        let inst = instance(beta);
+        group.bench_with_input(BenchmarkId::new("approx", format!("beta{beta}")), &inst, |b, i| {
+            b.iter(|| black_box(solve_approx(black_box(i), &ApproxOptions::default()).total_accuracy))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("edf_no_compression", format!("beta{beta}")),
+            &inst,
+            |b, i| b.iter(|| black_box(edf_no_compression(black_box(i)).total_accuracy)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("edf_three_levels", format!("beta{beta}")),
+            &inst,
+            |b, i| b.iter(|| black_box(edf_three_levels(black_box(i)).total_accuracy)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Bench for Fig. 6: the energy-profile study's kernel — the exact
+//! fractional solve on the paper's fixed two-machine park under strict
+//! deadlines, for both workload scenarios and both refinement settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_machines::catalog::fig6_two_machine_park;
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::hint::black_box;
+
+fn instance(early_split: bool, beta: f64) -> dsct_core::problem::Instance {
+    let theta = if early_split {
+        ThetaDistribution::EarlySplit {
+            fraction: 0.3,
+            early: (4.0, 4.9),
+            late: (0.1, 1.0),
+        }
+    } else {
+        ThetaDistribution::Uniform { min: 0.1, max: 4.9 }
+    };
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(100, theta),
+        machines: MachineConfig::Explicit(fig6_two_machine_park().machines().to_vec()),
+        rho: 0.01,
+        beta,
+    };
+    generate(&cfg, 6060)
+}
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_profile");
+    group.sample_size(10);
+    for (name, early) in [("uniform", false), ("early_split", true)] {
+        for beta in [0.2, 0.6] {
+            let inst = instance(early, beta);
+            group.bench_with_input(
+                BenchmarkId::new(format!("fr_opt_{name}"), format!("beta{beta}")),
+                &inst,
+                |b, i| {
+                    b.iter(|| {
+                        black_box(solve_fr_opt(black_box(i), &FrOptOptions::default()).total_accuracy)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive_only_{name}"), format!("beta{beta}")),
+                &inst,
+                |b, i| {
+                    b.iter(|| {
+                        black_box(
+                            solve_fr_opt(
+                                black_box(i),
+                                &FrOptOptions {
+                                    skip_refine: true,
+                                    ..Default::default()
+                                },
+                            )
+                            .total_accuracy,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

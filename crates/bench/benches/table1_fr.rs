@@ -1,0 +1,54 @@
+//! Bench for Table 1: the combinatorial `DSCT-EA-FR-OPT` vs the
+//! general-purpose simplex on the DSCT-EA-FR relaxation, n scaling at
+//! m = 5. (The LP is benchmarked at reduced n — a single n = 500 solve
+//! takes minutes, which is Table 1's very point.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_core::lp_model::solve_fr_lp;
+use dsct_lp::SolveOptions;
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::hint::black_box;
+
+fn instance(n: usize) -> dsct_core::problem::Instance {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+        machines: MachineConfig::paper_random(5),
+        rho: 0.35,
+        beta: 0.5,
+    };
+    generate(&cfg, 777)
+}
+
+fn bench_fr_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_fr_opt");
+    group.sample_size(10);
+    for n in [100usize, 200, 500] {
+        let inst = instance(n);
+        group.bench_with_input(BenchmarkId::new("fr_opt", n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_fr_opt(black_box(inst), &FrOptOptions::default()).total_accuracy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_lp");
+    group.sample_size(10);
+    for n in [25usize, 50, 100] {
+        let inst = instance(n);
+        group.bench_with_input(BenchmarkId::new("simplex", n), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(
+                    solve_fr_lp(black_box(inst), &SolveOptions::default())
+                        .expect("builds")
+                        .total_accuracy,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fr_opt, bench_lp);
+criterion_main!(benches);

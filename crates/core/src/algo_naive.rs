@@ -1,0 +1,294 @@
+//! Algorithm 2 of the paper: `ComputeNaiveSolution`.
+//!
+//! Computes the optimal fractional solution **for the naive energy
+//! profile** in three steps:
+//!
+//! 1. derive the naive profile (most efficient machines first — see
+//!    [`crate::profile::naive_profile`]);
+//! 2. collapse the park into one unit-speed machine by converting each
+//!    deadline `d_j` into the aggregate work capacity available by `d_j`
+//!    under the profile (`Σ_r min(p_r, d_j)·s_r`), and solve that single
+//!    machine exactly with Algorithm 1 — yielding the work `f_j` each task
+//!    receives;
+//! 3. distribute each task's work back onto the machines with an
+//!    equal-increment water-filling capped per machine at
+//!    `min(p_r, d_j)`.
+//!
+//! Deviation from the paper's listing (see DESIGN.md §3): the distribution
+//! caps a machine's load at `min(p_r, d_j)` rather than `p_r` alone —
+//! without the `d_j` term the redistribution can violate the very deadline
+//! feasibility the single-machine transformation assumed. Because caps only
+//! grow with `j`, any cap-respecting distribution preserves the aggregate
+//! capacity argument, so the achieved accuracies are unchanged.
+
+use crate::algo_single::{schedule_single_machine, SegmentSpec};
+use crate::problem::Instance;
+use crate::profile::EnergyProfile;
+use crate::schedule::FractionalSchedule;
+use crate::EPS_TIME;
+
+/// Output of `ComputeNaiveSolution`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveSolution {
+    /// The processing-time matrix.
+    pub schedule: FractionalSchedule,
+    /// Work received by each task (GFLOP), `f_j = Σ_r s_r t_jr`.
+    pub flops: Vec<f64>,
+}
+
+/// Builds the flattened segment list of an instance for Algorithm 1.
+pub fn collect_segments(inst: &Instance) -> Vec<SegmentSpec> {
+    let mut segs = Vec::new();
+    for (j, task) in inst.tasks().iter().enumerate() {
+        for s in task.accuracy.segments() {
+            segs.push(SegmentSpec {
+                task: j,
+                position: s.index,
+                slope: s.slope,
+                total_flops: s.width(),
+            });
+        }
+    }
+    segs
+}
+
+/// Reusable Algorithm 2 evaluator for one instance.
+///
+/// The profile search evaluates the value function `V(p)` thousands of
+/// times on the same task set; the segment list, its slope-descending
+/// order, and the zero-work base accuracy are invariant across
+/// evaluations, and the distribution step is unnecessary when only the
+/// achieved accuracy is needed (it is fully determined by Algorithm 1's
+/// work vector). This struct hoists all of that out of the hot path.
+#[derive(Debug, Clone)]
+pub struct NaiveSolver<'a> {
+    inst: &'a Instance,
+    segments: Vec<SegmentSpec>,
+    order: Vec<usize>,
+    base_accuracy: f64,
+}
+
+impl<'a> NaiveSolver<'a> {
+    /// Prepares the evaluator for an instance.
+    pub fn new(inst: &'a Instance) -> Self {
+        let segments = collect_segments(inst);
+        let order = crate::algo_single::sort_segments(&segments);
+        let base_accuracy = inst.total_min_accuracy();
+        Self {
+            inst,
+            segments,
+            order,
+            base_accuracy,
+        }
+    }
+
+    /// Exact optimal total accuracy for the given profile caps — the
+    /// profile value function `V(p)` (accuracy only; no distribution).
+    pub fn value(&self, caps: &[f64]) -> f64 {
+        let inst = self.inst;
+        let n = inst.num_tasks();
+        let machines = inst.machines();
+        let m = machines.len();
+        let mut temp_deadlines = Vec::with_capacity(n);
+        for j in 0..n {
+            let d_j = inst.task(j).deadline;
+            let mut cap = 0.0;
+            for r in 0..m {
+                cap += caps[r].min(d_j) * machines[r].speed();
+            }
+            // Guard floating-point non-monotonicity of the summed capacities
+            // (Algorithm 1 requires non-decreasing deadlines).
+            if let Some(&prev) = temp_deadlines.last() {
+                cap = cap.max(prev);
+            }
+            temp_deadlines.push(cap);
+        }
+        let single =
+            schedule_single_machine_ordered(&temp_deadlines, 1.0, &self.segments, &self.order);
+        self.base_accuracy
+            + self
+                .segments
+                .iter()
+                .zip(&single.used_flops)
+                .map(|(s, &u)| s.slope * u)
+                .sum::<f64>()
+    }
+
+    /// Full Algorithm 2 solve (with machine distribution) for a profile.
+    pub fn solve(&self, profile: &EnergyProfile) -> NaiveSolution {
+        compute_naive_solution(self.inst, profile)
+    }
+}
+
+use crate::algo_single::schedule_single_machine_ordered;
+
+/// Runs Algorithm 2 under the given energy profile.
+pub fn compute_naive_solution(inst: &Instance, profile: &EnergyProfile) -> NaiveSolution {
+    let n = inst.num_tasks();
+    let m = inst.num_machines();
+    assert_eq!(profile.len(), m, "profile/machine count mismatch");
+
+    // Step 2: temporary deadlines in work units (GFLOP) on a unit-speed
+    // machine: the aggregate capacity reachable by each real deadline.
+    let mut temp_deadlines: Vec<f64> = (0..n)
+        .map(|j| profile.capacity_by(inst, inst.task(j).deadline))
+        .collect();
+    // Guard floating-point non-monotonicity of the summed capacities.
+    for j in 1..n {
+        temp_deadlines[j] = temp_deadlines[j].max(temp_deadlines[j - 1]);
+    }
+    let segments = collect_segments(inst);
+    let single = schedule_single_machine(&temp_deadlines, 1.0, &segments);
+    let flops = single.times; // unit speed: time == work
+
+    // Step 3: distribute work onto machines, equal time increments across
+    // the active set, capped at min(p_r, d_j).
+    let mut schedule = FractionalSchedule::zero(n, m);
+    let mut load = vec![0.0f64; m];
+    let speeds: Vec<f64> = (0..m).map(|r| inst.machines()[r].speed()).collect();
+    // Work below the machine-time resolution is not distributable; the
+    // tolerance must scale with the park's aggregate speed.
+    let eps_work =
+        (EPS_TIME * inst.machines().total_speed()).max(crate::EPS_FLOPS) * (m as f64 + 1.0);
+    for j in 0..n {
+        let d_j = inst.task(j).deadline;
+        let mut w = flops[j];
+        while w > eps_work {
+            let caps: Vec<f64> = (0..m).map(|r| profile.cap(r).min(d_j)).collect();
+            let act: Vec<usize> = (0..m)
+                .filter(|&r| load[r] + EPS_TIME < caps[r])
+                .collect();
+            if act.is_empty() {
+                // Unreachable when `flops` came from the capacity-consistent
+                // single-machine solve; guard against accumulated rounding.
+                debug_assert!(
+                    w <= 1e3 * eps_work + 1e-9 * flops[j],
+                    "undistributable work {w} GFLOP for task {j}"
+                );
+                break;
+            }
+            let total_speed: f64 = act.iter().map(|&r| speeds[r]).sum();
+            let delta = w / total_speed;
+            let step_min = act
+                .iter()
+                .map(|&r| caps[r] - load[r])
+                .fold(f64::INFINITY, f64::min);
+            let step = delta.min(step_min);
+            for &r in &act {
+                *schedule.t_mut(j, r) += step;
+                load[r] += step;
+                w -= speeds[r] * step;
+            }
+            if step >= delta {
+                break; // the whole remaining work fit in this round
+            }
+        }
+    }
+
+    NaiveSolution { schedule, flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Task;
+    use crate::profile::naive_profile;
+    use crate::schedule::ScheduleKind;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_machines::{Machine, MachinePark};
+
+    fn acc(slope_flops: &[(f64, f64)]) -> PwlAccuracy {
+        // Build from (slope, width) pairs starting at (0, 0).
+        let mut pts = vec![(0.0, 0.0)];
+        let (mut f, mut a) = (0.0, 0.0);
+        for &(slope, width) in slope_flops {
+            f += width;
+            a += slope * width;
+            pts.push((f, a));
+        }
+        PwlAccuracy::new(&pts).unwrap()
+    }
+
+    #[test]
+    fn single_machine_park_reduces_to_algorithm_1() {
+        // One machine, ample budget: result must match Algorithm 1 on it.
+        let park = MachinePark::new(vec![Machine::from_efficiency(2.0, 1.0).unwrap()]);
+        let tasks = vec![
+            Task::new(1.0, acc(&[(0.3, 1.0), (0.1, 1.0)])),
+            Task::new(2.0, acc(&[(0.2, 2.0)])),
+        ];
+        let inst = Instance::new(tasks, park, 1e9).unwrap();
+        let profile = naive_profile(&inst);
+        let sol = compute_naive_solution(&inst, &profile);
+        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        // Machine speed 2 GFLOP/s, horizon 2 s ⇒ 4 GFLOP total capacity,
+        // enough for everything (2 + 2 GFLOP).
+        assert!((sol.flops[0] - 2.0).abs() < 1e-9);
+        assert!((sol.flops[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_constrains_through_profile() {
+        // One machine, 1 GFLOP/s, power 1 W, budget 1 J ⇒ profile 1 s ⇒ at
+        // most 1 GFLOP of work despite a 10 s deadline.
+        let park = MachinePark::new(vec![Machine::new(1.0, 1.0).unwrap()]);
+        let tasks = vec![Task::new(10.0, acc(&[(0.5, 5.0)]))];
+        let inst = Instance::new(tasks, park, 1.0).unwrap();
+        let profile = naive_profile(&inst);
+        let sol = compute_naive_solution(&inst, &profile);
+        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        assert!((sol.flops[0] - 1.0).abs() < 1e-9);
+        assert!((sol.schedule.energy(&inst) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_respects_deadlines_on_fast_machine() {
+        // Two machines (1 and 3 GFLOP/s, equal efficiency). Task 0 has a
+        // very tight deadline; its work must not be placed beyond d_0 on
+        // either machine.
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(1.0, 10.0).unwrap(),
+            Machine::from_efficiency(3.0, 10.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(0.5, acc(&[(0.9, 2.0)])),
+            Task::new(4.0, acc(&[(0.1, 8.0)])),
+        ];
+        let inst = Instance::new(tasks, park, 1e9).unwrap();
+        let profile = naive_profile(&inst);
+        let sol = compute_naive_solution(&inst, &profile);
+        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        // Capacity by d_0 = 0.5·(1+3) = 2 GFLOP: task 0 fully processed.
+        assert!((sol.flops[0] - 2.0).abs() < 1e-9);
+        // Its time on each machine is at most 0.5 s.
+        assert!(sol.schedule.t(0, 0) <= 0.5 + 1e-9);
+        assert!(sol.schedule.t(0, 1) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn work_conservation() {
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(2.0, 5.0).unwrap(),
+            Machine::from_efficiency(4.0, 8.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(1.0, acc(&[(0.4, 3.0), (0.2, 3.0)])),
+            Task::new(2.0, acc(&[(0.3, 4.0)])),
+            Task::new(3.0, acc(&[(0.5, 2.0), (0.1, 6.0)])),
+        ];
+        let inst = Instance::new(tasks, park, 3.0).unwrap();
+        let profile = naive_profile(&inst);
+        let sol = compute_naive_solution(&inst, &profile);
+        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        for j in 0..3 {
+            assert!(
+                (sol.schedule.flops(j, &inst) - sol.flops[j]).abs() < 1e-6,
+                "task {j}: schedule says {}, algo1 said {}",
+                sol.schedule.flops(j, &inst),
+                sol.flops[j]
+            );
+        }
+        // Profile energy bound implies budget feasibility.
+        assert!(sol.schedule.energy(&inst) <= inst.budget() + 1e-6);
+    }
+}

@@ -1,0 +1,402 @@
+//! Algorithm 3 of the paper: `RefineProfile`.
+//!
+//! Starting from the optimal solution for the naive energy profile, the
+//! refinement repeatedly moves energy from the (segment, machine) pair with
+//! the lowest *accuracy-per-Joule* `ψ = slope · E_r` to the pair with the
+//! highest one, until no improving transfer exists — at which point the KKT
+//! conditions of §3.2 hold (comparable energy marginal gains; higher gains
+//! only on machines whose profile cannot be extended).
+//!
+//! Deviations from the paper's listing, per DESIGN.md §3:
+//! - transfers are selected by the ψ comparison alone (the listing's
+//!   `r > r'` guard contradicts the paper's own Fig. 6b);
+//! - the room to grow a task on a machine honours the prefix deadlines of
+//!   **all** later tasks on that machine, not only the task's own deadline;
+//! - unspent budget acts as a zero-cost source (`ψ = 0`), needed when the
+//!   naive profile could not spend the whole budget because deadlines bind;
+//! - the pass repeats until convergence, as the prose (but not the
+//!   listing) prescribes;
+//! - segment bookkeeping is implicit: each task's work total `f_j`
+//!   determines its frontier segment through the accuracy function, which
+//!   is equivalent to explicit `usedFlops` tracking (work always fills a
+//!   concave function's segments in slope order) and immune to the
+//!   listing's sign typo on line 16.
+
+use crate::problem::Instance;
+use crate::schedule::FractionalSchedule;
+use dsct_accuracy::PwlAccuracy;
+
+/// Options for the refinement pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOptions {
+    /// Allow drawing from unspent budget (ψ = 0 source). Disabling
+    /// reproduces the paper's literal transfer-only listing (ablation).
+    pub use_slack: bool,
+    /// Hard iteration cap; `0` selects `64·(n·(K+m) + 16)` automatically.
+    pub max_iterations: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        Self {
+            use_slack: true,
+            max_iterations: 0,
+        }
+    }
+}
+
+/// Statistics of a refinement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOutcome {
+    /// Energy-transfer iterations performed.
+    pub iterations: usize,
+    /// Total accuracy gained by the refinement.
+    pub accuracy_gain: f64,
+    /// Whether the pass converged (false: iteration cap hit).
+    pub converged: bool,
+}
+
+/// Work-axis snapping tolerance relative to the magnitudes involved.
+fn snap_tol(acc: &PwlAccuracy) -> f64 {
+    1e-9 * (1.0 + acc.f_max())
+}
+
+/// Marginal-gain info for growing a task at work level `f`: the slope of
+/// the first growable segment and the work room until its end, skipping
+/// slivers thinner than the snap tolerance.
+fn grow_info(acc: &PwlAccuracy, f: f64) -> Option<(f64, f64)> {
+    let tol = snap_tol(acc);
+    if f >= acc.f_max() - tol {
+        return None;
+    }
+    let bps = acc.breakpoints();
+    let slopes = acc.slopes();
+    let mut k = acc.segment_index(f.max(0.0));
+    while k < slopes.len() && bps[k + 1] - f <= tol {
+        k += 1;
+    }
+    if k >= slopes.len() || slopes[k] <= 0.0 {
+        return None;
+    }
+    Some((slopes[k], bps[k + 1] - f))
+}
+
+/// Marginal-loss info for shrinking a task at work level `f`: the slope of
+/// the last filled segment and the work that can be drained from it.
+fn shrink_info(acc: &PwlAccuracy, f: f64) -> Option<(f64, f64)> {
+    let tol = snap_tol(acc);
+    if f <= tol {
+        return None;
+    }
+    let bps = acc.breakpoints();
+    let slopes = acc.slopes();
+    let mut k = acc.segment_index(f.min(acc.f_max()));
+    while k > 0 && f - bps[k] <= tol {
+        k -= 1;
+    }
+    Some((slopes[k], f - bps[k]))
+}
+
+/// Per-machine deadline slack: `slack_r[j] = min_{i ≥ j} (d_i − Σ_{k≤i} t_kr)`
+/// — the time by which task `j`'s processing on machine `r` can grow
+/// without violating any (later) deadline.
+fn deadline_slack(inst: &Instance, schedule: &FractionalSchedule, r: usize, out: &mut [f64]) {
+    let n = inst.num_tasks();
+    let mut prefix = 0.0;
+    let mut completion = vec![0.0; n];
+    for j in 0..n {
+        prefix += schedule.t(j, r);
+        completion[j] = prefix;
+    }
+    let mut suffix_min = f64::INFINITY;
+    for j in (0..n).rev() {
+        suffix_min = suffix_min.min(inst.task(j).deadline - completion[j]);
+        out[j] = suffix_min;
+    }
+}
+
+/// Runs the refinement in place on `schedule` (with per-task work `flops`
+/// kept in sync). Returns convergence statistics.
+pub fn refine_profile(
+    inst: &Instance,
+    schedule: &mut FractionalSchedule,
+    flops: &mut [f64],
+    opts: &RefineOptions,
+) -> RefineOutcome {
+    let n = inst.num_tasks();
+    let m = inst.num_machines();
+    let k_max: usize = inst
+        .tasks()
+        .iter()
+        .map(|t| t.accuracy.num_segments())
+        .max()
+        .unwrap_or(1);
+    let max_iters = if opts.max_iterations > 0 {
+        opts.max_iterations
+    } else {
+        64 * (n * (k_max + m) + 16)
+    };
+
+    let machines = inst.machines();
+    let eff: Vec<f64> = (0..m).map(|r| machines[r].efficiency()).collect();
+    let power: Vec<f64> = (0..m).map(|r| machines[r].power()).collect();
+
+    let mut energy_used = schedule.energy(inst);
+    let budget = inst.budget();
+    let min_transfer = 1e-12 * (1.0 + budget);
+
+    // Deadline slack per (machine, task), refreshed after each transfer on
+    // the machines involved.
+    let mut slack: Vec<Vec<f64>> = (0..m)
+        .map(|r| {
+            let mut v = vec![0.0; n];
+            deadline_slack(inst, schedule, r, &mut v);
+            v
+        })
+        .collect();
+
+    let mut iterations = 0usize;
+    let mut accuracy_gain = 0.0f64;
+    let mut converged = false;
+
+    while iterations < max_iters {
+        // Best growth candidate: max ψ⁺ = gain-slope · E_r over (j, r)
+        // with positive deadline slack.
+        let mut best_grow: Option<(usize, usize, f64, f64, f64)> = None; // (j, r, psi, slope, room_flops)
+        for j in 0..n {
+            let Some((gslope, room_flops)) = grow_info(&inst.task(j).accuracy, flops[j]) else {
+                continue;
+            };
+            for r in 0..m {
+                if slack[r][j] <= crate::EPS_TIME {
+                    continue;
+                }
+                let psi = gslope * eff[r];
+                if best_grow.is_none_or(|(_, _, p, _, _)| psi > p) {
+                    best_grow = Some((j, r, psi, gslope, room_flops));
+                }
+            }
+        }
+        let Some((gj, gr, gpsi, _gslope, groom_flops)) = best_grow else {
+            converged = true;
+            break;
+        };
+
+        // Best source: unspent budget (ψ = 0) or the shrink candidate with
+        // the lowest ψ⁻ = loss-slope · E_{r'}.
+        let slack_energy = if opts.use_slack {
+            (budget - energy_used).max(0.0)
+        } else {
+            0.0
+        };
+        let mut best_shrink: Option<(usize, usize, f64, f64)> = None; // (j', r', psi, room_energy)
+        for j in 0..n {
+            let Some((lslope, drain_flops)) = shrink_info(&inst.task(j).accuracy, flops[j]) else {
+                continue;
+            };
+            for r in 0..m {
+                let t = schedule.t(j, r);
+                if t <= crate::EPS_TIME {
+                    continue;
+                }
+                if j == gj && r == gr {
+                    continue;
+                }
+                let psi = lslope * eff[r];
+                let room_energy = (t * power[r]).min(drain_flops / eff[r]);
+                if room_energy <= min_transfer {
+                    continue;
+                }
+                if best_shrink.is_none_or(|(_, _, p, _)| psi < p) {
+                    best_shrink = Some((j, r, psi, room_energy));
+                }
+            }
+        }
+
+        // Choose the cheaper source.
+        let psi_eps = 1e-9 * (1.0 + gpsi.abs());
+        let use_slack_source = slack_energy > min_transfer
+            && best_shrink.is_none_or(|(_, _, p, _)| p >= 0.0);
+        let (source_psi, source_energy, source) = if use_slack_source {
+            (0.0, slack_energy, None)
+        } else if let Some((sj, sr, spsi, sroom)) = best_shrink {
+            (spsi, sroom, Some((sj, sr)))
+        } else {
+            converged = true;
+            break;
+        };
+        if gpsi <= source_psi + psi_eps {
+            // Slack is free; growing from slack is improving whenever the
+            // gain is positive, so only stop when even that fails.
+            if source.is_none() && gpsi > psi_eps {
+                // proceed: positive gain from free energy
+            } else {
+                converged = true;
+                break;
+            }
+        }
+
+        // Transfer size in joules.
+        let grow_energy_cap = (slack[gr][gj] * power[gr]).min(groom_flops / eff[gr]);
+        let delta_e = grow_energy_cap.min(source_energy);
+        if delta_e <= min_transfer {
+            converged = true;
+            break;
+        }
+
+        // Apply: grow (gj, gr) …
+        let dt_grow = delta_e / power[gr];
+        let df_grow = delta_e * eff[gr];
+        let acc_before_g = inst.task(gj).accuracy.eval(flops[gj]);
+        *schedule.t_mut(gj, gr) += dt_grow;
+        flops[gj] = (flops[gj] + df_grow).min(inst.task(gj).f_max());
+        accuracy_gain += inst.task(gj).accuracy.eval(flops[gj]) - acc_before_g;
+        energy_used += delta_e;
+        deadline_slack(inst, schedule, gr, &mut slack[gr]);
+
+        // … and shrink the source if it was a task.
+        if let Some((sj, sr)) = source {
+            let dt_shrink = delta_e / power[sr];
+            let df_shrink = delta_e * eff[sr];
+            let acc_before_s = inst.task(sj).accuracy.eval(flops[sj]);
+            let t = schedule.t_mut(sj, sr);
+            *t = (*t - dt_shrink).max(0.0);
+            flops[sj] = (flops[sj] - df_shrink).max(0.0);
+            accuracy_gain += inst.task(sj).accuracy.eval(flops[sj]) - acc_before_s;
+            energy_used -= delta_e;
+            deadline_slack(inst, schedule, sr, &mut slack[sr]);
+        }
+
+        iterations += 1;
+    }
+
+    RefineOutcome {
+        iterations,
+        accuracy_gain,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo_naive::compute_naive_solution;
+    use crate::problem::Task;
+    use crate::profile::naive_profile;
+    use crate::schedule::ScheduleKind;
+    use dsct_machines::{Machine, MachinePark};
+
+    fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
+        PwlAccuracy::new(points).unwrap()
+    }
+
+    #[test]
+    fn grow_and_shrink_info_respect_breakpoints() {
+        let a = acc(&[(0.0, 0.0), (1.0, 0.5), (2.0, 0.8), (3.0, 0.9)]);
+        let (s, room) = grow_info(&a, 0.0).unwrap();
+        assert!((s - 0.5).abs() < 1e-12 && (room - 1.0).abs() < 1e-12);
+        let (s, room) = grow_info(&a, 1.0).unwrap();
+        assert!((s - 0.3).abs() < 1e-12 && (room - 1.0).abs() < 1e-12);
+        assert!(grow_info(&a, 3.0).is_none());
+        let (s, room) = shrink_info(&a, 3.0).unwrap();
+        assert!((s - 0.1).abs() < 1e-12 && (room - 1.0).abs() < 1e-12);
+        let (s, room) = shrink_info(&a, 1.0).unwrap();
+        assert!((s - 0.5).abs() < 1e-12 && (room - 1.0).abs() < 1e-12);
+        assert!(shrink_info(&a, 0.0).is_none());
+    }
+
+    #[test]
+    fn snapping_skips_slivers() {
+        let a = acc(&[(0.0, 0.0), (1.0, 0.5), (2.0, 0.8)]);
+        // Just below a breakpoint: growing uses the *next* segment.
+        let (s, _) = grow_info(&a, 1.0 - 1e-12).unwrap();
+        assert!((s - 0.3).abs() < 1e-12);
+        // Just above: shrinking uses the *previous* segment.
+        let (s, _) = shrink_info(&a, 1.0 + 1e-12).unwrap();
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    /// The paper's Fig. 6b mechanism in miniature: an early
+    /// deadline-constrained high-value task cannot grow on the efficient
+    /// machine, so refinement moves its work onto the less efficient one,
+    /// beating the naive profile.
+    #[test]
+    fn refinement_beats_naive_profile_when_deadlines_bind() {
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(2000.0, 80.0).unwrap(), // efficient, slow
+            Machine::from_efficiency(5000.0, 70.0).unwrap(), // fast, less efficient
+        ]);
+        // Task 0: very tight deadline, steep accuracy (high ψ).
+        // Task 1: loose deadline, shallow accuracy.
+        let t0 = Task::new(0.05, acc(&[(0.0, 0.0), (500.0, 0.8)]));
+        let t1 = Task::new(2.0, acc(&[(0.0, 0.0), (4000.0, 0.4)]));
+        // Budget fits roughly machine-0-only usage.
+        let inst = Instance::new(vec![t0, t1], park, 30.0).unwrap();
+
+        let profile = naive_profile(&inst);
+        let naive = compute_naive_solution(&inst, &profile);
+        let naive_acc = naive.schedule.total_accuracy(&inst);
+
+        let mut schedule = naive.schedule.clone();
+        let mut flops = naive.flops.clone();
+        let out = refine_profile(&inst, &mut schedule, &mut flops, &RefineOptions::default());
+        assert!(out.converged);
+        let refined_acc = schedule.total_accuracy(&inst);
+        assert!(
+            refined_acc > naive_acc + 1e-6,
+            "refined {refined_acc} vs naive {naive_acc}"
+        );
+        schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        // Machine 2 (index 1) must have picked up work for task 0.
+        assert!(schedule.t(0, 1) > 1e-9);
+    }
+
+    #[test]
+    fn refinement_is_a_no_op_at_optimum() {
+        // Single machine with ample budget: the naive solution is already
+        // optimal, so refinement must not change accuracy.
+        let park = MachinePark::new(vec![Machine::from_efficiency(1000.0, 50.0).unwrap()]);
+        let t0 = Task::new(1.0, acc(&[(0.0, 0.0), (500.0, 0.6), (1000.0, 0.8)]));
+        let inst = Instance::new(vec![t0], park, 1e9).unwrap();
+        let profile = naive_profile(&inst);
+        let naive = compute_naive_solution(&inst, &profile);
+        let mut schedule = naive.schedule.clone();
+        let mut flops = naive.flops.clone();
+        let before = schedule.total_accuracy(&inst);
+        let out = refine_profile(&inst, &mut schedule, &mut flops, &RefineOptions::default());
+        assert!(out.converged);
+        assert!((schedule.total_accuracy(&inst) - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slack_source_uses_leftover_budget() {
+        // Deadline binds on the efficient machine before the budget is
+        // spent; the slack source lets the other machine absorb the rest.
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(1000.0, 100.0).unwrap(), // 10 W
+            Machine::from_efficiency(1000.0, 10.0).unwrap(),  // 100 W
+        ]);
+        let t0 = Task::new(1.0, acc(&[(0.0, 0.0), (2000.0, 0.8)]));
+        // Budget 60 J: naive profile gives machine 0 its full 1 s (10 J)
+        // and machine 1 0.5 s (50 J); fine. Tighten: budget 15 J → naive
+        // profile: m0 1 s (10 J), m1 0.05 s (5 J).
+        let inst = Instance::new(vec![t0], park, 15.0).unwrap();
+        let profile = naive_profile(&inst);
+        let naive = compute_naive_solution(&inst, &profile);
+        let mut schedule = naive.schedule;
+        let mut flops = naive.flops;
+        let no_slack = RefineOptions {
+            use_slack: false,
+            ..Default::default()
+        };
+        let mut s2 = schedule.clone();
+        let mut f2 = flops.clone();
+        refine_profile(&inst, &mut s2, &mut f2, &no_slack);
+        let acc_no_slack = s2.total_accuracy(&inst);
+        refine_profile(&inst, &mut schedule, &mut flops, &RefineOptions::default());
+        let acc_slack = schedule.total_accuracy(&inst);
+        assert!(acc_slack >= acc_no_slack - 1e-9);
+        schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+    }
+
+}

@@ -1,0 +1,421 @@
+//! Algorithm 1 of the paper: the exact fractional solve on **one machine**
+//! with piecewise-linear accuracy functions.
+//!
+//! Segments of all tasks are visited in non-increasing slope order; each
+//! segment receives as much processing time as the deadlines of the task
+//! itself and of every later task allow (increasing an early task's time
+//! delays everything after it, EDF order being fixed).
+//!
+//! Deviations from the paper's listing (see DESIGN.md §3): the deadline cap
+//! loop includes the segment's own task (`i ≥ j`, not `i > j`).
+
+/// One linear segment of a task's accuracy function, as consumed by the
+/// single-machine scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentSpec {
+    /// Task index (deadline order).
+    pub task: usize,
+    /// Position of the segment within the task's accuracy function.
+    pub position: usize,
+    /// Slope in accuracy per GFLOP.
+    pub slope: f64,
+    /// Work spanned by the segment in GFLOP.
+    pub total_flops: f64,
+}
+
+/// Result of the single-machine solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleMachineSolution {
+    /// Processing time per task (seconds).
+    pub times: Vec<f64>,
+    /// Work actually dedicated to each input segment (GFLOP), aligned with
+    /// the input slice.
+    pub used_flops: Vec<f64>,
+}
+
+/// Runs Algorithm 1: optimal fractional schedule of `deadlines.len()` tasks
+/// on a single machine of the given `speed` (GFLOP/s).
+///
+/// `deadlines` must be non-decreasing; `segments` lists the linear segments
+/// of every task's accuracy function (any order; they are sorted here).
+///
+/// # Panics
+/// Panics when deadlines are not sorted non-decreasingly or a segment
+/// references a task out of range — both are caller bugs.
+pub fn schedule_single_machine(
+    deadlines: &[f64],
+    speed: f64,
+    segments: &[SegmentSpec],
+) -> SingleMachineSolution {
+    let n = deadlines.len();
+    assert!(
+        segments.iter().all(|s| s.task < n),
+        "segment references task out of range"
+    );
+    let order = sort_segments(segments);
+    schedule_single_machine_ordered(deadlines, speed, segments, &order)
+}
+
+/// Slope-descending processing order for a segment list (ties broken by
+/// `(task, position)` for determinism). The order depends only on the
+/// segments, so callers solving the same task set under many deadline
+/// vectors (the profile search) compute it once.
+pub fn sort_segments(segments: &[SegmentSpec]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..segments.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (sa, sb) = (&segments[a], &segments[b]);
+        sb.slope
+            .partial_cmp(&sa.slope)
+            .expect("slopes are finite")
+            .then(sa.task.cmp(&sb.task))
+            .then(sa.position.cmp(&sb.position))
+    });
+    order
+}
+
+/// Algorithm 1 with a precomputed processing order (see
+/// [`sort_segments`]).
+pub fn schedule_single_machine_ordered(
+    deadlines: &[f64],
+    speed: f64,
+    segments: &[SegmentSpec],
+    order: &[usize],
+) -> SingleMachineSolution {
+    let n = deadlines.len();
+    assert!(speed > 0.0, "machine speed must be positive");
+    assert!(
+        deadlines.windows(2).all(|w| w[0] <= w[1]),
+        "deadlines must be non-decreasing"
+    );
+
+    let mut times = vec![0.0f64; n];
+    let mut used = vec![0.0f64; segments.len()];
+    // Slack values v_i = d_i − Σ_{k≤i} t_k, maintained in a lazy segment
+    // tree: growing task j subtracts from the suffix i ≥ j, and a
+    // segment's deadline-capped contribution is the suffix minimum. This
+    // turns the paper's O(n) inner loop into O(log n) per segment.
+    let mut slack = SlackTree::new(deadlines);
+    for &si in order {
+        let seg = &segments[si];
+        if seg.total_flops <= 0.0 || seg.slope <= 0.0 {
+            // Zero-width or flat segments yield no accuracy; skip (a flat
+            // final segment would otherwise waste machine time).
+            continue;
+        }
+        let j = seg.task;
+        let contribution = (seg.total_flops / speed)
+            .min(slack.suffix_min(j))
+            .max(0.0);
+        if contribution > 0.0 {
+            times[j] += contribution;
+            used[si] = contribution * speed;
+            slack.suffix_add(j, -contribution);
+        }
+    }
+
+    SingleMachineSolution {
+        times,
+        used_flops: used,
+    }
+}
+
+/// Lazy segment tree supporting suffix add and suffix min over the slack
+/// values `v_i = d_i − Σ_{k≤i} t_k`.
+struct SlackTree {
+    n: usize,
+    mins: Vec<f64>,
+    lazy: Vec<f64>,
+}
+
+impl SlackTree {
+    fn new(values: &[f64]) -> Self {
+        let n = values.len();
+        let mut t = Self {
+            n,
+            mins: vec![f64::INFINITY; 4 * n.max(1)],
+            lazy: vec![0.0; 4 * n.max(1)],
+        };
+        if n > 0 {
+            t.build(1, 0, n, values);
+        }
+        t
+    }
+
+    fn build(&mut self, node: usize, l: usize, r: usize, values: &[f64]) {
+        if r - l == 1 {
+            self.mins[node] = values[l];
+            return;
+        }
+        let mid = l + (r - l) / 2;
+        self.build(2 * node, l, mid, values);
+        self.build(2 * node + 1, mid, r, values);
+        self.mins[node] = self.mins[2 * node].min(self.mins[2 * node + 1]);
+    }
+
+    /// `min(v_i for i in from..n)`; `INFINITY` when the range is empty.
+    fn suffix_min(&self, from: usize) -> f64 {
+        if self.n == 0 || from >= self.n {
+            return f64::INFINITY;
+        }
+        self.query(1, 0, self.n, from)
+    }
+
+    fn query(&self, node: usize, l: usize, r: usize, from: usize) -> f64 {
+        if from <= l {
+            return self.mins[node];
+        }
+        if from >= r {
+            return f64::INFINITY;
+        }
+        let mid = l + (r - l) / 2;
+        let res = self
+            .query(2 * node, l, mid, from)
+            .min(self.query(2 * node + 1, mid, r, from));
+        res + self.lazy[node]
+    }
+
+    /// `v_i += delta` for all `i in from..n`.
+    fn suffix_add(&mut self, from: usize, delta: f64) {
+        if self.n == 0 || from >= self.n {
+            return;
+        }
+        self.update(1, 0, self.n, from, delta);
+    }
+
+    fn update(&mut self, node: usize, l: usize, r: usize, from: usize, delta: f64) {
+        if from <= l {
+            self.mins[node] += delta;
+            self.lazy[node] += delta;
+            return;
+        }
+        if from >= r {
+            return;
+        }
+        let mid = l + (r - l) / 2;
+        self.update(2 * node, l, mid, from, delta);
+        self.update(2 * node + 1, mid, r, from, delta);
+        self.mins[node] = self.mins[2 * node].min(self.mins[2 * node + 1]) + self.lazy[node];
+    }
+}
+
+/// Convenience: total accuracy achieved by a single-machine solution given
+/// the per-segment accuracy gains.
+pub fn accuracy_of(segments: &[SegmentSpec], used_flops: &[f64], base: f64) -> f64 {
+    base + segments
+        .iter()
+        .zip(used_flops)
+        .map(|(s, &u)| s.slope * u)
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(task: usize, position: usize, slope: f64, flops: f64) -> SegmentSpec {
+        SegmentSpec {
+            task,
+            position,
+            slope,
+            total_flops: flops,
+        }
+    }
+
+    #[test]
+    fn single_task_uses_all_time_up_to_deadline() {
+        // One task, one segment of 10 GFLOP, speed 2 ⇒ needs 5 s, but the
+        // deadline is 3 s.
+        let sol = schedule_single_machine(&[3.0], 2.0, &[seg(0, 0, 1.0, 10.0)]);
+        assert!((sol.times[0] - 3.0).abs() < 1e-12);
+        assert!((sol.used_flops[0] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_task_stops_at_segment_end() {
+        let sol = schedule_single_machine(&[10.0], 2.0, &[seg(0, 0, 1.0, 10.0)]);
+        assert!((sol.times[0] - 5.0).abs() < 1e-12);
+        assert!((sol.used_flops[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steeper_segments_win_contested_time() {
+        // Two tasks, same deadline 1 s, speed 1. Task 0 slope 2, task 1
+        // slope 1, each 1 GFLOP. Only 1 s available: all to task 0.
+        let segs = [seg(0, 0, 2.0, 1.0), seg(1, 0, 1.0, 1.0)];
+        let sol = schedule_single_machine(&[1.0, 1.0], 1.0, &segs);
+        assert!((sol.times[0] - 1.0).abs() < 1e-12);
+        assert!((sol.times[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_deadline_task_cannot_be_displaced() {
+        // Task 0 has deadline 1 and low slope; task 1 deadline 10, high
+        // slope. Task 1 is scheduled first (slope order) and takes time
+        // [0, 9] of the horizon... but because EDF order puts task 0 first,
+        // the constraint for task 1 leaves task 0 room only before d_0.
+        // Task 0 may still use [0, 1] if task 1's allocation leaves room by
+        // d_0? No: prefix(t0) + prefix over later tasks matters. With task 1
+        // getting 9 s (deadline 10 minus nothing), task 0 can get 1 s
+        // (completes at 1 ≤ d_0, pushing task 1 to complete at 10 ≤ d_1).
+        let segs = [seg(0, 0, 1.0, 100.0), seg(1, 0, 2.0, 9.0)];
+        let sol = schedule_single_machine(&[1.0, 10.0], 1.0, &segs);
+        assert!((sol.times[1] - 9.0).abs() < 1e-12, "t1 = {}", sol.times[1]);
+        assert!((sol.times[0] - 1.0).abs() < 1e-12, "t0 = {}", sol.times[0]);
+    }
+
+    #[test]
+    fn later_deadlines_cap_earlier_expansions() {
+        // Task 0 (slope 3) would like 5 s, but task 1 (slope 2, deadline 2)
+        // needs its time: after task 1 gets 2 s... task 1 is capped by its
+        // own deadline minus task 0's time. Slope order: task 0 first.
+        // Task 0: contribution min(5, d_0 - t_0 = 2, d_1 - t_0 = 2) = 2.
+        // Task 1: min(5, d_1 - (t_0 + t_1)) = 0.
+        let segs = [seg(0, 0, 3.0, 5.0), seg(1, 0, 2.0, 5.0)];
+        let sol = schedule_single_machine(&[2.0, 2.0], 1.0, &segs);
+        assert!((sol.times[0] - 2.0).abs() < 1e-12);
+        assert!((sol.times[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_segment_tasks_fill_in_slope_order() {
+        // One task with segments (slope 2, 1 GFLOP) and (slope 1, 1 GFLOP);
+        // 1.5 s at speed 1 ⇒ first segment full, second half full.
+        let segs = [seg(0, 0, 2.0, 1.0), seg(0, 1, 1.0, 1.0)];
+        let sol = schedule_single_machine(&[1.5], 1.0, &segs);
+        assert!((sol.times[0] - 1.5).abs() < 1e-12);
+        assert!((sol.used_flops[0] - 1.0).abs() < 1e-12);
+        assert!((sol.used_flops[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_slopes_across_tasks() {
+        // Task 0: slopes (4, 1); task 1: slopes (3, 2). Deadlines large.
+        // Slope order: t0s0, t1s0, t1s1, t0s1 — all fit.
+        let segs = [
+            seg(0, 0, 4.0, 1.0),
+            seg(0, 1, 1.0, 1.0),
+            seg(1, 0, 3.0, 1.0),
+            seg(1, 1, 2.0, 1.0),
+        ];
+        let sol = schedule_single_machine(&[100.0, 100.0], 1.0, &segs);
+        assert!((sol.times[0] - 2.0).abs() < 1e-12);
+        assert!((sol.times[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contested_time_respects_slope_priority_across_tasks() {
+        // Deadlines both 3. Task 0: slopes (4: 1 GFLOP, 1: 5). Task 1:
+        // slopes (3: 1, 2: 5). Order: 4, 3, 2, 1. After t0s0 (1s) and t1s0
+        // (1s), 1 s remains for t1s1 (slope 2). t0s1 gets nothing.
+        let segs = [
+            seg(0, 0, 4.0, 1.0),
+            seg(0, 1, 1.0, 5.0),
+            seg(1, 0, 3.0, 1.0),
+            seg(1, 1, 2.0, 5.0),
+        ];
+        let sol = schedule_single_machine(&[3.0, 3.0], 1.0, &segs);
+        assert!((sol.times[0] - 1.0).abs() < 1e-12);
+        assert!((sol.times[1] - 2.0).abs() < 1e-12);
+        let acc = accuracy_of(&segs, &sol.used_flops, 0.0);
+        assert!((acc - (4.0 + 3.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_flat_segments_are_skipped() {
+        let segs = [seg(0, 0, 0.0, 5.0), seg(0, 1, 1.0, 0.0)];
+        let sol = schedule_single_machine(&[10.0], 1.0, &segs);
+        assert_eq!(sol.times[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_deadlines_panic() {
+        schedule_single_machine(&[2.0, 1.0], 1.0, &[]);
+    }
+
+    /// Reference implementation with the paper's literal O(n) inner loop,
+    /// used to cross-check the segment-tree path.
+    fn schedule_naive(deadlines: &[f64], speed: f64, segments: &[SegmentSpec]) -> Vec<f64> {
+        let n = deadlines.len();
+        let mut order: Vec<usize> = (0..segments.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&segments[a], &segments[b]);
+            sb.slope
+                .partial_cmp(&sa.slope)
+                .unwrap()
+                .then(sa.task.cmp(&sb.task))
+                .then(sa.position.cmp(&sb.position))
+        });
+        let mut times = vec![0.0f64; n];
+        for &si in &order {
+            let seg = &segments[si];
+            if seg.total_flops <= 0.0 || seg.slope <= 0.0 {
+                continue;
+            }
+            let j = seg.task;
+            let mut contribution = seg.total_flops / speed;
+            let mut prefix: f64 = times[..j].iter().sum();
+            for i in j..n {
+                prefix += times[i];
+                contribution = contribution.min(deadlines[i] - prefix);
+                if contribution <= 0.0 {
+                    break;
+                }
+            }
+            times[j] += contribution.max(0.0);
+        }
+        times
+    }
+
+    #[test]
+    fn segment_tree_matches_naive_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for trial in 0..200 {
+            let n = rng.gen_range(1..25);
+            let mut deadlines: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
+            deadlines.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut segments = Vec::new();
+            for task in 0..n {
+                let k = rng.gen_range(1..4);
+                let mut slope: f64 = rng.gen_range(0.5..4.0);
+                for position in 0..k {
+                    segments.push(SegmentSpec {
+                        task,
+                        position,
+                        slope,
+                        total_flops: rng.gen_range(0.1..5.0),
+                    });
+                    slope *= rng.gen_range(0.2..0.9);
+                }
+            }
+            let speed = rng.gen_range(0.5..3.0);
+            let fast = schedule_single_machine(&deadlines, speed, &segments);
+            let slow = schedule_naive(&deadlines, speed, &segments);
+            for j in 0..n {
+                assert!(
+                    (fast.times[j] - slow[j]).abs() < 1e-9,
+                    "trial {trial} task {j}: tree {} vs naive {}",
+                    fast.times[j],
+                    slow[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slack_tree_basics() {
+        let mut t = SlackTree::new(&[3.0, 1.0, 4.0, 1.5]);
+        assert_eq!(t.suffix_min(0), 1.0);
+        assert_eq!(t.suffix_min(2), 1.5);
+        assert_eq!(t.suffix_min(4), f64::INFINITY);
+        t.suffix_add(1, -0.5);
+        assert_eq!(t.suffix_min(0), 0.5);
+        assert_eq!(t.suffix_min(2), 1.0);
+        t.suffix_add(3, 2.0);
+        assert_eq!(t.suffix_min(3), 3.0);
+        assert_eq!(t.suffix_min(0), 0.5);
+        let empty = SlackTree::new(&[]);
+        assert_eq!(empty.suffix_min(0), f64::INFINITY);
+    }
+}

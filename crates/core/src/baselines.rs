@@ -1,0 +1,232 @@
+//! State-of-the-art baselines from the paper's evaluation (§6):
+//!
+//! - [`edf_no_compression`]: Earliest-Deadline-First on the least-loaded
+//!   machine, always processing tasks fully (`f^max` operations), stopping
+//!   once the energy budget is exhausted;
+//! - [`edf_three_levels`]: the same placement with three discrete
+//!   compression levels (paper: accuracies 27% / 55% / 82%), choosing the
+//!   highest level that fits deadline and budget — the quality-oriented
+//!   greedy of Lee & Song (TCSVT 2021, the paper’s ref. 11).
+//!
+//! Tasks that fit no machine (deadline) or would bust the budget are
+//! dropped and contribute their zero-work accuracy `a_j(0)`.
+
+use crate::problem::Instance;
+use crate::schedule::FractionalSchedule;
+use crate::EPS_TIME;
+
+/// The paper's three discrete compression levels, expressed as absolute
+/// accuracy targets.
+pub const PAPER_THREE_LEVELS: [f64; 3] = [0.82, 0.55, 0.27];
+
+/// Result of a baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineSolution {
+    /// Integral schedule (at most one machine per task).
+    pub schedule: FractionalSchedule,
+    /// Machine per task (`None`: dropped).
+    pub assignment: Vec<Option<usize>>,
+    /// Total accuracy including dropped tasks' `a_j(0)`.
+    pub total_accuracy: f64,
+    /// Energy consumed (J).
+    pub energy: f64,
+    /// Number of tasks scheduled (not dropped).
+    pub scheduled: usize,
+}
+
+/// EDF without compression: every scheduled task performs all of `f^max`.
+pub fn edf_no_compression(inst: &Instance) -> BaselineSolution {
+    greedy_levels(inst, &[], true)
+}
+
+/// EDF with the paper's three discrete compression levels.
+pub fn edf_three_levels(inst: &Instance) -> BaselineSolution {
+    edf_with_levels(inst, &PAPER_THREE_LEVELS)
+}
+
+/// EDF with arbitrary discrete accuracy levels (highest first is not
+/// required; levels are sorted internally).
+pub fn edf_with_levels(inst: &Instance, levels: &[f64]) -> BaselineSolution {
+    let mut sorted: Vec<f64> = levels.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("levels are finite"));
+    greedy_levels(inst, &sorted, false)
+}
+
+/// Shared EDF greedy. With `full_only`, each task is processed at `f^max`
+/// or not at all; otherwise `levels` lists accuracy targets tried from
+/// highest to lowest.
+fn greedy_levels(inst: &Instance, levels: &[f64], full_only: bool) -> BaselineSolution {
+    let n = inst.num_tasks();
+    let m = inst.num_machines();
+    let machines = inst.machines();
+    let mut schedule = FractionalSchedule::zero(n, m);
+    let mut load = vec![0.0f64; m];
+    let mut energy = 0.0f64;
+    let budget = inst.budget();
+    let mut assignment = vec![None; n];
+    let mut scheduled = 0usize;
+
+    for j in 0..n {
+        let task = inst.task(j);
+        // Least-loaded machine (Zhang et al., the paper’s ref. 29 placement rule).
+        let r = (0..m)
+            .min_by(|&a, &b| {
+                load[a]
+                    .partial_cmp(&load[b])
+                    .expect("loads are finite")
+                    .then(a.cmp(&b))
+            })
+            .expect("non-empty park");
+
+        // Candidate work amounts, highest quality first.
+        let works: Vec<f64> = if full_only {
+            vec![task.f_max()]
+        } else {
+            levels
+                .iter()
+                .filter_map(|&lvl| {
+                    let target = lvl.min(task.accuracy.a_max());
+                    if target <= task.accuracy.a_min() {
+                        return None;
+                    }
+                    task.accuracy.inverse(target).ok()
+                })
+                .collect()
+        };
+
+        for f in works {
+            if f <= 0.0 {
+                continue;
+            }
+            let t = f / machines[r].speed();
+            let e = machines[r].power() * t;
+            let fits_deadline = load[r] + t <= task.deadline + EPS_TIME;
+            let fits_budget = energy + e <= budget + crate::EPS_ENERGY;
+            if fits_deadline && fits_budget {
+                schedule.set_t(j, r, t);
+                load[r] += t;
+                energy += e;
+                assignment[j] = Some(r);
+                scheduled += 1;
+                break;
+            }
+        }
+    }
+
+    let total_accuracy = schedule.total_accuracy(inst);
+    BaselineSolution {
+        schedule,
+        assignment,
+        total_accuracy,
+        energy,
+        scheduled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Task;
+    use crate::schedule::ScheduleKind;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_machines::{Machine, MachinePark};
+
+    fn acc() -> PwlAccuracy {
+        // a_min = 0.001, 27% at ~33.7 GFLOP, 55% at ~68.9, 82% at 100.
+        PwlAccuracy::new(&[(0.0, 0.001), (40.0, 0.4), (80.0, 0.7), (100.0, 0.82)]).unwrap()
+    }
+
+    fn park() -> MachinePark {
+        MachinePark::new(vec![
+            Machine::from_efficiency(100.0, 50.0).unwrap(), // 2 W
+            Machine::from_efficiency(200.0, 40.0).unwrap(), // 5 W
+        ])
+    }
+
+    #[test]
+    fn no_compression_processes_fully_or_drops() {
+        let tasks = vec![Task::new(2.0, acc()), Task::new(2.0, acc())];
+        let inst = Instance::new(tasks, park(), 1e9).unwrap();
+        let sol = edf_no_compression(&inst);
+        sol.schedule.validate(&inst, ScheduleKind::Integral).unwrap();
+        for j in 0..2 {
+            if sol.assignment[j].is_some() {
+                assert!(
+                    (sol.schedule.flops(j, &inst) - 100.0).abs() < 1e-6,
+                    "task {j} must run at f_max"
+                );
+            }
+        }
+        assert_eq!(sol.scheduled, 2);
+        assert!((sol.total_accuracy - 1.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_stops_scheduling() {
+        // Each full task on m0 costs 1 s · 2 W = 2 J; on m1 0.5 s · 5 W =
+        // 2.5 J. Budget 3 J: first task fits (least loaded m0, 2 J),
+        // second would need 2.5 J on m1 → dropped.
+        let tasks = vec![Task::new(5.0, acc()), Task::new(5.0, acc())];
+        let inst = Instance::new(tasks, park(), 3.0).unwrap();
+        let sol = edf_no_compression(&inst);
+        assert_eq!(sol.scheduled, 1);
+        assert!(sol.energy <= 3.0 + 1e-9);
+        sol.schedule.validate(&inst, ScheduleKind::Integral).unwrap();
+    }
+
+    #[test]
+    fn deadline_drops_full_tasks() {
+        // Full model needs 1 s on m0 / 0.5 s on m1, deadline 0.3 s.
+        let tasks = vec![Task::new(0.3, acc())];
+        let inst = Instance::new(tasks, park(), 1e9).unwrap();
+        let sol = edf_no_compression(&inst);
+        assert_eq!(sol.scheduled, 0);
+        assert!((sol.total_accuracy - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_levels_degrade_under_pressure() {
+        // Deadline allows only the lowest level on the least-loaded machine.
+        // 27% needs ~33.7 GFLOP → 0.337 s on m0. Deadline 0.4 s.
+        let tasks = vec![Task::new(0.4, acc())];
+        let inst = Instance::new(tasks, park(), 1e9).unwrap();
+        let sol = edf_three_levels(&inst);
+        assert_eq!(sol.scheduled, 1);
+        let a = sol.schedule.accuracy(0, &inst);
+        assert!((a - 0.27).abs() < 1e-6, "accuracy = {a}");
+    }
+
+    #[test]
+    fn three_levels_prefer_highest_quality() {
+        let tasks = vec![Task::new(10.0, acc())];
+        let inst = Instance::new(tasks, park(), 1e9).unwrap();
+        let sol = edf_three_levels(&inst);
+        let a = sol.schedule.accuracy(0, &inst);
+        assert!((a - 0.82).abs() < 1e-6);
+    }
+
+    #[test]
+    fn three_levels_beat_no_compression_under_tight_budget() {
+        // Budget for roughly one full task; compression lets several tasks
+        // run at reduced quality instead.
+        let tasks: Vec<Task> = (0..4).map(|i| Task::new(1.0 + i as f64, acc())).collect();
+        let inst = Instance::new(tasks, park(), 2.5).unwrap();
+        let full = edf_no_compression(&inst);
+        let lvl = edf_three_levels(&inst);
+        assert!(
+            lvl.total_accuracy >= full.total_accuracy,
+            "levels {} < full {}",
+            lvl.total_accuracy,
+            full.total_accuracy
+        );
+        lvl.schedule.validate(&inst, ScheduleKind::Integral).unwrap();
+    }
+
+    #[test]
+    fn custom_levels_are_sorted_internally() {
+        let tasks = vec![Task::new(10.0, acc())];
+        let inst = Instance::new(tasks, park(), 1e9).unwrap();
+        let sol = edf_with_levels(&inst, &[0.27, 0.82, 0.55]);
+        assert!((sol.schedule.accuracy(0, &inst) - 0.82).abs() < 1e-6);
+    }
+}

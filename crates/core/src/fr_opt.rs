@@ -1,0 +1,185 @@
+//! Algorithm 4 of the paper: `DSCT-EA-FR-OPT` — the exact combinatorial
+//! solver for the fractional relaxation DSCT-EA-FR with piecewise-linear
+//! accuracy functions.
+//!
+//! Composition of [`crate::algo_naive::compute_naive_solution`] (optimal
+//! solution for the naive energy profile) and
+//! [`crate::algo_refine::refine_profile`] (energy transfers to a KKT
+//! point). Runs in `O(n² m²)` time up to the refinement's convergence
+//! constant.
+
+use crate::algo_naive::compute_naive_solution;
+use crate::algo_refine::{refine_profile, RefineOptions};
+use crate::problem::Instance;
+use crate::profile::{naive_profile, EnergyProfile};
+use crate::profile_search::{profile_search, ProfileSearchOptions};
+use crate::schedule::FractionalSchedule;
+
+/// Options for the fractional solver.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrOptOptions {
+    /// Skip all refinement (ablation: naive profile only).
+    pub skip_refine: bool,
+    /// Skip the task-level transfer pass (the literal Algorithm 3), going
+    /// straight to the profile search.
+    pub skip_transfer_pass: bool,
+    /// Skip the profile-level coordinate ascent (ablation: the literal
+    /// Algorithm 3 alone, which can stall at local optima).
+    pub skip_profile_search: bool,
+    /// Options for the task-level transfer pass.
+    pub refine: RefineOptions,
+    /// Options for the profile search.
+    pub search: ProfileSearchOptions,
+}
+
+/// Solution of the fractional relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrSolution {
+    /// Optimal processing-time matrix (fractional semantics).
+    pub schedule: FractionalSchedule,
+    /// Work per task in GFLOP.
+    pub flops: Vec<f64>,
+    /// Total accuracy `Σ_j a_j(f_j)` — equals the DSCT-EA upper bound
+    /// `DSCT-EA-UB` used throughout the paper's evaluation.
+    pub total_accuracy: f64,
+    /// The naive energy profile the solve started from (Fig. 6 baseline).
+    pub naive_profile: EnergyProfile,
+    /// The realized profile (per-machine busy time) of the final solution.
+    pub profile: Vec<f64>,
+    /// Energy consumed by the final solution (J).
+    pub energy: f64,
+    /// Refinement iterations performed (0 when skipped).
+    pub refine_iterations: usize,
+}
+
+/// Solves DSCT-EA-FR exactly (Algorithm 4).
+///
+/// Pipeline: naive profile → optimal solution for it (Algorithm 2) →
+/// task-level energy transfers (Algorithm 3, a fast first-order pass) →
+/// profile-level coordinate ascent with exact re-solve
+/// ([`crate::profile_search`]), which certifies/corrects the transfer
+/// pass. The final solution is the exact optimum for the refined profile;
+/// re-solving for the profile of any feasible solution never decreases
+/// accuracy, so each stage is monotone.
+pub fn solve_fr_opt(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
+    let naive = naive_profile(inst);
+    let base = compute_naive_solution(inst, &naive);
+    let mut schedule = base.schedule;
+    let mut flops = base.flops;
+    let mut refine_iterations = 0;
+
+    if !opts.skip_refine {
+        if !opts.skip_transfer_pass {
+            refine_iterations =
+                refine_profile(inst, &mut schedule, &mut flops, &opts.refine).iterations;
+        }
+        if !opts.skip_profile_search {
+            // Start the profile search from the realized loads of the best
+            // schedule so far; its exact re-solve is monotone.
+            let start = EnergyProfile::new(
+                schedule
+                    .profile()
+                    .iter()
+                    .map(|&p| p.min(inst.d_max()))
+                    .collect(),
+            );
+            let before = schedule.total_accuracy(inst);
+            let (_, refined, outcome) = profile_search(inst, &start, &opts.search);
+            refine_iterations += outcome.transfers;
+            if refined.schedule.total_accuracy(inst) >= before {
+                schedule = refined.schedule;
+                flops = refined.flops;
+            }
+        }
+    }
+
+    let total_accuracy = schedule.total_accuracy(inst);
+    let energy = schedule.energy(inst);
+    let profile = schedule.profile();
+    FrSolution {
+        schedule,
+        flops,
+        total_accuracy,
+        naive_profile: naive,
+        profile,
+        energy,
+        refine_iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Task;
+    use crate::schedule::ScheduleKind;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_machines::{Machine, MachinePark};
+
+    fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
+        PwlAccuracy::new(points).unwrap()
+    }
+
+    #[test]
+    fn produces_feasible_solutions() {
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(2000.0, 80.0).unwrap(),
+            Machine::from_efficiency(5000.0, 70.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(0.2, acc(&[(0.0, 0.0), (300.0, 0.5), (800.0, 0.8)])),
+            Task::new(0.9, acc(&[(0.0, 0.0), (500.0, 0.4), (1500.0, 0.7)])),
+            Task::new(1.4, acc(&[(0.0, 0.0), (200.0, 0.6), (900.0, 0.82)])),
+        ];
+        let inst = Instance::new(tasks, park, 40.0).unwrap();
+        let sol = solve_fr_opt(&inst, &FrOptOptions::default());
+        sol.schedule
+            .validate(&inst, ScheduleKind::Fractional)
+            .unwrap();
+        assert!(sol.total_accuracy > 0.0);
+        assert!(sol.energy <= inst.budget() + 1e-6);
+        // Flops bookkeeping matches the schedule.
+        for j in 0..inst.num_tasks() {
+            assert!((sol.schedule.flops(j, &inst) - sol.flops[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn refinement_never_hurts() {
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(1000.0, 30.0).unwrap(),
+            Machine::from_efficiency(4000.0, 15.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(0.1, acc(&[(0.0, 0.0), (400.0, 0.7)])),
+            Task::new(1.0, acc(&[(0.0, 0.0), (2000.0, 0.5)])),
+        ];
+        let inst = Instance::new(tasks, park, 25.0).unwrap();
+        let with = solve_fr_opt(&inst, &FrOptOptions::default());
+        let without = solve_fr_opt(
+            &inst,
+            &FrOptOptions {
+                skip_refine: true,
+                ..Default::default()
+            },
+        );
+        assert!(with.total_accuracy >= without.total_accuracy - 1e-9);
+        assert_eq!(without.refine_iterations, 0);
+    }
+
+    #[test]
+    fn generous_budget_and_deadlines_reach_max_accuracy() {
+        let park = MachinePark::new(vec![Machine::from_efficiency(1000.0, 50.0).unwrap()]);
+        let tasks = vec![
+            Task::new(10.0, acc(&[(0.0, 0.1), (100.0, 0.8)])),
+            Task::new(20.0, acc(&[(0.0, 0.1), (200.0, 0.9)])),
+        ];
+        let inst = Instance::new(tasks, park, 1e9).unwrap();
+        let sol = solve_fr_opt(&inst, &FrOptOptions::default());
+        assert!(
+            (sol.total_accuracy - inst.total_max_accuracy()).abs() < 1e-9,
+            "got {}, want {}",
+            sol.total_accuracy,
+            inst.total_max_accuracy()
+        );
+    }
+}

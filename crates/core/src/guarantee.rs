@@ -1,0 +1,102 @@
+//! The absolute performance guarantee of `DSCT-EA-APPROX` (Eq. 13/14).
+//!
+//! `OPT − G ≤ SOL ≤ OPT`, where `OPT` is the optimum of the fractional
+//! relaxation and, for piecewise-linear accuracy functions,
+//!
+//! `G = m · (a^max − a^min) · (1 + ln(θ_max / θ_min))`,
+//!
+//! with `θ_max` the steepest first-segment slope across tasks and `θ_min`
+//! the gentlest positive last-segment slope (the extremes of the marginal
+//! gain envelope the bound integrates over).
+
+use crate::problem::Instance;
+
+/// Computes the guarantee `G` for an instance.
+///
+/// Zero-slope final segments are skipped when determining `θ_min` (they
+/// contribute nothing to the marginal-gain envelope); if every slope is
+/// zero the guarantee degenerates to `m · (a^max − a^min)`.
+pub fn absolute_guarantee(inst: &Instance) -> f64 {
+    let m = inst.num_machines() as f64;
+    let mut range = 0.0f64;
+    let mut theta_max = f64::NEG_INFINITY;
+    let mut theta_min = f64::INFINITY;
+    for task in inst.tasks() {
+        let acc = &task.accuracy;
+        range = range.max(acc.a_max() - acc.a_min());
+        theta_max = theta_max.max(acc.first_slope());
+        for &s in acc.slopes().iter().rev() {
+            if s > 0.0 {
+                theta_min = theta_min.min(s);
+                break;
+            }
+        }
+    }
+    if !theta_min.is_finite() || !theta_max.is_finite() || theta_max <= 0.0 {
+        return m * range;
+    }
+    let ratio = (theta_max / theta_min).max(1.0);
+    m * range * (1.0 + ratio.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Task;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_machines::{Machine, MachinePark};
+
+    fn park(m: usize) -> MachinePark {
+        MachinePark::new(
+            (0..m)
+                .map(|_| Machine::from_efficiency(1000.0, 30.0).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_slope_gives_log_one() {
+        // One linear segment ⇒ θ_max = θ_min ⇒ G = m·range.
+        let acc = PwlAccuracy::new(&[(0.0, 0.0), (10.0, 0.8)]).unwrap();
+        let inst = Instance::new(vec![Task::new(1.0, acc)], park(3), 1.0).unwrap();
+        let g = absolute_guarantee(&inst);
+        assert!((g - 3.0 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_formula() {
+        // Two tasks: slopes (0.4, 0.1) and (0.5, 0.2); θ_max = 0.5,
+        // θ_min = 0.1, range = 0.82.
+        let a1 = PwlAccuracy::new(&[(0.0, 0.0), (1.0, 0.4), (2.0, 0.5)]).unwrap();
+        let a2 = PwlAccuracy::new(&[(0.0, 0.0), (1.0, 0.5), (2.6, 0.82)]).unwrap();
+        let inst = Instance::new(
+            vec![Task::new(1.0, a1), Task::new(2.0, a2)],
+            park(2),
+            1.0,
+        )
+        .unwrap();
+        let g = absolute_guarantee(&inst);
+        let expected = 2.0 * 0.82 * (1.0 + (0.5f64 / 0.1).ln());
+        assert!((g - expected).abs() < 1e-12, "g = {g}, want {expected}");
+    }
+
+    #[test]
+    fn flat_tails_are_ignored_for_theta_min() {
+        let acc = PwlAccuracy::new(&[(0.0, 0.0), (1.0, 0.5), (2.0, 0.5)]).unwrap();
+        let inst = Instance::new(vec![Task::new(1.0, acc)], park(1), 1.0).unwrap();
+        let g = absolute_guarantee(&inst);
+        assert!((g - 0.5).abs() < 1e-12); // θ_max = θ_min = 0.5
+    }
+
+    #[test]
+    fn guarantee_grows_with_machines_and_heterogeneity() {
+        let a_small = PwlAccuracy::new(&[(0.0, 0.0), (1.0, 0.4), (2.0, 0.6)]).unwrap();
+        let a_big = PwlAccuracy::new(&[(0.0, 0.0), (0.1, 0.4), (10.0, 0.6)]).unwrap();
+        let small = Instance::new(vec![Task::new(1.0, a_small.clone())], park(2), 1.0).unwrap();
+        let big = Instance::new(vec![Task::new(1.0, a_big)], park(2), 1.0).unwrap();
+        assert!(absolute_guarantee(&big) > absolute_guarantee(&small));
+        // Same accuracy, more machines ⇒ larger G.
+        let wider = Instance::new(vec![Task::new(1.0, a_small)], park(4), 1.0).unwrap();
+        assert!(absolute_guarantee(&wider) > absolute_guarantee(&small));
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+// Indexed loops over parallel arrays (times/loads/flops per task) are the
+// dominant idiom here and clearer than iterator zips of 3+ sequences.
+#![allow(clippy::needless_range_loop)]
+
+//! The DSCT-EA scheduling algorithms — the primary contribution of
+//! *"Scheduling Machine Learning Compressible Inference Tasks with Limited
+//! Energy Budget"* (da Silva Barros et al., ICPP 2024).
+//!
+//! The problem: `n` compressible inference tasks with deadlines and concave
+//! piecewise-linear accuracy functions must be scheduled on `m` machines of
+//! heterogeneous speed and energy efficiency, under a global energy budget
+//! `B`, maximizing total accuracy. Deciding the machine of each task is
+//! NP-hard; the fractional relaxation (tasks divisible across machines) is
+//! a convex program solvable combinatorially.
+//!
+//! Modules, mirroring the paper's structure:
+//!
+//! - [`problem`] — instance types (§3 model);
+//! - [`schedule`] — schedules, feasibility validation, metrics;
+//! - [`algo_single`] — Algorithm 1: optimal single-machine fractional solve;
+//! - [`profile`] — energy profiles (§3.2) and the naive profile;
+//! - [`algo_naive`] — Algorithm 2: `ComputeNaiveSolution`;
+//! - [`algo_refine`] — Algorithm 3: `RefineProfile` (iterated to a KKT point);
+//! - [`profile_search`] — profile-level coordinate ascent subsuming Alg. 3;
+//! - [`fr_opt`] — Algorithm 4: `DSCT-EA-FR-OPT`, the exact fractional solver;
+//! - [`approx`] — Algorithm 5: `DSCT-EA-APPROX` with its guarantee;
+//! - [`guarantee`] — the absolute performance bound `G` (Eq. 14);
+//! - [`baselines`] — `EDF-NoCompression` and `EDF-3CompressionLevels` (§6);
+//! - [`renewable`] — extension: time-varying (renewable) energy supply;
+//! - [`lp_model`] — the DSCT-EA-FR linear program for [`dsct_lp`] (§3.2);
+//! - [`mip_model`] — the full DSCT-EA MIP for [`dsct_mip`] (§3).
+
+pub mod algo_naive;
+pub mod algo_refine;
+pub mod algo_single;
+pub mod approx;
+pub mod baselines;
+pub mod fr_opt;
+pub mod guarantee;
+pub mod lp_model;
+pub mod mip_model;
+pub mod problem;
+pub mod profile;
+pub mod profile_search;
+pub mod renewable;
+pub mod schedule;
+
+/// Time-feasibility tolerance in seconds.
+pub const EPS_TIME: f64 = 1e-9;
+/// Energy-feasibility tolerance (absolute joules on top of a relative term).
+pub const EPS_ENERGY: f64 = 1e-6;
+/// Work (GFLOP) tolerance.
+pub const EPS_FLOPS: f64 = 1e-7;

@@ -1,0 +1,192 @@
+//! The DSCT-EA-FR linear program (paper §3.2), built for [`dsct_lp`].
+//!
+//! Variables: processing times `t_jr ≥ 0` and epigraph variables `z_j`
+//! with `z_j ≤ α_jk (Σ_r s_r t_jr) + b_jk` for every segment `k`;
+//! maximizing `Σ_j z_j` makes each `z_j` equal the concave accuracy
+//! `a_j(f_j)`. Constraints: per-machine EDF prefix deadlines, per-task
+//! work caps `f_j ≤ f_j^max`, and the global energy budget.
+//!
+//! This is the general-purpose-solver path the paper benchmarks its
+//! combinatorial algorithm against in Table 1 (there with MOSEK).
+
+use crate::problem::Instance;
+use crate::schedule::FractionalSchedule;
+use dsct_lp::{Cmp, Model, Sense, SolveOptions, Status, Var};
+
+/// Handles into a built DSCT-EA-FR model.
+#[derive(Debug, Clone)]
+pub struct FrLpModel {
+    /// The LP, ready to solve (maximization).
+    pub model: Model,
+    /// `t[j][r]` variable handles (row-major `n × m`).
+    pub t_vars: Vec<Var>,
+    /// `z[j]` variable handles.
+    pub z_vars: Vec<Var>,
+    n: usize,
+    m: usize,
+}
+
+/// Builds the DSCT-EA-FR LP for an instance.
+pub fn build_fr_lp(inst: &Instance) -> FrLpModel {
+    let n = inst.num_tasks();
+    let m = inst.num_machines();
+    let machines = inst.machines();
+    let mut model = Model::new(Sense::Max);
+
+    // t_jr ∈ [0, min(d_j, f_j^max / s_r)] — the tight upper bound is
+    // implied by rows but keeping it as a bound helps the simplex.
+    let mut t_vars = Vec::with_capacity(n * m);
+    for j in 0..n {
+        let task = inst.task(j);
+        for r in 0..m {
+            let ub = task.deadline.min(task.f_max() / machines[r].speed());
+            t_vars.push(model.add_var(0.0, 0.0, ub));
+        }
+    }
+    // z_j ∈ [a_j(0), a_j^max], objective weight 1.
+    let mut z_vars = Vec::with_capacity(n);
+    for j in 0..n {
+        let acc = &inst.task(j).accuracy;
+        z_vars.push(model.add_var(1.0, acc.a_min(), acc.a_max()));
+    }
+
+    // Segment epigraph rows: z_j − Σ_r α_jk s_r t_jr ≤ b_jk.
+    for j in 0..n {
+        let acc = &inst.task(j).accuracy;
+        for seg in acc.segments() {
+            // Line through the segment: a(f) = slope·f + intercept.
+            let intercept = seg.a_lo - seg.slope * seg.f_lo;
+            let mut terms: Vec<(Var, f64)> = Vec::with_capacity(m + 1);
+            terms.push((z_vars[j], 1.0));
+            for r in 0..m {
+                terms.push((t_vars[j * m + r], -seg.slope * machines[r].speed()));
+            }
+            model.add_row(Cmp::Le, intercept, &terms);
+        }
+    }
+
+    // EDF prefix deadlines: Σ_{i≤j} t_ir ≤ d_j for every machine.
+    for r in 0..m {
+        for j in 0..n {
+            let terms: Vec<(Var, f64)> = (0..=j).map(|i| (t_vars[i * m + r], 1.0)).collect();
+            model.add_row(Cmp::Le, inst.task(j).deadline, &terms);
+        }
+    }
+
+    // Work caps: Σ_r s_r t_jr ≤ f_j^max.
+    for j in 0..n {
+        let terms: Vec<(Var, f64)> = (0..m)
+            .map(|r| (t_vars[j * m + r], machines[r].speed()))
+            .collect();
+        model.add_row(Cmp::Le, inst.task(j).f_max(), &terms);
+    }
+
+    // Energy budget: Σ_{j,r} P_r t_jr ≤ B.
+    let terms: Vec<(Var, f64)> = (0..n)
+        .flat_map(|j| (0..m).map(move |r| (j, r)))
+        .map(|(j, r)| (t_vars[j * m + r], machines[r].power()))
+        .collect();
+    model.add_row(Cmp::Le, inst.budget(), &terms);
+
+    FrLpModel {
+        model,
+        t_vars,
+        z_vars,
+        n,
+        m,
+    }
+}
+
+/// Result of solving the relaxation through the LP path.
+#[derive(Debug, Clone)]
+pub struct FrLpSolution {
+    /// Solver status.
+    pub status: Status,
+    /// Extracted schedule (valid for `Status::Optimal`).
+    pub schedule: FractionalSchedule,
+    /// Objective `Σ_j z_j` = total accuracy.
+    pub total_accuracy: f64,
+    /// Simplex iterations used.
+    pub iterations: usize,
+}
+
+/// Builds and solves the DSCT-EA-FR LP.
+pub fn solve_fr_lp(inst: &Instance, opts: &SolveOptions) -> Result<FrLpSolution, dsct_lp::LpError> {
+    let built = build_fr_lp(inst);
+    let sol = built.model.solve(opts)?;
+    let mut schedule = FractionalSchedule::zero(built.n, built.m);
+    for j in 0..built.n {
+        for r in 0..built.m {
+            schedule.set_t(j, r, sol.x[built.t_vars[j * built.m + r].index()].max(0.0));
+        }
+    }
+    Ok(FrLpSolution {
+        status: sol.status,
+        schedule,
+        total_accuracy: sol.objective,
+        iterations: sol.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Task;
+    use crate::schedule::ScheduleKind;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_machines::{Machine, MachinePark};
+
+    fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
+        PwlAccuracy::new(points).unwrap()
+    }
+
+    fn small_instance() -> Instance {
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(1000.0, 40.0).unwrap(),
+            Machine::from_efficiency(3000.0, 25.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(0.5, acc(&[(0.0, 0.0), (200.0, 0.5), (600.0, 0.8)])),
+            Task::new(1.0, acc(&[(0.0, 0.0), (400.0, 0.6), (800.0, 0.7)])),
+        ];
+        Instance::new(tasks, park, 30.0).unwrap()
+    }
+
+    #[test]
+    fn lp_solution_is_feasible_and_consistent() {
+        let inst = small_instance();
+        let sol = solve_fr_lp(&inst, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        sol.schedule
+            .validate(&inst, ScheduleKind::Fractional)
+            .unwrap();
+        // The objective equals the recomputed total accuracy: z_j tight.
+        let recomputed = sol.schedule.total_accuracy(&inst);
+        assert!(
+            (sol.total_accuracy - recomputed).abs() < 1e-6,
+            "objective {} vs recomputed {}",
+            sol.total_accuracy,
+            recomputed
+        );
+    }
+
+    #[test]
+    fn unconstrained_instance_reaches_max_accuracy() {
+        let park = MachinePark::new(vec![Machine::from_efficiency(1000.0, 50.0).unwrap()]);
+        let tasks = vec![
+            Task::new(10.0, acc(&[(0.0, 0.1), (100.0, 0.9)])),
+            Task::new(10.0, acc(&[(0.0, 0.1), (100.0, 0.8)])),
+        ];
+        let inst = Instance::new(tasks, park, 1e9).unwrap();
+        let sol = solve_fr_lp(&inst, &SolveOptions::default()).unwrap();
+        assert!((sol.total_accuracy - 1.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_pins_accuracy_at_floor() {
+        let inst = small_instance().with_budget(0.0).unwrap();
+        let sol = solve_fr_lp(&inst, &SolveOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.total_accuracy - inst.total_min_accuracy()).abs() < 1e-6);
+    }
+}

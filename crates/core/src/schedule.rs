@@ -1,0 +1,424 @@
+//! Schedules and feasibility validation.
+
+use crate::problem::Instance;
+use crate::{EPS_ENERGY, EPS_FLOPS, EPS_TIME};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which semantics a schedule claims to satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// The fractional relaxation DSCT-EA-FR: a task may run on several
+    /// machines (even concurrently).
+    Fractional,
+    /// The original DSCT-EA: each task runs on at most one machine.
+    Integral,
+}
+
+/// Feasibility violations found by [`FractionalSchedule::validate`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum Violation {
+    /// A processing time is negative or non-finite.
+    NegativeTime { task: usize, machine: usize, value: f64 },
+    /// The EDF prefix constraint `Σ_{i≤j} t_ir ≤ d_j` fails on a machine.
+    DeadlineExceeded {
+        task: usize,
+        machine: usize,
+        completion: f64,
+        deadline: f64,
+    },
+    /// A task got more work than `f^max`.
+    WorkExceeded { task: usize, flops: f64, f_max: f64 },
+    /// Total energy exceeds the budget.
+    BudgetExceeded { energy: f64, budget: f64 },
+    /// An integral schedule runs a task on more than one machine.
+    SplitTask { task: usize, machines: Vec<usize> },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NegativeTime { task, machine, value } => {
+                write!(f, "t[{task}][{machine}] = {value} < 0")
+            }
+            Violation::DeadlineExceeded {
+                task,
+                machine,
+                completion,
+                deadline,
+            } => write!(
+                f,
+                "task {task} on machine {machine} completes at {completion} > deadline {deadline}"
+            ),
+            Violation::WorkExceeded { task, flops, f_max } => {
+                write!(f, "task {task} gets {flops} GFLOP > f_max {f_max}")
+            }
+            Violation::BudgetExceeded { energy, budget } => {
+                write!(f, "energy {energy} J > budget {budget} J")
+            }
+            Violation::SplitTask { task, machines } => {
+                write!(f, "task {task} split across machines {machines:?}")
+            }
+        }
+    }
+}
+
+/// A processing-time matrix `t[j][r]` (seconds of task `j` on machine `r`).
+///
+/// Serves both the fractional relaxation and integral schedules (where each
+/// row has at most one positive entry). Tasks on a machine are understood to
+/// run in deadline (EDF) order, so the completion time of task `j` on
+/// machine `r` is the prefix sum `Σ_{i≤j} t_ir`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractionalSchedule {
+    n: usize,
+    m: usize,
+    /// Row-major `n × m`.
+    t: Vec<f64>,
+}
+
+impl FractionalSchedule {
+    /// All-zero schedule for `n` tasks and `m` machines.
+    pub fn zero(n: usize, m: usize) -> Self {
+        Self {
+            n,
+            m,
+            t: vec![0.0; n * m],
+        }
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.n
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.m
+    }
+
+    /// Processing time of task `j` on machine `r`.
+    #[inline]
+    pub fn t(&self, j: usize, r: usize) -> f64 {
+        self.t[j * self.m + r]
+    }
+
+    /// Mutable access to `t[j][r]`.
+    #[inline]
+    pub fn t_mut(&mut self, j: usize, r: usize) -> &mut f64 {
+        &mut self.t[j * self.m + r]
+    }
+
+    /// Sets `t[j][r]`.
+    #[inline]
+    pub fn set_t(&mut self, j: usize, r: usize, value: f64) {
+        self.t[j * self.m + r] = value;
+    }
+
+    /// Total processing time of task `j` across machines (seconds).
+    pub fn task_time(&self, j: usize) -> f64 {
+        self.t[j * self.m..(j + 1) * self.m].iter().sum()
+    }
+
+    /// Work received by task `j` in GFLOP: `f_j = Σ_r s_r · t_jr`.
+    pub fn flops(&self, j: usize, inst: &Instance) -> f64 {
+        let ms = inst.machines();
+        (0..self.m).map(|r| ms[r].speed() * self.t(j, r)).sum()
+    }
+
+    /// Accuracy reached by task `j`.
+    pub fn accuracy(&self, j: usize, inst: &Instance) -> f64 {
+        inst.task(j).accuracy.eval(self.flops(j, inst).max(0.0))
+    }
+
+    /// Total accuracy `Σ_j a_j(f_j)` — the paper's objective (maximized).
+    pub fn total_accuracy(&self, inst: &Instance) -> f64 {
+        (0..self.n).map(|j| self.accuracy(j, inst)).sum()
+    }
+
+    /// Average accuracy over tasks.
+    pub fn mean_accuracy(&self, inst: &Instance) -> f64 {
+        self.total_accuracy(inst) / self.n as f64
+    }
+
+    /// Total energy consumed: `Σ_{j,r} P_r · t_jr` (joules).
+    pub fn energy(&self, inst: &Instance) -> f64 {
+        let ms = inst.machines();
+        let mut e = 0.0;
+        for j in 0..self.n {
+            for r in 0..self.m {
+                e += ms[r].power() * self.t(j, r);
+            }
+        }
+        e
+    }
+
+    /// Total busy time of machine `r` (its realized energy-profile entry).
+    pub fn machine_load(&self, r: usize) -> f64 {
+        (0..self.n).map(|j| self.t(j, r)).sum()
+    }
+
+    /// All machine loads — the realized energy profile `p`.
+    pub fn profile(&self) -> Vec<f64> {
+        (0..self.m).map(|r| self.machine_load(r)).collect()
+    }
+
+    /// Machine the task runs on, for integral schedules (`None` if the task
+    /// received no time; picks the machine with positive time).
+    pub fn assigned_machine(&self, j: usize) -> Option<usize> {
+        (0..self.m).find(|&r| self.t(j, r) > EPS_TIME)
+    }
+
+    /// Renders a text timeline of the schedule: one line per machine with
+    /// the EDF-ordered task spans, plus load and energy totals.
+    pub fn render_timeline(&self, inst: &Instance) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let horizon = inst.d_max();
+        let unit = if horizon < 1e-3 {
+            ("µs", 1e6)
+        } else if horizon < 1.0 {
+            ("ms", 1e3)
+        } else {
+            ("s", 1.0)
+        };
+        for r in 0..self.m {
+            let machine = inst.machines()[r];
+            let _ = write!(
+                out,
+                "machine {r} ({:.0} GFLOP/s, {:.0} GFLOPS/W): ",
+                machine.speed(),
+                machine.efficiency()
+            );
+            let mut clock = 0.0;
+            let mut first = true;
+            for j in 0..self.n {
+                let t = self.t(j, r);
+                if t <= EPS_TIME {
+                    continue;
+                }
+                if !first {
+                    out.push_str(" | ");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "task {j} [{:.2}–{:.2} {}]",
+                    clock * unit.1,
+                    (clock + t) * unit.1,
+                    unit.0
+                );
+                clock += t;
+            }
+            if first {
+                out.push_str("idle");
+            }
+            let _ = writeln!(
+                out,
+                "  (busy {:.2} {}, {:.3} J)",
+                clock * unit.1,
+                unit.0,
+                machine.power() * clock
+            );
+        }
+        out
+    }
+
+    /// Validates feasibility against `inst` under the given semantics.
+    pub fn validate(&self, inst: &Instance, kind: ScheduleKind) -> Result<(), Vec<Violation>> {
+        assert_eq!(self.n, inst.num_tasks(), "task count mismatch");
+        assert_eq!(self.m, inst.num_machines(), "machine count mismatch");
+        let mut violations = Vec::new();
+
+        for j in 0..self.n {
+            for r in 0..self.m {
+                let v = self.t(j, r);
+                if !v.is_finite() || v < -EPS_TIME {
+                    violations.push(Violation::NegativeTime {
+                        task: j,
+                        machine: r,
+                        value: v,
+                    });
+                }
+            }
+        }
+
+        // EDF prefix deadlines per machine (binding only where t_jr > 0;
+        // see DESIGN.md — equivalent to the MIP's full constraint set).
+        for r in 0..self.m {
+            let mut prefix = 0.0;
+            for j in 0..self.n {
+                let v = self.t(j, r).max(0.0);
+                prefix += v;
+                let d = inst.task(j).deadline;
+                let tol = EPS_TIME + 1e-9 * d.abs();
+                if v > EPS_TIME && prefix > d + tol {
+                    violations.push(Violation::DeadlineExceeded {
+                        task: j,
+                        machine: r,
+                        completion: prefix,
+                        deadline: d,
+                    });
+                }
+            }
+        }
+
+        for j in 0..self.n {
+            let f = self.flops(j, inst);
+            let f_max = inst.task(j).f_max();
+            if f > f_max + EPS_FLOPS + 1e-9 * f_max {
+                violations.push(Violation::WorkExceeded {
+                    task: j,
+                    flops: f,
+                    f_max,
+                });
+            }
+        }
+
+        let energy = self.energy(inst);
+        let budget = inst.budget();
+        if energy > budget + EPS_ENERGY + 1e-9 * budget {
+            violations.push(Violation::BudgetExceeded { energy, budget });
+        }
+
+        if kind == ScheduleKind::Integral {
+            for j in 0..self.n {
+                let used: Vec<usize> = (0..self.m).filter(|&r| self.t(j, r) > EPS_TIME).collect();
+                if used.len() > 1 {
+                    violations.push(Violation::SplitTask {
+                        task: j,
+                        machines: used,
+                    });
+                }
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Task;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_machines::{Machine, MachinePark};
+
+    fn inst() -> Instance {
+        let acc = PwlAccuracy::new(&[(0.0, 0.0), (1000.0, 0.6), (2000.0, 0.8)]).unwrap();
+        let tasks = vec![Task::new(1.0, acc.clone()), Task::new(2.0, acc)];
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(1000.0, 50.0).unwrap(), // 20 W
+            Machine::from_efficiency(2000.0, 40.0).unwrap(), // 50 W
+        ]);
+        Instance::new(tasks, park, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn metrics_on_simple_schedule() {
+        let inst = inst();
+        let mut s = FractionalSchedule::zero(2, 2);
+        s.set_t(0, 0, 0.5); // 500 GFLOP on m0
+        s.set_t(1, 1, 1.0); // 2000 GFLOP on m1
+        assert!((s.flops(0, &inst) - 500.0).abs() < 1e-9);
+        assert!((s.flops(1, &inst) - 2000.0).abs() < 1e-9);
+        assert!((s.accuracy(0, &inst) - 0.3).abs() < 1e-9);
+        assert!((s.accuracy(1, &inst) - 0.8).abs() < 1e-9);
+        assert!((s.total_accuracy(&inst) - 1.1).abs() < 1e-9);
+        assert!((s.energy(&inst) - (0.5 * 20.0 + 1.0 * 50.0)).abs() < 1e-9);
+        assert_eq!(s.profile(), vec![0.5, 1.0]);
+        assert_eq!(s.assigned_machine(0), Some(0));
+        assert_eq!(s.assigned_machine(1), Some(1));
+        s.validate(&inst, ScheduleKind::Integral).unwrap();
+    }
+
+    #[test]
+    fn detects_deadline_violation() {
+        let inst = inst();
+        let mut s = FractionalSchedule::zero(2, 2);
+        s.set_t(0, 0, 1.5); // completes at 1.5 > d_0 = 1.0
+        let errs = s.validate(&inst, ScheduleKind::Fractional).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::DeadlineExceeded { task: 0, .. })));
+    }
+
+    #[test]
+    fn prefix_deadline_counts_earlier_tasks() {
+        let inst = inst();
+        let mut s = FractionalSchedule::zero(2, 2);
+        s.set_t(0, 0, 0.9);
+        s.set_t(1, 0, 1.2); // completes at 2.1 > d_1 = 2.0
+        let errs = s.validate(&inst, ScheduleKind::Fractional).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::DeadlineExceeded { task: 1, .. })));
+    }
+
+    #[test]
+    fn detects_work_and_budget_violations() {
+        let inst = inst();
+        let mut s = FractionalSchedule::zero(2, 2);
+        s.set_t(0, 0, 1.0);
+        s.set_t(0, 1, 0.6); // f = 1000 + 1200 = 2200 > 2000
+        let errs = s.validate(&inst, ScheduleKind::Fractional).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::WorkExceeded { task: 0, .. })));
+
+        let tight = inst.with_budget(10.0).unwrap();
+        let mut s = FractionalSchedule::zero(2, 2);
+        s.set_t(0, 0, 1.0); // 20 J > 10 J
+        let errs = s.validate(&tight, ScheduleKind::Fractional).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn detects_split_tasks_only_in_integral_mode() {
+        let inst = inst();
+        let mut s = FractionalSchedule::zero(2, 2);
+        s.set_t(0, 0, 0.2);
+        s.set_t(0, 1, 0.2);
+        s.validate(&inst, ScheduleKind::Fractional).unwrap();
+        let errs = s.validate(&inst, ScheduleKind::Integral).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::SplitTask { task: 0, .. })));
+    }
+
+    #[test]
+    fn timeline_renders_spans_and_idle_machines() {
+        let inst = inst();
+        let mut s = FractionalSchedule::zero(2, 2);
+        s.set_t(0, 0, 0.5);
+        s.set_t(1, 0, 0.7);
+        let text = s.render_timeline(&inst);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("task 0") && lines[0].contains("task 1"));
+        assert!(lines[0].contains(" | "), "spans separated: {}", lines[0]);
+        assert!(lines[1].contains("idle"));
+        // Busy time and energy totals appear.
+        assert!(lines[0].contains("busy 1.20 s"));
+    }
+
+    #[test]
+    fn detects_negative_times() {
+        let inst = inst();
+        let mut s = FractionalSchedule::zero(2, 2);
+        s.set_t(0, 0, -0.1);
+        let errs = s.validate(&inst, ScheduleKind::Fractional).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::NegativeTime { .. })));
+    }
+}

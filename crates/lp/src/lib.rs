@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+// Indexed loops over parallel arrays (times/loads/flops per task) are the
+// dominant idiom here and clearer than iterator zips of 3+ sequences.
+#![allow(clippy::needless_range_loop)]
+
+//! A self-contained linear-programming solver: bounded-variable two-phase
+//! revised simplex with a dense explicit basis inverse and sparse columns.
+//!
+//! Built as the general-purpose LP substrate for the DSCT-EA reproduction
+//! (the paper uses MOSEK, which has no offline Rust equivalent). It solves
+//!
+//! ```text
+//! min / max  c'x
+//! s.t.       a_i'x  {≤, =, ≥}  b_i      for every row i
+//!            l ≤ x ≤ u                  (bounds may be infinite)
+//! ```
+//!
+//! Design notes (documented for maintainers):
+//! - Every row gets a slack with bounds encoding its sense (`≤` → `[0, ∞)`,
+//!   `≥` → `(−∞, 0]`, `=` → fixed at 0), so the all-slack basis is the
+//!   identity and the initial basis inverse is exact.
+//! - Phase 1 uses the composite (artificial-free) method: minimize the sum
+//!   of bound violations of basic variables, with the piecewise-linear
+//!   ratio test blocking at the first bound crossed.
+//! - Anti-cycling: Dantzig pricing switches to Bland's rule after a streak
+//!   of degenerate pivots.
+//! - The basis inverse is refreshed (and basic values recomputed) on a
+//!   fixed cadence to bound numerical drift.
+//!
+//! # Example
+//!
+//! ```
+//! use dsct_lp::{Model, Cmp, Sense, Status, SolveOptions};
+//!
+//! // max x + 2y s.t. x + y <= 4, x <= 3, y <= 2, x,y >= 0
+//! let mut m = Model::new(Sense::Max);
+//! let x = m.add_var(1.0, 0.0, 3.0);
+//! let y = m.add_var(2.0, 0.0, 2.0);
+//! m.add_row(Cmp::Le, 4.0, &[(x, 1.0), (y, 1.0)]);
+//! let sol = m.solve(&SolveOptions::default()).unwrap();
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert!((sol.objective - 6.0).abs() < 1e-9); // x = 2, y = 2
+//! ```
+
+mod model;
+mod simplex;
+
+pub use model::{Cmp, LpError, Model, RowId, Sense, SolveOptions, Solution, Status, Var};

@@ -1,0 +1,645 @@
+//! Bounded-variable two-phase revised simplex with a dense explicit basis
+//! inverse. See the crate docs for the method outline.
+
+use crate::model::{Cmp, Model, Sense, SolveOptions, Solution, Status};
+use std::time::Instant;
+
+/// Cadence (in pivots) for recomputing basic values from the basis inverse.
+const XB_REFRESH: usize = 256;
+/// Cadence (in pivots) for full reinversion of the basis.
+const FULL_REFRESH: usize = 4096;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGEN_LIMIT: usize = 40;
+/// Direction entries below this are treated as zero in the ratio test.
+const DIR_TOL: f64 = 1e-11;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStat {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+struct Tableau {
+    /// Rows `m`, total columns `ncols = n_struct + m` (slacks appended).
+    m: usize,
+    n_struct: usize,
+    ncols: usize,
+    /// Sparse columns: `(row, coefficient)` pairs, merged and sorted.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Minimization costs (sense-adjusted; slacks cost 0).
+    c: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    b: Vec<f64>,
+    /// Basis column per row.
+    basis: Vec<usize>,
+    vstat: Vec<VStat>,
+    /// Basic variable values, aligned with `basis`.
+    xb: Vec<f64>,
+    /// Dense basis inverse, row-major `m × m`.
+    binv: Vec<f64>,
+    /// Equilibration row scales (rhs and duals mapping).
+    row_scale: Vec<f64>,
+    /// Equilibration column scales for structural variables
+    /// (`x_original = col_scale · x_scaled`).
+    col_scale: Vec<f64>,
+}
+
+/// Geometric-mean equilibration: alternately scales rows and columns so
+/// coefficient magnitudes cluster near 1. Returns `(row_scales,
+/// col_scales)` for the *structural* columns. Scaling is numerically
+/// transparent: the scaled problem's optimum maps back exactly
+/// (`x_j = c_scale_j · x'_j`), and it markedly improves pivot quality on
+/// LPs mixing magnitudes (the DSCT models span 1e-4 slope terms to 2e4
+/// speed terms).
+fn equilibrate(cols: &mut [Vec<(usize, f64)>], n_struct: usize, m: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut row_scale = vec![1.0f64; m];
+    let mut col_scale = vec![1.0f64; n_struct];
+    for _pass in 0..4 {
+        // Column pass: scale each structural column by 1/sqrt(min·max).
+        for (j, col) in cols.iter_mut().enumerate().take(n_struct) {
+            let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+            for &(_, v) in col.iter() {
+                let a = v.abs();
+                lo = lo.min(a);
+                hi = hi.max(a);
+            }
+            if hi <= 0.0 {
+                continue;
+            }
+            let s = 1.0 / (lo * hi).sqrt();
+            if s.is_finite() && s > 0.0 {
+                for e in col.iter_mut() {
+                    e.1 *= s;
+                }
+                col_scale[j] *= s;
+            }
+        }
+        // Row pass.
+        let mut row_lo = vec![f64::INFINITY; m];
+        let mut row_hi = vec![0.0f64; m];
+        for col in cols.iter().take(n_struct) {
+            for &(i, v) in col {
+                let a = v.abs();
+                row_lo[i] = row_lo[i].min(a);
+                row_hi[i] = row_hi[i].max(a);
+            }
+        }
+        let mut pass_scale = vec![1.0f64; m];
+        for i in 0..m {
+            if row_hi[i] > 0.0 {
+                let s = 1.0 / (row_lo[i] * row_hi[i]).sqrt();
+                if s.is_finite() && s > 0.0 {
+                    pass_scale[i] = s;
+                    row_scale[i] *= s;
+                }
+            }
+        }
+        for col in cols.iter_mut().take(n_struct) {
+            for e in col.iter_mut() {
+                e.1 *= pass_scale[e.0];
+            }
+        }
+    }
+    (row_scale, col_scale)
+}
+
+impl Tableau {
+    fn build(model: &Model) -> Self {
+        let m = model.rows.len();
+        let n_struct = model.cols.len();
+        let ncols = n_struct + m;
+
+        // Transpose row_terms into merged sparse columns.
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        for (i, terms) in model.row_terms.iter().enumerate() {
+            for &(j, v) in terms {
+                if v != 0.0 {
+                    cols[j].push((i, v));
+                }
+            }
+        }
+        for col in cols.iter_mut().take(n_struct) {
+            col.sort_by_key(|&(i, _)| i);
+            // Merge duplicates.
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(col.len());
+            for &(i, v) in col.iter() {
+                if let Some(last) = merged.last_mut() {
+                    if last.0 == i {
+                        last.1 += v;
+                        continue;
+                    }
+                }
+                merged.push((i, v));
+            }
+            merged.retain(|&(_, v)| v != 0.0);
+            *col = merged;
+        }
+
+        let (row_scale, col_scale) = equilibrate(&mut cols, n_struct, m);
+
+        let sign = match model.sense {
+            Sense::Min => 1.0,
+            Sense::Max => -1.0,
+        };
+        let mut c = vec![0.0; ncols];
+        let mut lb = vec![0.0; ncols];
+        let mut ub = vec![0.0; ncols];
+        for (j, col) in model.cols.iter().enumerate() {
+            // With x = col_scale · x', the objective coefficient of x' is
+            // obj · col_scale and the bounds divide by it.
+            c[j] = sign * col.obj * col_scale[j];
+            lb[j] = col.lb / col_scale[j];
+            ub[j] = col.ub / col_scale[j];
+        }
+        let mut b = vec![0.0; m];
+        for (i, row) in model.rows.iter().enumerate() {
+            b[i] = row.rhs * row_scale[i];
+            let s = n_struct + i;
+            cols[s].push((i, 1.0));
+            match row.cmp {
+                Cmp::Le => {
+                    lb[s] = 0.0;
+                    ub[s] = f64::INFINITY;
+                }
+                Cmp::Ge => {
+                    lb[s] = f64::NEG_INFINITY;
+                    ub[s] = 0.0;
+                }
+                Cmp::Eq => {
+                    lb[s] = 0.0;
+                    ub[s] = 0.0;
+                }
+            }
+        }
+
+        let mut vstat = vec![VStat::AtLower; ncols];
+        for (j, stat) in vstat.iter_mut().enumerate().take(n_struct) {
+            *stat = if lb[j].is_finite() {
+                VStat::AtLower
+            } else if ub[j].is_finite() {
+                VStat::AtUpper
+            } else {
+                VStat::AtLower // free variable, held at value 0
+            };
+        }
+        let basis: Vec<usize> = (0..m).map(|i| n_struct + i).collect();
+        for (i, &bj) in basis.iter().enumerate() {
+            vstat[bj] = VStat::Basic(i);
+        }
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+
+        let mut t = Self {
+            m,
+            n_struct,
+            ncols,
+            cols,
+            c,
+            lb,
+            ub,
+            b,
+            basis,
+            vstat,
+            xb: vec![0.0; m],
+            binv,
+            row_scale,
+            col_scale,
+        };
+        t.recompute_xb();
+        t
+    }
+
+    /// Value of a nonbasic variable implied by its status.
+    #[inline]
+    fn nb_value(&self, j: usize) -> f64 {
+        match self.vstat[j] {
+            VStat::Basic(r) => self.xb[r],
+            VStat::AtLower => {
+                if self.lb[j].is_finite() {
+                    self.lb[j]
+                } else {
+                    0.0
+                }
+            }
+            VStat::AtUpper => self.ub[j],
+        }
+    }
+
+    #[inline]
+    fn is_free(&self, j: usize) -> bool {
+        self.lb[j] == f64::NEG_INFINITY && self.ub[j] == f64::INFINITY
+    }
+
+    /// Recomputes `xb = B⁻¹ (b − A_N x_N)` with the current inverse.
+    fn recompute_xb(&mut self) {
+        let m = self.m;
+        let mut r = self.b.clone();
+        for j in 0..self.ncols {
+            if matches!(self.vstat[j], VStat::Basic(_)) {
+                continue;
+            }
+            let v = self.nb_value(j);
+            if v != 0.0 {
+                for &(i, a) in &self.cols[j] {
+                    r[i] -= a * v;
+                }
+            }
+        }
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            self.xb[i] = row.iter().zip(&r).map(|(&bi, &ri)| bi * ri).sum();
+        }
+    }
+
+    /// Full reinversion of the basis via Gauss-Jordan with partial
+    /// pivoting. Returns `false` when the basis is numerically singular.
+    fn reinvert(&mut self) -> bool {
+        let m = self.m;
+        if m == 0 {
+            return true;
+        }
+        // Dense basis matrix, row-major.
+        let mut bmat = vec![0.0; m * m];
+        for (k, &j) in self.basis.iter().enumerate() {
+            for &(i, v) in &self.cols[j] {
+                bmat[i * m + k] = v;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            let mut piv = col;
+            let mut best = bmat[col * m + col].abs();
+            for row in (col + 1)..m {
+                let cand = bmat[row * m + col].abs();
+                if cand > best {
+                    best = cand;
+                    piv = row;
+                }
+            }
+            if best < 1e-12 {
+                return false;
+            }
+            if piv != col {
+                for k in 0..m {
+                    bmat.swap(col * m + k, piv * m + k);
+                    inv.swap(col * m + k, piv * m + k);
+                }
+            }
+            let d = bmat[col * m + col];
+            let dinv = 1.0 / d;
+            for k in 0..m {
+                bmat[col * m + k] *= dinv;
+                inv[col * m + k] *= dinv;
+            }
+            for row in 0..m {
+                if row == col {
+                    continue;
+                }
+                let f = bmat[row * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in 0..m {
+                    bmat[row * m + k] -= f * bmat[col * m + k];
+                    inv[row * m + k] -= f * inv[col * m + k];
+                }
+            }
+        }
+        self.binv = inv;
+        self.recompute_xb();
+        true
+    }
+
+    /// Total bound violation of basic variables.
+    fn infeasibility(&self, ftol: f64) -> f64 {
+        let mut total = 0.0;
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let x = self.xb[i];
+            if x < self.lb[bj] - ftol {
+                total += self.lb[bj] - x;
+            } else if x > self.ub[bj] + ftol {
+                total += x - self.ub[bj];
+            }
+        }
+        total
+    }
+
+    /// Simplex multipliers `y = cB' B⁻¹` for a given basic cost vector.
+    fn multipliers(&self, cb: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (i, &ci) in cb.iter().enumerate() {
+            if ci == 0.0 {
+                continue;
+            }
+            let row = &self.binv[i * m..(i + 1) * m];
+            for (k, yk) in y.iter_mut().enumerate() {
+                *yk += ci * row[k];
+            }
+        }
+        y
+    }
+
+    /// Direction `w = B⁻¹ a_j`.
+    fn ftran(&self, j: usize, w: &mut [f64]) {
+        let m = self.m;
+        w.iter_mut().for_each(|x| *x = 0.0);
+        for &(i, v) in &self.cols[j] {
+            // Add v times column i of binv.
+            for (row, wr) in w.iter_mut().enumerate() {
+                *wr += v * self.binv[row * m + i];
+            }
+        }
+    }
+}
+
+pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Solution {
+    let started = Instant::now();
+    let mut t = Tableau::build(model);
+    let m = t.m;
+    let ftol = opts.feas_tol;
+    let dtol = opts.opt_tol;
+
+    let mut iterations = 0usize;
+    let mut degen_streak = 0usize;
+    let mut pivots_since_xb = 0usize;
+    let mut pivots_since_inv = 0usize;
+    let mut w = vec![0.0; m];
+    let mut cb = vec![0.0; m];
+
+    let status = loop {
+        if iterations >= opts.max_iterations {
+            break Status::IterationLimit;
+        }
+        if let Some(limit) = opts.time_limit {
+            // Checking the clock is cheap relative to an O(m²) iteration.
+            if started.elapsed() >= limit {
+                break Status::TimeLimit;
+            }
+        }
+        if pivots_since_inv >= FULL_REFRESH {
+            t.reinvert();
+            pivots_since_inv = 0;
+            pivots_since_xb = 0;
+        } else if pivots_since_xb >= XB_REFRESH {
+            t.recompute_xb();
+            pivots_since_xb = 0;
+        }
+
+        let infeas = t.infeasibility(ftol);
+        let phase1 = infeas > ftol;
+
+        // Basic cost vector: phase 1 uses the infeasibility gradient.
+        for (i, &bj) in t.basis.iter().enumerate() {
+            cb[i] = if phase1 {
+                if t.xb[i] < t.lb[bj] - ftol {
+                    -1.0
+                } else if t.xb[i] > t.ub[bj] + ftol {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                t.c[bj]
+            };
+        }
+        let y = t.multipliers(&cb);
+
+        // Pricing: Dantzig by default, Bland under a degenerate streak.
+        let bland = degen_streak >= DEGEN_LIMIT;
+        let mut enter: Option<(usize, f64, f64)> = None; // (col, dj, sigma)
+        for j in 0..t.ncols {
+            if matches!(t.vstat[j], VStat::Basic(_)) {
+                continue;
+            }
+            if t.lb[j] == t.ub[j] {
+                continue; // fixed variable can never improve
+            }
+            let cj = if phase1 { 0.0 } else { t.c[j] };
+            let aty: f64 = t.cols[j].iter().map(|&(i, v)| y[i] * v).sum();
+            let dj = cj - aty;
+            let free = t.is_free(j);
+            let can_increase = matches!(t.vstat[j], VStat::AtLower) || free;
+            let can_decrease = matches!(t.vstat[j], VStat::AtUpper) || free;
+            let (ok, sigma) = if can_increase && dj < -dtol {
+                (true, 1.0)
+            } else if can_decrease && dj > dtol {
+                (true, -1.0)
+            } else {
+                (false, 0.0)
+            };
+            if !ok {
+                continue;
+            }
+            if bland {
+                enter = Some((j, dj, sigma));
+                break;
+            }
+            match enter {
+                Some((_, best, _)) if dj.abs() <= best.abs() => {}
+                _ => enter = Some((j, dj, sigma)),
+            }
+        }
+
+        let Some((jin, _dj, sigma)) = enter else {
+            break if phase1 { Status::Infeasible } else { Status::Optimal };
+        };
+
+        t.ftran(jin, &mut w);
+
+        // Ratio test: the entering variable moves by Δ ≥ 0 in direction
+        // sigma; basic i changes at rate `rate_i = −sigma·w_i`.
+        // Each basic blocks at the first bound it crosses (phase-1 variables
+        // currently violating a bound block when they *reach* that bound,
+        // turning feasible).
+        let flip_limit = if t.lb[jin].is_finite() && t.ub[jin].is_finite() {
+            t.ub[jin] - t.lb[jin]
+        } else {
+            f64::INFINITY
+        };
+        // A basic variable blocks only at a bound it is moving *toward*: its
+        // upper bound when increasing (or its lower bound when it currently
+        // violates it from below), and symmetrically when decreasing. A
+        // variable moving away from a bound it violates never blocks.
+        let blocking = |t: &Tableau, i: usize, rate: f64| -> Option<(f64, VStat)> {
+            let bj = t.basis[i];
+            let x = t.xb[i];
+            let (target, hit) = if rate > 0.0 {
+                if x < t.lb[bj] - ftol {
+                    (t.lb[bj], VStat::AtLower)
+                } else if t.ub[bj].is_finite() && x <= t.ub[bj] + ftol {
+                    (t.ub[bj], VStat::AtUpper)
+                } else {
+                    return None;
+                }
+            } else {
+                if x > t.ub[bj] + ftol {
+                    (t.ub[bj], VStat::AtUpper)
+                } else if t.lb[bj].is_finite() && x >= t.lb[bj] - ftol {
+                    (t.lb[bj], VStat::AtLower)
+                } else {
+                    return None;
+                }
+            };
+            Some((((target - x) / rate).max(0.0), hit))
+        };
+        // Two-pass (Harris-style) ratio test: find the minimal blocking
+        // step, then among blockers within a small relaxation of it pick
+        // the row with the largest pivot magnitude (or, under Bland's
+        // rule, the lowest basis column index).
+        let mut min_step = flip_limit;
+        for i in 0..m {
+            let rate = -sigma * w[i];
+            if rate.abs() <= DIR_TOL {
+                continue;
+            }
+            if let Some((step, _)) = blocking(&t, i, rate) {
+                min_step = min_step.min(step);
+            }
+        }
+        let mut leave: Option<(usize, VStat)> = None;
+        let mut best_step = flip_limit;
+        if min_step < f64::INFINITY {
+            let window = min_step + 1e-9 * (1.0 + min_step.abs());
+            let mut best_pivot_mag = 0.0f64;
+            for i in 0..m {
+                let rate = -sigma * w[i];
+                if rate.abs() <= DIR_TOL {
+                    continue;
+                }
+                let Some((step, hit)) = blocking(&t, i, rate) else {
+                    continue;
+                };
+                if step > window {
+                    continue;
+                }
+                let mag = w[i].abs();
+                let better = if bland {
+                    leave.is_none_or(|(r, _)| t.basis[i] < t.basis[r])
+                } else {
+                    mag > best_pivot_mag
+                };
+                if better {
+                    best_pivot_mag = mag;
+                    best_step = step;
+                    leave = Some((i, hit));
+                }
+            }
+            if leave.is_some() && flip_limit < best_step {
+                // The entering variable's own bound flip comes first.
+                leave = None;
+                best_step = flip_limit;
+            }
+        }
+
+        if best_step.is_infinite() {
+            // No blocker and no bound flip.
+            break if phase1 {
+                // Cannot happen for a well-posed phase 1 (a violated basic
+                // always blocks); treat as numerical failure → infeasible.
+                Status::Infeasible
+            } else {
+                Status::Unbounded
+            };
+        }
+
+        let delta = best_step;
+        iterations += 1;
+        if delta <= 1e-12 {
+            degen_streak += 1;
+        } else {
+            degen_streak = 0;
+        }
+
+        match leave {
+            Some((r, hit)) if delta < flip_limit - 1e-12 || flip_limit.is_infinite() => {
+                // Pivot: update basic values, swap basis, update inverse.
+                for i in 0..m {
+                    t.xb[i] += -sigma * w[i] * delta;
+                }
+                let enter_val = t.nb_value(jin) + sigma * delta;
+                let bl = t.basis[r];
+                t.vstat[bl] = hit;
+                t.basis[r] = jin;
+                t.vstat[jin] = VStat::Basic(r);
+                t.xb[r] = enter_val;
+
+                // binv ← E · binv with eta column from w.
+                let piv = w[r];
+                let inv_piv = 1.0 / piv;
+                // Scale pivot row.
+                {
+                    let row = &mut t.binv[r * m..(r + 1) * m];
+                    for v in row.iter_mut() {
+                        *v *= inv_piv;
+                    }
+                }
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let f = w[i];
+                    if f == 0.0 {
+                        continue;
+                    }
+                    // t.binv[i] -= f * t.binv[r]; split borrows via split_at_mut.
+                    let (lo, hi) = if i < r {
+                        let (a, b) = t.binv.split_at_mut(r * m);
+                        (&mut a[i * m..(i + 1) * m], &b[..m])
+                    } else {
+                        let (a, b) = t.binv.split_at_mut(i * m);
+                        (&mut b[..m], &a[r * m..(r + 1) * m])
+                    };
+                    for (li, &hi_v) in lo.iter_mut().zip(hi.iter()) {
+                        *li -= f * hi_v;
+                    }
+                }
+                pivots_since_xb += 1;
+                pivots_since_inv += 1;
+            }
+            _ => {
+                // Bound flip of the entering variable.
+                for i in 0..m {
+                    t.xb[i] += -sigma * w[i] * flip_limit;
+                }
+                t.vstat[jin] = match t.vstat[jin] {
+                    VStat::AtLower => VStat::AtUpper,
+                    VStat::AtUpper => VStat::AtLower,
+                    VStat::Basic(_) => unreachable!("entering variable is nonbasic"),
+                };
+            }
+        }
+    };
+
+    // Extract the solution, undoing the equilibration column scales.
+    let mut x = vec![0.0; t.n_struct];
+    for (j, xj) in x.iter_mut().enumerate() {
+        *xj = t.nb_value(j) * t.col_scale[j];
+    }
+    let min_obj: f64 = (0..t.n_struct).map(|j| t.c[j] * t.nb_value(j)).sum();
+    let objective = match model.sense {
+        Sense::Min => min_obj,
+        Sense::Max => -min_obj,
+    };
+    for (i, &bj) in t.basis.iter().enumerate() {
+        cb[i] = t.c[bj];
+    }
+    let mut duals = t.multipliers(&cb);
+    for (i, d) in duals.iter_mut().enumerate() {
+        *d *= t.row_scale[i];
+    }
+    Solution {
+        status,
+        objective,
+        x,
+        duals,
+        iterations,
+    }
+}

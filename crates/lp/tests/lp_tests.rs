@@ -1,0 +1,361 @@
+//! Correctness tests for the revised-simplex LP solver: hand-verified
+//! textbook problems, pathological cases (degeneracy, infeasibility,
+//! unboundedness), and randomized feasibility/optimality properties.
+
+use dsct_lp::{Cmp, Model, Sense, SolveOptions, Status};
+
+fn solve(m: &Model) -> dsct_lp::Solution {
+    m.solve(&SolveOptions::default()).expect("valid model")
+}
+
+#[test]
+fn simple_max_two_vars() {
+    // max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 (classic Dantzig).
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(3.0, 0.0, f64::INFINITY);
+    let y = m.add_var(5.0, 0.0, f64::INFINITY);
+    m.add_row(Cmp::Le, 4.0, &[(x, 1.0)]);
+    m.add_row(Cmp::Le, 12.0, &[(y, 2.0)]);
+    m.add_row(Cmp::Le, 18.0, &[(x, 3.0), (y, 2.0)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.objective - 36.0).abs() < 1e-8);
+    assert!((s.x[x.index()] - 2.0).abs() < 1e-8);
+    assert!((s.x[y.index()] - 6.0).abs() < 1e-8);
+}
+
+#[test]
+fn min_with_ge_rows_needs_phase1() {
+    // min 2x + 3y s.t. x + y >= 10; x >= 2; y >= 3.
+    let mut m = Model::new(Sense::Min);
+    let x = m.add_var(2.0, 2.0, f64::INFINITY);
+    let y = m.add_var(3.0, 3.0, f64::INFINITY);
+    m.add_row(Cmp::Ge, 10.0, &[(x, 1.0), (y, 1.0)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    // Cheapest to satisfy the row with x: x = 7, y = 3.
+    assert!((s.objective - 23.0).abs() < 1e-8);
+    assert!((s.x[x.index()] - 7.0).abs() < 1e-8);
+}
+
+#[test]
+fn equality_constraints() {
+    // min x + y s.t. x + 2y = 4; 3x + y = 7.  Unique point (2, 1).
+    let mut m = Model::new(Sense::Min);
+    let x = m.add_var(1.0, f64::NEG_INFINITY, f64::INFINITY);
+    let y = m.add_var(1.0, f64::NEG_INFINITY, f64::INFINITY);
+    m.add_row(Cmp::Eq, 4.0, &[(x, 1.0), (y, 2.0)]);
+    m.add_row(Cmp::Eq, 7.0, &[(x, 3.0), (y, 1.0)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.x[x.index()] - 2.0).abs() < 1e-8);
+    assert!((s.x[y.index()] - 1.0).abs() < 1e-8);
+    assert!((s.objective - 3.0).abs() < 1e-8);
+}
+
+#[test]
+fn free_variable_goes_negative() {
+    // min x s.t. x >= -5 encoded as a row (x free).
+    let mut m = Model::new(Sense::Min);
+    let x = m.add_var(1.0, f64::NEG_INFINITY, f64::INFINITY);
+    m.add_row(Cmp::Ge, -5.0, &[(x, 1.0)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.x[x.index()] + 5.0).abs() < 1e-8);
+}
+
+#[test]
+fn detects_infeasible() {
+    // x <= 1 and x >= 2.
+    let mut m = Model::new(Sense::Min);
+    let x = m.add_var(0.0, 0.0, f64::INFINITY);
+    m.add_row(Cmp::Le, 1.0, &[(x, 1.0)]);
+    m.add_row(Cmp::Ge, 2.0, &[(x, 1.0)]);
+    assert_eq!(solve(&m).status, Status::Infeasible);
+}
+
+#[test]
+fn detects_infeasible_equalities() {
+    let mut m = Model::new(Sense::Min);
+    let x = m.add_var(1.0, 0.0, f64::INFINITY);
+    let y = m.add_var(1.0, 0.0, f64::INFINITY);
+    m.add_row(Cmp::Eq, 1.0, &[(x, 1.0), (y, 1.0)]);
+    m.add_row(Cmp::Eq, 3.0, &[(x, 1.0), (y, 1.0)]);
+    assert_eq!(solve(&m).status, Status::Infeasible);
+}
+
+#[test]
+fn detects_unbounded() {
+    // max x + y s.t. x - y <= 1.
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.0, f64::INFINITY);
+    let y = m.add_var(1.0, 0.0, f64::INFINITY);
+    m.add_row(Cmp::Le, 1.0, &[(x, 1.0), (y, -1.0)]);
+    assert_eq!(solve(&m).status, Status::Unbounded);
+}
+
+#[test]
+fn bounded_variables_without_rows() {
+    // max 2x - y with x in [1, 3], y in [2, 5]: x = 3, y = 2.
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(2.0, 1.0, 3.0);
+    let y = m.add_var(-1.0, 2.0, 5.0);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.x[x.index()] - 3.0).abs() < 1e-9);
+    assert!((s.x[y.index()] - 2.0).abs() < 1e-9);
+    assert!((s.objective - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn fixed_variables_are_respected() {
+    // y fixed at 2; max x + y, x + y <= 5.
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.0, f64::INFINITY);
+    let y = m.add_var(1.0, 2.0, 2.0);
+    m.add_row(Cmp::Le, 5.0, &[(x, 1.0), (y, 1.0)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.x[y.index()] - 2.0).abs() < 1e-9);
+    assert!((s.x[x.index()] - 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn upper_bounds_trigger_bound_flips() {
+    // max x1 + x2 + x3 with xi <= 1 each and x1 + x2 + x3 <= 2.5.
+    let mut m = Model::new(Sense::Max);
+    let v: Vec<_> = (0..3).map(|_| m.add_var(1.0, 0.0, 1.0)).collect();
+    m.add_row(Cmp::Le, 2.5, &[(v[0], 1.0), (v[1], 1.0), (v[2], 1.0)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.objective - 2.5).abs() < 1e-8);
+}
+
+#[test]
+fn beale_cycling_example_terminates() {
+    // Beale (1955): classic cycling example for Dantzig pricing without
+    // anti-cycling safeguards.
+    // min -0.75x4 + 150x5 - 0.02x6 + 6x7
+    // s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+    //      0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+    //      x6 <= 1
+    let mut m = Model::new(Sense::Min);
+    let x4 = m.add_var(-0.75, 0.0, f64::INFINITY);
+    let x5 = m.add_var(150.0, 0.0, f64::INFINITY);
+    let x6 = m.add_var(-0.02, 0.0, f64::INFINITY);
+    let x7 = m.add_var(6.0, 0.0, f64::INFINITY);
+    m.add_row(Cmp::Le, 0.0, &[(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)]);
+    m.add_row(Cmp::Le, 0.0, &[(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)]);
+    m.add_row(Cmp::Le, 1.0, &[(x6, 1.0)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.objective - (-0.05)).abs() < 1e-8, "obj = {}", s.objective);
+}
+
+#[test]
+fn duplicate_terms_are_merged() {
+    // max x s.t. 0.5x + 0.5x <= 3  ⇒  x = 3.
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.0, f64::INFINITY);
+    m.add_row(Cmp::Le, 3.0, &[(x, 0.5), (x, 0.5)]);
+    let s = solve(&m);
+    assert!((s.x[x.index()] - 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn degenerate_transportation_problem() {
+    // Degenerate assignment-like LP: min cost flow on 2x2 with balanced
+    // supplies; optimum 28 (ship 10 on the cheap diagonal).
+    let mut m = Model::new(Sense::Min);
+    let c = [[1.0, 4.0], [4.0, 1.0]];
+    let v: Vec<Vec<_>> = c
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&cost| Some(m.add_var(cost, 0.0, f64::INFINITY)))
+                .collect()
+        })
+        .collect();
+    for row in &v {
+        m.add_row(Cmp::Eq, 10.0, &[(row[0].unwrap(), 1.0), (row[1].unwrap(), 1.0)]);
+    }
+    for j in 0..2 {
+        let col: Vec<_> = v.iter().map(|row| (row[j].unwrap(), 1.0)).collect();
+        m.add_row(Cmp::Eq, 10.0, &col);
+    }
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.objective - 20.0).abs() < 1e-8);
+}
+
+#[test]
+fn reports_nan_and_bad_bounds() {
+    let mut m = Model::new(Sense::Min);
+    let x = m.add_var(f64::NAN, 0.0, 1.0);
+    assert!(m.solve(&SolveOptions::default()).is_err());
+    m.set_obj(x, 1.0);
+    m.set_bounds(x, 2.0, 1.0);
+    assert!(m.solve(&SolveOptions::default()).is_err());
+}
+
+#[test]
+fn empty_model_is_an_error() {
+    let m = Model::new(Sense::Min);
+    assert!(matches!(
+        m.solve(&SolveOptions::default()),
+        Err(dsct_lp::LpError::Empty)
+    ));
+}
+
+#[test]
+fn iteration_limit_is_honored() {
+    let mut m = Model::new(Sense::Max);
+    let vars: Vec<_> = (0..20).map(|_| m.add_var(1.0, 0.0, 1.0)).collect();
+    for w in vars.windows(2) {
+        m.add_row(Cmp::Le, 1.5, &[(w[0], 1.0), (w[1], 1.0)]);
+    }
+    let s = m
+        .solve(&SolveOptions {
+            max_iterations: 1,
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(s.status, Status::IterationLimit);
+}
+
+#[test]
+fn rebound_and_resolve_like_branch_and_bound() {
+    // Solve, then tighten a bound the way the MIP solver does, and re-solve.
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.0, 1.0);
+    let y = m.add_var(1.0, 0.0, 1.0);
+    m.add_row(Cmp::Le, 1.5, &[(x, 1.0), (y, 1.0)]);
+    let s = solve(&m);
+    assert!((s.objective - 1.5).abs() < 1e-9);
+    m.set_bounds(x, 1.0, 1.0);
+    let s = solve(&m);
+    assert!((s.objective - 1.5).abs() < 1e-9);
+    assert!((s.x[x.index()] - 1.0).abs() < 1e-9);
+    m.set_bounds(x, 0.0, 0.0);
+    let s = solve(&m);
+    assert!((s.objective - 1.0).abs() < 1e-9);
+    assert!((s.x[y.index()] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn negative_rhs_le_rows() {
+    // min x s.t. -x <= -4  (i.e. x >= 4).
+    let mut m = Model::new(Sense::Min);
+    let x = m.add_var(1.0, 0.0, f64::INFINITY);
+    m.add_row(Cmp::Le, -4.0, &[(x, -1.0)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.x[x.index()] - 4.0).abs() < 1e-8);
+}
+
+#[test]
+fn max_violation_reports_feasibility() {
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.0, 2.0);
+    m.add_row(Cmp::Le, 1.0, &[(x, 1.0)]);
+    assert!(m.max_violation(&[0.5]) < 1e-12);
+    assert!((m.max_violation(&[1.5]) - 0.5).abs() < 1e-12);
+    assert!((m.max_violation(&[-0.25]) - 0.25).abs() < 1e-12);
+}
+
+mod random_properties {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Builds a random LP guaranteed feasible at a known interior point x0
+    /// (every row's rhs is set to a'x0 + slack).
+    fn random_feasible_lp(seed: u64, n: usize, rows: usize) -> (Model, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = Model::new(Sense::Max);
+        let mut x0 = Vec::with_capacity(n);
+        let mut vars = Vec::with_capacity(n);
+        for _ in 0..n {
+            let lb = rng.gen_range(-3.0..0.0);
+            let ub = lb + rng.gen_range(0.5..5.0);
+            let obj = rng.gen_range(-2.0..2.0);
+            vars.push(m.add_var(obj, lb, ub));
+            let t: f64 = rng.gen_range(0.0..1.0);
+            x0.push(lb + t * (ub - lb));
+        }
+        for _ in 0..rows {
+            let terms: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(-1.0..1.0)))
+                .collect();
+            let lhs: f64 = terms.iter().map(|&(v, c)| c * x0[v.index()]).sum();
+            let slack = rng.gen_range(0.0..2.0);
+            if rng.gen_bool(0.5) {
+                m.add_row(Cmp::Le, lhs + slack, &terms);
+            } else {
+                m.add_row(Cmp::Ge, lhs - slack, &terms);
+            }
+        }
+        (m, x0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Feasible bounded LPs solve to optimality with a feasible point
+        /// at least as good as the known interior point.
+        #[test]
+        fn random_feasible_lps_are_solved(seed in 0u64..10_000, n in 1usize..8, rows in 0usize..10) {
+            let (m, x0) = random_feasible_lp(seed, n, rows);
+            let s = m.solve(&SolveOptions::default()).unwrap();
+            prop_assert_eq!(s.status, Status::Optimal);
+            prop_assert!(m.max_violation(&s.x) < 1e-6,
+                "violation {}", m.max_violation(&s.x));
+            let base = m.objective_value(&x0);
+            prop_assert!(s.objective >= base - 1e-6,
+                "objective {} worse than known feasible {}", s.objective, base);
+        }
+
+        /// Optimal basic solutions satisfy weak duality against random
+        /// feasible points sampled inside the box.
+        #[test]
+        fn optimal_dominates_random_feasible_points(seed in 0u64..5_000) {
+            let (m, _) = random_feasible_lp(seed, 5, 6);
+            let s = m.solve(&SolveOptions::default()).unwrap();
+            prop_assert_eq!(s.status, Status::Optimal);
+            // Sample candidate points; every feasible one must not beat
+            // the reported optimum.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdead_beef);
+            for _ in 0..50 {
+                let cand: Vec<f64> = (0..m.num_vars()).map(|j| {
+                    let (lb, ub) = m.bounds(dsct_lp::Var::from_index(j));
+                    let t: f64 = rng.gen_range(0.0..1.0);
+                    lb + t * (ub - lb)
+                }).collect();
+                if m.max_violation(&cand) < 1e-9 {
+                    prop_assert!(m.objective_value(&cand) <= s.objective + 1e-6);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ill_conditioned_coefficients_solve_cleanly() {
+    // Magnitudes spanning 9 orders, like the DSCT model's slopes (1e-4)
+    // against speeds (2e4) — equilibration keeps the pivots sane.
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1e-6, 0.0, f64::INFINITY);
+    let y = m.add_var(2e3, 0.0, f64::INFINITY);
+    m.add_row(Cmp::Le, 5e4, &[(x, 1e-4), (y, 2e4)]);
+    m.add_row(Cmp::Le, 7.0, &[(x, 3e-5), (y, 1e-3)]);
+    let s = solve(&m);
+    assert_eq!(s.status, Status::Optimal);
+    assert!(m.max_violation(&s.x) < 1e-6);
+    // Row 1 binds at y = 2.5 and leaves x no room (trading y for x loses
+    // 10× the objective): optimum (x, y) = (0, 2.5), objective 5000.
+    assert!((s.x[y.index()] - 2.5).abs() < 1e-6, "y = {}", s.x[y.index()]);
+    assert!(s.x[x.index()].abs() < 1e-6, "x = {}", s.x[x.index()]);
+    assert!((s.objective - 5000.0).abs() < 1e-4, "obj = {}", s.objective);
+}

@@ -1,0 +1,82 @@
+//! Random machine-park samplers matching the paper's experimental setup:
+//! speeds uniform in 1–20 TFLOPS and energy efficiencies uniform in
+//! 5–60 GFLOPS/W (values from the Desislavov et al. survey).
+
+use crate::{Machine, MachinePark};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Sampling ranges for random machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSampler {
+    /// Speed range in GFLOP/s (inclusive bounds).
+    pub speed_gflops: (f64, f64),
+    /// Efficiency range in GFLOPS/W (inclusive bounds).
+    pub efficiency: (f64, f64),
+}
+
+impl MachineSampler {
+    /// The paper's ranges: 1–20 TFLOPS, 5–60 GFLOPS/W.
+    pub const PAPER: MachineSampler = MachineSampler {
+        speed_gflops: (1_000.0, 20_000.0),
+        efficiency: (5.0, 60.0),
+    };
+
+    /// Samples one machine.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Machine {
+        let (s_lo, s_hi) = self.speed_gflops;
+        let (e_lo, e_hi) = self.efficiency;
+        assert!(s_lo > 0.0 && s_hi >= s_lo, "invalid speed range");
+        assert!(e_lo > 0.0 && e_hi >= e_lo, "invalid efficiency range");
+        let speed = rng.gen_range(s_lo..=s_hi);
+        let eff = rng.gen_range(e_lo..=e_hi);
+        Machine::from_efficiency(speed, eff).expect("ranges are positive")
+    }
+
+    /// Samples a park of `m` machines.
+    pub fn sample_park<R: Rng + ?Sized>(&self, rng: &mut R, m: usize) -> MachinePark {
+        assert!(m >= 1, "need at least one machine");
+        MachinePark::new((0..m).map(|_| self.sample(rng)).collect())
+    }
+}
+
+impl Default for MachineSampler {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let s = MachineSampler::PAPER;
+        for _ in 0..200 {
+            let m = s.sample(&mut rng);
+            assert!((1_000.0..=20_000.0).contains(&m.speed()));
+            assert!((5.0..=60.0).contains(&m.efficiency()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = MachineSampler::PAPER;
+        let a = s.sample_park(&mut ChaCha8Rng::seed_from_u64(42), 5);
+        let b = s.sample_park(&mut ChaCha8Rng::seed_from_u64(42), 5);
+        assert_eq!(a, b);
+        let c = s.sample_park(&mut ChaCha8Rng::seed_from_u64(43), 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        MachineSampler::PAPER.sample_park(&mut rng, 0);
+    }
+}

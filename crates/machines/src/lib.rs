@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Machine and GPU substrate for the DSCT-EA scheduler.
+//!
+//! Machines are characterized by their speed `s_r` (GFLOP/s), power draw
+//! `P_r` (W), and energy efficiency `E_r = s_r / P_r` (GFLOP/J, equivalently
+//! GFLOPS/W) — the three quantities the DSCT-EA problem formulation uses.
+//!
+//! The [`catalog`] module ships a static table of published NVIDIA
+//! server-GPU spec points reproducing the efficiency-vs-speed trend of
+//! Fig. 1 of the paper (after Desislavov et al., *Sustainable Computing*
+//! 2023), and [`gen`] provides the uniform samplers the paper's experiments
+//! draw machines from (speeds 1–20 TFLOPS, efficiencies 5–60 GFLOPS/W).
+
+pub mod catalog;
+pub mod gen;
+mod machine;
+mod park;
+
+pub use machine::{Machine, MachineError};
+pub use park::MachinePark;

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! A branch-and-bound mixed-integer programming solver on top of
+//! [`dsct_lp`]'s revised simplex.
+//!
+//! Built as the workspace substitute for the commercial cvx-MOSEK solver the
+//! DSCT-EA paper uses for its exact baseline (`DSCT-EA-Opt`). Features:
+//!
+//! - best-first search on the LP relaxation bound;
+//! - most-fractional branching;
+//! - a fix-and-dive rounding heuristic to find incumbents early;
+//! - wall-clock time limit (the paper runs its solver with a 60 s cap) and
+//!   node limit, both reporting the best incumbent and bound on expiry;
+//! - absolute/relative optimality gaps.
+//!
+//! # Example
+//!
+//! ```
+//! use dsct_lp::{Model, Cmp, Sense};
+//! use dsct_mip::{solve_mip, MipOptions, MipStatus};
+//!
+//! // 0/1 knapsack: max 10a + 13b + 7c, 3a + 4b + 2c <= 6.
+//! let mut m = Model::new(Sense::Max);
+//! let a = m.add_var(10.0, 0.0, 1.0);
+//! let b = m.add_var(13.0, 0.0, 1.0);
+//! let c = m.add_var(7.0, 0.0, 1.0);
+//! m.add_row(Cmp::Le, 6.0, &[(a, 3.0), (b, 4.0), (c, 2.0)]);
+//! let sol = solve_mip(&m, &[a, b, c], &MipOptions::default()).unwrap();
+//! assert_eq!(sol.status, MipStatus::Optimal);
+//! assert!((sol.objective - 20.0).abs() < 1e-6); // b + c
+//! ```
+
+mod solver;
+
+pub use solver::{solve_mip, MipError, MipOptions, MipSolution, MipStatus};

@@ -1,0 +1,461 @@
+use dsct_lp::{Model, Sense, SolveOptions, Status as LpStatus, Var};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors detected before branch and bound starts.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum MipError {
+    /// An integer variable has an infinite bound; branching could diverge.
+    UnboundedInteger { var: usize, lb: f64, ub: f64 },
+    /// The underlying LP model is malformed.
+    Lp(dsct_lp::LpError),
+}
+
+impl fmt::Display for MipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MipError::UnboundedInteger { var, lb, ub } => {
+                write!(f, "integer variable {var} has unbounded range [{lb}, {ub}]")
+            }
+            MipError::Lp(e) => write!(f, "LP error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MipError {}
+
+impl From<dsct_lp::LpError> for MipError {
+    fn from(e: dsct_lp::LpError) -> Self {
+        MipError::Lp(e)
+    }
+}
+
+/// Termination status of a MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Proven optimal (within the configured gaps).
+    Optimal,
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// Time expired; `objective`/`x` hold the best incumbent if any.
+    TimeLimit,
+    /// Node budget exhausted; best incumbent reported if any.
+    NodeLimit,
+}
+
+/// Branch-and-bound options.
+#[derive(Debug, Clone, Copy)]
+pub struct MipOptions {
+    /// Wall-clock limit across the whole search (also bounds each LP solve).
+    pub time_limit: Option<Duration>,
+    /// Maximum number of explored nodes.
+    pub max_nodes: usize,
+    /// Integrality tolerance: `|x − round(x)| ≤ int_tol` counts as integral.
+    pub int_tol: f64,
+    /// Absolute optimality gap for pruning and termination.
+    pub gap_abs: f64,
+    /// Relative optimality gap for pruning and termination.
+    pub gap_rel: f64,
+    /// Options forwarded to each LP relaxation solve.
+    pub lp: SolveOptions,
+    /// Run the fix-and-dive rounding heuristic every this many nodes
+    /// (0 disables; it always runs at the root).
+    pub dive_every: usize,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        Self {
+            time_limit: None,
+            max_nodes: 1_000_000,
+            int_tol: 1e-6,
+            gap_abs: 1e-9,
+            gap_rel: 1e-9,
+            lp: SolveOptions::default(),
+            dive_every: 64,
+        }
+    }
+}
+
+/// Result of a MIP solve.
+#[derive(Debug, Clone)]
+pub struct MipSolution {
+    /// Termination status.
+    pub status: MipStatus,
+    /// Objective of the best incumbent (model sense); meaningful only when
+    /// [`MipSolution::found_incumbent`] is true.
+    pub objective: f64,
+    /// Best proven bound on the optimum (model sense).
+    pub best_bound: f64,
+    /// Best incumbent solution (structural variables).
+    pub x: Vec<f64>,
+    /// Whether any integer-feasible solution was found.
+    pub found_incumbent: bool,
+    /// Nodes explored.
+    pub nodes: usize,
+    /// Total LP simplex iterations across all nodes.
+    pub lp_iterations: usize,
+}
+
+/// One open node: the bound overrides along its path from the root, plus
+/// the LP bound of its parent (used for best-first ordering and pruning).
+struct Node {
+    overrides: Vec<(usize, f64, f64)>,
+    parent_bound: f64,
+    /// Heap priority: higher is explored first.
+    priority: f64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .partial_cmp(&other.priority)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Solves `model` with the listed variables required integral.
+pub fn solve_mip(model: &Model, int_vars: &[Var], opts: &MipOptions) -> Result<MipSolution, MipError> {
+    for &v in int_vars {
+        let (lb, ub) = model.bounds(v);
+        if !lb.is_finite() || !ub.is_finite() {
+            return Err(MipError::UnboundedInteger {
+                var: v.index(),
+                lb,
+                ub,
+            });
+        }
+    }
+
+    let started = Instant::now();
+    let sense = model_sense(model);
+    // `better(a, b)`: a strictly improves on b in the model's sense.
+    let better = |a: f64, b: f64| match sense {
+        Sense::Max => a > b,
+        Sense::Min => a < b,
+    };
+    let worst = match sense {
+        Sense::Max => f64::NEG_INFINITY,
+        Sense::Min => f64::INFINITY,
+    };
+
+    let mut incumbent: Option<Vec<f64>> = None;
+    let mut incumbent_obj = worst;
+    let mut nodes_explored = 0usize;
+    let mut lp_iterations = 0usize;
+    let mut scratch = model.clone();
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    heap.push(Node {
+        overrides: Vec::new(),
+        parent_bound: -worst, // most optimistic
+        priority: f64::INFINITY,
+    });
+
+    let mut status = MipStatus::Optimal;
+    let mut root_unbounded = false;
+    let mut root_infeasible = false;
+    let mut saw_root = false;
+
+    while let Some(node) = heap.pop() {
+        // Pruning against the incumbent using the parent bound.
+        if incumbent.is_some() && !passes_gap(node.parent_bound, incumbent_obj, sense, opts) {
+            continue;
+        }
+        if nodes_explored >= opts.max_nodes {
+            status = MipStatus::NodeLimit;
+            break;
+        }
+        if let Some(limit) = opts.time_limit {
+            if started.elapsed() >= limit {
+                status = MipStatus::TimeLimit;
+                break;
+            }
+        }
+        nodes_explored += 1;
+
+        // Apply the node's bound overrides to the scratch model.
+        apply_overrides(&mut scratch, model, &node.overrides);
+        let lp_opts = lp_opts_with_remaining(opts, started);
+        let sol = scratch.solve(&lp_opts)?;
+        lp_iterations += sol.iterations;
+
+        match sol.status {
+            LpStatus::Infeasible => {
+                if !saw_root {
+                    root_infeasible = true;
+                }
+                saw_root = true;
+                continue;
+            }
+            LpStatus::Unbounded => {
+                if !saw_root {
+                    root_unbounded = true;
+                    break;
+                }
+                // A child cannot be unbounded if the root was bounded, but
+                // guard anyway: treat as un-prunable and skip.
+                continue;
+            }
+            LpStatus::TimeLimit => {
+                status = MipStatus::TimeLimit;
+                break;
+            }
+            LpStatus::IterationLimit => {
+                // Cannot trust the bound: conservatively stop the search.
+                status = MipStatus::NodeLimit;
+                break;
+            }
+            LpStatus::Optimal => {}
+        }
+        saw_root = true;
+
+        let bound = sol.objective;
+        if incumbent.is_some() && !passes_gap(bound, incumbent_obj, sense, opts) {
+            continue;
+        }
+
+        // Integrality check.
+        let frac_var = most_fractional(&sol.x, int_vars, opts.int_tol);
+        match frac_var {
+            None => {
+                // Integer feasible: candidate incumbent.
+                if incumbent.is_none() || better(bound, incumbent_obj) {
+                    incumbent_obj = bound;
+                    incumbent = Some(sol.x.clone());
+                }
+                continue;
+            }
+            Some((v, xv)) => {
+                // Optional dive heuristic before branching.
+                let dive_now = node.overrides.is_empty()
+                    || (opts.dive_every > 0 && nodes_explored.is_multiple_of(opts.dive_every));
+                if dive_now {
+                    if let Some((obj, x)) =
+                        dive(&mut scratch, model, &node.overrides, int_vars, &sol.x, opts, started)
+                    {
+                        if incumbent.is_none() || better(obj, incumbent_obj) {
+                            incumbent_obj = obj;
+                            incumbent = Some(x);
+                        }
+                    }
+                }
+
+                let (lb, ub) = effective_bounds(model, &node.overrides, v.index());
+                let floor = xv.floor();
+                let ceil = xv.ceil();
+                // Down child: ub = floor(x).
+                if floor >= lb - opts.int_tol {
+                    let mut o = node.overrides.clone();
+                    o.push((v.index(), lb, floor.min(ub)));
+                    heap.push(Node {
+                        overrides: o,
+                        parent_bound: bound,
+                        priority: priority_of(bound, sense),
+                    });
+                }
+                // Up child: lb = ceil(x).
+                if ceil <= ub + opts.int_tol {
+                    let mut o = node.overrides.clone();
+                    o.push((v.index(), ceil.max(lb), ub));
+                    heap.push(Node {
+                        overrides: o,
+                        parent_bound: bound,
+                        priority: priority_of(bound, sense),
+                    });
+                }
+            }
+        }
+    }
+
+    if root_unbounded {
+        return Ok(MipSolution {
+            status: MipStatus::Unbounded,
+            objective: worst,
+            best_bound: -worst,
+            x: Vec::new(),
+            found_incumbent: false,
+            nodes: nodes_explored,
+            lp_iterations,
+        });
+    }
+    if root_infeasible && incumbent.is_none() && heap.is_empty() && status == MipStatus::Optimal {
+        return Ok(MipSolution {
+            status: MipStatus::Infeasible,
+            objective: worst,
+            best_bound: worst,
+            x: Vec::new(),
+            found_incumbent: false,
+            nodes: nodes_explored,
+            lp_iterations,
+        });
+    }
+
+    // Best bound: the best open-node parent bound, or the incumbent when
+    // the tree is exhausted.
+    let open_bound = heap
+        .iter()
+        .map(|n| n.parent_bound)
+        .fold(None, |acc: Option<f64>, b| {
+            Some(match acc {
+                None => b,
+                Some(a) => {
+                    if better(b, a) {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            })
+        });
+    let best_bound = match (open_bound, status) {
+        (_, MipStatus::Optimal) => {
+            if incumbent.is_some() {
+                incumbent_obj
+            } else {
+                worst
+            }
+        }
+        (Some(b), _) => b,
+        (None, _) => incumbent_obj,
+    };
+
+    // Exhausted tree with no incumbent means infeasible.
+    if status == MipStatus::Optimal && incumbent.is_none() {
+        status = MipStatus::Infeasible;
+    }
+
+    let found_incumbent = incumbent.is_some();
+    Ok(MipSolution {
+        status,
+        objective: incumbent_obj,
+        best_bound,
+        x: incumbent.unwrap_or_default(),
+        found_incumbent,
+        nodes: nodes_explored,
+        lp_iterations,
+    })
+}
+
+fn model_sense(model: &Model) -> Sense {
+    // Model does not expose its sense; recover it via a probe objective.
+    // (Cheaper than threading an accessor everywhere would be adding one to
+    // dsct_lp — which we do; keep this wrapper for clarity.)
+    model.sense()
+}
+
+fn priority_of(bound: f64, sense: Sense) -> f64 {
+    match sense {
+        Sense::Max => bound,
+        Sense::Min => -bound,
+    }
+}
+
+/// Whether a node with relaxation bound `bound` can still beat the
+/// incumbent by more than the configured gaps.
+fn passes_gap(bound: f64, incumbent: f64, sense: Sense, opts: &MipOptions) -> bool {
+    let margin = opts.gap_abs.max(opts.gap_rel * incumbent.abs());
+    match sense {
+        Sense::Max => bound > incumbent + margin,
+        Sense::Min => bound < incumbent - margin,
+    }
+}
+
+fn apply_overrides(scratch: &mut Model, base: &Model, overrides: &[(usize, f64, f64)]) {
+    // Reset every previously overridden bound by copying from the base.
+    for j in 0..base.num_vars() {
+        let v = Var::from_index(j);
+        let (lb, ub) = base.bounds(v);
+        scratch.set_bounds(v, lb, ub);
+    }
+    for &(j, lb, ub) in overrides {
+        scratch.set_bounds(Var::from_index(j), lb, ub);
+    }
+}
+
+fn effective_bounds(base: &Model, overrides: &[(usize, f64, f64)], j: usize) -> (f64, f64) {
+    let mut bounds = base.bounds(Var::from_index(j));
+    for &(k, lb, ub) in overrides {
+        if k == j {
+            bounds = (lb, ub);
+        }
+    }
+    bounds
+}
+
+fn most_fractional(x: &[f64], int_vars: &[Var], tol: f64) -> Option<(Var, f64)> {
+    let mut best: Option<(Var, f64, f64)> = None; // (var, value, fractionality)
+    for &v in int_vars {
+        let xv = x[v.index()];
+        let frac = (xv - xv.round()).abs();
+        if frac > tol {
+            let score = (xv - xv.floor() - 0.5).abs(); // 0 = most fractional
+            match best {
+                Some((_, _, s)) if score >= s => {}
+                _ => best = Some((v, xv, score)),
+            }
+        }
+    }
+    best.map(|(v, xv, _)| (v, xv))
+}
+
+/// Fix-and-dive heuristic: round every integer variable of the relaxation
+/// point and solve the remaining LP. Returns an integer-feasible point and
+/// its objective when the dive succeeds.
+fn dive(
+    scratch: &mut Model,
+    base: &Model,
+    overrides: &[(usize, f64, f64)],
+    int_vars: &[Var],
+    relax_x: &[f64],
+    opts: &MipOptions,
+    started: Instant,
+) -> Option<(f64, Vec<f64>)> {
+    apply_overrides(scratch, base, overrides);
+    for &v in int_vars {
+        let (lb, ub) = effective_bounds(base, overrides, v.index());
+        // Round, then snap into the node's bounds; when no integral value
+        // fits the bounds the dive cannot produce an integer point.
+        let (ilo, ihi) = (lb.ceil(), ub.floor());
+        if ilo > ihi {
+            return None;
+        }
+        let r = relax_x[v.index()].round().clamp(ilo, ihi);
+        scratch.set_bounds(v, r, r);
+    }
+    let lp_opts = lp_opts_with_remaining(opts, started);
+    let sol = scratch.solve(&lp_opts).ok()?;
+    if sol.status != LpStatus::Optimal {
+        return None;
+    }
+    // All integer vars are fixed at integral values, so this is feasible.
+    Some((sol.objective, sol.x))
+}
+
+fn lp_opts_with_remaining(opts: &MipOptions, started: Instant) -> SolveOptions {
+    let mut lp = opts.lp;
+    if let Some(limit) = opts.time_limit {
+        let remaining = limit.saturating_sub(started.elapsed());
+        lp.time_limit = Some(match lp.time_limit {
+            Some(existing) => existing.min(remaining),
+            None => remaining,
+        });
+    }
+    lp
+}

@@ -1,0 +1,220 @@
+//! Correctness tests for the branch-and-bound MIP solver, including a
+//! randomized cross-check against exhaustive enumeration of binary
+//! assignments.
+
+use dsct_lp::{Cmp, Model, Sense, Var};
+use dsct_mip::{solve_mip, MipOptions, MipStatus};
+use std::time::Duration;
+
+#[test]
+fn knapsack_small() {
+    // max 60a + 100b + 120c s.t. 10a + 20b + 30c <= 50, binary.
+    // Optimum: b + c = 220.
+    let mut m = Model::new(Sense::Max);
+    let a = m.add_var(60.0, 0.0, 1.0);
+    let b = m.add_var(100.0, 0.0, 1.0);
+    let c = m.add_var(120.0, 0.0, 1.0);
+    m.add_row(Cmp::Le, 50.0, &[(a, 10.0), (b, 20.0), (c, 30.0)]);
+    let s = solve_mip(&m, &[a, b, c], &MipOptions::default()).unwrap();
+    assert_eq!(s.status, MipStatus::Optimal);
+    assert!((s.objective - 220.0).abs() < 1e-6);
+    assert!(s.x[a.index()] < 0.5 && s.x[b.index()] > 0.5 && s.x[c.index()] > 0.5);
+}
+
+#[test]
+fn general_integers() {
+    // max x + y, 2x + 3y <= 12, x <= 4, integer. LP opt (4, 4/3);
+    // integer opt x = 4, y = 1 → 5 (also x = 3, y = 2 → 5).
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.0, 4.0);
+    let y = m.add_var(1.0, 0.0, 10.0);
+    m.add_row(Cmp::Le, 12.0, &[(x, 2.0), (y, 3.0)]);
+    let s = solve_mip(&m, &[x, y], &MipOptions::default()).unwrap();
+    assert_eq!(s.status, MipStatus::Optimal);
+    assert!((s.objective - 5.0).abs() < 1e-6);
+    for &v in &[x, y] {
+        let xv = s.x[v.index()];
+        assert!((xv - xv.round()).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn minimization_sense() {
+    // min x + y s.t. x + y >= 1.5, binary ⇒ both must be 1 (cost 2).
+    let mut m = Model::new(Sense::Min);
+    let x = m.add_var(1.0, 0.0, 1.0);
+    let y = m.add_var(1.0, 0.0, 1.0);
+    m.add_row(Cmp::Ge, 1.5, &[(x, 1.0), (y, 1.0)]);
+    let s = solve_mip(&m, &[x, y], &MipOptions::default()).unwrap();
+    assert_eq!(s.status, MipStatus::Optimal);
+    assert!((s.objective - 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn detects_integer_infeasible() {
+    // 0.4 <= x <= 0.6 has no integer point.
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.4, 0.6);
+    let s = solve_mip(&m, &[x], &MipOptions::default()).unwrap();
+    assert_eq!(s.status, MipStatus::Infeasible);
+    assert!(!s.found_incumbent);
+}
+
+#[test]
+fn detects_lp_infeasible() {
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.0, 1.0);
+    m.add_row(Cmp::Ge, 2.0, &[(x, 1.0)]);
+    let s = solve_mip(&m, &[x], &MipOptions::default()).unwrap();
+    assert_eq!(s.status, MipStatus::Infeasible);
+}
+
+#[test]
+fn rejects_unbounded_integer_vars() {
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(1.0, 0.0, f64::INFINITY);
+    assert!(solve_mip(&m, &[x], &MipOptions::default()).is_err());
+}
+
+#[test]
+fn continuous_vars_stay_continuous() {
+    // max 2x + y with binary x and continuous y: x + y <= 1.5.
+    let mut m = Model::new(Sense::Max);
+    let x = m.add_var(2.0, 0.0, 1.0);
+    let y = m.add_var(1.0, 0.0, 1.0);
+    m.add_row(Cmp::Le, 1.5, &[(x, 1.0), (y, 1.0)]);
+    let s = solve_mip(&m, &[x], &MipOptions::default()).unwrap();
+    assert_eq!(s.status, MipStatus::Optimal);
+    assert!((s.x[x.index()] - 1.0).abs() < 1e-6);
+    assert!((s.x[y.index()] - 0.5).abs() < 1e-6);
+    assert!((s.objective - 2.5).abs() < 1e-6);
+}
+
+#[test]
+fn pure_lp_when_no_integers() {
+    let mut m = Model::new(Sense::Max);
+    let _x = m.add_var(1.0, 0.0, 2.5);
+    let s = solve_mip(&m, &[], &MipOptions::default()).unwrap();
+    assert_eq!(s.status, MipStatus::Optimal);
+    assert!((s.objective - 2.5).abs() < 1e-9);
+}
+
+#[test]
+fn time_limit_returns_incumbent() {
+    // A combinatorial problem large enough to not finish instantly, with a
+    // zero time limit: must return TimeLimit without panicking.
+    let n = 25;
+    let mut m = Model::new(Sense::Max);
+    let vars: Vec<Var> = (0..n).map(|i| m.add_var(((i * 7) % 11) as f64 + 0.5, 0.0, 1.0)).collect();
+    let terms: Vec<(Var, f64)> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, ((i * 13) % 17) as f64 + 1.0))
+        .collect();
+    m.add_row(Cmp::Le, 40.0, &terms);
+    let opts = MipOptions {
+        time_limit: Some(Duration::from_millis(0)),
+        ..Default::default()
+    };
+    let s = solve_mip(&m, &vars, &opts).unwrap();
+    assert_eq!(s.status, MipStatus::TimeLimit);
+}
+
+#[test]
+fn node_limit_is_honored() {
+    let n = 12;
+    let mut m = Model::new(Sense::Max);
+    let vars: Vec<Var> = (0..n).map(|_| m.add_var(1.0, 0.0, 1.0)).collect();
+    let terms: Vec<(Var, f64)> = vars.iter().map(|&v| (v, 2.0)).collect();
+    m.add_row(Cmp::Le, n as f64 - 0.5, &terms);
+    let opts = MipOptions {
+        max_nodes: 1,
+        dive_every: 0,
+        ..Default::default()
+    };
+    let s = solve_mip(&m, &vars, &opts).unwrap();
+    // One node cannot prove optimality here (fractional LP optimum).
+    assert!(matches!(s.status, MipStatus::NodeLimit | MipStatus::Optimal));
+    assert!(s.nodes <= 2);
+}
+
+#[test]
+fn best_bound_brackets_objective() {
+    let mut m = Model::new(Sense::Max);
+    let a = m.add_var(5.0, 0.0, 1.0);
+    let b = m.add_var(4.0, 0.0, 1.0);
+    let c = m.add_var(3.0, 0.0, 1.0);
+    m.add_row(Cmp::Le, 10.0, &[(a, 2.0), (b, 3.0), (c, 1.0)]);
+    m.add_row(Cmp::Le, 7.0, &[(a, 4.0), (b, 1.0), (c, 2.0)]);
+    let s = solve_mip(&m, &[a, b, c], &MipOptions::default()).unwrap();
+    assert_eq!(s.status, MipStatus::Optimal);
+    assert!(s.best_bound >= s.objective - 1e-9);
+    assert!((s.best_bound - s.objective).abs() < 1e-6);
+}
+
+mod brute_force_cross_check {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Random binary program with `n ≤ 10` variables and a few `≤` rows;
+    /// rows are anchored to keep x = 0 feasible, so an optimum exists.
+    fn random_bip(seed: u64, n: usize, rows: usize) -> (Model, Vec<Var>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = Model::new(Sense::Max);
+        let vars: Vec<Var> = (0..n)
+            .map(|_| m.add_var(rng.gen_range(-3.0..5.0), 0.0, 1.0))
+            .collect();
+        for _ in 0..rows {
+            let terms: Vec<(Var, f64)> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(-2.0..3.0)))
+                .collect();
+            m.add_row(Cmp::Le, rng.gen_range(0.0..4.0), &terms);
+        }
+        (m, vars)
+    }
+
+    fn brute_force_best(m: &Model, vars: &[Var]) -> f64 {
+        let n = vars.len();
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..m.num_vars())
+                .map(|j| {
+                    vars.iter()
+                        .position(|v| v.index() == j)
+                        .map(|k| ((mask >> k) & 1) as f64)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            if m.max_violation(&x) < 1e-9 {
+                best = best.max(m.objective_value(&x));
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Branch and bound matches exhaustive enumeration on random
+        /// all-binary programs.
+        #[test]
+        fn matches_enumeration(seed in 0u64..10_000, n in 1usize..9, rows in 0usize..5) {
+            let (m, vars) = random_bip(seed, n, rows);
+            let s = solve_mip(&m, &vars, &MipOptions::default()).unwrap();
+            let brute = brute_force_best(&m, &vars);
+            // x = 0 is always feasible, so both must find something.
+            prop_assert!(brute.is_finite());
+            prop_assert_eq!(s.status, MipStatus::Optimal);
+            prop_assert!((s.objective - brute).abs() < 1e-6,
+                "bb = {}, brute = {}", s.objective, brute);
+            prop_assert!(m.max_violation(&s.x) < 1e-6);
+            for &v in &vars {
+                let xv = s.x[v.index()];
+                prop_assert!((xv - xv.round()).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 1: energy efficiency vs speed across NVIDIA server GPUs, with the
+//! linear trend the paper highlights ("devices exhibit linear improvement
+//! in energy efficiency with the advancement of hardware speed").
+
+use crate::report::TextTable;
+use dsct_machines::catalog::{efficiency_speed_trend, GpuSpec, NVIDIA_SERVER_GPUS};
+use serde::{Deserialize, Serialize};
+
+/// One scatter point of the figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuPoint {
+    /// GPU name.
+    pub name: String,
+    /// Launch year.
+    pub year: u32,
+    /// Speed in TFLOPS (x axis).
+    pub tflops: f64,
+    /// Efficiency in GFLOPS/W (y axis).
+    pub efficiency: f64,
+}
+
+/// The figure's data: scatter points plus the fitted trend.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// Scatter points.
+    pub points: Vec<GpuPoint>,
+    /// Trend slope in (GFLOPS/W) per TFLOPS.
+    pub trend_slope: f64,
+    /// Trend intercept in GFLOPS/W.
+    pub trend_intercept: f64,
+    /// Coefficient of determination of the fit.
+    pub r2: f64,
+}
+
+/// Builds the figure from the built-in catalog.
+pub fn run() -> Fig1Result {
+    run_with(&NVIDIA_SERVER_GPUS)
+}
+
+/// Builds the figure from an explicit spec list.
+pub fn run_with(specs: &[GpuSpec]) -> Fig1Result {
+    let (trend_slope, trend_intercept, r2) = efficiency_speed_trend(specs);
+    let points = specs
+        .iter()
+        .map(|s| GpuPoint {
+            name: s.name.to_string(),
+            year: s.year,
+            tflops: s.fp16_tflops,
+            efficiency: s.efficiency(),
+        })
+        .collect();
+    Fig1Result {
+        points,
+        trend_slope,
+        trend_intercept,
+        r2,
+    }
+}
+
+/// Text rendering of the figure.
+pub fn table(result: &Fig1Result) -> TextTable {
+    let mut t = TextTable::new(["GPU", "year", "TFLOPS", "GFLOPS/W"]);
+    let mut sorted: Vec<&GpuPoint> = result.points.iter().collect();
+    sorted.sort_by(|a, b| a.tflops.partial_cmp(&b.tflops).expect("finite"));
+    for p in sorted {
+        t.row([
+            p.name.clone(),
+            p.year.to_string(),
+            format!("{:.1}", p.tflops),
+            format!("{:.1}", p.efficiency),
+        ]);
+    }
+    t
+}
+
+/// Human summary line.
+pub fn render(result: &Fig1Result) -> String {
+    format!(
+        "{}\nTrend: efficiency ≈ {:.3} · TFLOPS + {:.1} GFLOPS/W  (R² = {:.2})\n",
+        table(result).render(),
+        result.trend_slope,
+        result.trend_intercept,
+        result.r2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_positive_trend() {
+        let r = run();
+        assert!(r.trend_slope > 0.0);
+        assert!(r.points.len() >= 15);
+        assert!(r.r2 > 0.5);
+    }
+
+    #[test]
+    fn rendering_contains_every_gpu() {
+        let r = run();
+        let text = render(&r);
+        for p in &r.points {
+            assert!(text.contains(&p.name), "missing {}", p.name);
+        }
+    }
+}

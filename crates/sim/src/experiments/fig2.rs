@@ -1,0 +1,148 @@
+//! Fig. 2: accuracy vs number of floating-point operations for an
+//! OFA-style slimmable network — the exponential accuracy curve and its
+//! 5-segment piecewise-linear regression (the model every experiment's
+//! tasks use).
+
+use crate::report::TextTable;
+use dsct_accuracy::fit::BreakpointSpacing;
+use dsct_accuracy::ExponentialAccuracy;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig2Config {
+    /// Task efficiency θ (the paper's Fig. 2 shows the ofa-resnet curve;
+    /// θ = 0.55 matches its saturation behaviour).
+    pub theta: f64,
+    /// Random-guess accuracy (1/1000 classes).
+    pub a_min: f64,
+    /// Full-model accuracy.
+    pub a_max: f64,
+    /// Piecewise-linear segments.
+    pub segments: usize,
+    /// Sample count along the work axis.
+    pub samples: usize,
+}
+
+impl Default for Fig2Config {
+    fn default() -> Self {
+        Self {
+            theta: 0.55,
+            a_min: 1.0 / 1000.0,
+            a_max: 0.82,
+            segments: 5,
+            samples: 60,
+        }
+    }
+}
+
+/// One sample of the figure.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Work in GFLOP.
+    pub gflops: f64,
+    /// Exponential model accuracy.
+    pub exponential: f64,
+    /// 5-segment PWL fit accuracy.
+    pub pwl: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// Configuration used.
+    pub config: Fig2Config,
+    /// Curve samples.
+    pub points: Vec<CurvePoint>,
+    /// Breakpoints of the fitted PWL (GFLOP, accuracy).
+    pub breakpoints: Vec<(f64, f64)>,
+    /// Maximum |exponential − pwl| over the samples.
+    pub max_fit_error: f64,
+}
+
+/// Builds the figure.
+pub fn run(cfg: &Fig2Config) -> Fig2Result {
+    let exp = ExponentialAccuracy::paper_defaults_with(cfg.theta, cfg.a_min, cfg.a_max)
+        .expect("valid config");
+    let pwl = exp
+        .to_pwl(cfg.segments, BreakpointSpacing::Geometric)
+        .expect("valid fit");
+    let mut points = Vec::with_capacity(cfg.samples + 1);
+    let mut max_err = 0.0f64;
+    for i in 0..=cfg.samples {
+        let f = exp.f_max() * i as f64 / cfg.samples as f64;
+        let e = exp.eval(f);
+        let p = pwl.eval(f);
+        max_err = max_err.max((e - p).abs());
+        points.push(CurvePoint {
+            gflops: f,
+            exponential: e,
+            pwl: p,
+        });
+    }
+    let breakpoints = pwl
+        .breakpoints()
+        .iter()
+        .zip(pwl.values())
+        .map(|(&f, &a)| (f, a))
+        .collect();
+    Fig2Result {
+        config: *cfg,
+        points,
+        breakpoints,
+        max_fit_error: max_err,
+    }
+}
+
+/// Text rendering: the sampled series.
+pub fn table(result: &Fig2Result) -> TextTable {
+    let mut t = TextTable::new(["GFLOP", "exponential", "pwl(5)"]);
+    for p in &result.points {
+        t.row([
+            format!("{:.3}", p.gflops),
+            format!("{:.4}", p.exponential),
+            format!("{:.4}", p.pwl),
+        ]);
+    }
+    t
+}
+
+/// Human summary.
+pub fn render(result: &Fig2Result) -> String {
+    format!(
+        "{}\nbreakpoints: {:?}\nmax |exp − pwl| = {:.4}\n",
+        table(result).render(),
+        result
+            .breakpoints
+            .iter()
+            .map(|&(f, a)| (format!("{f:.2}"), format!("{a:.3}")))
+            .collect::<Vec<_>>(),
+        result.max_fit_error
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_shape_matches_paper() {
+        let r = run(&Fig2Config::default());
+        // Concave increasing to a_max; the fit hugs the curve.
+        let first = r.points.first().unwrap();
+        let last = r.points.last().unwrap();
+        assert!((first.exponential - 0.001).abs() < 1e-9);
+        assert!((last.exponential - 0.82).abs() < 1e-9);
+        assert!((last.pwl - 0.82).abs() < 1e-9);
+        assert!(r.max_fit_error < 0.04, "fit error {}", r.max_fit_error);
+        assert_eq!(r.breakpoints.len(), 6);
+    }
+
+    #[test]
+    fn pwl_underestimates_concave_curve() {
+        let r = run(&Fig2Config::default());
+        for p in &r.points {
+            assert!(p.pwl <= p.exponential + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`fig1`] | Fig. 1 — GPU energy efficiency vs speed |
+//! | [`fig2`] | Fig. 2 — accuracy vs work, exponential + PWL fit |
+//! | [`fig3`] | Fig. 3 — optimality gap vs task heterogeneity |
+//! | [`fig4`] | Fig. 4a/4b — runtime scaling vs MIP solver |
+//! | [`table1`] | Table 1 — FR-OPT vs LP solver runtimes |
+//! | [`fig5`] | Fig. 5 — accuracy vs energy-budget ratio + energy gain |
+//! | [`fig6`] | Fig. 6a/6b — energy profiles of two machines |
+//! | [`robustness`] | extension: realized accuracy under runtime speed jitter |
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod robustness;
+pub mod table1;

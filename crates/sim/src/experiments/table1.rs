@@ -1,0 +1,213 @@
+//! Table 1: execution time of the combinatorial `DSCT-EA-FR-OPT` vs a
+//! general-purpose LP solver on the fractional relaxation DSCT-EA-FR, for
+//! `n ∈ {100, …, 500}` tasks and `m = 5` machines.
+//!
+//! The paper compares a Python implementation against MOSEK; here the LP
+//! path is this workspace's revised simplex. The reproduced claim is the
+//! *shape*: the dedicated combinatorial algorithm beats the
+//! general-purpose LP machinery at every size, with a widening margin.
+
+use crate::report::{fmt_secs, TextTable};
+use crate::runner::{run_replications, Execution};
+use crate::stats::SummaryStats;
+use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_core::lp_model::solve_fr_lp;
+use dsct_lp::{SolveOptions, Status};
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration (defaults follow the paper; replications reduced from 10
+/// to 3 because the simplex path dominates runtime — noted in
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Config {
+    /// Task counts.
+    pub task_counts: Vec<usize>,
+    /// Machines.
+    pub m: usize,
+    /// Replications per point.
+    pub replications: usize,
+    /// Deadline tolerance.
+    pub rho: f64,
+    /// Energy-budget ratio.
+    pub beta: f64,
+    /// Optional wall-clock cap per LP solve (seconds; 0 = none).
+    pub lp_time_limit_secs: f64,
+    /// Also verify that both paths agree on the optimal value.
+    pub check_agreement: bool,
+    /// Base RNG seed.
+    pub base_seed: u64,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self {
+            task_counts: vec![100, 200, 300, 400, 500],
+            m: 5,
+            replications: 3,
+            rho: 0.35,
+            beta: 0.5,
+            lp_time_limit_secs: 120.0,
+            check_agreement: false,
+            base_seed: 777,
+        }
+    }
+}
+
+impl Table1Config {
+    /// Reduced configuration for smoke tests / quick runs.
+    pub fn quick() -> Self {
+        Self {
+            task_counts: vec![20, 40],
+            m: 3,
+            replications: 2,
+            lp_time_limit_secs: 30.0,
+            check_agreement: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// One row of the table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Task count.
+    pub n: usize,
+    /// Combinatorial solver runtime (s).
+    pub fr_opt_time: SummaryStats,
+    /// LP solver runtime (s).
+    pub lp_time: SummaryStats,
+    /// LP solves that hit the time limit.
+    pub lp_timeouts: usize,
+    /// Worst relative disagreement between the two optimal values (only
+    /// populated when agreement checking is on).
+    pub max_rel_gap: f64,
+}
+
+/// Full table data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// Configuration used.
+    pub config: Table1Config,
+    /// One row per n.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs the comparison.
+pub fn run(cfg: &Table1Config) -> Table1Result {
+    let rows = cfg
+        .task_counts
+        .iter()
+        .map(|&n| {
+            let icfg = InstanceConfig {
+                tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+                machines: MachineConfig::paper_random(cfg.m),
+                rho: cfg.rho,
+                beta: cfg.beta,
+            };
+            let lp_opts = SolveOptions {
+                time_limit: if cfg.lp_time_limit_secs > 0.0 {
+                    Some(std::time::Duration::from_secs_f64(cfg.lp_time_limit_secs))
+                } else {
+                    None
+                },
+                ..Default::default()
+            };
+            // Wall-clock measurement: sequential.
+            let samples = run_replications(
+                cfg.base_seed.wrapping_add(n as u64),
+                cfg.replications,
+                Execution::Sequential,
+                |seed| {
+                    let inst = generate(&icfg, seed);
+                    let t0 = Instant::now();
+                    let fr = solve_fr_opt(&inst, &FrOptOptions::default());
+                    let fr_time = t0.elapsed().as_secs_f64();
+                    let t0 = Instant::now();
+                    let lp = solve_fr_lp(&inst, &lp_opts).expect("model builds");
+                    let lp_time = t0.elapsed().as_secs_f64();
+                    let timed_out = lp.status != Status::Optimal;
+                    let rel_gap = if cfg.check_agreement && !timed_out {
+                        (lp.total_accuracy - fr.total_accuracy).abs()
+                            / inst.total_max_accuracy().max(1.0)
+                    } else {
+                        0.0
+                    };
+                    (fr_time, lp_time, timed_out, rel_gap)
+                },
+            );
+            let mut fr_stats = SummaryStats::new();
+            let mut lp_stats = SummaryStats::new();
+            let mut lp_timeouts = 0;
+            let mut max_rel_gap = 0.0f64;
+            for (f, l, to, g) in samples {
+                fr_stats.push(f);
+                lp_stats.push(l);
+                if to {
+                    lp_timeouts += 1;
+                }
+                max_rel_gap = max_rel_gap.max(g);
+            }
+            Table1Row {
+                n,
+                fr_opt_time: fr_stats,
+                lp_time: lp_stats,
+                lp_timeouts,
+                max_rel_gap,
+            }
+        })
+        .collect();
+    Table1Result {
+        config: cfg.clone(),
+        rows,
+    }
+}
+
+/// Text rendering in the paper's layout (rows = methods, columns = n).
+pub fn render(result: &Table1Result) -> String {
+    let mut header = vec!["Number of tasks".to_string()];
+    header.extend(result.rows.iter().map(|r| r.n.to_string()));
+    let mut t = TextTable::new(header);
+    let mut fr_row = vec!["DSCT-EA-FR-Opt (s)".to_string()];
+    fr_row.extend(result.rows.iter().map(|r| fmt_secs(r.fr_opt_time.mean())));
+    t.row(fr_row);
+    let mut lp_row = vec!["DSCT-EA-FR [simplex] (s)".to_string()];
+    lp_row.extend(result.rows.iter().map(|r| fmt_secs(r.lp_time.mean())));
+    t.row(lp_row);
+    t.render()
+}
+
+/// CSV-friendly table.
+pub fn table(result: &Table1Result) -> TextTable {
+    let mut t = TextTable::new(["n", "fr_opt_mean_s", "lp_mean_s", "lp_timeouts", "max_rel_gap"]);
+    for r in &result.rows {
+        t.row([
+            r.n.to_string(),
+            format!("{:.6}", r.fr_opt_time.mean()),
+            format!("{:.6}", r.lp_time.mean()),
+            r.lp_timeouts.to_string(),
+            format!("{:.2e}", r.max_rel_gap),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_comparison_agrees_and_reports() {
+        let r = run(&Table1Config::quick());
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert_eq!(row.lp_timeouts, 0);
+            // Both paths compute the same optimum.
+            assert!(row.max_rel_gap < 5e-4, "n {}: gap {}", row.n, row.max_rel_gap);
+            assert!(row.fr_opt_time.mean() > 0.0);
+        }
+        let text = render(&r);
+        assert!(text.contains("DSCT-EA-FR-Opt"));
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! Experiment harness regenerating every table and figure of the DSCT-EA
+//! paper's evaluation (§6).
+//!
+//! Each experiment lives in [`experiments`] with a `Config` (defaulting to
+//! the paper's parameters), a `run` entry point returning a serializable
+//! result struct, and a text renderer that prints the same rows/series the
+//! paper reports. The `dsct-experiments` binary drives them all.
+//!
+//! Replications are independent and run in parallel (rayon); every
+//! experiment is deterministic for a given base seed.
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod stats;

@@ -1,0 +1,155 @@
+//! Plain-text tables, CSV emission, and JSON artifacts for experiment
+//! results.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}", cell, width = widths[c]);
+                if c + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — cells are numeric or simple labels).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes an experiment result as pretty JSON next to its CSV rendering.
+///
+/// Produces `<dir>/<name>.json` and `<dir>/<name>.csv`.
+pub fn write_artifacts<T: Serialize>(
+    dir: &Path,
+    name: &str,
+    result: &T,
+    table: &TextTable,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let json = serde_json::to_string_pretty(result)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(dir.join(format!("{name}.json")), json)?;
+    fs::write(dir.join(format!("{name}.csv")), table.to_csv())?;
+    Ok(())
+}
+
+/// Formats seconds with adaptive precision (μs → s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(["n", "time"]);
+        t.row(["10", "1.0"]).row(["500", "26.2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("time"));
+        assert!(lines[3].contains("500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        TextTable::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(2.5e-6).contains("µs"));
+        assert!(fmt_secs(3.1e-2).contains("ms"));
+        assert!(fmt_secs(12.0).ends_with("s"));
+    }
+
+    #[test]
+    fn writes_artifacts() {
+        let dir = std::env::temp_dir().join("dsct_sim_report_test");
+        let mut t = TextTable::new(["x"]);
+        t.row(["1"]);
+        #[derive(serde::Serialize)]
+        struct R {
+            v: u32,
+        }
+        write_artifacts(&dir, "unit", &R { v: 7 }, &t).unwrap();
+        let json = std::fs::read_to_string(dir.join("unit.json")).unwrap();
+        assert!(json.contains("7"));
+        let csv = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(csv, "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

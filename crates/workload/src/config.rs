@@ -1,0 +1,137 @@
+use dsct_machines::gen::MachineSampler;
+use dsct_machines::Machine;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the task efficiency θ (slope of the first accuracy
+/// segment; the paper samples it in `[0.1, 4.9]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThetaDistribution {
+    /// Every task gets the same θ (Fig. 5 uses `θ = 0.1`).
+    Fixed(f64),
+    /// θ uniform in `[min, max]` (Fig. 3 and Fig. 6a).
+    Uniform {
+        /// Lower bound of θ.
+        min: f64,
+        /// Upper bound of θ.
+        max: f64,
+    },
+    /// The earliest `fraction` of tasks (by deadline) draw θ from `early`,
+    /// the rest from `late` — the paper's *Earliest High Efficient Tasks*
+    /// scenario (Fig. 6b: fraction 0.3, early `[4.0, 4.9]`, late
+    /// `[0.1, 1.0]`).
+    EarlySplit {
+        /// Fraction of tasks (earliest deadlines) drawing from `early`.
+        fraction: f64,
+        /// θ range of the early tasks.
+        early: (f64, f64),
+        /// θ range of the remaining tasks.
+        late: (f64, f64),
+    },
+}
+
+impl ThetaDistribution {
+    /// The paper's Fig. 3 heterogeneity sweep: `θ ~ U[θ_min, μ·θ_min]`
+    /// with `θ_min = 0.1`.
+    pub fn heterogeneity(mu: f64) -> Self {
+        ThetaDistribution::Uniform {
+            min: 0.1,
+            max: 0.1 * mu,
+        }
+    }
+}
+
+/// Task-set configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskConfig {
+    /// Number of tasks `n`.
+    pub n: usize,
+    /// Distribution of task efficiencies.
+    pub theta: ThetaDistribution,
+    /// Accuracy of a random guess (paper: `1/1000`).
+    pub a_min: f64,
+    /// Accuracy of the uncompressed model (paper: `0.82`).
+    pub a_max: f64,
+    /// Number of piecewise-linear segments (paper: 5).
+    pub segments: usize,
+}
+
+impl TaskConfig {
+    /// Paper defaults with the given size and θ distribution.
+    pub fn paper(n: usize, theta: ThetaDistribution) -> Self {
+        Self {
+            n,
+            theta,
+            a_min: 1.0 / 1000.0,
+            a_max: 0.82,
+            segments: 5,
+        }
+    }
+}
+
+/// Machine-park configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MachineConfig {
+    /// `m` machines sampled uniformly from the given ranges.
+    Random {
+        /// Number of machines.
+        m: usize,
+        /// Sampling ranges.
+        sampler: MachineSampler,
+    },
+    /// An explicit machine list (Fig. 6 uses two fixed machines).
+    Explicit(Vec<Machine>),
+}
+
+impl MachineConfig {
+    /// `m` machines from the paper's ranges.
+    pub fn paper_random(m: usize) -> Self {
+        MachineConfig::Random {
+            m,
+            sampler: MachineSampler::PAPER,
+        }
+    }
+}
+
+/// Full instance configuration: tasks, machines, and the two paper knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceConfig {
+    /// Task generation.
+    pub tasks: TaskConfig,
+    /// Machine generation.
+    pub machines: MachineConfig,
+    /// Deadline tolerance ρ: the horizon `d^max` is
+    /// `ρ · (Σ_j f_j^max) / (Σ_r s_r)` — the fraction of the time the whole
+    /// park would need to process every task uncompressed. Higher ρ means
+    /// looser deadlines (paper sweeps 0.01 – 1.0).
+    pub rho: f64,
+    /// Energy-budget ratio β: the budget is `β · d^max · Σ_r P_r` — the
+    /// fraction of the energy needed to run every machine until the
+    /// horizon. β → 0 is the strictest regime (paper sweeps 0.1 – 1.0).
+    pub beta: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heterogeneity_constructor() {
+        let d = ThetaDistribution::heterogeneity(20.0);
+        match d {
+            ThetaDistribution::Uniform { min, max } => {
+                assert!((min - 0.1).abs() < 1e-12);
+                assert!((max - 2.0).abs() < 1e-12);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = TaskConfig::paper(100, ThetaDistribution::Fixed(0.1));
+        assert_eq!(c.n, 100);
+        assert_eq!(c.segments, 5);
+        assert!((c.a_max - 0.82).abs() < 1e-12);
+        assert!((c.a_min - 0.001).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+use crate::config::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use dsct_accuracy::fit::BreakpointSpacing;
+use dsct_accuracy::{ExponentialAccuracy, PwlAccuracy};
+use dsct_core::problem::{Instance, Task};
+use dsct_machines::MachinePark;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a reproducible instance from a configuration and a seed.
+///
+/// Deterministic: the same `(config, seed)` always yields the same
+/// instance, across platforms (ChaCha-based RNG).
+///
+/// # Panics
+/// Panics on degenerate configurations (zero tasks, non-positive ρ/β
+/// ranges, inverted θ ranges) — configurations are code, not user input.
+pub fn generate(cfg: &InstanceConfig, seed: u64) -> Instance {
+    assert!(cfg.tasks.n >= 1, "need at least one task");
+    assert!(cfg.rho > 0.0, "rho must be positive");
+    assert!(cfg.beta >= 0.0, "beta must be non-negative");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let park = match &cfg.machines {
+        MachineConfig::Random { m, sampler } => sampler.sample_park(&mut rng, *m),
+        MachineConfig::Explicit(ms) => MachinePark::new(ms.clone()),
+    };
+
+    // θ per deadline rank, then the accuracy functions.
+    let thetas = sample_thetas(&cfg.tasks, &mut rng);
+    let accs: Vec<PwlAccuracy> = thetas
+        .iter()
+        .map(|&theta| accuracy_for_theta(&cfg.tasks, theta))
+        .collect();
+
+    // Horizon from ρ, deadlines uniform in (0, d_max] sorted, the largest
+    // pinned to d_max so β's reference energy is exact.
+    let total_work: f64 = accs.iter().map(|a| a.f_max()).sum();
+    let d_max = cfg.rho * total_work / park.total_speed();
+    assert!(d_max > 0.0 && d_max.is_finite(), "degenerate horizon");
+    let mut deadlines: Vec<f64> = (0..cfg.tasks.n)
+        .map(|_| rng.gen_range(0.0..1.0f64).max(1e-6) * d_max)
+        .collect();
+    deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    *deadlines.last_mut().expect("non-empty") = d_max;
+
+    let budget = cfg.beta * d_max * park.total_power();
+    let tasks: Vec<Task> = deadlines
+        .into_iter()
+        .zip(accs)
+        .map(|(d, a)| Task::new(d, a))
+        .collect();
+    Instance::new(tasks, park, budget).expect("generated instances are valid")
+}
+
+fn sample_thetas<R: Rng + ?Sized>(cfg: &TaskConfig, rng: &mut R) -> Vec<f64> {
+    let draw = |rng: &mut R, lo: f64, hi: f64| -> f64 {
+        assert!(lo > 0.0 && hi >= lo, "invalid theta range [{lo}, {hi}]");
+        if hi > lo {
+            rng.gen_range(lo..=hi)
+        } else {
+            lo
+        }
+    };
+    match cfg.theta {
+        ThetaDistribution::Fixed(theta) => {
+            assert!(theta > 0.0, "theta must be positive");
+            vec![theta; cfg.n]
+        }
+        ThetaDistribution::Uniform { min, max } => {
+            (0..cfg.n).map(|_| draw(rng, min, max)).collect()
+        }
+        ThetaDistribution::EarlySplit {
+            fraction,
+            early,
+            late,
+        } => {
+            assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+            let n_early = ((cfg.n as f64) * fraction).round() as usize;
+            (0..cfg.n)
+                .map(|rank| {
+                    if rank < n_early {
+                        draw(rng, early.0, early.1)
+                    } else {
+                        draw(rng, late.0, late.1)
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+fn accuracy_for_theta(cfg: &TaskConfig, theta: f64) -> PwlAccuracy {
+    ExponentialAccuracy::paper_defaults_with(theta, cfg.a_min, cfg.a_max)
+        .and_then(|e| e.to_pwl_theta_normalized(cfg.segments, BreakpointSpacing::Geometric))
+        .expect("valid theta produces a valid accuracy function")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+
+    fn cfg(n: usize, theta: ThetaDistribution) -> InstanceConfig {
+        InstanceConfig {
+            tasks: TaskConfig::paper(n, theta),
+            machines: MachineConfig::paper_random(3),
+            rho: 0.35,
+            beta: 0.5,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = cfg(20, ThetaDistribution::Uniform { min: 0.1, max: 2.0 });
+        let a = generate(&c, 7);
+        let b = generate(&c, 7);
+        assert_eq!(a, b);
+        let c2 = generate(&c, 8);
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn ratios_match_configuration() {
+        let c = cfg(30, ThetaDistribution::Fixed(0.5));
+        let inst = generate(&c, 3);
+        assert!((inst.rho() - 0.35).abs() < 1e-9, "rho = {}", inst.rho());
+        assert!((inst.beta() - 0.5).abs() < 1e-9, "beta = {}", inst.beta());
+    }
+
+    #[test]
+    fn deadlines_sorted_and_positive() {
+        let c = cfg(50, ThetaDistribution::Uniform { min: 0.1, max: 4.9 });
+        let inst = generate(&c, 11);
+        let ds: Vec<f64> = inst.tasks().iter().map(|t| t.deadline).collect();
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ds[0] > 0.0);
+        assert!((ds[ds.len() - 1] - inst.d_max()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_slopes_match_theta_distribution() {
+        let c = cfg(40, ThetaDistribution::Uniform { min: 0.1, max: 2.0 });
+        let inst = generate(&c, 5);
+        for t in inst.tasks() {
+            let s = t.accuracy.first_slope();
+            assert!(
+                (0.1 - 1e-6..=2.0 + 1e-6).contains(&s),
+                "first slope {s} outside theta range"
+            );
+        }
+    }
+
+    #[test]
+    fn early_split_gives_steeper_early_tasks() {
+        let c = cfg(
+            40,
+            ThetaDistribution::EarlySplit {
+                fraction: 0.3,
+                early: (4.0, 4.9),
+                late: (0.1, 1.0),
+            },
+        );
+        let inst = generate(&c, 9);
+        for (rank, t) in inst.tasks().iter().enumerate() {
+            let s = t.accuracy.first_slope();
+            if rank < 12 {
+                assert!(s >= 4.0 - 1e-6, "early task {rank} has slope {s}");
+            } else {
+                assert!(s <= 1.0 + 1e-6, "late task {rank} has slope {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_machines_are_used_verbatim() {
+        use dsct_machines::Machine;
+        let park = vec![
+            Machine::from_efficiency(2000.0, 80.0).unwrap(),
+            Machine::from_efficiency(5000.0, 70.0).unwrap(),
+        ];
+        let c = InstanceConfig {
+            tasks: TaskConfig::paper(10, ThetaDistribution::Fixed(1.0)),
+            machines: MachineConfig::Explicit(park.clone()),
+            rho: 0.01,
+            beta: 0.4,
+        };
+        let inst = generate(&c, 1);
+        assert_eq!(inst.machines().machines(), park.as_slice());
+    }
+
+    #[test]
+    fn fixed_theta_tasks_share_accuracy_shape() {
+        let c = cfg(5, ThetaDistribution::Fixed(0.1));
+        let inst = generate(&c, 2);
+        let first = &inst.task(0).accuracy;
+        for t in inst.tasks() {
+            assert_eq!(&t.accuracy, first);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload generation reproducing the DSCT-EA paper's
+//! experimental setup (§6).
+//!
+//! Tasks follow the paper's recipe: a task efficiency θ (the slope of the
+//! first accuracy segment) drawn from a scenario-specific distribution, an
+//! exponential accuracy curve of parameter θ fitted by a 5-segment
+//! piecewise-linear function with `a_min = 1/1000` and `a_max = 0.82`, and
+//! `f^max` set so the task reaches `a_max` exactly.
+//!
+//! Deadlines are controlled by the deadline-tolerance ρ and the budget by
+//! the energy-budget ratio β (see [`InstanceConfig`]); machines are drawn
+//! uniformly from the ranges of Desislavov et al. (1–20 TFLOPS,
+//! 5–60 GFLOPS/W) or supplied explicitly.
+
+mod config;
+mod generate;
+
+pub use config::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+pub use generate::generate;

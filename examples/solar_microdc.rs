@@ -1,0 +1,77 @@
+//! Renewable-powered micro data center (the paper's future-work extension):
+//! inference under a *time-varying* energy supply.
+//!
+//! A solar-powered edge site starts the morning burst with a small battery
+//! store while PV generation ramps up. The same total energy arrives either
+//! (a) upfront (the classic DSCT-EA budget) or (b) gradually (harvested) —
+//! we schedule both with the windowed-supply solver and show what delayed
+//! arrival costs, and how the scheduler shifts work toward later deadlines.
+//!
+//! ```sh
+//! cargo run --release --example solar_microdc
+//! ```
+
+use dsct_ea::core::renewable::{solve_renewable, supply_violation, EnergySupply};
+use dsct_ea::lp::SolveOptions;
+use dsct_ea::prelude::*;
+
+fn main() {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(30, ThetaDistribution::Uniform { min: 0.3, max: 2.5 }),
+        machines: MachineConfig::paper_random(2),
+        rho: 0.4,
+        beta: 0.35, // total energy, as a fraction of the flat-out reference
+    };
+    let inst = dsct_ea::workload::generate(&cfg, 77);
+    let n = inst.num_tasks() as f64;
+    let horizon = inst.d_max();
+    let total = inst.budget();
+    println!(
+        "site: {} requests over {:.1} ms, total energy {:.2} J (β = {:.2})\n",
+        inst.num_tasks(),
+        horizon * 1e3,
+        total,
+        inst.beta()
+    );
+
+    let scenarios = [
+        ("battery (all upfront)", EnergySupply::constant(total)),
+        (
+            "solar ramp (20% stored, rest harvested)",
+            EnergySupply::harvest(0.2 * total, 0.8 * total / horizon, horizon),
+        ),
+        (
+            "cloudy start (5% stored, late surge)",
+            EnergySupply::new(vec![
+                (0.0, 0.05 * total),
+                (0.6 * horizon, 0.25 * total),
+                (horizon, total),
+            ]),
+        ),
+    ];
+
+    println!(
+        "{:<42} {:>10} {:>10} {:>9}",
+        "energy arrival", "UB acc.", "deployed", "window ok"
+    );
+    for (name, supply) in scenarios {
+        let supply = supply.expect("valid supply");
+        let sol = solve_renewable(&inst, &supply, &SolveOptions::default())
+            .expect("windowed LP solves");
+        let ok = supply_violation(&inst, &supply, &sol.approx.schedule) < 1e-6;
+        println!(
+            "{:<42} {:>10.4} {:>10.4} {:>9}",
+            name,
+            sol.fractional.total_accuracy / n,
+            sol.approx.total_accuracy / n,
+            if ok { "yes" } else { "NO" },
+        );
+    }
+
+    println!(
+        "\nSame joules, different arrival: delayed energy strictly reduces the reachable \
+         accuracy because early-deadline tasks cannot wait for it — the windowed constraints \
+         Σ P·t (prefix j) ≤ E(d_j) make the scheduler compress early tasks and spend the \
+         late surge on the tail."
+    );
+}

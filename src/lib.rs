@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the DSCT-EA workspace: energy-aware scheduling of
+//! compressible machine-learning inference tasks (reproduction of
+//! da Silva Barros et al., ICPP 2024).
+//!
+//! Re-exports every sub-crate under a stable path so downstream users can
+//! depend on a single crate:
+//!
+//! ```
+//! use dsct_ea::prelude::*;
+//! ```
+//!
+//! See the individual crates for details:
+//! - [`accuracy`] — piecewise-linear accuracy models;
+//! - [`machines`] — machine/GPU substrate;
+//! - [`lp`] — the revised-simplex LP solver;
+//! - [`mip`] — the branch-and-bound MIP solver;
+//! - [`core`] — the scheduling algorithms (the paper's contribution);
+//! - [`exec`] — discrete-event executor running schedules under jitter;
+//! - [`workload`] — scenario generators from the paper's evaluation;
+//! - [`sim`] — the experiment harness regenerating every table and figure.
+
+pub use dsct_accuracy as accuracy;
+pub use dsct_core as core;
+pub use dsct_exec as exec;
+pub use dsct_lp as lp;
+pub use dsct_machines as machines;
+pub use dsct_mip as mip;
+pub use dsct_sim as sim;
+pub use dsct_workload as workload;
+
+/// Convenient glob-import surface with the most commonly used items.
+pub mod prelude {
+    pub use dsct_accuracy::{ExponentialAccuracy, PwlAccuracy};
+    pub use dsct_core::{
+        approx::{solve_approx, ApproxOptions},
+        baselines::{edf_no_compression, edf_three_levels},
+        fr_opt::{solve_fr_opt, FrOptOptions},
+        guarantee::absolute_guarantee,
+        problem::{Instance, Task},
+        schedule::{FractionalSchedule, ScheduleKind},
+    };
+    pub use dsct_machines::{Machine, MachinePark};
+    pub use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+}

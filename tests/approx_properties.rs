@@ -1,0 +1,109 @@
+//! Randomized properties of the approximation algorithm and baselines
+//! across operating regimes: feasibility, bound ordering, and the paper's
+//! Eq. 13 guarantee.
+
+use dsct_core::approx::{solve_approx, ApproxOptions};
+use dsct_core::baselines::{edf_no_compression, edf_three_levels};
+use dsct_core::guarantee::absolute_guarantee;
+use dsct_core::schedule::ScheduleKind;
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use proptest::prelude::*;
+
+fn arb_theta() -> impl Strategy<Value = ThetaDistribution> {
+    prop_oneof![
+        (0.1f64..4.9).prop_map(ThetaDistribution::Fixed),
+        (0.1f64..1.0, 1.0f64..4.9)
+            .prop_map(|(min, max)| ThetaDistribution::Uniform { min, max }),
+        Just(ThetaDistribution::EarlySplit {
+            fraction: 0.3,
+            early: (4.0, 4.9),
+            late: (0.1, 1.0),
+        }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = InstanceConfig> {
+    (
+        2usize..24,
+        1usize..5,
+        arb_theta(),
+        prop_oneof![Just(0.01), Just(0.1), Just(0.35), Just(1.0)],
+        0.05f64..1.0,
+    )
+        .prop_map(|(n, m, theta, rho, beta)| InstanceConfig {
+            tasks: TaskConfig::paper(n, theta),
+            machines: MachineConfig::paper_random(m),
+            rho,
+            beta,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The approximation always yields a feasible integral schedule whose
+    /// accuracy sits between the task floor and the fractional bound, and
+    /// the Eq. 13 guarantee `UB − SOL ≤ G` holds.
+    #[test]
+    fn approx_is_feasible_bounded_and_guaranteed(cfg in arb_config(), seed in 0u64..1_000) {
+        let inst = generate(&cfg, seed);
+        let sol = solve_approx(&inst, &ApproxOptions::default());
+        prop_assert!(sol.schedule.validate(&inst, ScheduleKind::Integral).is_ok(),
+            "{:?}", sol.schedule.validate(&inst, ScheduleKind::Integral).unwrap_err());
+        let ub = sol.fractional.total_accuracy;
+        prop_assert!(sol.total_accuracy <= ub + 1e-7);
+        prop_assert!(sol.total_accuracy >= inst.total_min_accuracy() - 1e-9);
+        let g = absolute_guarantee(&inst);
+        prop_assert!(ub - sol.total_accuracy <= g + 1e-7,
+            "guarantee violated: gap {} > G {}", ub - sol.total_accuracy, g);
+    }
+
+    /// Both EDF baselines produce feasible integral schedules and never
+    /// beat the fractional upper bound.
+    #[test]
+    fn baselines_are_feasible_and_dominated(cfg in arb_config(), seed in 0u64..1_000) {
+        let inst = generate(&cfg, seed);
+        let ub = solve_approx(&inst, &ApproxOptions::default())
+            .fractional
+            .total_accuracy;
+        for sol in [edf_no_compression(&inst), edf_three_levels(&inst)] {
+            prop_assert!(sol.schedule.validate(&inst, ScheduleKind::Integral).is_ok());
+            prop_assert!(sol.total_accuracy <= ub + 1e-6,
+                "baseline {} above UB {}", sol.total_accuracy, ub);
+            prop_assert!(sol.energy <= inst.budget() + 1e-6);
+        }
+    }
+
+    /// The fractional optimum is monotone in the energy budget.
+    #[test]
+    fn fractional_optimum_monotone_in_budget(cfg in arb_config(), seed in 0u64..500) {
+        let inst = generate(&cfg, seed);
+        let lo = inst.with_budget(inst.budget() * 0.5).expect("valid");
+        let fr_lo = dsct_core::fr_opt::solve_fr_opt(&lo, &Default::default());
+        let fr_hi = dsct_core::fr_opt::solve_fr_opt(&inst, &Default::default());
+        prop_assert!(fr_hi.total_accuracy >= fr_lo.total_accuracy - 1e-7,
+            "budget {} gives {}, budget {} gives {}",
+            lo.budget(), fr_lo.total_accuracy, inst.budget(), fr_hi.total_accuracy);
+    }
+
+    /// The fractional optimum is monotone in the deadline tolerance ρ.
+    #[test]
+    fn fractional_optimum_monotone_in_rho(
+        n in 3usize..15,
+        m in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let mk = |rho: f64| InstanceConfig {
+            tasks: TaskConfig::paper(n, ThetaDistribution::Fixed(0.5)),
+            machines: MachineConfig::paper_random(m),
+            rho,
+            beta: 0.5,
+        };
+        // Same seed ⇒ same machines and θs; only the horizon scales.
+        let tight = generate(&mk(0.05), seed);
+        let loose = generate(&mk(0.5), seed);
+        let fr_tight = dsct_core::fr_opt::solve_fr_opt(&tight, &Default::default());
+        let fr_loose = dsct_core::fr_opt::solve_fr_opt(&loose, &Default::default());
+        prop_assert!(fr_loose.total_accuracy >= fr_tight.total_accuracy - 1e-7);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-solver agreement on tiny instances: the branch-and-bound MIP must
+//! match brute-force enumeration over all machine assignments (with the
+//! per-assignment time allocation solved as an LP), and the whole solver
+//! chain must respect `EDF ≤ APPROX ≤ MIP ≤ UB`.
+
+use dsct_core::approx::{solve_approx, ApproxOptions};
+use dsct_core::lp_model::build_fr_lp;
+use dsct_core::mip_model::solve_mip_exact;
+use dsct_core::problem::Instance;
+use dsct_core::schedule::ScheduleKind;
+use dsct_lp::SolveOptions;
+use dsct_mip::{MipOptions, MipStatus};
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+
+/// Optimal total accuracy for one fixed task→machine assignment: the FR LP
+/// with every t_jr of a non-chosen machine pinned to zero.
+fn assignment_optimum(inst: &Instance, assignment: &[usize]) -> f64 {
+    let m = inst.num_machines();
+    let mut built = build_fr_lp(inst);
+    for (j, &r_chosen) in assignment.iter().enumerate() {
+        for r in 0..m {
+            if r != r_chosen {
+                built.model.set_bounds(built.t_vars[j * m + r], 0.0, 0.0);
+            }
+        }
+    }
+    let sol = built.model.solve(&SolveOptions::default()).expect("valid LP");
+    assert_eq!(sol.status, dsct_lp::Status::Optimal);
+    sol.objective
+}
+
+/// Brute force over all m^n assignments.
+fn brute_force_optimum(inst: &Instance) -> f64 {
+    let n = inst.num_tasks();
+    let m = inst.num_machines();
+    let mut best = f64::NEG_INFINITY;
+    let mut assignment = vec![0usize; n];
+    loop {
+        best = best.max(assignment_optimum(inst, &assignment));
+        // Increment the mixed-radix counter.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return best;
+            }
+            assignment[k] += 1;
+            if assignment[k] < m {
+                break;
+            }
+            assignment[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+fn tiny_instance(seed: u64, n: usize, m: usize, beta: f64, rho: f64) -> Instance {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.2, max: 3.0 }),
+        machines: MachineConfig::paper_random(m),
+        rho,
+        beta,
+    };
+    generate(&cfg, seed)
+}
+
+#[test]
+fn mip_matches_brute_force_enumeration() {
+    for seed in 0..8 {
+        let inst = tiny_instance(seed, 4, 2, 0.4, 0.3);
+        let brute = brute_force_optimum(&inst);
+        let mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        assert_eq!(mip.status, MipStatus::Optimal, "seed {seed}");
+        assert!(
+            (mip.total_accuracy - brute).abs() < 1e-5,
+            "seed {seed}: MIP {} vs brute force {}",
+            mip.total_accuracy,
+            brute
+        );
+    }
+}
+
+#[test]
+fn mip_matches_brute_force_three_machines() {
+    for seed in 0..4 {
+        let inst = tiny_instance(seed, 3, 3, 0.5, 0.2);
+        let brute = brute_force_optimum(&inst);
+        let mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        assert_eq!(mip.status, MipStatus::Optimal, "seed {seed}");
+        assert!(
+            (mip.total_accuracy - brute).abs() < 1e-5,
+            "seed {seed}: MIP {} vs brute force {}",
+            mip.total_accuracy,
+            brute
+        );
+    }
+}
+
+#[test]
+fn solver_chain_ordering_holds() {
+    for seed in 0..10 {
+        let inst = tiny_instance(seed, 6, 2, 0.5, 0.35);
+        let approx = solve_approx(&inst, &ApproxOptions::default());
+        let mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        assert_eq!(mip.status, MipStatus::Optimal, "seed {seed}");
+        let ub = approx.fractional.total_accuracy;
+        assert!(
+            approx.total_accuracy <= mip.total_accuracy + 1e-6,
+            "seed {seed}: APPROX {} above MIP optimum {}",
+            approx.total_accuracy,
+            mip.total_accuracy
+        );
+        assert!(
+            mip.total_accuracy <= ub + 1e-6,
+            "seed {seed}: MIP {} above UB {}",
+            mip.total_accuracy,
+            ub
+        );
+        let schedule = mip.schedule.expect("incumbent");
+        schedule
+            .validate(&inst, ScheduleKind::Integral)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+    }
+}
+
+#[test]
+fn single_machine_chain_collapses() {
+    // With one machine the relaxation is integral: UB = MIP = APPROX.
+    for seed in 0..6 {
+        let inst = tiny_instance(seed, 5, 1, 0.6, 0.4);
+        let approx = solve_approx(&inst, &ApproxOptions::default());
+        let mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        let ub = approx.fractional.total_accuracy;
+        assert!(
+            (approx.total_accuracy - ub).abs() < 1e-6,
+            "seed {seed}: APPROX {} vs UB {}",
+            approx.total_accuracy,
+            ub
+        );
+        assert!(
+            (mip.total_accuracy - ub).abs() < 1e-5,
+            "seed {seed}: MIP {} vs UB {}",
+            mip.total_accuracy,
+            ub
+        );
+    }
+}
