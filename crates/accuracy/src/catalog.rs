@@ -86,19 +86,37 @@ pub const ALL_FAMILIES: [ModelFamily; 4] = [
     AUTOSLIM_RESNET50,
 ];
 
+/// Looks up a built-in family by its catalog name (e.g. `"ofa-resnet50"`).
+pub fn find_family(name: &str) -> Result<&'static ModelFamily, AccuracyError> {
+    ALL_FAMILIES
+        .iter()
+        .find(|fam| fam.name == name)
+        .ok_or_else(|| AccuracyError::UnknownFamily(name.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn families_produce_valid_pwl() {
+    fn families_produce_valid_pwl() -> Result<(), AccuracyError> {
         for fam in ALL_FAMILIES {
-            let p = fam.pwl(5).unwrap_or_else(|e| panic!("{}: {e}", fam.name));
+            let p = fam.pwl(5)?;
             assert_eq!(p.num_segments(), 5);
             assert!((p.a_max() - fam.a_max).abs() < 1e-9);
             assert!((p.a_min() - fam.a_min).abs() < 1e-9);
             assert!((p.f_max() - fam.f_max_gflops).abs() < 1e-9);
         }
+        Ok(())
+    }
+
+    #[test]
+    fn find_family_resolves_known_and_rejects_unknown() {
+        assert_eq!(find_family("ofa-resnet50"), Ok(&OFA_RESNET50));
+        assert_eq!(
+            find_family("ofa-resnet999"),
+            Err(AccuracyError::UnknownFamily("ofa-resnet999".to_string()))
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@ pub enum AccuracyError {
     DecreasingValues { index: usize, prev: f64, next: f64 },
     /// Segment slopes increase (the function is not concave) at the boundary
     /// between segments `index - 1` and `index`.
-    NotConcave { index: usize, prev_slope: f64, next_slope: f64 },
+    NotConcave {
+        index: usize,
+        prev_slope: f64,
+        next_slope: f64,
+    },
     /// A coordinate is NaN or infinite.
     NonFinite { index: usize, value: f64 },
     /// An accuracy target outside `[a_min, a_max]` was passed to
@@ -22,6 +26,8 @@ pub enum AccuracyError {
     AccuracyOutOfRange { target: f64, a_min: f64, a_max: f64 },
     /// Invalid scalar parameter (θ, cutoff, scale factor, …).
     InvalidParameter { name: &'static str, value: f64 },
+    /// No built-in [`crate::catalog::ModelFamily`] carries the given name.
+    UnknownFamily(String),
 }
 
 impl fmt::Display for AccuracyError {
@@ -64,12 +70,19 @@ impl fmt::Display for AccuracyError {
             AccuracyError::NonFinite { index, value } => {
                 write!(f, "non-finite coordinate at breakpoint {index}: {value}")
             }
-            AccuracyError::AccuracyOutOfRange { target, a_min, a_max } => write!(
+            AccuracyError::AccuracyOutOfRange {
+                target,
+                a_min,
+                a_max,
+            } => write!(
                 f,
                 "accuracy target {target} outside reachable range [{a_min}, {a_max}]"
             ),
             AccuracyError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")
+            }
+            AccuracyError::UnknownFamily(name) => {
+                write!(f, "no model family named {name:?} in the built-in catalog")
             }
         }
     }

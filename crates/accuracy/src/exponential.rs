@@ -39,7 +39,10 @@ impl ExponentialAccuracy {
                 value: f_max,
             });
         }
-        if !(a_min.is_finite() && a_max.is_finite() && (0.0..=1.0).contains(&a_min) && a_max > a_min)
+        if !(a_min.is_finite()
+            && a_max.is_finite()
+            && (0.0..=1.0).contains(&a_min)
+            && a_max > a_min)
         {
             return Err(AccuracyError::InvalidParameter {
                 name: "a_min/a_max",
@@ -155,7 +158,11 @@ impl ExponentialAccuracy {
     ///
     /// Chords of a concave function are automatically concave and hit the
     /// curve exactly at the breakpoints, including both endpoints.
-    pub fn to_pwl(&self, k: usize, spacing: BreakpointSpacing) -> Result<PwlAccuracy, AccuracyError> {
+    pub fn to_pwl(
+        &self,
+        k: usize,
+        spacing: BreakpointSpacing,
+    ) -> Result<PwlAccuracy, AccuracyError> {
         fit::chord_fit(|f| self.eval(f), self.f_max, k, spacing)
     }
 
@@ -228,7 +235,10 @@ mod tests {
         for i in 0..=20 {
             let f = e.f_max() * i as f64 / 20.0;
             let back = e.inverse(e.eval(f)).unwrap();
-            assert!((back - f).abs() < 1e-6 * (1.0 + f), "f = {f}, back = {back}");
+            assert!(
+                (back - f).abs() < 1e-6 * (1.0 + f),
+                "f = {f}, back = {back}"
+            );
         }
         assert!(e.inverse(0.9).is_err());
     }
@@ -254,7 +264,9 @@ mod tests {
     fn theta_normalized_first_slope() {
         for &theta in &[0.1, 0.5, 1.0, 4.9] {
             let e = ExponentialAccuracy::paper_default(theta).unwrap();
-            let p = e.to_pwl_theta_normalized(5, BreakpointSpacing::Uniform).unwrap();
+            let p = e
+                .to_pwl_theta_normalized(5, BreakpointSpacing::Uniform)
+                .unwrap();
             assert!(
                 (p.first_slope() - theta).abs() < 1e-9 * theta,
                 "theta = {theta}, got {}",

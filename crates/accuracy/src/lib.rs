@@ -25,9 +25,9 @@
 //! Units: work `f` is measured in GFLOP throughout the workspace; accuracy
 //! is a fraction in `[0, 1]`.
 
+pub mod catalog;
 mod error;
 mod exponential;
-pub mod catalog;
 pub mod fit;
 mod pwl;
 

@@ -92,7 +92,10 @@ fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_placement");
     group.sample_size(10);
     let inst = instance(100, 5, 3);
-    for (name, placement) in [("least_loaded", Placement::LeastLoaded), ("first_fit", Placement::FirstFit)] {
+    for (name, placement) in [
+        ("least_loaded", Placement::LeastLoaded),
+        ("first_fit", Placement::FirstFit),
+    ] {
         let opts = ApproxOptions {
             placement,
             ..Default::default()
@@ -109,7 +112,10 @@ fn bench_placement(c: &mut Criterion) {
 fn bench_replication_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_replication_engine");
     group.sample_size(10);
-    for (name, execution) in [("parallel", Execution::Parallel), ("sequential", Execution::Sequential)] {
+    for (name, execution) in [
+        ("parallel", Execution::Parallel),
+        ("sequential", Execution::Sequential),
+    ] {
         group.bench_function(BenchmarkId::new("replications16_n40", name), |b| {
             b.iter(|| {
                 let out = run_replications(1, 16, execution, |seed| {

@@ -17,7 +17,14 @@ fn bench_fig1_trend(c: &mut Criterion) {
 fn bench_fig2_models(c: &mut Criterion) {
     let exp = ExponentialAccuracy::paper_default(0.55).expect("valid");
     c.bench_function("fig2_chord_fit_5seg", |b| {
-        b.iter(|| black_box(chord_fit(|f| exp.eval(f), exp.f_max(), 5, BreakpointSpacing::Geometric)))
+        b.iter(|| {
+            black_box(chord_fit(
+                |f| exp.eval(f),
+                exp.f_max(),
+                5,
+                BreakpointSpacing::Geometric,
+            ))
+        })
     });
 
     let xs: Vec<f64> = (0..=500).map(|i| exp.f_max() * i as f64 / 500.0).collect();

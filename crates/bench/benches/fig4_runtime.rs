@@ -28,7 +28,9 @@ fn bench_by_tasks(c: &mut Criterion) {
     for n in [10usize, 50, 100, 200, 500] {
         let inst = instance(n, 5);
         group.bench_with_input(BenchmarkId::new("approx", n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_approx(black_box(inst), &ApproxOptions::default()).total_accuracy))
+            b.iter(|| {
+                black_box(solve_approx(black_box(inst), &ApproxOptions::default()).total_accuracy)
+            })
         });
     }
     // The exact solver already needs seconds at n = 10 and hits a 20 s
@@ -40,7 +42,13 @@ fn bench_by_tasks(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new("mip", n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_mip_exact(black_box(inst), &opts).expect("builds").total_accuracy))
+            b.iter(|| {
+                black_box(
+                    solve_mip_exact(black_box(inst), &opts)
+                        .expect("builds")
+                        .total_accuracy,
+                )
+            })
         });
     }
     group.finish();
@@ -52,7 +60,9 @@ fn bench_by_machines(c: &mut Criterion) {
     for m in [2usize, 5, 10] {
         let inst = instance(50, m);
         group.bench_with_input(BenchmarkId::new("approx", m), &inst, |b, inst| {
-            b.iter(|| black_box(solve_approx(black_box(inst), &ApproxOptions::default()).total_accuracy))
+            b.iter(|| {
+                black_box(solve_approx(black_box(inst), &ApproxOptions::default()).total_accuracy)
+            })
         });
     }
     for m in [2usize, 3] {
@@ -62,7 +72,13 @@ fn bench_by_machines(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new("mip_n8", m), &inst, |b, inst| {
-            b.iter(|| black_box(solve_mip_exact(black_box(inst), &opts).expect("builds").total_accuracy))
+            b.iter(|| {
+                black_box(
+                    solve_mip_exact(black_box(inst), &opts)
+                        .expect("builds")
+                        .total_accuracy,
+                )
+            })
         });
     }
     group.finish();

@@ -23,9 +23,15 @@ fn bench_methods(c: &mut Criterion) {
     group.sample_size(10);
     for beta in [0.1, 0.5, 1.0] {
         let inst = instance(beta);
-        group.bench_with_input(BenchmarkId::new("approx", format!("beta{beta}")), &inst, |b, i| {
-            b.iter(|| black_box(solve_approx(black_box(i), &ApproxOptions::default()).total_accuracy))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("approx", format!("beta{beta}")),
+            &inst,
+            |b, i| {
+                b.iter(|| {
+                    black_box(solve_approx(black_box(i), &ApproxOptions::default()).total_accuracy)
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("edf_no_compression", format!("beta{beta}")),
             &inst,

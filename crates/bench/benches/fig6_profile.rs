@@ -38,7 +38,9 @@ fn bench_profiles(c: &mut Criterion) {
                 &inst,
                 |b, i| {
                     b.iter(|| {
-                        black_box(solve_fr_opt(black_box(i), &FrOptOptions::default()).total_accuracy)
+                        black_box(
+                            solve_fr_opt(black_box(i), &FrOptOptions::default()).total_accuracy,
+                        )
                     })
                 },
             );

@@ -26,7 +26,9 @@ fn bench_fr_opt(c: &mut Criterion) {
     for n in [100usize, 200, 500] {
         let inst = instance(n);
         group.bench_with_input(BenchmarkId::new("fr_opt", n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_fr_opt(black_box(inst), &FrOptOptions::default()).total_accuracy))
+            b.iter(|| {
+                black_box(solve_fr_opt(black_box(inst), &FrOptOptions::default()).total_accuracy)
+            })
         });
     }
     group.finish();

@@ -1,0 +1,77 @@
+//! The `V(p)` probe cache at paper scale (`n = 100`, `m = 10`): cached
+//! [`ValueFnWorkspace`] probes vs. the cold per-probe Algorithm 2 solve,
+//! both for a single probe and for a full `profile_search` run. The full
+//! runs also print the probe counters once so the probe-solve work of the
+//! cached path (workspace + ε-gated pairwise sweeps) can be compared
+//! against the ablation baseline (`use_value_cache = false`,
+//! `pairwise_probe = false`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsct_core::algo_naive::NaiveSolver;
+use dsct_core::profile::naive_profile;
+use dsct_core::profile_search::{profile_search, ProfileSearchOptions};
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::hint::black_box;
+
+fn instance(n: usize, m: usize, seed: u64) -> dsct_core::problem::Instance {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+        machines: MachineConfig::paper_random(m),
+        rho: 0.35,
+        beta: 0.5,
+    };
+    generate(&cfg, seed)
+}
+
+fn ablation_options() -> ProfileSearchOptions {
+    ProfileSearchOptions {
+        use_value_cache: false,
+        pairwise_probe: false,
+        ..Default::default()
+    }
+}
+
+/// One `V(p)` evaluation at the naive profile: workspace vs. cold solve.
+fn bench_single_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_probe_n100_m10");
+    let inst = instance(100, 10, 777);
+    let caps = naive_profile(&inst).caps().to_vec();
+    let solver = NaiveSolver::new(&inst);
+    let mut ws = solver.workspace();
+    group.bench_function("cached", |b| {
+        b.iter(|| black_box(solver.value_with(&mut ws, black_box(&caps))))
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(solver.value(black_box(&caps))))
+    });
+    group.finish();
+}
+
+/// Full `profile_search` from the naive profile: default (workspace +
+/// probe gate) vs. the ablation baseline. Acceptance target: ≥ 2×.
+fn bench_profile_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_search_n100_m10");
+    group.sample_size(10);
+    let inst = instance(100, 10, 777);
+    let start = naive_profile(&inst);
+    for (label, opts) in [
+        ("cached", ProfileSearchOptions::default()),
+        ("ablation", ablation_options()),
+    ] {
+        let (_, sol, out) = profile_search(&inst, &start, &opts);
+        println!(
+            "profile_search {label}: accuracy {:.9}, sweeps {}, probes {}, cold probes {}",
+            sol.schedule.total_accuracy(&inst),
+            out.sweeps,
+            out.probe_stats.probes,
+            out.probe_stats.cold_probes
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(profile_search(black_box(&inst), black_box(&start), &opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_probe, bench_profile_search);
+criterion_main!(benches);

@@ -21,7 +21,7 @@
 //! grow with `j`, any cap-respecting distribution preserves the aggregate
 //! capacity argument, so the achieved accuracies are unchanged.
 
-use crate::algo_single::{schedule_single_machine, SegmentSpec};
+use crate::algo_single::{accuracy_gain_ordered, schedule_single_machine, SegmentSpec, SlackTree};
 use crate::problem::Instance;
 use crate::profile::EnergyProfile;
 use crate::schedule::FractionalSchedule;
@@ -68,6 +68,61 @@ pub struct NaiveSolver<'a> {
     base_accuracy: f64,
 }
 
+/// Counters of value-function evaluations, kept by a
+/// [`ValueFnWorkspace`] and surfaced through
+/// [`crate::profile_search::ProfileSearchOutcome`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Total `V(p)` evaluations.
+    pub probes: u64,
+    /// Evaluations that went through the cold (allocation-per-call)
+    /// path — nonzero only when the value cache is disabled for ablation.
+    pub cold_probes: u64,
+}
+
+/// Reusable state for evaluating the profile value function `V(p)` many
+/// times on one instance (the profile search performs thousands of probes
+/// per solve).
+///
+/// A probe through [`NaiveSolver::value_with`] allocates nothing: the
+/// prefix-capacity vectors, the temporary-deadline buffer, and the slack
+/// segment tree of Algorithm 1 are all reset in place, and the solver's
+/// per-task PWL segment list and slope-descending cursor order are shared
+/// across every probe. The cold path ([`NaiveSolver::value`]) rebuilds all
+/// of this per call and is kept as the ablation baseline
+/// (`ProfileSearchOptions::use_value_cache = false`).
+#[derive(Debug, Clone)]
+pub struct ValueFnWorkspace {
+    /// Machine indices sorted by ascending cap (recomputed per probe).
+    cap_index: Vec<usize>,
+    /// Caps in `cap_index` order.
+    cap_sorted: Vec<f64>,
+    /// `speed_suffix[k] = Σ_{i ≥ k} s_{cap_index[i]}` (length `m + 1`).
+    speed_suffix: Vec<f64>,
+    /// `capwork_prefix[k] = Σ_{i < k} p_{cap_index[i]} · s_{cap_index[i]}`.
+    capwork_prefix: Vec<f64>,
+    /// Temporary deadlines (aggregate work capacity per task).
+    temp_deadlines: Vec<f64>,
+    /// Algorithm 1 slack tree, reset in place per probe.
+    tree: SlackTree,
+    /// Evaluation counters.
+    pub stats: ProbeStats,
+}
+
+impl ValueFnWorkspace {
+    fn new(n: usize, m: usize) -> Self {
+        Self {
+            cap_index: Vec::with_capacity(m),
+            cap_sorted: Vec::with_capacity(m),
+            speed_suffix: Vec::with_capacity(m + 1),
+            capwork_prefix: Vec::with_capacity(m + 1),
+            temp_deadlines: Vec::with_capacity(n),
+            tree: SlackTree::new(&[]),
+            stats: ProbeStats::default(),
+        }
+    }
+}
+
 impl<'a> NaiveSolver<'a> {
     /// Prepares the evaluator for an instance.
     pub fn new(inst: &'a Instance) -> Self {
@@ -84,25 +139,13 @@ impl<'a> NaiveSolver<'a> {
 
     /// Exact optimal total accuracy for the given profile caps — the
     /// profile value function `V(p)` (accuracy only; no distribution).
+    ///
+    /// Cold path: allocates and rebuilds per call. The profile search
+    /// probes through [`NaiveSolver::value_with`] instead unless the value
+    /// cache is disabled for ablation.
     pub fn value(&self, caps: &[f64]) -> f64 {
-        let inst = self.inst;
-        let n = inst.num_tasks();
-        let machines = inst.machines();
-        let m = machines.len();
-        let mut temp_deadlines = Vec::with_capacity(n);
-        for j in 0..n {
-            let d_j = inst.task(j).deadline;
-            let mut cap = 0.0;
-            for r in 0..m {
-                cap += caps[r].min(d_j) * machines[r].speed();
-            }
-            // Guard floating-point non-monotonicity of the summed capacities
-            // (Algorithm 1 requires non-decreasing deadlines).
-            if let Some(&prev) = temp_deadlines.last() {
-                cap = cap.max(prev);
-            }
-            temp_deadlines.push(cap);
-        }
+        let mut temp_deadlines = Vec::with_capacity(self.inst.num_tasks());
+        crate::profile::temp_deadlines_into(self.inst, caps, &mut temp_deadlines);
         let single =
             schedule_single_machine_ordered(&temp_deadlines, 1.0, &self.segments, &self.order);
         self.base_accuracy
@@ -112,6 +155,77 @@ impl<'a> NaiveSolver<'a> {
                 .zip(&single.used_flops)
                 .map(|(s, &u)| s.slope * u)
                 .sum::<f64>()
+    }
+
+    /// Creates a [`ValueFnWorkspace`] sized for this instance.
+    pub fn workspace(&self) -> ValueFnWorkspace {
+        ValueFnWorkspace::new(self.inst.num_tasks(), self.inst.num_machines())
+    }
+
+    /// Allocation-free evaluation of the profile value function `V(p)`.
+    ///
+    /// Mathematically identical to [`NaiveSolver::value`] (up to
+    /// floating-point summation order in the temporary deadlines; the
+    /// property suite bounds the drift at 1e-9 relative): the temporary
+    /// deadline of task `j` is `Σ_r min(p_r, d_j) · s_r`, computed here in
+    /// `O(m log m + n)` per probe from the cap-sorted prefix/suffix
+    /// vectors instead of `O(n·m)` — machines with `p_r ≤ d_j` contribute
+    /// their full `p_r · s_r` (a prefix in cap order), the rest contribute
+    /// `d_j · s_r` (a speed suffix), and the deadlines ascend so one
+    /// two-pointer pass covers all tasks.
+    pub fn value_with(&self, ws: &mut ValueFnWorkspace, caps: &[f64]) -> f64 {
+        let inst = self.inst;
+        let n = inst.num_tasks();
+        let machines = inst.machines();
+        let m = machines.len();
+        debug_assert_eq!(caps.len(), m, "profile/machine count mismatch");
+        ws.stats.probes += 1;
+
+        ws.cap_index.clear();
+        ws.cap_index.extend(0..m);
+        ws.cap_index
+            .sort_unstable_by(|&a, &b| caps[a].total_cmp(&caps[b]));
+        ws.cap_sorted.clear();
+        ws.cap_sorted.extend(ws.cap_index.iter().map(|&r| caps[r]));
+
+        ws.speed_suffix.clear();
+        ws.speed_suffix.resize(m + 1, 0.0);
+        for k in (0..m).rev() {
+            ws.speed_suffix[k] = ws.speed_suffix[k + 1] + machines[ws.cap_index[k]].speed();
+        }
+        ws.capwork_prefix.clear();
+        ws.capwork_prefix.resize(m + 1, 0.0);
+        for k in 0..m {
+            ws.capwork_prefix[k + 1] =
+                ws.capwork_prefix[k] + ws.cap_sorted[k] * machines[ws.cap_index[k]].speed();
+        }
+
+        ws.temp_deadlines.clear();
+        let mut k = 0usize;
+        let mut prev = 0.0f64;
+        for j in 0..n {
+            let d_j = inst.task(j).deadline;
+            while k < m && ws.cap_sorted[k] <= d_j {
+                k += 1;
+            }
+            let mut cap = ws.capwork_prefix[k] + d_j * ws.speed_suffix[k];
+            // Guard floating-point non-monotonicity of the summed
+            // capacities (Algorithm 1 requires non-decreasing deadlines).
+            if cap < prev {
+                cap = prev;
+            }
+            prev = cap;
+            ws.temp_deadlines.push(cap);
+        }
+
+        self.base_accuracy
+            + accuracy_gain_ordered(
+                &ws.temp_deadlines,
+                1.0,
+                &self.segments,
+                &self.order,
+                &mut ws.tree,
+            )
     }
 
     /// Full Algorithm 2 solve (with machine distribution) for a profile.
@@ -130,13 +244,8 @@ pub fn compute_naive_solution(inst: &Instance, profile: &EnergyProfile) -> Naive
 
     // Step 2: temporary deadlines in work units (GFLOP) on a unit-speed
     // machine: the aggregate capacity reachable by each real deadline.
-    let mut temp_deadlines: Vec<f64> = (0..n)
-        .map(|j| profile.capacity_by(inst, inst.task(j).deadline))
-        .collect();
-    // Guard floating-point non-monotonicity of the summed capacities.
-    for j in 1..n {
-        temp_deadlines[j] = temp_deadlines[j].max(temp_deadlines[j - 1]);
-    }
+    let mut temp_deadlines = Vec::with_capacity(n);
+    crate::profile::temp_deadlines_into(inst, profile.caps(), &mut temp_deadlines);
     let segments = collect_segments(inst);
     let single = schedule_single_machine(&temp_deadlines, 1.0, &segments);
     let flops = single.times; // unit speed: time == work
@@ -155,9 +264,7 @@ pub fn compute_naive_solution(inst: &Instance, profile: &EnergyProfile) -> Naive
         let mut w = flops[j];
         while w > eps_work {
             let caps: Vec<f64> = (0..m).map(|r| profile.cap(r).min(d_j)).collect();
-            let act: Vec<usize> = (0..m)
-                .filter(|&r| load[r] + EPS_TIME < caps[r])
-                .collect();
+            let act: Vec<usize> = (0..m).filter(|&r| load[r] + EPS_TIME < caps[r]).collect();
             if act.is_empty() {
                 // Unreachable when `flops` came from the capacity-consistent
                 // single-machine solve; guard against accumulated rounding.
@@ -220,7 +327,9 @@ mod tests {
         let inst = Instance::new(tasks, park, 1e9).unwrap();
         let profile = naive_profile(&inst);
         let sol = compute_naive_solution(&inst, &profile);
-        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        sol.schedule
+            .validate(&inst, ScheduleKind::Fractional)
+            .unwrap();
         // Machine speed 2 GFLOP/s, horizon 2 s ⇒ 4 GFLOP total capacity,
         // enough for everything (2 + 2 GFLOP).
         assert!((sol.flops[0] - 2.0).abs() < 1e-9);
@@ -236,7 +345,9 @@ mod tests {
         let inst = Instance::new(tasks, park, 1.0).unwrap();
         let profile = naive_profile(&inst);
         let sol = compute_naive_solution(&inst, &profile);
-        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        sol.schedule
+            .validate(&inst, ScheduleKind::Fractional)
+            .unwrap();
         assert!((sol.flops[0] - 1.0).abs() < 1e-9);
         assert!((sol.schedule.energy(&inst) - 1.0).abs() < 1e-9);
     }
@@ -257,12 +368,45 @@ mod tests {
         let inst = Instance::new(tasks, park, 1e9).unwrap();
         let profile = naive_profile(&inst);
         let sol = compute_naive_solution(&inst, &profile);
-        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        sol.schedule
+            .validate(&inst, ScheduleKind::Fractional)
+            .unwrap();
         // Capacity by d_0 = 0.5·(1+3) = 2 GFLOP: task 0 fully processed.
         assert!((sol.flops[0] - 2.0).abs() < 1e-9);
         // Its time on each machine is at most 0.5 s.
         assert!(sol.schedule.t(0, 0) <= 0.5 + 1e-9);
         assert!(sol.schedule.t(0, 1) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn cached_value_matches_cold_value() {
+        use rand::{Rng, SeedableRng};
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(2.0, 5.0).unwrap(),
+            Machine::from_efficiency(4.0, 8.0).unwrap(),
+            Machine::from_efficiency(1.0, 12.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(1.0, acc(&[(0.4, 3.0), (0.2, 3.0)])),
+            Task::new(2.0, acc(&[(0.3, 4.0)])),
+            Task::new(2.5, acc(&[(0.6, 1.0), (0.25, 2.0)])),
+            Task::new(3.0, acc(&[(0.5, 2.0), (0.1, 6.0)])),
+        ];
+        let inst = Instance::new(tasks, park, 10.0).unwrap();
+        let solver = NaiveSolver::new(&inst);
+        let mut ws = solver.workspace();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        for _ in 0..200 {
+            let caps: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..3.5)).collect();
+            let cold = solver.value(&caps);
+            let cached = solver.value_with(&mut ws, &caps);
+            assert!(
+                (cold - cached).abs() <= 1e-9 * (1.0 + cold.abs()),
+                "caps {caps:?}: cold {cold} vs cached {cached}"
+            );
+        }
+        assert_eq!(ws.stats.probes, 200);
+        assert_eq!(ws.stats.cold_probes, 0);
     }
 
     #[test]
@@ -279,7 +423,9 @@ mod tests {
         let inst = Instance::new(tasks, park, 3.0).unwrap();
         let profile = naive_profile(&inst);
         let sol = compute_naive_solution(&inst, &profile);
-        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        sol.schedule
+            .validate(&inst, ScheduleKind::Fractional)
+            .unwrap();
         for j in 0..3 {
             assert!(
                 (sol.schedule.flops(j, &inst) - sol.flops[j]).abs() < 1e-6,

@@ -100,17 +100,20 @@ fn shrink_info(acc: &PwlAccuracy, f: f64) -> Option<(f64, f64)> {
 /// Per-machine deadline slack: `slack_r[j] = min_{i ≥ j} (d_i − Σ_{k≤i} t_kr)`
 /// — the time by which task `j`'s processing on machine `r` can grow
 /// without violating any (later) deadline.
+/// Allocation-free (it runs after every accepted transfer, so like the
+/// profile search's value probes it must not allocate per call): `out`
+/// first holds the completion-time prefix, then is transformed in place
+/// into the suffix minimum.
 fn deadline_slack(inst: &Instance, schedule: &FractionalSchedule, r: usize, out: &mut [f64]) {
     let n = inst.num_tasks();
     let mut prefix = 0.0;
-    let mut completion = vec![0.0; n];
     for j in 0..n {
         prefix += schedule.t(j, r);
-        completion[j] = prefix;
+        out[j] = prefix;
     }
     let mut suffix_min = f64::INFINITY;
     for j in (0..n).rev() {
-        suffix_min = suffix_min.min(inst.task(j).deadline - completion[j]);
+        suffix_min = suffix_min.min(inst.task(j).deadline - out[j]);
         out[j] = suffix_min;
     }
 }
@@ -215,8 +218,8 @@ pub fn refine_profile(
 
         // Choose the cheaper source.
         let psi_eps = 1e-9 * (1.0 + gpsi.abs());
-        let use_slack_source = slack_energy > min_transfer
-            && best_shrink.is_none_or(|(_, _, p, _)| p >= 0.0);
+        let use_slack_source =
+            slack_energy > min_transfer && best_shrink.is_none_or(|(_, _, p, _)| p >= 0.0);
         let (source_psi, source_energy, source) = if use_slack_source {
             (0.0, slack_energy, None)
         } else if let Some((sj, sr, spsi, sroom)) = best_shrink {
@@ -398,5 +401,4 @@ mod tests {
         assert!(acc_slack >= acc_no_slack - 1e-9);
         schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
     }
-
 }

@@ -65,8 +65,7 @@ pub fn sort_segments(segments: &[SegmentSpec]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let (sa, sb) = (&segments[a], &segments[b]);
         sb.slope
-            .partial_cmp(&sa.slope)
-            .expect("slopes are finite")
+            .total_cmp(&sa.slope)
             .then(sa.task.cmp(&sb.task))
             .then(sa.position.cmp(&sb.position))
     });
@@ -103,13 +102,10 @@ pub fn schedule_single_machine_ordered(
             continue;
         }
         let j = seg.task;
-        let contribution = (seg.total_flops / speed)
-            .min(slack.suffix_min(j))
-            .max(0.0);
+        let contribution = slack.consume(j, seg.total_flops / speed);
         if contribution > 0.0 {
             times[j] += contribution;
             used[si] = contribution * speed;
-            slack.suffix_add(j, -contribution);
         }
     }
 
@@ -119,82 +115,214 @@ pub fn schedule_single_machine_ordered(
     }
 }
 
+/// Algorithm 1 reduced to its objective: the accuracy *gain*
+/// `Σ slope · work` of the optimal schedule, without materializing the
+/// per-task times or per-segment work vectors.
+///
+/// `tree` is reset in place, so a caller probing many deadline vectors
+/// (the profile search's value function) reuses its storage instead of
+/// allocating a fresh tree per solve. The loop exits early once the
+/// aggregate capacity is exhausted: every suffix minimum includes the last
+/// task's slack, so when that slack reaches zero no segment can contribute.
+pub(crate) fn accuracy_gain_ordered(
+    deadlines: &[f64],
+    speed: f64,
+    segments: &[SegmentSpec],
+    order: &[usize],
+    tree: &mut SlackTree,
+) -> f64 {
+    debug_assert!(speed > 0.0, "machine speed must be positive");
+    debug_assert!(
+        deadlines.windows(2).all(|w| w[0] <= w[1]),
+        "deadlines must be non-decreasing"
+    );
+    let Some(&d_last) = deadlines.last() else {
+        return 0.0;
+    };
+    tree.reset(deadlines);
+    let mut v_last = d_last;
+    let mut gain = 0.0;
+    // Tasks `< dead_before` can no longer contribute: a zero take at task
+    // `j` means the suffix minimum from `j` is exhausted, and suffix
+    // minima only shrink as `j` decreases (larger suffixes), so every
+    // earlier task is exhausted too. Slack never grows, so dead stays dead.
+    let mut dead_before = 0usize;
+    for &si in order {
+        if v_last <= 0.0 {
+            break;
+        }
+        let seg = &segments[si];
+        if seg.total_flops <= 0.0 || seg.slope <= 0.0 {
+            continue;
+        }
+        let j = seg.task;
+        if j < dead_before {
+            continue;
+        }
+        let contribution = tree.consume(j, seg.total_flops / speed);
+        if contribution > 0.0 {
+            gain += seg.slope * contribution * speed;
+            v_last -= contribution;
+        } else {
+            dead_before = dead_before.max(j + 1);
+        }
+    }
+    gain
+}
+
 /// Lazy segment tree supporting suffix add and suffix min over the slack
 /// values `v_i = d_i − Σ_{k≤i} t_k`.
-struct SlackTree {
+///
+/// Fully iterative over a power-of-two leaf layout (leaves at
+/// `[size, size + n)`, padding at `INFINITY`): the tree sits in the value
+/// function's hot path, where the recursive formulation's call overhead
+/// dominated unoptimized profile runs. `mins[node]` is the true range
+/// minimum; `lazy[node]` is a pending addition for the node's *strict*
+/// descendants (already folded into `mins[node]` itself).
+#[derive(Debug, Clone)]
+pub(crate) struct SlackTree {
     n: usize,
+    /// Number of leaves (power of two), 1 when empty.
+    size: usize,
     mins: Vec<f64>,
     lazy: Vec<f64>,
 }
 
 impl SlackTree {
-    fn new(values: &[f64]) -> Self {
-        let n = values.len();
+    pub(crate) fn new(values: &[f64]) -> Self {
         let mut t = Self {
-            n,
-            mins: vec![f64::INFINITY; 4 * n.max(1)],
-            lazy: vec![0.0; 4 * n.max(1)],
+            n: 0,
+            size: 1,
+            mins: Vec::new(),
+            lazy: Vec::new(),
         };
-        if n > 0 {
-            t.build(1, 0, n, values);
-        }
+        t.reset(values);
         t
     }
 
-    fn build(&mut self, node: usize, l: usize, r: usize, values: &[f64]) {
-        if r - l == 1 {
-            self.mins[node] = values[l];
-            return;
+    /// Rebuilds the tree over new slack values, reusing the node storage.
+    pub(crate) fn reset(&mut self, values: &[f64]) {
+        let n = values.len();
+        self.n = n;
+        self.size = n.max(1).next_power_of_two();
+        self.mins.clear();
+        self.mins.resize(2 * self.size, f64::INFINITY);
+        self.lazy.clear();
+        self.lazy.resize(2 * self.size, 0.0);
+        self.mins[self.size..self.size + n].copy_from_slice(values);
+        for node in (1..self.size).rev() {
+            self.mins[node] = self.mins[2 * node].min(self.mins[2 * node + 1]);
         }
-        let mid = l + (r - l) / 2;
-        self.build(2 * node, l, mid, values);
-        self.build(2 * node + 1, mid, r, values);
-        self.mins[node] = self.mins[2 * node].min(self.mins[2 * node + 1]);
     }
 
     /// `min(v_i for i in from..n)`; `INFINITY` when the range is empty.
+    #[cfg(test)]
     fn suffix_min(&self, from: usize) -> f64 {
-        if self.n == 0 || from >= self.n {
+        if from >= self.n {
             return f64::INFINITY;
         }
-        self.query(1, 0, self.n, from)
+        // Descend towards leaf `from`, taking every right sibling along the
+        // way (they cover `(from, …]` completely); `add` accumulates the
+        // lazy pending from the ancestors above each taken node.
+        let mut node = 1usize;
+        let mut l = 0usize;
+        let mut r = self.size;
+        let mut add = 0.0f64;
+        let mut res = f64::INFINITY;
+        while r - l > 1 {
+            add += self.lazy[node];
+            let mid = l + (r - l) / 2;
+            if from < mid {
+                res = res.min(self.mins[2 * node + 1] + add);
+                node *= 2;
+                r = mid;
+            } else {
+                node = 2 * node + 1;
+                l = mid;
+            }
+        }
+        res.min(self.mins[node] + add)
     }
 
-    fn query(&self, node: usize, l: usize, r: usize, from: usize) -> f64 {
-        if from <= l {
-            return self.mins[node];
+    /// Fused probe-and-take: computes `c = clamp(min(want, suffix_min(from)),
+    /// 0, ∞)` and, when `c > 0`, applies `suffix_add(from, -c)` — in a
+    /// single descent instead of two (the two operations always pair up in
+    /// Algorithm 1's segment loop, and branch decisions, range bounds, and
+    /// accumulated lazy are identical for both).
+    pub(crate) fn consume(&mut self, from: usize, want: f64) -> f64 {
+        if from >= self.n {
+            return 0.0;
         }
-        if from >= r {
-            return f64::INFINITY;
+        let mut node = 1usize;
+        let mut l = 0usize;
+        let mut r = self.size;
+        let mut add = 0.0f64;
+        let mut res = f64::INFINITY;
+        // Path entries are `(node << 1) | went_left`, root first.
+        let mut path = [0usize; usize::BITS as usize];
+        let mut depth = 0usize;
+        while r - l > 1 {
+            add += self.lazy[node];
+            let mid = l + (r - l) / 2;
+            if from < mid {
+                res = res.min(self.mins[2 * node + 1] + add);
+                path[depth] = (node << 1) | 1;
+                node *= 2;
+                r = mid;
+            } else {
+                path[depth] = node << 1;
+                node = 2 * node + 1;
+                l = mid;
+            }
+            depth += 1;
         }
-        let mid = l + (r - l) / 2;
-        let res = self
-            .query(2 * node, l, mid, from)
-            .min(self.query(2 * node + 1, mid, r, from));
-        res + self.lazy[node]
+        res = res.min(self.mins[node] + add);
+        let c = want.min(res).max(0.0);
+        if c > 0.0 {
+            self.mins[node] -= c;
+            for d in (0..depth).rev() {
+                let entry = path[d];
+                let p = entry >> 1;
+                if entry & 1 == 1 {
+                    let right = 2 * p + 1;
+                    self.mins[right] -= c;
+                    self.lazy[right] -= c;
+                }
+                self.mins[p] = self.mins[2 * p].min(self.mins[2 * p + 1]) + self.lazy[p];
+            }
+        }
+        c
     }
 
     /// `v_i += delta` for all `i in from..n`.
+    #[cfg(test)]
     fn suffix_add(&mut self, from: usize, delta: f64) {
-        if self.n == 0 || from >= self.n {
+        if from >= self.n {
             return;
         }
-        self.update(1, 0, self.n, from, delta);
-    }
-
-    fn update(&mut self, node: usize, l: usize, r: usize, from: usize, delta: f64) {
-        if from <= l {
-            self.mins[node] += delta;
-            self.lazy[node] += delta;
-            return;
+        // Descend towards leaf `from`, applying the delta to every right
+        // sibling (fully covered); then recompute the mins up the path.
+        let mut node = 1usize;
+        let mut l = 0usize;
+        let mut r = self.size;
+        while r - l > 1 {
+            let mid = l + (r - l) / 2;
+            if from < mid {
+                let right = 2 * node + 1;
+                self.mins[right] += delta;
+                self.lazy[right] += delta;
+                node *= 2;
+                r = mid;
+            } else {
+                node = 2 * node + 1;
+                l = mid;
+            }
         }
-        if from >= r {
-            return;
+        self.mins[node] += delta;
+        while node > 1 {
+            node /= 2;
+            self.mins[node] = self.mins[2 * node].min(self.mins[2 * node + 1]) + self.lazy[node];
         }
-        let mid = l + (r - l) / 2;
-        self.update(2 * node, l, mid, from, delta);
-        self.update(2 * node + 1, mid, r, from, delta);
-        self.mins[node] = self.mins[2 * node].min(self.mins[2 * node + 1]) + self.lazy[node];
     }
 }
 
@@ -341,8 +469,7 @@ mod tests {
         order.sort_by(|&a, &b| {
             let (sa, sb) = (&segments[a], &segments[b]);
             sb.slope
-                .partial_cmp(&sa.slope)
-                .unwrap()
+                .total_cmp(&sa.slope)
                 .then(sa.task.cmp(&sb.task))
                 .then(sa.position.cmp(&sb.position))
         });
@@ -374,7 +501,7 @@ mod tests {
         for trial in 0..200 {
             let n = rng.gen_range(1..25);
             let mut deadlines: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
-            deadlines.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            deadlines.sort_by(f64::total_cmp);
             let mut segments = Vec::new();
             for task in 0..n {
                 let k = rng.gen_range(1..4);
@@ -401,6 +528,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn accuracy_gain_matches_full_solve_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut tree = SlackTree::new(&[]);
+        for trial in 0..100 {
+            let n = rng.gen_range(1..20);
+            let mut deadlines: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..8.0)).collect();
+            deadlines.sort_by(f64::total_cmp);
+            let mut segments = Vec::new();
+            for task in 0..n {
+                let k = rng.gen_range(1..4);
+                let mut slope: f64 = rng.gen_range(0.5..4.0);
+                for position in 0..k {
+                    segments.push(SegmentSpec {
+                        task,
+                        position,
+                        slope,
+                        total_flops: rng.gen_range(0.1..5.0),
+                    });
+                    slope *= rng.gen_range(0.2..0.9);
+                }
+            }
+            let speed = rng.gen_range(0.5..3.0);
+            let order = sort_segments(&segments);
+            let full = schedule_single_machine_ordered(&deadlines, speed, &segments, &order);
+            let want = accuracy_of(&segments, &full.used_flops, 0.0);
+            // Reusing the same tree across trials exercises `reset`.
+            let got = accuracy_gain_ordered(&deadlines, speed, &segments, &order, &mut tree);
+            assert!(
+                (got - want).abs() < 1e-9 * (1.0 + want.abs()),
+                "trial {trial}: gain-only {got} vs full {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_gain_handles_empty_and_exhausted_inputs() {
+        let mut tree = SlackTree::new(&[]);
+        assert_eq!(accuracy_gain_ordered(&[], 1.0, &[], &[], &mut tree), 0.0);
+        // Zero capacity everywhere: early exit, zero gain.
+        let segs = [seg(0, 0, 2.0, 5.0), seg(1, 0, 1.0, 5.0)];
+        let order = sort_segments(&segs);
+        let got = accuracy_gain_ordered(&[0.0, 0.0], 1.0, &segs, &order, &mut tree);
+        assert_eq!(got, 0.0);
     }
 
     #[test]

@@ -75,11 +75,7 @@ pub fn approx_from_fractional(
     finish(inst, fractional, schedule)
 }
 
-fn finish(
-    inst: &Instance,
-    fractional: FrSolution,
-    schedule: FractionalSchedule,
-) -> ApproxSolution {
+fn finish(inst: &Instance, fractional: FrSolution, schedule: FractionalSchedule) -> ApproxSolution {
     let assignment = (0..inst.num_tasks())
         .map(|j| schedule.assigned_machine(j))
         .collect();
@@ -118,12 +114,7 @@ fn assign_from_fractional(
         let r_best = match placement {
             Placement::LeastLoaded => (0..m)
                 .filter(|&r| open(r, &load))
-                .min_by(|&a, &b| {
-                    load[a]
-                        .partial_cmp(&load[b])
-                        .expect("loads are finite")
-                        .then(a.cmp(&b))
-                }),
+                .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b))),
             Placement::FirstFit => (0..m).find(|&r| open(r, &load)),
         };
         let Some(r) = r_best else {
@@ -247,7 +238,9 @@ mod tests {
             ..Default::default()
         };
         let sol = solve_approx(&inst, &opts);
-        sol.schedule.validate(&inst, ScheduleKind::Integral).unwrap();
+        sol.schedule
+            .validate(&inst, ScheduleKind::Integral)
+            .unwrap();
         assert!(sol.total_accuracy <= sol.fractional.total_accuracy + 1e-9);
     }
 }

@@ -48,7 +48,7 @@ pub fn edf_three_levels(inst: &Instance) -> BaselineSolution {
 /// required; levels are sorted internally).
 pub fn edf_with_levels(inst: &Instance, levels: &[f64]) -> BaselineSolution {
     let mut sorted: Vec<f64> = levels.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("levels are finite"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     greedy_levels(inst, &sorted, false)
 }
 
@@ -70,12 +70,7 @@ fn greedy_levels(inst: &Instance, levels: &[f64], full_only: bool) -> BaselineSo
         let task = inst.task(j);
         // Least-loaded machine (Zhang et al., the paper’s ref. 29 placement rule).
         let r = (0..m)
-            .min_by(|&a, &b| {
-                load[a]
-                    .partial_cmp(&load[b])
-                    .expect("loads are finite")
-                    .then(a.cmp(&b))
-            })
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
             .expect("non-empty park");
 
         // Candidate work amounts, highest quality first.
@@ -148,7 +143,9 @@ mod tests {
         let tasks = vec![Task::new(2.0, acc()), Task::new(2.0, acc())];
         let inst = Instance::new(tasks, park(), 1e9).unwrap();
         let sol = edf_no_compression(&inst);
-        sol.schedule.validate(&inst, ScheduleKind::Integral).unwrap();
+        sol.schedule
+            .validate(&inst, ScheduleKind::Integral)
+            .unwrap();
         for j in 0..2 {
             if sol.assignment[j].is_some() {
                 assert!(
@@ -171,7 +168,9 @@ mod tests {
         let sol = edf_no_compression(&inst);
         assert_eq!(sol.scheduled, 1);
         assert!(sol.energy <= 3.0 + 1e-9);
-        sol.schedule.validate(&inst, ScheduleKind::Integral).unwrap();
+        sol.schedule
+            .validate(&inst, ScheduleKind::Integral)
+            .unwrap();
     }
 
     #[test]
@@ -219,7 +218,9 @@ mod tests {
             lvl.total_accuracy,
             full.total_accuracy
         );
-        lvl.schedule.validate(&inst, ScheduleKind::Integral).unwrap();
+        lvl.schedule
+            .validate(&inst, ScheduleKind::Integral)
+            .unwrap();
     }
 
     #[test]

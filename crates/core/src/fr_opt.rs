@@ -12,7 +12,7 @@ use crate::algo_naive::compute_naive_solution;
 use crate::algo_refine::{refine_profile, RefineOptions};
 use crate::problem::Instance;
 use crate::profile::{naive_profile, EnergyProfile};
-use crate::profile_search::{profile_search, ProfileSearchOptions};
+use crate::profile_search::{profile_search, ProfileSearchOptions, ProfileSearchOutcome};
 use crate::schedule::FractionalSchedule;
 
 /// Options for the fractional solver.
@@ -50,6 +50,11 @@ pub struct FrSolution {
     pub energy: f64,
     /// Refinement iterations performed (0 when skipped).
     pub refine_iterations: usize,
+    /// Profile-search statistics (sweeps, transfers, `V(p)` probe
+    /// counters), `None` when the search was skipped. The probe counters
+    /// distinguish the cached workspace path from the cold ablation path
+    /// selected via [`ProfileSearchOptions::use_value_cache`].
+    pub search: Option<ProfileSearchOutcome>,
 }
 
 /// Solves DSCT-EA-FR exactly (Algorithm 4).
@@ -67,6 +72,7 @@ pub fn solve_fr_opt(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
     let mut schedule = base.schedule;
     let mut flops = base.flops;
     let mut refine_iterations = 0;
+    let mut search = None;
 
     if !opts.skip_refine {
         if !opts.skip_transfer_pass {
@@ -86,6 +92,7 @@ pub fn solve_fr_opt(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
             let before = schedule.total_accuracy(inst);
             let (_, refined, outcome) = profile_search(inst, &start, &opts.search);
             refine_iterations += outcome.transfers;
+            search = Some(outcome);
             if refined.schedule.total_accuracy(inst) >= before {
                 schedule = refined.schedule;
                 flops = refined.flops;
@@ -104,6 +111,7 @@ pub fn solve_fr_opt(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
         profile,
         energy,
         refine_iterations,
+        search,
     }
 }
 

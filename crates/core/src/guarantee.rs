@@ -69,12 +69,8 @@ mod tests {
         // θ_min = 0.1, range = 0.82.
         let a1 = PwlAccuracy::new(&[(0.0, 0.0), (1.0, 0.4), (2.0, 0.5)]).unwrap();
         let a2 = PwlAccuracy::new(&[(0.0, 0.0), (1.0, 0.5), (2.6, 0.82)]).unwrap();
-        let inst = Instance::new(
-            vec![Task::new(1.0, a1), Task::new(2.0, a2)],
-            park(2),
-            1.0,
-        )
-        .unwrap();
+        let inst =
+            Instance::new(vec![Task::new(1.0, a1), Task::new(2.0, a2)], park(2), 1.0).unwrap();
         let g = absolute_guarantee(&inst);
         let expected = 2.0 * 0.82 * (1.0 + (0.5f64 / 0.1).ln());
         assert!((g - expected).abs() < 1e-12, "g = {g}, want {expected}");

@@ -27,7 +27,10 @@ pub struct MipScheduleSolution {
 }
 
 /// Builds and solves the DSCT-EA MIP.
-pub fn solve_mip_exact(inst: &Instance, opts: &MipOptions) -> Result<MipScheduleSolution, MipError> {
+pub fn solve_mip_exact(
+    inst: &Instance,
+    opts: &MipOptions,
+) -> Result<MipScheduleSolution, MipError> {
     let n = inst.num_tasks();
     let m = inst.num_machines();
     let mut built = build_fr_lp(inst);

@@ -106,11 +106,7 @@ impl Instance {
         machines: MachinePark,
         budget: f64,
     ) -> Result<Self, ProblemError> {
-        tasks.sort_by(|a, b| {
-            a.deadline
-                .partial_cmp(&b.deadline)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        tasks.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
         Self::new(tasks, machines, budget)
     }
 

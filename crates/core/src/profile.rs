@@ -71,6 +71,33 @@ impl EnergyProfile {
     }
 }
 
+/// Fills `out` with the temporary deadlines of Algorithm 2 for raw caps:
+/// `out[j] = Σ_r min(caps[r], d_j) · s_r` (GFLOP on a unit-speed machine),
+/// clamped to be non-decreasing — summation can otherwise break the
+/// monotonicity Algorithm 1 requires by a few ulps.
+///
+/// This is the cold (per-call `O(n·m)`) transformation; the profile
+/// search's hot path computes the same quantity from reusable
+/// prefix-capacity vectors in [`crate::algo_naive::ValueFnWorkspace`].
+pub fn temp_deadlines_into(inst: &Instance, caps: &[f64], out: &mut Vec<f64>) {
+    let machines = inst.machines();
+    debug_assert_eq!(caps.len(), machines.len(), "profile/machine count mismatch");
+    out.clear();
+    let mut prev = 0.0f64;
+    for task in inst.tasks() {
+        let d = task.deadline;
+        let mut cap = 0.0;
+        for (r, &p) in caps.iter().enumerate() {
+            cap += p.min(d) * machines[r].speed();
+        }
+        if cap < prev {
+            cap = prev;
+        }
+        prev = cap;
+        out.push(cap);
+    }
+}
+
 /// Computes the naive energy profile (Algorithm 2, lines 1–5): machines in
 /// non-increasing efficiency order receive `min(remaining_budget / P_r,
 /// d^max)` seconds each until the budget runs out.

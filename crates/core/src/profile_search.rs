@@ -21,7 +21,9 @@
 //! cannot use (deadline-bound) is surfaced automatically — shrinking such
 //! a cap costs `V` nothing.
 
-use crate::algo_naive::{compute_naive_solution, NaiveSolution, NaiveSolver};
+use crate::algo_naive::{
+    compute_naive_solution, NaiveSolution, NaiveSolver, ProbeStats, ValueFnWorkspace,
+};
 use crate::problem::Instance;
 use crate::profile::EnergyProfile;
 
@@ -45,6 +47,20 @@ pub struct ProfileSearchOptions {
     /// escapes those (and hands control back to the cheap pairwise sweeps
     /// as soon as it improves).
     pub triple_polish: bool,
+    /// Evaluate `V(p)` probes through the reusable
+    /// [`ValueFnWorkspace`] (allocation-free, prefix-capacity temporary
+    /// deadlines, early exit on exhausted capacity). Disable to fall back
+    /// to the cold per-probe Algorithm 2 solve — the ablation baseline the
+    /// search trajectory can be diffed against.
+    pub use_value_cache: bool,
+    /// Gate pairwise directions behind the single-evaluation ε-probe
+    /// (see `try_direction`): a non-improving pair costs 1 probe instead
+    /// of a full `line_iterations + 3`-evaluation line search, which is
+    /// where converged sweeps spend nearly all their work. The first sweep
+    /// always line-searches every pair, so the gate only prunes
+    /// already-converged directions. Disable to reproduce the exhaustive
+    /// sweep.
+    pub pairwise_probe: bool,
 }
 
 impl Default for ProfileSearchOptions {
@@ -54,6 +70,8 @@ impl Default for ProfileSearchOptions {
             line_iterations: 40,
             rel_gain_tol: 1e-10,
             triple_polish: true,
+            use_value_cache: true,
+            pairwise_probe: true,
         }
     }
 }
@@ -67,6 +85,34 @@ pub struct ProfileSearchOutcome {
     pub transfers: usize,
     /// Whether the search converged before the sweep cap.
     pub converged: bool,
+    /// `V(p)` evaluation counters (total and cold-path probes).
+    pub probe_stats: ProbeStats,
+}
+
+/// Dispatches `V(p)` probes to the cached workspace path or the cold
+/// per-call path, keeping the evaluation counters either way.
+struct Prober<'a> {
+    solver: NaiveSolver<'a>,
+    ws: ValueFnWorkspace,
+    cached: bool,
+}
+
+impl<'a> Prober<'a> {
+    fn new(inst: &'a Instance, cached: bool) -> Self {
+        let solver = NaiveSolver::new(inst);
+        let ws = solver.workspace();
+        Self { solver, ws, cached }
+    }
+
+    fn value(&mut self, caps: &[f64]) -> f64 {
+        if self.cached {
+            self.solver.value_with(&mut self.ws, caps)
+        } else {
+            self.ws.stats.probes += 1;
+            self.ws.stats.cold_probes += 1;
+            self.solver.value(caps)
+        }
+    }
 }
 
 /// A budget-preserving transfer direction: each `(machine, weight)` entry
@@ -88,7 +134,14 @@ fn direction_step_limit(dir: &Direction, caps: &[f64], power: &[f64], d_max: f64
     limit
 }
 
-fn apply_direction(dir: &Direction, caps: &[f64], power: &[f64], d_max: f64, delta: f64, out: &mut Vec<f64>) {
+fn apply_direction(
+    dir: &Direction,
+    caps: &[f64],
+    power: &[f64],
+    d_max: f64,
+    delta: f64,
+    out: &mut Vec<f64>,
+) {
     out.clear();
     out.extend_from_slice(caps);
     for &(r, w) in dir {
@@ -102,7 +155,7 @@ fn apply_direction(dir: &Direction, caps: &[f64], power: &[f64], d_max: f64, del
 /// `(δ, g(δ))` seen, including the right endpoint.
 #[allow(clippy::too_many_arguments)] // bundled search context, called twice
 fn line_search(
-    solver: &NaiveSolver<'_>,
+    prober: &mut Prober<'_>,
     caps: &[f64],
     scratch: &mut Vec<f64>,
     dir: &Direction,
@@ -113,7 +166,7 @@ fn line_search(
 ) -> (f64, f64) {
     let mut eval = |delta: f64| -> f64 {
         apply_direction(dir, caps, power, d_max, delta, scratch);
-        solver.value(scratch)
+        prober.value(scratch)
     };
     let (mut a, mut b) = (0.0f64, delta_max);
     let mut c = b - INV_PHI * (b - a);
@@ -182,9 +235,9 @@ pub fn profile_search(
             }
         }
     }
-    let solver = NaiveSolver::new(inst);
+    let mut prober = Prober::new(inst, opts.use_value_cache);
     let mut scratch: Vec<f64> = Vec::with_capacity(m);
-    let mut current = solver.value(&caps);
+    let mut current = prober.value(&caps);
     let mut sweeps = 0usize;
     let mut transfers = 0usize;
     let mut converged = false;
@@ -196,11 +249,12 @@ pub fn profile_search(
     // directions and validated empirically against the LP optimum in the
     // test suite).
     let try_direction = |dir: &Direction,
-                             probe: bool,
-                             caps: &mut Vec<f64>,
-                             current: &mut f64,
-                             transfers: &mut usize,
-                             scratch: &mut Vec<f64>|
+                         probe: bool,
+                         caps: &mut Vec<f64>,
+                         current: &mut f64,
+                         transfers: &mut usize,
+                         scratch: &mut Vec<f64>,
+                         prober: &mut Prober<'_>|
      -> bool {
         let delta_max = direction_step_limit(dir, caps, &power, d_max);
         if delta_max <= 1e-15 || delta_max.is_nan() || delta_max.is_infinite() {
@@ -208,12 +262,12 @@ pub fn profile_search(
         }
         if probe {
             apply_direction(dir, caps, &power, d_max, delta_max * 1e-3, scratch);
-            if solver.value(scratch) <= *current {
+            if prober.value(scratch) <= *current {
                 return false;
             }
         }
         let (best_delta, best_val) = line_search(
-            &solver,
+            prober,
             caps,
             scratch,
             dir,
@@ -233,8 +287,15 @@ pub fn profile_search(
         }
     };
 
+    // Accepted transfers require a strict `gain_tol` improvement, so the
+    // value must ascend sweep over sweep; the debug assert guards the
+    // cached probe path against ever breaking that invariant.
+    #[cfg(debug_assertions)]
+    let monotone_tol = 1e-9 * inst.total_max_accuracy().max(1.0);
     while sweeps < opts.max_sweeps {
         sweeps += 1;
+        #[cfg(debug_assertions)]
+        let sweep_start_value = current;
         let mut improved = false;
         // Pairwise sweep: δ joules from `from`'s cap to `to`'s cap.
         for from in 0..m {
@@ -243,8 +304,15 @@ pub fn profile_search(
                     continue;
                 }
                 let dir = [(from, -1.0), (to, 1.0)];
-                improved |=
-                    try_direction(&dir, false, &mut caps, &mut current, &mut transfers, &mut scratch);
+                improved |= try_direction(
+                    &dir,
+                    opts.pairwise_probe,
+                    &mut caps,
+                    &mut current,
+                    &mut transfers,
+                    &mut scratch,
+                    &mut prober,
+                );
             }
         }
         if !improved && opts.triple_polish && m >= 3 {
@@ -263,9 +331,23 @@ pub fn profile_search(
                         for lambda in [0.25, 0.5, 0.75] {
                             let split = [(a, -1.0), (b, lambda), (c, 1.0 - lambda)];
                             let merge = [(b, -lambda), (c, -(1.0 - lambda)), (a, 1.0)];
-                            if try_direction(&split, true, &mut caps, &mut current, &mut transfers, &mut scratch)
-                                || try_direction(&merge, true, &mut caps, &mut current, &mut transfers, &mut scratch)
-                            {
+                            if try_direction(
+                                &split,
+                                true,
+                                &mut caps,
+                                &mut current,
+                                &mut transfers,
+                                &mut scratch,
+                                &mut prober,
+                            ) || try_direction(
+                                &merge,
+                                true,
+                                &mut caps,
+                                &mut current,
+                                &mut transfers,
+                                &mut scratch,
+                                &mut prober,
+                            ) {
                                 improved = true;
                                 break 'polish;
                             }
@@ -274,6 +356,11 @@ pub fn profile_search(
                 }
             }
         }
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            current >= sweep_start_value - monotone_tol,
+            "sweep {sweeps} decreased the value: {sweep_start_value} -> {current}"
+        );
         if !improved {
             converged = true;
             break;
@@ -289,6 +376,7 @@ pub fn profile_search(
             sweeps,
             transfers,
             converged,
+            probe_stats: prober.ws.stats,
         },
     )
 }
@@ -325,7 +413,9 @@ mod tests {
         assert!(out.converged);
         let refined = sol.schedule.total_accuracy(&inst);
         assert!(refined >= base - 1e-12);
-        sol.schedule.validate(&inst, ScheduleKind::Fractional).unwrap();
+        sol.schedule
+            .validate(&inst, ScheduleKind::Fractional)
+            .unwrap();
         // Profile stays within the budget.
         assert!(profile.energy(&inst) <= inst.budget() + 1e-6);
     }

@@ -74,7 +74,9 @@ impl EnergySupply {
         }
         for w in points.windows(2) {
             if w[0].0 >= w[1].0 || w[0].0.is_nan() || w[1].0.is_nan() {
-                return Err(RenewableError::InvalidSupply("times must strictly increase"));
+                return Err(RenewableError::InvalidSupply(
+                    "times must strictly increase",
+                ));
             }
             if w[1].1 < w[0].1 {
                 return Err(RenewableError::InvalidSupply("cumulative energy decreased"));
@@ -84,7 +86,9 @@ impl EnergySupply {
             .iter()
             .any(|&(t, e)| !t.is_finite() || !e.is_finite() || t < 0.0 || e < 0.0)
         {
-            return Err(RenewableError::InvalidSupply("non-finite or negative anchor"));
+            return Err(RenewableError::InvalidSupply(
+                "non-finite or negative anchor",
+            ));
         }
         Ok(Self { points })
     }
@@ -184,6 +188,7 @@ pub fn solve_renewable(
         profile,
         energy,
         refine_iterations: 0,
+        search: None,
     };
     let mut approx = approx_from_fractional(&relaxed, fractional.clone(), Placement::LeastLoaded);
     // Window cut: the list scheduling respects the total budget through
@@ -211,7 +216,9 @@ pub fn solve_renewable(
         }
     }
     approx.total_accuracy = approx.schedule.total_accuracy(&relaxed);
-    approx.assignment = (0..n).map(|j| approx.schedule.assigned_machine(j)).collect();
+    approx.assignment = (0..n)
+        .map(|j| approx.schedule.assigned_machine(j))
+        .collect();
     Ok(RenewableSolution { fractional, approx })
 }
 

@@ -20,7 +20,11 @@ pub enum ScheduleKind {
 #[allow(missing_docs)] // variant fields are self-describing
 pub enum Violation {
     /// A processing time is negative or non-finite.
-    NegativeTime { task: usize, machine: usize, value: f64 },
+    NegativeTime {
+        task: usize,
+        machine: usize,
+        value: f64,
+    },
     /// The EDF prefix constraint `Σ_{i≤j} t_ir ≤ d_j` fails on a machine.
     DeadlineExceeded {
         task: usize,
@@ -39,7 +43,11 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::NegativeTime { task, machine, value } => {
+            Violation::NegativeTime {
+                task,
+                machine,
+                value,
+            } => {
                 write!(f, "t[{task}][{machine}] = {value} < 0")
             }
             Violation::DeadlineExceeded {

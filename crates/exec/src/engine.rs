@@ -254,9 +254,9 @@ pub fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsct_accuracy::PwlAccuracy;
     use dsct_core::approx::{solve_approx, ApproxOptions};
     use dsct_core::problem::Task;
-    use dsct_accuracy::PwlAccuracy;
     use dsct_machines::{Machine, MachinePark};
 
     fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
@@ -304,14 +304,7 @@ mod tests {
         let a = execute(&inst, &plan.schedule, &cfg);
         let b = execute(&inst, &plan.schedule, &cfg);
         assert_eq!(a.realized_accuracy, b.realized_accuracy);
-        let c = execute(
-            &inst,
-            &plan.schedule,
-            &ExecutionConfig {
-                seed: 43,
-                ..cfg
-            },
-        );
+        let c = execute(&inst, &plan.schedule, &ExecutionConfig { seed: 43, ..cfg });
         assert_ne!(a.realized_accuracy, c.realized_accuracy);
     }
 

@@ -45,4 +45,4 @@
 mod model;
 mod simplex;
 
-pub use model::{Cmp, LpError, Model, RowId, Sense, SolveOptions, Solution, Status, Var};
+pub use model::{Cmp, LpError, Model, RowId, Sense, Solution, SolveOptions, Status, Var};

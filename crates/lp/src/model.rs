@@ -274,10 +274,6 @@ impl Model {
 
     /// Objective value of `x` in the model's own sense.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.cols
-            .iter()
-            .zip(x)
-            .map(|(c, &xi)| c.obj * xi)
-            .sum()
+        self.cols.iter().zip(x).map(|(c, &xi)| c.obj * xi).sum()
     }
 }

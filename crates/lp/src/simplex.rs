@@ -1,7 +1,7 @@
 //! Bounded-variable two-phase revised simplex with a dense explicit basis
 //! inverse. See the crate docs for the method outline.
 
-use crate::model::{Cmp, Model, Sense, SolveOptions, Solution, Status};
+use crate::model::{Cmp, Model, Sense, Solution, SolveOptions, Status};
 use std::time::Instant;
 
 /// Cadence (in pivots) for recomputing basic values from the basis inverse.
@@ -449,7 +449,11 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Solution {
         }
 
         let Some((jin, _dj, sigma)) = enter else {
-            break if phase1 { Status::Infeasible } else { Status::Optimal };
+            break if phase1 {
+                Status::Infeasible
+            } else {
+                Status::Optimal
+            };
         };
 
         t.ftran(jin, &mut w);

@@ -144,12 +144,24 @@ fn beale_cycling_example_terminates() {
     let x5 = m.add_var(150.0, 0.0, f64::INFINITY);
     let x6 = m.add_var(-0.02, 0.0, f64::INFINITY);
     let x7 = m.add_var(6.0, 0.0, f64::INFINITY);
-    m.add_row(Cmp::Le, 0.0, &[(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)]);
-    m.add_row(Cmp::Le, 0.0, &[(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)]);
+    m.add_row(
+        Cmp::Le,
+        0.0,
+        &[(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)],
+    );
+    m.add_row(
+        Cmp::Le,
+        0.0,
+        &[(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)],
+    );
     m.add_row(Cmp::Le, 1.0, &[(x6, 1.0)]);
     let s = solve(&m);
     assert_eq!(s.status, Status::Optimal);
-    assert!((s.objective - (-0.05)).abs() < 1e-8, "obj = {}", s.objective);
+    assert!(
+        (s.objective - (-0.05)).abs() < 1e-8,
+        "obj = {}",
+        s.objective
+    );
 }
 
 #[test]
@@ -177,7 +189,11 @@ fn degenerate_transportation_problem() {
         })
         .collect();
     for row in &v {
-        m.add_row(Cmp::Eq, 10.0, &[(row[0].unwrap(), 1.0), (row[1].unwrap(), 1.0)]);
+        m.add_row(
+            Cmp::Eq,
+            10.0,
+            &[(row[0].unwrap(), 1.0), (row[1].unwrap(), 1.0)],
+        );
     }
     for j in 0..2 {
         let col: Vec<_> = v.iter().map(|row| (row[j].unwrap(), 1.0)).collect();
@@ -355,7 +371,11 @@ fn ill_conditioned_coefficients_solve_cleanly() {
     assert!(m.max_violation(&s.x) < 1e-6);
     // Row 1 binds at y = 2.5 and leaves x no room (trading y for x loses
     // 10× the objective): optimum (x, y) = (0, 2.5), objective 5000.
-    assert!((s.x[y.index()] - 2.5).abs() < 1e-6, "y = {}", s.x[y.index()]);
+    assert!(
+        (s.x[y.index()] - 2.5).abs() < 1e-6,
+        "y = {}",
+        s.x[y.index()]
+    );
     assert!(s.x[x.index()].abs() < 1e-6, "x = {}", s.x[x.index()]);
     assert!((s.objective - 5000.0).abs() < 1e-4, "obj = {}", s.objective);
 }

@@ -7,10 +7,33 @@
 //! derived. Values are public spec-sheet numbers (dense, no sparsity).
 
 use crate::Machine;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
+use std::fmt;
+
+/// Failure to resolve a name against the static GPU catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// No catalog entry carries this marketing name.
+    UnknownGpu(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownGpu(name) => {
+                write!(f, "no GPU named {name:?} in the NVIDIA server catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
 
 /// One GPU spec point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the catalog is static data referencing `&'static str`
+/// names, which cannot be materialized by deserialization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct GpuSpec {
     /// Marketing name.
     pub name: &'static str,
@@ -45,25 +68,123 @@ impl GpuSpec {
 /// NVIDIA data-center GPUs, Kepler through Hopper, plus the workstation
 /// RTX A2000 used in the paper's testbed.
 pub const NVIDIA_SERVER_GPUS: [GpuSpec; 18] = [
-    GpuSpec { name: "Tesla K80",        year: 2014, fp16_tflops: 8.74,  tdp_watts: 300.0 },
-    GpuSpec { name: "Tesla M40",        year: 2015, fp16_tflops: 7.0,   tdp_watts: 250.0 },
-    GpuSpec { name: "Tesla P4",         year: 2016, fp16_tflops: 5.5,   tdp_watts: 75.0 },
-    GpuSpec { name: "Tesla P40",        year: 2016, fp16_tflops: 12.0,  tdp_watts: 250.0 },
-    GpuSpec { name: "Tesla P100",       year: 2016, fp16_tflops: 21.2,  tdp_watts: 300.0 },
-    GpuSpec { name: "Tesla V100",       year: 2017, fp16_tflops: 125.0, tdp_watts: 300.0 },
-    GpuSpec { name: "Tesla T4",         year: 2018, fp16_tflops: 65.0,  tdp_watts: 70.0 },
-    GpuSpec { name: "Quadro RTX 8000",  year: 2018, fp16_tflops: 130.5, tdp_watts: 295.0 },
-    GpuSpec { name: "A2",               year: 2021, fp16_tflops: 18.0,  tdp_watts: 60.0 },
-    GpuSpec { name: "A10",              year: 2021, fp16_tflops: 125.0, tdp_watts: 150.0 },
-    GpuSpec { name: "A30",              year: 2021, fp16_tflops: 165.0, tdp_watts: 165.0 },
-    GpuSpec { name: "A40",              year: 2021, fp16_tflops: 149.7, tdp_watts: 300.0 },
-    GpuSpec { name: "A100 40GB",        year: 2020, fp16_tflops: 312.0, tdp_watts: 400.0 },
-    GpuSpec { name: "A100 80GB",        year: 2021, fp16_tflops: 312.0, tdp_watts: 400.0 },
-    GpuSpec { name: "L4",               year: 2023, fp16_tflops: 121.0, tdp_watts: 72.0 },
-    GpuSpec { name: "L40",              year: 2022, fp16_tflops: 181.0, tdp_watts: 300.0 },
-    GpuSpec { name: "H100 PCIe",        year: 2022, fp16_tflops: 756.0, tdp_watts: 350.0 },
-    GpuSpec { name: "RTX A2000",        year: 2021, fp16_tflops: 63.9,  tdp_watts: 70.0 },
+    GpuSpec {
+        name: "Tesla K80",
+        year: 2014,
+        fp16_tflops: 8.74,
+        tdp_watts: 300.0,
+    },
+    GpuSpec {
+        name: "Tesla M40",
+        year: 2015,
+        fp16_tflops: 7.0,
+        tdp_watts: 250.0,
+    },
+    GpuSpec {
+        name: "Tesla P4",
+        year: 2016,
+        fp16_tflops: 5.5,
+        tdp_watts: 75.0,
+    },
+    GpuSpec {
+        name: "Tesla P40",
+        year: 2016,
+        fp16_tflops: 12.0,
+        tdp_watts: 250.0,
+    },
+    GpuSpec {
+        name: "Tesla P100",
+        year: 2016,
+        fp16_tflops: 21.2,
+        tdp_watts: 300.0,
+    },
+    GpuSpec {
+        name: "Tesla V100",
+        year: 2017,
+        fp16_tflops: 125.0,
+        tdp_watts: 300.0,
+    },
+    GpuSpec {
+        name: "Tesla T4",
+        year: 2018,
+        fp16_tflops: 65.0,
+        tdp_watts: 70.0,
+    },
+    GpuSpec {
+        name: "Quadro RTX 8000",
+        year: 2018,
+        fp16_tflops: 130.5,
+        tdp_watts: 295.0,
+    },
+    GpuSpec {
+        name: "A2",
+        year: 2021,
+        fp16_tflops: 18.0,
+        tdp_watts: 60.0,
+    },
+    GpuSpec {
+        name: "A10",
+        year: 2021,
+        fp16_tflops: 125.0,
+        tdp_watts: 150.0,
+    },
+    GpuSpec {
+        name: "A30",
+        year: 2021,
+        fp16_tflops: 165.0,
+        tdp_watts: 165.0,
+    },
+    GpuSpec {
+        name: "A40",
+        year: 2021,
+        fp16_tflops: 149.7,
+        tdp_watts: 300.0,
+    },
+    GpuSpec {
+        name: "A100 40GB",
+        year: 2020,
+        fp16_tflops: 312.0,
+        tdp_watts: 400.0,
+    },
+    GpuSpec {
+        name: "A100 80GB",
+        year: 2021,
+        fp16_tflops: 312.0,
+        tdp_watts: 400.0,
+    },
+    GpuSpec {
+        name: "L4",
+        year: 2023,
+        fp16_tflops: 121.0,
+        tdp_watts: 72.0,
+    },
+    GpuSpec {
+        name: "L40",
+        year: 2022,
+        fp16_tflops: 181.0,
+        tdp_watts: 300.0,
+    },
+    GpuSpec {
+        name: "H100 PCIe",
+        year: 2022,
+        fp16_tflops: 756.0,
+        tdp_watts: 350.0,
+    },
+    GpuSpec {
+        name: "RTX A2000",
+        year: 2021,
+        fp16_tflops: 63.9,
+        tdp_watts: 70.0,
+    },
 ];
+
+/// Looks up a catalog entry by marketing name.
+pub fn find_gpu(name: &str) -> Result<&'static GpuSpec, CatalogError> {
+    NVIDIA_SERVER_GPUS
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| CatalogError::UnknownGpu(name.to_string()))
+}
 
 /// Ordinary least-squares fit of efficiency (GFLOPS/W) against speed
 /// (TFLOPS) over a set of spec points: `efficiency ≈ slope · tflops +
@@ -83,7 +204,11 @@ pub fn efficiency_speed_trend(specs: &[GpuSpec]) -> (f64, f64, f64) {
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+    let r2 = if syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        1.0
+    };
     (slope, intercept, r2)
 }
 
@@ -118,20 +243,23 @@ mod tests {
     }
 
     #[test]
-    fn generational_efficiency_ordering() {
-        let find = |n: &str| {
-            NVIDIA_SERVER_GPUS
-                .iter()
-                .find(|s| s.name == n)
-                .unwrap_or_else(|| panic!("missing {n}"))
-        };
+    fn generational_efficiency_ordering() -> Result<(), CatalogError> {
         // Each generation is more efficient than Kepler.
-        let k80 = find("Tesla K80").efficiency();
+        let k80 = find_gpu("Tesla K80")?.efficiency();
         for name in ["Tesla V100", "A100 40GB", "H100 PCIe", "L4"] {
-            assert!(find(name).efficiency() > k80, "{name}");
+            assert!(find_gpu(name)?.efficiency() > k80, "{name}");
         }
         // Hopper beats Ampere flagship.
-        assert!(find("H100 PCIe").efficiency() > find("A100 80GB").efficiency());
+        assert!(find_gpu("H100 PCIe")?.efficiency() > find_gpu("A100 80GB")?.efficiency());
+        Ok(())
+    }
+
+    #[test]
+    fn find_gpu_rejects_unknown_names() {
+        assert_eq!(
+            find_gpu("GTX 9999"),
+            Err(CatalogError::UnknownGpu("GTX 9999".to_string()))
+        );
     }
 
     #[test]
@@ -149,8 +277,18 @@ mod tests {
     #[test]
     fn trend_on_two_points_is_exact() {
         let specs = [
-            GpuSpec { name: "a", year: 2000, fp16_tflops: 1.0, tdp_watts: 100.0 },
-            GpuSpec { name: "b", year: 2001, fp16_tflops: 2.0, tdp_watts: 100.0 },
+            GpuSpec {
+                name: "a",
+                year: 2000,
+                fp16_tflops: 1.0,
+                tdp_watts: 100.0,
+            },
+            GpuSpec {
+                name: "b",
+                year: 2001,
+                fp16_tflops: 2.0,
+                tdp_watts: 100.0,
+            },
         ];
         let (slope, intercept, r2) = efficiency_speed_trend(&specs);
         // efficiencies: 10 and 20 GFLOPS/W at 1 and 2 TFLOPS.

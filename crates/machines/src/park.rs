@@ -87,16 +87,13 @@ impl MachinePark {
     /// Index of the least efficient machine among `subset`, or `None` when
     /// the subset is empty. Ties break by lower index.
     pub fn least_efficient_in(&self, subset: &[usize]) -> Option<usize> {
-        subset
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                self.machines[a]
-                    .efficiency()
-                    .partial_cmp(&self.machines[b].efficiency())
-                    .expect("efficiencies are finite")
-                    .then(a.cmp(&b))
-            })
+        subset.iter().copied().min_by(|&a, &b| {
+            self.machines[a]
+                .efficiency()
+                .partial_cmp(&self.machines[b].efficiency())
+                .expect("efficiencies are finite")
+                .then(a.cmp(&b))
+        })
     }
 }
 

@@ -131,7 +131,11 @@ impl Ord for Node {
 }
 
 /// Solves `model` with the listed variables required integral.
-pub fn solve_mip(model: &Model, int_vars: &[Var], opts: &MipOptions) -> Result<MipSolution, MipError> {
+pub fn solve_mip(
+    model: &Model,
+    int_vars: &[Var],
+    opts: &MipOptions,
+) -> Result<MipSolution, MipError> {
     for &v in int_vars {
         let (lb, ub) = model.bounds(v);
         if !lb.is_finite() || !ub.is_finite() {
@@ -247,9 +251,15 @@ pub fn solve_mip(model: &Model, int_vars: &[Var], opts: &MipOptions) -> Result<M
                 let dive_now = node.overrides.is_empty()
                     || (opts.dive_every > 0 && nodes_explored.is_multiple_of(opts.dive_every));
                 if dive_now {
-                    if let Some((obj, x)) =
-                        dive(&mut scratch, model, &node.overrides, int_vars, &sol.x, opts, started)
-                    {
+                    if let Some((obj, x)) = dive(
+                        &mut scratch,
+                        model,
+                        &node.overrides,
+                        int_vars,
+                        &sol.x,
+                        opts,
+                        started,
+                    ) {
                         if incumbent.is_none() || better(obj, incumbent_obj) {
                             incumbent_obj = obj;
                             incumbent = Some(x);

@@ -105,7 +105,9 @@ fn time_limit_returns_incumbent() {
     // zero time limit: must return TimeLimit without panicking.
     let n = 25;
     let mut m = Model::new(Sense::Max);
-    let vars: Vec<Var> = (0..n).map(|i| m.add_var(((i * 7) % 11) as f64 + 0.5, 0.0, 1.0)).collect();
+    let vars: Vec<Var> = (0..n)
+        .map(|i| m.add_var(((i * 7) % 11) as f64 + 0.5, 0.0, 1.0))
+        .collect();
     let terms: Vec<(Var, f64)> = vars
         .iter()
         .enumerate()
@@ -134,7 +136,10 @@ fn node_limit_is_honored() {
     };
     let s = solve_mip(&m, &vars, &opts).unwrap();
     // One node cannot prove optimality here (fractional LP optimum).
-    assert!(matches!(s.status, MipStatus::NodeLimit | MipStatus::Optimal));
+    assert!(matches!(
+        s.status,
+        MipStatus::NodeLimit | MipStatus::Optimal
+    ));
     assert!(s.nodes <= 2);
 }
 

@@ -1,0 +1,223 @@
+//! Offline shim for `serde`: `Serialize`/`Deserialize` specialized to a
+//! JSON data model. See `crates/shims/README.md`.
+//!
+//! The derive macros (re-exported from the sibling `serde_derive` shim)
+//! generate impls of the two traits below; `serde_json` builds its public
+//! API on top of them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Serialization into compact JSON text.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn to_json(&self, out: &mut String);
+}
+
+/// Deserialization from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    fn from_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; null round-trips to NaN.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self, out: &mut String) {
+        json::write_escaped(out, self);
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self, out: &mut String) {
+        json::write_escaped(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self, out: &mut String) {
+        (**self).to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.to_json(out),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.to_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.to_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+ser_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Number(n) => Ok(*n as $t),
+                    other => Err(json::Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! de_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Number(n) => Ok(*n as $t),
+                    json::Value::Null => Ok(<$t>::NAN),
+                    other => Err(json::Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+de_float!(f32, f64);
+
+impl Deserialize for bool {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(json::Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::String(s) => Ok(s.clone()),
+            other => Err(json::Error::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(json::Error::expected("array", other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr)),+) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_json(&items[$idx])?,)+))
+                    }
+                    other => Err(json::Error::expected(
+                        concat!("array of length ", $len),
+                        other,
+                    )),
+                }
+            }
+        }
+    )+};
+}
+de_tuple!(
+    (A: 0; 1),
+    (A: 0, B: 1; 2),
+    (A: 0, B: 1, C: 2; 3),
+    (A: 0, B: 1, C: 2, D: 3; 4)
+);

@@ -1,0 +1,410 @@
+//! Offline shim for `serde_derive`: generates JSON `Serialize` /
+//! `Deserialize` impls (for the trait definitions in the sibling `serde`
+//! shim) by walking the raw token stream — no `syn`/`quote`, since the
+//! build environment cannot fetch them.
+//!
+//! Supported shapes: non-generic structs with named fields, tuple structs,
+//! unit structs, and enums whose variants are unit, tuple, or struct-like.
+//! Enums use serde's externally tagged representation: `"Variant"`,
+//! `{"Variant": value}`, `{"Variant": [..]}`, or `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, got {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, got {t}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Shape::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            t => panic!("expected enum body, got {t:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    }
+}
+
+/// Advances past attributes (`#[...]`), visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected field name, got {t}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("expected `:` after field `{name}`, got {t}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        // Optional trailing comma already consumed by skip_type.
+    }
+    fields
+}
+
+/// Consumes type tokens up to and including the next top-level comma
+/// (tracking `<...>` nesting; grouped tokens hide their own commas).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, got {t}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\"); ::serde::Serialize::to_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            impl_serialize(name, &body)
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => "out.push_str(\"[]\");".to_string(),
+                1 => "::serde::Serialize::to_json(&self.0, out);".to_string(),
+                _ => {
+                    let mut b = String::from("out.push('[');\n");
+                    for i in 0..*arity {
+                        if i > 0 {
+                            b.push_str("out.push(',');\n");
+                        }
+                        b.push_str(&format!("::serde::Serialize::to_json(&self.{i}, out);\n"));
+                    }
+                    b.push_str("out.push(']');");
+                    b
+                }
+            };
+            impl_serialize(name, &body)
+        }
+        Shape::UnitStruct { name } => impl_serialize(name, "out.push_str(\"null\");"),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{v}({}) => {{ out.push_str(\"{{\\\"{v}\\\":\");",
+                            binds.join(", ")
+                        );
+                        if *arity == 1 {
+                            arm.push_str("::serde::Serialize::to_json(x0, out);");
+                        } else {
+                            arm.push_str("out.push('[');");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    arm.push_str("out.push(',');");
+                                }
+                                arm.push_str(&format!("::serde::Serialize::to_json({b}, out);"));
+                            }
+                            arm.push_str("out.push(']');");
+                        }
+                        arm.push_str("out.push('}'); }\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{v} {{ {} }} => {{ out.push_str(\"{{\\\"{v}\\\":{{\");",
+                            fields.join(", ")
+                        );
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                arm.push_str("out.push(',');");
+                            }
+                            arm.push_str(&format!(
+                                "out.push_str(\"\\\"{f}\\\":\"); ::serde::Serialize::to_json({f}, out);"
+                            ));
+                        }
+                        arm.push_str("out.push_str(\"}}\"); }\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::json::field(v, \"{f}\")?"))
+                .collect();
+            impl_deserialize(name, &format!("Ok({name} {{ {} }})", inits.join(", ")))
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => format!("Ok({name}())"),
+                1 => format!("Ok({name}(::serde::Deserialize::from_json(v)?))"),
+                _ => {
+                    let gets: Vec<String> = (0..*arity)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_json(items.get({i}).unwrap_or(&::serde::json::Value::Null))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::json::Value::Array(items) => Ok({name}({})),\n\
+                             other => Err(::serde::json::Error::expected(\"array\", other)),\n\
+                         }}",
+                        gets.join(", ")
+                    )
+                }
+            };
+            impl_deserialize(name, &body)
+        }
+        Shape::UnitStruct { name } => impl_deserialize(name, &format!("Ok({name})")),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        if *arity == 1 {
+                            arms.push_str(&format!(
+                                "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_json(content)?)),\n"
+                            ));
+                        } else {
+                            let gets: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_json(items.get({i}).unwrap_or(&::serde::json::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{v}\" => match content {{\n\
+                                     ::serde::json::Value::Array(items) => Ok({name}::{v}({})),\n\
+                                     other => Err(::serde::json::Error::expected(\"array\", other)),\n\
+                                 }},\n",
+                                gets.join(", ")
+                            ));
+                        }
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::json::field(content, \"{f}\")?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "let (tag, content) = ::serde::json::enum_tag(v)?;\n\
+                 let _ = content;\n\
+                 match tag {{\n{arms}\
+                     other => Err(::serde::json::Error::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 #![allow(unused_variables)]\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,105 @@
+//! Offline shim for `serde_json` built on the `serde` shim's JSON-native
+//! `Serialize`/`Deserialize` traits. See `crates/shims/README.md`.
+
+pub use serde::json::{Error, Value};
+
+/// Compact JSON text for any serializable value.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json(&mut out);
+    Ok(out)
+}
+
+/// Pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    pretty(&v, 0, &mut out);
+    Ok(out)
+}
+
+/// Parses a serializable value into the generic [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    serde::json::parse(&to_string(value)?)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_json(&serde::json::parse(text)?)
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_json(v)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                serde::json::write_escaped(out, k);
+                out.push_str(": ");
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => serde::Serialize::to_json(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&Some("hi".to_string())).unwrap(), "\"hi\"");
+        assert_eq!(to_string(&Option::<f64>::None).unwrap(), "null");
+        let v: Vec<f64> = from_str("[0.25, 0.5]").unwrap();
+        assert_eq!(v, vec![0.25, 0.5]);
+        let opt: Option<usize> = from_str("null").unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let text = r#"{"a":[1,2.5,"x"],"b":{"c":true,"d":null}}"#;
+        let v: Value = serde::json::parse(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+        let p = to_string_pretty(&v).unwrap();
+        let reparsed: Value = serde::json::parse(&p).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\n\"quote\"\t\\slash".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -91,16 +91,16 @@ fn main() -> ExitCode {
         })
     };
     let mut failures = 0usize;
-    let mut save = |name: &str, json: serde_json::Value, table: TextTable| {
-        match write_artifacts(&args.out, name, &json, &table) {
-            Ok(()) => println!(
-                "[artifacts] {}/{{{name}.json, {name}.csv}}",
-                args.out.display()
-            ),
-            Err(e) => {
-                eprintln!("[artifacts] failed to write {name}: {e}");
-                failures += 1;
-            }
+    let mut save = |name: &str, json: serde_json::Value, table: TextTable| match write_artifacts(
+        &args.out, name, &json, &table,
+    ) {
+        Ok(()) => println!(
+            "[artifacts] {}/{{{name}.json, {name}.csv}}",
+            args.out.display()
+        ),
+        Err(e) => {
+            eprintln!("[artifacts] failed to write {name}: {e}");
+            failures += 1;
         }
     };
 
@@ -108,13 +108,21 @@ fn main() -> ExitCode {
         banner("Fig. 1 — GPU energy efficiency vs speed");
         let r = fig1::run();
         println!("{}", fig1::render(&r));
-        save("fig1", serde_json::to_value(&r).expect("serializable"), fig1::table(&r));
+        save(
+            "fig1",
+            serde_json::to_value(&r).expect("serializable"),
+            fig1::table(&r),
+        );
     }
     if wants("fig2") {
         banner("Fig. 2 — accuracy vs work (exponential + 5-segment PWL)");
         let r = fig2::run(&fig2::Fig2Config::default());
         println!("{}", fig2::render(&r));
-        save("fig2", serde_json::to_value(&r).expect("serializable"), fig2::table(&r));
+        save(
+            "fig2",
+            serde_json::to_value(&r).expect("serializable"),
+            fig2::table(&r),
+        );
     }
     if wants("fig3") {
         banner("Fig. 3 — optimality gap vs task heterogeneity");
@@ -128,7 +136,11 @@ fn main() -> ExitCode {
         }
         let r = fig3::run(&cfg, args.execution);
         println!("{}", fig3::render(&r));
-        save("fig3", serde_json::to_value(&r).expect("serializable"), fig3::table(&r));
+        save(
+            "fig3",
+            serde_json::to_value(&r).expect("serializable"),
+            fig3::table(&r),
+        );
     }
     if wants("fig4a") || wants("fig4b") {
         banner("Fig. 4 — runtime: DSCT-EA-APPROX vs MIP (time-limited)");
@@ -142,7 +154,11 @@ fn main() -> ExitCode {
         }
         let r = fig4::run(&cfg);
         println!("{}", fig4::render(&r));
-        save("fig4", serde_json::to_value(&r).expect("serializable"), fig4::table(&r));
+        save(
+            "fig4",
+            serde_json::to_value(&r).expect("serializable"),
+            fig4::table(&r),
+        );
     }
     if wants("table1") {
         banner("Table 1 — DSCT-EA-FR-OPT vs LP solver runtimes");
@@ -156,7 +172,11 @@ fn main() -> ExitCode {
         }
         let r = table1::run(&cfg);
         println!("{}", table1::render(&r));
-        save("table1", serde_json::to_value(&r).expect("serializable"), table1::table(&r));
+        save(
+            "table1",
+            serde_json::to_value(&r).expect("serializable"),
+            table1::table(&r),
+        );
     }
     if wants("fig5") || wants("energy-gain") {
         banner("Fig. 5 — accuracy vs energy-budget ratio (+ energy gain)");
@@ -170,7 +190,11 @@ fn main() -> ExitCode {
         }
         let r = fig5::run(&cfg, args.execution);
         println!("{}", fig5::render(&r));
-        save("fig5", serde_json::to_value(&r).expect("serializable"), fig5::table(&r));
+        save(
+            "fig5",
+            serde_json::to_value(&r).expect("serializable"),
+            fig5::table(&r),
+        );
     }
     if wants("robustness") {
         banner("Extension — realized accuracy under runtime speed jitter");
@@ -206,7 +230,11 @@ fn main() -> ExitCode {
             }
             let r = fig6::run(&cfg, args.execution);
             println!("{}", fig6::render(&r));
-            save(name, serde_json::to_value(&r).expect("serializable"), fig6::table(&r));
+            save(
+                name,
+                serde_json::to_value(&r).expect("serializable"),
+                fig6::table(&r),
+            );
         }
     }
 

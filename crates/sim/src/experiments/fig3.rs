@@ -199,7 +199,12 @@ mod tests {
                 p.guarantee_per_task
             );
             // And small in absolute terms.
-            assert!(p.gap.mean() < 0.15, "mu {}: mean gap {}", p.mu, p.gap.mean());
+            assert!(
+                p.gap.mean() < 0.15,
+                "mu {}: mean gap {}",
+                p.mu,
+                p.gap.mean()
+            );
             assert!(p.ub_mean_accuracy >= p.approx_mean_accuracy - 1e-9);
         }
     }

@@ -227,7 +227,10 @@ pub fn table(result: &Fig4Result) -> TextTable {
         "mip_mean_s",
         "mip_timeouts",
     ]);
-    for (tag, points) in [("tasks", &result.by_tasks), ("machines", &result.by_machines)] {
+    for (tag, points) in [
+        ("tasks", &result.by_tasks),
+        ("machines", &result.by_machines),
+    ] {
         for p in points {
             t.row([
                 tag.to_string(),

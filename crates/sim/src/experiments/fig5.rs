@@ -243,7 +243,11 @@ mod tests {
         }
         for p in &r.points {
             // UB dominates APPROX; APPROX should beat the EDF baselines.
-            assert!(p.upper_bound.mean() >= p.approx.mean() - 1e-9, "beta {}", p.beta);
+            assert!(
+                p.upper_bound.mean() >= p.approx.mean() - 1e-9,
+                "beta {}",
+                p.beta
+            );
             assert!(
                 p.approx.mean() >= p.edf_full.mean() - 0.02,
                 "beta {}: approx {} vs edf {}",

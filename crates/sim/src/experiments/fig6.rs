@@ -158,9 +158,7 @@ pub fn run(cfg: &Fig6Config, execution: Execution) -> Fig6Result {
 
     let mean_profile_deviation = points
         .iter()
-        .map(|p| {
-            (p.p1.mean() - p.naive_p1.mean()).abs() + (p.p2.mean() - p.naive_p2.mean()).abs()
-        })
+        .map(|p| (p.p1.mean() - p.naive_p1.mean()).abs() + (p.p2.mean() - p.naive_p2.mean()).abs())
         .sum::<f64>()
         / points.len().max(1) as f64;
 
@@ -236,7 +234,12 @@ mod tests {
             Execution::Parallel,
         );
         for p in &r.points {
-            for v in [p.p1.mean(), p.p2.mean(), p.naive_p1.mean(), p.naive_p2.mean()] {
+            for v in [
+                p.p1.mean(),
+                p.p2.mean(),
+                p.naive_p1.mean(),
+                p.naive_p2.mean(),
+            ] {
                 assert!((0.0..=1.0 + 1e-9).contains(&v), "profile fraction {v}");
             }
         }

@@ -101,36 +101,31 @@ pub fn run(cfg: &RobustnessConfig, execution: Execution) -> RobustnessResult {
         .jitters
         .iter()
         .map(|&jitter| {
-            let samples = run_replications(
-                cfg.base_seed,
-                cfg.replications,
-                execution,
-                |seed| {
-                    let inst = generate(&icfg, seed);
-                    let n = inst.num_tasks() as f64;
-                    let plan = solve_approx(&inst, &ApproxOptions::default());
-                    let run = |overrun: OverrunPolicy| {
-                        execute(
-                            &inst,
-                            &plan.schedule,
-                            &ExecutionConfig {
-                                speed_jitter: jitter,
-                                seed: seed ^ 0xabcd_1234,
-                                overrun,
-                            },
-                        )
-                    };
-                    let c = run(OverrunPolicy::Compress);
-                    let d = run(OverrunPolicy::Drop);
-                    (
-                        plan.total_accuracy / n,
-                        c.realized_accuracy / n,
-                        d.realized_accuracy / n,
-                        c.compressions as f64,
-                        d.drops as f64,
+            let samples = run_replications(cfg.base_seed, cfg.replications, execution, |seed| {
+                let inst = generate(&icfg, seed);
+                let n = inst.num_tasks() as f64;
+                let plan = solve_approx(&inst, &ApproxOptions::default());
+                let run = |overrun: OverrunPolicy| {
+                    execute(
+                        &inst,
+                        &plan.schedule,
+                        &ExecutionConfig {
+                            speed_jitter: jitter,
+                            seed: seed ^ 0xabcd_1234,
+                            overrun,
+                        },
                     )
-                },
-            );
+                };
+                let c = run(OverrunPolicy::Compress);
+                let d = run(OverrunPolicy::Drop);
+                (
+                    plan.total_accuracy / n,
+                    c.realized_accuracy / n,
+                    d.realized_accuracy / n,
+                    c.compressions as f64,
+                    d.drops as f64,
+                )
+            });
             let mut point = RobustnessPoint {
                 jitter,
                 planned: SummaryStats::new(),

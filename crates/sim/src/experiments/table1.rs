@@ -180,7 +180,13 @@ pub fn render(result: &Table1Result) -> String {
 
 /// CSV-friendly table.
 pub fn table(result: &Table1Result) -> TextTable {
-    let mut t = TextTable::new(["n", "fr_opt_mean_s", "lp_mean_s", "lp_timeouts", "max_rel_gap"]);
+    let mut t = TextTable::new([
+        "n",
+        "fr_opt_mean_s",
+        "lp_mean_s",
+        "lp_timeouts",
+        "max_rel_gap",
+    ]);
     for r in &result.rows {
         t.row([
             r.n.to_string(),
@@ -204,7 +210,12 @@ mod tests {
         for row in &r.rows {
             assert_eq!(row.lp_timeouts, 0);
             // Both paths compute the same optimum.
-            assert!(row.max_rel_gap < 5e-4, "n {}: gap {}", row.n, row.max_rel_gap);
+            assert!(
+                row.max_rel_gap < 5e-4,
+                "n {}: gap {}",
+                row.n,
+                row.max_rel_gap
+            );
             assert!(row.fr_opt_time.mean() > 0.0);
         }
         let text = render(&r);

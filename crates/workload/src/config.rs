@@ -1,6 +1,27 @@
 use dsct_machines::gen::MachineSampler;
 use dsct_machines::Machine;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when interrogating a workload configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A [`ThetaDistribution::Uniform`] was expected but another variant
+    /// (named in the payload) was found.
+    NotUniform(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotUniform(variant) => {
+                write!(f, "expected a Uniform theta distribution, got {variant}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Distribution of the task efficiency θ (slope of the first accuracy
 /// segment; the paper samples it in `[0.1, 4.9]`).
@@ -36,6 +57,16 @@ impl ThetaDistribution {
         ThetaDistribution::Uniform {
             min: 0.1,
             max: 0.1 * mu,
+        }
+    }
+
+    /// The `[min, max]` bounds of a [`ThetaDistribution::Uniform`], or a
+    /// [`ConfigError::NotUniform`] naming the actual variant.
+    pub fn uniform_bounds(&self) -> Result<(f64, f64), ConfigError> {
+        match *self {
+            ThetaDistribution::Uniform { min, max } => Ok((min, max)),
+            ThetaDistribution::Fixed(_) => Err(ConfigError::NotUniform("Fixed")),
+            ThetaDistribution::EarlySplit { .. } => Err(ConfigError::NotUniform("EarlySplit")),
         }
     }
 }
@@ -115,15 +146,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn heterogeneity_constructor() {
+    fn heterogeneity_constructor() -> Result<(), ConfigError> {
         let d = ThetaDistribution::heterogeneity(20.0);
-        match d {
-            ThetaDistribution::Uniform { min, max } => {
-                assert!((min - 0.1).abs() < 1e-12);
-                assert!((max - 2.0).abs() < 1e-12);
-            }
-            _ => panic!("wrong variant"),
-        }
+        let (min, max) = d.uniform_bounds()?;
+        assert!((min - 0.1).abs() < 1e-12);
+        assert!((max - 2.0).abs() < 1e-12);
+        Ok(())
+    }
+
+    #[test]
+    fn uniform_bounds_rejects_other_variants() {
+        assert_eq!(
+            ThetaDistribution::Fixed(0.1).uniform_bounds(),
+            Err(ConfigError::NotUniform("Fixed"))
+        );
+        let split = ThetaDistribution::EarlySplit {
+            fraction: 0.3,
+            early: (4.0, 4.9),
+            late: (0.1, 1.0),
+        };
+        assert_eq!(
+            split.uniform_bounds(),
+            Err(ConfigError::NotUniform("EarlySplit"))
+        );
     }
 
     #[test]

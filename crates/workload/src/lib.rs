@@ -17,5 +17,5 @@
 mod config;
 mod generate;
 
-pub use config::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+pub use config::{ConfigError, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 pub use generate::generate;

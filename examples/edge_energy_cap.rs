@@ -58,10 +58,7 @@ fn main() {
     let refined = solve_fr_opt(&inst, &FrOptOptions::default());
 
     println!("\nenergy profile (fraction of the horizon each machine is busy):");
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "", "machine 0", "machine 1"
-    );
+    println!("{:<28} {:>12} {:>12}", "", "machine 0", "machine 1");
     println!(
         "{:<28} {:>12.3} {:>12.3}",
         "naive (efficiency-greedy)",
@@ -77,7 +74,10 @@ fn main() {
 
     let n = inst.num_tasks() as f64;
     println!("\nmean accuracy:");
-    println!("  naive profile only : {:.4}", naive_only.total_accuracy / n);
+    println!(
+        "  naive profile only : {:.4}",
+        naive_only.total_accuracy / n
+    );
     println!("  refined profile    : {:.4}", refined.total_accuracy / n);
     println!(
         "  refinement gain    : +{:.4} ({:.1}% relative)",

@@ -63,8 +63,8 @@ fn main() {
     let mut no_comp_ref = 0.0;
     let mut first_good: Option<(f64, f64)> = None;
     for beta in [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
-        let inst = Instance::new(tasks.clone(), park.clone(), beta * reference)
-            .expect("valid instance");
+        let inst =
+            Instance::new(tasks.clone(), park.clone(), beta * reference).expect("valid instance");
         let n = inst.num_tasks() as f64;
         let approx = solve_approx(&inst, &ApproxOptions::default());
         let full = edf_no_compression(&inst);
@@ -87,8 +87,8 @@ fn main() {
     // Energy-gain headline for this fleet: smallest swept β whose APPROX
     // accuracy is within 2% of the full-budget no-compression run.
     for beta in [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
-        let inst = Instance::new(tasks.clone(), park.clone(), beta * reference)
-            .expect("valid instance");
+        let inst =
+            Instance::new(tasks.clone(), park.clone(), beta * reference).expect("valid instance");
         let n = inst.num_tasks() as f64;
         let approx = solve_approx(&inst, &ApproxOptions::default());
         let acc = approx.total_accuracy / n;

@@ -51,7 +51,10 @@ fn main() {
     // one-machine-per-task schedule.
     let sol = solve_approx(&inst, &ApproxOptions::default());
 
-    println!("\n{:<6} {:>9} {:>10} {:>10} {:>8}", "task", "machine", "time (ms)", "GFLOP", "accuracy");
+    println!(
+        "\n{:<6} {:>9} {:>10} {:>10} {:>8}",
+        "task", "machine", "time (ms)", "GFLOP", "accuracy"
+    );
     for j in 0..inst.num_tasks() {
         let machine = sol.assignment[j]
             .map(|r| r.to_string())

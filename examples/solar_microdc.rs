@@ -56,8 +56,8 @@ fn main() {
     );
     for (name, supply) in scenarios {
         let supply = supply.expect("valid supply");
-        let sol = solve_renewable(&inst, &supply, &SolveOptions::default())
-            .expect("windowed LP solves");
+        let sol =
+            solve_renewable(&inst, &supply, &SolveOptions::default()).expect("windowed LP solves");
         let ok = supply_violation(&inst, &supply, &sol.approx.schedule) < 1e-6;
         println!(
             "{:<42} {:>10.4} {:>10.4} {:>9}",

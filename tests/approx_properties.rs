@@ -12,8 +12,7 @@ use proptest::prelude::*;
 fn arb_theta() -> impl Strategy<Value = ThetaDistribution> {
     prop_oneof![
         (0.1f64..4.9).prop_map(ThetaDistribution::Fixed),
-        (0.1f64..1.0, 1.0f64..4.9)
-            .prop_map(|(min, max)| ThetaDistribution::Uniform { min, max }),
+        (0.1f64..1.0, 1.0f64..4.9).prop_map(|(min, max)| ThetaDistribution::Uniform { min, max }),
         Just(ThetaDistribution::EarlySplit {
             fraction: 0.3,
             early: (4.0, 4.9),

@@ -18,7 +18,10 @@ fn fig2_fit_is_tight_and_concave() {
     let r = fig2::run(&fig2::Fig2Config::default());
     assert!(r.max_fit_error < 0.04);
     for w in r.points.windows(2) {
-        assert!(w[1].pwl >= w[0].pwl - 1e-12, "pwl curve must be non-decreasing");
+        assert!(
+            w[1].pwl >= w[0].pwl - 1e-12,
+            "pwl curve must be non-decreasing"
+        );
     }
     assert!(fig2::render(&r).contains("breakpoints"));
 }
@@ -27,8 +30,13 @@ fn fig2_fit_is_tight_and_concave() {
 fn fig3_gap_far_below_guarantee() {
     let r = fig3::run(&fig3::Fig3Config::quick(), Execution::Parallel);
     for p in &r.points {
-        assert!(p.gap.max() < p.guarantee_per_task / 2.0,
-            "mu {}: observed gap {} not far below G/n {}", p.mu, p.gap.max(), p.guarantee_per_task);
+        assert!(
+            p.gap.max() < p.guarantee_per_task / 2.0,
+            "mu {}: observed gap {} not far below G/n {}",
+            p.mu,
+            p.gap.max(),
+            p.guarantee_per_task
+        );
     }
     assert!(fig3::render(&r).contains("pessimistic"));
 }
@@ -64,7 +72,11 @@ fn table1_combinatorial_beats_simplex() {
             row.fr_opt_time.mean(),
             row.lp_time.mean()
         );
-        assert!(row.max_rel_gap < 5e-4, "optimal values disagree: {}", row.max_rel_gap);
+        assert!(
+            row.max_rel_gap < 5e-4,
+            "optimal values disagree: {}",
+            row.max_rel_gap
+        );
     }
 }
 
@@ -73,13 +85,25 @@ fn fig5_ordering_and_energy_gain() {
     let r = fig5::run(&fig5::Fig5Config::quick(), Execution::Parallel);
     // APPROX dominates both baselines at every β (within noise).
     for p in &r.points {
-        assert!(p.approx.mean() >= p.edf_full.mean() - 0.02, "beta {}", p.beta);
-        assert!(p.approx.mean() >= p.edf_levels.mean() - 0.02, "beta {}", p.beta);
+        assert!(
+            p.approx.mean() >= p.edf_full.mean() - 0.02,
+            "beta {}",
+            p.beta
+        );
+        assert!(
+            p.approx.mean() >= p.edf_levels.mean() - 0.02,
+            "beta {}",
+            p.beta
+        );
         assert!(p.upper_bound.mean() >= p.approx.mean() - 1e-9);
     }
     // The headline: large energy savings at small accuracy loss.
     let gain = r.energy_gain.expect("reference reached");
-    assert!(gain.energy_saved >= 0.5, "energy saved {}", gain.energy_saved);
+    assert!(
+        gain.energy_saved >= 0.5,
+        "energy saved {}",
+        gain.energy_saved
+    );
     assert!(gain.accuracy_loss <= r.config.gain_tolerance + 1e-9);
 }
 

@@ -40,7 +40,14 @@ fn check_instance(cfg: &InstanceConfig, seed: u64, tol_rel: f64) {
     );
 }
 
-fn sweep(theta: ThetaDistribution, rho: f64, beta: f64, n: usize, m: usize, seeds: std::ops::Range<u64>) {
+fn sweep(
+    theta: ThetaDistribution,
+    rho: f64,
+    beta: f64,
+    n: usize,
+    m: usize,
+    seeds: std::ops::Range<u64>,
+) {
     let cfg = InstanceConfig {
         tasks: TaskConfig::paper(n, theta),
         machines: MachineConfig::paper_random(m),
@@ -127,8 +134,20 @@ fn matches_lp_on_larger_mixed_instances() {
 fn stress_many_seeds() {
     let regimes: &[(ThetaDistribution, f64, f64, usize, usize)] = &[
         (ThetaDistribution::Fixed(0.1), 1.0, 0.3, 10, 2),
-        (ThetaDistribution::Uniform { min: 0.1, max: 4.9 }, 0.35, 0.5, 10, 5),
-        (ThetaDistribution::Uniform { min: 0.1, max: 4.9 }, 0.01, 0.4, 10, 2),
+        (
+            ThetaDistribution::Uniform { min: 0.1, max: 4.9 },
+            0.35,
+            0.5,
+            10,
+            5,
+        ),
+        (
+            ThetaDistribution::Uniform { min: 0.1, max: 4.9 },
+            0.01,
+            0.4,
+            10,
+            2,
+        ),
         (
             ThetaDistribution::EarlySplit {
                 fraction: 0.3,
@@ -140,9 +159,22 @@ fn stress_many_seeds() {
             15,
             3,
         ),
-        (ThetaDistribution::Uniform { min: 0.5, max: 2.0 }, 0.1, 0.8, 20, 4),
+        (
+            ThetaDistribution::Uniform { min: 0.5, max: 2.0 },
+            0.1,
+            0.8,
+            20,
+            4,
+        ),
     ];
     for (k, (theta, rho, beta, n, m)) in regimes.iter().enumerate() {
-        sweep(*theta, *rho, *beta, *n, *m, (100 * k as u64)..(100 * k as u64 + 40));
+        sweep(
+            *theta,
+            *rho,
+            *beta,
+            *n,
+            *m,
+            (100 * k as u64)..(100 * k as u64 + 40),
+        );
     }
 }

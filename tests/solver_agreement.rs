@@ -24,7 +24,10 @@ fn assignment_optimum(inst: &Instance, assignment: &[usize]) -> f64 {
             }
         }
     }
-    let sol = built.model.solve(&SolveOptions::default()).expect("valid LP");
+    let sol = built
+        .model
+        .solve(&SolveOptions::default())
+        .expect("valid LP");
     assert_eq!(sol.status, dsct_lp::Status::Optimal);
     sol.objective
 }

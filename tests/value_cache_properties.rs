@@ -1,0 +1,125 @@
+//! Regression and property tests for the `ValueFnWorkspace` probe cache
+//! and the probe-gated profile search.
+//!
+//! The cached `V(p)` evaluation must be a pure optimization: over many
+//! random instances the full FR-OPT pipeline must land on the same
+//! accuracy with the cache on and off, and the coordinate-ascent search
+//! must never lose accuracy as it is allowed more sweeps.
+
+use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_core::profile::naive_profile;
+use dsct_core::profile_search::{profile_search, ProfileSearchOptions};
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+
+fn random_config(n: usize, m: usize, rho: f64, beta: f64) -> InstanceConfig {
+    InstanceConfig {
+        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 4.9 }),
+        machines: MachineConfig::paper_random(m),
+        rho,
+        beta,
+    }
+}
+
+/// Cache on vs. cache off agree to 1e-9 relative over ≥ 20 random seeds,
+/// with shapes spanning tight and loose deadline/budget regimes.
+#[test]
+fn cached_and_cold_fr_opt_agree_over_random_seeds() {
+    let shapes = [
+        (12usize, 2usize, 0.2, 0.3),
+        (20, 3, 0.35, 0.5),
+        (25, 4, 0.6, 0.8),
+        (15, 5, 0.1, 0.2),
+    ];
+    let mut checked = 0usize;
+    for (si, &(n, m, rho, beta)) in shapes.iter().enumerate() {
+        for seed in 0..6u64 {
+            let inst = generate(&random_config(n, m, rho, beta), 1000 * si as u64 + seed);
+            let cached = solve_fr_opt(&inst, &FrOptOptions::default());
+            let cold = solve_fr_opt(
+                &inst,
+                &FrOptOptions {
+                    search: ProfileSearchOptions {
+                        use_value_cache: false,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            let scale = cached.total_accuracy.abs().max(1.0);
+            assert!(
+                (cached.total_accuracy - cold.total_accuracy).abs() <= 1e-9 * scale,
+                "seed {seed} shape {n}x{m}: cached {} vs cold {}",
+                cached.total_accuracy,
+                cold.total_accuracy
+            );
+            let stats = cached.search.expect("search ran").probe_stats;
+            assert_eq!(stats.cold_probes, 0, "cached run must not fall back");
+            assert!(stats.probes > 0, "cached run must count its probes");
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 20,
+        "property needs at least 20 seeds, got {checked}"
+    );
+}
+
+/// More sweeps never hurt: the accuracy reached by `profile_search` is
+/// non-decreasing in `max_sweeps` (coordinate ascent only applies
+/// improving transfers, so each extra sweep starts from the previous
+/// optimum).
+#[test]
+fn profile_search_accuracy_is_monotone_in_sweeps() {
+    for seed in 0..8u64 {
+        let inst = generate(&random_config(18, 3, 0.3, 0.4), 777 + seed);
+        let start = naive_profile(&inst);
+        let tol = 1e-9 * inst.total_max_accuracy().max(1.0);
+        let mut prev = f64::NEG_INFINITY;
+        for max_sweeps in 1..=5 {
+            let opts = ProfileSearchOptions {
+                max_sweeps,
+                ..Default::default()
+            };
+            let (_, sol, _) = profile_search(&inst, &start, &opts);
+            let acc = sol.schedule.total_accuracy(&inst);
+            assert!(
+                acc >= prev - tol,
+                "seed {seed}: accuracy fell from {prev} to {acc} at max_sweeps {max_sweeps}"
+            );
+            prev = acc;
+        }
+    }
+}
+
+/// The ε-probe gate prunes work but not quality: with gating on, the
+/// search issues fewer probes than the exhaustive ablation and still
+/// reaches the same accuracy.
+#[test]
+fn probe_gate_prunes_probes_without_losing_accuracy() {
+    for seed in 0..5u64 {
+        let inst = generate(&random_config(30, 4, 0.35, 0.5), 4242 + seed);
+        let start = naive_profile(&inst);
+        let gated = profile_search(&inst, &start, &ProfileSearchOptions::default());
+        let exhaustive = profile_search(
+            &inst,
+            &start,
+            &ProfileSearchOptions {
+                pairwise_probe: false,
+                ..Default::default()
+            },
+        );
+        let acc_gated = gated.1.schedule.total_accuracy(&inst);
+        let acc_full = exhaustive.1.schedule.total_accuracy(&inst);
+        let scale = acc_full.abs().max(1.0);
+        assert!(
+            (acc_gated - acc_full).abs() <= 1e-7 * scale,
+            "seed {seed}: gated {acc_gated} vs exhaustive {acc_full}"
+        );
+        assert!(
+            gated.2.probe_stats.probes <= exhaustive.2.probe_stats.probes,
+            "seed {seed}: gate must not add probes ({:?} vs {:?})",
+            gated.2.probe_stats,
+            exhaustive.2.probe_stats
+        );
+    }
+}
