@@ -11,8 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsct_core::algo_naive::collect_segments;
 use dsct_core::algo_refine::RefineOptions;
 use dsct_core::algo_single::schedule_single_machine;
-use dsct_core::approx::{solve_approx, ApproxOptions, Placement};
-use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_core::approx::{ApproxOptions, Placement};
+use dsct_core::fr_opt::FrOptOptions;
+use dsct_core::solver::{ApproxSolver, FrOptSolver};
 use dsct_sim::runner::{run_replications, Execution};
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use std::hint::black_box;
@@ -57,10 +58,11 @@ fn bench_refine_stages(c: &mut Criterion) {
     ];
     for (name, opts) in variants {
         // Report the accuracy each stage reaches alongside its cost.
-        let acc = solve_fr_opt(&inst, &opts).total_accuracy;
+        let solver = FrOptSolver::with_options(opts);
+        let acc = solver.solve_typed(&inst).total_accuracy;
         eprintln!("[ablation] {name}: total accuracy {acc:.6}");
-        group.bench_with_input(BenchmarkId::new("fr_opt", name), &opts, |b, opts| {
-            b.iter(|| black_box(solve_fr_opt(black_box(&inst), opts).total_accuracy))
+        group.bench_with_input(BenchmarkId::new("fr_opt", name), &solver, |b, solver| {
+            b.iter(|| black_box(solver.solve_typed(black_box(&inst)).total_accuracy))
         });
     }
     group.finish();
@@ -79,11 +81,14 @@ fn bench_slack_source(c: &mut Criterion) {
             },
             ..Default::default()
         };
-        let acc = solve_fr_opt(&inst, &opts).total_accuracy;
+        let solver = FrOptSolver::with_options(opts);
+        let acc = solver.solve_typed(&inst).total_accuracy;
         eprintln!("[ablation] transfer pass {name}: total accuracy {acc:.6}");
-        group.bench_with_input(BenchmarkId::new("transfer_pass", name), &opts, |b, opts| {
-            b.iter(|| black_box(solve_fr_opt(black_box(&inst), opts).total_accuracy))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("transfer_pass", name),
+            &solver,
+            |b, solver| b.iter(|| black_box(solver.solve_typed(black_box(&inst)).total_accuracy)),
+        );
     }
     group.finish();
 }
@@ -96,14 +101,14 @@ fn bench_placement(c: &mut Criterion) {
         ("least_loaded", Placement::LeastLoaded),
         ("first_fit", Placement::FirstFit),
     ] {
-        let opts = ApproxOptions {
+        let solver = ApproxSolver::with_options(ApproxOptions {
             placement,
             ..Default::default()
-        };
-        let acc = solve_approx(&inst, &opts).total_accuracy;
+        });
+        let acc = solver.solve_typed(&inst).total_accuracy;
         eprintln!("[ablation] placement {name}: total accuracy {acc:.6}");
-        group.bench_with_input(BenchmarkId::new("approx", name), &opts, |b, opts| {
-            b.iter(|| black_box(solve_approx(black_box(&inst), opts).total_accuracy))
+        group.bench_with_input(BenchmarkId::new("approx", name), &solver, |b, solver| {
+            b.iter(|| black_box(solver.solve_typed(black_box(&inst)).total_accuracy))
         });
     }
     group.finish();
@@ -120,8 +125,11 @@ fn bench_replication_engine(c: &mut Criterion) {
             b.iter(|| {
                 let out = run_replications(1, 16, execution, |seed| {
                     let inst = instance(40, 3, seed);
-                    solve_approx(&inst, &ApproxOptions::default()).total_accuracy
-                });
+                    Ok::<_, std::convert::Infallible>(
+                        ApproxSolver::new().solve_typed(&inst).total_accuracy,
+                    )
+                })
+                .expect("infallible");
                 black_box(out.iter().sum::<f64>())
             })
         });

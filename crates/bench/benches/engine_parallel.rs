@@ -1,0 +1,75 @@
+//! Bench for the deterministic experiment engine: the paper-scale Fig. 4
+//! task grid (n ∈ {10 … 500}, m = 5, `DSCT-EA-APPROX`) run serially vs on
+//! 8 worker threads. Prints the speedup and verifies the runs are
+//! bit-identical first — the engine's whole contract is that threads buy
+//! wall-clock time and nothing else.
+//!
+//! Acceptance target (release, ≥ 8 cores): ≥ 3× speedup at 8 threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsct_core::solver::{ApproxSolver, Solver};
+use dsct_sim::engine::{CellSpec, ExperimentPlan};
+use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREADS: usize = 8;
+const TASK_COUNTS: [usize; 9] = [10, 20, 30, 50, 100, 200, 300, 400, 500];
+
+fn plan(threads: usize) -> ExperimentPlan {
+    let cells = TASK_COUNTS
+        .iter()
+        .map(|&n| {
+            CellSpec::new(
+                format!("n={n}"),
+                InstanceConfig {
+                    tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+                    machines: MachineConfig::paper_random(5),
+                    rho: 0.35,
+                    beta: 0.5,
+                },
+            )
+        })
+        .collect();
+    let solvers: Vec<Arc<dyn Solver>> = vec![Arc::new(ApproxSolver::new())];
+    ExperimentPlan::new(cells, solvers)
+        .replications(3)
+        .master_seed(4242)
+        .threads(threads)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // One-shot comparison: bit-identity first, then the headline speedup.
+    let t0 = Instant::now();
+    let serial = plan(1).run();
+    let t_serial = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = plan(THREADS).run();
+    let t_parallel = t0.elapsed().as_secs_f64();
+    let js = serde_json::to_string(&serial.cells).expect("serializable");
+    let jp = serde_json::to_string(&parallel.cells).expect("serializable");
+    assert_eq!(js, jp, "engine output depends on thread count");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "[engine] fig4 grid ({} cells x {} reps): serial {t_serial:.3}s, \
+         {THREADS} threads {t_parallel:.3}s -> speedup {:.2}x on {cores} core(s) \
+         (bit-identical: yes, mean worker utilization {:.0}%)",
+        TASK_COUNTS.len(),
+        serial.replications,
+        t_serial / t_parallel.max(1e-9),
+        parallel.mean_utilization() * 100.0,
+    );
+
+    let mut group = c.benchmark_group("engine_parallel");
+    group.sample_size(2);
+    group.bench_function("fig4_grid_serial", |b| b.iter(|| plan(1).run().wall_time));
+    group.bench_function(format!("fig4_grid_{THREADS}threads"), |b| {
+        b.iter(|| plan(THREADS).run().wall_time)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

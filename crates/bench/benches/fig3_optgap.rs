@@ -4,7 +4,7 @@
 //! the heterogeneity sweep μ ∈ {5, 12.5, 20}.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsct_core::approx::{solve_approx, ApproxOptions};
+use dsct_core::solver::ApproxSolver;
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use std::hint::black_box;
 
@@ -24,7 +24,7 @@ fn bench_fig3(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 b.iter(|| {
-                    let sol = solve_approx(black_box(inst), &ApproxOptions::default());
+                    let sol = ApproxSolver::new().solve_typed(black_box(inst));
                     black_box(sol.total_accuracy)
                 })
             },

@@ -5,8 +5,7 @@
 //! 60 s limit at n = 30 / m = 4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsct_core::approx::{solve_approx, ApproxOptions};
-use dsct_core::mip_model::solve_mip_exact;
+use dsct_core::solver::{ApproxSolver, MipSolver};
 use dsct_mip::MipOptions;
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use std::hint::black_box;
@@ -29,7 +28,11 @@ fn bench_by_tasks(c: &mut Criterion) {
         let inst = instance(n, 5);
         group.bench_with_input(BenchmarkId::new("approx", n), &inst, |b, inst| {
             b.iter(|| {
-                black_box(solve_approx(black_box(inst), &ApproxOptions::default()).total_accuracy)
+                black_box(
+                    ApproxSolver::new()
+                        .solve_typed(black_box(inst))
+                        .total_accuracy,
+                )
             })
         });
     }
@@ -37,14 +40,15 @@ fn bench_by_tasks(c: &mut Criterion) {
     // limit at n = 15 (measured); bench only the sizes that finish.
     for n in [5usize, 8] {
         let inst = instance(n, 5);
-        let opts = MipOptions {
+        let solver = MipSolver::with_options(MipOptions {
             time_limit: Some(Duration::from_secs(10)),
             ..Default::default()
-        };
+        });
         group.bench_with_input(BenchmarkId::new("mip", n), &inst, |b, inst| {
             b.iter(|| {
                 black_box(
-                    solve_mip_exact(black_box(inst), &opts)
+                    solver
+                        .solve_typed(black_box(inst))
                         .expect("builds")
                         .total_accuracy,
                 )
@@ -61,20 +65,25 @@ fn bench_by_machines(c: &mut Criterion) {
         let inst = instance(50, m);
         group.bench_with_input(BenchmarkId::new("approx", m), &inst, |b, inst| {
             b.iter(|| {
-                black_box(solve_approx(black_box(inst), &ApproxOptions::default()).total_accuracy)
+                black_box(
+                    ApproxSolver::new()
+                        .solve_typed(black_box(inst))
+                        .total_accuracy,
+                )
             })
         });
     }
     for m in [2usize, 3] {
         let inst = instance(8, m);
-        let opts = MipOptions {
+        let solver = MipSolver::with_options(MipOptions {
             time_limit: Some(Duration::from_secs(10)),
             ..Default::default()
-        };
+        });
         group.bench_with_input(BenchmarkId::new("mip_n8", m), &inst, |b, inst| {
             b.iter(|| {
                 black_box(
-                    solve_mip_exact(black_box(inst), &opts)
+                    solver
+                        .solve_typed(black_box(inst))
                         .expect("builds")
                         .total_accuracy,
                 )

@@ -3,8 +3,7 @@
 //! budget ratios — `DSCT-EA-APPROX` vs the two EDF baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsct_core::approx::{solve_approx, ApproxOptions};
-use dsct_core::baselines::{edf_no_compression, edf_three_levels};
+use dsct_core::solver::{ApproxSolver, EdfSolver};
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use std::hint::black_box;
 
@@ -27,20 +26,34 @@ fn bench_methods(c: &mut Criterion) {
             BenchmarkId::new("approx", format!("beta{beta}")),
             &inst,
             |b, i| {
-                b.iter(|| {
-                    black_box(solve_approx(black_box(i), &ApproxOptions::default()).total_accuracy)
-                })
+                b.iter(|| black_box(ApproxSolver::new().solve_typed(black_box(i)).total_accuracy))
             },
         );
         group.bench_with_input(
             BenchmarkId::new("edf_no_compression", format!("beta{beta}")),
             &inst,
-            |b, i| b.iter(|| black_box(edf_no_compression(black_box(i)).total_accuracy)),
+            |b, i| {
+                b.iter(|| {
+                    black_box(
+                        EdfSolver::no_compression()
+                            .solve_typed(black_box(i))
+                            .total_accuracy,
+                    )
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("edf_three_levels", format!("beta{beta}")),
             &inst,
-            |b, i| b.iter(|| black_box(edf_three_levels(black_box(i)).total_accuracy)),
+            |b, i| {
+                b.iter(|| {
+                    black_box(
+                        EdfSolver::three_levels()
+                            .solve_typed(black_box(i))
+                            .total_accuracy,
+                    )
+                })
+            },
         );
     }
     group.finish();

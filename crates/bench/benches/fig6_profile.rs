@@ -3,7 +3,8 @@
 //! deadlines, for both workload scenarios and both refinement settings.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_core::fr_opt::FrOptOptions;
+use dsct_core::solver::FrOptSolver;
 use dsct_machines::catalog::fig6_two_machine_park;
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use std::hint::black_box;
@@ -38,9 +39,7 @@ fn bench_profiles(c: &mut Criterion) {
                 &inst,
                 |b, i| {
                     b.iter(|| {
-                        black_box(
-                            solve_fr_opt(black_box(i), &FrOptOptions::default()).total_accuracy,
-                        )
+                        black_box(FrOptSolver::new().solve_typed(black_box(i)).total_accuracy)
                     })
                 },
             );
@@ -48,18 +47,11 @@ fn bench_profiles(c: &mut Criterion) {
                 BenchmarkId::new(format!("naive_only_{name}"), format!("beta{beta}")),
                 &inst,
                 |b, i| {
-                    b.iter(|| {
-                        black_box(
-                            solve_fr_opt(
-                                black_box(i),
-                                &FrOptOptions {
-                                    skip_refine: true,
-                                    ..Default::default()
-                                },
-                            )
-                            .total_accuracy,
-                        )
-                    })
+                    let solver = FrOptSolver::with_options(FrOptOptions {
+                        skip_refine: true,
+                        ..Default::default()
+                    });
+                    b.iter(|| black_box(solver.solve_typed(black_box(i)).total_accuracy))
                 },
             );
         }

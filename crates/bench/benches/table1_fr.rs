@@ -4,9 +4,7 @@
 //! takes minutes, which is Table 1's very point.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
-use dsct_core::lp_model::solve_fr_lp;
-use dsct_lp::SolveOptions;
+use dsct_core::solver::{FrOptSolver, LpSolver};
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use std::hint::black_box;
 
@@ -27,7 +25,11 @@ fn bench_fr_opt(c: &mut Criterion) {
         let inst = instance(n);
         group.bench_with_input(BenchmarkId::new("fr_opt", n), &inst, |b, inst| {
             b.iter(|| {
-                black_box(solve_fr_opt(black_box(inst), &FrOptOptions::default()).total_accuracy)
+                black_box(
+                    FrOptSolver::new()
+                        .solve_typed(black_box(inst))
+                        .total_accuracy,
+                )
             })
         });
     }
@@ -42,7 +44,8 @@ fn bench_lp(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("simplex", n), &inst, |b, inst| {
             b.iter(|| {
                 black_box(
-                    solve_fr_lp(black_box(inst), &SolveOptions::default())
+                    LpSolver::new()
+                        .solve_typed(black_box(inst))
                         .expect("builds")
                         .total_accuracy,
                 )

@@ -80,6 +80,17 @@ pub struct ProbeStats {
     pub cold_probes: u64,
 }
 
+impl ProbeStats {
+    /// Counter delta since an earlier snapshot — used to report per-solve
+    /// probe counts from a workspace that outlives a single solve.
+    pub fn since(self, earlier: ProbeStats) -> ProbeStats {
+        ProbeStats {
+            probes: self.probes - earlier.probes,
+            cold_probes: self.cold_probes - earlier.cold_probes,
+        }
+    }
+}
+
 /// Reusable state for evaluating the profile value function `V(p)` many
 /// times on one instance (the profile search performs thousands of probes
 /// per solve).
@@ -109,8 +120,22 @@ pub struct ValueFnWorkspace {
     pub stats: ProbeStats,
 }
 
+impl Default for ValueFnWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ValueFnWorkspace {
-    fn new(n: usize, m: usize) -> Self {
+    /// Empty workspace. Every buffer is cleared and resized per probe, so
+    /// one workspace can be reused across instances of different shapes —
+    /// worker threads in the experiment engine hold one per thread and
+    /// amortize its allocations across all their work items.
+    pub fn new() -> Self {
+        Self::with_capacity(0, 0)
+    }
+
+    fn with_capacity(n: usize, m: usize) -> Self {
         Self {
             cap_index: Vec::with_capacity(m),
             cap_sorted: Vec::with_capacity(m),
@@ -159,7 +184,7 @@ impl<'a> NaiveSolver<'a> {
 
     /// Creates a [`ValueFnWorkspace`] sized for this instance.
     pub fn workspace(&self) -> ValueFnWorkspace {
-        ValueFnWorkspace::new(self.inst.num_tasks(), self.inst.num_machines())
+        ValueFnWorkspace::with_capacity(self.inst.num_tasks(), self.inst.num_machines())
     }
 
     /// Allocation-free evaluation of the profile value function `V(p)`.

@@ -18,7 +18,8 @@
 //! finish the full model in less than the fractional total time), and the
 //! load accumulator update the listing omits is restored.
 
-use crate::fr_opt::{solve_fr_opt, FrOptOptions, FrSolution};
+use crate::algo_naive::ValueFnWorkspace;
+use crate::fr_opt::{solve_fr_opt_with, FrOptOptions, FrSolution};
 use crate::problem::Instance;
 use crate::schedule::FractionalSchedule;
 use crate::EPS_TIME;
@@ -58,8 +59,25 @@ pub struct ApproxSolution {
 }
 
 /// Runs `DSCT-EA-APPROX`.
+///
+/// Prefer [`crate::solver::ApproxSolver`] in new code: it implements the
+/// uniform [`crate::solver::Solver`] trait and can reuse a probe
+/// workspace across solves.
+#[deprecated(since = "0.2.0", note = "use `solver::ApproxSolver` instead")]
 pub fn solve_approx(inst: &Instance, opts: &ApproxOptions) -> ApproxSolution {
-    let fractional = solve_fr_opt(inst, &opts.fr);
+    let mut ws = ValueFnWorkspace::new();
+    solve_approx_with(inst, opts, &mut ws)
+}
+
+/// [`solve_approx`] with a caller-owned probe workspace for the embedded
+/// fractional solve. The deprecated free function and
+/// [`crate::solver::ApproxSolver`] both delegate here.
+pub(crate) fn solve_approx_with(
+    inst: &Instance,
+    opts: &ApproxOptions,
+    ws: &mut ValueFnWorkspace,
+) -> ApproxSolution {
+    let fractional = solve_fr_opt_with(inst, &opts.fr, ws);
     let schedule = assign_from_fractional(inst, &fractional, opts.placement);
     finish(inst, fractional, schedule)
 }
@@ -149,6 +167,7 @@ fn assign_from_fractional(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::Task;

@@ -35,17 +35,34 @@ pub struct BaselineSolution {
 }
 
 /// EDF without compression: every scheduled task performs all of `f^max`.
+///
+/// Prefer [`crate::solver::EdfSolver::no_compression`] in new code.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `solver::EdfSolver::no_compression` instead"
+)]
 pub fn edf_no_compression(inst: &Instance) -> BaselineSolution {
     greedy_levels(inst, &[], true)
 }
 
 /// EDF with the paper's three discrete compression levels.
+///
+/// Prefer [`crate::solver::EdfSolver::three_levels`] in new code.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `solver::EdfSolver::three_levels` instead"
+)]
 pub fn edf_three_levels(inst: &Instance) -> BaselineSolution {
-    edf_with_levels(inst, &PAPER_THREE_LEVELS)
+    let mut sorted = PAPER_THREE_LEVELS.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    greedy_levels(inst, &sorted, false)
 }
 
 /// EDF with arbitrary discrete accuracy levels (highest first is not
 /// required; levels are sorted internally).
+///
+/// Prefer [`crate::solver::EdfSolver::with_levels`] in new code.
+#[deprecated(since = "0.2.0", note = "use `solver::EdfSolver::with_levels` instead")]
 pub fn edf_with_levels(inst: &Instance, levels: &[f64]) -> BaselineSolution {
     let mut sorted: Vec<f64> = levels.to_vec();
     sorted.sort_by(|a, b| b.total_cmp(a));
@@ -54,8 +71,9 @@ pub fn edf_with_levels(inst: &Instance, levels: &[f64]) -> BaselineSolution {
 
 /// Shared EDF greedy. With `full_only`, each task is processed at `f^max`
 /// or not at all; otherwise `levels` lists accuracy targets tried from
-/// highest to lowest.
-fn greedy_levels(inst: &Instance, levels: &[f64], full_only: bool) -> BaselineSolution {
+/// highest to lowest. [`crate::solver::EdfSolver`] and the deprecated
+/// `edf_*` free functions both delegate here.
+pub(crate) fn greedy_levels(inst: &Instance, levels: &[f64], full_only: bool) -> BaselineSolution {
     let n = inst.num_tasks();
     let m = inst.num_machines();
     let machines = inst.machines();
@@ -119,6 +137,7 @@ fn greedy_levels(inst: &Instance, levels: &[f64], full_only: bool) -> BaselineSo
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::Task;

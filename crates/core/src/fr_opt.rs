@@ -8,11 +8,11 @@
 //! point). Runs in `O(n² m²)` time up to the refinement's convergence
 //! constant.
 
-use crate::algo_naive::compute_naive_solution;
+use crate::algo_naive::{compute_naive_solution, ValueFnWorkspace};
 use crate::algo_refine::{refine_profile, RefineOptions};
 use crate::problem::Instance;
 use crate::profile::{naive_profile, EnergyProfile};
-use crate::profile_search::{profile_search, ProfileSearchOptions, ProfileSearchOutcome};
+use crate::profile_search::{profile_search_with, ProfileSearchOptions, ProfileSearchOutcome};
 use crate::schedule::FractionalSchedule;
 
 /// Options for the fractional solver.
@@ -66,7 +66,25 @@ pub struct FrSolution {
 /// pass. The final solution is the exact optimum for the refined profile;
 /// re-solving for the profile of any feasible solution never decreases
 /// accuracy, so each stage is monotone.
+///
+/// Prefer [`crate::solver::FrOptSolver`] in new code: it implements the
+/// uniform [`crate::solver::Solver`] trait and can reuse a
+/// [`ValueFnWorkspace`] across solves.
+#[deprecated(since = "0.2.0", note = "use `solver::FrOptSolver` instead")]
 pub fn solve_fr_opt(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
+    let mut ws = ValueFnWorkspace::new();
+    solve_fr_opt_with(inst, opts, &mut ws)
+}
+
+/// [`solve_fr_opt`] with a caller-owned probe workspace, so the profile
+/// search's buffers amortize across solves. This is the implementation;
+/// the deprecated free function and [`crate::solver::FrOptSolver`] both
+/// delegate here.
+pub(crate) fn solve_fr_opt_with(
+    inst: &Instance,
+    opts: &FrOptOptions,
+    ws: &mut ValueFnWorkspace,
+) -> FrSolution {
     let naive = naive_profile(inst);
     let base = compute_naive_solution(inst, &naive);
     let mut schedule = base.schedule;
@@ -90,7 +108,7 @@ pub fn solve_fr_opt(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
                     .collect(),
             );
             let before = schedule.total_accuracy(inst);
-            let (_, refined, outcome) = profile_search(inst, &start, &opts.search);
+            let (_, refined, outcome) = profile_search_with(inst, &start, &opts.search, ws);
             refine_iterations += outcome.transfers;
             search = Some(outcome);
             if refined.schedule.total_accuracy(inst) >= before {
@@ -116,6 +134,7 @@ pub fn solve_fr_opt(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::Task;

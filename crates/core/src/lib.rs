@@ -29,7 +29,9 @@
 //! - [`baselines`] — `EDF-NoCompression` and `EDF-3CompressionLevels` (§6);
 //! - [`renewable`] — extension: time-varying (renewable) energy supply;
 //! - [`lp_model`] — the DSCT-EA-FR linear program for [`dsct_lp`] (§3.2);
-//! - [`mip_model`] — the full DSCT-EA MIP for [`dsct_mip`] (§3).
+//! - [`mip_model`] — the full DSCT-EA MIP for [`dsct_mip`] (§3);
+//! - [`solver`] — the uniform [`solver::Solver`] trait every algorithm
+//!   above implements (the API the experiment engine schedules against).
 
 pub mod algo_naive;
 pub mod algo_refine;
@@ -45,6 +47,7 @@ pub mod profile;
 pub mod profile_search;
 pub mod renewable;
 pub mod schedule;
+pub mod solver;
 
 /// Time-feasibility tolerance in seconds.
 pub const EPS_TIME: f64 = 1e-9;

@@ -111,7 +111,20 @@ pub struct FrLpSolution {
 }
 
 /// Builds and solves the DSCT-EA-FR LP.
+///
+/// Prefer [`crate::solver::LpSolver`] in new code: it implements the
+/// uniform [`crate::solver::Solver`] trait.
+#[deprecated(since = "0.2.0", note = "use `solver::LpSolver` instead")]
 pub fn solve_fr_lp(inst: &Instance, opts: &SolveOptions) -> Result<FrLpSolution, dsct_lp::LpError> {
+    solve_fr_lp_impl(inst, opts)
+}
+
+/// Implementation shared by the deprecated free function and
+/// [`crate::solver::LpSolver`].
+pub(crate) fn solve_fr_lp_impl(
+    inst: &Instance,
+    opts: &SolveOptions,
+) -> Result<FrLpSolution, dsct_lp::LpError> {
     let built = build_fr_lp(inst);
     let sol = built.model.solve(opts)?;
     let mut schedule = FractionalSchedule::zero(built.n, built.m);
@@ -129,6 +142,7 @@ pub fn solve_fr_lp(inst: &Instance, opts: &SolveOptions) -> Result<FrLpSolution,
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::Task;

@@ -27,7 +27,20 @@ pub struct MipScheduleSolution {
 }
 
 /// Builds and solves the DSCT-EA MIP.
+///
+/// Prefer [`crate::solver::MipSolver`] in new code: it implements the
+/// uniform [`crate::solver::Solver`] trait.
+#[deprecated(since = "0.2.0", note = "use `solver::MipSolver` instead")]
 pub fn solve_mip_exact(
+    inst: &Instance,
+    opts: &MipOptions,
+) -> Result<MipScheduleSolution, MipError> {
+    solve_mip_exact_impl(inst, opts)
+}
+
+/// Implementation shared by the deprecated free function and
+/// [`crate::solver::MipSolver`].
+pub(crate) fn solve_mip_exact_impl(
     inst: &Instance,
     opts: &MipOptions,
 ) -> Result<MipScheduleSolution, MipError> {
@@ -78,6 +91,7 @@ pub fn solve_mip_exact(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::fr_opt::{solve_fr_opt, FrOptOptions};

@@ -90,23 +90,24 @@ pub struct ProfileSearchOutcome {
 }
 
 /// Dispatches `V(p)` probes to the cached workspace path or the cold
-/// per-call path, keeping the evaluation counters either way.
-struct Prober<'a> {
+/// per-call path, keeping the evaluation counters either way. The
+/// workspace is borrowed so callers (worker threads of the experiment
+/// engine) can reuse its buffers across many solves.
+struct Prober<'a, 'w> {
     solver: NaiveSolver<'a>,
-    ws: ValueFnWorkspace,
+    ws: &'w mut ValueFnWorkspace,
     cached: bool,
 }
 
-impl<'a> Prober<'a> {
-    fn new(inst: &'a Instance, cached: bool) -> Self {
+impl<'a, 'w> Prober<'a, 'w> {
+    fn new(inst: &'a Instance, ws: &'w mut ValueFnWorkspace, cached: bool) -> Self {
         let solver = NaiveSolver::new(inst);
-        let ws = solver.workspace();
         Self { solver, ws, cached }
     }
 
     fn value(&mut self, caps: &[f64]) -> f64 {
         if self.cached {
-            self.solver.value_with(&mut self.ws, caps)
+            self.solver.value_with(self.ws, caps)
         } else {
             self.ws.stats.probes += 1;
             self.ws.stats.cold_probes += 1;
@@ -155,7 +156,7 @@ fn apply_direction(
 /// `(δ, g(δ))` seen, including the right endpoint.
 #[allow(clippy::too_many_arguments)] // bundled search context, called twice
 fn line_search(
-    prober: &mut Prober<'_>,
+    prober: &mut Prober<'_, '_>,
     caps: &[f64],
     scratch: &mut Vec<f64>,
     dir: &Direction,
@@ -209,6 +210,22 @@ pub fn profile_search(
     start: &EnergyProfile,
     opts: &ProfileSearchOptions,
 ) -> (EnergyProfile, NaiveSolution, ProfileSearchOutcome) {
+    let mut ws = ValueFnWorkspace::new();
+    profile_search_with(inst, start, opts, &mut ws)
+}
+
+/// [`profile_search`] probing through a caller-owned workspace, so its
+/// buffers (and allocation cost) amortize across many solves — one
+/// workspace per worker thread in the experiment engine. The reported
+/// [`ProfileSearchOutcome::probe_stats`] cover this solve only; the
+/// workspace's own counters keep accumulating across solves.
+pub fn profile_search_with(
+    inst: &Instance,
+    start: &EnergyProfile,
+    opts: &ProfileSearchOptions,
+    ws: &mut ValueFnWorkspace,
+) -> (EnergyProfile, NaiveSolution, ProfileSearchOutcome) {
+    let stats_before = ws.stats;
     let m = inst.num_machines();
     let d_max = inst.d_max();
     let power: Vec<f64> = (0..m).map(|r| inst.machines()[r].power()).collect();
@@ -235,7 +252,7 @@ pub fn profile_search(
             }
         }
     }
-    let mut prober = Prober::new(inst, opts.use_value_cache);
+    let mut prober = Prober::new(inst, ws, opts.use_value_cache);
     let mut scratch: Vec<f64> = Vec::with_capacity(m);
     let mut current = prober.value(&caps);
     let mut sweeps = 0usize;
@@ -254,7 +271,7 @@ pub fn profile_search(
                          current: &mut f64,
                          transfers: &mut usize,
                          scratch: &mut Vec<f64>,
-                         prober: &mut Prober<'_>|
+                         prober: &mut Prober<'_, '_>|
      -> bool {
         let delta_max = direction_step_limit(dir, caps, &power, d_max);
         if delta_max <= 1e-15 || delta_max.is_nan() || delta_max.is_infinite() {
@@ -376,7 +393,7 @@ pub fn profile_search(
             sweeps,
             transfers,
             converged,
-            probe_stats: prober.ws.stats,
+            probe_stats: prober.ws.stats.since(stats_before),
         },
     )
 }

@@ -246,9 +246,9 @@ pub fn supply_violation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fr_opt::{solve_fr_opt, FrOptOptions};
     use crate::problem::Task;
     use crate::schedule::ScheduleKind;
+    use crate::solver::FrOptSolver;
     use dsct_accuracy::PwlAccuracy;
     use dsct_machines::{Machine, MachinePark};
 
@@ -287,7 +287,7 @@ mod tests {
         let inst = instance();
         let supply = EnergySupply::constant(inst.budget()).unwrap();
         let windowed = solve_renewable(&inst, &supply, &SolveOptions::default()).unwrap();
-        let base = solve_fr_opt(&inst, &FrOptOptions::default());
+        let base = FrOptSolver::new().solve_typed(&inst);
         assert!(
             (windowed.fractional.total_accuracy - base.total_accuracy).abs() < 1e-5,
             "windowed {} vs base {}",
@@ -304,7 +304,7 @@ mod tests {
         let supply = EnergySupply::harvest(0.0, inst.budget() / 1.2, 1.2).unwrap();
         assert!((supply.total() - inst.budget()).abs() < 1e-9);
         let windowed = solve_renewable(&inst, &supply, &SolveOptions::default()).unwrap();
-        let base = solve_fr_opt(&inst, &FrOptOptions::default());
+        let base = FrOptSolver::new().solve_typed(&inst);
         assert!(
             windowed.fractional.total_accuracy < base.total_accuracy - 1e-6,
             "delayed arrival must hurt: windowed {} vs base {}",

@@ -255,8 +255,8 @@ pub fn execute(
 mod tests {
     use super::*;
     use dsct_accuracy::PwlAccuracy;
-    use dsct_core::approx::{solve_approx, ApproxOptions};
     use dsct_core::problem::Task;
+    use dsct_core::solver::ApproxSolver;
     use dsct_machines::{Machine, MachinePark};
 
     fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn zero_jitter_reproduces_the_plan_exactly() {
         let inst = instance();
-        let plan = solve_approx(&inst, &ApproxOptions::default());
+        let plan = ApproxSolver::new().solve_typed(&inst);
         let trace = execute(&inst, &plan.schedule, &ExecutionConfig::default());
         assert!(
             (trace.realized_accuracy - plan.total_accuracy).abs() < 1e-9,
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn jitter_is_deterministic_per_seed() {
         let inst = instance();
-        let plan = solve_approx(&inst, &ApproxOptions::default());
+        let plan = ApproxSolver::new().solve_typed(&inst);
         let cfg = ExecutionConfig {
             speed_jitter: 0.3,
             seed: 42,
@@ -311,7 +311,7 @@ mod tests {
     #[test]
     fn compress_policy_never_misses_deadlines() {
         let inst = instance();
-        let plan = solve_approx(&inst, &ApproxOptions::default());
+        let plan = ApproxSolver::new().solve_typed(&inst);
         for seed in 0..20 {
             let trace = execute(
                 &inst,
@@ -336,7 +336,7 @@ mod tests {
     #[test]
     fn drop_policy_loses_more_accuracy_than_compress() {
         let inst = instance();
-        let plan = solve_approx(&inst, &ApproxOptions::default());
+        let plan = ApproxSolver::new().solve_typed(&inst);
         let mut any_overrun = false;
         for seed in 0..30 {
             let compress = execute(
@@ -369,7 +369,7 @@ mod tests {
     #[test]
     fn events_are_chronological_and_complete() {
         let inst = instance();
-        let plan = solve_approx(&inst, &ApproxOptions::default());
+        let plan = ApproxSolver::new().solve_typed(&inst);
         let trace = execute(&inst, &plan.schedule, &ExecutionConfig::default());
         for w in trace.events.windows(2) {
             assert!(w[0].time <= w[1].time + 1e-12);

@@ -9,7 +9,8 @@
 //!   --quick        reduced sizes/replications (smoke-test scale)
 //!   --seed N       base RNG seed (default: per-experiment paper seed)
 //!   --out DIR      artifact directory for JSON/CSV (default: ./results)
-//!   --sequential   disable rayon parallelism across replications
+//!   --threads N    worker threads for grid experiments (0 = all cores)
+//!   --sequential   run everything serially (same as --threads 1)
 //! ```
 //!
 //! Run `--quick` first: the full Fig. 3 / Table 1 sweeps take minutes.
@@ -26,7 +27,19 @@ struct Args {
     quick: bool,
     seed: Option<u64>,
     out: PathBuf,
-    execution: Execution,
+    /// Worker threads for engine-backed grid experiments (0 = all cores).
+    threads: usize,
+}
+
+impl Args {
+    /// Execution mode for the legacy single-loop sweeps (fig3/fig6/…).
+    fn execution(&self) -> Execution {
+        if self.threads == 1 {
+            Execution::Sequential
+        } else {
+            Execution::Parallel
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,12 +47,18 @@ fn parse_args() -> Result<Args, String> {
     let mut quick = false;
     let mut seed = None;
     let mut out = PathBuf::from("results");
-    let mut execution = Execution::Parallel;
+    let mut threads = 0usize;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--sequential" => execution = Execution::Sequential,
+            "--sequential" => threads = 1,
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
                 seed = Some(v.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?);
@@ -60,12 +79,12 @@ fn parse_args() -> Result<Args, String> {
         quick,
         seed,
         out,
-        execution,
+        threads,
     })
 }
 
 fn usage() -> &'static str {
-    "dsct-experiments [EXPERIMENTS…] [--quick] [--seed N] [--out DIR] [--sequential]\n\
+    "dsct-experiments [EXPERIMENTS…] [--quick] [--seed N] [--out DIR] [--threads N] [--sequential]\n\
      experiments: all fig1 fig2 fig3 fig4 fig4a fig4b table1 fig5 fig6 fig6a fig6b energy-gain robustness"
 }
 
@@ -134,7 +153,7 @@ fn main() -> ExitCode {
         if let Some(s) = args.seed {
             cfg.base_seed = s;
         }
-        let r = fig3::run(&cfg, args.execution);
+        let r = fig3::run(&cfg, args.execution());
         println!("{}", fig3::render(&r));
         save(
             "fig3",
@@ -188,7 +207,7 @@ fn main() -> ExitCode {
         if let Some(s) = args.seed {
             cfg.base_seed = s;
         }
-        let r = fig5::run(&cfg, args.execution);
+        let r = fig5::run(&cfg, args.threads);
         println!("{}", fig5::render(&r));
         save(
             "fig5",
@@ -206,7 +225,7 @@ fn main() -> ExitCode {
         if let Some(s) = args.seed {
             cfg.base_seed = s;
         }
-        let r = robustness::run(&cfg, args.execution);
+        let r = robustness::run(&cfg, args.execution());
         println!("{}", robustness::render(&r));
         save(
             "robustness",
@@ -228,7 +247,7 @@ fn main() -> ExitCode {
             if let Some(s) = args.seed {
                 cfg.base_seed = s;
             }
-            let r = fig6::run(&cfg, args.execution);
+            let r = fig6::run(&cfg, args.execution());
             println!("{}", fig6::render(&r));
             save(
                 name,

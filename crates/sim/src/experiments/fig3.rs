@@ -9,8 +9,8 @@
 use crate::report::TextTable;
 use crate::runner::{run_replications, Execution};
 use crate::stats::SummaryStats;
-use dsct_core::approx::{solve_approx, ApproxOptions};
 use dsct_core::guarantee::absolute_guarantee;
+use dsct_core::solver::ApproxSolver;
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use serde::{Deserialize, Serialize};
 
@@ -104,13 +104,19 @@ pub fn run(cfg: &Fig3Config, execution: Execution) -> Fig3Result {
                 execution,
                 |seed| {
                     let inst = generate(&icfg, seed);
-                    let sol = solve_approx(&inst, &ApproxOptions::default());
+                    let sol = ApproxSolver::new().solve_typed(&inst);
                     let n = inst.num_tasks() as f64;
                     let ub = sol.fractional.total_accuracy / n;
                     let got = sol.total_accuracy / n;
-                    (ub - got, got, ub, absolute_guarantee(&inst) / n)
+                    Ok::<_, std::convert::Infallible>((
+                        ub - got,
+                        got,
+                        ub,
+                        absolute_guarantee(&inst) / n,
+                    ))
                 },
-            );
+            )
+            .expect("infallible");
             let mut gap = SummaryStats::new();
             let mut approx = SummaryStats::new();
             let mut ub = SummaryStats::new();

@@ -11,16 +11,24 @@
 //! The paper does not state ρ/β/θ for this experiment; we use the Fig. 3
 //! operating point (ρ = 0.35, β = 0.5, θ ~ U[0.1, 1.0]), noted in
 //! EXPERIMENTS.md.
+//!
+//! Runs on the [`crate::engine`] with `threads = 1`: these are wall-clock
+//! measurements, so items must not contend for cores. Cells past the MIP
+//! size caps restrict their solver set to the approximation alone via
+//! [`CellSpec::with_solvers`].
 
+use crate::engine::{CellSpec, ExperimentPlan};
 use crate::report::{fmt_secs, TextTable};
-use crate::runner::{run_replications, Execution};
 use crate::stats::SummaryStats;
-use dsct_core::approx::{solve_approx, ApproxOptions};
-use dsct_core::mip_model::solve_mip_exact;
-use dsct_mip::{MipOptions, MipStatus};
-use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use dsct_core::solver::{ApproxSolver, MipSolver, Solver};
+use dsct_mip::MipOptions;
+use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
+
+const APPROX: usize = 0;
+const MIP: usize = 1;
 
 /// Configuration (defaults = the paper's sweep).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -83,6 +91,20 @@ impl Fig4Config {
             ..Self::default()
         }
     }
+
+    fn cell(&self, n: usize, m: usize, label: String, attempt_mip: bool) -> CellSpec {
+        let config = InstanceConfig {
+            tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+            machines: MachineConfig::paper_random(m),
+            rho: self.rho,
+            beta: self.beta,
+        };
+        if attempt_mip {
+            CellSpec::new(label, config)
+        } else {
+            CellSpec::with_solvers(label, config, vec![APPROX])
+        }
+    }
 }
 
 /// One swept point.
@@ -94,7 +116,7 @@ pub struct Fig4Point {
     pub approx_time: SummaryStats,
     /// MIP runtime (s); empty when the MIP was skipped at this size.
     pub mip_time: SummaryStats,
-    /// How many MIP runs hit the time limit.
+    /// How many MIP runs stopped on the wall-clock limit.
     pub mip_timeouts: usize,
     /// Whether the MIP was attempted at all.
     pub mip_attempted: bool,
@@ -111,78 +133,51 @@ pub struct Fig4Result {
     pub by_machines: Vec<Fig4Point>,
 }
 
-fn point(cfg: &Fig4Config, n: usize, m: usize, size: usize, attempt_mip: bool) -> Fig4Point {
-    let icfg = InstanceConfig {
-        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
-        machines: MachineConfig::paper_random(m),
-        rho: cfg.rho,
-        beta: cfg.beta,
-    };
-    // Sequential execution: these are wall-clock measurements.
-    let salt = (n * 1_000 + m) as u64;
-    let samples = run_replications(
-        cfg.base_seed.wrapping_add(salt),
-        cfg.replications,
-        Execution::Sequential,
-        |seed| {
-            let inst = generate(&icfg, seed);
-            let t0 = Instant::now();
-            let _ = solve_approx(&inst, &ApproxOptions::default());
-            let approx_time = t0.elapsed().as_secs_f64();
-            let (mip_time, timed_out) = if attempt_mip {
-                let opts = MipOptions {
-                    time_limit: Some(Duration::from_secs_f64(cfg.time_limit_secs)),
-                    ..Default::default()
-                };
-                let t0 = Instant::now();
-                let sol = solve_mip_exact(&inst, &opts).expect("model builds");
-                (
-                    Some(t0.elapsed().as_secs_f64()),
-                    sol.status != MipStatus::Optimal,
-                )
-            } else {
-                (None, false)
-            };
-            (approx_time, mip_time, timed_out)
-        },
-    );
-    let mut approx_time = SummaryStats::new();
-    let mut mip_time = SummaryStats::new();
-    let mut mip_timeouts = 0;
-    for (a, mt, to) in samples {
-        approx_time.push(a);
-        if let Some(t) = mt {
-            mip_time.push(t);
-        }
-        if to {
-            mip_timeouts += 1;
-        }
-    }
-    Fig4Point {
-        size,
-        approx_time,
-        mip_time,
-        mip_timeouts,
-        mip_attempted: attempt_mip,
-    }
-}
-
-/// Runs both sweeps.
+/// Runs both sweeps as one engine plan (sequentially: wall-clock study).
 pub fn run(cfg: &Fig4Config) -> Fig4Result {
-    let by_tasks = cfg
-        .task_counts
-        .iter()
-        .map(|&n| point(cfg, n, cfg.m_fixed, n, n <= cfg.mip_max_n))
-        .collect();
-    let by_machines = cfg
-        .machine_counts
-        .iter()
-        .map(|&m| point(cfg, cfg.n_fixed, m, m, m <= cfg.mip_max_m))
-        .collect();
+    let mut cells = Vec::new();
+    let mut sizes = Vec::new();
+    for &n in &cfg.task_counts {
+        cells.push(cfg.cell(n, cfg.m_fixed, format!("n={n}"), n <= cfg.mip_max_n));
+        sizes.push(n);
+    }
+    let split = cells.len();
+    for &m in &cfg.machine_counts {
+        cells.push(cfg.cell(cfg.n_fixed, m, format!("m={m}"), m <= cfg.mip_max_m));
+        sizes.push(m);
+    }
+
+    let solvers: Vec<Arc<dyn Solver>> = vec![
+        Arc::new(ApproxSolver::new()),
+        Arc::new(MipSolver::with_options(MipOptions {
+            time_limit: Some(Duration::from_secs_f64(cfg.time_limit_secs)),
+            ..Default::default()
+        })),
+    ];
+    let run = ExperimentPlan::new(cells, solvers)
+        .replications(cfg.replications)
+        .master_seed(cfg.base_seed)
+        .threads(1) // wall-clock measurements must not contend for cores
+        .run();
+
+    let point = |c: usize| -> Fig4Point {
+        let approx_time = run
+            .solver_timing_at(c, APPROX)
+            .map(|t| t.solve_time)
+            .unwrap_or_default();
+        let mip = run.solver_timing_at(c, MIP);
+        Fig4Point {
+            size: sizes[c],
+            approx_time,
+            mip_time: mip.map(|t| t.solve_time).unwrap_or_default(),
+            mip_timeouts: mip.map(|t| t.timeouts).unwrap_or(0),
+            mip_attempted: mip.is_some(),
+        }
+    };
     Fig4Result {
         config: cfg.clone(),
-        by_tasks,
-        by_machines,
+        by_tasks: (0..split).map(point).collect(),
+        by_machines: (split..sizes.len()).map(point).collect(),
     }
 }
 
@@ -259,10 +254,12 @@ mod tests {
         assert_eq!(r.by_machines.len(), 2);
         // The approximation always finishes fast.
         for p in r.by_tasks.iter().chain(&r.by_machines) {
+            assert_eq!(p.approx_time.count() as usize, 2);
             assert!(p.approx_time.mean() < 5.0);
         }
         // MIP attempted only within the caps.
         assert!(r.by_tasks[0].mip_attempted);
         assert!(!r.by_tasks[2].mip_attempted);
+        assert_eq!(r.by_tasks[2].mip_time.count(), 0);
     }
 }

@@ -5,14 +5,24 @@
 //!
 //! Paper parameters: `n = 100`, `m = 2`, `ρ = 1.0`, uniform tasks with
 //! `θ = 0.1`, β from 0.1 to 1.0.
+//!
+//! Runs on the [`crate::engine`]: one cell per β, three solvers per cell.
+//! The upper-bound series comes for free from the approximation's
+//! certified fractional bound ([`dsct_core::solver::Solution::upper_bound`]),
+//! so no second fractional solve is needed.
 
+use crate::engine::{CellSpec, ExperimentPlan, ExperimentRun};
 use crate::report::TextTable;
-use crate::runner::{run_replications, Execution};
 use crate::stats::SummaryStats;
-use dsct_core::approx::{approx_from_fractional, solve_approx, ApproxOptions, Placement};
-use dsct_core::baselines::{edf_no_compression, edf_three_levels};
+use dsct_core::approx::{approx_from_fractional, Placement};
+use dsct_core::solver::{ApproxSolver, EdfSolver, FrOptSolver, Solver};
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+const APPROX: usize = 0;
+const EDF_FULL: usize = 1;
+const EDF_LEVELS: usize = 2;
 
 /// Configuration (defaults = the paper's).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,6 +70,15 @@ impl Fig5Config {
             ..Self::default()
         }
     }
+
+    fn instance_config(&self, beta: f64) -> InstanceConfig {
+        InstanceConfig {
+            tasks: TaskConfig::paper(self.n, ThetaDistribution::Fixed(self.theta)),
+            machines: MachineConfig::paper_random(self.m),
+            rho: self.rho,
+            beta,
+        }
+    }
 }
 
 /// One swept point: mean per-task accuracies of every method.
@@ -103,59 +122,61 @@ pub struct EnergyGain {
     pub accuracy_loss: f64,
 }
 
-/// Runs the sweep.
-pub fn run(cfg: &Fig5Config, execution: Execution) -> Fig5Result {
+/// Runs the sweep on `threads` workers (0 = all cores, 1 = serial).
+pub fn run(cfg: &Fig5Config, threads: usize) -> Fig5Result {
+    let cells = cfg
+        .betas
+        .iter()
+        .map(|&beta| CellSpec::new(format!("beta={beta:.2}"), cfg.instance_config(beta)))
+        .collect();
+    let solvers: Vec<Arc<dyn Solver>> = vec![
+        Arc::new(ApproxSolver::new()),
+        Arc::new(EdfSolver::no_compression()),
+        Arc::new(EdfSolver::three_levels()),
+    ];
+    let run = ExperimentPlan::new(cells, solvers)
+        .replications(cfg.replications)
+        .master_seed(cfg.base_seed)
+        .threads(threads)
+        .keep_items(true) // the UB series is per-task-normalized from items
+        .run();
+
     let points: Vec<Fig5Point> = cfg
         .betas
         .iter()
-        .map(|&beta| {
-            let icfg = InstanceConfig {
-                tasks: TaskConfig::paper(cfg.n, ThetaDistribution::Fixed(cfg.theta)),
-                machines: MachineConfig::paper_random(cfg.m),
-                rho: cfg.rho,
-                beta,
-            };
-            let salt = (beta * 1000.0) as u64;
-            let samples = run_replications(
-                cfg.base_seed.wrapping_add(salt),
-                cfg.replications,
-                execution,
-                |seed| {
-                    let inst = generate(&icfg, seed);
-                    let n = inst.num_tasks() as f64;
-                    let approx = solve_approx(&inst, &ApproxOptions::default());
-                    let full = edf_no_compression(&inst);
-                    let levels = edf_three_levels(&inst);
-                    (
-                        approx.total_accuracy / n,
-                        approx.fractional.total_accuracy / n,
-                        full.total_accuracy / n,
-                        levels.total_accuracy / n,
-                    )
-                },
-            );
-            let mut point = Fig5Point {
-                beta,
-                approx: SummaryStats::new(),
-                upper_bound: SummaryStats::new(),
-                edf_full: SummaryStats::new(),
-                edf_levels: SummaryStats::new(),
-            };
-            for (a, u, f, l) in samples {
-                point.approx.push(a);
-                point.upper_bound.push(u);
-                point.edf_full.push(f);
-                point.edf_levels.push(l);
-            }
-            point
-        })
+        .enumerate()
+        .map(|(c, &beta)| point(&run, c, beta))
         .collect();
-
     let energy_gain = compute_energy_gain(cfg, &points);
     Fig5Result {
         config: cfg.clone(),
         points,
         energy_gain,
+    }
+}
+
+fn point(run: &ExperimentRun, c: usize, beta: f64) -> Fig5Point {
+    let per_task = |s: usize| -> SummaryStats {
+        run.solver_stats(c, s)
+            .map(|st| st.mean_accuracy)
+            .unwrap_or_default()
+    };
+    // The engine aggregates the certified bound as a total; Fig. 5 plots
+    // per-task accuracies, so rebuild UB / n from the retained items.
+    let mut upper_bound = SummaryStats::new();
+    for item in run.items.as_deref().unwrap_or(&[]) {
+        if item.cell == c && item.solver == APPROX {
+            if let Some(ub) = item.measure.upper_bound {
+                upper_bound.push(ub / item.measure.num_tasks.max(1) as f64);
+            }
+        }
+    }
+    Fig5Point {
+        beta,
+        approx: per_task(APPROX),
+        upper_bound,
+        edf_full: per_task(EDF_FULL),
+        edf_levels: per_task(EDF_LEVELS),
     }
 }
 
@@ -182,14 +203,8 @@ pub fn approx_accuracy_with_placement(
     placement: Placement,
     seed: u64,
 ) -> f64 {
-    let icfg = InstanceConfig {
-        tasks: TaskConfig::paper(cfg.n, ThetaDistribution::Fixed(cfg.theta)),
-        machines: MachineConfig::paper_random(cfg.m),
-        rho: cfg.rho,
-        beta,
-    };
-    let inst = generate(&icfg, seed);
-    let fr = dsct_core::fr_opt::solve_fr_opt(&inst, &Default::default());
+    let inst = generate(&cfg.instance_config(beta), seed);
+    let fr = FrOptSolver::new().solve_typed(&inst);
     let sol = approx_from_fractional(&inst, fr, placement);
     sol.total_accuracy / inst.num_tasks() as f64
 }
@@ -232,7 +247,7 @@ mod tests {
 
     #[test]
     fn accuracy_increases_with_budget_and_respects_ordering() {
-        let r = run(&Fig5Config::quick(), Execution::Parallel);
+        let r = run(&Fig5Config::quick(), 0);
         for w in r.points.windows(2) {
             assert!(
                 w[1].approx.mean() >= w[0].approx.mean() - 0.02,
@@ -242,6 +257,8 @@ mod tests {
             );
         }
         for p in &r.points {
+            assert_eq!(p.approx.count() as usize, r.config.replications);
+            assert_eq!(p.upper_bound.count() as usize, r.config.replications);
             // UB dominates APPROX; APPROX should beat the EDF baselines.
             assert!(
                 p.upper_bound.mean() >= p.approx.mean() - 1e-9,
@@ -260,10 +277,31 @@ mod tests {
 
     #[test]
     fn energy_gain_is_reported() {
-        let r = run(&Fig5Config::quick(), Execution::Parallel);
+        let r = run(&Fig5Config::quick(), 0);
         let g = r.energy_gain.expect("sweep reaches the reference");
         assert!(g.beta_star <= 1.0);
         assert!(g.energy_saved >= 0.0);
         assert!(g.accuracy_loss <= r.config.gain_tolerance + 1e-9);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_figure() {
+        let serial = run(&Fig5Config::quick(), 1);
+        let parallel = run(&Fig5Config::quick(), 4);
+        let flat = |r: &Fig5Result| -> Vec<(f64, f64, f64, f64, f64)> {
+            r.points
+                .iter()
+                .map(|p| {
+                    (
+                        p.beta,
+                        p.approx.mean(),
+                        p.upper_bound.mean(),
+                        p.edf_full.mean(),
+                        p.edf_levels.mean(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(flat(&serial), flat(&parallel));
     }
 }

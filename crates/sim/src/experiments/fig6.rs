@@ -14,7 +14,7 @@
 use crate::report::TextTable;
 use crate::runner::{run_replications, Execution};
 use crate::stats::SummaryStats;
-use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_core::solver::FrOptSolver;
 use dsct_machines::catalog::fig6_two_machine_park;
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use serde::{Deserialize, Serialize};
@@ -130,15 +130,16 @@ pub fn run(cfg: &Fig6Config, execution: Execution) -> Fig6Result {
                 |seed| {
                     let inst = generate(&icfg, seed);
                     let d_max = inst.d_max();
-                    let sol = solve_fr_opt(&inst, &FrOptOptions::default());
-                    (
+                    let sol = FrOptSolver::new().solve_typed(&inst);
+                    Ok::<_, std::convert::Infallible>((
                         sol.profile[0] / d_max,
                         sol.profile[1] / d_max,
                         sol.naive_profile.cap(0) / d_max,
                         sol.naive_profile.cap(1) / d_max,
-                    )
+                    ))
                 },
-            );
+            )
+            .expect("infallible");
             let mut point = Fig6Point {
                 beta,
                 p1: SummaryStats::new(),

@@ -13,7 +13,7 @@
 use crate::report::TextTable;
 use crate::runner::{run_replications, Execution};
 use crate::stats::SummaryStats;
-use dsct_core::approx::{solve_approx, ApproxOptions};
+use dsct_core::solver::ApproxSolver;
 use dsct_exec::{execute, ExecutionConfig, OverrunPolicy};
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use serde::{Deserialize, Serialize};
@@ -104,7 +104,7 @@ pub fn run(cfg: &RobustnessConfig, execution: Execution) -> RobustnessResult {
             let samples = run_replications(cfg.base_seed, cfg.replications, execution, |seed| {
                 let inst = generate(&icfg, seed);
                 let n = inst.num_tasks() as f64;
-                let plan = solve_approx(&inst, &ApproxOptions::default());
+                let plan = ApproxSolver::new().solve_typed(&inst);
                 let run = |overrun: OverrunPolicy| {
                     execute(
                         &inst,
@@ -118,14 +118,15 @@ pub fn run(cfg: &RobustnessConfig, execution: Execution) -> RobustnessResult {
                 };
                 let c = run(OverrunPolicy::Compress);
                 let d = run(OverrunPolicy::Drop);
-                (
+                Ok::<_, std::convert::Infallible>((
                     plan.total_accuracy / n,
                     c.realized_accuracy / n,
                     d.realized_accuracy / n,
                     c.compressions as f64,
                     d.drops as f64,
-                )
-            });
+                ))
+            })
+            .expect("infallible");
             let mut point = RobustnessPoint {
                 jitter,
                 planned: SummaryStats::new(),

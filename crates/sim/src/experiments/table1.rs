@@ -6,16 +6,22 @@
 //! path is this workspace's revised simplex. The reproduced claim is the
 //! *shape*: the dedicated combinatorial algorithm beats the
 //! general-purpose LP machinery at every size, with a widening margin.
+//!
+//! Runs on the [`crate::engine`] with `threads = 1` (wall-clock study)
+//! and retained items, which pair the two solvers on the same generated
+//! instance per replication for the agreement check.
 
+use crate::engine::{CellSpec, ExperimentPlan};
 use crate::report::{fmt_secs, TextTable};
-use crate::runner::{run_replications, Execution};
 use crate::stats::SummaryStats;
-use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
-use dsct_core::lp_model::solve_fr_lp;
-use dsct_lp::{SolveOptions, Status};
-use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use dsct_core::solver::{FrOptSolver, LpSolver, Solver};
+use dsct_lp::SolveOptions;
+use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::sync::Arc;
+
+const FR_OPT: usize = 0;
+const LP: usize = 1;
 
 /// Configuration (defaults follow the paper; replications reduced from 10
 /// to 3 because the simplex path dominates runtime — noted in
@@ -78,7 +84,7 @@ pub struct Table1Row {
     pub fr_opt_time: SummaryStats,
     /// LP solver runtime (s).
     pub lp_time: SummaryStats,
-    /// LP solves that hit the time limit.
+    /// LP solves that did not reach optimality (time or iteration cap).
     pub lp_timeouts: usize,
     /// Worst relative disagreement between the two optimal values (only
     /// populated when agreement checking is on).
@@ -94,65 +100,83 @@ pub struct Table1Result {
     pub rows: Vec<Table1Row>,
 }
 
-/// Runs the comparison.
+/// Runs the comparison (sequentially: wall-clock study).
 pub fn run(cfg: &Table1Config) -> Table1Result {
-    let rows = cfg
+    let cells = cfg
         .task_counts
         .iter()
         .map(|&n| {
-            let icfg = InstanceConfig {
-                tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
-                machines: MachineConfig::paper_random(cfg.m),
-                rho: cfg.rho,
-                beta: cfg.beta,
-            };
-            let lp_opts = SolveOptions {
-                time_limit: if cfg.lp_time_limit_secs > 0.0 {
-                    Some(std::time::Duration::from_secs_f64(cfg.lp_time_limit_secs))
-                } else {
-                    None
+            CellSpec::new(
+                format!("n={n}"),
+                InstanceConfig {
+                    tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+                    machines: MachineConfig::paper_random(cfg.m),
+                    rho: cfg.rho,
+                    beta: cfg.beta,
                 },
-                ..Default::default()
-            };
-            // Wall-clock measurement: sequential.
-            let samples = run_replications(
-                cfg.base_seed.wrapping_add(n as u64),
-                cfg.replications,
-                Execution::Sequential,
-                |seed| {
-                    let inst = generate(&icfg, seed);
-                    let t0 = Instant::now();
-                    let fr = solve_fr_opt(&inst, &FrOptOptions::default());
-                    let fr_time = t0.elapsed().as_secs_f64();
-                    let t0 = Instant::now();
-                    let lp = solve_fr_lp(&inst, &lp_opts).expect("model builds");
-                    let lp_time = t0.elapsed().as_secs_f64();
-                    let timed_out = lp.status != Status::Optimal;
-                    let rel_gap = if cfg.check_agreement && !timed_out {
-                        (lp.total_accuracy - fr.total_accuracy).abs()
-                            / inst.total_max_accuracy().max(1.0)
-                    } else {
-                        0.0
-                    };
-                    (fr_time, lp_time, timed_out, rel_gap)
-                },
-            );
-            let mut fr_stats = SummaryStats::new();
-            let mut lp_stats = SummaryStats::new();
-            let mut lp_timeouts = 0;
+            )
+        })
+        .collect();
+    let lp_opts = SolveOptions {
+        time_limit: if cfg.lp_time_limit_secs > 0.0 {
+            Some(std::time::Duration::from_secs_f64(cfg.lp_time_limit_secs))
+        } else {
+            None
+        },
+        ..Default::default()
+    };
+    let solvers: Vec<Arc<dyn Solver>> = vec![
+        Arc::new(FrOptSolver::new()),
+        Arc::new(LpSolver::with_options(lp_opts)),
+    ];
+    let run = ExperimentPlan::new(cells, solvers)
+        .replications(cfg.replications)
+        .master_seed(cfg.base_seed)
+        .threads(1) // wall-clock measurements must not contend for cores
+        .keep_items(true)
+        .run();
+
+    let rows = cfg
+        .task_counts
+        .iter()
+        .enumerate()
+        .map(|(c, &n)| {
+            // A non-optimal LP end state surfaces as a failed item, so the
+            // timeout count of the old driver is the solver's failure
+            // count here (the LP has no other failure mode on these
+            // well-formed models).
+            let lp_timeouts = run.solver_stats(c, LP).map(|s| s.failures).unwrap_or(0);
+            // Pair FR and LP on the same replication (same seed ⇒ same
+            // instance) for the worst-case agreement gap.
             let mut max_rel_gap = 0.0f64;
-            for (f, l, to, g) in samples {
-                fr_stats.push(f);
-                lp_stats.push(l);
-                if to {
-                    lp_timeouts += 1;
+            if cfg.check_agreement {
+                let items = run.items.as_deref().unwrap_or(&[]);
+                let mut fr_acc = vec![None; cfg.replications];
+                for item in items.iter().filter(|i| i.cell == c) {
+                    match item.solver {
+                        FR_OPT => fr_acc[item.rep] = item.measure.total_accuracy,
+                        LP => {
+                            if let (Some(fr), Some(lp)) =
+                                (fr_acc[item.rep], item.measure.total_accuracy)
+                            {
+                                let gap = (lp - fr).abs() / item.measure.max_accuracy.max(1.0);
+                                max_rel_gap = max_rel_gap.max(gap);
+                            }
+                        }
+                        _ => {}
+                    }
                 }
-                max_rel_gap = max_rel_gap.max(g);
             }
             Table1Row {
                 n,
-                fr_opt_time: fr_stats,
-                lp_time: lp_stats,
+                fr_opt_time: run
+                    .solver_timing_at(c, FR_OPT)
+                    .map(|t| t.solve_time)
+                    .unwrap_or_default(),
+                lp_time: run
+                    .solver_timing_at(c, LP)
+                    .map(|t| t.solve_time)
+                    .unwrap_or_default(),
                 lp_timeouts,
                 max_rel_gap,
             }
@@ -209,6 +233,8 @@ mod tests {
         assert_eq!(r.rows.len(), 2);
         for row in &r.rows {
             assert_eq!(row.lp_timeouts, 0);
+            assert_eq!(row.fr_opt_time.count() as usize, r.config.replications);
+            assert_eq!(row.lp_time.count() as usize, r.config.replications);
             // Both paths compute the same optimum.
             assert!(
                 row.max_rel_gap < 5e-4,

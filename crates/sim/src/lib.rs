@@ -8,9 +8,13 @@
 //! result struct, and a text renderer that prints the same rows/series the
 //! paper reports. The `dsct-experiments` binary drives them all.
 //!
-//! Replications are independent and run in parallel (rayon); every
-//! experiment is deterministic for a given base seed.
+//! Grid experiments execute on the deterministic multi-threaded
+//! [`engine`]: (cell × replication × solver) work items on scoped worker
+//! threads, per-item seeds derived from the grid coordinates so results
+//! are bit-identical regardless of thread count. The simpler [`runner`]
+//! remains for single-loop replication sweeps.
 
+pub mod engine;
 pub mod experiments;
 pub mod report;
 pub mod runner;

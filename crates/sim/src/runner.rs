@@ -1,4 +1,4 @@
-//! Parallel replication engine.
+//! Parallel replication engine (single-loop sweeps).
 //!
 //! Every experiment data point aggregates many independent replications
 //! (the paper uses 100 for Fig. 3, 10 for the timing studies). Replications
@@ -6,6 +6,10 @@
 //! a sequential path is kept for the parallel-vs-sequential ablation bench
 //! and for timing experiments (wall-clock measurements must not contend
 //! for cores).
+//!
+//! For (grid × replication × solver) experiments, prefer the
+//! deterministic work-distributing [`crate::engine`]; this module remains
+//! the light-weight path for single-loop sweeps.
 
 use rayon::prelude::*;
 
@@ -21,19 +25,28 @@ pub enum Execution {
 
 /// Runs `f` for the seeds `base_seed..base_seed + replications`, collecting
 /// results in seed order (deterministic regardless of execution mode).
-pub fn run_replications<T, F>(
+///
+/// A failed replication aborts the sweep with its error instead of
+/// panicking, so a caller sweeping many cells can report the failing cell
+/// and carry on. Infallible closures use an error type such as
+/// [`std::convert::Infallible`] (or any unconstructed one) and unwrap.
+pub fn run_replications<T, E, F>(
     base_seed: u64,
     replications: usize,
     execution: Execution,
     f: F,
-) -> Vec<T>
+) -> Result<Vec<T>, E>
 where
     T: Send,
-    F: Fn(u64) -> T + Sync,
+    E: Send,
+    F: Fn(u64) -> Result<T, E> + Sync,
 {
     let seeds: Vec<u64> = (0..replications as u64).map(|i| base_seed + i).collect();
     match execution {
-        Execution::Parallel => seeds.par_iter().map(|&s| f(s)).collect(),
+        Execution::Parallel => {
+            let results: Vec<Result<T, E>> = seeds.par_iter().map(|&s| f(s)).collect();
+            results.into_iter().collect()
+        }
         Execution::Sequential => seeds.iter().map(|&s| f(s)).collect(),
     }
 }
@@ -41,18 +54,40 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::convert::Infallible;
 
     #[test]
     fn results_are_in_seed_order() {
-        let out = run_replications(10, 8, Execution::Parallel, |seed| seed * 2);
+        let out = run_replications(10, 8, Execution::Parallel, |seed| {
+            Ok::<_, Infallible>(seed * 2)
+        })
+        .unwrap();
         assert_eq!(out, vec![20, 22, 24, 26, 28, 30, 32, 34]);
-        let seq = run_replications(10, 8, Execution::Sequential, |seed| seed * 2);
+        let seq = run_replications(10, 8, Execution::Sequential, |seed| {
+            Ok::<_, Infallible>(seed * 2)
+        })
+        .unwrap();
         assert_eq!(out, seq);
     }
 
     #[test]
     fn zero_replications() {
-        let out: Vec<u64> = run_replications(0, 0, Execution::Parallel, |s| s);
+        let out: Vec<u64> =
+            run_replications(0, 0, Execution::Parallel, Ok::<_, Infallible>).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn first_error_aborts_the_sweep() {
+        for execution in [Execution::Parallel, Execution::Sequential] {
+            let r: Result<Vec<u64>, String> = run_replications(0, 6, execution, |seed| {
+                if seed >= 3 {
+                    Err(format!("seed {seed} failed"))
+                } else {
+                    Ok(seed)
+                }
+            });
+            assert_eq!(r, Err("seed 3 failed".to_string()));
+        }
     }
 }

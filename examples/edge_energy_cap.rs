@@ -12,7 +12,6 @@
 //! cargo run --release --example edge_energy_cap
 //! ```
 
-use dsct_ea::core::fr_opt::{solve_fr_opt, FrOptOptions};
 use dsct_ea::machines::catalog::fig6_two_machine_park;
 use dsct_ea::prelude::*;
 
@@ -48,14 +47,12 @@ fn main() {
 
     // Solve once with refinement disabled (naive profile only) and once in
     // full.
-    let naive_only = solve_fr_opt(
-        &inst,
-        &FrOptOptions {
-            skip_refine: true,
-            ..Default::default()
-        },
-    );
-    let refined = solve_fr_opt(&inst, &FrOptOptions::default());
+    let naive_only = FrOptSolver::with_options(FrOptOptions {
+        skip_refine: true,
+        ..Default::default()
+    })
+    .solve_typed(&inst);
+    let refined = FrOptSolver::new().solve_typed(&inst);
 
     println!("\nenergy profile (fraction of the horizon each machine is busy):");
     println!("{:<28} {:>12} {:>12}", "", "machine 0", "machine 1");
@@ -87,7 +84,7 @@ fn main() {
     );
 
     // The integral schedule a deployment would actually run.
-    let approx = solve_approx(&inst, &ApproxOptions::default());
+    let approx = ApproxSolver::new().solve_typed(&inst);
     approx
         .schedule
         .validate(&inst, ScheduleKind::Integral)

@@ -11,7 +11,6 @@
 //! ```
 
 use dsct_ea::accuracy::catalog::{AUTOSLIM_MNASNET, OFA_MOBILENETV3, OFA_RESNET50};
-use dsct_ea::core::baselines::{edf_no_compression, edf_three_levels};
 use dsct_ea::machines::catalog::NVIDIA_SERVER_GPUS;
 use dsct_ea::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -66,9 +65,9 @@ fn main() {
         let inst =
             Instance::new(tasks.clone(), park.clone(), beta * reference).expect("valid instance");
         let n = inst.num_tasks() as f64;
-        let approx = solve_approx(&inst, &ApproxOptions::default());
-        let full = edf_no_compression(&inst);
-        let levels = edf_three_levels(&inst);
+        let approx = ApproxSolver::new().solve_typed(&inst);
+        let full = EdfSolver::no_compression().solve_typed(&inst);
+        let levels = EdfSolver::three_levels().solve_typed(&inst);
         println!(
             "{beta:>5.2} {:>12.4} {:>12.4} {:>12.4} {:>14.4}",
             approx.total_accuracy / n,
@@ -90,7 +89,7 @@ fn main() {
         let inst =
             Instance::new(tasks.clone(), park.clone(), beta * reference).expect("valid instance");
         let n = inst.num_tasks() as f64;
-        let approx = solve_approx(&inst, &ApproxOptions::default());
+        let approx = ApproxSolver::new().solve_typed(&inst);
         let acc = approx.total_accuracy / n;
         if acc >= no_comp_ref - 0.02 {
             println!(

@@ -49,7 +49,7 @@ fn main() {
     // Solve. The approximation first solves the fractional relaxation
     // exactly (the upper bound DSCT-EA-UB), then rounds it to an integral
     // one-machine-per-task schedule.
-    let sol = solve_approx(&inst, &ApproxOptions::default());
+    let sol = ApproxSolver::new().solve_typed(&inst);
 
     println!(
         "\n{:<6} {:>9} {:>10} {:>10} {:>8}",

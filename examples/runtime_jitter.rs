@@ -20,7 +20,7 @@ fn main() {
     };
     let inst = dsct_ea::workload::generate(&cfg, 123);
     let n = inst.num_tasks() as f64;
-    let plan = solve_approx(&inst, &ApproxOptions::default());
+    let plan = ApproxSolver::new().solve_typed(&inst);
     println!(
         "planned: mean accuracy {:.4}, energy {:.3} J, {} tasks on {} machines\n",
         plan.total_accuracy / n,

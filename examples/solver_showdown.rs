@@ -10,8 +10,6 @@
 //! cargo run --release --example solver_showdown
 //! ```
 
-use dsct_ea::core::baselines::{edf_no_compression, edf_three_levels};
-use dsct_ea::core::mip_model::solve_mip_exact;
 use dsct_ea::mip::MipOptions;
 use dsct_ea::prelude::*;
 use std::time::{Duration, Instant};
@@ -36,7 +34,7 @@ fn main() {
     println!("{:<24} {:>12} {:>14}", "method", "mean acc.", "time");
 
     let t0 = Instant::now();
-    let approx = solve_approx(&inst, &ApproxOptions::default());
+    let approx = ApproxSolver::new().solve_typed(&inst);
     let t_approx = t0.elapsed();
     println!(
         "{:<24} {:>12.4} {:>14?}",
@@ -52,13 +50,11 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let mip = solve_mip_exact(
-        &inst,
-        &MipOptions {
-            time_limit: Some(Duration::from_secs(60)),
-            ..Default::default()
-        },
-    )
+    let mip = MipSolver::with_options(MipOptions {
+        time_limit: Some(Duration::from_secs(60)),
+        ..Default::default()
+    })
+    .solve_typed(&inst)
     .expect("model builds");
     let t_mip = t0.elapsed();
     println!(
@@ -71,7 +67,7 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let full = edf_no_compression(&inst);
+    let full = EdfSolver::no_compression().solve_typed(&inst);
     println!(
         "{:<24} {:>12.4} {:>14?}",
         "EDF-NoCompression",
@@ -79,7 +75,7 @@ fn main() {
         t0.elapsed()
     );
     let t0 = Instant::now();
-    let lvl = edf_three_levels(&inst);
+    let lvl = EdfSolver::three_levels().solve_typed(&inst);
     println!(
         "{:<24} {:>12.4} {:>14?}",
         "EDF-3CompressionLevels",

@@ -34,13 +34,17 @@ pub use dsct_workload as workload;
 pub mod prelude {
     pub use dsct_accuracy::{ExponentialAccuracy, PwlAccuracy};
     pub use dsct_core::{
-        approx::{solve_approx, ApproxOptions},
-        baselines::{edf_no_compression, edf_three_levels},
-        fr_opt::{solve_fr_opt, FrOptOptions},
+        approx::ApproxOptions,
+        fr_opt::FrOptOptions,
         guarantee::absolute_guarantee,
         problem::{Instance, Task},
         schedule::{FractionalSchedule, ScheduleKind},
+        solver::{
+            ApproxSolver, EdfSolver, FrOptSolver, LpSolver, MipSolver, Solution, SolveError,
+            SolveStats, Solver, SolverContext,
+        },
     };
     pub use dsct_machines::{Machine, MachinePark};
+    pub use dsct_sim::engine::{ExperimentPlan, ExperimentRun};
     pub use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 }

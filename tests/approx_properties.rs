@@ -2,10 +2,9 @@
 //! across operating regimes: feasibility, bound ordering, and the paper's
 //! Eq. 13 guarantee.
 
-use dsct_core::approx::{solve_approx, ApproxOptions};
-use dsct_core::baselines::{edf_no_compression, edf_three_levels};
 use dsct_core::guarantee::absolute_guarantee;
 use dsct_core::schedule::ScheduleKind;
+use dsct_core::solver::{ApproxSolver, EdfSolver, FrOptSolver};
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use proptest::prelude::*;
 
@@ -46,7 +45,7 @@ proptest! {
     #[test]
     fn approx_is_feasible_bounded_and_guaranteed(cfg in arb_config(), seed in 0u64..1_000) {
         let inst = generate(&cfg, seed);
-        let sol = solve_approx(&inst, &ApproxOptions::default());
+        let sol = ApproxSolver::new().solve_typed(&inst);
         prop_assert!(sol.schedule.validate(&inst, ScheduleKind::Integral).is_ok(),
             "{:?}", sol.schedule.validate(&inst, ScheduleKind::Integral).unwrap_err());
         let ub = sol.fractional.total_accuracy;
@@ -62,10 +61,11 @@ proptest! {
     #[test]
     fn baselines_are_feasible_and_dominated(cfg in arb_config(), seed in 0u64..1_000) {
         let inst = generate(&cfg, seed);
-        let ub = solve_approx(&inst, &ApproxOptions::default())
-            .fractional
-            .total_accuracy;
-        for sol in [edf_no_compression(&inst), edf_three_levels(&inst)] {
+        let ub = ApproxSolver::new().solve_typed(&inst).fractional.total_accuracy;
+        for sol in [
+            EdfSolver::no_compression().solve_typed(&inst),
+            EdfSolver::three_levels().solve_typed(&inst),
+        ] {
             prop_assert!(sol.schedule.validate(&inst, ScheduleKind::Integral).is_ok());
             prop_assert!(sol.total_accuracy <= ub + 1e-6,
                 "baseline {} above UB {}", sol.total_accuracy, ub);
@@ -78,8 +78,8 @@ proptest! {
     fn fractional_optimum_monotone_in_budget(cfg in arb_config(), seed in 0u64..500) {
         let inst = generate(&cfg, seed);
         let lo = inst.with_budget(inst.budget() * 0.5).expect("valid");
-        let fr_lo = dsct_core::fr_opt::solve_fr_opt(&lo, &Default::default());
-        let fr_hi = dsct_core::fr_opt::solve_fr_opt(&inst, &Default::default());
+        let fr_lo = FrOptSolver::new().solve_typed(&lo);
+        let fr_hi = FrOptSolver::new().solve_typed(&inst);
         prop_assert!(fr_hi.total_accuracy >= fr_lo.total_accuracy - 1e-7,
             "budget {} gives {}, budget {} gives {}",
             lo.budget(), fr_lo.total_accuracy, inst.budget(), fr_hi.total_accuracy);
@@ -101,8 +101,8 @@ proptest! {
         // Same seed ⇒ same machines and θs; only the horizon scales.
         let tight = generate(&mk(0.05), seed);
         let loose = generate(&mk(0.5), seed);
-        let fr_tight = dsct_core::fr_opt::solve_fr_opt(&tight, &Default::default());
-        let fr_loose = dsct_core::fr_opt::solve_fr_opt(&loose, &Default::default());
+        let fr_tight = FrOptSolver::new().solve_typed(&tight);
+        let fr_loose = FrOptSolver::new().solve_typed(&loose);
         prop_assert!(fr_loose.total_accuracy >= fr_tight.total_accuracy - 1e-7);
     }
 }

@@ -2,9 +2,9 @@
 //! executor and the renewable-supply solver, exercised on generated
 //! workloads.
 
-use dsct_core::approx::{solve_approx, ApproxOptions};
 use dsct_core::renewable::{solve_renewable, supply_violation, EnergySupply};
 use dsct_core::schedule::ScheduleKind;
+use dsct_core::solver::ApproxSolver;
 use dsct_exec::{execute, ExecutionConfig, OverrunPolicy};
 use dsct_lp::SolveOptions;
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
@@ -27,7 +27,7 @@ proptest! {
     #[test]
     fn executor_reproduces_plans(seed in 0u64..500, n in 2usize..30, m in 1usize..4) {
         let inst = generate(&config(n, m, 0.3, 0.5), seed);
-        let plan = solve_approx(&inst, &ApproxOptions::default());
+        let plan = ApproxSolver::new().solve_typed(&inst);
         let trace = execute(&inst, &plan.schedule, &ExecutionConfig::default());
         prop_assert!((trace.realized_accuracy - plan.total_accuracy).abs() < 1e-7);
         prop_assert!((trace.realized_energy - plan.schedule.energy(&inst)).abs() < 1e-7);
@@ -41,7 +41,7 @@ proptest! {
     #[test]
     fn compress_policy_is_deadline_safe(seed in 0u64..300, jitter in 0.05f64..0.45) {
         let inst = generate(&config(15, 3, 0.2, 0.5), seed);
-        let plan = solve_approx(&inst, &ApproxOptions::default());
+        let plan = ApproxSolver::new().solve_typed(&inst);
         let trace = execute(&inst, &plan.schedule, &ExecutionConfig {
             speed_jitter: jitter,
             seed: seed ^ 0x5a5a,
@@ -79,7 +79,7 @@ proptest! {
 #[test]
 fn executed_trace_is_replayable_and_serializable() {
     let inst = generate(&config(10, 2, 0.3, 0.5), 7);
-    let plan = solve_approx(&inst, &ApproxOptions::default());
+    let plan = ApproxSolver::new().solve_typed(&inst);
     let cfg = ExecutionConfig {
         speed_jitter: 0.25,
         seed: 99,

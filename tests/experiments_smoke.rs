@@ -82,7 +82,7 @@ fn table1_combinatorial_beats_simplex() {
 
 #[test]
 fn fig5_ordering_and_energy_gain() {
-    let r = fig5::run(&fig5::Fig5Config::quick(), Execution::Parallel);
+    let r = fig5::run(&fig5::Fig5Config::quick(), 0);
     // APPROX dominates both baselines at every β (within noise).
     for p in &r.points {
         assert!(

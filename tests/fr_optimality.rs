@@ -3,17 +3,16 @@
 //! DSCT-EA-FR computed by the simplex solver (the paper's Theorem 2 claims
 //! exactness via KKT conditions).
 
-use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
-use dsct_core::lp_model::solve_fr_lp;
 use dsct_core::schedule::ScheduleKind;
-use dsct_lp::{SolveOptions, Status};
+use dsct_core::solver::{FrOptSolver, LpSolver};
+use dsct_lp::Status;
 use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 
 fn check_instance(cfg: &InstanceConfig, seed: u64, tol_rel: f64) {
     let inst = dsct_workload::generate(cfg, seed);
-    let lp = solve_fr_lp(&inst, &SolveOptions::default()).expect("LP builds");
+    let lp = LpSolver::new().solve_typed(&inst).expect("LP builds");
     assert_eq!(lp.status, Status::Optimal, "seed {seed}");
-    let fr = solve_fr_opt(&inst, &FrOptOptions::default());
+    let fr = FrOptSolver::new().solve_typed(&inst);
     fr.schedule
         .validate(&inst, ScheduleKind::Fractional)
         .unwrap_or_else(|e| panic!("seed {seed}: infeasible FR solution {e:?}"));

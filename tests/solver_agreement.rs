@@ -3,13 +3,12 @@
 //! per-assignment time allocation solved as an LP), and the whole solver
 //! chain must respect `EDF ≤ APPROX ≤ MIP ≤ UB`.
 
-use dsct_core::approx::{solve_approx, ApproxOptions};
 use dsct_core::lp_model::build_fr_lp;
-use dsct_core::mip_model::solve_mip_exact;
 use dsct_core::problem::Instance;
 use dsct_core::schedule::ScheduleKind;
+use dsct_core::solver::{ApproxSolver, MipSolver};
 use dsct_lp::SolveOptions;
-use dsct_mip::{MipOptions, MipStatus};
+use dsct_mip::MipStatus;
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 
 /// Optimal total accuracy for one fixed task→machine assignment: the FR LP
@@ -71,7 +70,7 @@ fn mip_matches_brute_force_enumeration() {
     for seed in 0..8 {
         let inst = tiny_instance(seed, 4, 2, 0.4, 0.3);
         let brute = brute_force_optimum(&inst);
-        let mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        let mip = MipSolver::new().solve_typed(&inst).expect("builds");
         assert_eq!(mip.status, MipStatus::Optimal, "seed {seed}");
         assert!(
             (mip.total_accuracy - brute).abs() < 1e-5,
@@ -87,7 +86,7 @@ fn mip_matches_brute_force_three_machines() {
     for seed in 0..4 {
         let inst = tiny_instance(seed, 3, 3, 0.5, 0.2);
         let brute = brute_force_optimum(&inst);
-        let mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        let mip = MipSolver::new().solve_typed(&inst).expect("builds");
         assert_eq!(mip.status, MipStatus::Optimal, "seed {seed}");
         assert!(
             (mip.total_accuracy - brute).abs() < 1e-5,
@@ -102,8 +101,8 @@ fn mip_matches_brute_force_three_machines() {
 fn solver_chain_ordering_holds() {
     for seed in 0..10 {
         let inst = tiny_instance(seed, 6, 2, 0.5, 0.35);
-        let approx = solve_approx(&inst, &ApproxOptions::default());
-        let mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        let approx = ApproxSolver::new().solve_typed(&inst);
+        let mip = MipSolver::new().solve_typed(&inst).expect("builds");
         assert_eq!(mip.status, MipStatus::Optimal, "seed {seed}");
         let ub = approx.fractional.total_accuracy;
         assert!(
@@ -130,8 +129,8 @@ fn single_machine_chain_collapses() {
     // With one machine the relaxation is integral: UB = MIP = APPROX.
     for seed in 0..6 {
         let inst = tiny_instance(seed, 5, 1, 0.6, 0.4);
-        let approx = solve_approx(&inst, &ApproxOptions::default());
-        let mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        let approx = ApproxSolver::new().solve_typed(&inst);
+        let mip = MipSolver::new().solve_typed(&inst).expect("builds");
         let ub = approx.fractional.total_accuracy;
         assert!(
             (approx.total_accuracy - ub).abs() < 1e-6,
@@ -145,5 +144,55 @@ fn single_machine_chain_collapses() {
             mip.total_accuracy,
             ub
         );
+    }
+}
+
+/// The deprecated free functions must stay byte-for-byte equivalent to the
+/// [`Solver`](dsct_core::solver::Solver) implementations wrapping them —
+/// this is the migration-safety diff for downstream code still on the old
+/// API.
+#[test]
+#[allow(deprecated)]
+fn deprecated_free_functions_match_solver_impls() {
+    use dsct_core::approx::{solve_approx, ApproxOptions};
+    use dsct_core::baselines::{edf_no_compression, edf_three_levels};
+    use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+    use dsct_core::mip_model::solve_mip_exact;
+    use dsct_core::solver::{EdfSolver, FrOptSolver, Solver};
+    use dsct_mip::MipOptions;
+
+    for seed in 0..6 {
+        let inst = tiny_instance(seed, 5, 2, 0.5, 0.3);
+
+        let old_fr = solve_fr_opt(&inst, &FrOptOptions::default());
+        let new_fr = FrOptSolver::new().solve_typed(&inst);
+        assert_eq!(old_fr.total_accuracy, new_fr.total_accuracy, "seed {seed}");
+        assert_eq!(old_fr.profile, new_fr.profile, "seed {seed}");
+
+        let old_approx = solve_approx(&inst, &ApproxOptions::default());
+        let new_approx = ApproxSolver::new().solve_typed(&inst);
+        assert_eq!(
+            old_approx.total_accuracy, new_approx.total_accuracy,
+            "seed {seed}"
+        );
+        assert_eq!(old_approx.assignment, new_approx.assignment, "seed {seed}");
+
+        let old_full = edf_no_compression(&inst);
+        let new_full = EdfSolver::no_compression().solve_typed(&inst);
+        assert_eq!(old_full.total_accuracy, new_full.total_accuracy);
+        assert_eq!(old_full.assignment, new_full.assignment);
+        let old_lvl = edf_three_levels(&inst);
+        let new_lvl = EdfSolver::three_levels().solve_typed(&inst);
+        assert_eq!(old_lvl.total_accuracy, new_lvl.total_accuracy);
+
+        let old_mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
+        let new_mip = MipSolver::new().solve_typed(&inst).expect("builds");
+        assert_eq!(old_mip.status, new_mip.status, "seed {seed}");
+        assert_eq!(old_mip.total_accuracy, new_mip.total_accuracy);
+
+        // And the erased trait-object path reports the same objective.
+        let erased: &dyn Solver = &ApproxSolver::new();
+        let sol = erased.solve(&inst).expect("approx is infallible");
+        assert_eq!(sol.total_accuracy, new_approx.total_accuracy);
     }
 }

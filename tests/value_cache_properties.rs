@@ -6,9 +6,10 @@
 //! accuracy with the cache on and off, and the coordinate-ascent search
 //! must never lose accuracy as it is allowed more sweeps.
 
-use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
+use dsct_core::fr_opt::FrOptOptions;
 use dsct_core::profile::naive_profile;
 use dsct_core::profile_search::{profile_search, ProfileSearchOptions};
+use dsct_core::solver::FrOptSolver;
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 
 fn random_config(n: usize, m: usize, rho: f64, beta: f64) -> InstanceConfig {
@@ -34,17 +35,15 @@ fn cached_and_cold_fr_opt_agree_over_random_seeds() {
     for (si, &(n, m, rho, beta)) in shapes.iter().enumerate() {
         for seed in 0..6u64 {
             let inst = generate(&random_config(n, m, rho, beta), 1000 * si as u64 + seed);
-            let cached = solve_fr_opt(&inst, &FrOptOptions::default());
-            let cold = solve_fr_opt(
-                &inst,
-                &FrOptOptions {
-                    search: ProfileSearchOptions {
-                        use_value_cache: false,
-                        ..Default::default()
-                    },
+            let cached = FrOptSolver::new().solve_typed(&inst);
+            let cold = FrOptSolver::with_options(FrOptOptions {
+                search: ProfileSearchOptions {
+                    use_value_cache: false,
                     ..Default::default()
                 },
-            );
+                ..Default::default()
+            })
+            .solve_typed(&inst);
             let scale = cached.total_accuracy.abs().max(1.0);
             assert!(
                 (cached.total_accuracy - cold.total_accuracy).abs() <= 1e-9 * scale,
