@@ -52,15 +52,35 @@ fn bench_engine(c: &mut Criterion) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!(
-        "[engine] fig4 grid ({} cells x {} reps): serial {t_serial:.3}s, \
-         {THREADS} threads {t_parallel:.3}s -> speedup {:.2}x on {cores} core(s) \
-         (bit-identical: yes, mean worker utilization {:.0}%)",
-        TASK_COUNTS.len(),
-        serial.replications,
-        t_serial / t_parallel.max(1e-9),
-        parallel.mean_utilization() * 100.0,
-    );
+    let speedup = t_serial / t_parallel.max(1e-9);
+    if cores == 1 {
+        // A "speedup" on one core only measures scheduling noise; report
+        // the timings as core-limited instead of a fake regression, and
+        // skip the speedup assertion.
+        println!(
+            "[engine] fig4 grid ({} cells x {} reps): serial {t_serial:.3}s, \
+             {THREADS} threads {t_parallel:.3}s -> core-limited (1 core available, \
+             speedup not meaningful; bit-identical: yes, mean worker utilization {:.0}%)",
+            TASK_COUNTS.len(),
+            serial.replications,
+            parallel.mean_utilization() * 100.0,
+        );
+    } else {
+        println!(
+            "[engine] fig4 grid ({} cells x {} reps): serial {t_serial:.3}s, \
+             {THREADS} threads {t_parallel:.3}s -> speedup {speedup:.2}x on {cores} core(s) \
+             (bit-identical: yes, mean worker utilization {:.0}%)",
+            TASK_COUNTS.len(),
+            serial.replications,
+            parallel.mean_utilization() * 100.0,
+        );
+        // With real cores available, threads must at least not hurt
+        // (generous floor: timing noise on busy CI runners).
+        assert!(
+            speedup > 0.75,
+            "parallel engine run slower than serial on {cores} cores: {speedup:.2}x"
+        );
+    }
 
     let mut group = c.benchmark_group("engine_parallel");
     group.sample_size(2);

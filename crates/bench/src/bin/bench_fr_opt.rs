@@ -1,0 +1,180 @@
+//! FR-OPT probe-path bench with machine-readable output: the `n=100,
+//! m=10` seed-777 paper instance solved by `DSCT-EA-FR-Opt` under the
+//! three probe configurations this repo ablates —
+//!
+//! * `serial` — cached workspace probes, Δ-probes off, gate on one
+//!   thread (the PR 1 baseline),
+//! * `incremental` — Δ-probe checkpoint evaluator, gate on one thread,
+//! * `parallel_gate` — Δ-probes plus the batched gate on all cores.
+//!
+//! Writes median ns/solve per arm (plus accuracy and probe counters) as
+//! JSON so CI can archive the perf trajectory across PRs. The three arms
+//! must agree on accuracy to ≤ 1e-9 — checked here, not just in the test
+//! suite, so a perf run can never silently trade correctness for speed.
+//!
+//! Usage: `bench_fr_opt [--json PATH] [--repeats N] [--check]`
+//! `--check` exits non-zero if the incremental arm is > 10% slower than
+//! the serial baseline (the CI perf-smoke gate). No external deps: the
+//! JSON is assembled by hand.
+
+use dsct_core::fr_opt::FrOptOptions;
+use dsct_core::solver::{FrOptSolver, SolverContext};
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::time::Instant;
+
+const SEED: u64 = 777;
+const N_TASKS: usize = 100;
+const M_MACHINES: usize = 10;
+const RHO: f64 = 0.35;
+const BETA: f64 = 0.5;
+const WARMUP: usize = 2;
+const DEFAULT_REPEATS: usize = 15;
+/// CI gate: incremental must not be slower than serial by more than this.
+const CHECK_MAX_RATIO: f64 = 1.10;
+
+struct ArmResult {
+    name: &'static str,
+    median_ns: u128,
+    accuracy: f64,
+    probes: u64,
+    incremental_probes: u64,
+}
+
+fn run_arm(
+    name: &'static str,
+    incremental: bool,
+    gate_threads: usize,
+    repeats: usize,
+) -> ArmResult {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(N_TASKS, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+        machines: MachineConfig::paper_random(M_MACHINES),
+        rho: RHO,
+        beta: BETA,
+    };
+    let inst = generate(&cfg, SEED);
+    let mut opts = FrOptOptions::default();
+    opts.search.incremental_probes = incremental;
+    opts.search.gate_threads = gate_threads;
+    let solver = FrOptSolver::with_options(opts);
+    let mut ctx = SolverContext::new();
+
+    for _ in 0..WARMUP {
+        std::hint::black_box(solver.solve_typed_with(&inst, &mut ctx));
+    }
+    let mut times_ns: Vec<u128> = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let sol = solver.solve_typed_with(&inst, &mut ctx);
+        times_ns.push(t0.elapsed().as_nanos());
+        last = Some(sol);
+    }
+    times_ns.sort_unstable();
+    let sol = last.expect("repeats >= 1");
+    let search = sol.search.expect("FR-OPT runs the profile search");
+    ArmResult {
+        name,
+        median_ns: times_ns[times_ns.len() / 2],
+        accuracy: sol.total_accuracy,
+        probes: search.probe_stats.probes,
+        incremental_probes: search.probe_stats.incremental_probes,
+    }
+}
+
+fn main() {
+    let mut json_path = String::from("BENCH_fr_opt.json");
+    let mut repeats = DEFAULT_REPEATS;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = args.next().expect("--json requires a path");
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats requires a positive integer");
+                assert!(repeats >= 1, "--repeats requires a positive integer");
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_fr_opt [--json PATH] [--repeats N] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let arms = [
+        run_arm("serial", false, 1, repeats),
+        run_arm("incremental", true, 1, repeats),
+        run_arm("parallel_gate", true, 0, repeats),
+    ];
+
+    // All probe paths must land on the same optimum.
+    let base_acc = arms[0].accuracy;
+    for arm in &arms[1..] {
+        let drift = (arm.accuracy - base_acc).abs();
+        assert!(
+            drift <= 1e-9,
+            "arm {} accuracy {} drifted {drift:e} from serial {base_acc}",
+            arm.name,
+            arm.accuracy
+        );
+    }
+
+    let speedup = |arm: &ArmResult| arms[0].median_ns as f64 / arm.median_ns.max(1) as f64;
+    let mut arm_json = Vec::with_capacity(arms.len());
+    for arm in &arms {
+        println!(
+            "[fr-opt bench] {:<13} median {:>12} ns/solve  ({:.2}x vs serial, acc {:.9}, \
+             probes {}, incremental {})",
+            arm.name,
+            arm.median_ns,
+            speedup(arm),
+            arm.accuracy,
+            arm.probes,
+            arm.incremental_probes
+        );
+        arm_json.push(format!(
+            "    {{\"name\": \"{}\", \"median_ns_per_solve\": {}, \"speedup_vs_serial\": {:.4}, \
+             \"accuracy\": {:.12}, \"probes\": {}, \"incremental_probes\": {}}}",
+            arm.name,
+            arm.median_ns,
+            speedup(arm),
+            arm.accuracy,
+            arm.probes,
+            arm.incremental_probes
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fr_opt_profile_search\",\n  \"instance\": {{\"n\": {N_TASKS}, \
+         \"m\": {M_MACHINES}, \"seed\": {SEED}, \"rho\": {RHO}, \"beta\": {BETA}}},\n  \
+         \"cores\": {cores},\n  \"repeats\": {repeats},\n  \"arms\": [\n{}\n  ]\n}}\n",
+        arm_json.join(",\n")
+    );
+    std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    println!("[fr-opt bench] wrote {json_path} ({cores} core(s), {repeats} repeats)");
+
+    if check {
+        let ratio = arms[1].median_ns as f64 / arms[0].median_ns.max(1) as f64;
+        if ratio > CHECK_MAX_RATIO {
+            eprintln!(
+                "[fr-opt bench] FAIL: incremental path is {:.2}x the serial baseline \
+                 (limit {CHECK_MAX_RATIO}x)",
+                ratio
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[fr-opt bench] check passed: incremental/serial ratio {:.3} <= {CHECK_MAX_RATIO}",
+            ratio
+        );
+    }
+}

@@ -21,7 +21,10 @@
 //! grow with `j`, any cap-respecting distribution preserves the aggregate
 //! capacity argument, so the achieved accuracies are unchanged.
 
-use crate::algo_single::{accuracy_gain_ordered, schedule_single_machine, SegmentSpec, SlackTree};
+use crate::algo_single::{
+    accuracy_gain_buckets, accuracy_gain_ordered, schedule_single_machine, BucketSlack,
+    SegmentSpec, SlackTree,
+};
 use crate::problem::Instance;
 use crate::profile::EnergyProfile;
 use crate::schedule::FractionalSchedule;
@@ -66,6 +69,9 @@ pub struct NaiveSolver<'a> {
     segments: Vec<SegmentSpec>,
     order: Vec<usize>,
     base_accuracy: f64,
+    /// Task deadlines in task (EDF) order, cached for the Δ-probe's
+    /// affected-suffix search.
+    deadlines: Vec<f64>,
 }
 
 /// Counters of value-function evaluations, kept by a
@@ -78,6 +84,10 @@ pub struct ProbeStats {
     /// Evaluations that went through the cold (allocation-per-call)
     /// path — nonzero only when the value cache is disabled for ablation.
     pub cold_probes: u64,
+    /// Evaluations served by the checkpointed Δ-probe path
+    /// ([`NaiveSolver::value_delta`]); the remainder either re-anchored
+    /// the checkpoint or fell back to a full evaluation.
+    pub incremental_probes: u64,
 }
 
 impl ProbeStats {
@@ -87,7 +97,18 @@ impl ProbeStats {
         ProbeStats {
             probes: self.probes - earlier.probes,
             cold_probes: self.cold_probes - earlier.cold_probes,
+            incremental_probes: self.incremental_probes - earlier.incremental_probes,
         }
+    }
+
+    /// Merges another workspace's counters (used to fold the parallel
+    /// gate's worker workspaces back into the caller's; addition is
+    /// order-independent, so the fold is deterministic for any thread
+    /// count).
+    pub fn absorb(&mut self, other: ProbeStats) {
+        self.probes += other.probes;
+        self.cold_probes += other.cold_probes;
+        self.incremental_probes += other.incremental_probes;
     }
 }
 
@@ -116,8 +137,61 @@ pub struct ValueFnWorkspace {
     temp_deadlines: Vec<f64>,
     /// Algorithm 1 slack tree, reset in place per probe.
     tree: SlackTree,
+    /// Δ-probe scratch: recomputed capacity-bucket suffix.
+    delta_buckets: Vec<f64>,
+    /// Union-find slack buckets, reloaded from the checkpoint per probe.
+    buckets: BucketSlack,
     /// Evaluation counters.
     pub stats: ProbeStats,
+}
+
+/// Checkpointed incumbent state for Δ-probes (see
+/// [`NaiveSolver::value_delta`]): everything a probe at `p + Δ` needs to
+/// avoid re-deriving the parts of the evaluation the delta cannot touch.
+///
+/// Validity invariant: the checkpoint describes exactly one profile
+/// (`caps`), and a Δ-probe against it is exact only when every entry of
+/// `Δ` names a machine of that profile and the remaining caps are bit-equal
+/// to `caps` — which the profile search guarantees by re-anchoring the
+/// checkpoint at every incumbent change. Probes never mutate the
+/// checkpoint (the working bucket state lives in the workspace), so the
+/// rollback to the incumbent between probes is exact, not approximate.
+#[derive(Debug, Clone, Default)]
+pub struct ValueCheckpoint {
+    /// Incumbent profile caps.
+    caps: Vec<f64>,
+    /// Raw (unguarded) temporary deadlines `Σ_r min(p_r, d_j)·s_r`.
+    td_raw: Vec<f64>,
+    /// Monotone-guarded temporary deadlines (running max of `td_raw`).
+    td: Vec<f64>,
+    /// Pristine capacity buckets `b_j = td_j − td_{j−1}`.
+    buckets: Vec<f64>,
+    /// `V(caps)` as evaluated by the bucket greedy.
+    value: f64,
+    /// Whether the checkpoint holds a usable incumbent.
+    valid: bool,
+}
+
+impl ValueCheckpoint {
+    /// Fresh, invalid checkpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the checkpoint holds a usable incumbent.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The checkpointed `V(caps)` (meaningless while invalid).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The incumbent caps (empty while invalid).
+    pub fn caps(&self) -> &[f64] {
+        &self.caps
+    }
 }
 
 impl Default for ValueFnWorkspace {
@@ -143,6 +217,8 @@ impl ValueFnWorkspace {
             capwork_prefix: Vec::with_capacity(m + 1),
             temp_deadlines: Vec::with_capacity(n),
             tree: SlackTree::new(&[]),
+            delta_buckets: Vec::with_capacity(n),
+            buckets: BucketSlack::default(),
             stats: ProbeStats::default(),
         }
     }
@@ -154,11 +230,15 @@ impl<'a> NaiveSolver<'a> {
         let segments = collect_segments(inst);
         let order = crate::algo_single::sort_segments(&segments);
         let base_accuracy = inst.total_min_accuracy();
+        let deadlines = (0..inst.num_tasks())
+            .map(|j| inst.task(j).deadline)
+            .collect();
         Self {
             inst,
             segments,
             order,
             base_accuracy,
+            deadlines,
         }
     }
 
@@ -251,6 +331,140 @@ impl<'a> NaiveSolver<'a> {
                 &self.order,
                 &mut ws.tree,
             )
+    }
+
+    /// Evaluates `V(caps)` *and* records the incumbent state Δ-probes
+    /// resume from: the caps, the raw and guarded temporary deadlines,
+    /// and the pristine capacity buckets. Returns the value (also stored
+    /// in the checkpoint). Counts as one (non-incremental) probe.
+    ///
+    /// The value is computed by the bucket greedy so it is fp-consistent
+    /// with every subsequent [`NaiveSolver::value_delta`] against this
+    /// checkpoint (both drift from [`NaiveSolver::value_with`] by at most
+    /// the usual 1e-9-relative summation-order noise, which the property
+    /// suite bounds).
+    pub fn checkpoint_into(
+        &self,
+        ws: &mut ValueFnWorkspace,
+        caps: &[f64],
+        chk: &mut ValueCheckpoint,
+    ) -> f64 {
+        let inst = self.inst;
+        let n = inst.num_tasks();
+        let machines = inst.machines();
+        let m = machines.len();
+        debug_assert_eq!(caps.len(), m, "profile/machine count mismatch");
+        ws.stats.probes += 1;
+        chk.valid = false;
+
+        // Same cap-sorted prefix/suffix transform as `value_with`, but the
+        // raw (unguarded) sums are kept: a Δ-probe updates those and
+        // re-applies the running-max guard itself.
+        ws.cap_index.clear();
+        ws.cap_index.extend(0..m);
+        ws.cap_index
+            .sort_unstable_by(|&a, &b| caps[a].total_cmp(&caps[b]));
+        ws.cap_sorted.clear();
+        ws.cap_sorted.extend(ws.cap_index.iter().map(|&r| caps[r]));
+        ws.speed_suffix.clear();
+        ws.speed_suffix.resize(m + 1, 0.0);
+        for k in (0..m).rev() {
+            ws.speed_suffix[k] = ws.speed_suffix[k + 1] + machines[ws.cap_index[k]].speed();
+        }
+        ws.capwork_prefix.clear();
+        ws.capwork_prefix.resize(m + 1, 0.0);
+        for k in 0..m {
+            ws.capwork_prefix[k + 1] =
+                ws.capwork_prefix[k] + ws.cap_sorted[k] * machines[ws.cap_index[k]].speed();
+        }
+
+        chk.caps.clear();
+        chk.caps.extend_from_slice(caps);
+        chk.td_raw.clear();
+        chk.td.clear();
+        chk.buckets.clear();
+        let mut k = 0usize;
+        let mut prev = 0.0f64;
+        for j in 0..n {
+            let d_j = self.deadlines[j];
+            while k < m && ws.cap_sorted[k] <= d_j {
+                k += 1;
+            }
+            let raw = ws.capwork_prefix[k] + d_j * ws.speed_suffix[k];
+            let guarded = if raw < prev { prev } else { raw };
+            chk.td_raw.push(raw);
+            chk.td.push(guarded);
+            chk.buckets.push(guarded - prev);
+            prev = guarded;
+        }
+
+        ws.buckets.load(&chk.buckets, &[]);
+        let gain = accuracy_gain_buckets(1.0, &self.segments, &self.order, &mut ws.buckets);
+        chk.value = self.base_accuracy + gain;
+        chk.valid = true;
+        chk.value
+    }
+
+    /// Incremental Δ-probe: `V(p′)` where `p′` equals the checkpoint's
+    /// incumbent except for the `(machine, new_cap)` entries in `changed`
+    /// (≤ 3 of them — a transfer direction). Returns `None` when the delta
+    /// invalidates the checkpoint (no incumbent recorded, shape mismatch,
+    /// too many coordinates, non-finite caps); the caller then falls back
+    /// to a full evaluation, so the fallback agrees exactly with the cold
+    /// path by construction.
+    ///
+    /// Only tasks whose deadline exceeds the smallest touched cap can see
+    /// a different deadline-capped capacity (`min(p_r, d_j)` is unchanged
+    /// for `d_j` below both the old and new cap), so the temporary
+    /// deadlines and buckets are recomputed for that suffix alone, the
+    /// untouched prefix is reused bit-for-bit from the checkpoint, and the
+    /// greedy reruns on the union-find buckets in `O(S α(n))`.
+    pub fn value_delta(
+        &self,
+        ws: &mut ValueFnWorkspace,
+        chk: &ValueCheckpoint,
+        changed: &[(usize, f64)],
+    ) -> Option<f64> {
+        let inst = self.inst;
+        let n = inst.num_tasks();
+        let machines = inst.machines();
+        let m = machines.len();
+        if !chk.valid || chk.caps.len() != m || changed.len() > 3 {
+            return None;
+        }
+        // Smallest cap value involved in the delta: tasks with deadlines
+        // at or below it keep their exact temporary deadline.
+        let mut lo = f64::INFINITY;
+        for &(r, new_cap) in changed {
+            if r >= m || !new_cap.is_finite() {
+                return None;
+            }
+            lo = lo.min(new_cap.min(chk.caps[r]));
+        }
+        ws.stats.probes += 1;
+        ws.stats.incremental_probes += 1;
+        let a = self.deadlines.partition_point(|&d| d <= lo);
+        if a == n || changed.is_empty() {
+            return Some(chk.value); // the delta is invisible to every task
+        }
+
+        ws.delta_buckets.clear();
+        let mut prev = if a == 0 { 0.0 } else { chk.td[a - 1] };
+        for j in a..n {
+            let d_j = self.deadlines[j];
+            let mut raw = chk.td_raw[j];
+            for &(r, new_cap) in changed {
+                let s_r = machines[r].speed();
+                raw += s_r * (new_cap.min(d_j) - chk.caps[r].min(d_j));
+            }
+            let guarded = if raw < prev { prev } else { raw };
+            ws.delta_buckets.push(guarded - prev);
+            prev = guarded;
+        }
+
+        ws.buckets.load(&chk.buckets[..a], &ws.delta_buckets);
+        let gain = accuracy_gain_buckets(1.0, &self.segments, &self.order, &mut ws.buckets);
+        Some(self.base_accuracy + gain)
     }
 
     /// Full Algorithm 2 solve (with machine distribution) for a profile.
@@ -432,6 +646,90 @@ mod tests {
         }
         assert_eq!(ws.stats.probes, 200);
         assert_eq!(ws.stats.cold_probes, 0);
+    }
+
+    /// Δ-probes through a checkpoint agree with full evaluations of the
+    /// perturbed profile, for sparse deltas of arbitrary magnitude
+    /// (including caps crossing deadlines and dropping to zero), and the
+    /// checkpoint itself survives any number of probes (exact rollback).
+    #[test]
+    fn delta_probe_matches_full_evaluation() {
+        use rand::{Rng, SeedableRng};
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(2.0, 5.0).unwrap(),
+            Machine::from_efficiency(4.0, 8.0).unwrap(),
+            Machine::from_efficiency(1.0, 12.0).unwrap(),
+            Machine::from_efficiency(3.0, 6.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(1.0, acc(&[(0.4, 3.0), (0.2, 3.0)])),
+            Task::new(2.0, acc(&[(0.3, 4.0)])),
+            Task::new(2.5, acc(&[(0.6, 1.0), (0.25, 2.0)])),
+            Task::new(3.0, acc(&[(0.5, 2.0), (0.1, 6.0)])),
+            Task::new(3.5, acc(&[(0.7, 1.5), (0.05, 4.0)])),
+        ];
+        let inst = Instance::new(tasks, park, 10.0).unwrap();
+        let solver = NaiveSolver::new(&inst);
+        let mut ws = solver.workspace();
+        let mut chk = ValueCheckpoint::new();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2024);
+        for _ in 0..50 {
+            let caps: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..4.0)).collect();
+            let anchored = solver.checkpoint_into(&mut ws, &caps, &mut chk);
+            let full_here = solver.value_with(&mut ws, &caps);
+            assert!(
+                (anchored - full_here).abs() <= 1e-9 * (1.0 + full_here.abs()),
+                "checkpoint value {anchored} vs value_with {full_here}"
+            );
+            for _ in 0..20 {
+                let touched = rng.gen_range(1..=3usize);
+                let mut changed: Vec<(usize, f64)> = Vec::new();
+                let mut probed = caps.clone();
+                for _ in 0..touched {
+                    let r = rng.gen_range(0..4);
+                    if changed.iter().any(|&(cr, _)| cr == r) {
+                        continue;
+                    }
+                    let new_cap = if rng.gen_bool(0.15) {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..4.0)
+                    };
+                    changed.push((r, new_cap));
+                    probed[r] = new_cap;
+                }
+                let inc = solver
+                    .value_delta(&mut ws, &chk, &changed)
+                    .expect("≤3 finite coords must be delta-eligible");
+                let full = solver.value_with(&mut ws, &probed);
+                assert!(
+                    (inc - full).abs() <= 1e-9 * (1.0 + full.abs()),
+                    "caps {caps:?} changed {changed:?}: incremental {inc} vs full {full}"
+                );
+            }
+            // Probing never invalidates the incumbent.
+            let again = solver
+                .value_delta(&mut ws, &chk, &[])
+                .expect("empty delta stays valid");
+            assert_eq!(
+                again.to_bits(),
+                anchored.to_bits(),
+                "rollback must be exact"
+            );
+        }
+        assert!(ws.stats.incremental_probes >= 1000);
+        // The exact-agreement fallback triggers on checkpoint-invalidating
+        // deltas instead of answering wrongly.
+        assert!(solver
+            .value_delta(&mut ws, &chk, &[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)])
+            .is_none());
+        assert!(solver.value_delta(&mut ws, &chk, &[(99, 1.0)]).is_none());
+        assert!(solver
+            .value_delta(&mut ws, &chk, &[(0, f64::NAN)])
+            .is_none());
+        assert!(solver
+            .value_delta(&mut ws, &ValueCheckpoint::new(), &[(0, 1.0)])
+            .is_none());
     }
 
     #[test]

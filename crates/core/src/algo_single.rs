@@ -170,6 +170,149 @@ pub(crate) fn accuracy_gain_ordered(
     gain
 }
 
+/// Algorithm 1's objective computed on a [`BucketSlack`] loaded by the
+/// caller (see [`BucketSlack::load`]): the same greedy as
+/// [`accuracy_gain_ordered`], but each segment's deadline-capped
+/// contribution comes from draining capacity *buckets* instead of probing
+/// the suffix-min tree.
+///
+/// Equivalence: the prefix constraints `Σ_{i≤j} t_i ≤ d_j` (non-decreasing
+/// `d`) form a chain polymatroid whose rank marginals are what the greedy
+/// collects, and those marginals are placement-independent. Draining the
+/// *latest* non-empty bucket `≤ j` first preserves, for every prefix
+/// simultaneously, the maximum capacity any valid placement can leave —
+/// so `min(want, free capacity in buckets 0..=j)` equals the tree's
+/// `min(want, suffix-min slack from j)` at every step (the property suite
+/// cross-checks the two paths on random inputs). With path compression
+/// the whole pass is `O(S α(n) + n)` versus the tree's `O(S log n)`,
+/// which is what makes checkpointed Δ-probes cheap.
+pub(crate) fn accuracy_gain_buckets(
+    speed: f64,
+    segments: &[SegmentSpec],
+    order: &[usize],
+    slack: &mut BucketSlack,
+) -> f64 {
+    debug_assert!(speed > 0.0, "machine speed must be positive");
+    let mut gain = 0.0;
+    for &si in order {
+        if slack.exhausted() {
+            break;
+        }
+        let seg = &segments[si];
+        if seg.total_flops <= 0.0 || seg.slope <= 0.0 {
+            continue;
+        }
+        let c = slack.consume(seg.task, seg.total_flops / speed);
+        if c > 0.0 {
+            gain += seg.slope * c * speed;
+        }
+    }
+    gain
+}
+
+/// Union-find slack buckets: the checkpoint/rollback representation of
+/// Algorithm 1's remaining capacity.
+///
+/// Bucket `i` holds `b_i = td_i − td_{i−1} ≥ 0`, the capacity that opens
+/// between consecutive temporary deadlines; task `j` may draw from
+/// buckets `0..=j` and always drains the latest non-empty one first (see
+/// [`accuracy_gain_buckets`] for why that reproduces the tree greedy
+/// exactly). `parent[i]` points at the latest candidate bucket `≤ i` that
+/// may still hold capacity (`usize::MAX` once everything below is gone),
+/// with path compression on every lookup.
+///
+/// Rollback contract: [`BucketSlack::load`] rebuilds the *pristine*
+/// pre-greedy state from a checkpointed bucket array (prefix) plus a
+/// patched suffix in one `O(n)` pass — consuming probes never mutate the
+/// checkpoint they loaded from, so rolling back to the incumbent is exact
+/// to the bit, not merely within tolerance.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BucketSlack {
+    free: Vec<f64>,
+    parent: Vec<usize>,
+    /// Number of buckets with free capacity (exact integer early-exit:
+    /// the aggregate is exhausted iff every bucket is).
+    live: usize,
+}
+
+const NO_BUCKET: usize = usize::MAX;
+
+impl BucketSlack {
+    /// Loads the pristine state `prefix ++ suffix` (concatenated bucket
+    /// capacities). Probing a profile delta passes the checkpoint's
+    /// untouched prefix and the recomputed suffix; rolling back to the
+    /// incumbent itself passes its full bucket array and an empty suffix.
+    pub(crate) fn load(&mut self, prefix: &[f64], suffix: &[f64]) {
+        let n = prefix.len() + suffix.len();
+        self.free.clear();
+        self.free.extend_from_slice(prefix);
+        self.free.extend_from_slice(suffix);
+        self.parent.clear();
+        self.parent.resize(n, NO_BUCKET);
+        self.live = 0;
+        for i in 0..n {
+            debug_assert!(self.free[i] >= 0.0, "bucket {i} negative");
+            if self.free[i] > 0.0 {
+                self.parent[i] = i;
+                self.live += 1;
+            } else if i > 0 {
+                self.parent[i] = i - 1;
+            }
+        }
+    }
+
+    /// Whether every bucket is drained.
+    pub(crate) fn exhausted(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Latest bucket `≤ i` with free capacity (`NO_BUCKET` when none),
+    /// with path compression.
+    fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while root != NO_BUCKET && self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = i;
+        while cur != NO_BUCKET && self.parent[cur] != cur && self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Takes `min(want, free capacity in buckets 0..=j)`, draining the
+    /// latest non-empty buckets first. Equivalent to
+    /// [`SlackTree::consume`]`(j, want)`.
+    pub(crate) fn consume(&mut self, j: usize, want: f64) -> f64 {
+        if j >= self.free.len() || want <= 0.0 {
+            return 0.0;
+        }
+        let mut taken = 0.0f64;
+        let mut remaining = want;
+        let mut i = self.find(j);
+        while i != NO_BUCKET {
+            let take = remaining.min(self.free[i]);
+            self.free[i] -= take;
+            taken += take;
+            remaining -= take;
+            if self.free[i] > 0.0 {
+                break; // bucket satisfied the request with room to spare
+            }
+            // Drained exactly (take == free[i] ⇒ the subtraction is 0.0
+            // bit-exactly); unlink and continue downward if still hungry.
+            self.parent[i] = if i == 0 { NO_BUCKET } else { i - 1 };
+            self.live -= 1;
+            if remaining <= 0.0 {
+                break;
+            }
+            i = if i == 0 { NO_BUCKET } else { self.find(i - 1) };
+        }
+        taken
+    }
+}
+
 /// Lazy segment tree supporting suffix add and suffix min over the slack
 /// values `v_i = d_i − Σ_{k≤i} t_k`.
 ///
@@ -575,6 +718,83 @@ mod tests {
         let order = sort_segments(&segs);
         let got = accuracy_gain_ordered(&[0.0, 0.0], 1.0, &segs, &order, &mut tree);
         assert_eq!(got, 0.0);
+    }
+
+    /// The bucket/union-find greedy is the tree greedy: identical takes on
+    /// random interleaved segment orders (the chain-polymatroid marginals
+    /// are placement-independent, and latest-first draining preserves the
+    /// maximal remaining capacity of every prefix).
+    #[test]
+    fn bucket_greedy_matches_tree_greedy_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(123);
+        let mut tree = SlackTree::new(&[]);
+        let mut buckets = BucketSlack::default();
+        for trial in 0..200 {
+            let n = rng.gen_range(1..30);
+            let mut deadlines: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+            deadlines.sort_by(f64::total_cmp);
+            let mut segments = Vec::new();
+            for task in 0..n {
+                let k = rng.gen_range(1..4);
+                let mut slope: f64 = rng.gen_range(0.5..4.0);
+                for position in 0..k {
+                    segments.push(SegmentSpec {
+                        task,
+                        position,
+                        slope,
+                        total_flops: rng.gen_range(0.1..5.0),
+                    });
+                    slope *= rng.gen_range(0.2..0.9);
+                }
+            }
+            let order = sort_segments(&segments);
+            let want = accuracy_gain_ordered(&deadlines, 1.0, &segments, &order, &mut tree);
+            let b: Vec<f64> = deadlines
+                .iter()
+                .scan(0.0, |prev, &d| {
+                    let width = d - *prev;
+                    *prev = d;
+                    Some(width)
+                })
+                .collect();
+            buckets.load(&b, &[]);
+            let got = accuracy_gain_buckets(1.0, &segments, &order, &mut buckets);
+            assert!(
+                (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                "trial {trial}: buckets {got} vs tree {want}"
+            );
+        }
+    }
+
+    /// Consuming mutates only the working state: reloading from the same
+    /// checkpointed bucket array replays bit-identical takes (the rollback
+    /// contract the incremental prober relies on).
+    #[test]
+    fn bucket_rollback_is_bit_exact() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let base: Vec<f64> = (0..16)
+            .map(|_| {
+                if rng.gen_bool(0.2) {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..3.0)
+                }
+            })
+            .collect();
+        let requests: Vec<(usize, f64)> = (0..60)
+            .map(|_| (rng.gen_range(0..16), rng.gen_range(0.0..4.0)))
+            .collect();
+        let mut bs = BucketSlack::default();
+        bs.load(&base, &[]);
+        let first: Vec<f64> = requests.iter().map(|&(j, w)| bs.consume(j, w)).collect();
+        bs.load(&base[..7], &base[7..]); // split load paths must agree too
+        let second: Vec<f64> = requests.iter().map(|&(j, w)| bs.consume(j, w)).collect();
+        for (k, (a, b)) in first.iter().zip(&second).enumerate() {
+            assert!(a.to_bits() == b.to_bits(), "take {k}: {a} vs {b}");
+        }
+        assert!(first.iter().any(|&c| c > 0.0), "test must exercise takes");
     }
 
     #[test]

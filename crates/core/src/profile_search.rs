@@ -20,15 +20,52 @@
 //! than moving a single task's work; energy "trapped" in caps a machine
 //! cannot use (deadline-bound) is surfaced automatically — shrinking such
 //! a cap costs `V` nothing.
+//!
+//! # Incremental Δ-probes and the batched gate
+//!
+//! Every probe the search issues — gate probes and golden-section steps
+//! alike — evaluates `V` at the incumbent caps shifted along a transfer
+//! direction, i.e. at a profile differing from the incumbent in ≤ 3
+//! coordinates. With [`ProfileSearchOptions::incremental_probes`] those
+//! probes run through a [`ValueCheckpoint`] anchored at the incumbent
+//! ([`NaiveSolver::value_delta`]): only the affected suffix of the
+//! capacity transform is recomputed and the greedy reruns on union-find
+//! capacity buckets in `O(S α(n))` instead of the tree's `O(S log n)`.
+//! The checkpoint is re-anchored after every accepted transfer and never
+//! mutated by probes, so rolling back to the incumbent between probes is
+//! exact.
+//!
+//! The gated pairwise sweep is *batched*: the next (up to) `GATE_BATCH`
+//! pending pairs of the scan order have their ε-gate probes evaluated
+//! against the same incumbent (read-only, hence embarrassingly parallel
+//! across
+//! [`ProfileSearchOptions::gate_threads`] scoped workers with thread-local
+//! workspaces), then accept/reject decisions fold in the fixed
+//! `(from, to)` scan order. The first pair whose gate passes runs its
+//! line search serially; an accepted transfer re-batches from the next
+//! pair so later gates see the new incumbent — exactly the decisions the
+//! serial scan makes, which is why the outcome is bit-identical for any
+//! thread count (probes already evaluated for pairs after an accepted one
+//! are discarded but still counted, deterministically).
 
 use crate::algo_naive::{
-    compute_naive_solution, NaiveSolution, NaiveSolver, ProbeStats, ValueFnWorkspace,
+    compute_naive_solution, NaiveSolution, NaiveSolver, ProbeStats, ValueCheckpoint,
+    ValueFnWorkspace,
 };
 use crate::problem::Instance;
 use crate::profile::EnergyProfile;
 
 /// Golden ratio constant for the line search.
 const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Pairs per batched-gate round. Gate probes already evaluated for pairs
+/// after an accepted transfer are discarded (the incumbent changed under
+/// them), so the batch size bounds the probes wasted per accept; it must
+/// be a constant — never a function of the thread count — so probe
+/// counters, and with them [`ProfileSearchOutcome`], stay bit-identical
+/// for any `gate_threads`. 16 keeps the waste below 4% of a line search
+/// while still feeding every core of typical machines.
+const GATE_BATCH: usize = 16;
 
 /// Options for the profile search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,13 +91,28 @@ pub struct ProfileSearchOptions {
     /// search trajectory can be diffed against.
     pub use_value_cache: bool,
     /// Gate pairwise directions behind the single-evaluation ε-probe
-    /// (see `try_direction`): a non-improving pair costs 1 probe instead
+    /// (see the module docs): a non-improving pair costs 1 probe instead
     /// of a full `line_iterations + 3`-evaluation line search, which is
-    /// where converged sweeps spend nearly all their work. The first sweep
-    /// always line-searches every pair, so the gate only prunes
-    /// already-converged directions. Disable to reproduce the exhaustive
-    /// sweep.
+    /// where converged sweeps spend nearly all their work. The gate
+    /// applies from the first sweep on. Disable to reproduce the
+    /// exhaustive sweep.
     pub pairwise_probe: bool,
+    /// Serve probes along transfer directions from a checkpointed
+    /// incumbent ([`NaiveSolver::value_delta`]): recompute only the
+    /// capacity entries the delta can touch and run the greedy on
+    /// union-find buckets. Requires `use_value_cache` (it extends the
+    /// cached machinery); deltas that would invalidate the checkpoint
+    /// fall back to the full evaluation. Disable for the PR 1 cached
+    /// baseline.
+    pub incremental_probes: bool,
+    /// Worker threads for the batched pairwise gate: `0` resolves to the
+    /// available parallelism, `1` evaluates the batch on the calling
+    /// thread. The fold order is fixed, so the search outcome is
+    /// bit-identical for any value (see the module docs); only wall-clock
+    /// changes. Callers embedded in an already-parallel harness (the
+    /// experiment engine's workers) cap this at 1 through
+    /// [`crate::solver::SolverContext::set_parallelism_budget`].
+    pub gate_threads: usize,
 }
 
 impl Default for ProfileSearchOptions {
@@ -72,6 +124,8 @@ impl Default for ProfileSearchOptions {
             triple_polish: true,
             use_value_cache: true,
             pairwise_probe: true,
+            incremental_probes: true,
+            gate_threads: 0,
         }
     }
 }
@@ -85,26 +139,40 @@ pub struct ProfileSearchOutcome {
     pub transfers: usize,
     /// Whether the search converged before the sweep cap.
     pub converged: bool,
-    /// `V(p)` evaluation counters (total and cold-path probes).
+    /// `V(p)` evaluation counters (total, cold-path, and incremental
+    /// probes).
     pub probe_stats: ProbeStats,
 }
 
-/// Dispatches `V(p)` probes to the cached workspace path or the cold
-/// per-call path, keeping the evaluation counters either way. The
-/// workspace is borrowed so callers (worker threads of the experiment
-/// engine) can reuse its buffers across many solves.
+/// Dispatches `V(p)` probes to the incremental Δ-probe path, the cached
+/// workspace path, or the cold per-call path, keeping the evaluation
+/// counters either way. The workspace is borrowed so callers (worker
+/// threads of the experiment engine) can reuse its buffers across many
+/// solves; the checkpoint is owned per search and re-anchored at every
+/// incumbent change.
 struct Prober<'a, 'w> {
     solver: NaiveSolver<'a>,
     ws: &'w mut ValueFnWorkspace,
     cached: bool,
+    incremental: bool,
+    chk: ValueCheckpoint,
 }
 
 impl<'a, 'w> Prober<'a, 'w> {
-    fn new(inst: &'a Instance, ws: &'w mut ValueFnWorkspace, cached: bool) -> Self {
+    fn new(inst: &'a Instance, ws: &'w mut ValueFnWorkspace, opts: &ProfileSearchOptions) -> Self {
         let solver = NaiveSolver::new(inst);
-        Self { solver, ws, cached }
+        Self {
+            solver,
+            ws,
+            cached: opts.use_value_cache,
+            // The Δ-probe path extends the cached machinery; the cold
+            // ablation stays fully cold.
+            incremental: opts.incremental_probes && opts.use_value_cache,
+            chk: ValueCheckpoint::new(),
+        }
     }
 
+    /// Full `V(caps)` evaluation (no delta).
     fn value(&mut self, caps: &[f64]) -> f64 {
         if self.cached {
             self.solver.value_with(self.ws, caps)
@@ -114,6 +182,38 @@ impl<'a, 'w> Prober<'a, 'w> {
             self.solver.value(caps)
         }
     }
+
+    /// Evaluates the incumbent and (on the incremental path) anchors the
+    /// Δ-probe checkpoint there.
+    fn anchor(&mut self, caps: &[f64]) -> f64 {
+        if self.incremental {
+            self.solver.checkpoint_into(self.ws, caps, &mut self.chk)
+        } else {
+            self.value(caps)
+        }
+    }
+
+    /// Re-anchors after an incumbent change (no-op on the non-incremental
+    /// paths, whose probes don't consult a checkpoint).
+    fn reanchor(&mut self, caps: &[f64]) {
+        if self.incremental {
+            self.solver.checkpoint_into(self.ws, caps, &mut self.chk);
+        }
+    }
+
+    /// `V` at the incumbent `caps` with the sparse `changed` overrides
+    /// applied — the Δ-probe fast path when anchored, otherwise a full
+    /// evaluation of the materialized profile.
+    fn value_at(&mut self, caps: &[f64], changed: &[(usize, f64)], scratch: &mut Vec<f64>) -> f64 {
+        if self.incremental {
+            debug_assert_eq!(self.chk.caps(), caps, "probe must start at the anchor");
+            if let Some(v) = self.solver.value_delta(self.ws, &self.chk, changed) {
+                return v;
+            }
+        }
+        apply_changed(caps, changed, scratch);
+        self.value(scratch)
+    }
 }
 
 /// A budget-preserving transfer direction: each `(machine, weight)` entry
@@ -122,17 +222,25 @@ impl<'a, 'w> Prober<'a, 'w> {
 type Direction = [(usize, f64)];
 
 /// Largest step (joules) a direction can take before some cap leaves
-/// `[0, d_max]`.
+/// `[0, d_max]`. An all-zero-weight direction constrains nothing and can
+/// take no meaningful step: it reports 0.0 rather than `+∞`.
 fn direction_step_limit(dir: &Direction, caps: &[f64], power: &[f64], d_max: f64) -> f64 {
     let mut limit = f64::INFINITY;
+    let mut constrained = false;
     for &(r, w) in dir {
         if w < 0.0 {
             limit = limit.min(caps[r] * power[r] / -w);
+            constrained = true;
         } else if w > 0.0 {
             limit = limit.min((d_max - caps[r]).max(0.0) * power[r] / w);
+            constrained = true;
         }
     }
-    limit
+    if constrained {
+        limit
+    } else {
+        0.0
+    }
 }
 
 fn apply_direction(
@@ -147,6 +255,35 @@ fn apply_direction(
     out.extend_from_slice(caps);
     for &(r, w) in dir {
         out[r] = (out[r] + w * delta / power[r]).clamp(0.0, d_max);
+    }
+}
+
+/// The caps a step of `delta` joules along `dir` touches, as sparse
+/// `(machine, new_cap)` entries — bit-identical arithmetic to
+/// [`apply_direction`], in the shape [`NaiveSolver::value_delta`] takes.
+fn direction_changed(
+    dir: &Direction,
+    caps: &[f64],
+    power: &[f64],
+    d_max: f64,
+    delta: f64,
+) -> ([(usize, f64); 3], usize) {
+    debug_assert!(dir.len() <= 3, "directions touch at most three caps");
+    let mut out = [(0usize, 0.0f64); 3];
+    let mut len = 0usize;
+    for &(r, w) in dir {
+        out[len] = (r, (caps[r] + w * delta / power[r]).clamp(0.0, d_max));
+        len += 1;
+    }
+    (out, len)
+}
+
+/// Materializes sparse cap overrides into a full profile vector.
+fn apply_changed(caps: &[f64], changed: &[(usize, f64)], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend_from_slice(caps);
+    for &(r, v) in changed {
+        out[r] = v;
     }
 }
 
@@ -165,15 +302,15 @@ fn line_search(
     delta_max: f64,
     iterations: usize,
 ) -> (f64, f64) {
-    let mut eval = |delta: f64| -> f64 {
-        apply_direction(dir, caps, power, d_max, delta, scratch);
-        prober.value(scratch)
+    let mut eval = |prober: &mut Prober<'_, '_>, delta: f64| -> f64 {
+        let (changed, len) = direction_changed(dir, caps, power, d_max, delta);
+        prober.value_at(caps, &changed[..len], scratch)
     };
     let (mut a, mut b) = (0.0f64, delta_max);
     let mut c = b - INV_PHI * (b - a);
     let mut d = a + INV_PHI * (b - a);
-    let mut fc = eval(c);
-    let mut fd = eval(d);
+    let mut fc = eval(prober, c);
+    let mut fd = eval(prober, d);
     let mut best = if fc >= fd { (c, fc) } else { (d, fd) };
     for _ in 0..iterations {
         if fc >= fd {
@@ -181,7 +318,7 @@ fn line_search(
             d = c;
             fd = fc;
             c = b - INV_PHI * (b - a);
-            fc = eval(c);
+            fc = eval(prober, c);
             if fc > best.1 {
                 best = (c, fc);
             }
@@ -190,13 +327,13 @@ fn line_search(
             c = d;
             fc = fd;
             d = a + INV_PHI * (b - a);
-            fd = eval(d);
+            fd = eval(prober, d);
             if fd > best.1 {
                 best = (d, fd);
             }
         }
     }
-    let f_end = eval(delta_max);
+    let f_end = eval(prober, delta_max);
     if f_end > best.1 {
         best = (delta_max, f_end);
     }
@@ -217,8 +354,9 @@ pub fn profile_search(
 /// [`profile_search`] probing through a caller-owned workspace, so its
 /// buffers (and allocation cost) amortize across many solves — one
 /// workspace per worker thread in the experiment engine. The reported
-/// [`ProfileSearchOutcome::probe_stats`] cover this solve only; the
-/// workspace's own counters keep accumulating across solves.
+/// [`ProfileSearchOutcome::probe_stats`] cover this solve only (including
+/// any parallel-gate workers'); the workspace's own counters keep
+/// accumulating across solves.
 pub fn profile_search_with(
     inst: &Instance,
     start: &EnergyProfile,
@@ -252,19 +390,50 @@ pub fn profile_search_with(
             }
         }
     }
-    let mut prober = Prober::new(inst, ws, opts.use_value_cache);
+    let mut prober = Prober::new(inst, ws, opts);
     let mut scratch: Vec<f64> = Vec::with_capacity(m);
-    let mut current = prober.value(&caps);
+    let mut current = prober.anchor(&caps);
     let mut sweeps = 0usize;
     let mut transfers = 0usize;
     let mut converged = false;
 
+    // Pairwise scan order, frozen once: decisions fold in exactly this
+    // order regardless of how gate probes are evaluated.
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(m.saturating_mul(m.saturating_sub(1)));
+    for from in 0..m {
+        for to in 0..m {
+            if from != to {
+                pairs.push((from, to));
+            }
+        }
+    }
+    let gate_threads = if opts.pairwise_probe {
+        match opts.gate_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
+        }
+        .min(pairs.len().max(1))
+        .min(GATE_BATCH)
+    } else {
+        1
+    };
+    // Thread-local workspaces for the parallel gate, allocated on first
+    // use and reused across batches; their counters fold into the main
+    // workspace at the end (addition commutes, so the fold is
+    // thread-count-independent).
+    let mut gate_workers: Vec<ValueFnWorkspace> = Vec::new();
+    let mut jobs: Vec<Option<f64>> = Vec::new();
+    let mut gate_vals: Vec<f64> = Vec::new();
+
     // Tries one direction; applies it when it improves. With `probe`, a
     // single evaluation at 1e-3·δ_max rules the direction out when it does
     // not increase V there (by concavity this certifies [ε, δ_max]; the
-    // (0, ε) sliver is a heuristic gap, used only for the polish
-    // directions and validated empirically against the LP optimum in the
-    // test suite).
+    // (0, ε) sliver is a heuristic gap, validated empirically against the
+    // LP optimum in the test suite). Used by the ungated pairwise sweep
+    // and the triple polish; the gated pairwise sweep batches its gate
+    // probes instead (below).
     let try_direction = |dir: &Direction,
                          probe: bool,
                          caps: &mut Vec<f64>,
@@ -278,8 +447,8 @@ pub fn profile_search_with(
             return false;
         }
         if probe {
-            apply_direction(dir, caps, &power, d_max, delta_max * 1e-3, scratch);
-            if prober.value(scratch) <= *current {
+            let (changed, len) = direction_changed(dir, caps, &power, d_max, delta_max * 1e-3);
+            if prober.value_at(caps, &changed[..len], scratch) <= *current {
                 return false;
             }
         }
@@ -298,6 +467,7 @@ pub fn profile_search_with(
             std::mem::swap(caps, scratch);
             *current = best_val;
             *transfers += 1;
+            prober.reanchor(caps);
             true
         } else {
             false
@@ -314,22 +484,106 @@ pub fn profile_search_with(
         #[cfg(debug_assertions)]
         let sweep_start_value = current;
         let mut improved = false;
-        // Pairwise sweep: δ joules from `from`'s cap to `to`'s cap.
-        for from in 0..m {
-            for to in 0..m {
-                if from == to {
-                    continue;
+        if opts.pairwise_probe {
+            // Batched gate rounds: evaluate every still-pending pair's
+            // ε-probe against the incumbent, fold decisions in scan
+            // order, re-batch after an accepted transfer (see module
+            // docs for the bit-identity argument).
+            let mut idx = 0usize;
+            while idx < pairs.len() {
+                let pending = &pairs[idx..pairs.len().min(idx + GATE_BATCH)];
+                jobs.clear();
+                for &(from, to) in pending {
+                    let dir = [(from, -1.0), (to, 1.0)];
+                    let dm = direction_step_limit(&dir, &caps, &power, d_max);
+                    jobs.push(if dm <= 1e-15 || dm.is_nan() || dm.is_infinite() {
+                        None
+                    } else {
+                        Some(dm)
+                    });
                 }
-                let dir = [(from, -1.0), (to, 1.0)];
-                improved |= try_direction(
-                    &dir,
-                    opts.pairwise_probe,
-                    &mut caps,
-                    &mut current,
-                    &mut transfers,
-                    &mut scratch,
-                    &mut prober,
-                );
+                gate_vals.clear();
+                gate_vals.resize(pending.len(), f64::NEG_INFINITY);
+                let live_jobs = jobs.iter().filter(|j| j.is_some()).count();
+                if gate_threads > 1 && live_jobs > 1 {
+                    evaluate_gate_batch_parallel(
+                        &prober,
+                        &mut gate_workers,
+                        gate_threads,
+                        pending,
+                        &jobs,
+                        &caps,
+                        &power,
+                        d_max,
+                        &mut gate_vals,
+                    );
+                } else {
+                    for (k, job) in jobs.iter().enumerate() {
+                        if let Some(dm) = *job {
+                            let (from, to) = pending[k];
+                            let dir = [(from, -1.0), (to, 1.0)];
+                            let (changed, len) =
+                                direction_changed(&dir, &caps, &power, d_max, dm * 1e-3);
+                            gate_vals[k] = prober.value_at(&caps, &changed[..len], &mut scratch);
+                        }
+                    }
+                }
+                let mut accepted_at = None;
+                for k in 0..pending.len() {
+                    let Some(dm) = jobs[k] else { continue };
+                    if gate_vals[k] <= current {
+                        continue;
+                    }
+                    let (from, to) = pending[k];
+                    let dir = [(from, -1.0), (to, 1.0)];
+                    let (best_delta, best_val) = line_search(
+                        &mut prober,
+                        &caps,
+                        &mut scratch,
+                        &dir,
+                        &power,
+                        d_max,
+                        dm,
+                        opts.line_iterations,
+                    );
+                    if best_val > current + gain_tol {
+                        apply_direction(&dir, &caps, &power, d_max, best_delta, &mut scratch);
+                        std::mem::swap(&mut caps, &mut scratch);
+                        current = best_val;
+                        transfers += 1;
+                        improved = true;
+                        prober.reanchor(&caps);
+                        accepted_at = Some(k);
+                        break;
+                    }
+                    // Rejected by the line search: the incumbent is
+                    // unchanged, so the rest of the batch stays valid.
+                }
+                // Advance past the accepted pair (later gates must see
+                // the new incumbent) or past the whole exhausted batch.
+                match accepted_at {
+                    Some(k) => idx += k + 1,
+                    None => idx += pending.len(),
+                }
+            }
+        } else {
+            // Exhaustive ablation: line-search every pair.
+            for from in 0..m {
+                for to in 0..m {
+                    if from == to {
+                        continue;
+                    }
+                    let dir = [(from, -1.0), (to, 1.0)];
+                    improved |= try_direction(
+                        &dir,
+                        false,
+                        &mut caps,
+                        &mut current,
+                        &mut transfers,
+                        &mut scratch,
+                        &mut prober,
+                    );
+                }
             }
         }
         if !improved && opts.triple_polish && m >= 3 {
@@ -384,6 +638,11 @@ pub fn profile_search_with(
         }
     }
 
+    // Fold the gate workers' probe counters into the caller's workspace.
+    for wws in &gate_workers {
+        prober.ws.stats.absorb(wws.stats);
+    }
+
     let profile = EnergyProfile::new(caps);
     let solution = compute_naive_solution(inst, &profile);
     (
@@ -396,6 +655,78 @@ pub fn profile_search_with(
             probe_stats: prober.ws.stats.since(stats_before),
         },
     )
+}
+
+/// Evaluates one gate batch on `gate_threads` scoped worker threads.
+///
+/// Each worker owns a thread-local [`ValueFnWorkspace`] (lazily created,
+/// reused across batches) and strides over the pending pairs; every probe
+/// is a pure function of the shared incumbent state (the Δ-probe
+/// checkpoint, or the caps themselves on the full-evaluation paths), so
+/// the values — and therefore the decisions folded afterwards — do not
+/// depend on the thread count or schedule.
+#[allow(clippy::too_many_arguments)] // one batch's bundled evaluation context
+fn evaluate_gate_batch_parallel(
+    prober: &Prober<'_, '_>,
+    gate_workers: &mut Vec<ValueFnWorkspace>,
+    gate_threads: usize,
+    pending: &[(usize, usize)],
+    jobs: &[Option<f64>],
+    caps: &[f64],
+    power: &[f64],
+    d_max: f64,
+    gate_vals: &mut [f64],
+) {
+    if gate_workers.len() < gate_threads {
+        gate_workers.resize_with(gate_threads, ValueFnWorkspace::new);
+    }
+    let solver = &prober.solver;
+    let chk = &prober.chk;
+    let incremental = prober.incremental;
+    let cached = prober.cached;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(gate_threads);
+        for (w, wws) in gate_workers.iter_mut().take(gate_threads).enumerate() {
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, f64)> = Vec::new();
+                let mut full: Vec<f64> = Vec::with_capacity(caps.len());
+                let mut k = w;
+                while k < pending.len() {
+                    if let Some(dm) = jobs[k] {
+                        let (from, to) = pending[k];
+                        let dir = [(from, -1.0), (to, 1.0)];
+                        let (changed, len) = direction_changed(&dir, caps, power, d_max, dm * 1e-3);
+                        let changed = &changed[..len];
+                        let v = if incremental {
+                            match solver.value_delta(wws, chk, changed) {
+                                Some(v) => v,
+                                None => {
+                                    apply_changed(caps, changed, &mut full);
+                                    solver.value_with(wws, &full)
+                                }
+                            }
+                        } else if cached {
+                            apply_changed(caps, changed, &mut full);
+                            solver.value_with(wws, &full)
+                        } else {
+                            apply_changed(caps, changed, &mut full);
+                            wws.stats.probes += 1;
+                            wws.stats.cold_probes += 1;
+                            solver.value(&full)
+                        };
+                        out.push((k, v));
+                    }
+                    k += gate_threads;
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            for (k, v) in handle.join().expect("gate worker panicked") {
+                gate_vals[k] = v;
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -459,5 +790,21 @@ mod tests {
             acc_refined >= 0.52 - 1e-6,
             "refined accuracy {acc_refined} below achievable 0.52"
         );
+    }
+
+    /// An all-zero-weight direction constrains no cap; its step limit must
+    /// be 0.0 (a no-op direction), not `+∞`.
+    #[test]
+    fn zero_weight_direction_has_zero_step_limit() {
+        let caps = [1.0, 2.0];
+        let power = [10.0, 20.0];
+        let zero_dir = [(0usize, 0.0f64), (1usize, 0.0f64)];
+        assert_eq!(direction_step_limit(&zero_dir, &caps, &power, 5.0), 0.0);
+        let empty: [(usize, f64); 0] = [];
+        assert_eq!(direction_step_limit(&empty, &caps, &power, 5.0), 0.0);
+        // Sanity: a real direction still reports a finite positive limit.
+        let real = [(0usize, -1.0f64), (1usize, 1.0f64)];
+        let limit = direction_step_limit(&real, &caps, &power, 5.0);
+        assert!(limit > 0.0 && limit.is_finite());
     }
 }

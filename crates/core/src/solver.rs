@@ -86,6 +86,10 @@ pub struct SolveStats {
     pub probes: u64,
     /// Probes through the cold, allocation-per-call path (ablation only).
     pub cold_probes: u64,
+    /// Probes served by the incremental Δ-probe evaluator (subset of
+    /// `probes`; FR-OPT and APPROX with
+    /// [`crate::profile_search::ProfileSearchOptions::incremental_probes`]).
+    pub incremental_probes: u64,
     /// Simplex iterations (LP path).
     pub lp_iterations: usize,
     /// Branch-and-bound nodes explored (MIP path).
@@ -140,10 +144,16 @@ impl Solution {
     /// its own upper bound.
     pub fn from_fr(inst: &Instance, fr: FrSolution) -> Self {
         let assignment = assignment_of(inst, &fr.schedule);
-        let (probes, cold_probes) = fr
+        let (probes, cold_probes, incremental_probes) = fr
             .search
-            .map(|s| (s.probe_stats.probes, s.probe_stats.cold_probes))
-            .unwrap_or((0, 0));
+            .map(|s| {
+                (
+                    s.probe_stats.probes,
+                    s.probe_stats.cold_probes,
+                    s.probe_stats.incremental_probes,
+                )
+            })
+            .unwrap_or((0, 0, 0));
         Solution {
             assignment,
             integral: false,
@@ -154,6 +164,7 @@ impl Solution {
                 refine_iterations: fr.refine_iterations,
                 probes,
                 cold_probes,
+                incremental_probes,
                 ..Default::default()
             },
             flops: fr.flops,
@@ -167,12 +178,18 @@ impl Solution {
     pub fn from_approx(inst: &Instance, approx: ApproxSolution) -> Self {
         let flops = flops_of(inst, &approx.schedule);
         let energy = approx.schedule.energy(inst);
-        let (probes, cold_probes) = approx
+        let (probes, cold_probes, incremental_probes) = approx
             .fractional
             .search
             .as_ref()
-            .map(|s| (s.probe_stats.probes, s.probe_stats.cold_probes))
-            .unwrap_or((0, 0));
+            .map(|s| {
+                (
+                    s.probe_stats.probes,
+                    s.probe_stats.cold_probes,
+                    s.probe_stats.incremental_probes,
+                )
+            })
+            .unwrap_or((0, 0, 0));
         Solution {
             flops,
             assignment: approx.assignment,
@@ -184,6 +201,7 @@ impl Solution {
                 refine_iterations: approx.fractional.refine_iterations,
                 probes,
                 cold_probes,
+                incremental_probes,
                 ..Default::default()
             },
             schedule: approx.schedule,
@@ -261,6 +279,13 @@ impl Solution {
 #[derive(Debug, Default)]
 pub struct SolverContext {
     ws: ValueFnWorkspace,
+    /// Upper bound on threads a solve run through this context may spawn
+    /// internally (the profile search's parallel gate). `0` means
+    /// unlimited (the solver resolves `gate_threads == 0` to the machine's
+    /// available parallelism); an already-parallel harness sets `1` per
+    /// worker so nested solves don't oversubscribe the cores its own
+    /// workers occupy.
+    parallelism_budget: usize,
 }
 
 impl SolverContext {
@@ -278,6 +303,30 @@ impl SolverContext {
     /// through this context (worker utilization accounting).
     pub fn probe_stats(&self) -> ProbeStats {
         self.ws.stats
+    }
+
+    /// Caps the threads solves through this context may spawn internally
+    /// (`0` = unlimited). Parallelism never changes solve results — only
+    /// wall-clock (see [`crate::profile_search`]).
+    pub fn set_parallelism_budget(&mut self, budget: usize) {
+        self.parallelism_budget = budget;
+    }
+
+    /// The configured internal-parallelism cap (`0` = unlimited).
+    pub fn parallelism_budget(&self) -> usize {
+        self.parallelism_budget
+    }
+
+    /// Clamps a solver's requested `gate_threads` to this context's
+    /// budget: with no budget the request passes through; with a budget,
+    /// an auto request (`0`) resolves to the budget itself and explicit
+    /// requests are capped at it.
+    pub fn resolve_gate_threads(&self, requested: usize) -> usize {
+        match (self.parallelism_budget, requested) {
+            (0, r) => r,
+            (b, 0) => b,
+            (b, r) => r.min(b),
+        }
     }
 }
 
@@ -327,9 +376,13 @@ impl FrOptSolver {
         solve_fr_opt_with(inst, &self.opts, &mut ws)
     }
 
-    /// Typed solve on a reusable context.
+    /// Typed solve on a reusable context. The context's parallelism
+    /// budget caps the profile search's `gate_threads` (results are
+    /// identical either way; only wall-clock changes).
     pub fn solve_typed_with(&self, inst: &Instance, ctx: &mut SolverContext) -> FrSolution {
-        solve_fr_opt_with(inst, &self.opts, ctx.workspace())
+        let mut opts = self.opts;
+        opts.search.gate_threads = ctx.resolve_gate_threads(opts.search.gate_threads);
+        solve_fr_opt_with(inst, &opts, ctx.workspace())
     }
 }
 
@@ -375,9 +428,12 @@ impl ApproxSolver {
         solve_approx_with(inst, &self.opts, &mut ws)
     }
 
-    /// Typed solve on a reusable context.
+    /// Typed solve on a reusable context. The context's parallelism
+    /// budget caps the embedded fractional search's `gate_threads`.
     pub fn solve_typed_with(&self, inst: &Instance, ctx: &mut SolverContext) -> ApproxSolution {
-        solve_approx_with(inst, &self.opts, ctx.workspace())
+        let mut opts = self.opts;
+        opts.fr.search.gate_threads = ctx.resolve_gate_threads(opts.fr.search.gate_threads);
+        solve_approx_with(inst, &opts, ctx.workspace())
     }
 }
 

@@ -421,7 +421,9 @@ impl ExperimentPlan {
 
         if threads <= 1 || items.len() <= 1 {
             // Inline serial path: the timing-study configuration, and the
-            // baseline the parallel path must be bit-identical to.
+            // baseline the parallel path must be bit-identical to. The
+            // solver may use its full internal parallelism here (no
+            // budget), since no engine workers compete for cores.
             let mut ctx = SolverContext::new();
             let t0 = Instant::now();
             for (i, item) in items.iter().enumerate() {
@@ -447,6 +449,10 @@ impl ExperimentPlan {
                     let tx = tx.clone();
                     handles.push(scope.spawn(move || {
                         let mut ctx = SolverContext::new();
+                        // Engine workers already saturate the cores:
+                        // forbid nested solver parallelism (results are
+                        // identical either way; see SolverContext).
+                        ctx.set_parallelism_budget(1);
                         let mut executed = 0usize;
                         let mut busy = 0.0f64;
                         loop {

@@ -63,6 +63,101 @@ fn cached_and_cold_fr_opt_agree_over_random_seeds() {
     );
 }
 
+/// The incremental Δ-probe evaluator is a pure optimization: over the
+/// same shape × seed grid as the cached-vs-cold property (24 instances),
+/// FR-OPT with Δ-probes lands within 1e-9 of the fully cold pipeline,
+/// and the incremental runs actually exercise the Δ path.
+#[test]
+fn incremental_and_cold_fr_opt_agree_over_random_seeds() {
+    let shapes = [
+        (12usize, 2usize, 0.2, 0.3),
+        (20, 3, 0.35, 0.5),
+        (25, 4, 0.6, 0.8),
+        (15, 5, 0.1, 0.2),
+    ];
+    let mut checked = 0usize;
+    let mut delta_served = 0u64;
+    for (si, &(n, m, rho, beta)) in shapes.iter().enumerate() {
+        for seed in 0..6u64 {
+            let inst = generate(&random_config(n, m, rho, beta), 1000 * si as u64 + seed);
+            let incremental = FrOptSolver::with_options(FrOptOptions {
+                search: ProfileSearchOptions {
+                    incremental_probes: true,
+                    gate_threads: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .solve_typed(&inst);
+            let cold = FrOptSolver::with_options(FrOptOptions {
+                search: ProfileSearchOptions {
+                    use_value_cache: false,
+                    incremental_probes: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .solve_typed(&inst);
+            let scale = cold.total_accuracy.abs().max(1.0);
+            assert!(
+                (incremental.total_accuracy - cold.total_accuracy).abs() <= 1e-9 * scale,
+                "seed {seed} shape {n}x{m}: incremental {} vs cold {}",
+                incremental.total_accuracy,
+                cold.total_accuracy
+            );
+            let stats = incremental.search.expect("search ran").probe_stats;
+            assert_eq!(stats.cold_probes, 0, "incremental run must not go cold");
+            delta_served += stats.incremental_probes;
+            checked += 1;
+        }
+    }
+    assert!(checked >= 24, "property needs >= 24 seeds, got {checked}");
+    assert!(
+        delta_served > 0,
+        "Δ-probe path never used across {checked} instances"
+    );
+}
+
+/// The batched parallel gate is invisible in the results: for any thread
+/// count the profile search returns a byte-identical
+/// `ProfileSearchOutcome` (probe counters included), profile, and
+/// solution.
+#[test]
+fn parallel_gate_outcome_is_byte_identical_across_thread_counts() {
+    for seed in 0..6u64 {
+        let inst = generate(&random_config(30, 5, 0.35, 0.5), 9090 + seed);
+        let start = naive_profile(&inst);
+        let run = |gate_threads: usize| {
+            profile_search(
+                &inst,
+                &start,
+                &ProfileSearchOptions {
+                    gate_threads,
+                    ..Default::default()
+                },
+            )
+        };
+        let (p1, s1, o1) = run(1);
+        for threads in [2usize, 8] {
+            let (p, s, o) = run(threads);
+            assert_eq!(
+                o, o1,
+                "seed {seed}: outcome diverged at gate_threads={threads}"
+            );
+            assert_eq!(
+                p.caps(),
+                p1.caps(),
+                "seed {seed}: profile diverged at gate_threads={threads}"
+            );
+            assert_eq!(
+                s.schedule, s1.schedule,
+                "seed {seed}: schedule diverged at gate_threads={threads}"
+            );
+        }
+        assert!(o1.probe_stats.probes > 0);
+    }
+}
+
 /// More sweeps never hurt: the accuracy reached by `profile_search` is
 /// non-decreasing in `max_sweeps` (coordinate ascent only applies
 /// improving transfers, so each extra sweep starts from the previous
