@@ -1,0 +1,187 @@
+//! Online-service replan bench with machine-readable output: one
+//! deterministic Poisson trace (`n=80, m=6`, seed 777, λ=1) replayed
+//! through `dsct-online` under the `DegradeToFit` policy — which solves
+//! the residual instance on every arrival — with the two replan
+//! strategies this repo ablates:
+//!
+//! * `cold` — every re-solve runs the full FR-OPT pipeline (naive
+//!   profile + transfer pass + profile search),
+//! * `warm` — re-solves start the profile search from the incumbent's
+//!   fractional profile restricted to still-pending tasks.
+//!
+//! Writes the median per-arrival decision latency per arm as JSON so CI
+//! can archive the perf trajectory. The two arms must make *identical*
+//! admission decisions and near-identical realized accuracy — checked
+//! here, not just in the test suite, so a perf run can never silently
+//! trade correctness for speed.
+//!
+//! Usage: `bench_online [--json PATH] [--repeats N] [--check]`
+//! `--check` exits non-zero if the warm arm is > 10% slower than the
+//! cold baseline (the CI perf-smoke gate; warm is expected to be
+//! *faster*, the gate only guards against regressions in the hook).
+
+use dsct_online::{replay, AdmissionPolicy, Decision, OnlineConfig, ReplanStrategy};
+use dsct_workload::{
+    generate_arrivals, ArrivalConfig, ArrivalTrace, MachineConfig, TaskConfig, ThetaDistribution,
+};
+use std::time::Instant;
+
+const SEED: u64 = 777;
+const N_TASKS: usize = 80;
+const M_MACHINES: usize = 6;
+const LOAD: f64 = 1.0;
+const DEADLINE_SLACK: f64 = 2.0;
+const BETA: f64 = 0.5;
+const WARMUP: usize = 1;
+const DEFAULT_REPEATS: usize = 9;
+/// CI gate: warm must not be slower than cold by more than this.
+const CHECK_MAX_RATIO: f64 = 1.10;
+
+struct ArmResult {
+    name: &'static str,
+    median_ns_per_arrival: u128,
+    accuracy: f64,
+    decisions: Vec<(u64, Decision)>,
+    solves: usize,
+    admitted: usize,
+}
+
+fn trace() -> ArrivalTrace {
+    let cfg = ArrivalConfig {
+        tasks: TaskConfig::paper(N_TASKS, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+        machines: MachineConfig::paper_random(M_MACHINES),
+        load: LOAD,
+        deadline_slack: DEADLINE_SLACK,
+        beta: BETA,
+    };
+    generate_arrivals(&cfg, SEED).expect("bench config is valid")
+}
+
+fn run_arm(name: &'static str, replan: ReplanStrategy, repeats: usize) -> ArmResult {
+    let trace = trace();
+    let cfg = OnlineConfig {
+        policy: AdmissionPolicy::DegradeToFit,
+        replan,
+        ..OnlineConfig::default()
+    };
+    for _ in 0..WARMUP {
+        std::hint::black_box(replay(&trace, &cfg).expect("valid config"));
+    }
+    let mut times_ns: Vec<u128> = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let report = replay(&trace, &cfg).expect("valid config");
+        times_ns.push(t0.elapsed().as_nanos() / N_TASKS as u128);
+        last = Some(report);
+    }
+    times_ns.sort_unstable();
+    let report = last.expect("repeats >= 1");
+    ArmResult {
+        name,
+        median_ns_per_arrival: times_ns[times_ns.len() / 2],
+        accuracy: report.summary.total_accuracy,
+        admitted: report.summary.admitted,
+        solves: report.summary.solves,
+        decisions: report.decisions,
+    }
+}
+
+fn main() {
+    let mut json_path = String::from("BENCH_online.json");
+    let mut repeats = DEFAULT_REPEATS;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = args.next().expect("--json requires a path");
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats requires a positive integer");
+                assert!(repeats >= 1, "--repeats requires a positive integer");
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_online [--json PATH] [--repeats N] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cold = run_arm("cold", ReplanStrategy::Cold, repeats);
+    let warm = run_arm("warm", ReplanStrategy::WarmStart, repeats);
+
+    // Correctness before speed: identical admissions, near-equal value.
+    assert_eq!(
+        cold.decisions, warm.decisions,
+        "warm and cold replans diverged on admission decisions"
+    );
+    let drift = (warm.accuracy - cold.accuracy).abs();
+    let tol = 1e-2 * cold.accuracy.abs().max(1.0);
+    assert!(
+        drift <= tol,
+        "warm accuracy {} drifted {drift:e} from cold {} (tol {tol:e})",
+        warm.accuracy,
+        cold.accuracy
+    );
+
+    let arms = [cold, warm];
+    let speedup = |arm: &ArmResult| {
+        arms[0].median_ns_per_arrival as f64 / arm.median_ns_per_arrival.max(1) as f64
+    };
+    let mut arm_json = Vec::with_capacity(arms.len());
+    for arm in &arms {
+        println!(
+            "[online bench] {:<5} median {:>10} ns/arrival  ({:.2}x vs cold, acc {:.9}, \
+             admitted {}/{}, solves {})",
+            arm.name,
+            arm.median_ns_per_arrival,
+            speedup(arm),
+            arm.accuracy,
+            arm.admitted,
+            N_TASKS,
+            arm.solves
+        );
+        arm_json.push(format!(
+            "    {{\"name\": \"{}\", \"median_ns_per_arrival\": {}, \"speedup_vs_cold\": {:.4}, \
+             \"accuracy\": {:.12}, \"admitted\": {}, \"solves\": {}}}",
+            arm.name,
+            arm.median_ns_per_arrival,
+            speedup(arm),
+            arm.accuracy,
+            arm.admitted,
+            arm.solves
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"online_replan\",\n  \"trace\": {{\"n\": {N_TASKS}, \
+         \"m\": {M_MACHINES}, \"seed\": {SEED}, \"load\": {LOAD}, \
+         \"deadline_slack\": {DEADLINE_SLACK}, \"beta\": {BETA}}},\n  \
+         \"policy\": \"DegradeToFit\",\n  \"repeats\": {repeats},\n  \"arms\": [\n{}\n  ]\n}}\n",
+        arm_json.join(",\n")
+    );
+    std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    println!("[online bench] wrote {json_path} ({repeats} repeats)");
+
+    if check {
+        let ratio =
+            arms[1].median_ns_per_arrival as f64 / arms[0].median_ns_per_arrival.max(1) as f64;
+        if ratio > CHECK_MAX_RATIO {
+            eprintln!(
+                "[online bench] FAIL: warm replans are {:.2}x the cold baseline \
+                 (limit {CHECK_MAX_RATIO}x)",
+                ratio
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[online bench] check passed: warm/cold ratio {:.3} <= {CHECK_MAX_RATIO}",
+            ratio
+        );
+    }
+}

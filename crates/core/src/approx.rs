@@ -82,6 +82,21 @@ pub(crate) fn solve_approx_with(
     finish(inst, fractional, schedule)
 }
 
+/// [`solve_approx_with`] with a warm-started fractional solve (see
+/// [`crate::fr_opt`]'s warm path): the profile search starts from the
+/// caller's hint profile instead of the naive profile, which is what
+/// makes per-arrival online re-plans cheap.
+pub(crate) fn solve_approx_warm_with(
+    inst: &Instance,
+    opts: &ApproxOptions,
+    ws: &mut ValueFnWorkspace,
+    warm: &crate::profile::EnergyProfile,
+) -> ApproxSolution {
+    let fractional = crate::fr_opt::solve_fr_opt_warm_with(inst, &opts.fr, ws, warm);
+    let schedule = assign_from_fractional(inst, &fractional, opts.placement);
+    finish(inst, fractional, schedule)
+}
+
 /// Runs the list-scheduling and cut phases on an existing fractional
 /// solution (lets callers reuse one fractional solve across ablations).
 pub fn approx_from_fractional(

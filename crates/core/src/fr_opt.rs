@@ -133,6 +133,69 @@ pub(crate) fn solve_fr_opt_with(
     }
 }
 
+/// Warm-started variant of [`solve_fr_opt_with`]: instead of the naive
+/// profile and the task-level transfer pass, the profile search starts
+/// from a caller-supplied profile — typically an online service's
+/// incumbent plan minus already-dispatched work, so the common case per
+/// arrival is a handful of incremental Δ-probes rather than a cold
+/// solve.
+///
+/// The hint is sanitized before use (non-finite caps dropped, caps
+/// clamped to `[0, d_max]`, the whole vector scaled down when its energy
+/// exceeds the budget), so *any* profile of the right length is valid:
+/// the search's exact re-solve and slack absorption make the result a
+/// profile-search optimum regardless of the start — the hint only
+/// shortens the path to it. Wrong-length hints fall back to the cold
+/// pipeline.
+pub(crate) fn solve_fr_opt_warm_with(
+    inst: &Instance,
+    opts: &FrOptOptions,
+    ws: &mut ValueFnWorkspace,
+    warm: &EnergyProfile,
+) -> FrSolution {
+    if warm.len() != inst.num_machines() || opts.skip_refine || opts.skip_profile_search {
+        return solve_fr_opt_with(inst, opts, ws);
+    }
+    let machines = inst.machines().machines();
+    let mut caps: Vec<f64> = warm
+        .caps()
+        .iter()
+        .map(|&c| {
+            if c.is_finite() {
+                c.clamp(0.0, inst.d_max())
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let energy: f64 = caps
+        .iter()
+        .zip(machines)
+        .map(|(&c, mach)| c * mach.power())
+        .sum();
+    if energy > inst.budget() && energy > 0.0 {
+        let scale = inst.budget() / energy;
+        for c in &mut caps {
+            *c *= scale;
+        }
+    }
+    let start = EnergyProfile::new(caps);
+    let (_, refined, outcome) = profile_search_with(inst, &start, &opts.search, ws);
+    let total_accuracy = refined.schedule.total_accuracy(inst);
+    let energy = refined.schedule.energy(inst);
+    let profile = refined.schedule.profile();
+    FrSolution {
+        flops: refined.flops,
+        total_accuracy,
+        naive_profile: naive_profile(inst),
+        profile,
+        energy,
+        refine_iterations: outcome.transfers,
+        search: Some(outcome),
+        schedule: refined.schedule,
+    }
+}
+
 #[cfg(test)]
 #[allow(deprecated)]
 mod tests {

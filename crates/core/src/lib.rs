@@ -27,6 +27,7 @@
 //! - [`approx`] — Algorithm 5: `DSCT-EA-APPROX` with its guarantee;
 //! - [`guarantee`] — the absolute performance bound `G` (Eq. 14);
 //! - [`baselines`] — `EDF-NoCompression` and `EDF-3CompressionLevels` (§6);
+//! - [`residual`] — residual instances for online rolling-horizon re-plans;
 //! - [`renewable`] — extension: time-varying (renewable) energy supply;
 //! - [`lp_model`] — the DSCT-EA-FR linear program for [`dsct_lp`] (§3.2);
 //! - [`mip_model`] — the full DSCT-EA MIP for [`dsct_mip`] (§3);
@@ -46,6 +47,7 @@ pub mod problem;
 pub mod profile;
 pub mod profile_search;
 pub mod renewable;
+pub mod residual;
 pub mod schedule;
 pub mod solver;
 

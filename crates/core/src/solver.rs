@@ -384,6 +384,23 @@ impl FrOptSolver {
         opts.search.gate_threads = ctx.resolve_gate_threads(opts.search.gate_threads);
         solve_fr_opt_with(inst, &opts, ctx.workspace())
     }
+
+    /// Typed solve warm-started from a caller-supplied profile (e.g. an
+    /// online service's incumbent plan minus dispatched work): skips the
+    /// naive-profile and transfer passes and runs the profile search
+    /// from the hint. Any profile of the right length is a valid hint —
+    /// it is clamped to the horizon and scaled into the budget first —
+    /// and only convergence speed depends on it.
+    pub fn solve_typed_warm_with(
+        &self,
+        inst: &Instance,
+        ctx: &mut SolverContext,
+        warm: &crate::profile::EnergyProfile,
+    ) -> FrSolution {
+        let mut opts = self.opts;
+        opts.search.gate_threads = ctx.resolve_gate_threads(opts.search.gate_threads);
+        crate::fr_opt::solve_fr_opt_warm_with(inst, &opts, ctx.workspace(), warm)
+    }
 }
 
 impl Solver for FrOptSolver {
@@ -434,6 +451,20 @@ impl ApproxSolver {
         let mut opts = self.opts;
         opts.fr.search.gate_threads = ctx.resolve_gate_threads(opts.fr.search.gate_threads);
         solve_approx_with(inst, &opts, ctx.workspace())
+    }
+
+    /// Typed solve with the embedded fractional solve warm-started from
+    /// a caller-supplied profile (see
+    /// [`FrOptSolver::solve_typed_warm_with`]).
+    pub fn solve_typed_warm_with(
+        &self,
+        inst: &Instance,
+        ctx: &mut SolverContext,
+        warm: &crate::profile::EnergyProfile,
+    ) -> ApproxSolution {
+        let mut opts = self.opts;
+        opts.fr.search.gate_threads = ctx.resolve_gate_threads(opts.fr.search.gate_threads);
+        crate::approx::solve_approx_warm_with(inst, &opts, ctx.workspace(), warm)
     }
 }
 

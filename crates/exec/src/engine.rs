@@ -9,6 +9,37 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Typed executor errors (PR 1 pattern: panics become errors callers can
+/// route, e.g. the online service's admission path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecError {
+    /// A configuration field is outside its valid domain; the payload
+    /// names the field, the offending value, and the requirement.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable domain (e.g. `"in [0, 1)"`).
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidConfig {
+                field,
+                value,
+                requirement,
+            } => write!(f, "{field} = {value} must be {requirement}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// What the executor does when a task would run past its deadline at
 /// runtime (e.g. because the machine delivered less speed than planned).
@@ -43,6 +74,23 @@ impl Default for ExecutionConfig {
             seed: 0,
             overrun: OverrunPolicy::Compress,
         }
+    }
+}
+
+impl ExecutionConfig {
+    /// Validates the configuration. `speed_jitter` must lie in `[0, 1)`:
+    /// a half-width of 1 or more would allow a zero or negative effective
+    /// speed, and the runtime `planned / factor` would blow up or flip
+    /// sign.
+    pub fn validate(&self) -> Result<(), ExecError> {
+        if !(self.speed_jitter.is_finite() && (0.0..1.0).contains(&self.speed_jitter)) {
+            return Err(ExecError::InvalidConfig {
+                field: "speed_jitter",
+                value: self.speed_jitter,
+                requirement: "in [0, 1)",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -85,21 +133,31 @@ impl Ord for Ready {
 /// later tasks forward.
 ///
 /// # Panics
-/// Panics when the schedule splits a task across machines (use the
-/// planner's integral output) or dimensions mismatch the instance.
+/// Panics when the configuration is invalid (see [`try_execute`] for the
+/// `Result`-returning form), the schedule splits a task across machines
+/// (use the planner's integral output), or dimensions mismatch the
+/// instance.
 pub fn execute(
     inst: &Instance,
     schedule: &FractionalSchedule,
     cfg: &ExecutionConfig,
 ) -> ExecutionTrace {
+    try_execute(inst, schedule, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`execute`] with configuration validation as a typed error instead of
+/// a panic: rejects `speed_jitter` outside `[0, 1)` (which would allow a
+/// zero or negative effective speed) before touching the schedule.
+pub fn try_execute(
+    inst: &Instance,
+    schedule: &FractionalSchedule,
+    cfg: &ExecutionConfig,
+) -> Result<ExecutionTrace, ExecError> {
+    cfg.validate()?;
     let n = inst.num_tasks();
     let m = inst.num_machines();
     assert_eq!(schedule.num_tasks(), n, "task count mismatch");
     assert_eq!(schedule.num_machines(), m, "machine count mismatch");
-    assert!(
-        (0.0..1.0).contains(&cfg.speed_jitter),
-        "speed jitter must be in [0, 1)"
-    );
 
     // Per-machine EDF queues of (task, planned_time).
     let mut queues: Vec<std::collections::VecDeque<(usize, f64)>> =
@@ -240,7 +298,7 @@ pub fn execute(
         .filter(|e| e.kind == EventKind::Dropped)
         .count();
 
-    ExecutionTrace {
+    Ok(ExecutionTrace {
         events,
         tasks: outcomes,
         realized_accuracy,
@@ -248,7 +306,7 @@ pub fn execute(
         compressions,
         drops,
         makespan,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -380,6 +438,53 @@ mod tests {
             assert!(!evs.is_empty(), "task {j} has no events");
         }
         assert!(trace.makespan <= inst.d_max() + 1e-9);
+    }
+
+    #[test]
+    fn invalid_jitter_is_a_typed_error_not_a_panic() {
+        let inst = instance();
+        let plan = ApproxSolver::new().solve_typed(&inst);
+        for bad in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let cfg = ExecutionConfig {
+                speed_jitter: bad,
+                ..Default::default()
+            };
+            let err = try_execute(&inst, &plan.schedule, &cfg).unwrap_err();
+            match err {
+                ExecError::InvalidConfig {
+                    field,
+                    value,
+                    requirement,
+                } => {
+                    assert_eq!(field, "speed_jitter", "jitter {bad}");
+                    assert_eq!(value.to_bits(), bad.to_bits(), "jitter {bad}");
+                    assert_eq!(requirement, "in [0, 1)", "jitter {bad}");
+                }
+            }
+            assert!(cfg.validate().is_err(), "jitter {bad}");
+        }
+        // The boundary below 1.0 is still accepted.
+        assert!(ExecutionConfig {
+            speed_jitter: 0.999,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "speed_jitter")]
+    fn execute_still_panics_on_invalid_config() {
+        let inst = instance();
+        let plan = ApproxSolver::new().solve_typed(&inst);
+        execute(
+            &inst,
+            &plan.schedule,
+            &ExecutionConfig {
+                speed_jitter: 1.0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

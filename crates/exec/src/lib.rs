@@ -23,5 +23,5 @@
 mod engine;
 mod trace;
 
-pub use engine::{execute, ExecutionConfig, OverrunPolicy};
+pub use engine::{execute, try_execute, ExecError, ExecutionConfig, OverrunPolicy};
 pub use trace::{EventKind, ExecutionTrace, TaskOutcome, TraceEvent};

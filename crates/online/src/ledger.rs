@@ -1,0 +1,106 @@
+//! The energy ledger: committed vs. spent vs. remaining budget.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks the global energy budget of an online service run.
+///
+/// Three buckets: `spent` (settled, actual joules of finished
+/// executions), `committed` (planned joules of in-flight dispatches),
+/// and the implied `remaining = budget − spent − committed` that
+/// re-plans and admission decisions see. On dispatch the *planned*
+/// energy is committed; on completion the *actual* energy settles —
+/// with runtime speed jitter the two differ, which is exactly how
+/// execution feedback reaches later admission decisions: a machine that
+/// ran slow (more joules than planned) shrinks the remaining budget for
+/// every subsequent arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    budget: f64,
+    spent: f64,
+    committed: f64,
+}
+
+impl EnergyLedger {
+    /// Fresh ledger over a non-negative budget.
+    pub fn new(budget: f64) -> Self {
+        assert!(
+            budget.is_finite() && budget >= 0.0,
+            "budget must be finite and non-negative, got {budget}"
+        );
+        Self {
+            budget,
+            spent: 0.0,
+            committed: 0.0,
+        }
+    }
+
+    /// The total budget `B` in joules.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Actual joules of settled (finished) executions.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Planned joules of committed, not-yet-settled dispatches.
+    pub fn committed(&self) -> f64 {
+        self.committed
+    }
+
+    /// Budget still available to new plans: `B − spent − committed`,
+    /// clamped at zero (actual energy can overshoot planned energy under
+    /// jitter, overdrawing the ledger; re-plans then see zero).
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.spent - self.committed).max(0.0)
+    }
+
+    /// Commits the planned energy of a dispatch.
+    pub fn commit(&mut self, planned: f64) {
+        debug_assert!(planned.is_finite() && planned >= 0.0);
+        self.committed += planned;
+    }
+
+    /// Settles a committed dispatch: releases its planned energy and
+    /// books the actual energy as spent.
+    pub fn settle(&mut self, planned: f64, actual: f64) {
+        debug_assert!(actual.is_finite() && actual >= 0.0);
+        self.committed = (self.committed - planned).max(0.0);
+        self.spent += actual;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_then_settle_moves_energy_between_buckets() {
+        let mut l = EnergyLedger::new(10.0);
+        assert_eq!(l.remaining(), 10.0);
+        l.commit(4.0);
+        assert_eq!(l.committed(), 4.0);
+        assert_eq!(l.remaining(), 6.0);
+        // Ran slow: actual 5 J against 4 J planned.
+        l.settle(4.0, 5.0);
+        assert_eq!(l.committed(), 0.0);
+        assert_eq!(l.spent(), 5.0);
+        assert_eq!(l.remaining(), 5.0);
+    }
+
+    #[test]
+    fn overdraft_clamps_remaining_at_zero() {
+        let mut l = EnergyLedger::new(3.0);
+        l.commit(3.0);
+        l.settle(3.0, 4.5);
+        assert_eq!(l.spent(), 4.5);
+        assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn rejects_negative_budget() {
+        EnergyLedger::new(-1.0);
+    }
+}

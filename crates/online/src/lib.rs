@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Online arrival-driven scheduling service for DSCT-EA.
+//!
+//! Every solver in [`dsct_core`] is clairvoyant: the whole instance is
+//! known before `solve()` is called. This crate serves the *online*
+//! problem the paper names as its open extension (§7): compressible
+//! tasks arrive over time, and the service maintains a running schedule
+//! under a global energy budget by re-solving the remaining instance on
+//! each arrival over a rolling horizon.
+//!
+//! Pieces:
+//!
+//! - [`OnlineService`] — the arrival loop. Each arrival advances the
+//!   simulated clock (committing dispatches whose start time has
+//!   passed; started tasks never migrate), runs the admission policy,
+//!   and re-plans the pending pool as a residual instance
+//!   ([`dsct_core::residual`]) through `ApproxSolver`, optionally
+//!   warm-started from the incumbent plan's fractional profile;
+//! - [`AdmissionPolicy`] — pluggable admission: [`AdmissionPolicy::AdmitAll`],
+//!   [`AdmissionPolicy::RejectIfInfeasible`] (protects the planned
+//!   accuracy of already-admitted tasks), and
+//!   [`AdmissionPolicy::DegradeToFit`] (admits whenever compressing the
+//!   admitted tasks down their concave PWL curves nets a total-accuracy
+//!   gain);
+//! - [`EnergyLedger`] — committed vs. spent vs. remaining budget. On
+//!   dispatch the *planned* energy is committed; on completion the
+//!   *actual* energy (after speed jitter, same model as [`dsct_exec`])
+//!   settles, so runtime overruns shrink the budget later re-plans see;
+//! - [`replay`] — deterministic replay of a [`dsct_workload::ArrivalTrace`],
+//!   producing a [`dsct_exec::ExecutionTrace`]-based [`OnlineReport`].
+
+mod admission;
+mod ledger;
+mod service;
+
+pub use admission::{AdmissionPolicy, Decision};
+pub use ledger::EnergyLedger;
+pub use service::{
+    replay, OnlineConfig, OnlineReport, OnlineService, OnlineSummary, ReplanStrategy,
+};

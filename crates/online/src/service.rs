@@ -1,0 +1,868 @@
+//! The arrival loop: rolling-horizon re-optimization with dispatch
+//! commitment, admission control, and ledger-tracked energy.
+//!
+//! # Model
+//!
+//! The service owns a simulated clock driven by submissions (arrival
+//! times must be non-decreasing). Between two arrivals the incumbent
+//! plan governs: each machine runs its assigned pending tasks
+//! back-to-back in residual-deadline (EDF) order, and every dispatch
+//! whose start time falls strictly before the next arrival is
+//! *committed* — the task leaves the pending pool, its planned energy is
+//! committed to the ledger, and it never migrates. At the arrival the
+//! pending pool (committed tasks excluded) is re-planned as a residual
+//! instance ([`dsct_core::residual`]): deadlines shift to `d_j − now`,
+//! the budget shrinks to the ledger's remaining joules, and the re-solve
+//! goes through [`ApproxSolver`] — warm-started, under
+//! [`ReplanStrategy::WarmStart`], from the incumbent's fractional
+//! profile restricted to still-pending tasks.
+//!
+//! Machine availability is restored at plan-materialization time: tasks
+//! landing on a still-busy machine are cut at their *absolute* deadline
+//! (the same phase-2 cut as `DSCT-EA-APPROX`), which only shortens
+//! processing times and therefore never exceeds the solved plan's
+//! energy. Runtime speed jitter follows the [`dsct_exec`] model — the
+//! planned allocation is a work target, a slow execution overruns and is
+//! compressed or dropped per [`OverrunPolicy`] — and the jitter factor
+//! of a task depends only on `(jitter_seed, id)`, never on how many
+//! re-plans happened, so replays are deterministic.
+
+use crate::admission::{AdmissionPolicy, Decision};
+use crate::ledger::EnergyLedger;
+use dsct_core::profile::EnergyProfile;
+use dsct_core::residual::{residual_instance, ResidualItem};
+use dsct_core::solver::{ApproxSolver, SolverContext};
+use dsct_core::EPS_TIME;
+use dsct_exec::{
+    EventKind, ExecError, ExecutionConfig, ExecutionTrace, OverrunPolicy, TaskOutcome, TraceEvent,
+};
+use dsct_machines::MachinePark;
+use dsct_workload::{ArrivalTrace, OnlineTask};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
+
+/// How per-arrival re-solves are started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReplanStrategy {
+    /// Every re-solve runs the full cold pipeline (naive profile +
+    /// transfer pass + profile search). Baseline for benchmarking.
+    Cold,
+    /// Re-solves start the profile search from the incumbent plan's
+    /// fractional profile restricted to still-pending tasks, so the
+    /// common case is a handful of incremental Δ-probes (default).
+    #[default]
+    WarmStart,
+}
+
+/// Configuration of an [`OnlineService`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Admission policy.
+    pub policy: AdmissionPolicy,
+    /// Re-solve strategy.
+    pub replan: ReplanStrategy,
+    /// Multiplicative speed-jitter half-width in `[0, 1)` (the
+    /// [`dsct_exec`] model; `0.0` = deterministic nominal speeds).
+    pub speed_jitter: f64,
+    /// Seed for the per-task jitter draws.
+    pub jitter_seed: u64,
+    /// Deadline-overrun handling at dispatch time.
+    pub overrun: OverrunPolicy,
+    /// Internal-parallelism cap for the re-solves (the profile search's
+    /// gate threads); `1` keeps the service single-threaded, which is
+    /// what a harness running many replays in parallel wants. Results
+    /// never depend on this — only wall-clock does.
+    pub solver_parallelism: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            policy: AdmissionPolicy::AdmitAll,
+            replan: ReplanStrategy::WarmStart,
+            speed_jitter: 0.0,
+            jitter_seed: 0,
+            overrun: OverrunPolicy::Compress,
+            solver_parallelism: 1,
+        }
+    }
+}
+
+impl OnlineConfig {
+    fn execution_config(&self) -> ExecutionConfig {
+        ExecutionConfig {
+            speed_jitter: self.speed_jitter,
+            seed: self.jitter_seed,
+            overrun: self.overrun,
+        }
+    }
+}
+
+/// Deterministic aggregate of one service run (the byte-comparable
+/// payload of the determinism contract: two replays of the same trace
+/// and configuration produce equal summaries, bit for bit, regardless
+/// of solver parallelism).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineSummary {
+    /// Tasks submitted.
+    pub arrivals: usize,
+    /// Tasks admitted to the pending pool.
+    pub admitted: usize,
+    /// Tasks turned away by the admission policy.
+    pub rejected: usize,
+    /// Admitted tasks whose deadline passed before any dispatch.
+    pub expired: usize,
+    /// Admitted tasks never dispatched (plans allocated them nothing).
+    pub starved: usize,
+    /// Tasks actually dispatched to a machine.
+    pub dispatched: usize,
+    /// Re-plans adopted as the incumbent.
+    pub replans: usize,
+    /// Total solver invocations (incumbent re-plans plus tentative
+    /// admission solves that were rejected).
+    pub solves: usize,
+    /// Realized total accuracy `Σ_j a_j(work_j)` over **all** arrivals
+    /// (rejected/expired/starved tasks contribute their zero-work
+    /// accuracy).
+    pub total_accuracy: f64,
+    /// Cumulative planned energy committed at dispatch time (J).
+    pub committed_energy: f64,
+    /// Realized (settled) energy (J).
+    pub spent_energy: f64,
+    /// The global budget `B` (J).
+    pub budget: f64,
+    /// Completion time of the last dispatched task.
+    pub makespan: f64,
+}
+
+/// Everything a finished service run reports.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Execution trace in [`dsct_exec`] vocabulary: `tasks` is indexed
+    /// by ascending task id (dense `0..n` ids from
+    /// [`dsct_workload::generate_arrivals`] line up with the index),
+    /// events are chronological, never-served tasks carry a `Dropped`
+    /// event with machine `usize::MAX`.
+    pub trace: ExecutionTrace,
+    /// Admission decision per submitted task, in submission order.
+    pub decisions: Vec<(u64, Decision)>,
+    /// The deterministic summary.
+    pub summary: OnlineSummary,
+    /// Final ledger state.
+    pub ledger: EnergyLedger,
+}
+
+/// The incumbent plan: an `ApproxSolver` solution of the residual
+/// instance built at `time`, plus the residual-index → task-id mapping.
+struct Plan {
+    time: f64,
+    task_ids: Vec<u64>,
+    approx: dsct_core::approx::ApproxSolution,
+}
+
+/// One materialized (but not yet committed) dispatch.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    id: u64,
+    duration: f64,
+}
+
+/// A committed dispatch awaiting ledger settlement at its completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Settle {
+    time: f64,
+    id: u64,
+    planned_energy: f64,
+    actual_energy: f64,
+}
+
+impl Eq for Settle {}
+impl PartialOrd for Settle {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Settle {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The online scheduling service. See the module docs for the model.
+pub struct OnlineService {
+    cfg: OnlineConfig,
+    park: MachinePark,
+    ledger: EnergyLedger,
+    now: f64,
+    pool: Vec<OnlineTask>,
+    plan: Option<Plan>,
+    plan_dirty: bool,
+    queues: Vec<VecDeque<Queued>>,
+    free_at: Vec<f64>,
+    settle: BinaryHeap<Settle>,
+    outcomes: BTreeMap<u64, TaskOutcome>,
+    decisions: Vec<(u64, Decision)>,
+    events: Vec<TraceEvent>,
+    solver: ApproxSolver,
+    ctx: SolverContext,
+    replans: usize,
+    solves: usize,
+    expired: usize,
+    starved: usize,
+    dispatched: usize,
+    committed_energy: f64,
+    makespan: f64,
+}
+
+impl OnlineService {
+    /// Creates a service over a machine park and a global energy budget.
+    /// Fails with [`ExecError::InvalidConfig`] when the jitter model is
+    /// invalid (`speed_jitter` outside `[0, 1)`).
+    pub fn new(park: MachinePark, budget: f64, cfg: OnlineConfig) -> Result<Self, ExecError> {
+        cfg.execution_config().validate()?;
+        let m = park.len();
+        let mut ctx = SolverContext::new();
+        ctx.set_parallelism_budget(cfg.solver_parallelism);
+        Ok(Self {
+            cfg,
+            ledger: EnergyLedger::new(budget),
+            now: 0.0,
+            pool: Vec::new(),
+            plan: None,
+            plan_dirty: false,
+            queues: vec![VecDeque::new(); m],
+            free_at: vec![0.0; m],
+            settle: BinaryHeap::new(),
+            outcomes: BTreeMap::new(),
+            decisions: Vec::new(),
+            events: Vec::new(),
+            solver: ApproxSolver::new(),
+            ctx,
+            replans: 0,
+            solves: 0,
+            expired: 0,
+            starved: 0,
+            dispatched: 0,
+            committed_energy: 0.0,
+            makespan: 0.0,
+            park,
+        })
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The energy ledger.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Admitted tasks currently awaiting dispatch.
+    pub fn pending(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Submits one arrival, advancing the clock to its arrival time
+    /// (committing every dispatch the incumbent plan starts before it),
+    /// running the admission policy, and — for the gated policies —
+    /// adopting the tentative re-plan on admission. Under
+    /// [`AdmissionPolicy::AdmitAll`] the re-plan is deferred until the
+    /// clock next advances, so a batch of same-timestamp arrivals is
+    /// re-planned once.
+    ///
+    /// # Panics
+    /// Panics when arrival times are not non-decreasing.
+    pub fn submit(&mut self, task: &OnlineTask) -> Decision {
+        assert!(
+            task.arrival >= self.now - EPS_TIME,
+            "arrivals must be non-decreasing: got {} at time {}",
+            task.arrival,
+            self.now
+        );
+        if task.arrival > self.now {
+            self.advance_to(task.arrival);
+            self.now = task.arrival;
+        }
+        self.purge_expired();
+
+        // Dead on arrival: the deadline already passed.
+        if task.deadline - self.now <= EPS_TIME {
+            self.record_unserved(task, self.now);
+            self.decisions.push((task.id, Decision::Rejected));
+            return Decision::Rejected;
+        }
+
+        let decision = match self.cfg.policy {
+            AdmissionPolicy::AdmitAll => {
+                self.pool.push(task.clone());
+                self.plan_dirty = true;
+                Decision::Admitted
+            }
+            policy => {
+                self.ensure_plan();
+                let baseline = self
+                    .plan
+                    .as_ref()
+                    .map(|p| p.approx.total_accuracy)
+                    .unwrap_or(0.0);
+                let (approx, res) = self
+                    .solve_pool(Some(task))
+                    .expect("pool plus a live candidate is non-empty");
+                self.solves += 1;
+                let jc = res
+                    .task_ids
+                    .iter()
+                    .position(|&id| id == task.id)
+                    .expect("candidate is live, so it is in the residual");
+                let tentative_cand = approx.schedule.accuracy(jc, &res.instance);
+                let decision = policy.decide(
+                    baseline,
+                    approx.total_accuracy,
+                    tentative_cand,
+                    task.accuracy.a_min(),
+                );
+                if decision == Decision::Admitted {
+                    self.pool.push(task.clone());
+                    self.adopt(Plan {
+                        time: self.now,
+                        task_ids: res.task_ids,
+                        approx,
+                    });
+                } else {
+                    self.record_unserved(task, self.now);
+                }
+                decision
+            }
+        };
+        self.decisions.push((task.id, decision));
+        decision
+    }
+
+    /// Drains the service: commits every remaining planned dispatch,
+    /// settles the ledger, records never-served tasks, and produces the
+    /// report.
+    pub fn finish(mut self) -> OnlineReport {
+        self.advance_to(f64::INFINITY);
+        // Whatever is still pooled never got machine time.
+        let leftovers: Vec<OnlineTask> = std::mem::take(&mut self.pool);
+        for task in &leftovers {
+            self.starved += 1;
+            self.record_unserved(task, self.now);
+        }
+
+        let mut events = std::mem::take(&mut self.events);
+        events.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(Ordering::Equal)
+                .then(a.task.cmp(&b.task))
+        });
+        let tasks: Vec<TaskOutcome> = self.outcomes.values().cloned().collect();
+        let realized_accuracy: f64 = tasks.iter().map(|t| t.accuracy).sum();
+        let realized_energy: f64 = tasks.iter().map(|t| t.energy).sum();
+        let compressions = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Compressed)
+            .count();
+        let drops = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Dropped)
+            .count();
+        let rejected = self
+            .decisions
+            .iter()
+            .filter(|(_, d)| *d == Decision::Rejected)
+            .count();
+        let summary = OnlineSummary {
+            arrivals: self.decisions.len(),
+            admitted: self.decisions.len() - rejected,
+            rejected,
+            expired: self.expired,
+            starved: self.starved,
+            dispatched: self.dispatched,
+            replans: self.replans,
+            solves: self.solves,
+            total_accuracy: realized_accuracy,
+            committed_energy: self.committed_energy,
+            spent_energy: realized_energy,
+            budget: self.ledger.budget(),
+            makespan: self.makespan,
+        };
+        OnlineReport {
+            trace: ExecutionTrace {
+                events,
+                tasks,
+                realized_accuracy,
+                realized_energy,
+                compressions,
+                drops,
+                makespan: self.makespan,
+            },
+            decisions: self.decisions,
+            summary,
+            ledger: self.ledger,
+        }
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    /// Commits every planned dispatch starting strictly before `t` (in
+    /// chronological order, so jitter-shifted starts cascade correctly),
+    /// then settles every completion at or before `t`. Re-plans first
+    /// when the pool changed since the incumbent was computed.
+    fn advance_to(&mut self, t: f64) {
+        if self.plan_dirty {
+            self.replan();
+        }
+        let plan_time = self.plan.as_ref().map(|p| p.time).unwrap_or(self.now);
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            for (r, q) in self.queues.iter().enumerate() {
+                if q.front().is_some() {
+                    let start = self.free_at[r].max(plan_time);
+                    if best.map(|(s, _)| start < s).unwrap_or(true) {
+                        best = Some((start, r));
+                    }
+                }
+            }
+            let Some((start, r)) = best else { break };
+            if start >= t {
+                break;
+            }
+            let q = self.queues[r].pop_front().expect("front checked");
+            self.commit(q, r, start);
+        }
+        while let Some(s) = self.settle.peek() {
+            if s.time <= t {
+                let s = *s;
+                self.settle.pop();
+                self.ledger.settle(s.planned_energy, s.actual_energy);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Commits one dispatch: draws the task's jitter factor, applies the
+    /// overrun policy against the *absolute* deadline, fixes the task's
+    /// outcome, and commits the planned energy.
+    fn commit(&mut self, q: Queued, r: usize, start: f64) {
+        let idx = self
+            .pool
+            .iter()
+            .position(|p| p.id == q.id)
+            .expect("queued tasks are pooled");
+        let task = self.pool.remove(idx);
+        let mach = self.park.get(r);
+        let factor = self.jitter_factor(q.id);
+        let planned_work = q.duration * mach.speed();
+        let full_runtime = q.duration / factor;
+        let time_to_deadline = (task.deadline - start).max(0.0);
+        let (runtime, work, kind) = if full_runtime <= time_to_deadline + 1e-12 {
+            (full_runtime, planned_work, EventKind::Finish)
+        } else {
+            match self.cfg.overrun {
+                OverrunPolicy::Compress => (
+                    time_to_deadline,
+                    mach.speed() * factor * time_to_deadline,
+                    EventKind::Compressed,
+                ),
+                OverrunPolicy::Drop => (time_to_deadline, 0.0, EventKind::Dropped),
+            }
+        };
+        let completion = start + runtime;
+        let planned_energy = q.duration * mach.power();
+        let actual_energy = mach.power() * runtime;
+        self.free_at[r] = completion;
+        self.ledger.commit(planned_energy);
+        self.committed_energy += planned_energy;
+        self.settle.push(Settle {
+            time: completion,
+            id: q.id,
+            planned_energy,
+            actual_energy,
+        });
+        self.events.push(TraceEvent {
+            time: start,
+            machine: r,
+            task: q.id as usize,
+            kind: EventKind::Dispatch,
+        });
+        self.events.push(TraceEvent {
+            time: completion,
+            machine: r,
+            task: q.id as usize,
+            kind,
+        });
+        self.outcomes.insert(
+            q.id,
+            TaskOutcome {
+                machine: Some(r),
+                start,
+                completion,
+                work,
+                accuracy: task.accuracy.eval(work.max(0.0)),
+                energy: actual_energy,
+                met_deadline: completion <= task.deadline + 1e-9,
+                speed_factor: factor,
+            },
+        );
+        self.dispatched += 1;
+        self.makespan = self.makespan.max(completion);
+    }
+
+    /// Per-task jitter factor: a pure function of `(jitter_seed, id)`,
+    /// independent of re-plan count and dispatch order.
+    fn jitter_factor(&self, id: u64) -> f64 {
+        let j = self.cfg.speed_jitter;
+        if j <= 0.0 {
+            return 1.0;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(self.cfg.jitter_seed ^ splitmix64(id)));
+        1.0 + rng.gen_range(-j..=j)
+    }
+
+    /// Removes pool tasks whose deadline has passed, recording their
+    /// zero-work outcome.
+    fn purge_expired(&mut self) {
+        let now = self.now;
+        let expired: Vec<OnlineTask> = self
+            .pool
+            .iter()
+            .filter(|p| p.deadline - now <= EPS_TIME)
+            .cloned()
+            .collect();
+        if expired.is_empty() {
+            return;
+        }
+        self.pool.retain(|p| p.deadline - now > EPS_TIME);
+        for task in &expired {
+            self.expired += 1;
+            self.record_unserved(task, now);
+        }
+        self.plan_dirty = true;
+    }
+
+    /// Records a task that will never run (rejected / expired /
+    /// starved): zero work, zero energy, its floor accuracy, and a
+    /// `Dropped` marker event (machine `usize::MAX`, like the offline
+    /// executor's never-dispatched convention).
+    fn record_unserved(&mut self, task: &OnlineTask, time: f64) {
+        self.events.push(TraceEvent {
+            time,
+            machine: usize::MAX,
+            task: task.id as usize,
+            kind: EventKind::Dropped,
+        });
+        self.outcomes.insert(
+            task.id,
+            TaskOutcome {
+                machine: None,
+                start: time,
+                completion: time,
+                work: 0.0,
+                accuracy: task.accuracy.a_min(),
+                energy: 0.0,
+                met_deadline: true,
+                speed_factor: 1.0,
+            },
+        );
+    }
+
+    /// Ensures the incumbent plan was solved for the current pool at the
+    /// current time (the gated policies compare against it).
+    fn ensure_plan(&mut self) {
+        self.purge_expired();
+        if self.pool.is_empty() {
+            self.plan = None;
+            self.plan_dirty = false;
+            self.clear_queues();
+            return;
+        }
+        let fresh = !self.plan_dirty && self.plan.as_ref().map(|p| p.time) == Some(self.now);
+        if !fresh {
+            self.replan();
+        }
+    }
+
+    /// Re-plans the pending pool at the current time and adopts the
+    /// result as the incumbent.
+    fn replan(&mut self) {
+        self.plan_dirty = false;
+        self.purge_expired();
+        if self.pool.is_empty() {
+            self.plan = None;
+            self.clear_queues();
+            return;
+        }
+        let (approx, res) = self
+            .solve_pool(None)
+            .expect("non-empty purged pool yields a residual");
+        self.solves += 1;
+        self.adopt(Plan {
+            time: self.now,
+            task_ids: res.task_ids,
+            approx,
+        });
+    }
+
+    /// Solves the residual instance of the pool (plus an optional
+    /// candidate) at the current time, warm-starting when configured and
+    /// an incumbent exists. Returns `None` when there is nothing to
+    /// schedule.
+    fn solve_pool(
+        &mut self,
+        extra: Option<&OnlineTask>,
+    ) -> Option<(
+        dsct_core::approx::ApproxSolution,
+        dsct_core::residual::ResidualInstance,
+    )> {
+        let mut items: Vec<ResidualItem> = self
+            .pool
+            .iter()
+            .map(|p| ResidualItem {
+                id: p.id,
+                deadline: p.deadline,
+                accuracy: p.accuracy.clone(),
+            })
+            .collect();
+        if let Some(task) = extra {
+            items.push(ResidualItem {
+                id: task.id,
+                deadline: task.deadline,
+                accuracy: task.accuracy.clone(),
+            });
+        }
+        let res = residual_instance(&items, self.now, &self.park, self.ledger.remaining())
+            .expect("pool deadlines are validated and the budget is clamped")?;
+        debug_assert!(res.expired.is_empty(), "pool purged before solving");
+        let warm = self.warm_hint();
+        let approx = match warm {
+            Some(profile) => {
+                self.solver
+                    .solve_typed_warm_with(&res.instance, &mut self.ctx, &profile)
+            }
+            None => self.solver.solve_typed_with(&res.instance, &mut self.ctx),
+        };
+        Some((approx, res))
+    }
+
+    /// The warm-start hint: the incumbent's fractional profile summed
+    /// over still-pending tasks (dispatched work excluded, so the hint
+    /// shrinks as the plan is consumed).
+    fn warm_hint(&self) -> Option<EnergyProfile> {
+        if self.cfg.replan == ReplanStrategy::Cold {
+            return None;
+        }
+        let plan = self.plan.as_ref()?;
+        let fr = &plan.approx.fractional.schedule;
+        let pooled: HashSet<u64> = self.pool.iter().map(|p| p.id).collect();
+        let m = self.park.len();
+        let mut caps = vec![0.0f64; m];
+        for (j, id) in plan.task_ids.iter().enumerate() {
+            if pooled.contains(id) {
+                for (r, cap) in caps.iter_mut().enumerate() {
+                    *cap += fr.t(j, r);
+                }
+            }
+        }
+        Some(EnergyProfile::new(caps))
+    }
+
+    /// Adopts a plan as the incumbent and materializes its dispatch
+    /// queues: per machine, assigned tasks in residual (deadline) order,
+    /// starting no earlier than the machine's committed work allows, cut
+    /// at their absolute deadlines (the `DSCT-EA-APPROX` phase-2 cut
+    /// with an availability offset). Cutting only shortens times, so the
+    /// materialized plan consumes at most the solved plan's energy.
+    fn adopt(&mut self, plan: Plan) {
+        self.clear_queues();
+        let m = self.park.len();
+        let schedule = &plan.approx.schedule;
+        for r in 0..m {
+            let mut completion = self.free_at[r].max(plan.time);
+            for (j, &id) in plan.task_ids.iter().enumerate() {
+                let t = schedule.t(j, r);
+                if t <= 0.0 {
+                    continue;
+                }
+                let task = self
+                    .pool
+                    .iter()
+                    .find(|p| p.id == id)
+                    .expect("planned tasks are pooled");
+                let d = task.deadline;
+                let new_t = if completion + t > d {
+                    (d - completion).max(0.0)
+                } else {
+                    t
+                };
+                completion += new_t;
+                if new_t > 0.0 {
+                    self.queues[r].push_back(Queued {
+                        id,
+                        duration: new_t,
+                    });
+                }
+            }
+        }
+        self.replans += 1;
+        self.plan = Some(plan);
+        self.plan_dirty = false;
+    }
+
+    fn clear_queues(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+}
+
+/// Replays an [`ArrivalTrace`] through a fresh service: submits every
+/// task in arrival order and drains. Deterministic: equal inputs produce
+/// equal (bit-identical) reports, regardless of `solver_parallelism` or
+/// how many threads the surrounding harness uses.
+pub fn replay(trace: &ArrivalTrace, cfg: &OnlineConfig) -> Result<OnlineReport, ExecError> {
+    let mut svc = OnlineService::new(trace.park.clone(), trace.budget, *cfg)?;
+    for task in &trace.tasks {
+        svc.submit(task);
+    }
+    Ok(svc.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_machines::Machine;
+
+    fn park() -> MachinePark {
+        MachinePark::new(vec![
+            Machine::new(2000.0, 80.0).unwrap(),
+            Machine::new(5000.0, 120.0).unwrap(),
+        ])
+    }
+
+    fn task(id: u64, arrival: f64, deadline: f64) -> OnlineTask {
+        OnlineTask {
+            id,
+            arrival,
+            deadline,
+            accuracy: PwlAccuracy::new(&[(0.0, 0.1), (400.0, 0.6), (1200.0, 0.85)]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn single_arrival_is_served_and_the_ledger_balances() {
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        assert_eq!(svc.submit(&task(0, 0.0, 1.0)), Decision::Admitted);
+        let report = svc.finish();
+        assert_eq!(report.summary.dispatched, 1);
+        assert_eq!(report.summary.solves, 1);
+        assert!(report.summary.total_accuracy > 0.1);
+        // Zero jitter: actuals equal plans, nothing stays committed.
+        assert!((report.ledger.spent() - report.summary.committed_energy).abs() < 1e-9);
+        assert_eq!(report.ledger.committed(), 0.0);
+        assert!(report.ledger.spent() <= 500.0 + 1e-9);
+    }
+
+    #[test]
+    fn same_timestamp_batch_replans_once_under_admit_all() {
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        for id in 0..6 {
+            svc.submit(&task(id, 0.0, 1.0 + id as f64 * 0.1));
+        }
+        let report = svc.finish();
+        assert_eq!(report.summary.arrivals, 6);
+        assert_eq!(report.summary.admitted, 6);
+        assert_eq!(
+            report.summary.solves, 1,
+            "a same-timestamp batch must be re-planned lazily, once"
+        );
+    }
+
+    #[test]
+    fn dead_on_arrival_tasks_are_rejected_by_every_policy() {
+        for policy in [
+            AdmissionPolicy::AdmitAll,
+            AdmissionPolicy::RejectIfInfeasible,
+            AdmissionPolicy::DegradeToFit,
+        ] {
+            let cfg = OnlineConfig {
+                policy,
+                ..OnlineConfig::default()
+            };
+            let mut svc = OnlineService::new(park(), 500.0, cfg).unwrap();
+            svc.submit(&task(0, 0.0, 0.5));
+            // Arrives at t=1 with deadline 0.8: already dead.
+            assert_eq!(svc.submit(&task(1, 1.0, 0.8)), Decision::Rejected);
+            let report = svc.finish();
+            assert_eq!(report.summary.rejected, 1);
+            assert_eq!(report.trace.tasks[1].accuracy, 0.1);
+        }
+    }
+
+    #[test]
+    fn rejecting_policies_never_beat_their_own_baseline_promise() {
+        // Starve the budget so late arrivals cannot all be served; the
+        // gated policies must still leave the run consistent.
+        let cfg = OnlineConfig {
+            policy: AdmissionPolicy::RejectIfInfeasible,
+            ..OnlineConfig::default()
+        };
+        let mut svc = OnlineService::new(park(), 30.0, cfg).unwrap();
+        for id in 0..5 {
+            svc.submit(&task(id, id as f64 * 0.05, 0.6));
+        }
+        let report = svc.finish();
+        assert_eq!(
+            report.summary.rejected + report.summary.admitted,
+            report.summary.arrivals
+        );
+        assert!(report.ledger.spent() <= 30.0 + 1e-9);
+    }
+
+    #[test]
+    fn invalid_jitter_is_rejected_at_construction() {
+        let cfg = OnlineConfig {
+            speed_jitter: 1.0,
+            ..OnlineConfig::default()
+        };
+        assert!(matches!(
+            OnlineService::new(park(), 10.0, cfg),
+            Err(ExecError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_factor_depends_only_on_seed_and_id() {
+        let cfg = OnlineConfig {
+            speed_jitter: 0.2,
+            jitter_seed: 42,
+            ..OnlineConfig::default()
+        };
+        let a = OnlineService::new(park(), 10.0, cfg).unwrap();
+        let b = OnlineService::new(park(), 10.0, cfg).unwrap();
+        for id in 0..16u64 {
+            let f = a.jitter_factor(id);
+            assert_eq!(f, b.jitter_factor(id));
+            assert!((0.8..=1.2).contains(&f), "factor {f} out of range");
+        }
+    }
+}

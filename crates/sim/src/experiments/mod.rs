@@ -10,6 +10,7 @@
 //! | [`fig5`] | Fig. 5 — accuracy vs energy-budget ratio + energy gain |
 //! | [`fig6`] | Fig. 6a/6b — energy profiles of two machines |
 //! | [`robustness`] | extension: realized accuracy under runtime speed jitter |
+//! | [`online`] | extension: online arrival service regret vs clairvoyant FR-OPT |
 
 pub mod fig1;
 pub mod fig2;
@@ -17,5 +18,6 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod online;
 pub mod robustness;
 pub mod table1;

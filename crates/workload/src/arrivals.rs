@@ -1,0 +1,314 @@
+//! Deterministic arrival-process generation for the online extension.
+//!
+//! The offline generator ([`crate::generate`]) hands every task to the
+//! solver at time zero; the online service (`dsct-online`) instead
+//! consumes a *timestamped* stream. This module produces such streams
+//! reproducibly: Poisson arrivals (exponential inter-arrival gaps drawn
+//! from the per-item ChaCha seed) whose rate is set by a load factor λ
+//! expressed relative to the aggregate machine FLOPS — at λ = 1 the
+//! uncompressed work arriving per second equals what the whole park can
+//! process per second.
+
+use crate::config::{ConfigError, MachineConfig, TaskConfig};
+use crate::generate::{accuracy_for_theta, sample_thetas};
+use dsct_accuracy::PwlAccuracy;
+use dsct_core::problem::{Instance, Task};
+use dsct_machines::MachinePark;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a Poisson arrival trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Task generation (count, θ distribution, accuracy shape). With
+    /// [`crate::ThetaDistribution::EarlySplit`], "early" means earliest
+    /// *arrivals* rather than earliest deadlines.
+    pub tasks: TaskConfig,
+    /// Machine generation.
+    pub machines: MachineConfig,
+    /// Load factor λ: offered uncompressed work per second as a fraction
+    /// of the park's aggregate speed `Σ_r s_r`. The Poisson rate is
+    /// `λ · Σ_r s_r / E[f^max]`, so λ = 1 saturates the park on average.
+    pub load: f64,
+    /// Relative-deadline slack: each task's deadline is its arrival time
+    /// plus `slack · f^max_j / s̄` where `s̄ = Σ_r s_r / m` is the mean
+    /// machine speed — `slack` windows of the time an average machine
+    /// needs for the uncompressed model.
+    pub deadline_slack: f64,
+    /// Energy-budget ratio β relative to the trace horizon: the budget is
+    /// `β · d^max · Σ_r P_r` with `d^max` the largest absolute deadline,
+    /// matching the offline β semantics on the clairvoyant instance.
+    pub beta: f64,
+}
+
+impl ArrivalConfig {
+    /// Validates the numeric fields, mirroring the `Result`-returning
+    /// style of [`crate::ThetaDistribution::uniform_bounds`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tasks.n == 0 {
+            return Err(ConfigError::Empty("tasks.n"));
+        }
+        if !(self.load.is_finite() && self.load > 0.0) {
+            return Err(ConfigError::OutOfDomain {
+                field: "load",
+                value: self.load,
+                requirement: "finite and > 0",
+            });
+        }
+        if !(self.deadline_slack.is_finite() && self.deadline_slack > 0.0) {
+            return Err(ConfigError::OutOfDomain {
+                field: "deadline_slack",
+                value: self.deadline_slack,
+                requirement: "finite and > 0",
+            });
+        }
+        if !(self.beta.is_finite() && self.beta >= 0.0) {
+            return Err(ConfigError::OutOfDomain {
+                field: "beta",
+                value: self.beta,
+                requirement: "finite and >= 0",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One timestamped compressible task of an arrival trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineTask {
+    /// Stable task id (the arrival rank within the trace).
+    pub id: u64,
+    /// Absolute arrival time in seconds.
+    pub arrival: f64,
+    /// Absolute deadline in seconds (`arrival < deadline`).
+    pub deadline: f64,
+    /// Concave piecewise-linear accuracy function over work in GFLOP.
+    pub accuracy: PwlAccuracy,
+}
+
+/// A full arrival trace: the machine park, the timestamped tasks in
+/// arrival order, and the global energy budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// The machine park serving the stream.
+    pub park: MachinePark,
+    /// Tasks sorted by non-decreasing arrival time; `tasks[i].id == i`.
+    pub tasks: Vec<OnlineTask>,
+    /// Global energy budget `B` in joules.
+    pub budget: f64,
+}
+
+impl ArrivalTrace {
+    /// The clairvoyant offline instance of this trace: every task known
+    /// at time zero with its *absolute* deadline, same park, same budget.
+    /// Ignoring release times only enlarges the feasible set, so the
+    /// FR-OPT optimum of this instance upper-bounds the realized accuracy
+    /// of any online schedule of the trace (the regret reference).
+    pub fn clairvoyant_instance(&self) -> Instance {
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| Task::new(t.deadline, t.accuracy.clone()))
+            .collect();
+        Instance::new_sorting(tasks, self.park.clone(), self.budget)
+            .expect("trace tasks have positive finite deadlines")
+    }
+
+    /// Degenerate trace with every task of an offline instance arriving
+    /// at `t = 0` (ids follow the instance's deadline order). Replaying
+    /// it through the online service must reproduce the offline
+    /// `ApproxSolver` solution bit-exactly.
+    pub fn degenerate(inst: &Instance) -> ArrivalTrace {
+        let tasks = inst
+            .tasks()
+            .iter()
+            .enumerate()
+            .map(|(j, t)| OnlineTask {
+                id: j as u64,
+                arrival: 0.0,
+                deadline: t.deadline,
+                accuracy: t.accuracy.clone(),
+            })
+            .collect();
+        ArrivalTrace {
+            park: inst.machines().clone(),
+            tasks,
+            budget: inst.budget(),
+        }
+    }
+
+    /// Largest absolute deadline (the trace horizon).
+    pub fn horizon(&self) -> f64 {
+        self.tasks.iter().map(|t| t.deadline).fold(0.0f64, f64::max)
+    }
+}
+
+/// Generates a reproducible arrival trace from a configuration and seed.
+///
+/// Deterministic: the same `(config, seed)` always yields the same trace
+/// (ChaCha-based RNG), across platforms and thread counts. The first
+/// task arrives at `t = 0`; each subsequent gap is exponential with mean
+/// `E[f^max] / (λ · Σ_r s_r)`.
+pub fn generate_arrivals(cfg: &ArrivalConfig, seed: u64) -> Result<ArrivalTrace, ConfigError> {
+    cfg.validate()?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let park = match &cfg.machines {
+        MachineConfig::Random { m, sampler } => sampler.sample_park(&mut rng, *m),
+        MachineConfig::Explicit(ms) => MachinePark::new(ms.clone()),
+    };
+    if park.is_empty() {
+        return Err(ConfigError::Empty("machines"));
+    }
+
+    // θ per arrival rank, then the accuracy functions (same recipe as the
+    // offline generator).
+    let thetas = sample_thetas(&cfg.tasks, &mut rng);
+    let accs: Vec<PwlAccuracy> = thetas
+        .iter()
+        .map(|&theta| accuracy_for_theta(&cfg.tasks, theta))
+        .collect();
+
+    let n = cfg.tasks.n;
+    let total_speed = park.total_speed();
+    let mean_work: f64 = accs.iter().map(|a| a.f_max()).sum::<f64>() / n as f64;
+    let mean_gap = mean_work / (cfg.load * total_speed);
+    let mean_speed = total_speed / park.len() as f64;
+
+    let mut arrival = 0.0f64;
+    let mut tasks = Vec::with_capacity(n);
+    for (i, acc) in accs.into_iter().enumerate() {
+        if i > 0 {
+            // Exponential gap by inverse CDF; the uniform is in [0, 1) so
+            // the log argument stays positive.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            arrival += -mean_gap * (1.0 - u).ln();
+        }
+        let deadline = arrival + cfg.deadline_slack * acc.f_max() / mean_speed;
+        tasks.push(OnlineTask {
+            id: i as u64,
+            arrival,
+            deadline,
+            accuracy: acc,
+        });
+    }
+
+    let horizon = tasks.iter().map(|t| t.deadline).fold(0.0f64, f64::max);
+    let budget = cfg.beta * horizon * park.total_power();
+    Ok(ArrivalTrace {
+        park,
+        tasks,
+        budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThetaDistribution;
+
+    fn cfg(load: f64) -> ArrivalConfig {
+        ArrivalConfig {
+            tasks: TaskConfig::paper(30, ThetaDistribution::Uniform { min: 0.1, max: 2.0 }),
+            machines: MachineConfig::paper_random(3),
+            load,
+            deadline_slack: 2.0,
+            beta: 0.5,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = cfg(0.5);
+        let a = generate_arrivals(&c, 7).unwrap();
+        let b = generate_arrivals(&c, 7).unwrap();
+        assert_eq!(a, b);
+        let other = generate_arrivals(&c, 8).unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn arrivals_sorted_ids_stable_deadlines_after_arrival() {
+        let t = generate_arrivals(&cfg(0.8), 3).unwrap();
+        assert_eq!(t.tasks.len(), 30);
+        assert!((t.tasks[0].arrival).abs() < 1e-12, "first arrival at 0");
+        for (i, task) in t.tasks.iter().enumerate() {
+            assert_eq!(task.id, i as u64);
+            assert!(task.deadline > task.arrival);
+        }
+        assert!(t.tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn higher_load_compresses_the_arrival_span() {
+        let slow = generate_arrivals(&cfg(0.2), 11).unwrap();
+        let fast = generate_arrivals(&cfg(2.0), 11).unwrap();
+        let span = |t: &ArrivalTrace| t.tasks.last().unwrap().arrival;
+        assert!(
+            span(&fast) < span(&slow),
+            "λ=2 span {} should beat λ=0.2 span {}",
+            span(&fast),
+            span(&slow)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        let mut c = cfg(0.5);
+        c.load = 0.0;
+        assert_eq!(
+            generate_arrivals(&c, 1),
+            Err(ConfigError::OutOfDomain {
+                field: "load",
+                value: 0.0,
+                requirement: "finite and > 0",
+            })
+        );
+        let mut c = cfg(0.5);
+        c.deadline_slack = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::OutOfDomain {
+                field: "deadline_slack",
+                ..
+            })
+        ));
+        let mut c = cfg(0.5);
+        c.beta = -0.1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::OutOfDomain { field: "beta", .. })
+        ));
+        let mut c = cfg(0.5);
+        c.tasks.n = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Empty("tasks.n")));
+    }
+
+    #[test]
+    fn clairvoyant_instance_sorts_by_deadline_and_keeps_budget() {
+        let t = generate_arrivals(&cfg(1.0), 5).unwrap();
+        let inst = t.clairvoyant_instance();
+        assert_eq!(inst.num_tasks(), t.tasks.len());
+        assert_eq!(inst.budget(), t.budget);
+        let ds: Vec<f64> = inst.tasks().iter().map(|x| x.deadline).collect();
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+        assert!((inst.d_max() - t.horizon()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_trace_mirrors_the_instance() {
+        use crate::{generate, InstanceConfig};
+        let icfg = InstanceConfig {
+            tasks: TaskConfig::paper(10, ThetaDistribution::Fixed(0.5)),
+            machines: MachineConfig::paper_random(2),
+            rho: 0.3,
+            beta: 0.4,
+        };
+        let inst = generate(&icfg, 42);
+        let trace = ArrivalTrace::degenerate(&inst);
+        assert!(trace.tasks.iter().all(|t| t.arrival == 0.0));
+        assert_eq!(trace.clairvoyant_instance(), inst);
+    }
+}

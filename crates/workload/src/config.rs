@@ -3,12 +3,25 @@ use dsct_machines::Machine;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Errors raised when interrogating a workload configuration.
+/// Errors raised when interrogating or validating a workload
+/// configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConfigError {
     /// A [`ThetaDistribution::Uniform`] was expected but another variant
     /// (named in the payload) was found.
     NotUniform(&'static str),
+    /// A numeric configuration field is outside its valid domain; the
+    /// payload names the field, the offending value, and the requirement.
+    OutOfDomain {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable domain (e.g. `"finite and > 0"`).
+        requirement: &'static str,
+    },
+    /// A collection-sized field (named in the payload) is empty.
+    Empty(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -17,6 +30,12 @@ impl fmt::Display for ConfigError {
             ConfigError::NotUniform(variant) => {
                 write!(f, "expected a Uniform theta distribution, got {variant}")
             }
+            ConfigError::OutOfDomain {
+                field,
+                value,
+                requirement,
+            } => write!(f, "{field} = {value} must be {requirement}"),
+            ConfigError::Empty(field) => write!(f, "{field} must be non-empty"),
         }
     }
 }

@@ -53,7 +53,7 @@ pub fn generate(cfg: &InstanceConfig, seed: u64) -> Instance {
     Instance::new(tasks, park, budget).expect("generated instances are valid")
 }
 
-fn sample_thetas<R: Rng + ?Sized>(cfg: &TaskConfig, rng: &mut R) -> Vec<f64> {
+pub(crate) fn sample_thetas<R: Rng + ?Sized>(cfg: &TaskConfig, rng: &mut R) -> Vec<f64> {
     let draw = |rng: &mut R, lo: f64, hi: f64| -> f64 {
         assert!(lo > 0.0 && hi >= lo, "invalid theta range [{lo}, {hi}]");
         if hi > lo {
@@ -90,7 +90,7 @@ fn sample_thetas<R: Rng + ?Sized>(cfg: &TaskConfig, rng: &mut R) -> Vec<f64> {
     }
 }
 
-fn accuracy_for_theta(cfg: &TaskConfig, theta: f64) -> PwlAccuracy {
+pub(crate) fn accuracy_for_theta(cfg: &TaskConfig, theta: f64) -> PwlAccuracy {
     ExponentialAccuracy::paper_defaults_with(theta, cfg.a_min, cfg.a_max)
         .and_then(|e| e.to_pwl_theta_normalized(cfg.segments, BreakpointSpacing::Geometric))
         .expect("valid theta produces a valid accuracy function")

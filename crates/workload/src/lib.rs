@@ -14,8 +14,10 @@
 //! uniformly from the ranges of Desislavov et al. (1–20 TFLOPS,
 //! 5–60 GFLOPS/W) or supplied explicitly.
 
+mod arrivals;
 mod config;
 mod generate;
 
+pub use arrivals::{generate_arrivals, ArrivalConfig, ArrivalTrace, OnlineTask};
 pub use config::{ConfigError, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 pub use generate::generate;

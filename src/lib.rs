@@ -19,6 +19,8 @@
 //! - [`core`] — the scheduling algorithms (the paper's contribution);
 //! - [`exec`] — discrete-event executor running schedules under jitter;
 //! - [`workload`] — scenario generators from the paper's evaluation;
+//! - [`online`] — arrival-driven service: rolling-horizon re-plans,
+//!   admission control, and the energy ledger;
 //! - [`sim`] — the experiment harness regenerating every table and figure.
 
 pub use dsct_accuracy as accuracy;
@@ -27,6 +29,7 @@ pub use dsct_exec as exec;
 pub use dsct_lp as lp;
 pub use dsct_machines as machines;
 pub use dsct_mip as mip;
+pub use dsct_online as online;
 pub use dsct_sim as sim;
 pub use dsct_workload as workload;
 
@@ -45,6 +48,13 @@ pub mod prelude {
         },
     };
     pub use dsct_machines::{Machine, MachinePark};
+    pub use dsct_online::{
+        replay, AdmissionPolicy, Decision, EnergyLedger, OnlineConfig, OnlineService,
+        ReplanStrategy,
+    };
     pub use dsct_sim::engine::{ExperimentPlan, ExperimentRun};
-    pub use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+    pub use dsct_workload::{
+        generate_arrivals, ArrivalConfig, ArrivalTrace, InstanceConfig, MachineConfig, OnlineTask,
+        TaskConfig, ThetaDistribution,
+    };
 }
