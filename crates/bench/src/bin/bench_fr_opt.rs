@@ -4,6 +4,10 @@
 //!
 //! * `serial` — cached workspace probes, Δ-probes off, gate on one
 //!   thread (the PR 1 baseline),
+//! * `serial_checked` — the serial configuration through the checked
+//!   `Solver` path (`SolverOptions::checked()`): every solve is
+//!   re-verified by the solution oracle, measuring the
+//!   `check_invariants` overhead against the serial baseline,
 //! * `incremental` — Δ-probe checkpoint evaluator, gate on one thread,
 //! * `parallel_gate` — Δ-probes plus the batched gate on all cores.
 //!
@@ -18,7 +22,7 @@
 //! JSON is assembled by hand.
 
 use dsct_core::fr_opt::FrOptOptions;
-use dsct_core::solver::{FrOptSolver, SolverContext};
+use dsct_core::solver::{FrOptSolver, Solver, SolverContext, SolverOptions};
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 use std::time::Instant;
 
@@ -31,6 +35,9 @@ const WARMUP: usize = 2;
 const DEFAULT_REPEATS: usize = 15;
 /// CI gate: incremental must not be slower than serial by more than this.
 const CHECK_MAX_RATIO: f64 = 1.10;
+/// CI gate: the oracle-checked serial arm may cost at most this much
+/// extra over the unchecked serial arm (the ≤ 5% acceptance bound).
+const CHECK_MAX_ORACLE_OVERHEAD: f64 = 0.05;
 
 struct ArmResult {
     name: &'static str,
@@ -45,6 +52,7 @@ fn run_arm(
     incremental: bool,
     gate_threads: usize,
     repeats: usize,
+    oracle_checked: bool,
 ) -> ArmResult {
     let cfg = InstanceConfig {
         tasks: TaskConfig::paper(N_TASKS, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
@@ -56,8 +64,40 @@ fn run_arm(
     let mut opts = FrOptOptions::default();
     opts.search.incremental_probes = incremental;
     opts.search.gate_threads = gate_threads;
-    let solver = FrOptSolver::with_options(opts);
+    let mut solver = FrOptSolver::with_options(opts);
     let mut ctx = SolverContext::new();
+
+    if oracle_checked {
+        // Checked arm: the `Solver` trait path converts + runs the
+        // solution oracle on every solve (panics on any violation).
+        solver.common = SolverOptions::checked();
+        for _ in 0..WARMUP {
+            std::hint::black_box(
+                solver
+                    .solve_with(&inst, &mut ctx)
+                    .expect("FR-OPT never errors"),
+            );
+        }
+        let mut times_ns: Vec<u128> = Vec::with_capacity(repeats);
+        let mut last = None;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let sol = solver
+                .solve_with(&inst, &mut ctx)
+                .expect("FR-OPT never errors");
+            times_ns.push(t0.elapsed().as_nanos());
+            last = Some(sol);
+        }
+        times_ns.sort_unstable();
+        let sol = last.expect("repeats >= 1");
+        return ArmResult {
+            name,
+            median_ns: times_ns[times_ns.len() / 2],
+            accuracy: sol.total_accuracy,
+            probes: sol.stats.probes,
+            incremental_probes: sol.stats.incremental_probes,
+        };
+    }
 
     for _ in 0..WARMUP {
         std::hint::black_box(solver.solve_typed_with(&inst, &mut ctx));
@@ -112,9 +152,10 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let arms = [
-        run_arm("serial", false, 1, repeats),
-        run_arm("incremental", true, 1, repeats),
-        run_arm("parallel_gate", true, 0, repeats),
+        run_arm("serial", false, 1, repeats, false),
+        run_arm("serial_checked", false, 1, repeats, true),
+        run_arm("incremental", true, 1, repeats, false),
+        run_arm("parallel_gate", true, 0, repeats, false),
     ];
 
     // All probe paths must land on the same optimum.
@@ -162,8 +203,22 @@ fn main() {
     std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
     println!("[fr-opt bench] wrote {json_path} ({cores} core(s), {repeats} repeats)");
 
+    let by_name = |name: &str| {
+        arms.iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("arm {name} missing"))
+    };
+    let oracle_overhead = by_name("serial_checked").median_ns as f64
+        / by_name("serial").median_ns.max(1) as f64
+        - 1.0;
+    println!(
+        "[fr-opt bench] check_invariants overhead on the serial arm: {:+.2}%",
+        100.0 * oracle_overhead
+    );
+
     if check {
-        let ratio = arms[1].median_ns as f64 / arms[0].median_ns.max(1) as f64;
+        let ratio =
+            by_name("incremental").median_ns as f64 / by_name("serial").median_ns.max(1) as f64;
         if ratio > CHECK_MAX_RATIO {
             eprintln!(
                 "[fr-opt bench] FAIL: incremental path is {:.2}x the serial baseline \
@@ -176,5 +231,14 @@ fn main() {
             "[fr-opt bench] check passed: incremental/serial ratio {:.3} <= {CHECK_MAX_RATIO}",
             ratio
         );
+        if oracle_overhead > CHECK_MAX_ORACLE_OVERHEAD {
+            eprintln!(
+                "[fr-opt bench] FAIL: check_invariants adds {:.2}% to the serial arm \
+                 (limit {:.0}%)",
+                100.0 * oracle_overhead,
+                100.0 * CHECK_MAX_ORACLE_OVERHEAD
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Deterministic fault injection for DSCT-EA: chaos plans and replay.
+//!
+//! The offline executor ([`dsct_exec::fault`]) and the online service
+//! ([`dsct_online::OnlineService::inject`]) both accept injected faults;
+//! this crate generates the faults *deterministically* and drives full
+//! disrupted replays:
+//!
+//! - [`ChaosPlan`] — a timed list of [`ChaosEvent`]s (machine failures,
+//!   persistent speed degradations, budget shocks, arrival bursts).
+//!   Every event is a pure function of `(chaos_seed, event_index)` and
+//!   the trace shape (horizon, machine count, budget), so two plans for
+//!   the same trace and seed are identical down to the bit — no global
+//!   RNG state, no dependence on generation order;
+//! - [`chaos_replay`] — merges a plan into an
+//!   [`dsct_workload::ArrivalTrace`] by time and replays the disrupted
+//!   stream through a fresh [`dsct_online::OnlineService`], returning
+//!   the ordinary [`dsct_online::OnlineReport`] plus a serializable
+//!   [`ChaosSummary`]. Replays are byte-identical for any solver
+//!   parallelism and any harness thread count (the determinism tests in
+//!   the facade crate compare serialized summaries across both).
+
+mod plan;
+mod replay;
+
+pub use plan::{ChaosConfig, ChaosEvent, ChaosEventKind, ChaosPlan, BURST_ID_BASE};
+pub use replay::{chaos_replay, ChaosReport, ChaosSummary};

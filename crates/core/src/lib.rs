@@ -43,6 +43,7 @@ pub mod fr_opt;
 pub mod guarantee;
 pub mod lp_model;
 pub mod mip_model;
+pub mod oracle;
 pub mod problem;
 pub mod profile;
 pub mod profile_search;

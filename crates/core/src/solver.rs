@@ -330,6 +330,57 @@ impl SolverContext {
     }
 }
 
+/// Algorithm-independent solver options shared by every [`Solver`]
+/// wrapper (the `common` field on each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Run every solution produced through the trait's `solve`/`solve_with`
+    /// paths through the solution oracle ([`crate::oracle`]) and panic
+    /// with a pinpointed [`crate::oracle::Violation`] report on failure.
+    /// Defaults to on under `debug_assertions` (so the whole test suite
+    /// is oracle-checked) and off in release builds; opt in explicitly
+    /// with [`SolverOptions::checked`] when release-mode verification is
+    /// wanted. The typed `solve_typed*` fast paths are never checked —
+    /// callers on those paths invoke [`crate::oracle::verify`] themselves.
+    pub check_invariants: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            check_invariants: cfg!(debug_assertions),
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Invariant checking on (any build profile).
+    pub fn checked() -> Self {
+        Self {
+            check_invariants: true,
+        }
+    }
+
+    /// Invariant checking off (any build profile).
+    pub fn unchecked() -> Self {
+        Self {
+            check_invariants: false,
+        }
+    }
+
+    fn enforce(
+        &self,
+        inst: &Instance,
+        sol: &Solution,
+        claims: &crate::oracle::Claims,
+        label: &str,
+    ) {
+        if self.check_invariants {
+            crate::oracle::enforce(inst, sol, claims, label);
+        }
+    }
+}
+
 /// A DSCT-EA algorithm behind a uniform interface. Implementors are plain
 /// option-holding values (`Send + Sync`), so one configured solver can be
 /// shared by reference across worker threads.
@@ -356,6 +407,8 @@ pub trait Solver: Send + Sync {
 pub struct FrOptSolver {
     /// Options forwarded to the fractional solver.
     pub opts: FrOptOptions,
+    /// Algorithm-independent options (invariant checking).
+    pub common: SolverOptions,
 }
 
 impl FrOptSolver {
@@ -366,7 +419,10 @@ impl FrOptSolver {
 
     /// Solver with explicit options.
     pub fn with_options(opts: FrOptOptions) -> Self {
-        Self { opts }
+        Self {
+            opts,
+            common: SolverOptions::default(),
+        }
     }
 
     /// The typed solve, for callers that need FR-specific fields
@@ -409,11 +465,25 @@ impl Solver for FrOptSolver {
     }
 
     fn solve(&self, inst: &Instance) -> Result<Solution, SolveError> {
-        Ok(Solution::from_fr(inst, self.solve_typed(inst)))
+        let sol = Solution::from_fr(inst, self.solve_typed(inst));
+        self.common.enforce(
+            inst,
+            &sol,
+            &crate::oracle::Claims::fr_optimal(),
+            self.name(),
+        );
+        Ok(sol)
     }
 
     fn solve_with(&self, inst: &Instance, ctx: &mut SolverContext) -> Result<Solution, SolveError> {
-        Ok(Solution::from_fr(inst, self.solve_typed_with(inst, ctx)))
+        let sol = Solution::from_fr(inst, self.solve_typed_with(inst, ctx));
+        self.common.enforce(
+            inst,
+            &sol,
+            &crate::oracle::Claims::fr_optimal(),
+            self.name(),
+        );
+        Ok(sol)
     }
 }
 
@@ -425,6 +495,8 @@ pub struct ApproxSolver {
     /// Options forwarded to the approximation (fractional-solver options
     /// plus the placement rule).
     pub opts: ApproxOptions,
+    /// Algorithm-independent options (invariant checking).
+    pub common: SolverOptions,
 }
 
 impl ApproxSolver {
@@ -435,7 +507,10 @@ impl ApproxSolver {
 
     /// Solver with explicit options.
     pub fn with_options(opts: ApproxOptions) -> Self {
-        Self { opts }
+        Self {
+            opts,
+            common: SolverOptions::default(),
+        }
     }
 
     /// The typed solve, for callers that need the embedded
@@ -474,14 +549,17 @@ impl Solver for ApproxSolver {
     }
 
     fn solve(&self, inst: &Instance) -> Result<Solution, SolveError> {
-        Ok(Solution::from_approx(inst, self.solve_typed(inst)))
+        let sol = Solution::from_approx(inst, self.solve_typed(inst));
+        self.common
+            .enforce(inst, &sol, &crate::oracle::Claims::approx(), self.name());
+        Ok(sol)
     }
 
     fn solve_with(&self, inst: &Instance, ctx: &mut SolverContext) -> Result<Solution, SolveError> {
-        Ok(Solution::from_approx(
-            inst,
-            self.solve_typed_with(inst, ctx),
-        ))
+        let sol = Solution::from_approx(inst, self.solve_typed_with(inst, ctx));
+        self.common
+            .enforce(inst, &sol, &crate::oracle::Claims::approx(), self.name());
+        Ok(sol)
     }
 }
 
@@ -495,6 +573,8 @@ pub struct EdfSolver {
     /// Full-work-or-drop mode (`EDF-NoCompression`).
     full_only: bool,
     name: String,
+    /// Algorithm-independent options (invariant checking).
+    pub common: SolverOptions,
 }
 
 impl EdfSolver {
@@ -504,6 +584,7 @@ impl EdfSolver {
             levels: Vec::new(),
             full_only: true,
             name: "EDF-NoCompression".to_string(),
+            common: SolverOptions::default(),
         }
     }
 
@@ -521,6 +602,7 @@ impl EdfSolver {
             name: format!("EDF-{}Levels", sorted.len()),
             levels: sorted,
             full_only: false,
+            common: SolverOptions::default(),
         }
     }
 
@@ -537,7 +619,14 @@ impl Solver for EdfSolver {
     }
 
     fn solve(&self, inst: &Instance) -> Result<Solution, SolveError> {
-        Ok(Solution::from_baseline(inst, self.solve_typed(inst)))
+        let sol = Solution::from_baseline(inst, self.solve_typed(inst));
+        self.common.enforce(
+            inst,
+            &sol,
+            &crate::oracle::Claims::feasible(crate::schedule::ScheduleKind::Integral),
+            self.name(),
+        );
+        Ok(sol)
     }
 }
 
@@ -548,6 +637,8 @@ impl Solver for EdfSolver {
 pub struct LpSolver {
     /// Simplex options (iteration cap, time limit, tolerances).
     pub opts: SolveOptions,
+    /// Algorithm-independent options (invariant checking).
+    pub common: SolverOptions,
 }
 
 impl LpSolver {
@@ -558,7 +649,10 @@ impl LpSolver {
 
     /// Solver with explicit options.
     pub fn with_options(opts: SolveOptions) -> Self {
-        Self { opts }
+        Self {
+            opts,
+            common: SolverOptions::default(),
+        }
     }
 
     /// The typed solve, exposing the raw [`FrLpSolution`] (any status).
@@ -577,7 +671,14 @@ impl Solver for LpSolver {
         if lp.status != Status::Optimal {
             return Err(SolveError::LpNotOptimal(lp.status));
         }
-        Ok(Solution::from_lp(inst, lp))
+        let sol = Solution::from_lp(inst, lp);
+        self.common.enforce(
+            inst,
+            &sol,
+            &crate::oracle::Claims::feasible(crate::schedule::ScheduleKind::Fractional),
+            self.name(),
+        );
+        Ok(sol)
     }
 }
 
@@ -589,6 +690,8 @@ impl Solver for LpSolver {
 pub struct MipSolver {
     /// Branch-and-bound options (time limit, node cap, gaps).
     pub opts: MipOptions,
+    /// Algorithm-independent options (invariant checking).
+    pub common: SolverOptions,
 }
 
 impl MipSolver {
@@ -599,7 +702,10 @@ impl MipSolver {
 
     /// Solver with explicit options.
     pub fn with_options(opts: MipOptions) -> Self {
-        Self { opts }
+        Self {
+            opts,
+            common: SolverOptions::default(),
+        }
     }
 
     /// The typed solve, exposing the raw [`MipScheduleSolution`].
@@ -615,7 +721,14 @@ impl Solver for MipSolver {
 
     fn solve(&self, inst: &Instance) -> Result<Solution, SolveError> {
         let mip = self.solve_typed(inst)?;
-        Solution::from_mip(inst, mip)
+        let sol = Solution::from_mip(inst, mip)?;
+        self.common.enforce(
+            inst,
+            &sol,
+            &crate::oracle::Claims::feasible(crate::schedule::ScheduleKind::Integral),
+            self.name(),
+        );
+        Ok(sol)
     }
 }
 

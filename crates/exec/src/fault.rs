@@ -1,0 +1,649 @@
+//! Deterministic machine-fault injection for the executor.
+//!
+//! A fault timeline is a plain list of [`FaultEvent`]s — no RNG, no
+//! clock: replaying the same `(schedule, config, faults)` triple yields
+//! a byte-identical [`ExecutionTrace`], which is what the chaos harness
+//! (`dsct-chaos`) asserts across thread counts.
+//!
+//! Two machine-level faults exist at this layer:
+//!
+//! - [`FaultKind::MachineFailure`] — the machine dies at `at` and stays
+//!   dead. An in-flight task is cut short ([`EventKind::Failed`]); under
+//!   [`OverrunPolicy::Compress`] its partial work is kept (slimmable
+//!   semantics), under [`OverrunPolicy::Drop`] the work is discarded. In
+//!   both cases the joules actually burned until the failure are paid.
+//!   Tasks still queued on the machine are dropped at the failure time.
+//! - [`FaultKind::SpeedDegradation`] — from `at` on, the machine's
+//!   delivered speed is multiplied by `factor` (persistently; multiple
+//!   degradations compose multiplicatively). Power draw does **not**
+//!   drop: a degraded machine wastes energy, which is exactly the stress
+//!   the energy-ledger recovery path needs.
+//!
+//! Budget- and arrival-level disruptions live one layer up, in
+//! `dsct-online` (`Disruption`), because the offline executor has no
+//! budget or arrival notion.
+
+use crate::engine::{try_execute, ExecError, ExecutionConfig, OverrunPolicy};
+use crate::trace::{EventKind, ExecutionTrace, TaskOutcome, TraceEvent};
+use dsct_core::problem::Instance;
+use dsct_core::schedule::FractionalSchedule;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The machine halts at the event time and never recovers.
+    MachineFailure {
+        /// Machine index.
+        machine: usize,
+    },
+    /// The machine's delivered speed is multiplied by `factor ∈ (0, 1]`
+    /// from the event time on (power draw is unchanged).
+    SpeedDegradation {
+        /// Machine index.
+        machine: usize,
+        /// Multiplicative speed factor in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+/// One timestamped fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute simulation time (s) the fault strikes.
+    pub at: f64,
+    /// What breaks.
+    pub fault: FaultKind,
+}
+
+/// Per-machine fault timeline, compiled from the flat event list.
+struct MachineFaults {
+    /// Earliest failure time (`f64::INFINITY` = never fails).
+    fail_at: f64,
+    /// Degradations as `(at, factor)`, sorted by time.
+    degrades: Vec<(f64, f64)>,
+}
+
+fn compile(faults: &[FaultEvent], m: usize) -> Result<Vec<MachineFaults>, ExecError> {
+    let mut per: Vec<MachineFaults> = (0..m)
+        .map(|_| MachineFaults {
+            fail_at: f64::INFINITY,
+            degrades: Vec::new(),
+        })
+        .collect();
+    for ev in faults {
+        if !(ev.at.is_finite() && ev.at >= 0.0) {
+            return Err(ExecError::InvalidConfig {
+                field: "fault.at",
+                value: ev.at,
+                requirement: "finite and >= 0",
+            });
+        }
+        let machine = match ev.fault {
+            FaultKind::MachineFailure { machine } => machine,
+            FaultKind::SpeedDegradation { machine, .. } => machine,
+        };
+        if machine >= m {
+            return Err(ExecError::InvalidConfig {
+                field: "fault.machine",
+                value: machine as f64,
+                requirement: "a valid machine index",
+            });
+        }
+        match ev.fault {
+            FaultKind::MachineFailure { .. } => {
+                per[machine].fail_at = per[machine].fail_at.min(ev.at);
+            }
+            FaultKind::SpeedDegradation { factor, .. } => {
+                if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
+                    return Err(ExecError::InvalidConfig {
+                        field: "fault.factor",
+                        value: factor,
+                        requirement: "in (0, 1]",
+                    });
+                }
+                per[machine].degrades.push((ev.at, factor));
+            }
+        }
+    }
+    for mf in &mut per {
+        mf.degrades
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+    }
+    Ok(per)
+}
+
+/// Machine-ready event (same ordering contract as the base engine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ready {
+    time: f64,
+    machine: usize,
+}
+impl Eq for Ready {}
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.machine.cmp(&self.machine))
+    }
+}
+
+/// [`try_execute`] under an injected fault timeline. With an empty fault
+/// list this **delegates** to the base engine, so the no-fault path stays
+/// byte-identical to PR 3's executor. Faults never introduce randomness:
+/// jitter still comes only from `cfg.seed`, drawn once per dispatch in
+/// dispatch order exactly as the base engine draws it.
+pub fn try_execute_with_faults(
+    inst: &Instance,
+    schedule: &FractionalSchedule,
+    cfg: &ExecutionConfig,
+    faults: &[FaultEvent],
+) -> Result<ExecutionTrace, ExecError> {
+    if faults.is_empty() {
+        return try_execute(inst, schedule, cfg);
+    }
+    cfg.validate()?;
+    let n = inst.num_tasks();
+    let m = inst.num_machines();
+    assert_eq!(schedule.num_tasks(), n, "task count mismatch");
+    assert_eq!(schedule.num_machines(), m, "machine count mismatch");
+    let mfaults = compile(faults, m)?;
+
+    // Per-machine EDF queues of (task, planned_time) — same construction
+    // as the base engine.
+    let mut queues: Vec<std::collections::VecDeque<(usize, f64)>> =
+        vec![std::collections::VecDeque::new(); m];
+    for j in 0..n {
+        let mut on: Option<usize> = None;
+        for r in 0..m {
+            if schedule.t(j, r) > 1e-12 {
+                assert!(
+                    on.is_none(),
+                    "task {j} is split across machines {} and {r}; execution needs an integral schedule",
+                    on.unwrap_or_default()
+                );
+                on = Some(r);
+            }
+        }
+        if let Some(r) = on {
+            queues[r].push_back((j, schedule.t(j, r)));
+        }
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut events = Vec::new();
+    let mut outcomes = vec![
+        TaskOutcome {
+            machine: None,
+            start: 0.0,
+            completion: 0.0,
+            work: 0.0,
+            accuracy: 0.0,
+            energy: 0.0,
+            met_deadline: true,
+            speed_factor: 1.0,
+        };
+        n
+    ];
+
+    let mut heap: BinaryHeap<Ready> = (0..m)
+        .filter(|&r| !queues[r].is_empty())
+        .map(|machine| Ready { time: 0.0, machine })
+        .collect();
+
+    let mut makespan = 0.0f64;
+    while let Some(Ready { time, machine }) = heap.pop() {
+        let mf = &mfaults[machine];
+        if time >= mf.fail_at {
+            // The machine died while (or before) this dispatch would
+            // start: everything still queued on it is lost at the
+            // failure instant. No RNG is consumed for undispatched work.
+            while let Some((task, _)) = queues[machine].pop_front() {
+                events.push(TraceEvent {
+                    time: mf.fail_at,
+                    machine,
+                    task,
+                    kind: EventKind::Dropped,
+                });
+                outcomes[task].accuracy = inst.task(task).accuracy.a_min();
+                outcomes[task].machine = Some(machine);
+                outcomes[task].start = mf.fail_at;
+                outcomes[task].completion = mf.fail_at;
+            }
+            continue;
+        }
+        let Some((task, planned)) = queues[machine].pop_front() else {
+            continue;
+        };
+        events.push(TraceEvent {
+            time,
+            machine,
+            task,
+            kind: EventKind::Dispatch,
+        });
+        let spec = inst.machines()[machine];
+        let deadline = inst.task(task).deadline;
+        let factor = if cfg.speed_jitter > 0.0 {
+            1.0 + rng.gen_range(-cfg.speed_jitter..=cfg.speed_jitter)
+        } else {
+            1.0
+        };
+
+        // Walk the run segment by segment: each degradation boundary
+        // changes the delivered speed; the deadline and the machine's
+        // failure time cut the run short. Work done in a segment is
+        // (delivered speed) × (segment span); energy is power × span
+        // throughout (degradation does not reduce draw).
+        let planned_work = planned * spec.speed();
+        let mut remaining = planned_work;
+        let mut work_done = 0.0f64;
+        let mut t_cur = time;
+        let mut mult = 1.0f64;
+        let mut deg_idx = 0usize;
+        while deg_idx < mf.degrades.len() && mf.degrades[deg_idx].0 <= t_cur {
+            mult *= mf.degrades[deg_idx].1;
+            deg_idx += 1;
+        }
+
+        // Fast path, bitwise identical to the base engine: no fault
+        // touches this run (undegraded, and it finishes before both the
+        // failure time and the next degradation). Uses the base engine's
+        // exact arithmetic so a fault timeline that never interferes
+        // yields a byte-identical trace.
+        let untouched = mult == 1.0 && {
+            let full_runtime = planned / factor;
+            let time_to_deadline = (deadline - time).max(0.0);
+            let next_deg = mf
+                .degrades
+                .get(deg_idx)
+                .map(|&(at, _)| at)
+                .unwrap_or(f64::INFINITY);
+            full_runtime <= time_to_deadline + 1e-12
+                && time + full_runtime <= mf.fail_at
+                && time + full_runtime <= next_deg
+        };
+        let (completion, runtime, kind) = if untouched {
+            let full_runtime = planned / factor;
+            work_done = planned_work;
+            (time + full_runtime, full_runtime, EventKind::Finish)
+        } else {
+            let (completion, kind) = loop {
+                let eff = spec.speed() * factor * mult;
+                let t_finish = t_cur + remaining / eff;
+                let t_deg = mf
+                    .degrades
+                    .get(deg_idx)
+                    .map(|&(at, _)| at)
+                    .unwrap_or(f64::INFINITY);
+                let bound = deadline.min(mf.fail_at).min(t_deg);
+                if t_finish <= bound + 1e-12 {
+                    work_done += remaining;
+                    break (t_finish, EventKind::Finish);
+                }
+                let span = (bound - t_cur).max(0.0);
+                work_done += eff * span;
+                remaining -= eff * span;
+                t_cur = bound;
+                if deadline <= mf.fail_at && deadline <= t_deg {
+                    // Deadline first: the base overrun policy applies.
+                    match cfg.overrun {
+                        OverrunPolicy::Compress => break (deadline, EventKind::Compressed),
+                        OverrunPolicy::Drop => {
+                            work_done = 0.0;
+                            break (deadline, EventKind::Dropped);
+                        }
+                    }
+                } else if mf.fail_at <= t_deg {
+                    // Machine failure: partial work per policy, energy paid.
+                    if cfg.overrun == OverrunPolicy::Drop {
+                        work_done = 0.0;
+                    }
+                    break (mf.fail_at, EventKind::Failed);
+                } else {
+                    mult *= mf.degrades[deg_idx].1;
+                    deg_idx += 1;
+                }
+            };
+            (completion, completion - time, kind)
+        };
+
+        let energy = spec.power() * runtime;
+        let acc = inst.task(task).accuracy.eval(work_done.max(0.0));
+        outcomes[task] = TaskOutcome {
+            machine: Some(machine),
+            start: time,
+            completion,
+            work: work_done,
+            accuracy: acc,
+            energy,
+            met_deadline: completion <= deadline + 1e-9,
+            speed_factor: factor,
+        };
+        events.push(TraceEvent {
+            time: completion,
+            machine,
+            task,
+            kind,
+        });
+        makespan = makespan.max(completion);
+        if kind == EventKind::Failed {
+            // Drain the dead machine's queue at the failure instant.
+            while let Some((queued, _)) = queues[machine].pop_front() {
+                events.push(TraceEvent {
+                    time: mf.fail_at,
+                    machine,
+                    task: queued,
+                    kind: EventKind::Dropped,
+                });
+                outcomes[queued].accuracy = inst.task(queued).accuracy.a_min();
+                outcomes[queued].machine = Some(machine);
+                outcomes[queued].start = mf.fail_at;
+                outcomes[queued].completion = mf.fail_at;
+            }
+        } else if !queues[machine].is_empty() {
+            heap.push(Ready {
+                time: completion,
+                machine,
+            });
+        }
+    }
+
+    // Never-dispatched tasks realize their zero-work accuracy.
+    for (j, out) in outcomes.iter_mut().enumerate() {
+        if out.machine.is_none() {
+            out.accuracy = inst.task(j).accuracy.a_min();
+            events.push(TraceEvent {
+                time: 0.0,
+                machine: usize::MAX,
+                task: j,
+                kind: EventKind::Dropped,
+            });
+        }
+    }
+    events.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .unwrap_or(Ordering::Equal)
+            .then(a.task.cmp(&b.task))
+    });
+
+    let realized_accuracy = outcomes.iter().map(|t| t.accuracy).sum();
+    let realized_energy = outcomes.iter().map(|t| t.energy).sum();
+    let compressions = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Compressed)
+        .count();
+    let drops = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Dropped)
+        .count();
+
+    Ok(ExecutionTrace {
+        events,
+        tasks: outcomes,
+        realized_accuracy,
+        realized_energy,
+        compressions,
+        drops,
+        makespan,
+    })
+}
+
+/// Panicking convenience wrapper over [`try_execute_with_faults`].
+pub fn execute_with_faults(
+    inst: &Instance,
+    schedule: &FractionalSchedule,
+    cfg: &ExecutionConfig,
+    faults: &[FaultEvent],
+) -> ExecutionTrace {
+    try_execute_with_faults(inst, schedule, cfg, faults).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::try_execute;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_core::problem::Task;
+    use dsct_core::solver::ApproxSolver;
+    use dsct_machines::{Machine, MachinePark};
+
+    fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
+        PwlAccuracy::new(points).unwrap()
+    }
+
+    fn instance() -> Instance {
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(1000.0, 40.0).unwrap(),
+            Machine::from_efficiency(2500.0, 25.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(0.4, acc(&[(0.0, 0.0), (150.0, 0.5), (500.0, 0.8)])),
+            Task::new(0.9, acc(&[(0.0, 0.0), (300.0, 0.6), (700.0, 0.75)])),
+            Task::new(1.2, acc(&[(0.0, 0.0), (200.0, 0.4), (600.0, 0.7)])),
+        ];
+        Instance::new(tasks, park, 25.0).unwrap()
+    }
+
+    fn plan(inst: &Instance) -> FractionalSchedule {
+        ApproxSolver::new().solve_typed(inst).schedule
+    }
+
+    #[test]
+    fn empty_fault_list_is_byte_identical_to_the_base_engine() {
+        let inst = instance();
+        let sched = plan(&inst);
+        for seed in 0..5u64 {
+            let cfg = ExecutionConfig {
+                speed_jitter: 0.25,
+                seed,
+                ..Default::default()
+            };
+            let base = try_execute(&inst, &sched, &cfg).unwrap();
+            let faulted = try_execute_with_faults(&inst, &sched, &cfg, &[]).unwrap();
+            assert_eq!(
+                serde_json::to_string(&base).unwrap(),
+                serde_json::to_string(&faulted).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn late_faults_change_nothing() {
+        let inst = instance();
+        let sched = plan(&inst);
+        let cfg = ExecutionConfig::default();
+        let base = try_execute(&inst, &sched, &cfg).unwrap();
+        let faults = [FaultEvent {
+            at: inst.d_max() + 100.0,
+            fault: FaultKind::MachineFailure { machine: 0 },
+        }];
+        let faulted = try_execute_with_faults(&inst, &sched, &cfg, &faults).unwrap();
+        assert_eq!(
+            serde_json::to_string(&base).unwrap(),
+            serde_json::to_string(&faulted).unwrap()
+        );
+    }
+
+    #[test]
+    fn failure_at_zero_loses_the_machine_entirely() {
+        let inst = instance();
+        let sched = plan(&inst);
+        let base = try_execute(&inst, &sched, &ExecutionConfig::default()).unwrap();
+        // Fail the machine the plan actually uses.
+        let used = base
+            .tasks
+            .iter()
+            .find_map(|t| t.machine.filter(|_| t.work > 0.0))
+            .expect("plan runs something");
+        let faults = [FaultEvent {
+            at: 0.0,
+            fault: FaultKind::MachineFailure { machine: used },
+        }];
+        let trace =
+            try_execute_with_faults(&inst, &sched, &ExecutionConfig::default(), &faults).unwrap();
+        // Nothing ran on the dead machine: every task planned there was
+        // dropped at t = 0 and consumed no energy.
+        for out in &trace.tasks {
+            if out.machine == Some(used) {
+                assert_eq!(out.work, 0.0);
+                assert_eq!(out.energy, 0.0);
+            }
+        }
+        assert!(trace.realized_accuracy < base.realized_accuracy);
+        assert!(trace.realized_energy < base.realized_energy);
+    }
+
+    #[test]
+    fn mid_run_failure_keeps_partial_work_under_compress_and_charges_energy() {
+        let inst = instance();
+        let sched = plan(&inst);
+        let base = try_execute(&inst, &sched, &ExecutionConfig::default()).unwrap();
+        // Fail machine 0 halfway through its first task.
+        let first = base
+            .tasks
+            .iter()
+            .find(|t| t.machine == Some(0))
+            .expect("machine 0 runs something");
+        let mid = first.start + 0.5 * (first.completion - first.start);
+        let faults = [FaultEvent {
+            at: mid,
+            fault: FaultKind::MachineFailure { machine: 0 },
+        }];
+        let compress =
+            try_execute_with_faults(&inst, &sched, &ExecutionConfig::default(), &faults).unwrap();
+        assert_eq!(compress.failures(), 1);
+        let failed = compress
+            .tasks
+            .iter()
+            .find(|t| t.machine == Some(0) && t.work > 0.0)
+            .expect("partial work kept");
+        assert!(failed.work < first.work, "partial < planned");
+        assert!((failed.energy - first.energy * 0.5).abs() < 1e-9);
+        // Drop policy discards the work but still pays the joules.
+        let drop = try_execute_with_faults(
+            &inst,
+            &sched,
+            &ExecutionConfig {
+                overrun: OverrunPolicy::Drop,
+                ..Default::default()
+            },
+            &faults,
+        )
+        .unwrap();
+        let dropped = drop
+            .tasks
+            .iter()
+            .find(|t| t.machine == Some(0) && t.energy > 0.0)
+            .expect("energy still paid");
+        assert_eq!(dropped.work, 0.0);
+        assert!((dropped.energy - failed.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_slows_without_saving_energy() {
+        let inst = instance();
+        let sched = plan(&inst);
+        let base = try_execute(&inst, &sched, &ExecutionConfig::default()).unwrap();
+        let faults = [FaultEvent {
+            at: 0.0,
+            fault: FaultKind::SpeedDegradation {
+                machine: 0,
+                factor: 0.5,
+            },
+        }];
+        let degraded =
+            try_execute_with_faults(&inst, &sched, &ExecutionConfig::default(), &faults).unwrap();
+        assert!(degraded.realized_accuracy <= base.realized_accuracy + 1e-12);
+        // Runs take longer (deadline cuts may intervene), so the energy
+        // drawn can only grow or stay equal.
+        assert!(degraded.realized_energy >= base.realized_energy - 1e-9);
+        assert!(degraded.makespan >= base.makespan - 1e-12);
+    }
+
+    #[test]
+    fn faults_replay_deterministically() {
+        let inst = instance();
+        let sched = plan(&inst);
+        let cfg = ExecutionConfig {
+            speed_jitter: 0.3,
+            seed: 7,
+            ..Default::default()
+        };
+        let faults = [
+            FaultEvent {
+                at: 0.1,
+                fault: FaultKind::SpeedDegradation {
+                    machine: 1,
+                    factor: 0.7,
+                },
+            },
+            FaultEvent {
+                at: 0.35,
+                fault: FaultKind::MachineFailure { machine: 0 },
+            },
+        ];
+        let a = try_execute_with_faults(&inst, &sched, &cfg, &faults).unwrap();
+        let b = try_execute_with_faults(&inst, &sched, &cfg, &faults).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_faults_are_typed_errors() {
+        let inst = instance();
+        let sched = plan(&inst);
+        let cfg = ExecutionConfig::default();
+        let bad_machine = [FaultEvent {
+            at: 0.0,
+            fault: FaultKind::MachineFailure { machine: 99 },
+        }];
+        assert!(matches!(
+            try_execute_with_faults(&inst, &sched, &cfg, &bad_machine),
+            Err(ExecError::InvalidConfig {
+                field: "fault.machine",
+                ..
+            })
+        ));
+        let bad_factor = [FaultEvent {
+            at: 0.0,
+            fault: FaultKind::SpeedDegradation {
+                machine: 0,
+                factor: 0.0,
+            },
+        }];
+        assert!(matches!(
+            try_execute_with_faults(&inst, &sched, &cfg, &bad_factor),
+            Err(ExecError::InvalidConfig {
+                field: "fault.factor",
+                ..
+            })
+        ));
+        let bad_time = [FaultEvent {
+            at: f64::NAN,
+            fault: FaultKind::MachineFailure { machine: 0 },
+        }];
+        assert!(matches!(
+            try_execute_with_faults(&inst, &sched, &cfg, &bad_time),
+            Err(ExecError::InvalidConfig {
+                field: "fault.at",
+                ..
+            })
+        ));
+    }
+}

@@ -19,9 +19,16 @@
 //! energy exactly, which the tests enforce; under jitter it quantifies the
 //! robustness edge that task compressibility buys (see
 //! `examples/runtime_jitter.rs` and the `robustness` experiment).
+//!
+//! Deterministic fault injection (machine failures, speed degradations)
+//! lives in [`fault`]: the same `(schedule, config, faults)` triple
+//! always replays to a byte-identical trace, and an empty fault list
+//! delegates to the unmodified base engine.
 
 mod engine;
+pub mod fault;
 mod trace;
 
 pub use engine::{execute, try_execute, ExecError, ExecutionConfig, OverrunPolicy};
+pub use fault::{execute_with_faults, try_execute_with_faults, FaultEvent, FaultKind};
 pub use trace::{EventKind, ExecutionTrace, TaskOutcome, TraceEvent};

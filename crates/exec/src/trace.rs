@@ -13,6 +13,9 @@ pub enum EventKind {
     Compressed,
     /// A task was dropped (overrun policy, or no allocation).
     Dropped,
+    /// A task was cut short because its machine failed mid-run
+    /// (fault injection; see [`crate::fault`]).
+    Failed,
 }
 
 /// One timestamped event.
@@ -83,5 +86,13 @@ impl ExecutionTrace {
     /// Number of tasks that missed their deadline (ran past it).
     pub fn deadline_misses(&self) -> usize {
         self.tasks.iter().filter(|t| !t.met_deadline).count()
+    }
+
+    /// Number of tasks cut short by an injected machine failure.
+    pub fn failures(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Failed)
+            .count()
     }
 }

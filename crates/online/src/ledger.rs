@@ -17,6 +17,12 @@ use serde::{Deserialize, Serialize};
 pub struct EnergyLedger {
     budget: f64,
     spent: f64,
+    /// Neumaier compensation term for `spent`: settlements accumulate
+    /// with a compensated (Kahan–Neumaier) sum, so a long run of tiny
+    /// settlements after a large one does not lose their joules to
+    /// rounding — the budget comparisons in admission control stay
+    /// within ~1 ulp of the exact running total.
+    spent_comp: f64,
     committed: f64,
 }
 
@@ -30,6 +36,7 @@ impl EnergyLedger {
         Self {
             budget,
             spent: 0.0,
+            spent_comp: 0.0,
             committed: 0.0,
         }
     }
@@ -39,9 +46,10 @@ impl EnergyLedger {
         self.budget
     }
 
-    /// Actual joules of settled (finished) executions.
+    /// Actual joules of settled (finished) executions (the compensated
+    /// running total).
     pub fn spent(&self) -> f64 {
-        self.spent
+        self.spent + self.spent_comp
     }
 
     /// Planned joules of committed, not-yet-settled dispatches.
@@ -53,7 +61,7 @@ impl EnergyLedger {
     /// clamped at zero (actual energy can overshoot planned energy under
     /// jitter, overdrawing the ledger; re-plans then see zero).
     pub fn remaining(&self) -> f64 {
-        (self.budget - self.spent - self.committed).max(0.0)
+        (self.budget - self.spent() - self.committed).max(0.0)
     }
 
     /// Commits the planned energy of a dispatch.
@@ -63,11 +71,31 @@ impl EnergyLedger {
     }
 
     /// Settles a committed dispatch: releases its planned energy and
-    /// books the actual energy as spent.
+    /// books the actual energy as spent. The spent total accumulates
+    /// with a Neumaier-compensated sum (see the `spent_comp` field).
     pub fn settle(&mut self, planned: f64, actual: f64) {
         debug_assert!(actual.is_finite() && actual >= 0.0);
         self.committed = (self.committed - planned).max(0.0);
-        self.spent += actual;
+        let sum = self.spent + actual;
+        self.spent_comp += if self.spent.abs() >= actual.abs() {
+            (self.spent - sum) + actual
+        } else {
+            (actual - sum) + self.spent
+        };
+        self.spent = sum;
+    }
+
+    /// Applies a budget shock: raises (or, for negative `delta`, cuts)
+    /// the global budget by `delta` joules, clamping at zero. Already
+    /// spent or committed energy is never refunded — a cut below the
+    /// current `spent + committed` simply drives [`Self::remaining`] to
+    /// zero for every later plan.
+    pub fn apply_shock(&mut self, delta: f64) {
+        assert!(
+            delta.is_finite(),
+            "budget shock must be finite, got {delta}"
+        );
+        self.budget = (self.budget + delta).max(0.0);
     }
 }
 
@@ -102,5 +130,65 @@ mod tests {
     #[should_panic(expected = "budget")]
     fn rejects_negative_budget() {
         EnergyLedger::new(-1.0);
+    }
+
+    #[test]
+    fn budget_shocks_shift_and_clamp() {
+        let mut l = EnergyLedger::new(10.0);
+        l.apply_shock(5.0);
+        assert_eq!(l.budget(), 15.0);
+        assert_eq!(l.remaining(), 15.0);
+        l.commit(4.0);
+        l.apply_shock(-100.0);
+        assert_eq!(l.budget(), 0.0);
+        assert_eq!(l.remaining(), 0.0);
+        // Committed energy survives the shock and still settles.
+        l.settle(4.0, 4.0);
+        assert_eq!(l.spent(), 4.0);
+    }
+
+    #[test]
+    fn hundred_thousand_settlements_stay_within_1e9_of_exact() {
+        // Values of the form n/1024 are exactly representable, so the
+        // integer arithmetic below is the exact reference total. A naive
+        // running f64 sum drifts; the compensated sum must stay within
+        // 1e-9 absolute of exact after 1e5 settlements.
+        let mut l = EnergyLedger::new(1e12);
+        let mut exact_num: u64 = 0; // total in units of 1/1024 J
+        let mut state: u64 = 0x9E37_79B9;
+        for _ in 0..100_000 {
+            // Deterministic LCG in [1, 2^20]: spans six orders of
+            // magnitude so small settlements meet a large partial sum.
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let n = (state >> 40) + 1;
+            exact_num += n;
+            l.settle(0.0, n as f64 / 1024.0);
+        }
+        let exact = exact_num as f64 / 1024.0;
+        assert!(
+            (l.spent() - exact).abs() < 1e-9,
+            "compensated sum drifted: got {}, exact {}",
+            l.spent(),
+            exact
+        );
+    }
+
+    #[test]
+    fn compensation_recovers_tiny_settlements_after_a_large_one() {
+        // 1e-8 is below the ulp of 1e8, so a naive sum absorbs none of
+        // the 1e5 tiny settlements; the compensated total keeps them.
+        let mut l = EnergyLedger::new(1e12);
+        l.settle(0.0, 1e8);
+        for _ in 0..100_000 {
+            l.settle(0.0, 1e-8);
+        }
+        let exact = 1e8 + 1e-3;
+        assert!(
+            (l.spent() - exact).abs() < 1e-9,
+            "tiny settlements lost: got {:.12}, exact {exact:.12}",
+            l.spent()
+        );
     }
 }

@@ -27,6 +27,11 @@
 //!   dispatch the *planned* energy is committed; on completion the
 //!   *actual* energy (after speed jitter, same model as [`dsct_exec`])
 //!   settles, so runtime overruns shrink the budget later re-plans see;
+//! - [`Disruption`] — mid-run machine failures, persistent speed
+//!   degradations, and budget shocks injected via
+//!   [`OnlineService::inject`], with recovery by residual re-solve
+//!   excluding dead machines (the `dsct-chaos` crate drives these
+//!   deterministically);
 //! - [`replay`] — deterministic replay of a [`dsct_workload::ArrivalTrace`],
 //!   producing a [`dsct_exec::ExecutionTrace`]-based [`OnlineReport`].
 
@@ -37,5 +42,5 @@ mod service;
 pub use admission::{AdmissionPolicy, Decision};
 pub use ledger::EnergyLedger;
 pub use service::{
-    replay, OnlineConfig, OnlineReport, OnlineService, OnlineSummary, ReplanStrategy,
+    replay, Disruption, OnlineConfig, OnlineReport, OnlineService, OnlineSummary, ReplanStrategy,
 };

@@ -26,9 +26,27 @@
 //! compressed or dropped per [`OverrunPolicy`] — and the jitter factor
 //! of a task depends only on `(jitter_seed, id)`, never on how many
 //! re-plans happened, so replays are deterministic.
+//!
+//! # Disruptions
+//!
+//! [`OnlineService::inject`] applies a [`Disruption`] at a point on the
+//! service clock: a permanent machine failure, a persistent
+//! (multiplicative) speed degradation, or a budget shock. Recovery is a
+//! residual re-solve excluding dead machines on degraded speeds. A task
+//! in flight on a failing machine is cut at the failure instant: the
+//! ledger settles the joules actually burned (`P_r · elapsed`), the
+//! trace records a [`EventKind::Failed`] terminal event, and — under
+//! [`OverrunPolicy::Compress`] — the work already done is kept while the
+//! *remaining* work returns to the pending pool as a shifted residual
+//! accuracy curve `a_res(f) = a(f_done + f)`, so a later plan can finish
+//! the task elsewhere. Under [`OverrunPolicy::Drop`] the partial work is
+//! discarded (the joules are still paid). Disruptions are
+//! dispatch-granular: a degradation affects dispatches starting at or
+//! after its injection time, never a run already in progress.
 
 use crate::admission::{AdmissionPolicy, Decision};
 use crate::ledger::EnergyLedger;
+use dsct_accuracy::PwlAccuracy;
 use dsct_core::profile::EnergyProfile;
 use dsct_core::residual::{residual_instance, ResidualItem};
 use dsct_core::solver::{ApproxSolver, SolverContext};
@@ -36,13 +54,42 @@ use dsct_core::EPS_TIME;
 use dsct_exec::{
     EventKind, ExecError, ExecutionConfig, ExecutionTrace, OverrunPolicy, TaskOutcome, TraceEvent,
 };
-use dsct_machines::MachinePark;
+use dsct_machines::{Machine, MachinePark};
 use dsct_workload::{ArrivalTrace, OnlineTask};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
+
+/// A disruption injected into the service clock (see
+/// [`OnlineService::inject`]). Disruptions are the online counterpart of
+/// [`dsct_exec::fault`]'s offline fault events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Disruption {
+    /// Machine `machine` fails permanently: any task in flight on it is
+    /// cut at the failure instant and the machine never appears in a
+    /// later plan.
+    MachineFailure {
+        /// Index of the failing machine.
+        machine: usize,
+    },
+    /// Machine `machine` permanently slows to `factor` of its current
+    /// speed (`0 < factor <= 1`, multiplicatively composable). Power
+    /// draw is unchanged, so degradation wastes energy per unit work.
+    SpeedDegradation {
+        /// Index of the degrading machine.
+        machine: usize,
+        /// Multiplicative speed factor in `(0, 1]`.
+        factor: f64,
+    },
+    /// The global budget shifts by `delta` joules (negative = cut),
+    /// clamping at zero; see [`EnergyLedger::apply_shock`].
+    BudgetShock {
+        /// Signed budget change in joules.
+        delta: f64,
+    },
+}
 
 /// How per-arrival re-solves are started.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -132,10 +179,13 @@ pub struct OnlineSummary {
     pub committed_energy: f64,
     /// Realized (settled) energy (J).
     pub spent_energy: f64,
-    /// The global budget `B` (J).
+    /// The global budget `B` (J) at the end of the run (after any
+    /// [`Disruption::BudgetShock`]).
     pub budget: f64,
     /// Completion time of the last dispatched task.
     pub makespan: f64,
+    /// Dispatched tasks cut short by an injected machine failure.
+    pub failures: usize,
 }
 
 /// Everything a finished service run reports.
@@ -160,6 +210,10 @@ pub struct OnlineReport {
 struct Plan {
     time: f64,
     task_ids: Vec<u64>,
+    /// `machine_ids[r_sub]` is the original park index of the solved
+    /// sub-park's machine `r_sub` (identity while no machine has
+    /// failed).
+    machine_ids: Vec<usize>,
     approx: dsct_core::approx::ApproxSolution,
 }
 
@@ -171,10 +225,14 @@ struct Queued {
 }
 
 /// A committed dispatch awaiting ledger settlement at its completion.
+/// `seq` is the dispatch sequence number — failure recovery cancels a
+/// pending settlement by `seq`, never by task id, because a task cut by
+/// a failure can be re-dispatched and own a second live settlement.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Settle {
     time: f64,
     id: u64,
+    seq: u64,
     planned_energy: f64,
     actual_energy: f64,
 }
@@ -193,6 +251,59 @@ impl Ord for Settle {
             .total_cmp(&self.time)
             .then(other.id.cmp(&self.id))
     }
+}
+
+/// A committed dispatch currently occupying a machine — everything
+/// failure recovery needs to cut it at an arbitrary instant.
+#[derive(Debug, Clone)]
+struct InFlight {
+    /// Dispatch sequence number (keys the settlement cancellation).
+    seq: u64,
+    /// Original park index of the machine running the task.
+    machine: usize,
+    start: f64,
+    completion: f64,
+    /// Effective work rate delivered (GFLOP/s; zero for a dropped
+    /// overrun, which occupies the machine without doing work).
+    rate: f64,
+    power: f64,
+    planned_energy: f64,
+    /// The jitter factor reported in the outcome.
+    factor: f64,
+    /// Work and energy carried from earlier cut runs of the same task.
+    prior_work: f64,
+    prior_energy: f64,
+    /// Index of the terminal trace event this dispatch pushed, so a cut
+    /// can rewrite it to [`EventKind::Failed`] in place.
+    event_idx: usize,
+    /// The pooled task as dispatched (its accuracy curve is already
+    /// residual when earlier runs were cut).
+    task: OnlineTask,
+}
+
+/// Shifts a concave accuracy curve left by `done` GFLOP of completed
+/// work: `a_res(f) = a(done + f)`, the curve a failure remnant re-enters
+/// the pool with. Shifting preserves concavity and monotonicity; the
+/// `max(a0)` clamp absorbs interpolation round-off at the new origin.
+/// Returns `None` when nothing worth re-planning remains.
+fn shift_accuracy(acc: &PwlAccuracy, done: f64) -> Option<PwlAccuracy> {
+    if done <= 0.0 {
+        return Some(acc.clone());
+    }
+    let a0 = acc.eval(done);
+    if acc.a_max() - a0 <= 1e-12 {
+        return None;
+    }
+    let mut points = vec![(0.0, a0)];
+    for (&f, &a) in acc.breakpoints().iter().zip(acc.values()) {
+        if f > done + 1e-9 {
+            points.push((f - done, a.max(a0)));
+        }
+    }
+    if points.len() < 2 {
+        return None;
+    }
+    PwlAccuracy::new(&points).ok()
 }
 
 fn splitmix64(x: u64) -> u64 {
@@ -225,7 +336,13 @@ pub struct OnlineService {
     starved: usize,
     dispatched: usize,
     committed_energy: f64,
-    makespan: f64,
+    alive: Vec<bool>,
+    degrade: Vec<f64>,
+    inflight: BTreeMap<u64, InFlight>,
+    cancelled: HashSet<u64>,
+    carry: BTreeMap<u64, (f64, f64)>,
+    dispatch_seq: u64,
+    failures: usize,
 }
 
 impl OnlineService {
@@ -258,7 +375,13 @@ impl OnlineService {
             starved: 0,
             dispatched: 0,
             committed_energy: 0.0,
-            makespan: 0.0,
+            alive: vec![true; m],
+            degrade: vec![1.0; m],
+            inflight: BTreeMap::new(),
+            cancelled: HashSet::new(),
+            carry: BTreeMap::new(),
+            dispatch_seq: 0,
+            failures: 0,
             park,
         })
     }
@@ -321,37 +444,115 @@ impl OnlineService {
                     .as_ref()
                     .map(|p| p.approx.total_accuracy)
                     .unwrap_or(0.0);
-                let (approx, res) = self
-                    .solve_pool(Some(task))
-                    .expect("pool plus a live candidate is non-empty");
-                self.solves += 1;
-                let jc = res
-                    .task_ids
-                    .iter()
-                    .position(|&id| id == task.id)
-                    .expect("candidate is live, so it is in the residual");
-                let tentative_cand = approx.schedule.accuracy(jc, &res.instance);
-                let decision = policy.decide(
-                    baseline,
-                    approx.total_accuracy,
-                    tentative_cand,
-                    task.accuracy.a_min(),
-                );
-                if decision == Decision::Admitted {
-                    self.pool.push(task.clone());
-                    self.adopt(Plan {
-                        time: self.now,
-                        task_ids: res.task_ids,
-                        approx,
-                    });
-                } else {
-                    self.record_unserved(task, self.now);
+                match self.solve_pool(Some(task)) {
+                    // Every machine is dead: nothing can serve the
+                    // candidate, so the gated policies turn it away.
+                    None => {
+                        self.record_unserved(task, self.now);
+                        Decision::Rejected
+                    }
+                    Some((approx, res, machine_ids)) => {
+                        self.solves += 1;
+                        let jc = res
+                            .task_ids
+                            .iter()
+                            .position(|&id| id == task.id)
+                            .expect("candidate is live, so it is in the residual");
+                        let tentative_cand = approx.schedule.accuracy(jc, &res.instance);
+                        let decision = policy.decide(
+                            baseline,
+                            approx.total_accuracy,
+                            tentative_cand,
+                            task.accuracy.a_min(),
+                        );
+                        if decision == Decision::Admitted {
+                            self.pool.push(task.clone());
+                            self.adopt(Plan {
+                                time: self.now,
+                                task_ids: res.task_ids,
+                                machine_ids,
+                                approx,
+                            });
+                        } else {
+                            self.record_unserved(task, self.now);
+                        }
+                        decision
+                    }
                 }
-                decision
             }
         };
         self.decisions.push((task.id, decision));
         decision
+    }
+
+    /// Injects a disruption at service time `at`, advancing the clock to
+    /// it first (committing every dispatch the incumbent plan starts
+    /// before `at`, exactly as an arrival would). Returns
+    /// [`ExecError::InvalidConfig`] for a non-finite or past `at`, an
+    /// out-of-range machine index, or a degradation factor outside
+    /// `(0, 1]`; disruptions aimed at an already-dead machine are
+    /// silently ignored. See the module docs for recovery semantics.
+    pub fn inject(&mut self, at: f64, d: &Disruption) -> Result<(), ExecError> {
+        if !(at.is_finite() && at >= self.now - EPS_TIME) {
+            return Err(ExecError::InvalidConfig {
+                field: "disruption.at",
+                value: at,
+                requirement: "finite and non-decreasing on the service clock",
+            });
+        }
+        match *d {
+            Disruption::MachineFailure { machine }
+            | Disruption::SpeedDegradation { machine, .. }
+                if machine >= self.park.len() =>
+            {
+                return Err(ExecError::InvalidConfig {
+                    field: "disruption.machine",
+                    value: machine as f64,
+                    requirement: "a valid machine index",
+                });
+            }
+            Disruption::SpeedDegradation { factor, .. }
+                if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) =>
+            {
+                return Err(ExecError::InvalidConfig {
+                    field: "disruption.factor",
+                    value: factor,
+                    requirement: "in (0, 1]",
+                });
+            }
+            Disruption::BudgetShock { delta } if !delta.is_finite() => {
+                return Err(ExecError::InvalidConfig {
+                    field: "disruption.delta",
+                    value: delta,
+                    requirement: "finite",
+                });
+            }
+            _ => {}
+        }
+        if at > self.now {
+            self.advance_to(at);
+            self.now = at;
+        }
+        match *d {
+            Disruption::MachineFailure { machine } => {
+                if self.alive[machine] {
+                    self.alive[machine] = false;
+                    self.fail_machine(machine, self.now);
+                    self.plan_dirty = true;
+                }
+            }
+            Disruption::SpeedDegradation { machine, factor } => {
+                if self.alive[machine] && factor < 1.0 {
+                    self.degrade[machine] *= factor;
+                    self.plan_dirty = true;
+                }
+            }
+            Disruption::BudgetShock { delta } => {
+                self.ledger.apply_shock(delta);
+                self.plan_dirty = true;
+            }
+        }
+        Ok(())
     }
 
     /// Drains the service: commits every remaining planned dispatch,
@@ -359,11 +560,15 @@ impl OnlineService {
     /// report.
     pub fn finish(mut self) -> OnlineReport {
         self.advance_to(f64::INFINITY);
-        // Whatever is still pooled never got machine time.
+        // Whatever is still pooled never got machine time. A task whose
+        // earlier run was cut by a machine failure already carries a
+        // recorded partial outcome — leave it in place.
         let leftovers: Vec<OnlineTask> = std::mem::take(&mut self.pool);
         for task in &leftovers {
             self.starved += 1;
-            self.record_unserved(task, self.now);
+            if !self.carry.contains_key(&task.id) {
+                self.record_unserved(task, self.now);
+            }
         }
 
         let mut events = std::mem::take(&mut self.events);
@@ -376,6 +581,13 @@ impl OnlineService {
         let tasks: Vec<TaskOutcome> = self.outcomes.values().cloned().collect();
         let realized_accuracy: f64 = tasks.iter().map(|t| t.accuracy).sum();
         let realized_energy: f64 = tasks.iter().map(|t| t.energy).sum();
+        // Recomputed rather than tracked incrementally: a failure cut
+        // can retract the completion a commit had already maxed in.
+        let makespan = tasks
+            .iter()
+            .filter(|t| t.machine.is_some())
+            .map(|t| t.completion)
+            .fold(0.0, f64::max);
         let compressions = events
             .iter()
             .filter(|e| e.kind == EventKind::Compressed)
@@ -402,7 +614,8 @@ impl OnlineService {
             committed_energy: self.committed_energy,
             spent_energy: realized_energy,
             budget: self.ledger.budget(),
-            makespan: self.makespan,
+            makespan,
+            failures: self.failures,
         };
         OnlineReport {
             trace: ExecutionTrace {
@@ -412,7 +625,7 @@ impl OnlineService {
                 realized_energy,
                 compressions,
                 drops,
-                makespan: self.makespan,
+                makespan,
             },
             decisions: self.decisions,
             summary,
@@ -452,9 +665,86 @@ impl OnlineService {
             if s.time <= t {
                 let s = *s;
                 self.settle.pop();
+                if self.cancelled.remove(&s.seq) {
+                    // Cut by a machine failure: the ledger already
+                    // settled the joules actually burned.
+                    continue;
+                }
+                self.inflight.remove(&s.id);
                 self.ledger.settle(s.planned_energy, s.actual_energy);
             } else {
                 break;
+            }
+        }
+    }
+
+    /// Cuts every task in flight on machine `r` at the failure instant
+    /// `at`. [`Self::advance_to`] has already settled completions `<=
+    /// at`, so everything still tracked on `r` is genuinely mid-run.
+    fn fail_machine(&mut self, r: usize, at: f64) {
+        let cut: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, fl)| fl.machine == r)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in cut {
+            self.cut_inflight(id, at);
+        }
+    }
+
+    /// Cuts one in-flight dispatch at `at`: settles the joules actually
+    /// burned, rewrites its terminal trace event to
+    /// [`EventKind::Failed`], fixes a partial outcome per the overrun
+    /// policy, and — under [`OverrunPolicy::Compress`] — returns the
+    /// remaining work to the pool as a shifted residual accuracy curve.
+    fn cut_inflight(&mut self, id: u64, at: f64) {
+        let fl = self
+            .inflight
+            .remove(&id)
+            .expect("cut targets are in flight");
+        debug_assert!(
+            fl.completion > at - 1e-9,
+            "completed dispatches settle before a cut"
+        );
+        self.cancelled.insert(fl.seq);
+        let elapsed = (at - fl.start).max(0.0);
+        let burned = fl.power * elapsed;
+        let done = fl.rate * elapsed;
+        self.ledger.settle(fl.planned_energy, burned);
+        let ev = &mut self.events[fl.event_idx];
+        ev.time = at;
+        ev.kind = EventKind::Failed;
+        let kept = match self.cfg.overrun {
+            OverrunPolicy::Compress => done,
+            OverrunPolicy::Drop => 0.0,
+        };
+        let total_work = fl.prior_work + kept;
+        let total_energy = fl.prior_energy + burned;
+        self.outcomes.insert(
+            id,
+            TaskOutcome {
+                machine: Some(fl.machine),
+                start: fl.start,
+                completion: at,
+                work: total_work,
+                accuracy: fl.task.accuracy.eval(kept.max(0.0)),
+                energy: total_energy,
+                met_deadline: at <= fl.task.deadline + 1e-9,
+                speed_factor: fl.factor,
+            },
+        );
+        self.failures += 1;
+        if self.cfg.overrun == OverrunPolicy::Compress && fl.task.deadline - at > EPS_TIME {
+            if let Some(residual) = shift_accuracy(&fl.task.accuracy, kept) {
+                self.pool.push(OnlineTask {
+                    id,
+                    arrival: at,
+                    deadline: fl.task.deadline,
+                    accuracy: residual,
+                });
+                self.carry.insert(id, (total_work, total_energy));
+                self.plan_dirty = true;
             }
         }
     }
@@ -470,8 +760,12 @@ impl OnlineService {
             .expect("queued tasks are pooled");
         let task = self.pool.remove(idx);
         let mach = self.park.get(r);
+        let degrade = self.degrade[r];
         let factor = self.jitter_factor(q.id);
-        let planned_work = q.duration * mach.speed();
+        // The plan was solved on the degraded speed, so `duration` is
+        // already time on the slow machine: planned work scales by the
+        // degradation, the nominal runtime does not.
+        let planned_work = q.duration * mach.speed() * degrade;
         let full_runtime = q.duration / factor;
         let time_to_deadline = (task.deadline - start).max(0.0);
         let (runtime, work, kind) = if full_runtime <= time_to_deadline + 1e-12 {
@@ -480,7 +774,7 @@ impl OnlineService {
             match self.cfg.overrun {
                 OverrunPolicy::Compress => (
                     time_to_deadline,
-                    mach.speed() * factor * time_to_deadline,
+                    mach.speed() * degrade * factor * time_to_deadline,
                     EventKind::Compressed,
                 ),
                 OverrunPolicy::Drop => (time_to_deadline, 0.0, EventKind::Dropped),
@@ -489,12 +783,16 @@ impl OnlineService {
         let completion = start + runtime;
         let planned_energy = q.duration * mach.power();
         let actual_energy = mach.power() * runtime;
+        let (prior_work, prior_energy) = self.carry.remove(&q.id).unwrap_or((0.0, 0.0));
+        let seq = self.dispatch_seq;
+        self.dispatch_seq += 1;
         self.free_at[r] = completion;
         self.ledger.commit(planned_energy);
         self.committed_energy += planned_energy;
         self.settle.push(Settle {
             time: completion,
             id: q.id,
+            seq,
             planned_energy,
             actual_energy,
         });
@@ -504,27 +802,52 @@ impl OnlineService {
             task: q.id as usize,
             kind: EventKind::Dispatch,
         });
+        let event_idx = self.events.len();
         self.events.push(TraceEvent {
             time: completion,
             machine: r,
             task: q.id as usize,
             kind,
         });
+        self.inflight.insert(
+            q.id,
+            InFlight {
+                seq,
+                machine: r,
+                start,
+                completion,
+                rate: if kind == EventKind::Dropped {
+                    0.0
+                } else {
+                    mach.speed() * degrade * factor
+                },
+                power: mach.power(),
+                planned_energy,
+                factor,
+                prior_work,
+                prior_energy,
+                event_idx,
+                task: task.clone(),
+            },
+        );
         self.outcomes.insert(
             q.id,
             TaskOutcome {
                 machine: Some(r),
                 start,
                 completion,
-                work,
+                // `task.accuracy` is the residual curve when an earlier
+                // run of this task was cut by a failure, so evaluating
+                // the *new* work yields the cumulative accuracy while
+                // work and energy report cumulative totals.
+                work: prior_work + work,
                 accuracy: task.accuracy.eval(work.max(0.0)),
-                energy: actual_energy,
+                energy: prior_energy + actual_energy,
                 met_deadline: completion <= task.deadline + 1e-9,
                 speed_factor: factor,
             },
         );
         self.dispatched += 1;
-        self.makespan = self.makespan.max(completion);
     }
 
     /// Per-task jitter factor: a pure function of `(jitter_seed, id)`,
@@ -554,7 +877,11 @@ impl OnlineService {
         self.pool.retain(|p| p.deadline - now > EPS_TIME);
         for task in &expired {
             self.expired += 1;
-            self.record_unserved(task, now);
+            // A re-pooled failure remnant already has its partial
+            // outcome recorded at the cut — leave it in place.
+            if !self.carry.contains_key(&task.id) {
+                self.record_unserved(task, now);
+            }
         }
         self.plan_dirty = true;
     }
@@ -611,28 +938,70 @@ impl OnlineService {
             self.clear_queues();
             return;
         }
-        let (approx, res) = self
-            .solve_pool(None)
-            .expect("non-empty purged pool yields a residual");
-        self.solves += 1;
-        self.adopt(Plan {
-            time: self.now,
-            task_ids: res.task_ids,
-            approx,
-        });
+        // `None` here means every machine is dead: pooled tasks can only
+        // starve, and there is nothing to plan.
+        match self.solve_pool(None) {
+            Some((approx, res, machine_ids)) => {
+                self.solves += 1;
+                self.adopt(Plan {
+                    time: self.now,
+                    task_ids: res.task_ids,
+                    machine_ids,
+                    approx,
+                });
+            }
+            None => {
+                self.plan = None;
+                self.clear_queues();
+            }
+        }
+    }
+
+    /// The machine park re-plans run against: alive machines at their
+    /// degraded speeds (power unchanged), plus the sub-index → original
+    /// park index mapping. `None` when every machine is dead. While no
+    /// disruption has touched the park this is a verbatim clone, so
+    /// disruption-free runs replay the pre-fault code path bit for bit.
+    fn alive_park(&self) -> Option<(MachinePark, Vec<usize>)> {
+        let pristine = self.alive.iter().all(|&a| a) && self.degrade.iter().all(|&g| g == 1.0);
+        if pristine {
+            return Some((self.park.clone(), (0..self.park.len()).collect()));
+        }
+        let mut machines = Vec::new();
+        let mut machine_ids = Vec::new();
+        for (r, mach) in self.park.machines().iter().enumerate() {
+            if !self.alive[r] {
+                continue;
+            }
+            let g = self.degrade[r];
+            let sub = if g == 1.0 {
+                *mach
+            } else {
+                Machine::new(mach.speed() * g, mach.power())
+                    .expect("a degraded speed stays positive and finite")
+            };
+            machines.push(sub);
+            machine_ids.push(r);
+        }
+        if machines.is_empty() {
+            return None;
+        }
+        Some((MachinePark::new(machines), machine_ids))
     }
 
     /// Solves the residual instance of the pool (plus an optional
     /// candidate) at the current time, warm-starting when configured and
     /// an incumbent exists. Returns `None` when there is nothing to
-    /// schedule.
+    /// schedule — no live item, or no live machine.
     fn solve_pool(
         &mut self,
         extra: Option<&OnlineTask>,
     ) -> Option<(
         dsct_core::approx::ApproxSolution,
         dsct_core::residual::ResidualInstance,
+        Vec<usize>,
     )> {
+        let (park, machine_ids) = self.alive_park()?;
         let mut items: Vec<ResidualItem> = self
             .pool
             .iter()
@@ -649,10 +1018,10 @@ impl OnlineService {
                 accuracy: task.accuracy.clone(),
             });
         }
-        let res = residual_instance(&items, self.now, &self.park, self.ledger.remaining())
+        let res = residual_instance(&items, self.now, &park, self.ledger.remaining())
             .expect("pool deadlines are validated and the budget is clamped")?;
         debug_assert!(res.expired.is_empty(), "pool purged before solving");
-        let warm = self.warm_hint();
+        let warm = self.warm_hint(&machine_ids);
         let approx = match warm {
             Some(profile) => {
                 self.solver
@@ -660,28 +1029,31 @@ impl OnlineService {
             }
             None => self.solver.solve_typed_with(&res.instance, &mut self.ctx),
         };
-        Some((approx, res))
+        Some((approx, res, machine_ids))
     }
 
     /// The warm-start hint: the incumbent's fractional profile summed
     /// over still-pending tasks (dispatched work excluded, so the hint
-    /// shrinks as the plan is consumed).
-    fn warm_hint(&self) -> Option<EnergyProfile> {
+    /// shrinks as the plan is consumed), re-indexed from the incumbent's
+    /// machine set onto `machine_ids` (the new solve's sub-park). A
+    /// machine that failed since the incumbent was solved simply loses
+    /// its share of the hint.
+    fn warm_hint(&self, machine_ids: &[usize]) -> Option<EnergyProfile> {
         if self.cfg.replan == ReplanStrategy::Cold {
             return None;
         }
         let plan = self.plan.as_ref()?;
         let fr = &plan.approx.fractional.schedule;
         let pooled: HashSet<u64> = self.pool.iter().map(|p| p.id).collect();
-        let m = self.park.len();
-        let mut caps = vec![0.0f64; m];
+        let mut by_original = vec![0.0f64; self.park.len()];
         for (j, id) in plan.task_ids.iter().enumerate() {
             if pooled.contains(id) {
-                for (r, cap) in caps.iter_mut().enumerate() {
-                    *cap += fr.t(j, r);
+                for (r_sub, &r) in plan.machine_ids.iter().enumerate() {
+                    by_original[r] += fr.t(j, r_sub);
                 }
             }
         }
+        let caps: Vec<f64> = machine_ids.iter().map(|&r| by_original[r]).collect();
         Some(EnergyProfile::new(caps))
     }
 
@@ -693,12 +1065,11 @@ impl OnlineService {
     /// materialized plan consumes at most the solved plan's energy.
     fn adopt(&mut self, plan: Plan) {
         self.clear_queues();
-        let m = self.park.len();
         let schedule = &plan.approx.schedule;
-        for r in 0..m {
+        for (r_sub, &r) in plan.machine_ids.iter().enumerate() {
             let mut completion = self.free_at[r].max(plan.time);
             for (j, &id) in plan.task_ids.iter().enumerate() {
-                let t = schedule.t(j, r);
+                let t = schedule.t(j, r_sub);
                 if t <= 0.0 {
                     continue;
                 }
@@ -848,6 +1219,211 @@ mod tests {
             OnlineService::new(park(), 10.0, cfg),
             Err(ExecError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn failure_cuts_the_inflight_task_and_settles_burned_joules() {
+        // One machine, so no survivor can pick up the remnant: the cut
+        // outcome is final.
+        let park = MachinePark::new(vec![Machine::new(2000.0, 80.0).unwrap()]);
+        let mut svc = OnlineService::new(park, 500.0, OnlineConfig::default()).unwrap();
+        svc.submit(&task(0, 0.0, 1.0));
+        // Commit the dispatch without settling it (its completion lies
+        // past 1e-6), then fail the machine it landed on mid-run.
+        svc.advance_to(1e-6);
+        let (machine, start, completion) = {
+            let fl = svc.inflight.values().next().expect("one task in flight");
+            (fl.machine, fl.start, fl.completion)
+        };
+        let mid = start + 0.5 * (completion - start);
+        svc.inject(mid, &Disruption::MachineFailure { machine })
+            .unwrap();
+        let report = svc.finish();
+        assert_eq!(report.summary.failures, 1);
+        assert_eq!(report.trace.failures(), 1);
+        let outcome = report.trace.tasks[0];
+        assert_eq!(outcome.machine, Some(machine));
+        assert!((outcome.completion - mid).abs() < 1e-9);
+        assert!(outcome.work > 0.0, "compress keeps the partial work");
+        // The ledger charged exactly the joules burned up to the cut.
+        assert!((outcome.energy - 80.0 * (mid - start)).abs() < 1e-9);
+        assert!((report.ledger.spent() - outcome.energy).abs() < 1e-9);
+        assert_eq!(report.ledger.committed(), 0.0);
+    }
+
+    #[test]
+    fn failure_remnant_finishes_on_the_surviving_machine() {
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        svc.submit(&task(0, 0.0, 1.0));
+        svc.advance_to(1e-6);
+        let (machine, start, completion) = {
+            let fl = svc.inflight.values().next().expect("one task in flight");
+            (fl.machine, fl.start, fl.completion)
+        };
+        let mid = start + 0.5 * (completion - start);
+        svc.inject(mid, &Disruption::MachineFailure { machine })
+            .unwrap();
+        let report = svc.finish();
+        assert_eq!(report.summary.failures, 1);
+        let outcome = report.trace.tasks[0];
+        // The remnant re-planned onto the survivor and kept its carry:
+        // cumulative work exceeds the partial run, accuracy reflects it.
+        assert_ne!(outcome.machine, Some(machine));
+        assert!(outcome.work > 0.0);
+        assert!(outcome.accuracy > 0.1);
+        assert!(report.ledger.spent() <= 500.0 + 1e-9);
+        assert_eq!(report.ledger.committed(), 0.0);
+    }
+
+    #[test]
+    fn failure_under_drop_policy_pays_joules_but_keeps_no_work() {
+        let cfg = OnlineConfig {
+            overrun: OverrunPolicy::Drop,
+            ..OnlineConfig::default()
+        };
+        let mut svc = OnlineService::new(park(), 500.0, cfg).unwrap();
+        svc.submit(&task(0, 0.0, 1.0));
+        svc.advance_to(1e-6);
+        let (machine, start, completion) = {
+            let fl = svc.inflight.values().next().expect("one task in flight");
+            (fl.machine, fl.start, fl.completion)
+        };
+        let mid = start + 0.5 * (completion - start);
+        svc.inject(mid, &Disruption::MachineFailure { machine })
+            .unwrap();
+        let report = svc.finish();
+        let outcome = report.trace.tasks[0];
+        assert_eq!(outcome.work, 0.0);
+        assert_eq!(outcome.accuracy, 0.1);
+        assert!(outcome.energy > 0.0, "burned joules are paid either way");
+    }
+
+    #[test]
+    fn failure_remnant_is_replanned_onto_surviving_machines() {
+        // Fail a machine at t=0 before anything runs: the whole pool
+        // must land on the survivor and the run stays budget-consistent.
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        svc.inject(0.0, &Disruption::MachineFailure { machine: 1 })
+            .unwrap();
+        for id in 0..4 {
+            svc.submit(&task(id, 0.0, 1.0 + id as f64 * 0.2));
+        }
+        let report = svc.finish();
+        assert!(report.summary.dispatched > 0);
+        for t in report.trace.tasks.iter() {
+            assert_ne!(t.machine, Some(1), "dead machines never serve tasks");
+        }
+        assert!(report.ledger.spent() <= 500.0 + 1e-9);
+    }
+
+    #[test]
+    fn degradation_slows_planning_speed_but_not_power() {
+        let base = {
+            let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+            svc.submit(&task(0, 0.0, 0.3));
+            svc.finish()
+        };
+        let degraded = {
+            let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+            svc.inject(
+                0.0,
+                &Disruption::SpeedDegradation {
+                    machine: 0,
+                    factor: 0.5,
+                },
+            )
+            .unwrap();
+            svc.inject(
+                0.0,
+                &Disruption::SpeedDegradation {
+                    machine: 1,
+                    factor: 0.5,
+                },
+            )
+            .unwrap();
+            svc.submit(&task(0, 0.0, 0.3));
+            svc.finish()
+        };
+        // Halved speeds with the same deadline and power: the served
+        // work (hence accuracy) can only go down.
+        assert!(degraded.summary.total_accuracy <= base.summary.total_accuracy + 1e-9);
+        assert!(degraded.trace.tasks[0].work < base.trace.tasks[0].work - 1e-9);
+    }
+
+    #[test]
+    fn budget_shock_to_zero_starves_later_arrivals() {
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        svc.submit(&task(0, 0.0, 0.4));
+        svc.inject(0.5, &Disruption::BudgetShock { delta: -1e6 })
+            .unwrap();
+        svc.submit(&task(1, 0.6, 1.2));
+        let report = svc.finish();
+        assert_eq!(report.ledger.budget(), 0.0);
+        // Task 0 ran before the shock; task 1 found an empty ledger.
+        assert!(report.trace.tasks[0].work > 0.0);
+        assert_eq!(report.trace.tasks[1].work, 0.0);
+    }
+
+    #[test]
+    fn disruption_free_runs_are_unchanged_by_the_fault_machinery() {
+        // Injecting a degradation with factor 1.0 and a zero shock must
+        // leave the run bit-identical to an untouched service.
+        let run = |touch: bool| {
+            let mut svc = OnlineService::new(park(), 120.0, OnlineConfig::default()).unwrap();
+            if touch {
+                svc.inject(
+                    0.0,
+                    &Disruption::SpeedDegradation {
+                        machine: 0,
+                        factor: 1.0,
+                    },
+                )
+                .unwrap();
+                svc.inject(0.0, &Disruption::BudgetShock { delta: 0.0 })
+                    .unwrap();
+            }
+            for id in 0..5 {
+                svc.submit(&task(id, id as f64 * 0.1, 0.8 + id as f64 * 0.15));
+            }
+            let r = svc.finish();
+            (r.summary, r.trace.tasks)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn invalid_disruptions_are_rejected_with_typed_errors() {
+        let mut svc = OnlineService::new(park(), 10.0, OnlineConfig::default()).unwrap();
+        assert!(svc
+            .inject(f64::NAN, &Disruption::BudgetShock { delta: 0.0 })
+            .is_err());
+        assert!(svc
+            .inject(0.0, &Disruption::MachineFailure { machine: 7 })
+            .is_err());
+        assert!(svc
+            .inject(
+                0.0,
+                &Disruption::SpeedDegradation {
+                    machine: 0,
+                    factor: 0.0
+                }
+            )
+            .is_err());
+        assert!(svc
+            .inject(
+                0.0,
+                &Disruption::SpeedDegradation {
+                    machine: 0,
+                    factor: 1.5
+                }
+            )
+            .is_err());
+        svc.submit(&task(0, 1.0, 2.0));
+        assert!(
+            svc.inject(0.5, &Disruption::BudgetShock { delta: 0.0 })
+                .is_err(),
+            "the service clock only moves forward"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! dsct-experiments [EXPERIMENTS…] [OPTIONS]
 //!
 //! Experiments: all fig1 fig2 fig3 fig4 fig4a fig4b table1 fig5 fig6 fig6a
-//!              fig6b energy-gain robustness online (default: all)
+//!              fig6b energy-gain robustness online chaos (default: all)
 //! Options:
 //!   --quick        reduced sizes/replications (smoke-test scale)
 //!   --seed N       base RNG seed (default: per-experiment paper seed)
@@ -15,7 +15,9 @@
 //!
 //! Run `--quick` first: the full Fig. 3 / Table 1 sweeps take minutes.
 
-use dsct_sim::experiments::{fig1, fig2, fig3, fig4, fig5, fig6, online, robustness, table1};
+use dsct_sim::experiments::{
+    chaos, fig1, fig2, fig3, fig4, fig5, fig6, online, robustness, table1,
+};
 use dsct_sim::report::{write_artifacts, TextTable};
 use dsct_sim::runner::Execution;
 use std::path::PathBuf;
@@ -85,7 +87,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> &'static str {
     "dsct-experiments [EXPERIMENTS…] [--quick] [--seed N] [--out DIR] [--threads N] [--sequential]\n\
-     experiments: all fig1 fig2 fig3 fig4 fig4a fig4b table1 fig5 fig6 fig6a fig6b energy-gain robustness online"
+     experiments: all fig1 fig2 fig3 fig4 fig4a fig4b table1 fig5 fig6 fig6a fig6b energy-gain robustness online chaos"
 }
 
 fn main() -> ExitCode {
@@ -249,6 +251,24 @@ fn main() -> ExitCode {
             "online",
             serde_json::to_value(&r).expect("serializable"),
             online::table(&r),
+        );
+    }
+    if wants("chaos") {
+        banner("Extension — accuracy retention under deterministic fault injection");
+        let mut cfg = if args.quick {
+            chaos::ChaosExpConfig::quick()
+        } else {
+            chaos::ChaosExpConfig::default()
+        };
+        if let Some(s) = args.seed {
+            cfg.base_seed = s;
+        }
+        let r = chaos::run(&cfg, args.threads);
+        println!("{}", chaos::render(&r));
+        save(
+            "chaos",
+            serde_json::to_value(&r).expect("serializable"),
+            chaos::table(&r),
         );
     }
     for (name, scenario) in [

@@ -11,7 +11,9 @@
 //! | [`fig6`] | Fig. 6a/6b — energy profiles of two machines |
 //! | [`robustness`] | extension: realized accuracy under runtime speed jitter |
 //! | [`online`] | extension: online arrival service regret vs clairvoyant FR-OPT |
+//! | [`chaos`] | extension: accuracy retention under deterministic fault injection |
 
+pub mod chaos;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

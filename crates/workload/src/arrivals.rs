@@ -204,6 +204,45 @@ pub fn generate_arrivals(cfg: &ArrivalConfig, seed: u64) -> Result<ArrivalTrace,
     })
 }
 
+/// Synthesizes a deterministic burst of `count` tasks all arriving at
+/// `at`: θ draws and accuracy curves follow the offline recipe of
+/// `cfg`, deadlines are `at + deadline_slack · f^max / s̄` (the
+/// [`generate_arrivals`] rule), and ids run from `first_id` upward so a
+/// caller can keep burst ids disjoint from a base trace. A pure
+/// function of its arguments — the chaos harness relies on
+/// `(seed, count)` fully determining the burst.
+pub fn synthesize_burst(
+    cfg: &TaskConfig,
+    seed: u64,
+    count: usize,
+    at: f64,
+    park: &MachinePark,
+    deadline_slack: f64,
+    first_id: u64,
+) -> Vec<OnlineTask> {
+    if count == 0 || park.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut burst_cfg = *cfg;
+    burst_cfg.n = count;
+    let mean_speed = park.total_speed() / park.len() as f64;
+    sample_thetas(&burst_cfg, &mut rng)
+        .iter()
+        .enumerate()
+        .map(|(k, &theta)| {
+            let accuracy = accuracy_for_theta(&burst_cfg, theta);
+            let deadline = at + deadline_slack * accuracy.f_max() / mean_speed;
+            OnlineTask {
+                id: first_id + k as u64,
+                arrival: at,
+                deadline,
+                accuracy,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +256,23 @@ mod tests {
             deadline_slack: 2.0,
             beta: 0.5,
         }
+    }
+
+    #[test]
+    fn burst_synthesis_is_pure_in_seed_and_count() {
+        let t = generate_arrivals(&cfg(0.5), 7).unwrap();
+        let tc = TaskConfig::paper(1, ThetaDistribution::Uniform { min: 0.1, max: 2.0 });
+        let a = synthesize_burst(&tc, 99, 4, 3.0, &t.park, 2.0, 1 << 40);
+        let b = synthesize_burst(&tc, 99, 4, 3.0, &t.park, 2.0, 1 << 40);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        for (k, task) in a.iter().enumerate() {
+            assert_eq!(task.id, (1u64 << 40) + k as u64);
+            assert_eq!(task.arrival, 3.0);
+            assert!(task.deadline > 3.0);
+        }
+        let other = synthesize_burst(&tc, 100, 4, 3.0, &t.park, 2.0, 1 << 40);
+        assert_ne!(a, other);
     }
 
     #[test]

@@ -18,6 +18,6 @@ mod arrivals;
 mod config;
 mod generate;
 
-pub use arrivals::{generate_arrivals, ArrivalConfig, ArrivalTrace, OnlineTask};
+pub use arrivals::{generate_arrivals, synthesize_burst, ArrivalConfig, ArrivalTrace, OnlineTask};
 pub use config::{ConfigError, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 pub use generate::generate;

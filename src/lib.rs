@@ -21,9 +21,11 @@
 //! - [`workload`] — scenario generators from the paper's evaluation;
 //! - [`online`] — arrival-driven service: rolling-horizon re-plans,
 //!   admission control, and the energy ledger;
+//! - [`chaos`] — deterministic fault-injection plans and chaos replays;
 //! - [`sim`] — the experiment harness regenerating every table and figure.
 
 pub use dsct_accuracy as accuracy;
+pub use dsct_chaos as chaos;
 pub use dsct_core as core;
 pub use dsct_exec as exec;
 pub use dsct_lp as lp;
@@ -36,6 +38,7 @@ pub use dsct_workload as workload;
 /// Convenient glob-import surface with the most commonly used items.
 pub mod prelude {
     pub use dsct_accuracy::{ExponentialAccuracy, PwlAccuracy};
+    pub use dsct_chaos::{chaos_replay, ChaosConfig, ChaosPlan};
     pub use dsct_core::{
         approx::ApproxOptions,
         fr_opt::FrOptOptions,
@@ -49,7 +52,7 @@ pub mod prelude {
     };
     pub use dsct_machines::{Machine, MachinePark};
     pub use dsct_online::{
-        replay, AdmissionPolicy, Decision, EnergyLedger, OnlineConfig, OnlineService,
+        replay, AdmissionPolicy, Decision, Disruption, EnergyLedger, OnlineConfig, OnlineService,
         ReplanStrategy,
     };
     pub use dsct_sim::engine::{ExperimentPlan, ExperimentRun};

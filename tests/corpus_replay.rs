@@ -1,0 +1,101 @@
+//! Regression-corpus replay: every JSON under `tests/corpus/` is loaded
+//! through the handrolled schema (`support::instance_from_json`, the
+//! counterpart of [`dsct_core::oracle::instance_to_json`]), solved by
+//! every solver family, and re-verified by the solution oracle.
+//!
+//! The corpus holds hand-minimized edge cases plus any instance the
+//! oracle ever dumped on a violation (`dsct_core::oracle::dump_instance`
+//! writes the same schema): copying a dump into this directory turns a
+//! one-off failure into a permanent regression test.
+
+mod support;
+
+use dsct_core::oracle::{self, Claims};
+use dsct_core::schedule::ScheduleKind;
+use dsct_core::solver::{ApproxSolver, EdfSolver, FrOptSolver, Solution};
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension().and_then(|e| e.to_str()) == Some("json")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_corpus_instance_round_trips_and_passes_the_oracle() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "the seeded corpus must hold at least the 3 hand-minimized edge cases"
+    );
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let label = support::corpus_label(&text);
+        let inst = support::instance_from_json(&text)
+            .unwrap_or_else(|e| panic!("{} ({label}): {e}", path.display()));
+
+        // The schema must round-trip: serializing the parsed instance
+        // and parsing it again yields the same instance ({:?} floats
+        // are exact).
+        let rewritten = oracle::instance_to_json(&inst, &label);
+        let reparsed = support::instance_from_json(&rewritten)
+            .unwrap_or_else(|e| panic!("{} ({label}): reparse failed: {e}", path.display()));
+        assert_eq!(
+            inst,
+            reparsed,
+            "{}: JSON round-trip drifted",
+            path.display()
+        );
+
+        // Every solver family must survive the edge case and satisfy
+        // its own claims.
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let fr = Solution::from_fr(&inst, FrOptSolver::new().solve_typed(&inst));
+        oracle::enforce(
+            &inst,
+            &fr,
+            &Claims::fr_optimal(),
+            &format!("corpus/{name}/fr-opt"),
+        );
+        let approx = Solution::from_approx(&inst, ApproxSolver::new().solve_typed(&inst));
+        oracle::enforce(
+            &inst,
+            &approx,
+            &Claims::approx(),
+            &format!("corpus/{name}/approx"),
+        );
+        for (solver, tag) in [
+            (EdfSolver::no_compression(), "edf-nc"),
+            (EdfSolver::three_levels(), "edf-3l"),
+        ] {
+            let sol = Solution::from_baseline(&inst, solver.solve_typed(&inst));
+            oracle::enforce(
+                &inst,
+                &sol,
+                &Claims::feasible(ScheduleKind::Integral),
+                &format!("corpus/{name}/{tag}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_budget_corpus_instance_forces_floor_accuracy() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/zero-budget.json");
+    let inst = support::instance_from_json(&std::fs::read_to_string(path).expect("seeded file"))
+        .expect("valid corpus file");
+    let fr = FrOptSolver::new().solve_typed(&inst);
+    assert!(fr.energy.abs() < 1e-12, "no budget, no joules");
+    assert!(
+        (fr.total_accuracy - inst.total_min_accuracy()).abs() < 1e-9,
+        "zero budget must pin every task at its floor accuracy"
+    );
+}

@@ -1,0 +1,212 @@
+//! Metamorphic properties of the solvers: known-answer tests are scarce
+//! for DSCT-EA, but *relations between instances* are exact. Each
+//! relation transforms a randomized instance in a way with a provable
+//! effect on the optimum, solves both sides, and routes every solution
+//! through the solution oracle ([`dsct_core::oracle`]) so a passing
+//! relation also certifies feasibility, agreement, and stationarity.
+//!
+//! Relations (each over ≥ 24 seeded instances):
+//! 1. powers × c and budget × c — identical feasible set, value equal;
+//! 2. speeds × c with the work axis scaled by c — time and energy of
+//!    every schedule unchanged, value equal;
+//! 3. adding a machine — never decreases the FR-OPT value;
+//! 4. tightening the budget — never increases the FR-OPT value;
+//! 5. relabeling equal-deadline tasks — value invariant under
+//!    permutation.
+
+use dsct_core::oracle::{self, Claims};
+use dsct_core::problem::{Instance, Task};
+use dsct_core::solver::{ApproxSolver, FrOptSolver, Solution};
+use dsct_machines::{Machine, MachinePark};
+use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+
+const SEEDS: std::ops::Range<u64> = 0..24;
+
+fn base_config() -> InstanceConfig {
+    InstanceConfig {
+        tasks: TaskConfig::paper(12, ThetaDistribution::Uniform { min: 0.1, max: 2.0 }),
+        machines: MachineConfig::paper_random(3),
+        rho: 0.4,
+        beta: 0.5,
+    }
+}
+
+fn base_instance(seed: u64) -> Instance {
+    dsct_workload::generate(&base_config(), seed)
+}
+
+/// Solves FR-OPT and pushes the solution through the oracle with the
+/// full fractional-optimum claims (feasibility + agreement + KKT).
+fn solve_fr_checked(inst: &Instance, label: &str) -> Solution {
+    let sol = Solution::from_fr(inst, FrOptSolver::new().solve_typed(inst));
+    oracle::enforce(inst, &sol, &Claims::fr_optimal(), label);
+    sol
+}
+
+fn rebuild(tasks: Vec<Task>, machines: Vec<Machine>, budget: f64) -> Instance {
+    Instance::new_sorting(tasks, MachinePark::new(machines), budget)
+        .expect("transformed instance stays valid")
+}
+
+fn value_scale(inst: &Instance) -> f64 {
+    inst.total_max_accuracy().max(1.0)
+}
+
+/// Relation 1: multiplying every machine power *and* the budget by `c`
+/// rescales both sides of `Σ_r P_r·t_{jr} ≤ B` identically, so the
+/// feasible set — and therefore the optimum — is unchanged.
+#[test]
+fn scaling_powers_and_budget_leaves_the_optimum_unchanged() {
+    for seed in SEEDS {
+        let inst = base_instance(seed);
+        let c = 2.0; // power of two: the rescaling is exact in f64
+        let scaled = rebuild(
+            inst.tasks().to_vec(),
+            inst.machines()
+                .machines()
+                .iter()
+                .map(|m| Machine::new(m.speed(), m.power() * c).expect("valid machine"))
+                .collect(),
+            inst.budget() * c,
+        );
+        let a = solve_fr_checked(&inst, "metamorphic/power-scale/base");
+        let b = solve_fr_checked(&scaled, "metamorphic/power-scale/scaled");
+        let tol = 1e-6 * value_scale(&inst);
+        assert!(
+            (a.total_accuracy - b.total_accuracy).abs() <= tol,
+            "seed {seed}: power/budget scaling moved the optimum: {} vs {}",
+            a.total_accuracy,
+            b.total_accuracy,
+        );
+    }
+}
+
+/// Relation 2: multiplying every speed by `c` while stretching each
+/// task's work axis by `c` (via [`dsct_accuracy::PwlAccuracy::scale_f`])
+/// maps schedules one-to-one with identical times, energies, and
+/// accuracies — the optimum is unchanged.
+#[test]
+fn scaling_speeds_and_work_axis_leaves_the_optimum_unchanged() {
+    for seed in SEEDS {
+        let inst = base_instance(seed);
+        let c = 2.0;
+        let scaled = rebuild(
+            inst.tasks()
+                .iter()
+                .map(|t| Task::new(t.deadline, t.accuracy.scale_f(c).expect("positive factor")))
+                .collect(),
+            inst.machines()
+                .machines()
+                .iter()
+                .map(|m| Machine::new(m.speed() * c, m.power()).expect("valid machine"))
+                .collect(),
+            inst.budget(),
+        );
+        let a = solve_fr_checked(&inst, "metamorphic/speed-scale/base");
+        let b = solve_fr_checked(&scaled, "metamorphic/speed-scale/scaled");
+        let tol = 1e-6 * value_scale(&inst);
+        assert!(
+            (a.total_accuracy - b.total_accuracy).abs() <= tol,
+            "seed {seed}: speed/work scaling moved the optimum: {} vs {}",
+            a.total_accuracy,
+            b.total_accuracy,
+        );
+    }
+}
+
+/// Relation 3: adding a machine only enlarges the feasible set (the old
+/// schedule assigns the new machine nothing), so the FR-OPT value never
+/// decreases.
+#[test]
+fn adding_a_machine_never_decreases_the_optimum() {
+    for seed in SEEDS {
+        let inst = base_instance(seed);
+        let mut machines = inst.machines().machines().to_vec();
+        // A mid-range paper machine; any valid machine works.
+        machines.push(Machine::new(5000.0, 100.0).expect("valid machine"));
+        let bigger = rebuild(inst.tasks().to_vec(), machines, inst.budget());
+        let a = solve_fr_checked(&inst, "metamorphic/add-machine/base");
+        let b = solve_fr_checked(&bigger, "metamorphic/add-machine/bigger");
+        let tol = 1e-6 * value_scale(&inst);
+        assert!(
+            b.total_accuracy >= a.total_accuracy - tol,
+            "seed {seed}: adding a machine lowered the optimum: {} -> {}",
+            a.total_accuracy,
+            b.total_accuracy,
+        );
+    }
+}
+
+/// Relation 4: shrinking the budget only shrinks the feasible set, so
+/// the FR-OPT value never increases.
+#[test]
+fn tightening_the_budget_never_increases_the_optimum() {
+    for seed in SEEDS {
+        let inst = base_instance(seed);
+        let tighter = inst
+            .with_budget(inst.budget() * 0.5)
+            .expect("halved budget stays valid");
+        let a = solve_fr_checked(&inst, "metamorphic/tighten-budget/base");
+        let b = solve_fr_checked(&tighter, "metamorphic/tighten-budget/tighter");
+        let tol = 1e-6 * value_scale(&inst);
+        assert!(
+            b.total_accuracy <= a.total_accuracy + tol,
+            "seed {seed}: tightening the budget raised the optimum: {} -> {}",
+            a.total_accuracy,
+            b.total_accuracy,
+        );
+    }
+}
+
+/// Relation 5: with all deadlines equal, task order is pure labeling —
+/// reversing it (and re-sorting through [`Instance::new_sorting`], a
+/// stable sort) must not move the optimum.
+#[test]
+fn relabeling_equal_deadline_tasks_leaves_the_optimum_unchanged() {
+    for seed in SEEDS {
+        let inst = base_instance(seed);
+        let d = inst.d_max();
+        let equalized: Vec<Task> = inst
+            .tasks()
+            .iter()
+            .map(|t| Task::new(d, t.accuracy.clone()))
+            .collect();
+        let mut reversed = equalized.clone();
+        reversed.reverse();
+        let a = rebuild(
+            equalized,
+            inst.machines().machines().to_vec(),
+            inst.budget(),
+        );
+        let b = rebuild(reversed, inst.machines().machines().to_vec(), inst.budget());
+        let sa = solve_fr_checked(&a, "metamorphic/relabel/forward");
+        let sb = solve_fr_checked(&b, "metamorphic/relabel/reversed");
+        let tol = 1e-6 * value_scale(&a);
+        assert!(
+            (sa.total_accuracy - sb.total_accuracy).abs() <= tol,
+            "seed {seed}: relabeling equal-deadline tasks moved the optimum: {} vs {}",
+            sa.total_accuracy,
+            sb.total_accuracy,
+        );
+    }
+}
+
+/// The integral approximation also survives every transformed instance:
+/// feasibility plus the paper's guarantee `G` against its own fractional
+/// upper bound, for every seed (oracle-enforced).
+#[test]
+fn approx_solutions_pass_the_oracle_on_transformed_instances() {
+    for seed in SEEDS {
+        let inst = base_instance(seed);
+        let tighter = inst
+            .with_budget(inst.budget() * 0.5)
+            .expect("halved budget stays valid");
+        for (label, i) in [
+            ("metamorphic/approx/base", &inst),
+            ("metamorphic/approx/tight", &tighter),
+        ] {
+            let sol = Solution::from_approx(i, ApproxSolver::new().solve_typed(i));
+            oracle::enforce(i, &sol, &Claims::approx(), label);
+        }
+    }
+}

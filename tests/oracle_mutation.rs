@@ -1,0 +1,202 @@
+//! Mutation smoke tests: deliberately broken "solvers" must be flagged
+//! by the solution oracle with the *correct* typed violation. A vacuous
+//! oracle (one that accepts everything) would silently pass the rest of
+//! the suite; these tests prove each seeded defect is caught.
+
+use dsct_core::oracle::{Claims, SolutionOracle, Violation};
+use dsct_core::schedule::Violation as Feas;
+use dsct_core::solver::{FrOptSolver, Solution};
+use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+
+fn instance() -> dsct_core::problem::Instance {
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(8, ThetaDistribution::Uniform { min: 0.1, max: 2.0 }),
+        machines: MachineConfig::paper_random(3),
+        rho: 0.4,
+        beta: 0.5,
+    };
+    dsct_workload::generate(&cfg, 7)
+}
+
+fn honest_solution(inst: &dsct_core::problem::Instance) -> Solution {
+    Solution::from_fr(inst, FrOptSolver::new().solve_typed(inst))
+}
+
+fn violations(
+    inst: &dsct_core::problem::Instance,
+    sol: &Solution,
+    claims: &Claims,
+) -> Vec<Violation> {
+    SolutionOracle::new()
+        .verify(inst, sol, claims)
+        .expect_err("the mutated solution must be rejected")
+}
+
+/// Mutant 1: a solver that "drops the last EDF prefix constraint" —
+/// it extends the last task's time on its busiest machine past the
+/// final deadline. The oracle must pinpoint `DeadlineExceeded` on that
+/// machine (the bogus extra time also breaks agreement, which is fine;
+/// the deadline violation is what this mutant seeds).
+#[test]
+fn dropped_last_edf_prefix_constraint_is_flagged() {
+    let inst = instance();
+    let mut sol = honest_solution(&inst);
+    let last = inst.num_tasks() - 1;
+    let busiest = (0..inst.num_machines())
+        .max_by(|&a, &b| {
+            sol.schedule
+                .machine_load(a)
+                .total_cmp(&sol.schedule.machine_load(b))
+        })
+        .expect("non-empty park");
+    // Push the machine's completion 10% past the final (largest) deadline.
+    let overshoot = inst.d_max() * 1.1 - sol.schedule.machine_load(busiest);
+    *sol.schedule.t_mut(last, busiest) += overshoot;
+
+    let vs = violations(
+        &inst,
+        &sol,
+        &Claims::feasible(dsct_core::schedule::ScheduleKind::Fractional),
+    );
+    assert!(
+        vs.iter().any(|v| matches!(
+            v,
+            Violation::Infeasible(Feas::DeadlineExceeded { machine, .. }) if *machine == busiest
+        )),
+        "expected DeadlineExceeded on machine {busiest}, got {vs:?}"
+    );
+}
+
+/// Mutant 2: a solver that overspends the budget by 1% — every
+/// processing time inflated by 1.01 on a budget-saturated optimum, with
+/// the reported aggregates kept consistent so the *only* defect is the
+/// budget overrun. The oracle must flag `BudgetExceeded`.
+#[test]
+fn one_percent_budget_overspend_is_flagged() {
+    let inst = instance();
+    // Tighten the budget so the optimum saturates it (β = 0.5 instances
+    // always spend the whole budget; recheck to be safe).
+    let sol = honest_solution(&inst);
+    assert!(
+        sol.energy > 0.9 * inst.budget(),
+        "test premise: the optimum must (nearly) saturate the budget"
+    );
+    let mut cheat = sol.clone();
+    for j in 0..inst.num_tasks() {
+        for r in 0..inst.num_machines() {
+            *cheat.schedule.t_mut(j, r) *= 1.01;
+        }
+    }
+    // The cheating solver reports its aggregates truthfully — work,
+    // accuracy, and energy all recomputed from the inflated schedule —
+    // so agreement holds and only the budget constraint is broken.
+    cheat.flops = (0..inst.num_tasks())
+        .map(|j| cheat.schedule.flops(j, &inst))
+        .collect();
+    cheat.total_accuracy = cheat.schedule.total_accuracy(&inst);
+    cheat.energy = cheat.schedule.energy(&inst);
+    cheat.upper_bound = None;
+
+    let vs = violations(
+        &inst,
+        &cheat,
+        &Claims::feasible(dsct_core::schedule::ScheduleKind::Fractional),
+    );
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::Infeasible(Feas::BudgetExceeded { .. }))),
+        "expected BudgetExceeded, got {vs:?}"
+    );
+    assert!(
+        !vs.iter().any(|v| matches!(
+            v,
+            Violation::AccuracyMismatch { .. } | Violation::EnergyMismatch { .. }
+        )),
+        "agreement was kept consistent; only the budget may be flagged: {vs:?}"
+    );
+}
+
+/// Mutant 3: a solver that inflates its reported accuracy without
+/// touching the schedule. Feasibility holds; the oracle must flag the
+/// agreement mismatch (and the exceeded self-certified upper bound).
+#[test]
+fn inflated_reported_accuracy_is_flagged() {
+    let inst = instance();
+    let mut sol = honest_solution(&inst);
+    sol.total_accuracy += 0.05;
+
+    let vs = violations(&inst, &sol, &Claims::fr_optimal());
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::AccuracyMismatch { .. })),
+        "expected AccuracyMismatch, got {vs:?}"
+    );
+}
+
+/// Mutant 4: a solver claiming FR-optimality for a visibly improvable
+/// schedule (everything scaled to half: half the budget unspent, every
+/// marginal still positive). The oracle's KKT stationarity check must
+/// fire.
+#[test]
+fn non_stationary_claimed_optimum_is_flagged() {
+    let inst = instance();
+    let mut sol = honest_solution(&inst);
+    for j in 0..inst.num_tasks() {
+        for r in 0..inst.num_machines() {
+            *sol.schedule.t_mut(j, r) *= 0.5;
+        }
+    }
+    sol.flops = (0..inst.num_tasks())
+        .map(|j| sol.schedule.flops(j, &inst))
+        .collect();
+    sol.total_accuracy = sol.schedule.total_accuracy(&inst);
+    sol.energy = sol.schedule.energy(&inst);
+    sol.upper_bound = None;
+
+    let vs = violations(&inst, &sol, &Claims::fr_optimal());
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::KktNotStationary { .. })),
+        "expected KktNotStationary, got {vs:?}"
+    );
+}
+
+/// Mutant 5: an "approximation" whose certified fractional upper bound
+/// is far above what it achieved — beyond the paper's guarantee `G`.
+/// The oracle must flag the broken guarantee.
+#[test]
+fn broken_approximation_guarantee_is_flagged() {
+    // `G = m(a^max − a^min)(1 + ln(θ_max/θ_min))` does not grow with n,
+    // so a large generous instance makes the achievable gap dwarf it.
+    let cfg = InstanceConfig {
+        tasks: TaskConfig::paper(40, ThetaDistribution::Uniform { min: 0.1, max: 2.0 }),
+        machines: MachineConfig::paper_random(2),
+        rho: 1.0,
+        beta: 1.0,
+    };
+    let inst = dsct_workload::generate(&cfg, 11);
+    let fr = honest_solution(&inst);
+    // An integral all-zero schedule achieving only the floor accuracy,
+    // yet certifying the true fractional optimum as its upper bound.
+    let schedule =
+        dsct_core::schedule::FractionalSchedule::zero(inst.num_tasks(), inst.num_machines());
+    let total_accuracy = schedule.total_accuracy(&inst);
+    let lazy = Solution {
+        flops: vec![0.0; inst.num_tasks()],
+        assignment: vec![None; inst.num_tasks()],
+        integral: true,
+        total_accuracy,
+        energy: 0.0,
+        upper_bound: Some(fr.total_accuracy),
+        stats: Default::default(),
+        schedule,
+    };
+    // Only meaningful when the gap actually exceeds G; the β = 0.5,
+    // n = 8 instance used here has a gap well above it.
+    let vs = violations(&inst, &lazy, &Claims::approx());
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::GuaranteeViolated { .. })),
+        "expected GuaranteeViolated, got {vs:?}"
+    );
+}

@@ -1,0 +1,75 @@
+//! Shared helpers for the integration tests: the corpus JSON loader
+//! (the counterpart of `dsct_core::oracle::instance_to_json`).
+
+use dsct_ea::accuracy::PwlAccuracy;
+use dsct_ea::core::problem::{Instance, Task};
+use dsct_ea::machines::{Machine, MachinePark};
+use serde_json::Value;
+
+fn num(v: Option<&Value>, what: &str) -> Result<f64, String> {
+    match v {
+        Some(Value::Number(x)) => Ok(*x),
+        other => Err(format!("{what}: expected number, got {other:?}")),
+    }
+}
+
+fn arr<'a>(v: Option<&'a Value>, what: &str) -> Result<&'a [Value], String> {
+    match v {
+        Some(Value::Array(items)) => Ok(items),
+        other => Err(format!("{what}: expected array, got {other:?}")),
+    }
+}
+
+/// Parses the handrolled corpus JSON schema back into an [`Instance`],
+/// re-validating every component through the public constructors (so a
+/// corrupt corpus file fails loudly, not silently).
+pub fn instance_from_json(text: &str) -> Result<Instance, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+    let budget = num(v.get("budget"), "budget")?;
+    let machines = arr(v.get("machines"), "machines")?
+        .iter()
+        .map(|m| {
+            let speed = num(m.get("speed"), "machine.speed")?;
+            let power = num(m.get("power"), "machine.power")?;
+            Machine::new(speed, power).map_err(|e| format!("bad machine: {e:?}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    if machines.is_empty() {
+        return Err("empty machine park".into());
+    }
+    let tasks = arr(v.get("tasks"), "tasks")?
+        .iter()
+        .map(|t| {
+            let deadline = num(t.get("deadline"), "task.deadline")?;
+            let points = arr(t.get("points"), "task.points")?
+                .iter()
+                .map(|p| {
+                    let pair = match p {
+                        Value::Array(xs) if xs.len() == 2 => xs,
+                        other => return Err(format!("bad point: {other:?}")),
+                    };
+                    Ok((
+                        num(Some(&pair[0]), "point.x")?,
+                        num(Some(&pair[1]), "point.y")?,
+                    ))
+                })
+                .collect::<Result<Vec<(f64, f64)>, String>>()?;
+            let acc = PwlAccuracy::new(&points).map_err(|e| format!("bad accuracy: {e:?}"))?;
+            Ok(Task::new(deadline, acc))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Instance::new_sorting(tasks, MachinePark::new(machines), budget)
+        .map_err(|e| format!("bad instance: {e:?}"))
+}
+
+/// The corpus file's label field (diagnostics).
+pub fn corpus_label(text: &str) -> String {
+    match serde_json::from_str::<Value>(text)
+        .ok()
+        .as_ref()
+        .and_then(|v| v.get("label"))
+    {
+        Some(Value::String(s)) => s.clone(),
+        _ => String::new(),
+    }
+}
