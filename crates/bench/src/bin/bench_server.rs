@@ -1,0 +1,219 @@
+//! Sharded-server bench with machine-readable output: one deterministic
+//! multi-tenant Poisson trace (`n=160, m=16`, seed 777, 64 tenants)
+//! replayed through `dsct-server` at shard counts {1, 2, 4, 8}, workers
+//! = all cores. Measures what sharding is for:
+//!
+//! * **sustained arrivals/sec** — submissions divided by total submit
+//!   wall time (tick flushes, which run the batched per-shard residual
+//!   re-solves, are paid inside the submit that triggers them);
+//! * **p99 admission latency** — the 99th-percentile single-submit
+//!   latency, dominated by the flush submits.
+//!
+//! Before timing, every arm is replayed at workers 1 and 2 and the two
+//! report digests must be byte-identical — the determinism contract is
+//! enforced in the bench itself, so a perf run can never silently trade
+//! determinism for speed.
+//!
+//! Usage: `bench_server [--json PATH] [--repeats N] [--check]`
+//! `--check` exits non-zero if the best multi-shard arm sustains less
+//! than 75% of the single-shard throughput (the CI perf-smoke gate:
+//! sharding shrinks each residual solve and must not globally regress).
+
+use dsct_online::OnlineConfig;
+use dsct_server::{ScheduleServer, ServerConfig, ServerReport};
+use dsct_workload::{
+    generate_arrivals, ArrivalConfig, ArrivalTrace, MachineConfig, TaskConfig, ThetaDistribution,
+};
+use std::time::Instant;
+
+const SEED: u64 = 777;
+const N_TASKS: usize = 160;
+const M_MACHINES: usize = 16;
+const TENANTS: u64 = 64;
+const LOAD: f64 = 1.0;
+const DEADLINE_SLACK: f64 = 2.0;
+const BETA: f64 = 0.5;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WARMUP: usize = 1;
+const DEFAULT_REPEATS: usize = 5;
+/// CI gate: the best multi-shard arm must sustain at least this
+/// fraction of the single-shard throughput.
+const CHECK_MIN_RATIO: f64 = 0.75;
+
+struct ArmResult {
+    shards: usize,
+    arrivals_per_sec: f64,
+    p99_ns: u128,
+    admitted: usize,
+    dispatched: usize,
+    total_accuracy: f64,
+}
+
+fn trace() -> ArrivalTrace {
+    let cfg = ArrivalConfig {
+        tasks: TaskConfig::paper(N_TASKS, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+        machines: MachineConfig::paper_random(M_MACHINES),
+        load: LOAD,
+        deadline_slack: DEADLINE_SLACK,
+        beta: BETA,
+    };
+    generate_arrivals(&cfg, SEED)
+        .expect("bench config is valid")
+        .with_tenants(TENANTS, SEED)
+}
+
+fn server_config(shards: usize, workers: usize) -> ServerConfig {
+    ServerConfig {
+        shards,
+        workers,
+        online: OnlineConfig::default(),
+        ..ServerConfig::default()
+    }
+}
+
+/// Replays the trace once, returning per-submit latencies and the report.
+fn replay_timed(trace: &ArrivalTrace, cfg: ServerConfig) -> (Vec<u128>, ServerReport) {
+    let mut server = ScheduleServer::new(&trace.park, trace.budget, cfg)
+        .expect("bench park splits into non-empty shards");
+    let mut latencies = Vec::with_capacity(trace.tasks.len());
+    for task in &trace.tasks {
+        let t0 = Instant::now();
+        server.submit(task).expect("bench trace is well-formed");
+        latencies.push(t0.elapsed().as_nanos());
+    }
+    (latencies, server.finish())
+}
+
+fn run_arm(trace: &ArrivalTrace, shards: usize, workers: usize, repeats: usize) -> ArmResult {
+    // Determinism guard: worker counts 1 and 2 must produce
+    // byte-identical reports before any timing is trusted.
+    let (_, one) = replay_timed(trace, server_config(shards, 1));
+    let (_, two) = replay_timed(trace, server_config(shards, 2));
+    assert_eq!(
+        one.digest(),
+        two.digest(),
+        "shards={shards}: report digests diverged between 1 and 2 workers"
+    );
+
+    let cfg = server_config(shards, workers);
+    for _ in 0..WARMUP {
+        std::hint::black_box(replay_timed(trace, cfg));
+    }
+    let mut throughputs: Vec<f64> = Vec::with_capacity(repeats);
+    let mut p99s: Vec<u128> = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let (mut latencies, report) = replay_timed(trace, cfg);
+        let total_ns: u128 = latencies.iter().sum();
+        throughputs.push(latencies.len() as f64 / (total_ns.max(1) as f64 / 1e9));
+        latencies.sort_unstable();
+        let idx = (latencies.len() * 99).div_ceil(100).saturating_sub(1);
+        p99s.push(latencies[idx]);
+        last = Some(report);
+    }
+    throughputs.sort_by(f64::total_cmp);
+    p99s.sort_unstable();
+    let report = last.expect("repeats >= 1");
+    ArmResult {
+        shards,
+        arrivals_per_sec: throughputs[throughputs.len() / 2],
+        p99_ns: p99s[p99s.len() / 2],
+        admitted: report.summary.admitted,
+        dispatched: report.summary.dispatched,
+        total_accuracy: report.summary.total_accuracy,
+    }
+}
+
+fn main() {
+    let mut json_path = String::from("BENCH_server.json");
+    let mut repeats = DEFAULT_REPEATS;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = args.next().expect("--json requires a path");
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats requires a positive integer");
+                assert!(repeats >= 1, "--repeats requires a positive integer");
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_server [--json PATH] [--repeats N] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let trace = trace();
+    let arms: Vec<ArmResult> = SHARD_COUNTS
+        .iter()
+        .map(|&s| run_arm(&trace, s, 0, repeats))
+        .collect();
+
+    let base = arms[0].arrivals_per_sec;
+    let mut arm_json = Vec::with_capacity(arms.len());
+    for arm in &arms {
+        println!(
+            "[server bench] shards={:<2} {:>10.0} arrivals/sec  p99 {:>10} ns/submit  \
+             ({:.2}x vs 1 shard, admitted {}, dispatched {}, acc {:.6})",
+            arm.shards,
+            arm.arrivals_per_sec,
+            arm.p99_ns,
+            arm.arrivals_per_sec / base,
+            arm.admitted,
+            arm.dispatched,
+            arm.total_accuracy
+        );
+        arm_json.push(format!(
+            "    {{\"shards\": {}, \"arrivals_per_sec\": {:.2}, \"p99_admission_ns\": {}, \
+             \"speedup_vs_one_shard\": {:.4}, \"admitted\": {}, \"dispatched\": {}, \
+             \"total_accuracy\": {:.12}}}",
+            arm.shards,
+            arm.arrivals_per_sec,
+            arm.p99_ns,
+            arm.arrivals_per_sec / base,
+            arm.admitted,
+            arm.dispatched,
+            arm.total_accuracy
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sharded_server\",\n  \"instance\": {{\"n\": {N_TASKS}, \
+         \"m\": {M_MACHINES}, \"seed\": {SEED}, \"tenants\": {TENANTS}, \"load\": {LOAD}, \
+         \"beta\": {BETA}}},\n  \"cores\": {cores},\n  \"repeats\": {repeats},\n  \
+         \"arms\": [\n{}\n  ]\n}}\n",
+        arm_json.join(",\n")
+    );
+    std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    println!("[server bench] wrote {json_path} ({cores} core(s), {repeats} repeats)");
+
+    if check {
+        let best_multi = arms[1..]
+            .iter()
+            .map(|a| a.arrivals_per_sec)
+            .fold(0.0, f64::max);
+        let ratio = best_multi / base;
+        if ratio < CHECK_MIN_RATIO {
+            eprintln!(
+                "[server bench] FAIL: best multi-shard arm sustains only {:.2}x the \
+                 single-shard throughput (floor {CHECK_MIN_RATIO}x)",
+                ratio
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[server bench] CHECK OK: best multi-shard arm sustains {:.2}x the \
+             single-shard throughput (floor {CHECK_MIN_RATIO}x)",
+            ratio
+        );
+    }
+}

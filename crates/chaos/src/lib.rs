@@ -19,10 +19,17 @@
 //!   the ordinary [`dsct_online::OnlineReport`] plus a serializable
 //!   [`ChaosSummary`]. Replays are byte-identical for any solver
 //!   parallelism and any harness thread count (the determinism tests in
-//!   the facade crate compare serialized summaries across both).
+//!   the facade crate compare serialized summaries across both);
+//! - [`ShardKillPlan`] — cell-granular failures for the sharded server
+//!   (`dsct-server`): each event kills a whole shard, which the server
+//!   turns into per-machine failures plus a deterministic drain of the
+//!   cell's pending pool into surviving shards. Pure data, same
+//!   `(seed, index)` purity contract as [`ChaosPlan`].
 
 mod plan;
 mod replay;
+mod shard;
 
 pub use plan::{ChaosConfig, ChaosEvent, ChaosEventKind, ChaosPlan, BURST_ID_BASE};
 pub use replay::{chaos_replay, ChaosReport, ChaosSummary};
+pub use shard::{ShardKillEvent, ShardKillPlan};

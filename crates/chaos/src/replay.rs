@@ -1,8 +1,9 @@
 //! Chaos replay: merging a fault plan into an arrival trace.
 
 use crate::plan::{ChaosEventKind, ChaosPlan};
-use dsct_exec::ExecError;
-use dsct_online::{Disruption, OnlineConfig, OnlineReport, OnlineService, OnlineSummary};
+use dsct_online::{
+    Disruption, OnlineConfig, OnlineError, OnlineReport, OnlineService, OnlineSummary,
+};
 use dsct_workload::{synthesize_burst, ArrivalTrace, TaskConfig, ThetaDistribution};
 use serde::{Deserialize, Serialize};
 
@@ -49,7 +50,7 @@ pub fn chaos_replay(
     trace: &ArrivalTrace,
     cfg: &OnlineConfig,
     plan: &ChaosPlan,
-) -> Result<ChaosReport, ExecError> {
+) -> Result<ChaosReport, OnlineError> {
     let mut svc = OnlineService::new(trace.park.clone(), trace.budget, *cfg)?;
     let mut failures_injected = 0usize;
     let mut degradations_injected = 0usize;

@@ -1,0 +1,109 @@
+//! Shard-kill plans: whole-cell failures for the sharded server.
+//!
+//! A [`ShardKillPlan`] is the cell-granular sibling of [`crate::ChaosPlan`]:
+//! each event names a *shard* whose machines all fail at once. The plan
+//! is pure data — `dsct-chaos` knows nothing about the server — and the
+//! consumer (`dsct-server`) turns one event into a deterministic
+//! sequence of per-machine [`dsct_online::Disruption::MachineFailure`]
+//! injections plus a drain of the cell's pending pool into the
+//! surviving shards.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One shard kill: every machine of shard `shard` fails at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardKillEvent {
+    /// Firing time on the server clock (seconds).
+    pub at: f64,
+    /// The event's index in the plan (the RNG discriminator).
+    pub index: usize,
+    /// Index of the shard to kill.
+    pub shard: usize,
+}
+
+/// A deterministic shard-kill plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardKillPlan {
+    /// Seed the plan was generated from.
+    pub chaos_seed: u64,
+    /// Events sorted by `(at, index)`; shards are distinct (a shard
+    /// dies at most once per plan).
+    pub events: Vec<ShardKillEvent>,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardKillPlan {
+    /// Generates `kills` shard kills over `shards` cells within
+    /// `horizon`. Each event draws from its own `(chaos_seed, index)`
+    /// ChaCha stream (the [`crate::ChaosPlan`] recipe), so the plan is a
+    /// pure function of its arguments. Victims are sampled without
+    /// replacement in index order; at least one shard always survives
+    /// (`kills` is capped at `shards − 1`). Kill times land in the
+    /// middle of the horizon, where there is routed work both to cut
+    /// and to drain.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` while `kills > 0`, or when `horizon`
+    /// is not finite and non-negative.
+    pub fn generate(chaos_seed: u64, horizon: f64, shards: usize, kills: usize) -> ShardKillPlan {
+        assert!(
+            horizon.is_finite() && horizon >= 0.0,
+            "horizon must be finite and non-negative, got {horizon}"
+        );
+        assert!(shards > 0 || kills == 0, "shard kills need shards");
+        let kills = kills.min(shards.saturating_sub(1));
+        let mut alive: Vec<usize> = (0..shards).collect();
+        let mut events = Vec::with_capacity(kills);
+        for index in 0..kills {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(splitmix64(chaos_seed ^ splitmix64(index as u64)));
+            let at = horizon * rng.gen_range(0.15..0.75);
+            let victim = alive.remove(rng.gen_range(0..alive.len()));
+            events.push(ShardKillEvent {
+                at,
+                index,
+                shard: victim,
+            });
+        }
+        events.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.index.cmp(&b.index)));
+        ShardKillPlan { chaos_seed, events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_and_victims_distinct() {
+        let a = ShardKillPlan::generate(7, 10.0, 8, 3);
+        let b = ShardKillPlan::generate(7, 10.0, 8, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, ShardKillPlan::generate(8, 10.0, 8, 3));
+        assert_eq!(a.events.len(), 3);
+        let mut shards: Vec<usize> = a.events.iter().map(|e| e.shard).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        assert_eq!(shards.len(), 3, "a shard dies at most once");
+        assert!(a
+            .events
+            .windows(2)
+            .all(|w| w[0].at < w[1].at || (w[0].at == w[1].at && w[0].index < w[1].index)));
+    }
+
+    #[test]
+    fn at_least_one_shard_survives() {
+        let p = ShardKillPlan::generate(3, 5.0, 4, 9);
+        assert_eq!(p.events.len(), 3, "kills cap at shards − 1");
+        assert!(ShardKillPlan::generate(1, 5.0, 1, 5).events.is_empty());
+        assert!(ShardKillPlan::generate(1, 5.0, 0, 0).events.is_empty());
+    }
+}

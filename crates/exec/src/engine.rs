@@ -111,10 +111,11 @@ impl PartialOrd for Ready {
 impl Ord for Ready {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
+        // total_cmp: a NaN time must not collapse the ordering to
+        // Equal and leave dispatch order at the heap's mercy.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then(other.machine.cmp(&self.machine))
     }
 }
@@ -279,12 +280,7 @@ pub fn try_execute(
             });
         }
     }
-    events.sort_by(|a, b| {
-        a.time
-            .partial_cmp(&b.time)
-            .unwrap_or(Ordering::Equal)
-            .then(a.task.cmp(&b.task))
-    });
+    events.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.task.cmp(&b.task)));
 
     let realized_accuracy = outcomes.iter().map(|t| t.accuracy).sum();
     let realized_energy = outcomes.iter().map(|t| t.energy).sum();

@@ -111,9 +111,11 @@ fn compile(faults: &[FaultEvent], m: usize) -> Result<Vec<MachineFaults>, ExecEr
             }
         }
     }
+    // total_cmp keeps the sort deterministic even on adversarial
+    // floats; NaN times never reach here — `compile` rejects them above
+    // with a typed `InvalidConfig` error.
     for mf in &mut per {
-        mf.degrades
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        mf.degrades.sort_by(|a, b| a.0.total_cmp(&b.0));
     }
     Ok(per)
 }
@@ -134,8 +136,7 @@ impl Ord for Ready {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then(other.machine.cmp(&self.machine))
     }
 }
@@ -372,12 +373,7 @@ pub fn try_execute_with_faults(
             });
         }
     }
-    events.sort_by(|a, b| {
-        a.time
-            .partial_cmp(&b.time)
-            .unwrap_or(Ordering::Equal)
-            .then(a.task.cmp(&b.task))
-    });
+    events.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.task.cmp(&b.task)));
 
     let realized_accuracy = outcomes.iter().map(|t| t.accuracy).sum();
     let realized_energy = outcomes.iter().map(|t| t.energy).sum();

@@ -62,11 +62,13 @@ impl MachinePark {
     /// machines in. Ties break by lower index for determinism.
     pub fn by_efficiency_desc(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.machines.len()).collect();
+        // total_cmp: `Machine::new` validates speed and power, but the
+        // ordering itself must never panic or destabilise on an
+        // adversarial float that slips through a future constructor.
         idx.sort_by(|&a, &b| {
             self.machines[b]
                 .efficiency()
-                .partial_cmp(&self.machines[a].efficiency())
-                .expect("efficiencies are finite")
+                .total_cmp(&self.machines[a].efficiency())
                 .then(a.cmp(&b))
         });
         idx
@@ -76,11 +78,7 @@ impl MachinePark {
     /// (the paper's canonical indexing).
     pub fn sorted_by_efficiency(&self) -> Self {
         let mut ms = self.machines.clone();
-        ms.sort_by(|a, b| {
-            a.efficiency()
-                .partial_cmp(&b.efficiency())
-                .expect("efficiencies are finite")
-        });
+        ms.sort_by(|a, b| a.efficiency().total_cmp(&b.efficiency()));
         Self { machines: ms }
     }
 
@@ -90,8 +88,7 @@ impl MachinePark {
         subset.iter().copied().min_by(|&a, &b| {
             self.machines[a]
                 .efficiency()
-                .partial_cmp(&self.machines[b].efficiency())
-                .expect("efficiencies are finite")
+                .total_cmp(&self.machines[b].efficiency())
                 .then(a.cmp(&b))
         })
     }

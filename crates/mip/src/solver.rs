@@ -124,9 +124,9 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.priority
-            .partial_cmp(&other.priority)
-            .unwrap_or(Ordering::Equal)
+        // total_cmp: a NaN priority (e.g. from a degenerate relaxation)
+        // must not make heap order depend on sift implementation.
+        self.priority.total_cmp(&other.priority)
     }
 }
 

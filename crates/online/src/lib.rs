@@ -36,10 +36,12 @@
 //!   producing a [`dsct_exec::ExecutionTrace`]-based [`OnlineReport`].
 
 mod admission;
+mod error;
 mod ledger;
 mod service;
 
 pub use admission::{AdmissionPolicy, Decision};
+pub use error::OnlineError;
 pub use ledger::EnergyLedger;
 pub use service::{
     replay, Disruption, OnlineConfig, OnlineReport, OnlineService, OnlineSummary, ReplanStrategy,

@@ -45,11 +45,13 @@
 //! after its injection time, never a run already in progress.
 
 use crate::admission::{AdmissionPolicy, Decision};
+use crate::error::OnlineError;
 use crate::ledger::EnergyLedger;
 use dsct_accuracy::PwlAccuracy;
+use dsct_core::oracle::{self, Claims};
 use dsct_core::profile::EnergyProfile;
 use dsct_core::residual::{residual_instance, ResidualItem};
-use dsct_core::solver::{ApproxSolver, SolverContext};
+use dsct_core::solver::{ApproxSolver, Solution, SolverContext};
 use dsct_core::EPS_TIME;
 use dsct_exec::{
     EventKind, ExecError, ExecutionConfig, ExecutionTrace, OverrunPolicy, TaskOutcome, TraceEvent,
@@ -123,6 +125,17 @@ pub struct OnlineConfig {
     /// what a harness running many replays in parallel wants. Results
     /// never depend on this — only wall-clock does.
     pub solver_parallelism: usize,
+    /// Run every residual solution through the invariant oracle
+    /// ([`dsct_core::oracle`], with [`Claims::approx`]) before adopting
+    /// it. Defaults to on under `debug_assertions`, mirroring
+    /// [`dsct_core::solver::SolverOptions`]; a violation panics with a
+    /// pinpointed report and dumps the residual instance.
+    #[serde(default = "default_check_invariants")]
+    pub check_invariants: bool,
+}
+
+fn default_check_invariants() -> bool {
+    cfg!(debug_assertions)
 }
 
 impl Default for OnlineConfig {
@@ -134,6 +147,7 @@ impl Default for OnlineConfig {
             jitter_seed: 0,
             overrun: OverrunPolicy::Compress,
             solver_parallelism: 1,
+            check_invariants: default_check_invariants(),
         }
     }
 }
@@ -197,6 +211,10 @@ pub struct OnlineReport {
     /// events are chronological, never-served tasks carry a `Dropped`
     /// event with machine `usize::MAX`.
     pub trace: ExecutionTrace,
+    /// Task id of each `trace.tasks` entry, in the same (ascending id)
+    /// order. Redundant for dense `0..n` traces; the sharded server
+    /// needs it because each shard sees a sparse id subset.
+    pub task_ids: Vec<u64>,
     /// Admission decision per submitted task, in submission order.
     pub decisions: Vec<(u64, Decision)>,
     /// The deterministic summary.
@@ -347,10 +365,16 @@ pub struct OnlineService {
 
 impl OnlineService {
     /// Creates a service over a machine park and a global energy budget.
-    /// Fails with [`ExecError::InvalidConfig`] when the jitter model is
-    /// invalid (`speed_jitter` outside `[0, 1)`).
-    pub fn new(park: MachinePark, budget: f64, cfg: OnlineConfig) -> Result<Self, ExecError> {
+    /// Fails with [`OnlineError::Exec`] when the jitter model is invalid
+    /// (`speed_jitter` outside `[0, 1)`) and [`OnlineError::InvalidBudget`]
+    /// for a NaN, infinite, or negative budget. A zero budget is *valid*
+    /// — a shard can start broke and borrow later — the service then
+    /// rejects or starves everything until the ledger sees joules.
+    pub fn new(park: MachinePark, budget: f64, cfg: OnlineConfig) -> Result<Self, OnlineError> {
         cfg.execution_config().validate()?;
+        if !(budget.is_finite() && budget >= 0.0) {
+            return Err(OnlineError::InvalidBudget(budget));
+        }
         let m = park.len();
         let mut ctx = SolverContext::new();
         ctx.set_parallelism_budget(cfg.solver_parallelism);
@@ -386,6 +410,21 @@ impl OnlineService {
         })
     }
 
+    /// Creates a service over a bare machine slice, as shard extraction
+    /// hands them out. Unlike [`MachinePark::new`] (which panics), an
+    /// empty slice is a typed [`OnlineError::EmptyPark`] — a shard count
+    /// exceeding the machine count produces empty slices routinely.
+    pub fn from_machines(
+        machines: Vec<Machine>,
+        budget: f64,
+        cfg: OnlineConfig,
+    ) -> Result<Self, OnlineError> {
+        if machines.is_empty() {
+            return Err(OnlineError::EmptyPark);
+        }
+        Self::new(MachinePark::new(machines), budget, cfg)
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> f64 {
         self.now
@@ -410,14 +449,40 @@ impl OnlineService {
     /// re-planned once.
     ///
     /// # Panics
-    /// Panics when arrival times are not non-decreasing.
+    /// Panics where [`Self::try_submit`] returns an error: a
+    /// non-monotone arrival, or a NaN/infinite arrival or deadline.
     pub fn submit(&mut self, task: &OnlineTask) -> Decision {
-        assert!(
-            task.arrival >= self.now - EPS_TIME,
-            "arrivals must be non-decreasing: got {} at time {}",
-            task.arrival,
-            self.now
-        );
+        self.try_submit(task)
+            .unwrap_or_else(|e| panic!("submit failed: {e}"))
+    }
+
+    /// [`Self::submit`] with typed errors instead of panics: the sharded
+    /// server reroutes drained tasks between cells and must survive
+    /// adversarial inputs. A NaN or infinite arrival/deadline is
+    /// [`OnlineError::InvalidTask`], a backwards arrival is
+    /// [`OnlineError::NonMonotoneClock`]; neither records a decision nor
+    /// touches the pool, so the service stays usable.
+    pub fn try_submit(&mut self, task: &OnlineTask) -> Result<Decision, OnlineError> {
+        if !task.arrival.is_finite() {
+            return Err(OnlineError::InvalidTask {
+                id: task.id,
+                field: "arrival",
+                value: task.arrival,
+            });
+        }
+        if !task.deadline.is_finite() {
+            return Err(OnlineError::InvalidTask {
+                id: task.id,
+                field: "deadline",
+                value: task.deadline,
+            });
+        }
+        if task.arrival < self.now - EPS_TIME {
+            return Err(OnlineError::NonMonotoneClock {
+                at: task.arrival,
+                now: self.now,
+            });
+        }
         if task.arrival > self.now {
             self.advance_to(task.arrival);
             self.now = task.arrival;
@@ -428,7 +493,7 @@ impl OnlineService {
         if task.deadline - self.now <= EPS_TIME {
             self.record_unserved(task, self.now);
             self.decisions.push((task.id, Decision::Rejected));
-            return Decision::Rejected;
+            return Ok(Decision::Rejected);
         }
 
         let decision = match self.cfg.policy {
@@ -482,7 +547,52 @@ impl OnlineService {
             }
         };
         self.decisions.push((task.id, decision));
-        decision
+        Ok(decision)
+    }
+
+    /// Advances the service clock to `t` without an arrival: commits
+    /// every dispatch the incumbent plan starts before `t` and settles
+    /// completions at or before it. The sharded server uses this to
+    /// align a cell on a routing event (a shard kill, a federation
+    /// settlement) before acting on it.
+    pub fn advance_clock(&mut self, t: f64) -> Result<(), OnlineError> {
+        if !t.is_finite() {
+            return Err(OnlineError::InvalidTask {
+                id: u64::MAX,
+                field: "clock",
+                value: t,
+            });
+        }
+        if t < self.now - EPS_TIME {
+            return Err(OnlineError::NonMonotoneClock {
+                at: t,
+                now: self.now,
+            });
+        }
+        if t > self.now {
+            self.advance_to(t);
+            self.now = t;
+        }
+        Ok(())
+    }
+
+    /// Removes and returns every pooled task that has not been
+    /// dispatched and carries no partial work from an earlier cut run,
+    /// in pool (admission) order. Failure remnants stay pooled: their
+    /// partial outcome lives in this service's trace, and handing them
+    /// to another cell would double-count that work. The incumbent plan
+    /// and queues are dropped; the remaining pool re-plans on the next
+    /// clock advance.
+    pub fn drain_pending(&mut self) -> Vec<OnlineTask> {
+        let carry = &self.carry;
+        let (drained, kept): (Vec<OnlineTask>, Vec<OnlineTask>) = std::mem::take(&mut self.pool)
+            .into_iter()
+            .partition(|t| !carry.contains_key(&t.id));
+        self.pool = kept;
+        self.plan = None;
+        self.clear_queues();
+        self.plan_dirty = !self.pool.is_empty();
+        drained
     }
 
     /// Injects a disruption at service time `at`, advancing the clock to
@@ -572,12 +682,8 @@ impl OnlineService {
         }
 
         let mut events = std::mem::take(&mut self.events);
-        events.sort_by(|a, b| {
-            a.time
-                .partial_cmp(&b.time)
-                .unwrap_or(Ordering::Equal)
-                .then(a.task.cmp(&b.task))
-        });
+        events.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.task.cmp(&b.task)));
+        let task_ids: Vec<u64> = self.outcomes.keys().copied().collect();
         let tasks: Vec<TaskOutcome> = self.outcomes.values().cloned().collect();
         let realized_accuracy: f64 = tasks.iter().map(|t| t.accuracy).sum();
         let realized_energy: f64 = tasks.iter().map(|t| t.energy).sum();
@@ -627,6 +733,7 @@ impl OnlineService {
                 drops,
                 makespan,
             },
+            task_ids,
             decisions: self.decisions,
             summary,
             ledger: self.ledger,
@@ -739,6 +846,7 @@ impl OnlineService {
             if let Some(residual) = shift_accuracy(&fl.task.accuracy, kept) {
                 self.pool.push(OnlineTask {
                     id,
+                    tenant: fl.task.tenant,
                     arrival: at,
                     deadline: fl.task.deadline,
                     accuracy: residual,
@@ -1018,8 +1126,11 @@ impl OnlineService {
                 accuracy: task.accuracy.clone(),
             });
         }
+        // Infallible by construction: `try_submit` rejects NaN/infinite
+        // deadlines at the boundary, `purge_expired` removed non-positive
+        // residuals, and the ledger clamps the remaining budget at zero.
         let res = residual_instance(&items, self.now, &park, self.ledger.remaining())
-            .expect("pool deadlines are validated and the budget is clamped")?;
+            .expect("pool tasks are validated at submission and the budget is clamped")?;
         debug_assert!(res.expired.is_empty(), "pool purged before solving");
         let warm = self.warm_hint(&machine_ids);
         let approx = match warm {
@@ -1029,6 +1140,10 @@ impl OnlineService {
             }
             None => self.solver.solve_typed_with(&res.instance, &mut self.ctx),
         };
+        if self.cfg.check_invariants {
+            let sol = Solution::from_approx(&res.instance, approx.clone());
+            oracle::enforce(&res.instance, &sol, &Claims::approx(), "online-residual");
+        }
         Some((approx, res, machine_ids))
     }
 
@@ -1109,10 +1224,10 @@ impl OnlineService {
 /// task in arrival order and drains. Deterministic: equal inputs produce
 /// equal (bit-identical) reports, regardless of `solver_parallelism` or
 /// how many threads the surrounding harness uses.
-pub fn replay(trace: &ArrivalTrace, cfg: &OnlineConfig) -> Result<OnlineReport, ExecError> {
+pub fn replay(trace: &ArrivalTrace, cfg: &OnlineConfig) -> Result<OnlineReport, OnlineError> {
     let mut svc = OnlineService::new(trace.park.clone(), trace.budget, *cfg)?;
     for task in &trace.tasks {
-        svc.submit(task);
+        svc.try_submit(task)?;
     }
     Ok(svc.finish())
 }
@@ -1133,6 +1248,7 @@ mod tests {
     fn task(id: u64, arrival: f64, deadline: f64) -> OnlineTask {
         OnlineTask {
             id,
+            tenant: id,
             arrival,
             deadline,
             accuracy: PwlAccuracy::new(&[(0.0, 0.1), (400.0, 0.6), (1200.0, 0.85)]).unwrap(),
@@ -1217,8 +1333,111 @@ mod tests {
         };
         assert!(matches!(
             OnlineService::new(park(), 10.0, cfg),
-            Err(ExecError::InvalidConfig { .. })
+            Err(OnlineError::Exec(ExecError::InvalidConfig { .. }))
         ));
+    }
+
+    #[test]
+    fn degenerate_shard_inputs_yield_typed_errors_not_panics() {
+        // Empty shard slice.
+        assert_eq!(
+            OnlineService::from_machines(Vec::new(), 10.0, OnlineConfig::default()).err(),
+            Some(OnlineError::EmptyPark)
+        );
+        // Bad budget slices.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(matches!(
+                OnlineService::new(park(), bad, OnlineConfig::default()),
+                Err(OnlineError::InvalidBudget(_))
+            ));
+        }
+        // A zero budget slice is valid: the shard starves, not panics.
+        let mut svc = OnlineService::new(park(), 0.0, OnlineConfig::default()).unwrap();
+        assert_eq!(
+            svc.try_submit(&task(0, 0.0, 1.0)).unwrap(),
+            Decision::Admitted
+        );
+        let report = svc.finish();
+        assert_eq!(report.summary.dispatched, 0);
+        assert_eq!(report.ledger.spent(), 0.0);
+    }
+
+    #[test]
+    fn adversarial_task_floats_are_rejected_without_state_damage() {
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        let mut bad = task(7, 0.0, 1.0);
+        bad.deadline = f64::NAN;
+        assert!(matches!(
+            svc.try_submit(&bad),
+            Err(OnlineError::InvalidTask {
+                field: "deadline",
+                ..
+            })
+        ));
+        bad.deadline = f64::INFINITY;
+        assert!(svc.try_submit(&bad).is_err());
+        bad.deadline = 1.0;
+        bad.arrival = f64::NAN;
+        assert!(matches!(
+            svc.try_submit(&bad),
+            Err(OnlineError::InvalidTask {
+                field: "arrival",
+                ..
+            })
+        ));
+        // The failed submissions recorded nothing: a clean task still
+        // goes through and the report covers exactly one arrival.
+        assert_eq!(
+            svc.try_submit(&task(0, 0.0, 1.0)).unwrap(),
+            Decision::Admitted
+        );
+        svc.try_submit(&task(1, 1.0, 0.5)).unwrap();
+        assert!(matches!(
+            svc.try_submit(&task(2, 0.2, 1.0)),
+            Err(OnlineError::NonMonotoneClock { .. })
+        ));
+        let report = svc.finish();
+        assert_eq!(report.summary.arrivals, 2);
+    }
+
+    #[test]
+    fn drain_pending_hands_back_undispatched_tasks_and_keeps_remnants() {
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        for id in 0..4 {
+            svc.submit(&task(id, 0.0, 5.0 + id as f64));
+        }
+        // Nothing dispatched yet (the batch re-plan is lazy): every
+        // task drains, in admission order.
+        let drained = svc.drain_pending();
+        assert_eq!(
+            drained.iter().map(|t| t.id).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+        assert_eq!(svc.pending(), 0);
+        let report = svc.finish();
+        assert_eq!(report.summary.dispatched, 0);
+        assert_eq!(
+            report.summary.starved, 0,
+            "drained tasks are not starved here"
+        );
+        assert!(
+            report.trace.tasks.is_empty(),
+            "no outcome for drained tasks"
+        );
+
+        // A failure remnant, by contrast, stays pooled on drain.
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        svc.submit(&task(0, 0.0, 1.0));
+        svc.advance_clock(1e-6).unwrap();
+        let machine = {
+            let fl = svc.inflight.values().next().expect("one task in flight");
+            fl.machine
+        };
+        svc.inject(0.01, &Disruption::MachineFailure { machine })
+            .unwrap();
+        assert_eq!(svc.pending(), 1, "the remnant re-pooled");
+        assert!(svc.drain_pending().is_empty(), "remnants never drain");
+        assert_eq!(svc.pending(), 1);
     }
 
     #[test]

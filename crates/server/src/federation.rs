@@ -1,0 +1,223 @@
+//! Cross-shard budget federation: deterministic borrowing of unused
+//! energy budget between cells.
+//!
+//! Sharding splits one global budget into per-cell slices, which
+//! re-introduces the fragmentation problem the global ledger never had:
+//! one shard can starve while a neighbor sits on unspent joules. The
+//! federation closes that gap with explicit, auditable transfers — a
+//! [`Settlement`] moves joules from a lender's ledger to a borrower's
+//! via paired budget shocks — planned by a pure function of the shard
+//! fund states, in a deterministic order:
+//!
+//! - **borrowers** are visited in ascending shard index: a live shard
+//!   with pending work whose remaining budget fell below
+//!   `low_water × slice`;
+//! - **lenders** are visited in ring order starting just after the
+//!   borrower (`b+1, b+2, …` mod shard count): a live lender keeps
+//!   `reserve × slice` for itself, a dead shard lends its entire
+//!   remainder (it can never spend again).
+//!
+//! The planner works on a scratch copy of the remaining-budget vector,
+//! so a later borrower sees earlier transfers — the plan is consistent
+//! with sequential application in emission order.
+
+use serde::{Deserialize, Serialize};
+
+/// Federation tuning. The defaults are intentionally conservative: a
+/// shard only borrows when nearly dry, and a live lender never gives
+/// away its own working reserve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FederationConfig {
+    /// Master switch; `false` keeps shard budgets strictly isolated.
+    pub enabled: bool,
+    /// Borrow threshold as a fraction of the shard's initial slice: a
+    /// shard with pending work borrows back up to `low_water × slice`
+    /// when it holds less than that.
+    pub low_water: f64,
+    /// Fraction of its initial slice a *live* lender keeps for itself.
+    pub reserve: f64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            low_water: 0.2,
+            reserve: 0.3,
+        }
+    }
+}
+
+/// One executed budget transfer between shards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Settlement {
+    /// Server-clock time the transfer happened.
+    pub time: f64,
+    /// Lending shard.
+    pub from: usize,
+    /// Borrowing shard.
+    pub to: usize,
+    /// Joules moved.
+    pub joules: f64,
+}
+
+/// A shard's fund state as the federation planner sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardFunds {
+    /// Remaining (uncommitted) joules in the shard's ledger.
+    pub remaining: f64,
+    /// The shard's initial budget slice (the low-water/reserve basis).
+    pub slice: f64,
+    /// Tasks pooled and awaiting dispatch.
+    pub pending: usize,
+    /// Whether the shard is still routable (dead shards only lend).
+    pub alive: bool,
+}
+
+/// Transfers smaller than this are noise, not settlements.
+const MIN_TRANSFER: f64 = 1e-9;
+
+/// Plans the transfers for one rebalancing round at `time`. Pure: the
+/// output depends only on the arguments, and applying the settlements
+/// in emission order reproduces the planner's own scratch arithmetic.
+pub fn plan_transfers(cfg: &FederationConfig, time: f64, funds: &[ShardFunds]) -> Vec<Settlement> {
+    if !cfg.enabled || funds.len() < 2 {
+        return Vec::new();
+    }
+    let n = funds.len();
+    let mut remaining: Vec<f64> = funds.iter().map(|f| f.remaining).collect();
+    let mut out = Vec::new();
+    for b in 0..n {
+        let fb = &funds[b];
+        if !fb.alive || fb.pending == 0 {
+            continue;
+        }
+        let target = cfg.low_water * fb.slice;
+        let mut need = target - remaining[b];
+        if need <= MIN_TRANSFER {
+            continue;
+        }
+        for step in 1..n {
+            let l = (b + step) % n;
+            let fl = &funds[l];
+            let floor = if fl.alive {
+                cfg.reserve * fl.slice
+            } else {
+                0.0
+            };
+            let slack = remaining[l] - floor;
+            let take = need.min(slack);
+            if take <= MIN_TRANSFER {
+                continue;
+            }
+            remaining[l] -= take;
+            remaining[b] += take;
+            need -= take;
+            out.push(Settlement {
+                time,
+                from: l,
+                to: b,
+                joules: take,
+            });
+            if need <= MIN_TRANSFER {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn funds(remaining: f64, slice: f64, pending: usize, alive: bool) -> ShardFunds {
+        ShardFunds {
+            remaining,
+            slice,
+            pending,
+            alive,
+        }
+    }
+
+    #[test]
+    fn borrowers_fill_from_ring_neighbors_in_order() {
+        let cfg = FederationConfig::default();
+        let f = [
+            funds(0.0, 100.0, 3, true),  // dry, needs 20
+            funds(35.0, 100.0, 0, true), // can lend 5 above its reserve of 30
+            funds(90.0, 100.0, 0, true), // lends the rest
+        ];
+        let plan = plan_transfers(&cfg, 1.5, &f);
+        assert_eq!(plan.len(), 2);
+        assert_eq!((plan[0].from, plan[0].to), (1, 0), "ring starts at b+1");
+        assert!((plan[0].joules - 5.0).abs() < 1e-12);
+        assert_eq!((plan[1].from, plan[1].to), (2, 0));
+        assert!((plan[1].joules - 15.0).abs() < 1e-12);
+        assert!(plan.iter().all(|s| s.time == 1.5));
+    }
+
+    #[test]
+    fn dead_shards_lend_everything_and_never_borrow() {
+        let cfg = FederationConfig::default();
+        let f = [
+            funds(1.0, 100.0, 2, true),   // needs 19
+            funds(12.0, 100.0, 5, false), // dead: lends all 12 despite pending
+        ];
+        let plan = plan_transfers(&cfg, 0.0, &f);
+        assert_eq!(plan.len(), 1);
+        assert_eq!((plan[0].from, plan[0].to), (1, 0));
+        assert!((plan[0].joules - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_or_flush_shards_do_not_borrow_and_disabled_is_inert() {
+        let cfg = FederationConfig::default();
+        // No pending work → no borrow, however dry.
+        assert!(plan_transfers(
+            &cfg,
+            0.0,
+            &[funds(0.0, 100.0, 0, true), funds(90.0, 100.0, 0, true)]
+        )
+        .is_empty());
+        // Above low water → no borrow.
+        assert!(plan_transfers(
+            &cfg,
+            0.0,
+            &[funds(25.0, 100.0, 9, true), funds(90.0, 100.0, 0, true)]
+        )
+        .is_empty());
+        let off = FederationConfig {
+            enabled: false,
+            ..cfg
+        };
+        assert!(plan_transfers(
+            &off,
+            0.0,
+            &[funds(0.0, 100.0, 3, true), funds(90.0, 100.0, 0, true)]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn earlier_borrowers_deplete_what_later_ones_see() {
+        let cfg = FederationConfig::default();
+        let f = [
+            funds(0.0, 100.0, 1, true),
+            funds(0.0, 100.0, 1, true),
+            funds(52.0, 100.0, 0, true), // 22 above reserve — not enough for both
+        ];
+        let plan = plan_transfers(&cfg, 0.0, &f);
+        assert_eq!(plan.len(), 2);
+        assert!(
+            (plan[0].joules - 20.0).abs() < 1e-12,
+            "borrower 0 fills first"
+        );
+        assert!(
+            (plan[1].joules - 2.0).abs() < 1e-12,
+            "borrower 1 gets the leftovers"
+        );
+        let total: f64 = plan.iter().map(|s| s.joules).sum();
+        assert!(total <= 22.0 + 1e-12, "lenders never dip below reserve");
+    }
+}

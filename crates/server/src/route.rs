@@ -1,0 +1,130 @@
+//! Rendezvous (highest-random-weight) tenant routing.
+//!
+//! Every `(tenant, shard)` pair hashes to a score; a tenant lands on the
+//! live shard with the highest score, ties broken toward the lower
+//! index. The property that makes HRW the right tool for shard kills:
+//! removing a shard remaps *only* the tenants that were routed to it —
+//! every other tenant's argmax is unchanged — so a kill-and-drain
+//! disturbs the minimum possible amount of routing state.
+
+/// SplitMix64 finalizer — the same mixer the chaos plans use, so one
+/// hash quality argument covers both.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The rendezvous score of `(tenant, shard)` — a pure function of the
+/// pair, independent of which other shards exist or are alive.
+pub fn rendezvous_score(tenant: u64, shard: usize) -> u64 {
+    splitmix64(splitmix64(tenant) ^ splitmix64(shard as u64))
+}
+
+/// Tenant → shard router over a fixed shard universe with a live mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Router {
+    alive: Vec<bool>,
+}
+
+impl Router {
+    /// A router over `shards` cells, all initially alive.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a router needs at least one shard");
+        Self {
+            alive: vec![true; shards],
+        }
+    }
+
+    /// Total shard count (alive or dead).
+    pub fn shards(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// The live mask.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Whether `shard` is still routable.
+    pub fn is_alive(&self, shard: usize) -> bool {
+        self.alive[shard]
+    }
+
+    /// Number of live shards.
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Marks `shard` dead; its tenants re-route to their next-highest
+    /// scoring live shard on the next [`Router::route`] call.
+    pub fn kill(&mut self, shard: usize) {
+        self.alive[shard] = false;
+    }
+
+    /// Routes `tenant` to the live shard with the highest rendezvous
+    /// score (ties toward the lower index), or `None` when every shard
+    /// is dead.
+    pub fn route(&self, tenant: u64) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (shard, &alive) in self.alive.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let score = rendezvous_score(tenant, shard);
+            if best.map(|(s, _)| score > s).unwrap_or(true) {
+                best = Some((score, shard));
+            }
+        }
+        best.map(|(_, shard)| shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kills_remap_only_the_dead_shards_tenants() {
+        let mut router = Router::new(8);
+        let before: Vec<usize> = (0..1000).map(|t| router.route(t).unwrap()).collect();
+        router.kill(3);
+        for (t, &b) in before.iter().enumerate() {
+            let after = router.route(t as u64).unwrap();
+            if b != 3 {
+                assert_eq!(after, b, "tenant {t} moved without losing its shard");
+            } else {
+                assert_ne!(after, 3, "tenant {t} routed to a dead shard");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_reasonably_balanced() {
+        let router = Router::new(4);
+        let mut counts = [0usize; 4];
+        for t in 0..4000 {
+            counts[router.route(t).unwrap()] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {shard} got {c} of 4000 tenants"
+            );
+        }
+    }
+
+    #[test]
+    fn all_dead_routes_to_none() {
+        let mut router = Router::new(2);
+        router.kill(0);
+        assert!(router.route(7).is_some());
+        router.kill(1);
+        assert_eq!(router.route(7), None);
+        assert_eq!(router.live_count(), 0);
+    }
+}

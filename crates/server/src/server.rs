@@ -1,0 +1,550 @@
+//! The sharded scheduling server: shard cells, tick-batched flushes on
+//! a deterministic worker pool, shard-kill drains, and the federation
+//! loop.
+//!
+//! # Determinism argument
+//!
+//! The server's report is byte-identical for any worker count because
+//! every source of nondeterminism is structurally excluded:
+//!
+//! 1. **Cells are independent.** Each shard owns its own
+//!    [`OnlineService`] behind its own mutex; a worker claims a shard
+//!    index from an atomic injector and is the only thread that touches
+//!    that cell during the flush. No cell reads another cell's state.
+//! 2. **Work items are frozen before the pool starts.** A flush
+//!    advances every cell to the *same* timestamp; the injector hands
+//!    out indices from a fixed range. Which worker advances which cell
+//!    — and in what order — cannot change any cell's result.
+//! 3. **Everything cross-shard is serial and canonically ordered.**
+//!    Routing, federation transfers (ascending borrower index, ring
+//!    lender order — see [`crate::federation`]), and kill drains (pool
+//!    admission order) all run on the caller's thread between flushes.
+//! 4. **Aggregation is in shard order.** [`ScheduleServer::finish`]
+//!    collects per-cell reports into an index-addressed slot array and
+//!    folds them `0..shards`, never in completion order.
+//!
+//! This is the same frozen-items/atomic-injector/slot-array recipe as
+//! `dsct_sim::engine`, applied to mutable cells instead of pure jobs.
+
+use crate::federation::{plan_transfers, FederationConfig, Settlement, ShardFunds};
+use crate::route::Router;
+use dsct_chaos::ShardKillPlan;
+use dsct_core::EPS_TIME;
+use dsct_exec::{ExecError, TaskOutcome};
+use dsct_machines::{Machine, MachinePark};
+use dsct_online::{Decision, Disruption, OnlineConfig, OnlineError, OnlineService, OnlineSummary};
+use dsct_workload::{ArrivalTrace, OnlineTask};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Configuration of a [`ScheduleServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Number of shard cells the park and budget are split across.
+    pub shards: usize,
+    /// Worker threads for tick flushes and the final drain; `0` = one
+    /// per available core. Results never depend on this — only
+    /// wall-clock does.
+    pub workers: usize,
+    /// Per-cell online service configuration.
+    pub online: OnlineConfig,
+    /// Cross-shard budget federation.
+    pub federation: FederationConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            workers: 1,
+            online: OnlineConfig::default(),
+            federation: FederationConfig::default(),
+        }
+    }
+}
+
+/// One task handed from a killed shard to a survivor (or dropped, when
+/// no survivor exists).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainRecord {
+    /// Kill time (the drained task re-arrives at this instant).
+    pub at: f64,
+    /// Task id.
+    pub task: u64,
+    /// The killed shard the task was pooled on.
+    pub from: usize,
+    /// Receiving shard, `None` when every shard is dead.
+    pub to: Option<usize>,
+    /// The receiver's admission decision, `None` when dropped.
+    pub decision: Option<Decision>,
+}
+
+/// Server-level aggregate, folded from per-shard summaries in shard
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSummary {
+    /// Shard count.
+    pub shards: usize,
+    /// Tasks submitted to the server (drain re-submissions excluded).
+    pub arrivals: usize,
+    /// Server-level admissions.
+    pub admitted: usize,
+    /// Server-level rejections.
+    pub rejected: usize,
+    /// Tasks dispatched to a machine, summed over shards.
+    pub dispatched: usize,
+    /// Shard kills applied.
+    pub kills: usize,
+    /// Tasks drained out of killed shards.
+    pub drained: usize,
+    /// Federation settlements executed.
+    pub settlements: usize,
+    /// Joules moved by the federation.
+    pub federated_joules: f64,
+    /// Realized total accuracy, summed over shards.
+    pub total_accuracy: f64,
+    /// Realized (settled) energy, summed over shards.
+    pub spent_energy: f64,
+    /// Latest completion over all shards.
+    pub makespan: f64,
+}
+
+/// Everything a finished server run reports. The whole struct is
+/// serializable; [`ServerReport::digest`] is the byte-comparable
+/// payload of the server determinism contract.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerReport {
+    /// `(task id, shard, decision)` per submission, in arrival order.
+    pub decisions: Vec<(u64, usize, Decision)>,
+    /// Per-shard service summaries, indexed by shard.
+    pub shard_summaries: Vec<OnlineSummary>,
+    /// Per-shard `(task id, outcome)` pairs in ascending id order.
+    pub shard_tasks: Vec<Vec<(u64, TaskOutcome)>>,
+    /// Federation transfers, in execution order.
+    pub settlements: Vec<Settlement>,
+    /// Kill drains, in execution order.
+    pub drains: Vec<DrainRecord>,
+    /// The folded aggregate.
+    pub summary: ServerSummary,
+}
+
+impl ServerReport {
+    /// Canonical JSON serialization — equal digests ⇔ equal reports,
+    /// down to every float bit.
+    pub fn digest(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+}
+
+/// Shard index recorded for a submission no live shard could take.
+const NO_SHARD: usize = usize::MAX;
+
+/// The sharded multi-tenant scheduling server. See the module docs for
+/// the determinism argument and [`crate`] docs for the model.
+pub struct ScheduleServer {
+    cfg: ServerConfig,
+    cells: Vec<Mutex<OnlineService>>,
+    /// Machines per shard (cell-local park sizes, for kill fan-out).
+    shard_sizes: Vec<usize>,
+    /// Initial budget slice per shard (the federation basis).
+    slices: Vec<f64>,
+    router: Router,
+    now: f64,
+    decisions: Vec<(u64, usize, Decision)>,
+    settlements: Vec<Settlement>,
+    drains: Vec<DrainRecord>,
+    kills: usize,
+}
+
+impl ScheduleServer {
+    /// Builds a server over `park` and a global `budget`: machines are
+    /// dealt round-robin across `cfg.shards` cells (so heterogeneous
+    /// parks spread evenly), and the budget splits proportionally to
+    /// each cell's total power draw — the slice a cell would burn
+    /// running flat-out scales with what it actually draws.
+    ///
+    /// Fails with [`OnlineError::EmptyPark`] when `cfg.shards == 0` or
+    /// exceeds the machine count (some cell would own no machines) and
+    /// [`OnlineError::InvalidBudget`] for a NaN/infinite/negative
+    /// budget.
+    pub fn new(park: &MachinePark, budget: f64, cfg: ServerConfig) -> Result<Self, OnlineError> {
+        if cfg.shards == 0 {
+            return Err(OnlineError::EmptyPark);
+        }
+        if !(budget.is_finite() && budget >= 0.0) {
+            return Err(OnlineError::InvalidBudget(budget));
+        }
+        let shards = cfg.shards;
+        let mut groups: Vec<Vec<Machine>> = vec![Vec::new(); shards];
+        for (i, m) in park.machines().iter().enumerate() {
+            groups[i % shards].push(*m);
+        }
+        let total_power: f64 = park.total_power();
+        let mut cells = Vec::with_capacity(shards);
+        let mut shard_sizes = Vec::with_capacity(shards);
+        let mut slices = Vec::with_capacity(shards);
+        for group in groups {
+            let power: f64 = group.iter().map(|m| m.power()).sum();
+            let slice = if total_power > 0.0 {
+                budget * power / total_power
+            } else {
+                budget / shards as f64
+            };
+            shard_sizes.push(group.len());
+            cells.push(Mutex::new(OnlineService::from_machines(
+                group, slice, cfg.online,
+            )?));
+            slices.push(slice);
+        }
+        Ok(Self {
+            cfg,
+            cells,
+            shard_sizes,
+            slices,
+            router: Router::new(shards),
+            now: 0.0,
+            decisions: Vec::new(),
+            settlements: Vec::new(),
+            drains: Vec::new(),
+            kills: 0,
+        })
+    }
+
+    /// The current server clock.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The tenant router (live mask included).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Effective worker count for the flush pool.
+    fn worker_count(&self) -> usize {
+        let configured = if self.cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.cfg.workers
+        };
+        configured.min(self.cells.len()).max(1)
+    }
+
+    /// Advances every cell to `t` on the worker pool. This is where the
+    /// tick-batched residual re-solves run: each cell's pool was filled
+    /// by same-tick submissions under the `AdmitAll` lazy-dirty path,
+    /// and the advance triggers exactly one re-solve per dirty cell —
+    /// in parallel across cells, deterministically (see module docs).
+    fn advance_cells(cells: &[Mutex<OnlineService>], workers: usize, t: f64) {
+        // Infallible by construction: submission and kill paths
+        // validated `t` as finite and the server clock is monotone.
+        let advance = |cell: &Mutex<OnlineService>| {
+            cell.lock()
+                .expect("cell lock")
+                .advance_clock(t)
+                .expect("server clock is finite and monotone");
+        };
+        if workers <= 1 || cells.len() <= 1 {
+            for cell in cells {
+                advance(cell);
+            }
+            return;
+        }
+        let injector = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = injector.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    advance(&cells[i]);
+                });
+            }
+        });
+    }
+
+    /// One federation round at `t`: plan on the current fund states,
+    /// then apply each settlement as a paired budget shock. Serial and
+    /// canonically ordered (see [`crate::federation`]).
+    fn rebalance(&mut self, t: f64) -> Result<(), OnlineError> {
+        if !self.cfg.federation.enabled || self.cells.len() < 2 {
+            return Ok(());
+        }
+        let funds: Vec<ShardFunds> = self
+            .cells
+            .iter_mut()
+            .enumerate()
+            .map(|(s, cell)| {
+                let svc = cell.get_mut().expect("cell lock");
+                ShardFunds {
+                    remaining: svc.ledger().remaining(),
+                    slice: self.slices[s],
+                    pending: svc.pending(),
+                    alive: self.router.is_alive(s),
+                }
+            })
+            .collect();
+        let plan = plan_transfers(&self.cfg.federation, t, &funds);
+        for s in plan {
+            self.inject(s.from, t, &Disruption::BudgetShock { delta: -s.joules })?;
+            self.inject(s.to, t, &Disruption::BudgetShock { delta: s.joules })?;
+            self.settlements.push(s);
+        }
+        Ok(())
+    }
+
+    fn inject(&mut self, shard: usize, at: f64, d: &Disruption) -> Result<(), ExecError> {
+        self.cells[shard]
+            .get_mut()
+            .expect("cell lock")
+            .inject(at, d)
+    }
+
+    /// Advances the server clock to `t`: flushes every cell (parallel,
+    /// deterministic), then runs a federation round. Called on the
+    /// first submission of each new tick and on kill events.
+    fn tick(&mut self, t: f64) -> Result<(), OnlineError> {
+        Self::advance_cells(&self.cells, self.worker_count(), t);
+        self.rebalance(t)?;
+        self.now = self.now.max(t);
+        Ok(())
+    }
+
+    /// Submits one arrival: routes it by rendezvous hash on
+    /// `task.tenant` and hands it to the owning cell. Arrivals must be
+    /// non-decreasing on the server clock; the first arrival of a new
+    /// tick flushes the previous tick's batch across all cells on the
+    /// worker pool, so same-tick submissions cost one residual re-solve
+    /// per touched shard regardless of batch size.
+    pub fn submit(&mut self, task: &OnlineTask) -> Result<Decision, OnlineError> {
+        if !task.arrival.is_finite() {
+            return Err(OnlineError::InvalidTask {
+                id: task.id,
+                field: "arrival",
+                value: task.arrival,
+            });
+        }
+        if task.arrival < self.now - EPS_TIME {
+            return Err(OnlineError::NonMonotoneClock {
+                at: task.arrival,
+                now: self.now,
+            });
+        }
+        if task.arrival > self.now + EPS_TIME {
+            self.tick(task.arrival)?;
+        }
+        let Some(shard) = self.router.route(task.tenant) else {
+            // Every shard is dead; the arrival is turned away at the
+            // door rather than lost silently.
+            self.decisions.push((task.id, NO_SHARD, Decision::Rejected));
+            return Ok(Decision::Rejected);
+        };
+        let decision = self.cells[shard]
+            .get_mut()
+            .expect("cell lock")
+            .try_submit(task)?;
+        self.decisions.push((task.id, shard, decision));
+        Ok(decision)
+    }
+
+    /// Kills shard `shard` at time `at`: the whole cell fails.
+    ///
+    /// The sequence is deterministic and ordered for correctness:
+    /// 1. flush every cell to `at` (dispatches due before the kill
+    ///    still commit; the victim's pending pool is exactly what had
+    ///    not started);
+    /// 2. mark the shard dead in the router;
+    /// 3. drain the victim's pending pool — only never-dispatched tasks
+    ///    move; failure remnants stay, their partial outcomes belong to
+    ///    the dead shard's trace;
+    /// 4. fail every machine of the cell (in-flight tasks are cut at
+    ///    `at` with the usual failure semantics);
+    /// 5. re-route the drained tasks to surviving shards by rendezvous
+    ///    hash, re-arriving at `at`, in pool (admission) order;
+    /// 6. run a federation round — the dead shard's unspent slice is
+    ///    now pure lending stock.
+    ///
+    /// Killing an already-dead shard is a no-op.
+    pub fn apply_shard_kill(&mut self, at: f64, shard: usize) -> Result<(), OnlineError> {
+        if !(at.is_finite() && at >= self.now - EPS_TIME) {
+            return Err(OnlineError::Exec(ExecError::InvalidConfig {
+                field: "kill.at",
+                value: at,
+                requirement: "finite and non-decreasing on the server clock",
+            }));
+        }
+        if shard >= self.cells.len() {
+            return Err(OnlineError::Exec(ExecError::InvalidConfig {
+                field: "kill.shard",
+                value: shard as f64,
+                requirement: "a valid shard index",
+            }));
+        }
+        if !self.router.is_alive(shard) {
+            return Ok(());
+        }
+        let at = at.max(self.now);
+        self.tick(at)?;
+        self.router.kill(shard);
+        let drained = self.cells[shard]
+            .get_mut()
+            .expect("cell lock")
+            .drain_pending();
+        for machine in 0..self.shard_sizes[shard] {
+            self.inject(shard, at, &Disruption::MachineFailure { machine })?;
+        }
+        for task in drained {
+            let mut task = task;
+            task.arrival = at;
+            match self.router.route(task.tenant) {
+                Some(dst) => {
+                    let decision = self.cells[dst]
+                        .get_mut()
+                        .expect("cell lock")
+                        .try_submit(&task)?;
+                    self.drains.push(DrainRecord {
+                        at,
+                        task: task.id,
+                        from: shard,
+                        to: Some(dst),
+                        decision: Some(decision),
+                    });
+                }
+                None => {
+                    self.drains.push(DrainRecord {
+                        at,
+                        task: task.id,
+                        from: shard,
+                        to: None,
+                        decision: None,
+                    });
+                }
+            }
+        }
+        self.kills += 1;
+        self.rebalance(at)?;
+        Ok(())
+    }
+
+    /// Finishes every cell on the worker pool and folds the per-shard
+    /// reports — in shard order, never completion order — into the
+    /// server report.
+    pub fn finish(self) -> ServerReport {
+        let workers = self.worker_count();
+        let shards = self.cells.len();
+        let slots: Vec<Mutex<Option<OnlineService>>> = self
+            .cells
+            .into_iter()
+            .map(|cell| Mutex::new(Some(cell.into_inner().expect("cell lock"))))
+            .collect();
+        let mut reports: Vec<Option<dsct_online::OnlineReport>> = Vec::new();
+        reports.resize_with(shards, || None);
+        if workers <= 1 || shards <= 1 {
+            for (i, slot) in slots.iter().enumerate() {
+                let svc = slot.lock().expect("slot lock").take().expect("unfinished");
+                reports[i] = Some(svc.finish());
+            }
+        } else {
+            let injector = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel();
+            let slots_ref = &slots;
+            let injector_ref = &injector;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
+                        let i = injector_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots_ref.len() {
+                            break;
+                        }
+                        let svc = slots_ref[i]
+                            .lock()
+                            .expect("slot lock")
+                            .take()
+                            .expect("each slot is claimed once");
+                        let _ = tx.send((i, svc.finish()));
+                    });
+                }
+                drop(tx);
+                for (i, report) in rx {
+                    reports[i] = Some(report);
+                }
+            });
+        }
+        let reports: Vec<dsct_online::OnlineReport> = reports
+            .into_iter()
+            .map(|r| r.expect("every shard finished"))
+            .collect();
+
+        let shard_summaries: Vec<OnlineSummary> =
+            reports.iter().map(|r| r.summary.clone()).collect();
+        let shard_tasks: Vec<Vec<(u64, TaskOutcome)>> = reports
+            .iter()
+            .map(|r| {
+                r.task_ids
+                    .iter()
+                    .copied()
+                    .zip(r.trace.tasks.iter().cloned())
+                    .collect()
+            })
+            .collect();
+        let rejected = self
+            .decisions
+            .iter()
+            .filter(|(_, _, d)| *d == Decision::Rejected)
+            .count();
+        let summary = ServerSummary {
+            shards,
+            arrivals: self.decisions.len(),
+            admitted: self.decisions.len() - rejected,
+            rejected,
+            dispatched: shard_summaries.iter().map(|s| s.dispatched).sum(),
+            kills: self.kills,
+            drained: self.drains.len(),
+            settlements: self.settlements.len(),
+            federated_joules: self.settlements.iter().map(|s| s.joules).sum(),
+            total_accuracy: shard_summaries.iter().map(|s| s.total_accuracy).sum(),
+            spent_energy: shard_summaries.iter().map(|s| s.spent_energy).sum(),
+            makespan: shard_summaries
+                .iter()
+                .map(|s| s.makespan)
+                .fold(0.0, f64::max),
+        };
+        ServerReport {
+            decisions: self.decisions,
+            shard_summaries,
+            shard_tasks,
+            settlements: self.settlements,
+            drains: self.drains,
+            summary,
+        }
+    }
+}
+
+/// Replays `trace` through a fresh [`ScheduleServer`] with `plan`'s
+/// shard kills merged in by firing time (a kill fires before any
+/// arrival sharing its timestamp). An empty plan is a plain sharded
+/// replay.
+pub fn replay_sharded(
+    trace: &ArrivalTrace,
+    cfg: &ServerConfig,
+    plan: &ShardKillPlan,
+) -> Result<ServerReport, OnlineError> {
+    let mut server = ScheduleServer::new(&trace.park, trace.budget, *cfg)?;
+    let mut next = 0usize;
+    for event in &plan.events {
+        while next < trace.tasks.len() && trace.tasks[next].arrival < event.at {
+            server.submit(&trace.tasks[next])?;
+            next += 1;
+        }
+        server.apply_shard_kill(event.at, event.shard)?;
+    }
+    for task in &trace.tasks[next..] {
+        server.submit(task)?;
+    }
+    Ok(server.finish())
+}

@@ -61,7 +61,7 @@ pub fn run_with(specs: &[GpuSpec]) -> Fig1Result {
 pub fn table(result: &Fig1Result) -> TextTable {
     let mut t = TextTable::new(["GPU", "year", "TFLOPS", "GFLOPS/W"]);
     let mut sorted: Vec<&GpuPoint> = result.points.iter().collect();
-    sorted.sort_by(|a, b| a.tflops.partial_cmp(&b.tflops).expect("finite"));
+    sorted.sort_by(|a, b| a.tflops.total_cmp(&b.tflops));
     for p in sorted {
         t.row([
             p.name.clone(),

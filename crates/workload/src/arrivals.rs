@@ -80,6 +80,12 @@ impl ArrivalConfig {
 pub struct OnlineTask {
     /// Stable task id (the arrival rank within the trace).
     pub id: u64,
+    /// Tenant the task belongs to. The sharded server routes every
+    /// arrival by rendezvous-hashing this key, so all tasks of one
+    /// tenant land on the same shard (single-service runs ignore it).
+    /// Defaults to `0` in traces generated before multi-tenancy.
+    #[serde(default)]
+    pub tenant: u64,
     /// Absolute arrival time in seconds.
     pub arrival: f64,
     /// Absolute deadline in seconds (`arrival < deadline`).
@@ -127,6 +133,7 @@ impl ArrivalTrace {
             .enumerate()
             .map(|(j, t)| OnlineTask {
                 id: j as u64,
+                tenant: j as u64,
                 arrival: 0.0,
                 deadline: t.deadline,
                 accuracy: t.accuracy.clone(),
@@ -142,6 +149,21 @@ impl ArrivalTrace {
     /// Largest absolute deadline (the trace horizon).
     pub fn horizon(&self) -> f64 {
         self.tasks.iter().map(|t| t.deadline).fold(0.0f64, f64::max)
+    }
+
+    /// Reassigns tenants: each task draws a tenant uniformly from
+    /// `0..tenants` using a ChaCha stream keyed by `(seed, task id)`, so
+    /// the assignment is a pure function of its arguments and never
+    /// perturbs the base trace's arrival/θ randomness. `tenants = 0` is
+    /// treated as a single tenant.
+    pub fn with_tenants(mut self, tenants: u64, seed: u64) -> ArrivalTrace {
+        let tenants = tenants.max(1);
+        for task in &mut self.tasks {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed ^ task.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            task.tenant = rng.gen_range(0..tenants);
+        }
+        self
     }
 }
 
@@ -189,6 +211,7 @@ pub fn generate_arrivals(cfg: &ArrivalConfig, seed: u64) -> Result<ArrivalTrace,
         let deadline = arrival + cfg.deadline_slack * acc.f_max() / mean_speed;
         tasks.push(OnlineTask {
             id: i as u64,
+            tenant: i as u64,
             arrival,
             deadline,
             accuracy: acc,
@@ -235,6 +258,7 @@ pub fn synthesize_burst(
             let deadline = at + deadline_slack * accuracy.f_max() / mean_speed;
             OnlineTask {
                 id: first_id + k as u64,
+                tenant: first_id + k as u64,
                 arrival: at,
                 deadline,
                 accuracy,
@@ -340,6 +364,23 @@ mod tests {
         let mut c = cfg(0.5);
         c.tasks.n = 0;
         assert_eq!(c.validate(), Err(ConfigError::Empty("tasks.n")));
+    }
+
+    #[test]
+    fn tenant_assignment_is_pure_and_leaves_the_base_trace_intact() {
+        let base = generate_arrivals(&cfg(0.5), 7).unwrap();
+        let a = base.clone().with_tenants(4, 13);
+        let b = base.clone().with_tenants(4, 13);
+        assert_eq!(a, b);
+        assert!(a.tasks.iter().all(|t| t.tenant < 4));
+        // Only the tenant labels change; arrivals/deadlines/curves stay.
+        for (x, y) in base.tasks.iter().zip(&a.tasks) {
+            assert_eq!((x.id, x.arrival, x.deadline), (y.id, y.arrival, y.deadline));
+            assert_eq!(x.accuracy, y.accuracy);
+        }
+        let other = base.clone().with_tenants(4, 14);
+        assert_ne!(a, other, "the tenant stream is keyed by the seed");
+        assert!(base.with_tenants(0, 1).tasks.iter().all(|t| t.tenant == 0));
     }
 
     #[test]

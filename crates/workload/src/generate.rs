@@ -41,7 +41,7 @@ pub fn generate(cfg: &InstanceConfig, seed: u64) -> Instance {
     let mut deadlines: Vec<f64> = (0..cfg.tasks.n)
         .map(|_| rng.gen_range(0.0..1.0f64).max(1e-6) * d_max)
         .collect();
-    deadlines.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    deadlines.sort_by(f64::total_cmp);
     *deadlines.last_mut().expect("non-empty") = d_max;
 
     let budget = cfg.beta * d_max * park.total_power();

@@ -22,6 +22,8 @@
 //! - [`online`] — arrival-driven service: rolling-horizon re-plans,
 //!   admission control, and the energy ledger;
 //! - [`chaos`] — deterministic fault-injection plans and chaos replays;
+//! - [`server`] — sharded multi-tenant scheduling server: rendezvous
+//!   tenant routing, per-shard cells, cross-shard budget federation;
 //! - [`sim`] — the experiment harness regenerating every table and figure.
 
 pub use dsct_accuracy as accuracy;
@@ -32,6 +34,7 @@ pub use dsct_lp as lp;
 pub use dsct_machines as machines;
 pub use dsct_mip as mip;
 pub use dsct_online as online;
+pub use dsct_server as server;
 pub use dsct_sim as sim;
 pub use dsct_workload as workload;
 
@@ -55,6 +58,7 @@ pub mod prelude {
         replay, AdmissionPolicy, Decision, Disruption, EnergyLedger, OnlineConfig, OnlineService,
         ReplanStrategy,
     };
+    pub use dsct_server::{replay_sharded, Router, ScheduleServer, ServerConfig};
     pub use dsct_sim::engine::{ExperimentPlan, ExperimentRun};
     pub use dsct_workload::{
         generate_arrivals, ArrivalConfig, ArrivalTrace, InstanceConfig, MachineConfig, OnlineTask,
