@@ -1,28 +1,47 @@
-//! Online-service replan bench with machine-readable output: one
-//! deterministic Poisson trace (`n=80, m=6`, seed 777, λ=1) replayed
-//! through `dsct-online` under the `DegradeToFit` policy — which solves
-//! the residual instance on every arrival — with the two replan
-//! strategies this repo ablates:
+//! Online-service replan bench with machine-readable output, in two
+//! parts:
+//!
+//! **Trace replay** — one deterministic Poisson trace (`n=80, m=6`,
+//! seed 777, λ=1) replayed through `dsct-online` under the
+//! `DegradeToFit` policy with the three replan strategies this repo
+//! ablates:
 //!
 //! * `cold` — every re-solve runs the full FR-OPT pipeline (naive
 //!   profile + transfer pass + profile search),
 //! * `warm` — re-solves start the profile search from the incumbent's
-//!   fractional profile restricted to still-pending tasks.
+//!   fractional profile restricted to still-pending tasks,
+//! * `incremental` — re-solves go through the [`Replanner`]: a
+//!   fingerprint-keyed plan/estimate cache plus checkpoint insertion
+//!   deltas, falling back to the full solve when a delta is invalid.
 //!
-//! Writes the median per-arrival decision latency per arm as JSON so CI
-//! can archive the perf trajectory. The two arms must make *identical*
-//! admission decisions and near-identical realized accuracy — checked
-//! here, not just in the test suite, so a perf run can never silently
-//! trade correctness for speed.
+//! The three arms must make *identical* admission decisions, and the
+//! incremental arm must reproduce the cold arm's accuracy and energy
+//! ledger **bit-exactly** — checked here, not just in the test suite,
+//! so a perf run can never silently trade correctness for speed.
+//!
+//! **Pool sweep** — per-arrival decision latency against a standing
+//! pool of {100, 400, 1600} admitted tasks: the service is preloaded,
+//! then probed with same-timestamp shallow zero-floor candidates that
+//! `RejectIfInfeasible` always turns away (no adoption, so every probe
+//! sees the same pool and the sweep isolates the gated tentative
+//! evaluation). The cold/warm arms pay a full residual solve per probe;
+//! the incremental arm answers repeats from its estimate cache, so its
+//! per-arrival latency grows sublinearly in the pool size. p50/p99 and
+//! the cache-hit ratio per (pool, arm) land in the JSON.
 //!
 //! Usage: `bench_online [--json PATH] [--repeats N] [--check]`
-//! `--check` exits non-zero if the warm arm is > 10% slower than the
-//! cold baseline (the CI perf-smoke gate; warm is expected to be
-//! *faster*, the gate only guards against regressions in the hook).
+//! `--check` exits non-zero if the incremental arm is not at least
+//! 1.5x faster than warm-start per arrival at pool 400 (the CI
+//! perf-smoke gate). The decision-drift and bit-identity assertions
+//! run unconditionally.
 
-use dsct_online::{replay, AdmissionPolicy, Decision, OnlineConfig, ReplanStrategy};
+use dsct_accuracy::PwlAccuracy;
+use dsct_online::{
+    replay, AdmissionPolicy, Decision, OnlineConfig, OnlineService, ReplanStrategy, ReplayConfig,
+};
 use dsct_workload::{
-    generate_arrivals, ArrivalConfig, ArrivalTrace, MachineConfig, TaskConfig, ThetaDistribution,
+    generate_arrivals, ArrivalConfig, ArrivalTrace, MachineConfig, OnlineTask, TaskConfig,
+    ThetaDistribution,
 };
 use std::time::Instant;
 
@@ -34,16 +53,41 @@ const DEADLINE_SLACK: f64 = 2.0;
 const BETA: f64 = 0.5;
 const WARMUP: usize = 1;
 const DEFAULT_REPEATS: usize = 9;
-/// CI gate: warm must not be slower than cold by more than this.
-const CHECK_MAX_RATIO: f64 = 1.10;
 
-struct ArmResult {
+const POOL_SIZES: [usize; 3] = [100, 400, 1600];
+const POOL_MACHINES: usize = 8;
+/// Distinct probe shapes per round: each is a cache miss the first time
+/// it is seen and a hit on every later round.
+const PROBE_VARIANTS: usize = 4;
+/// Rounds of the probe-variant cycle per (pool, arm).
+const PROBE_ROUNDS: usize = 4;
+/// CI gate: at pool 400, incremental must be at least this many times
+/// faster than warm-start per arrival (p50).
+const CHECK_MIN_SPEEDUP: f64 = 1.5;
+
+const STRATEGIES: [(&str, ReplanStrategy); 3] = [
+    ("cold", ReplanStrategy::Cold),
+    ("warm", ReplanStrategy::WarmStart),
+    ("incremental", ReplanStrategy::Incremental),
+];
+
+struct ReplayArm {
     name: &'static str,
     median_ns_per_arrival: u128,
     accuracy: f64,
+    ledger: String,
     decisions: Vec<(u64, Decision)>,
     solves: usize,
     admitted: usize,
+    cache_hit_ratio: f64,
+}
+
+struct SweepArm {
+    name: &'static str,
+    p50_ns: u128,
+    p99_ns: u128,
+    cache_hit_ratio: f64,
+    decisions: Vec<Decision>,
 }
 
 fn trace() -> ArrivalTrace {
@@ -57,12 +101,15 @@ fn trace() -> ArrivalTrace {
     generate_arrivals(&cfg, SEED).expect("bench config is valid")
 }
 
-fn run_arm(name: &'static str, replan: ReplanStrategy, repeats: usize) -> ArmResult {
+fn run_replay_arm(name: &'static str, replan: ReplanStrategy, repeats: usize) -> ReplayArm {
     let trace = trace();
-    let cfg = OnlineConfig {
-        policy: AdmissionPolicy::DegradeToFit,
-        replan,
-        ..OnlineConfig::default()
+    let cfg = ReplayConfig {
+        online: OnlineConfig {
+            policy: AdmissionPolicy::DegradeToFit,
+            replan,
+            ..OnlineConfig::default()
+        },
+        ..ReplayConfig::default()
     };
     for _ in 0..WARMUP {
         std::hint::black_box(replay(&trace, &cfg).expect("valid config"));
@@ -77,13 +124,86 @@ fn run_arm(name: &'static str, replan: ReplanStrategy, repeats: usize) -> ArmRes
     }
     times_ns.sort_unstable();
     let report = last.expect("repeats >= 1");
-    ArmResult {
+    ReplayArm {
         name,
         median_ns_per_arrival: times_ns[times_ns.len() / 2],
         accuracy: report.summary.total_accuracy,
+        ledger: format!("{:?}", report.ledger),
         admitted: report.summary.admitted,
         solves: report.summary.solves,
+        cache_hit_ratio: report.replan.hit_ratio(),
         decisions: report.decisions,
+    }
+}
+
+/// A standing pool of `size` tasks, all live at `t = 0`: the trace
+/// generator's tasks with their arrivals collapsed to zero (deadlines
+/// keep their absolute spread, so the residual instance stays rich).
+fn standing_pool(size: usize) -> ArrivalTrace {
+    let cfg = ArrivalConfig {
+        tasks: TaskConfig::paper(size, ThetaDistribution::Uniform { min: 0.1, max: 2.0 }),
+        machines: MachineConfig::paper_random(POOL_MACHINES),
+        load: LOAD,
+        deadline_slack: DEADLINE_SLACK,
+        beta: BETA,
+    };
+    let mut trace = generate_arrivals(&cfg, SEED).expect("bench config is valid");
+    for task in &mut trace.tasks {
+        task.arrival = 0.0;
+    }
+    trace
+}
+
+/// A same-timestamp probe the `RejectIfInfeasible` gate always turns
+/// away: zero floor, and a ceiling far below the admission epsilon, so
+/// the tentative candidate value can never clear `a_min + ε`. Variants
+/// differ in deadline so each is a distinct replanner cache key.
+fn probe(variant: usize, id: u64) -> OnlineTask {
+    OnlineTask {
+        id,
+        tenant: 0,
+        arrival: 0.0,
+        deadline: 1.0 + 0.25 * variant as f64,
+        accuracy: PwlAccuracy::new(&[(0.0, 0.0), (1.0, 1e-7)]).expect("valid shallow pwl"),
+    }
+}
+
+fn run_sweep_arm(pool: &ArrivalTrace, name: &'static str, replan: ReplanStrategy) -> SweepArm {
+    let cfg = OnlineConfig {
+        policy: AdmissionPolicy::RejectIfInfeasible,
+        replan,
+        check_invariants: false,
+        ..OnlineConfig::default()
+    };
+    let mut svc = OnlineService::new(pool.park.clone(), pool.budget, cfg)
+        .expect("zero jitter is a valid execution config");
+    svc.preload(&pool.tasks).expect("pool tasks are valid");
+    // One untimed probe pays the initial full solve of the standing
+    // pool (ensure_plan) so the timed probes measure only the gated
+    // tentative evaluation.
+    svc.try_submit(&probe(0, 900_000)).expect("valid probe");
+
+    let mut latencies: Vec<u128> = Vec::with_capacity(PROBE_ROUNDS * PROBE_VARIANTS);
+    let mut decisions = Vec::with_capacity(PROBE_ROUNDS * PROBE_VARIANTS);
+    let mut next_id = 1_000_000u64;
+    for _round in 0..PROBE_ROUNDS {
+        for variant in 0..PROBE_VARIANTS {
+            let task = probe(variant, next_id);
+            next_id += 1;
+            let t0 = Instant::now();
+            let decision = svc.try_submit(&task).expect("valid probe");
+            latencies.push(t0.elapsed().as_nanos());
+            decisions.push(decision);
+        }
+    }
+    latencies.sort_unstable();
+    let p99_idx = (latencies.len() * 99).div_ceil(100).saturating_sub(1);
+    SweepArm {
+        name,
+        p50_ns: latencies[latencies.len() / 2],
+        p99_ns: latencies[p99_idx],
+        cache_hit_ratio: svc.replan_stats().hit_ratio(),
+        decisions,
     }
 }
 
@@ -113,14 +233,34 @@ fn main() {
         }
     }
 
-    let cold = run_arm("cold", ReplanStrategy::Cold, repeats);
-    let warm = run_arm("warm", ReplanStrategy::WarmStart, repeats);
+    // ---- Part 1: trace replay, three strategies -----------------------
+    let arms: Vec<ReplayArm> = STRATEGIES
+        .iter()
+        .map(|&(name, replan)| run_replay_arm(name, replan, repeats))
+        .collect();
 
-    // Correctness before speed: identical admissions, near-equal value.
+    // Correctness before speed: identical admissions everywhere, and
+    // the incremental arm bit-exact against cold (value and ledger).
+    for arm in &arms[1..] {
+        assert_eq!(
+            arms[0].decisions, arm.decisions,
+            "{} replans diverged from cold on admission decisions",
+            arm.name
+        );
+    }
+    let (cold, incremental) = (&arms[0], &arms[2]);
     assert_eq!(
-        cold.decisions, warm.decisions,
-        "warm and cold replans diverged on admission decisions"
+        cold.accuracy.to_bits(),
+        incremental.accuracy.to_bits(),
+        "incremental accuracy {} is not bit-identical to cold {}",
+        incremental.accuracy,
+        cold.accuracy
     );
+    assert_eq!(
+        cold.ledger, incremental.ledger,
+        "incremental energy ledger diverged from cold"
+    );
+    let warm = &arms[1];
     let drift = (warm.accuracy - cold.accuracy).abs();
     let tol = 1e-2 * cold.accuracy.abs().max(1.0);
     assert!(
@@ -130,57 +270,118 @@ fn main() {
         cold.accuracy
     );
 
-    let arms = [cold, warm];
-    let speedup = |arm: &ArmResult| {
+    let speedup = |arm: &ReplayArm| {
         arms[0].median_ns_per_arrival as f64 / arm.median_ns_per_arrival.max(1) as f64
     };
     let mut arm_json = Vec::with_capacity(arms.len());
     for arm in &arms {
         println!(
-            "[online bench] {:<5} median {:>10} ns/arrival  ({:.2}x vs cold, acc {:.9}, \
-             admitted {}/{}, solves {})",
+            "[online bench] {:<11} median {:>10} ns/arrival  ({:.2}x vs cold, acc {:.9}, \
+             admitted {}/{}, solves {}, cache-hit {:.2})",
             arm.name,
             arm.median_ns_per_arrival,
             speedup(arm),
             arm.accuracy,
             arm.admitted,
             N_TASKS,
-            arm.solves
+            arm.solves,
+            arm.cache_hit_ratio
         );
         arm_json.push(format!(
             "    {{\"name\": \"{}\", \"median_ns_per_arrival\": {}, \"speedup_vs_cold\": {:.4}, \
-             \"accuracy\": {:.12}, \"admitted\": {}, \"solves\": {}}}",
+             \"accuracy\": {:.12}, \"admitted\": {}, \"solves\": {}, \"cache_hit_ratio\": {:.4}}}",
             arm.name,
             arm.median_ns_per_arrival,
             speedup(arm),
             arm.accuracy,
             arm.admitted,
-            arm.solves
+            arm.solves,
+            arm.cache_hit_ratio
         ));
     }
+
+    // ---- Part 2: standing-pool sweep ----------------------------------
+    let mut sweep_json = Vec::with_capacity(POOL_SIZES.len());
+    let mut incremental_p50 = Vec::with_capacity(POOL_SIZES.len());
+    let mut warm_p50_at_400 = 0u128;
+    let mut incremental_p50_at_400 = 0u128;
+    for &size in &POOL_SIZES {
+        let pool = standing_pool(size);
+        let sweep: Vec<SweepArm> = STRATEGIES
+            .iter()
+            .map(|&(name, replan)| run_sweep_arm(&pool, name, replan))
+            .collect();
+        for arm in &sweep[1..] {
+            assert_eq!(
+                sweep[0].decisions, arm.decisions,
+                "pool {size}: {} probe decisions diverged from cold",
+                arm.name
+            );
+        }
+        assert!(
+            sweep[0].decisions.iter().all(|&d| d == Decision::Rejected),
+            "pool {size}: a shallow zero-floor probe was admitted"
+        );
+        assert!(
+            sweep[2].cache_hit_ratio > 0.0,
+            "pool {size}: the incremental arm never hit its cache"
+        );
+        let mut arm_parts = Vec::with_capacity(sweep.len());
+        for arm in &sweep {
+            println!(
+                "[online bench] pool {:<4} {:<11} p50 {:>12} ns  p99 {:>12} ns  cache-hit {:.2}",
+                size, arm.name, arm.p50_ns, arm.p99_ns, arm.cache_hit_ratio
+            );
+            arm_parts.push(format!(
+                "{{\"name\": \"{}\", \"p50_ns\": {}, \"p99_ns\": {}, \"cache_hit_ratio\": {:.4}}}",
+                arm.name, arm.p50_ns, arm.p99_ns, arm.cache_hit_ratio
+            ));
+        }
+        incremental_p50.push(sweep[2].p50_ns);
+        if size == 400 {
+            warm_p50_at_400 = sweep[1].p50_ns;
+            incremental_p50_at_400 = sweep[2].p50_ns;
+        }
+        sweep_json.push(format!(
+            "    {{\"pool\": {size}, \"arms\": [{}]}}",
+            arm_parts.join(", ")
+        ));
+    }
+    // Sublinearity evidence: cached incremental probes dodge the full
+    // residual solve, so p50 grows much slower than the 16x pool ratio.
+    let pool_ratio = POOL_SIZES[2] as f64 / POOL_SIZES[0] as f64;
+    let latency_ratio = incremental_p50[2] as f64 / incremental_p50[0].max(1) as f64;
+    println!(
+        "[online bench] incremental p50 grew {latency_ratio:.2}x across a {pool_ratio:.0}x \
+         pool-size sweep"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"online_replan\",\n  \"trace\": {{\"n\": {N_TASKS}, \
          \"m\": {M_MACHINES}, \"seed\": {SEED}, \"load\": {LOAD}, \
          \"deadline_slack\": {DEADLINE_SLACK}, \"beta\": {BETA}}},\n  \
-         \"policy\": \"DegradeToFit\",\n  \"repeats\": {repeats},\n  \"arms\": [\n{}\n  ]\n}}\n",
-        arm_json.join(",\n")
+         \"policy\": \"DegradeToFit\",\n  \"repeats\": {repeats},\n  \"arms\": [\n{}\n  ],\n  \
+         \"pool_sweep\": [\n{}\n  ],\n  \"pool_scaling\": {{\"pool_ratio\": {pool_ratio:.1}, \
+         \"incremental_p50_ratio\": {latency_ratio:.4}}}\n}}\n",
+        arm_json.join(",\n"),
+        sweep_json.join(",\n")
     );
     std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
     println!("[online bench] wrote {json_path} ({repeats} repeats)");
 
     if check {
-        let ratio =
-            arms[1].median_ns_per_arrival as f64 / arms[0].median_ns_per_arrival.max(1) as f64;
-        if ratio > CHECK_MAX_RATIO {
+        let ratio = warm_p50_at_400 as f64 / incremental_p50_at_400.max(1) as f64;
+        if ratio < CHECK_MIN_SPEEDUP {
             eprintln!(
-                "[online bench] FAIL: warm replans are {:.2}x the cold baseline \
-                 (limit {CHECK_MAX_RATIO}x)",
+                "[online bench] FAIL: at pool 400 incremental is only {:.2}x faster than \
+                 warm-start per arrival (floor {CHECK_MIN_SPEEDUP}x)",
                 ratio
             );
             std::process::exit(1);
         }
         println!(
-            "[online bench] check passed: warm/cold ratio {:.3} <= {CHECK_MAX_RATIO}",
+            "[online bench] CHECK OK: at pool 400 incremental is {:.2}x faster than \
+             warm-start per arrival (floor {CHECK_MIN_SPEEDUP}x)",
             ratio
         );
     }

@@ -64,9 +64,11 @@ fn trace() -> ArrivalTrace {
 
 fn server_config(shards: usize, workers: usize) -> ServerConfig {
     ServerConfig {
-        shards,
-        workers,
-        online: OnlineConfig::default(),
+        replay: dsct_online::ReplayConfig {
+            shards,
+            workers,
+            online: OnlineConfig::default(),
+        },
         ..ServerConfig::default()
     }
 }

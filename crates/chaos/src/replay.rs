@@ -61,7 +61,7 @@ pub fn chaos_replay(
     let mut next_task = 0usize;
     for event in &plan.events {
         while next_task < trace.tasks.len() && trace.tasks[next_task].arrival < event.at {
-            svc.submit(&trace.tasks[next_task]);
+            svc.try_submit(&trace.tasks[next_task])?;
             next_task += 1;
         }
         match event.kind {
@@ -86,14 +86,14 @@ pub fn chaos_replay(
                 let burst =
                     synthesize_burst(&tcfg, seed, count, event.at, &trace.park, slack, first_id);
                 for task in &burst {
-                    svc.submit(task);
+                    svc.try_submit(task)?;
                     burst_arrivals += 1;
                 }
             }
         }
     }
     for task in &trace.tasks[next_task..] {
-        svc.submit(task);
+        svc.try_submit(task)?;
     }
     let report = svc.finish();
     let summary = ChaosSummary {
@@ -143,7 +143,11 @@ mod tests {
         };
         let cfg = OnlineConfig::default();
         let chaos = chaos_replay(&t, &cfg, &empty).unwrap();
-        let plain = dsct_online::replay(&t, &cfg).unwrap();
+        let rcfg = dsct_online::ReplayConfig {
+            online: cfg,
+            ..Default::default()
+        };
+        let plain = dsct_online::replay(&t, &rcfg).unwrap();
         assert_eq!(
             serde_json::to_string(&chaos.summary.online).unwrap(),
             serde_json::to_string(&plain.summary).unwrap(),

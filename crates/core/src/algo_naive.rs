@@ -25,7 +25,7 @@ use crate::algo_single::{
     accuracy_gain_buckets, accuracy_gain_ordered, schedule_single_machine, BucketSlack,
     SegmentSpec, SlackTree,
 };
-use crate::problem::Instance;
+use crate::problem::{Instance, Task};
 use crate::profile::EnergyProfile;
 use crate::schedule::FractionalSchedule;
 use crate::EPS_TIME;
@@ -467,6 +467,198 @@ impl<'a> NaiveSolver<'a> {
         Some(self.base_accuracy + gain)
     }
 
+    /// Δ-probe across a *task insertion*: `V(caps)` of the instance
+    /// extended with `extra`, evaluated at the checkpoint's unchanged
+    /// caps — the [`ValueCheckpoint`] machinery generalized from cap
+    /// changes to pool-membership changes.
+    ///
+    /// With the caps fixed, inserting a deadline cannot change the
+    /// aggregate capacity reachable by any *existing* deadline, and the
+    /// new deadline's own capacity is sandwiched between its neighbors'
+    /// (capacity is monotone in the deadline), so the checkpointed bucket
+    /// array is patched by splitting exactly one bucket; the greedy then
+    /// reruns once over the merged segment list (the incumbent's
+    /// slope-sorted segments interleaved with the new task's, ties broken
+    /// as [`crate::algo_single::sort_segments`] breaks them) with task
+    /// indices at or above the insertion point shifted up. No profile
+    /// descent, no capacity transform.
+    ///
+    /// The inserted task lands at EDF position `partition_point(d ≤
+    /// d_new)` — after every equal deadline, matching a stable
+    /// deadline sort of the pool with the newcomer appended last.
+    ///
+    /// Returns `None` when the checkpoint cannot support the delta (no
+    /// incumbent, machine-count mismatch, non-finite deadline); the
+    /// caller then falls back to the full solve, which is bit-exact by
+    /// construction.
+    pub fn value_insert_delta(
+        &self,
+        ws: &mut ValueFnWorkspace,
+        chk: &ValueCheckpoint,
+        extra: &Task,
+    ) -> Option<f64> {
+        let machines = self.inst.machines().machines();
+        let m = machines.len();
+        let n = self.deadlines.len();
+        let d_new = extra.deadline;
+        if !chk.valid || chk.caps.len() != m || !d_new.is_finite() || d_new < 0.0 {
+            return None;
+        }
+        ws.stats.probes += 1;
+        ws.stats.incremental_probes += 1;
+
+        let p = self.deadlines.partition_point(|&d| d <= d_new);
+        let raw_new: f64 = machines
+            .iter()
+            .zip(&chk.caps)
+            .map(|(mach, &c)| c.min(d_new) * mach.speed())
+            .sum();
+        let prev = if p == 0 { 0.0 } else { chk.td[p - 1] };
+        let guarded_new = if raw_new < prev { prev } else { raw_new };
+        ws.delta_buckets.clear();
+        ws.delta_buckets.push(guarded_new - prev);
+        if p < n {
+            // The old bucket at `p` splits around the new deadline; the
+            // clamp guards against summation-order noise pushing the new
+            // capacity a bit past its successor's.
+            ws.delta_buckets.push((chk.td[p] - guarded_new).max(0.0));
+            ws.delta_buckets.extend_from_slice(&chk.buckets[p + 1..]);
+        }
+        ws.buckets.load(&chk.buckets[..p], &ws.delta_buckets);
+
+        // Merged greedy: walk the incumbent's slope order and the new
+        // task's segments (position order is slope-descending on a concave
+        // curve) together; old task indices ≥ p shift up by one.
+        let mut new_segs = extra.accuracy.segments();
+        let mut pending_new = new_segs.next();
+        let mut oi = 0usize;
+        let mut gain = 0.0f64;
+        loop {
+            if ws.buckets.exhausted() {
+                break;
+            }
+            let old = self.order.get(oi).map(|&si| &self.segments[si]);
+            let (slope, bound, flops) = match (old, &pending_new) {
+                (None, None) => break,
+                (Some(seg), None) => {
+                    oi += 1;
+                    let t = if seg.task < p { seg.task } else { seg.task + 1 };
+                    (seg.slope, t, seg.total_flops)
+                }
+                (None, Some(s)) => {
+                    let out = (s.slope, p, s.width());
+                    pending_new = new_segs.next();
+                    out
+                }
+                (Some(seg), Some(s)) => {
+                    let old_task = if seg.task < p { seg.task } else { seg.task + 1 };
+                    // sort_segments order: slope descending, then task,
+                    // then position; old and new never share a task index.
+                    let old_first = match seg.slope.total_cmp(&s.slope) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Equal => old_task < p,
+                    };
+                    if old_first {
+                        oi += 1;
+                        (seg.slope, old_task, seg.total_flops)
+                    } else {
+                        let out = (s.slope, p, s.width());
+                        pending_new = new_segs.next();
+                        out
+                    }
+                }
+            };
+            if flops <= 0.0 || slope <= 0.0 {
+                continue;
+            }
+            let c = ws.buckets.consume(bound, flops);
+            if c > 0.0 {
+                gain += slope * c;
+            }
+        }
+        Some(self.base_accuracy + extra.accuracy.a_min() + gain)
+    }
+
+    /// Δ-probe across a *task removal*: `V(caps)` of the instance with
+    /// the task at EDF index `removed` dropped, at the checkpoint's
+    /// unchanged caps. The twin of [`NaiveSolver::value_insert_delta`]
+    /// for completion/cancellation deltas.
+    ///
+    /// Dropping a deadline can deflate the monotone guard downstream of
+    /// it (the removed entry may have been the running max), so the
+    /// guarded suffix from the removal point is rebuilt from the
+    /// checkpointed raw sums — the same suffix patch
+    /// [`NaiveSolver::value_delta`] performs for cap changes — and the
+    /// greedy reruns with the removed task's segments skipped and higher
+    /// task indices shifted down.
+    ///
+    /// Returns `None` when the checkpoint cannot support the delta (no
+    /// incumbent, machine-count mismatch, index out of range); the caller
+    /// falls back to the full solve bit-exactly.
+    pub fn value_remove_delta(
+        &self,
+        ws: &mut ValueFnWorkspace,
+        chk: &ValueCheckpoint,
+        removed: usize,
+    ) -> Option<f64> {
+        let m = self.inst.num_machines();
+        let n = self.deadlines.len();
+        if !chk.valid || chk.caps.len() != m || removed >= n {
+            return None;
+        }
+        ws.stats.probes += 1;
+        ws.stats.incremental_probes += 1;
+
+        ws.delta_buckets.clear();
+        let mut prev = if removed == 0 {
+            0.0
+        } else {
+            chk.td[removed - 1]
+        };
+        for j in removed + 1..n {
+            let raw = chk.td_raw[j];
+            let guarded = if raw < prev { prev } else { raw };
+            ws.delta_buckets.push(guarded - prev);
+            prev = guarded;
+        }
+        ws.buckets.load(&chk.buckets[..removed], &ws.delta_buckets);
+
+        let mut gain = 0.0f64;
+        for &si in &self.order {
+            if ws.buckets.exhausted() {
+                break;
+            }
+            let seg = &self.segments[si];
+            if seg.task == removed || seg.total_flops <= 0.0 || seg.slope <= 0.0 {
+                continue;
+            }
+            let bound = if seg.task < removed {
+                seg.task
+            } else {
+                seg.task - 1
+            };
+            let c = ws.buckets.consume(bound, seg.total_flops);
+            if c > 0.0 {
+                gain += seg.slope * c;
+            }
+        }
+        Some(self.base_accuracy - self.inst.task(removed).accuracy.a_min() + gain)
+    }
+
+    /// Algorithm 1's pooled per-task work vector for `caps`: the
+    /// fractional flops each task receives under the profile, skipping
+    /// Algorithm 2's machine distribution entirely. Bit-identical to the
+    /// `flops` of [`compute_naive_solution`] at the same profile (both
+    /// come from the same temporary-deadline transform and single-machine
+    /// solve); the distribution step only spreads these totals across
+    /// machines.
+    pub fn flops_under(&self, caps: &[f64]) -> Vec<f64> {
+        let mut temp_deadlines = Vec::with_capacity(self.inst.num_tasks());
+        crate::profile::temp_deadlines_into(self.inst, caps, &mut temp_deadlines);
+        schedule_single_machine_ordered(&temp_deadlines, 1.0, &self.segments, &self.order).times
+    }
+
     /// Full Algorithm 2 solve (with machine distribution) for a profile.
     pub fn solve(&self, profile: &EnergyProfile) -> NaiveSolution {
         compute_naive_solution(self.inst, profile)
@@ -730,6 +922,133 @@ mod tests {
         assert!(solver
             .value_delta(&mut ws, &ValueCheckpoint::new(), &[(0, 1.0)])
             .is_none());
+    }
+
+    /// Insertion and removal Δ-probes agree with full evaluations of the
+    /// extended/reduced instance, across random profiles and insertion
+    /// points (including duplicate deadlines), and invalid deltas fall
+    /// back with `None` instead of answering wrongly.
+    #[test]
+    fn insert_and_remove_deltas_match_full_evaluation() {
+        use rand::{Rng, SeedableRng};
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(2.0, 5.0).unwrap(),
+            Machine::from_efficiency(4.0, 8.0).unwrap(),
+            Machine::from_efficiency(1.0, 12.0).unwrap(),
+        ]);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4242);
+        for trial in 0..60 {
+            let n = rng.gen_range(1..8);
+            let mut tasks: Vec<Task> = (0..n)
+                .map(|_| {
+                    let d = if rng.gen_bool(0.25) {
+                        2.0 // force duplicate deadlines regularly
+                    } else {
+                        rng.gen_range(0.2..4.0)
+                    };
+                    let s1: f64 = rng.gen_range(0.1..0.8);
+                    let s2 = s1 * rng.gen_range(0.2..0.9);
+                    Task::new(d, acc(&[(s1, rng.gen_range(0.5..3.0)), (s2, 2.0)]))
+                })
+                .collect();
+            tasks.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
+            let inst = Instance::new(tasks.clone(), park.clone(), 15.0).unwrap();
+            let solver = NaiveSolver::new(&inst);
+            let mut ws = solver.workspace();
+            let mut chk = ValueCheckpoint::new();
+            let caps: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..4.0)).collect();
+            solver.checkpoint_into(&mut ws, &caps, &mut chk);
+
+            // Insertion: delta vs a cold solver on the extended instance.
+            let extra = Task::new(
+                if rng.gen_bool(0.3) {
+                    2.0
+                } else {
+                    rng.gen_range(0.1..4.5)
+                },
+                acc(&[(rng.gen_range(0.1..0.9), rng.gen_range(0.5..2.5))]),
+            );
+            let inc = solver
+                .value_insert_delta(&mut ws, &chk, &extra)
+                .expect("valid insertion must be delta-eligible");
+            let mut extended = tasks.clone();
+            let p = extended
+                .iter()
+                .position(|t| t.deadline > extra.deadline)
+                .unwrap_or(extended.len());
+            extended.insert(p, extra.clone());
+            let ext_inst = Instance::new(extended, park.clone(), 15.0).unwrap();
+            let ext_solver = NaiveSolver::new(&ext_inst);
+            let mut ext_ws = ext_solver.workspace();
+            let full = ext_solver.value_with(&mut ext_ws, &caps);
+            assert!(
+                (inc - full).abs() <= 1e-9 * (1.0 + full.abs()),
+                "trial {trial} insert: delta {inc} vs full {full}"
+            );
+
+            // Removal: delta vs a cold solver on the reduced instance.
+            let q = rng.gen_range(0..n);
+            let rem = solver
+                .value_remove_delta(&mut ws, &chk, q)
+                .expect("in-range removal must be delta-eligible");
+            let mut reduced = tasks.clone();
+            reduced.remove(q);
+            let full_rem = if reduced.is_empty() {
+                0.0
+            } else {
+                let red_inst = Instance::new(reduced, park.clone(), 15.0).unwrap();
+                let red_solver = NaiveSolver::new(&red_inst);
+                let mut red_ws = red_solver.workspace();
+                red_solver.value_with(&mut red_ws, &caps)
+            };
+            assert!(
+                (rem - full_rem).abs() <= 1e-9 * (1.0 + full_rem.abs()),
+                "trial {trial} remove idx {q}: delta {rem} vs full {full_rem}"
+            );
+
+            // The checkpoint survives membership probes untouched.
+            let again = solver
+                .value_delta(&mut ws, &chk, &[])
+                .expect("empty delta stays valid");
+            assert_eq!(again.to_bits(), chk.value().to_bits());
+        }
+
+        // Invalid deltas: fall back, never guess.
+        let tasks = vec![Task::new(1.0, acc(&[(0.5, 2.0)]))];
+        let inst = Instance::new(tasks, park.clone(), 5.0).unwrap();
+        let solver = NaiveSolver::new(&inst);
+        let mut ws = solver.workspace();
+        let mut chk = ValueCheckpoint::new();
+        let bad = Task::new(1.0, acc(&[(0.5, 1.0)]));
+        assert!(solver.value_insert_delta(&mut ws, &chk, &bad).is_none());
+        assert!(solver.value_remove_delta(&mut ws, &chk, 0).is_none());
+        solver.checkpoint_into(&mut ws, &[1.0, 1.0, 1.0], &mut chk);
+        assert!(solver.value_remove_delta(&mut ws, &chk, 7).is_none());
+        assert!(solver
+            .value_insert_delta(&mut ws, &chk, &Task::new(f64::NAN, acc(&[(0.5, 1.0)])))
+            .is_none());
+    }
+
+    #[test]
+    fn flops_under_matches_compute_naive_solution() {
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(2.0, 5.0).unwrap(),
+            Machine::from_efficiency(4.0, 8.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(1.0, acc(&[(0.4, 3.0), (0.2, 3.0)])),
+            Task::new(2.0, acc(&[(0.3, 4.0)])),
+            Task::new(3.0, acc(&[(0.5, 2.0), (0.1, 6.0)])),
+        ];
+        let inst = Instance::new(tasks, park, 6.0).unwrap();
+        let profile = naive_profile(&inst);
+        let full = compute_naive_solution(&inst, &profile);
+        let solver = NaiveSolver::new(&inst);
+        let pooled = solver.flops_under(profile.caps());
+        assert_eq!(pooled.len(), full.flops.len());
+        for (j, (&a, &b)) in pooled.iter().zip(&full.flops).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "task {j}: {a} vs {b}");
+        }
     }
 
     #[test]

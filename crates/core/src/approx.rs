@@ -58,20 +58,10 @@ pub struct ApproxSolution {
     pub fractional: FrSolution,
 }
 
-/// Runs `DSCT-EA-APPROX`.
-///
-/// Prefer [`crate::solver::ApproxSolver`] in new code: it implements the
-/// uniform [`crate::solver::Solver`] trait and can reuse a probe
-/// workspace across solves.
-#[deprecated(since = "0.2.0", note = "use `solver::ApproxSolver` instead")]
-pub fn solve_approx(inst: &Instance, opts: &ApproxOptions) -> ApproxSolution {
-    let mut ws = ValueFnWorkspace::new();
-    solve_approx_with(inst, opts, &mut ws)
-}
-
-/// [`solve_approx`] with a caller-owned probe workspace for the embedded
-/// fractional solve. The deprecated free function and
-/// [`crate::solver::ApproxSolver`] both delegate here.
+/// Runs `DSCT-EA-APPROX` with a caller-owned probe workspace for the
+/// embedded fractional solve. This is the implementation
+/// [`crate::solver::ApproxSolver`] — the sole public entry point —
+/// delegates to.
 pub(crate) fn solve_approx_with(
     inst: &Instance,
     opts: &ApproxOptions,
@@ -182,7 +172,6 @@ fn assign_from_fractional(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::Task;
@@ -192,6 +181,10 @@ mod tests {
 
     fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
         PwlAccuracy::new(points).unwrap()
+    }
+
+    fn solve(inst: &Instance, opts: &ApproxOptions) -> ApproxSolution {
+        solve_approx_with(inst, opts, &mut ValueFnWorkspace::new())
     }
 
     fn instance(budget: f64) -> Instance {
@@ -212,7 +205,7 @@ mod tests {
     fn integral_schedule_is_feasible() {
         for budget in [5.0, 25.0, 80.0, 400.0] {
             let inst = instance(budget);
-            let sol = solve_approx(&inst, &ApproxOptions::default());
+            let sol = solve(&inst, &ApproxOptions::default());
             sol.schedule
                 .validate(&inst, ScheduleKind::Integral)
                 .unwrap_or_else(|e| panic!("budget {budget}: {e:?}"));
@@ -223,7 +216,7 @@ mod tests {
     fn never_exceeds_fractional_upper_bound() {
         for budget in [5.0, 25.0, 80.0, 400.0] {
             let inst = instance(budget);
-            let sol = solve_approx(&inst, &ApproxOptions::default());
+            let sol = solve(&inst, &ApproxOptions::default());
             assert!(
                 sol.total_accuracy <= sol.fractional.total_accuracy + 1e-9,
                 "budget {budget}: SOL {} > UB {}",
@@ -236,7 +229,7 @@ mod tests {
     #[test]
     fn assignment_matches_schedule() {
         let inst = instance(50.0);
-        let sol = solve_approx(&inst, &ApproxOptions::default());
+        let sol = solve(&inst, &ApproxOptions::default());
         for (j, &a) in sol.assignment.iter().enumerate() {
             match a {
                 Some(r) => assert!(sol.schedule.t(j, r) > 0.0),
@@ -255,7 +248,7 @@ mod tests {
             Task::new(1.0, acc(&[(0.0, 0.0), (400.0, 0.5)])),
         ];
         let inst = Instance::new(tasks, park, 20.0).unwrap();
-        let sol = solve_approx(&inst, &ApproxOptions::default());
+        let sol = solve(&inst, &ApproxOptions::default());
         assert!(
             (sol.total_accuracy - sol.fractional.total_accuracy).abs() < 1e-6,
             "SOL {} vs UB {}",
@@ -271,7 +264,7 @@ mod tests {
             placement: Placement::FirstFit,
             ..Default::default()
         };
-        let sol = solve_approx(&inst, &opts);
+        let sol = solve(&inst, &opts);
         sol.schedule
             .validate(&inst, ScheduleKind::Integral)
             .unwrap();

@@ -1,9 +1,10 @@
-//! State-of-the-art baselines from the paper's evaluation (§6):
+//! State-of-the-art baselines from the paper's evaluation (§6), exposed
+//! through [`crate::solver::EdfSolver`]:
 //!
-//! - [`edf_no_compression`]: Earliest-Deadline-First on the least-loaded
-//!   machine, always processing tasks fully (`f^max` operations), stopping
-//!   once the energy budget is exhausted;
-//! - [`edf_three_levels`]: the same placement with three discrete
+//! - `EdfSolver::no_compression`: Earliest-Deadline-First on the
+//!   least-loaded machine, always processing tasks fully (`f^max`
+//!   operations), stopping once the energy budget is exhausted;
+//! - `EdfSolver::three_levels`: the same placement with three discrete
 //!   compression levels (paper: accuracies 27% / 55% / 82%), choosing the
 //!   highest level that fits deadline and budget — the quality-oriented
 //!   greedy of Lee & Song (TCSVT 2021, the paper’s ref. 11).
@@ -34,45 +35,10 @@ pub struct BaselineSolution {
     pub scheduled: usize,
 }
 
-/// EDF without compression: every scheduled task performs all of `f^max`.
-///
-/// Prefer [`crate::solver::EdfSolver::no_compression`] in new code.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `solver::EdfSolver::no_compression` instead"
-)]
-pub fn edf_no_compression(inst: &Instance) -> BaselineSolution {
-    greedy_levels(inst, &[], true)
-}
-
-/// EDF with the paper's three discrete compression levels.
-///
-/// Prefer [`crate::solver::EdfSolver::three_levels`] in new code.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `solver::EdfSolver::three_levels` instead"
-)]
-pub fn edf_three_levels(inst: &Instance) -> BaselineSolution {
-    let mut sorted = PAPER_THREE_LEVELS.to_vec();
-    sorted.sort_by(|a, b| b.total_cmp(a));
-    greedy_levels(inst, &sorted, false)
-}
-
-/// EDF with arbitrary discrete accuracy levels (highest first is not
-/// required; levels are sorted internally).
-///
-/// Prefer [`crate::solver::EdfSolver::with_levels`] in new code.
-#[deprecated(since = "0.2.0", note = "use `solver::EdfSolver::with_levels` instead")]
-pub fn edf_with_levels(inst: &Instance, levels: &[f64]) -> BaselineSolution {
-    let mut sorted: Vec<f64> = levels.to_vec();
-    sorted.sort_by(|a, b| b.total_cmp(a));
-    greedy_levels(inst, &sorted, false)
-}
-
 /// Shared EDF greedy. With `full_only`, each task is processed at `f^max`
 /// or not at all; otherwise `levels` lists accuracy targets tried from
-/// highest to lowest. [`crate::solver::EdfSolver`] and the deprecated
-/// `edf_*` free functions both delegate here.
+/// highest to lowest. [`crate::solver::EdfSolver`] — the sole public
+/// entry point — delegates here.
 pub(crate) fn greedy_levels(inst: &Instance, levels: &[f64], full_only: bool) -> BaselineSolution {
     let n = inst.num_tasks();
     let m = inst.num_machines();
@@ -137,11 +103,11 @@ pub(crate) fn greedy_levels(inst: &Instance, levels: &[f64], full_only: bool) ->
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::Task;
     use crate::schedule::ScheduleKind;
+    use crate::solver::EdfSolver;
     use dsct_accuracy::PwlAccuracy;
     use dsct_machines::{Machine, MachinePark};
 
@@ -161,7 +127,7 @@ mod tests {
     fn no_compression_processes_fully_or_drops() {
         let tasks = vec![Task::new(2.0, acc()), Task::new(2.0, acc())];
         let inst = Instance::new(tasks, park(), 1e9).unwrap();
-        let sol = edf_no_compression(&inst);
+        let sol = EdfSolver::no_compression().solve_typed(&inst);
         sol.schedule
             .validate(&inst, ScheduleKind::Integral)
             .unwrap();
@@ -184,7 +150,7 @@ mod tests {
         // second would need 2.5 J on m1 → dropped.
         let tasks = vec![Task::new(5.0, acc()), Task::new(5.0, acc())];
         let inst = Instance::new(tasks, park(), 3.0).unwrap();
-        let sol = edf_no_compression(&inst);
+        let sol = EdfSolver::no_compression().solve_typed(&inst);
         assert_eq!(sol.scheduled, 1);
         assert!(sol.energy <= 3.0 + 1e-9);
         sol.schedule
@@ -197,7 +163,7 @@ mod tests {
         // Full model needs 1 s on m0 / 0.5 s on m1, deadline 0.3 s.
         let tasks = vec![Task::new(0.3, acc())];
         let inst = Instance::new(tasks, park(), 1e9).unwrap();
-        let sol = edf_no_compression(&inst);
+        let sol = EdfSolver::no_compression().solve_typed(&inst);
         assert_eq!(sol.scheduled, 0);
         assert!((sol.total_accuracy - 0.001).abs() < 1e-12);
     }
@@ -208,7 +174,7 @@ mod tests {
         // 27% needs ~33.7 GFLOP → 0.337 s on m0. Deadline 0.4 s.
         let tasks = vec![Task::new(0.4, acc())];
         let inst = Instance::new(tasks, park(), 1e9).unwrap();
-        let sol = edf_three_levels(&inst);
+        let sol = EdfSolver::three_levels().solve_typed(&inst);
         assert_eq!(sol.scheduled, 1);
         let a = sol.schedule.accuracy(0, &inst);
         assert!((a - 0.27).abs() < 1e-6, "accuracy = {a}");
@@ -218,7 +184,7 @@ mod tests {
     fn three_levels_prefer_highest_quality() {
         let tasks = vec![Task::new(10.0, acc())];
         let inst = Instance::new(tasks, park(), 1e9).unwrap();
-        let sol = edf_three_levels(&inst);
+        let sol = EdfSolver::three_levels().solve_typed(&inst);
         let a = sol.schedule.accuracy(0, &inst);
         assert!((a - 0.82).abs() < 1e-6);
     }
@@ -229,8 +195,8 @@ mod tests {
         // run at reduced quality instead.
         let tasks: Vec<Task> = (0..4).map(|i| Task::new(1.0 + i as f64, acc())).collect();
         let inst = Instance::new(tasks, park(), 2.5).unwrap();
-        let full = edf_no_compression(&inst);
-        let lvl = edf_three_levels(&inst);
+        let full = EdfSolver::no_compression().solve_typed(&inst);
+        let lvl = EdfSolver::three_levels().solve_typed(&inst);
         assert!(
             lvl.total_accuracy >= full.total_accuracy,
             "levels {} < full {}",
@@ -246,7 +212,7 @@ mod tests {
     fn custom_levels_are_sorted_internally() {
         let tasks = vec![Task::new(10.0, acc())];
         let inst = Instance::new(tasks, park(), 1e9).unwrap();
-        let sol = edf_with_levels(&inst, &[0.27, 0.82, 0.55]);
+        let sol = EdfSolver::with_levels(&[0.27, 0.82, 0.55]).solve_typed(&inst);
         assert!((sol.schedule.accuracy(0, &inst) - 0.82).abs() < 1e-6);
     }
 }

@@ -57,7 +57,9 @@ pub struct FrSolution {
     pub search: Option<ProfileSearchOutcome>,
 }
 
-/// Solves DSCT-EA-FR exactly (Algorithm 4).
+/// Solves DSCT-EA-FR exactly (Algorithm 4), probing through a
+/// caller-owned workspace so the profile search's buffers amortize across
+/// solves.
 ///
 /// Pipeline: naive profile → optimal solution for it (Algorithm 2) →
 /// task-level energy transfers (Algorithm 3, a fast first-order pass) →
@@ -67,19 +69,8 @@ pub struct FrSolution {
 /// re-solving for the profile of any feasible solution never decreases
 /// accuracy, so each stage is monotone.
 ///
-/// Prefer [`crate::solver::FrOptSolver`] in new code: it implements the
-/// uniform [`crate::solver::Solver`] trait and can reuse a
-/// [`ValueFnWorkspace`] across solves.
-#[deprecated(since = "0.2.0", note = "use `solver::FrOptSolver` instead")]
-pub fn solve_fr_opt(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
-    let mut ws = ValueFnWorkspace::new();
-    solve_fr_opt_with(inst, opts, &mut ws)
-}
-
-/// [`solve_fr_opt`] with a caller-owned probe workspace, so the profile
-/// search's buffers amortize across solves. This is the implementation;
-/// the deprecated free function and [`crate::solver::FrOptSolver`] both
-/// delegate here.
+/// This is the implementation [`crate::solver::FrOptSolver`] — the sole
+/// public entry point — delegates to.
 pub(crate) fn solve_fr_opt_with(
     inst: &Instance,
     opts: &FrOptOptions,
@@ -196,8 +187,58 @@ pub(crate) fn solve_fr_opt_warm_with(
     }
 }
 
+/// Value-only twin of [`solve_fr_opt_warm_with`]: the identical warm-hint
+/// sanitization and the identical descent, finished with the pooled flop
+/// vector and its fractional accuracy instead of a full [`FrSolution`].
+/// Skips the waterfill, assignment, and every post-search schedule walk —
+/// the replanner's tentative-evaluation path for admission decisions.
+///
+/// Returns `None` whenever [`solve_fr_opt_warm_with`] would fall back to
+/// the cold pipeline (wrong-length hint, refinement or profile search
+/// disabled): the caller must run the full solve in those cases, because
+/// no cheap estimate reproduces the cold pipeline's value.
+pub(crate) fn fr_value_estimate_warm_with(
+    inst: &Instance,
+    opts: &FrOptOptions,
+    ws: &mut ValueFnWorkspace,
+    warm: &EnergyProfile,
+) -> Option<crate::profile_search::ValueSearchResult> {
+    if warm.len() != inst.num_machines() || opts.skip_refine || opts.skip_profile_search {
+        return None;
+    }
+    let machines = inst.machines().machines();
+    let mut caps: Vec<f64> = warm
+        .caps()
+        .iter()
+        .map(|&c| {
+            if c.is_finite() {
+                c.clamp(0.0, inst.d_max())
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let energy: f64 = caps
+        .iter()
+        .zip(machines)
+        .map(|(&c, mach)| c * mach.power())
+        .sum();
+    if energy > inst.budget() && energy > 0.0 {
+        let scale = inst.budget() / energy;
+        for c in &mut caps {
+            *c *= scale;
+        }
+    }
+    let start = EnergyProfile::new(caps);
+    Some(crate::profile_search::profile_search_value_with(
+        inst,
+        &start,
+        &opts.search,
+        ws,
+    ))
+}
+
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::Task;
@@ -207,6 +248,10 @@ mod tests {
 
     fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
         PwlAccuracy::new(points).unwrap()
+    }
+
+    fn solve(inst: &Instance, opts: &FrOptOptions) -> FrSolution {
+        solve_fr_opt_with(inst, opts, &mut ValueFnWorkspace::new())
     }
 
     #[test]
@@ -221,7 +266,7 @@ mod tests {
             Task::new(1.4, acc(&[(0.0, 0.0), (200.0, 0.6), (900.0, 0.82)])),
         ];
         let inst = Instance::new(tasks, park, 40.0).unwrap();
-        let sol = solve_fr_opt(&inst, &FrOptOptions::default());
+        let sol = solve(&inst, &FrOptOptions::default());
         sol.schedule
             .validate(&inst, ScheduleKind::Fractional)
             .unwrap();
@@ -244,8 +289,8 @@ mod tests {
             Task::new(1.0, acc(&[(0.0, 0.0), (2000.0, 0.5)])),
         ];
         let inst = Instance::new(tasks, park, 25.0).unwrap();
-        let with = solve_fr_opt(&inst, &FrOptOptions::default());
-        let without = solve_fr_opt(
+        let with = solve(&inst, &FrOptOptions::default());
+        let without = solve(
             &inst,
             &FrOptOptions {
                 skip_refine: true,
@@ -264,7 +309,7 @@ mod tests {
             Task::new(20.0, acc(&[(0.0, 0.1), (200.0, 0.9)])),
         ];
         let inst = Instance::new(tasks, park, 1e9).unwrap();
-        let sol = solve_fr_opt(&inst, &FrOptOptions::default());
+        let sol = solve(&inst, &FrOptOptions::default());
         assert!(
             (sol.total_accuracy - inst.total_max_accuracy()).abs() < 1e-9,
             "got {}, want {}",

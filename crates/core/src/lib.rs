@@ -28,6 +28,9 @@
 //! - [`guarantee`] — the absolute performance bound `G` (Eq. 14);
 //! - [`baselines`] — `EDF-NoCompression` and `EDF-3CompressionLevels` (§6);
 //! - [`residual`] — residual instances for online rolling-horizon re-plans;
+//! - [`replan`] — the incremental re-solve engine (fingerprint-keyed
+//!   plan cache, value-only estimates, checkpoint membership deltas)
+//!   the online service and every server shard cell replan through;
 //! - [`renewable`] — extension: time-varying (renewable) energy supply;
 //! - [`lp_model`] — the DSCT-EA-FR linear program for [`dsct_lp`] (§3.2);
 //! - [`mip_model`] — the full DSCT-EA MIP for [`dsct_mip`] (§3);
@@ -48,6 +51,7 @@ pub mod problem;
 pub mod profile;
 pub mod profile_search;
 pub mod renewable;
+pub mod replan;
 pub mod residual;
 pub mod schedule;
 pub mod solver;

@@ -110,17 +110,9 @@ pub struct FrLpSolution {
     pub iterations: usize,
 }
 
-/// Builds and solves the DSCT-EA-FR LP.
-///
-/// Prefer [`crate::solver::LpSolver`] in new code: it implements the
-/// uniform [`crate::solver::Solver`] trait.
-#[deprecated(since = "0.2.0", note = "use `solver::LpSolver` instead")]
-pub fn solve_fr_lp(inst: &Instance, opts: &SolveOptions) -> Result<FrLpSolution, dsct_lp::LpError> {
-    solve_fr_lp_impl(inst, opts)
-}
-
-/// Implementation shared by the deprecated free function and
-/// [`crate::solver::LpSolver`].
+/// Builds and solves the DSCT-EA-FR LP. This is the implementation
+/// [`crate::solver::LpSolver`] — the sole public entry point —
+/// delegates to.
 pub(crate) fn solve_fr_lp_impl(
     inst: &Instance,
     opts: &SolveOptions,
@@ -142,7 +134,6 @@ pub(crate) fn solve_fr_lp_impl(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::problem::Task;
@@ -169,7 +160,7 @@ mod tests {
     #[test]
     fn lp_solution_is_feasible_and_consistent() {
         let inst = small_instance();
-        let sol = solve_fr_lp(&inst, &SolveOptions::default()).unwrap();
+        let sol = solve_fr_lp_impl(&inst, &SolveOptions::default()).unwrap();
         assert_eq!(sol.status, Status::Optimal);
         sol.schedule
             .validate(&inst, ScheduleKind::Fractional)
@@ -192,14 +183,14 @@ mod tests {
             Task::new(10.0, acc(&[(0.0, 0.1), (100.0, 0.8)])),
         ];
         let inst = Instance::new(tasks, park, 1e9).unwrap();
-        let sol = solve_fr_lp(&inst, &SolveOptions::default()).unwrap();
+        let sol = solve_fr_lp_impl(&inst, &SolveOptions::default()).unwrap();
         assert!((sol.total_accuracy - 1.7).abs() < 1e-6);
     }
 
     #[test]
     fn zero_budget_pins_accuracy_at_floor() {
         let inst = small_instance().with_budget(0.0).unwrap();
-        let sol = solve_fr_lp(&inst, &SolveOptions::default()).unwrap();
+        let sol = solve_fr_lp_impl(&inst, &SolveOptions::default()).unwrap();
         assert_eq!(sol.status, Status::Optimal);
         assert!((sol.total_accuracy - inst.total_min_accuracy()).abs() < 1e-6);
     }

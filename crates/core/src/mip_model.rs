@@ -26,20 +26,9 @@ pub struct MipScheduleSolution {
     pub nodes: usize,
 }
 
-/// Builds and solves the DSCT-EA MIP.
-///
-/// Prefer [`crate::solver::MipSolver`] in new code: it implements the
-/// uniform [`crate::solver::Solver`] trait.
-#[deprecated(since = "0.2.0", note = "use `solver::MipSolver` instead")]
-pub fn solve_mip_exact(
-    inst: &Instance,
-    opts: &MipOptions,
-) -> Result<MipScheduleSolution, MipError> {
-    solve_mip_exact_impl(inst, opts)
-}
-
-/// Implementation shared by the deprecated free function and
-/// [`crate::solver::MipSolver`].
+/// Builds and solves the DSCT-EA MIP. This is the implementation
+/// [`crate::solver::MipSolver`] — the sole public entry point —
+/// delegates to.
 pub(crate) fn solve_mip_exact_impl(
     inst: &Instance,
     opts: &MipOptions,
@@ -91,10 +80,10 @@ pub(crate) fn solve_mip_exact_impl(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::fr_opt::{solve_fr_opt, FrOptOptions};
+    use crate::algo_naive::ValueFnWorkspace;
+    use crate::fr_opt::{solve_fr_opt_with, FrOptOptions};
     use crate::problem::Task;
     use crate::schedule::ScheduleKind;
     use dsct_accuracy::PwlAccuracy;
@@ -120,7 +109,7 @@ mod tests {
     #[test]
     fn mip_solution_is_integral_and_feasible() {
         let inst = small_instance();
-        let sol = solve_mip_exact(&inst, &MipOptions::default()).unwrap();
+        let sol = solve_mip_exact_impl(&inst, &MipOptions::default()).unwrap();
         assert_eq!(sol.status, MipStatus::Optimal);
         let schedule = sol.schedule.expect("incumbent");
         schedule.validate(&inst, ScheduleKind::Integral).unwrap();
@@ -131,8 +120,12 @@ mod tests {
     #[test]
     fn mip_bracketed_by_fractional_bound_and_approx() {
         let inst = small_instance();
-        let mip = solve_mip_exact(&inst, &MipOptions::default()).unwrap();
-        let fr = solve_fr_opt(&inst, &FrOptOptions::default());
+        let mip = solve_mip_exact_impl(&inst, &MipOptions::default()).unwrap();
+        let fr = solve_fr_opt_with(
+            &inst,
+            &FrOptOptions::default(),
+            &mut ValueFnWorkspace::new(),
+        );
         // The fractional optimum upper-bounds the integral optimum.
         assert!(
             mip.total_accuracy <= fr.total_accuracy + 1e-6,
@@ -150,8 +143,12 @@ mod tests {
             Task::new(1.0, acc(&[(0.0, 0.0), (400.0, 0.5)])),
         ];
         let inst = Instance::new(tasks, park, 20.0).unwrap();
-        let mip = solve_mip_exact(&inst, &MipOptions::default()).unwrap();
-        let fr = solve_fr_opt(&inst, &FrOptOptions::default());
+        let mip = solve_mip_exact_impl(&inst, &MipOptions::default()).unwrap();
+        let fr = solve_fr_opt_with(
+            &inst,
+            &FrOptOptions::default(),
+            &mut ValueFnWorkspace::new(),
+        );
         assert_eq!(mip.status, MipStatus::Optimal);
         assert!(
             (mip.total_accuracy - fr.total_accuracy).abs() < 1e-5,

@@ -363,6 +363,76 @@ pub fn profile_search_with(
     opts: &ProfileSearchOptions,
     ws: &mut ValueFnWorkspace,
 ) -> (EnergyProfile, NaiveSolution, ProfileSearchOutcome) {
+    let (state, _) = descend(inst, start, opts, ws);
+    let profile = EnergyProfile::new(state.caps);
+    let solution = compute_naive_solution(inst, &profile);
+    (profile, solution, state.outcome)
+}
+
+/// A value-only profile search result: the refined profile, the pooled
+/// per-task flop allocation under it, and the fractional accuracy those
+/// flops realize — everything an admission decision needs, with no
+/// waterfill or per-machine time distribution.
+#[derive(Debug, Clone)]
+pub struct ValueSearchResult {
+    /// The refined (budget-feasible) energy profile.
+    pub profile: EnergyProfile,
+    /// Per-task pooled flops under the refined profile — bit-identical to
+    /// the stage-1 flops [`compute_naive_solution`] assigns before
+    /// waterfilling them across machines.
+    pub flops: Vec<f64>,
+    /// `Σ_j A_j(flops[j])`, summed in task order: the fractional total
+    /// accuracy of the refined profile.
+    pub total_accuracy: f64,
+    /// Search statistics (same meaning as the full search's).
+    pub outcome: ProfileSearchOutcome,
+}
+
+/// [`profile_search_with`] without the solution materialization: the
+/// identical descent (bit-identical caps, probe counters, and trajectory
+/// for equal inputs) finished with only the pooled flop vector and its
+/// fractional accuracy instead of the waterfilled [`NaiveSolution`].
+/// This is the replanner's tentative-evaluation fast path: an admission
+/// decision needs the value, not the schedule.
+pub fn profile_search_value_with(
+    inst: &Instance,
+    start: &EnergyProfile,
+    opts: &ProfileSearchOptions,
+    ws: &mut ValueFnWorkspace,
+) -> ValueSearchResult {
+    let (state, solver) = descend(inst, start, opts, ws);
+    let profile = EnergyProfile::new(state.caps);
+    let flops = solver.flops_under(profile.caps());
+    let total_accuracy = flops
+        .iter()
+        .enumerate()
+        .map(|(j, &f)| inst.task(j).accuracy.eval(f))
+        .sum();
+    ValueSearchResult {
+        profile,
+        flops,
+        total_accuracy,
+        outcome: state.outcome,
+    }
+}
+
+/// The descent's terminal state, before a finisher materializes it.
+struct DescentState {
+    caps: Vec<f64>,
+    outcome: ProfileSearchOutcome,
+}
+
+/// The shared ascent loop behind [`profile_search_with`] and
+/// [`profile_search_value_with`]: slack absorption, batched gated
+/// pairwise sweeps, triple polish, and the gate-worker counter fold.
+/// Also returns the solver (holding the instance's sorted segment order)
+/// so finishers can materialize whatever they need without rebuilding it.
+fn descend<'a>(
+    inst: &'a Instance,
+    start: &EnergyProfile,
+    opts: &ProfileSearchOptions,
+    ws: &mut ValueFnWorkspace,
+) -> (DescentState, NaiveSolver<'a>) {
     let stats_before = ws.stats;
     let m = inst.num_machines();
     let d_max = inst.d_max();
@@ -643,17 +713,18 @@ pub fn profile_search_with(
         prober.ws.stats.absorb(wws.stats);
     }
 
-    let profile = EnergyProfile::new(caps);
-    let solution = compute_naive_solution(inst, &profile);
+    let probe_stats = prober.ws.stats.since(stats_before);
     (
-        profile,
-        solution,
-        ProfileSearchOutcome {
-            sweeps,
-            transfers,
-            converged,
-            probe_stats: prober.ws.stats.since(stats_before),
+        DescentState {
+            caps,
+            outcome: ProfileSearchOutcome {
+                sweeps,
+                transfers,
+                converged,
+                probe_stats,
+            },
         },
+        prober.solver,
     )
 }
 
@@ -789,6 +860,42 @@ mod tests {
         assert!(
             acc_refined >= 0.52 - 1e-6,
             "refined accuracy {acc_refined} below achievable 0.52"
+        );
+    }
+
+    /// The value-only finisher runs the identical descent: same caps,
+    /// same outcome counters, and stage-1 flops bit-identical to the full
+    /// search's materialized solution.
+    #[test]
+    fn value_search_matches_full_search_bitwise() {
+        let park = MachinePark::new(vec![
+            Machine::from_efficiency(2000.0, 80.0).unwrap(),
+            Machine::from_efficiency(5000.0, 70.0).unwrap(),
+            Machine::from_efficiency(900.0, 40.0).unwrap(),
+        ]);
+        let tasks = vec![
+            Task::new(0.05, acc(&[(0.0, 0.0), (500.0, 0.8)])),
+            Task::new(0.7, acc(&[(0.0, 0.1), (1500.0, 0.6)])),
+            Task::new(2.0, acc(&[(0.0, 0.0), (4000.0, 0.4)])),
+        ];
+        let inst = Instance::new(tasks, park, 55.0).unwrap();
+        let start = naive_profile(&inst);
+        let opts = ProfileSearchOptions::default();
+        let mut ws_a = ValueFnWorkspace::new();
+        let (profile, sol, out) = profile_search_with(&inst, &start, &opts, &mut ws_a);
+        let mut ws_b = ValueFnWorkspace::new();
+        let est = profile_search_value_with(&inst, &start, &opts, &mut ws_b);
+        assert_eq!(profile.caps(), est.profile.caps(), "caps diverged");
+        assert_eq!(out, est.outcome, "outcome counters diverged");
+        assert_eq!(sol.flops.len(), est.flops.len());
+        for (j, (&a, &b)) in sol.flops.iter().zip(&est.flops).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "task {j} flops: {a} vs {b}");
+        }
+        let realized = sol.schedule.total_accuracy(&inst);
+        assert!(
+            (est.total_accuracy - realized).abs() <= 1e-9 * (1.0 + realized.abs()),
+            "fractional accuracy {} vs realized {realized}",
+            est.total_accuracy
         );
     }
 

@@ -17,10 +17,10 @@
 //! [`ValueFnWorkspace`], so a worker thread reuses one probe cache across
 //! all its work items instead of reallocating per solve.
 //!
-//! The pre-existing free functions (`solve_fr_opt`, `solve_approx`,
-//! `edf_*`, `solve_fr_lp`, `solve_mip_exact`) remain as thin
-//! `#[deprecated]` wrappers for one release so downstream code migrates
-//! gradually and `tests/solver_agreement.rs` can diff old vs new paths.
+//! The PR-2 free-function shims (`solve_fr_opt`, `solve_approx`,
+//! `edf_*`, `solve_fr_lp`, `solve_mip_exact`) are gone: the [`Solver`]
+//! trait and the typed `solve_typed*` entry points on each solver struct
+//! are the sole public API (see the README's migration table).
 
 use crate::algo_naive::{ProbeStats, ValueFnWorkspace};
 use crate::approx::{solve_approx_with, ApproxOptions, ApproxSolution};
@@ -400,7 +400,7 @@ pub trait Solver: Send + Sync {
     }
 }
 
-/// [`crate::fr_opt::solve_fr_opt`] (Algorithm 4, `DSCT-EA-FR-Opt`) as a
+/// [`crate::fr_opt`]'s Algorithm 4 (`DSCT-EA-FR-Opt`) as a
 /// [`Solver`]. Fractional output; its own accuracy is the `DSCT-EA-UB`
 /// upper bound.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -487,7 +487,7 @@ impl Solver for FrOptSolver {
     }
 }
 
-/// [`crate::approx::solve_approx`] (Algorithm 5, `DSCT-EA-Approx`) as a
+/// [`crate::approx`]'s Algorithm 5 (`DSCT-EA-Approx`) as a
 /// [`Solver`]. Integral output; [`Solution::upper_bound`] carries the
 /// embedded fractional solve's `DSCT-EA-UB`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -540,6 +540,26 @@ impl ApproxSolver {
         let mut opts = self.opts;
         opts.fr.search.gate_threads = ctx.resolve_gate_threads(opts.fr.search.gate_threads);
         crate::approx::solve_approx_warm_with(inst, &opts, ctx.workspace(), warm)
+    }
+
+    /// Value-only warm-started estimate of the embedded fractional solve:
+    /// the identical descent [`Self::solve_typed_warm_with`]'s fractional
+    /// stage runs, minus the waterfill, list-scheduling, and cut phases —
+    /// only the refined profile, the pooled per-task flops, and their
+    /// fractional accuracy come back. This is the replanner's
+    /// tentative-evaluation path: admission needs a value, not a
+    /// schedule. `None` whenever the warm path would fall back to the
+    /// cold pipeline (wrong-length hint, search disabled); callers must
+    /// run the full solve then.
+    pub fn estimate_value_warm_with(
+        &self,
+        inst: &Instance,
+        ctx: &mut SolverContext,
+        warm: &crate::profile::EnergyProfile,
+    ) -> Option<crate::profile_search::ValueSearchResult> {
+        let mut opts = self.opts;
+        opts.fr.search.gate_threads = ctx.resolve_gate_threads(opts.fr.search.gate_threads);
+        crate::fr_opt::fr_value_estimate_warm_with(inst, &opts.fr, ctx.workspace(), warm)
     }
 }
 

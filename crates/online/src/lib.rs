@@ -15,8 +15,12 @@
 //!   simulated clock (committing dispatches whose start time has
 //!   passed; started tasks never migrate), runs the admission policy,
 //!   and re-plans the pending pool as a residual instance
-//!   ([`dsct_core::residual`]) through `ApproxSolver`, optionally
-//!   warm-started from the incumbent plan's fractional profile;
+//!   ([`dsct_core::residual`]) through a [`dsct_core::replan::Replanner`]
+//!   — warm-started from the incumbent plan's fractional profile under
+//!   [`ReplanStrategy::WarmStart`], or answered by fingerprint-keyed
+//!   cache replays, value-only estimates, and checkpoint membership
+//!   deltas under [`ReplanStrategy::Incremental`] (adopted plans stay
+//!   bit-identical to the cold pipeline's);
 //! - [`AdmissionPolicy`] — pluggable admission: [`AdmissionPolicy::AdmitAll`],
 //!   [`AdmissionPolicy::RejectIfInfeasible`] (protects the planned
 //!   accuracy of already-admitted tasks), and
@@ -44,5 +48,6 @@ pub use admission::{AdmissionPolicy, Decision};
 pub use error::OnlineError;
 pub use ledger::EnergyLedger;
 pub use service::{
-    replay, Disruption, OnlineConfig, OnlineReport, OnlineService, OnlineSummary, ReplanStrategy,
+    replay, Disruption, OnlineConfig, OnlineReport, OnlineService, OnlineSummary, ReplanStats,
+    ReplanStrategy, ReplayConfig,
 };

@@ -13,9 +13,13 @@
 //! pending pool (committed tasks excluded) is re-planned as a residual
 //! instance ([`dsct_core::residual`]): deadlines shift to `d_j − now`,
 //! the budget shrinks to the ledger's remaining joules, and the re-solve
-//! goes through [`ApproxSolver`] — warm-started, under
-//! [`ReplanStrategy::WarmStart`], from the incumbent's fractional
-//! profile restricted to still-pending tasks.
+//! goes through a [`Replanner`](dsct_core::replan::Replanner) —
+//! warm-started, under [`ReplanStrategy::WarmStart`], from the
+//! incumbent's fractional profile restricted to still-pending tasks;
+//! under [`ReplanStrategy::Incremental`] adopted plans replay the cold
+//! pipeline (or its fingerprint-keyed cache) bit for bit, while the
+//! tentative admission evaluations go through the replanner's value-only
+//! estimates and checkpoint membership deltas.
 //!
 //! Machine availability is restored at plan-materialization time: tasks
 //! landing on a still-busy machine are cut at their *absolute* deadline
@@ -49,9 +53,11 @@ use crate::error::OnlineError;
 use crate::ledger::EnergyLedger;
 use dsct_accuracy::PwlAccuracy;
 use dsct_core::oracle::{self, Claims};
+use dsct_core::problem::{Instance, Task};
 use dsct_core::profile::EnergyProfile;
+use dsct_core::replan::{Replanner, DEFAULT_CACHE_CAPACITY};
 use dsct_core::residual::{residual_instance, ResidualItem};
-use dsct_core::solver::{ApproxSolver, Solution, SolverContext};
+use dsct_core::solver::{ApproxSolver, Solution};
 use dsct_core::EPS_TIME;
 use dsct_exec::{
     EventKind, ExecError, ExecutionConfig, ExecutionTrace, OverrunPolicy, TaskOutcome, TraceEvent,
@@ -93,18 +99,7 @@ pub enum Disruption {
     },
 }
 
-/// How per-arrival re-solves are started.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum ReplanStrategy {
-    /// Every re-solve runs the full cold pipeline (naive profile +
-    /// transfer pass + profile search). Baseline for benchmarking.
-    Cold,
-    /// Re-solves start the profile search from the incumbent plan's
-    /// fractional profile restricted to still-pending tasks, so the
-    /// common case is a handful of incremental Δ-probes (default).
-    #[default]
-    WarmStart,
-}
+pub use dsct_core::replan::{ReplanStats, ReplanStrategy};
 
 /// Configuration of an [`OnlineService`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -113,6 +108,11 @@ pub struct OnlineConfig {
     pub policy: AdmissionPolicy,
     /// Re-solve strategy.
     pub replan: ReplanStrategy,
+    /// Capacity bound of the replanner's fingerprint-keyed stores (full
+    /// plans and value estimates are bounded separately; see
+    /// [`dsct_core::replan`]); `0` disables caching. Only
+    /// [`ReplanStrategy::Incremental`] reads the stores.
+    pub replan_cache: usize,
     /// Multiplicative speed-jitter half-width in `[0, 1)` (the
     /// [`dsct_exec`] model; `0.0` = deterministic nominal speeds).
     pub speed_jitter: f64,
@@ -143,6 +143,7 @@ impl Default for OnlineConfig {
         Self {
             policy: AdmissionPolicy::AdmitAll,
             replan: ReplanStrategy::WarmStart,
+            replan_cache: DEFAULT_CACHE_CAPACITY,
             speed_jitter: 0.0,
             jitter_seed: 0,
             overrun: OverrunPolicy::Compress,
@@ -182,8 +183,10 @@ pub struct OnlineSummary {
     pub dispatched: usize,
     /// Re-plans adopted as the incumbent.
     pub replans: usize,
-    /// Total solver invocations (incumbent re-plans plus tentative
-    /// admission solves that were rejected).
+    /// Total tentative/re-plan evaluations: one per incumbent re-plan
+    /// plus one per gated admission evaluation, whichever replanner path
+    /// (full solve, value estimate, or checkpoint delta bound) answered
+    /// it — so the count is strategy-independent by construction.
     pub solves: usize,
     /// Realized total accuracy `Σ_j a_j(work_j)` over **all** arrivals
     /// (rejected/expired/starved tasks contribute their zero-work
@@ -221,6 +224,11 @@ pub struct OnlineReport {
     pub summary: OnlineSummary,
     /// Final ledger state.
     pub ledger: EnergyLedger,
+    /// The replanner's path counters (cache hits, estimates, delta
+    /// bounds, fallbacks). Diagnostics only — deliberately outside
+    /// [`OnlineSummary`], so the byte-comparable digest stays identical
+    /// across [`ReplanStrategy`] arms.
+    pub replan: ReplanStats,
 }
 
 /// The incumbent plan: an `ApproxSolver` solution of the residual
@@ -346,8 +354,20 @@ pub struct OnlineService {
     outcomes: BTreeMap<u64, TaskOutcome>,
     decisions: Vec<(u64, Decision)>,
     events: Vec<TraceEvent>,
-    solver: ApproxSolver,
-    ctx: SolverContext,
+    replanner: Replanner,
+    /// Same-state probe memo ([`ReplanStrategy::Incremental`] only):
+    /// exact tentative values of gated evaluations against the *current*
+    /// service state, keyed by the candidate's structural words and
+    /// cleared on any mutation of pool, clock, ledger, park, or plan.
+    /// Lets a repeated candidate skip residual construction entirely —
+    /// the per-arrival cost of a memoized rejection is independent of
+    /// the pool size.
+    probe_memo: Vec<(Vec<u64>, f64, f64)>,
+    /// Memoized [`Self::baseline_value`] for the same lifetime as
+    /// `probe_memo` (Incremental only; bitwise what recomputation gives).
+    baseline_memo: Option<f64>,
+    /// Probe-memo hits, folded into [`ReplanStats::memo_hits`].
+    memo_hits: u64,
     replans: usize,
     solves: usize,
     expired: usize,
@@ -376,8 +396,8 @@ impl OnlineService {
             return Err(OnlineError::InvalidBudget(budget));
         }
         let m = park.len();
-        let mut ctx = SolverContext::new();
-        ctx.set_parallelism_budget(cfg.solver_parallelism);
+        let mut replanner = Replanner::new(ApproxSolver::new(), cfg.replan, cfg.replan_cache);
+        replanner.set_parallelism_budget(cfg.solver_parallelism);
         Ok(Self {
             cfg,
             ledger: EnergyLedger::new(budget),
@@ -391,8 +411,10 @@ impl OnlineService {
             outcomes: BTreeMap::new(),
             decisions: Vec::new(),
             events: Vec::new(),
-            solver: ApproxSolver::new(),
-            ctx,
+            replanner,
+            probe_memo: Vec::new(),
+            baseline_memo: None,
+            memo_hits: 0,
             replans: 0,
             solves: 0,
             expired: 0,
@@ -440,6 +462,59 @@ impl OnlineService {
         self.pool.len()
     }
 
+    /// The replanner's path counters so far (cache hits, estimates,
+    /// delta bounds, fallbacks). The sharded server snapshots these at
+    /// shard-kill time to attribute a dead cell's replanning history.
+    pub fn replan_stats(&self) -> ReplanStats {
+        let mut stats = self.replanner.stats();
+        stats.memo_hits = self.memo_hits;
+        stats
+    }
+
+    /// Bulk-admits `tasks` (arrival order, non-decreasing arrivals)
+    /// without tentative solves, bypassing the admission policy — the
+    /// semantics of an [`AdmissionPolicy::AdmitAll`] batch regardless of
+    /// the configured policy. Benchmark and test scaffolding for
+    /// building a standing pool in one call: the pool re-plans lazily on
+    /// the next clock advance or gated arrival, exactly like a
+    /// same-timestamp `AdmitAll` burst. Dead-on-arrival tasks are
+    /// rejected as in [`Self::try_submit`]; validation errors abort the
+    /// batch at the offending task.
+    pub fn preload(&mut self, tasks: &[OnlineTask]) -> Result<(), OnlineError> {
+        for task in tasks {
+            for (field, value) in [("arrival", task.arrival), ("deadline", task.deadline)] {
+                if !value.is_finite() {
+                    return Err(OnlineError::InvalidTask {
+                        id: task.id,
+                        field,
+                        value,
+                    });
+                }
+            }
+            if task.arrival < self.now - EPS_TIME {
+                return Err(OnlineError::NonMonotoneClock {
+                    at: task.arrival,
+                    now: self.now,
+                });
+            }
+            if task.arrival > self.now {
+                self.advance_to(task.arrival);
+                self.now = task.arrival;
+            }
+            self.purge_expired();
+            if task.deadline - self.now <= EPS_TIME {
+                self.record_unserved(task, self.now);
+                self.decisions.push((task.id, Decision::Rejected));
+                continue;
+            }
+            self.invalidate_probe_memo();
+            self.pool.push(task.clone());
+            self.plan_dirty = true;
+            self.decisions.push((task.id, Decision::Admitted));
+        }
+        Ok(())
+    }
+
     /// Submits one arrival, advancing the clock to its arrival time
     /// (committing every dispatch the incumbent plan starts before it),
     /// running the admission policy, and — for the gated policies —
@@ -451,6 +526,10 @@ impl OnlineService {
     /// # Panics
     /// Panics where [`Self::try_submit`] returns an error: a
     /// non-monotone arrival, or a NaN/infinite arrival or deadline.
+    #[deprecated(
+        since = "0.7.0",
+        note = "panics on invalid input; use `try_submit` and handle the typed error"
+    )]
     pub fn submit(&mut self, task: &OnlineTask) -> Decision {
         self.try_submit(task)
             .unwrap_or_else(|e| panic!("submit failed: {e}"))
@@ -498,52 +577,15 @@ impl OnlineService {
 
         let decision = match self.cfg.policy {
             AdmissionPolicy::AdmitAll => {
+                self.invalidate_probe_memo();
                 self.pool.push(task.clone());
                 self.plan_dirty = true;
                 Decision::Admitted
             }
             policy => {
                 self.ensure_plan();
-                let baseline = self
-                    .plan
-                    .as_ref()
-                    .map(|p| p.approx.total_accuracy)
-                    .unwrap_or(0.0);
-                match self.solve_pool(Some(task)) {
-                    // Every machine is dead: nothing can serve the
-                    // candidate, so the gated policies turn it away.
-                    None => {
-                        self.record_unserved(task, self.now);
-                        Decision::Rejected
-                    }
-                    Some((approx, res, machine_ids)) => {
-                        self.solves += 1;
-                        let jc = res
-                            .task_ids
-                            .iter()
-                            .position(|&id| id == task.id)
-                            .expect("candidate is live, so it is in the residual");
-                        let tentative_cand = approx.schedule.accuracy(jc, &res.instance);
-                        let decision = policy.decide(
-                            baseline,
-                            approx.total_accuracy,
-                            tentative_cand,
-                            task.accuracy.a_min(),
-                        );
-                        if decision == Decision::Admitted {
-                            self.pool.push(task.clone());
-                            self.adopt(Plan {
-                                time: self.now,
-                                task_ids: res.task_ids,
-                                machine_ids,
-                                approx,
-                            });
-                        } else {
-                            self.record_unserved(task, self.now);
-                        }
-                        decision
-                    }
-                }
+                let baseline = self.cached_baseline();
+                self.decide_and_adopt(task, policy, baseline)
             }
         };
         self.decisions.push((task.id, decision));
@@ -584,6 +626,7 @@ impl OnlineService {
     /// and queues are dropped; the remaining pool re-plans on the next
     /// clock advance.
     pub fn drain_pending(&mut self) -> Vec<OnlineTask> {
+        self.invalidate_probe_memo();
         let carry = &self.carry;
         let (drained, kept): (Vec<OnlineTask>, Vec<OnlineTask>) = std::mem::take(&mut self.pool)
             .into_iter()
@@ -591,6 +634,7 @@ impl OnlineService {
         self.pool = kept;
         self.plan = None;
         self.clear_queues();
+        self.replanner.clear_anchor();
         self.plan_dirty = !self.pool.is_empty();
         drained
     }
@@ -643,6 +687,7 @@ impl OnlineService {
             self.advance_to(at);
             self.now = at;
         }
+        self.invalidate_probe_memo();
         match *d {
             Disruption::MachineFailure { machine } => {
                 if self.alive[machine] {
@@ -737,6 +782,11 @@ impl OnlineService {
             decisions: self.decisions,
             summary,
             ledger: self.ledger,
+            replan: {
+                let mut stats = self.replanner.stats();
+                stats.memo_hits = self.memo_hits;
+                stats
+            },
         }
     }
 
@@ -747,6 +797,7 @@ impl OnlineService {
     /// then settles every completion at or before `t`. Re-plans first
     /// when the pool changed since the incumbent was computed.
     fn advance_to(&mut self, t: f64) {
+        self.invalidate_probe_memo();
         if self.plan_dirty {
             self.replan();
         }
@@ -806,6 +857,7 @@ impl OnlineService {
     /// policy, and — under [`OverrunPolicy::Compress`] — returns the
     /// remaining work to the pool as a shifted residual accuracy curve.
     fn cut_inflight(&mut self, id: u64, at: f64) {
+        self.invalidate_probe_memo();
         let fl = self
             .inflight
             .remove(&id)
@@ -982,6 +1034,7 @@ impl OnlineService {
         if expired.is_empty() {
             return;
         }
+        self.invalidate_probe_memo();
         self.pool.retain(|p| p.deadline - now > EPS_TIME);
         for task in &expired {
             self.expired += 1;
@@ -1020,6 +1073,240 @@ impl OnlineService {
         );
     }
 
+    /// Drops the same-state probe memo. Called on *every* mutation of an
+    /// input the gated tentative evaluation reads — pool contents, the
+    /// clock, the ledger, the park's alive/degrade state, or the
+    /// incumbent plan — so a surviving memo entry is proof the next
+    /// evaluation of the same candidate would recompute bitwise the
+    /// same values. Over-invalidation only costs hits, never bytes.
+    fn invalidate_probe_memo(&mut self) {
+        self.probe_memo.clear();
+        self.baseline_memo = None;
+    }
+
+    /// The candidate's structural words — every bit the tentative value
+    /// depends on through the candidate itself. `id` and `tenant` are
+    /// deliberately excluded: the candidate is appended after the pool
+    /// under the residual's stable deadline sort, so two candidates with
+    /// equal deadline and accuracy land at the same position and flop
+    /// vector whatever their ids.
+    fn candidate_words(task: &OnlineTask) -> Vec<u64> {
+        let acc = &task.accuracy;
+        let mut words = Vec::with_capacity(1 + acc.breakpoints().len() + acc.values().len());
+        words.push(task.deadline.to_bits());
+        words.extend(acc.breakpoints().iter().map(|f| f.to_bits()));
+        words.extend(acc.values().iter().map(|a| a.to_bits()));
+        words
+    }
+
+    /// Memoizes one gated evaluation's exact tentative values against
+    /// the current service state (bounded FIFO; any mutation clears it).
+    fn remember_probe(&mut self, words: Vec<u64>, tentative: f64, tentative_cand: f64) {
+        const PROBE_MEMO_CAP: usize = 16;
+        if self.probe_memo.len() >= PROBE_MEMO_CAP {
+            self.probe_memo.remove(0);
+        }
+        self.probe_memo.push((words, tentative, tentative_cand));
+    }
+
+    /// [`Self::baseline_value`], served from the same-state memo under
+    /// [`ReplanStrategy::Incremental`] (the memoized value is bitwise
+    /// what recomputation yields, so the decision arithmetic is
+    /// strategy-independent either way).
+    fn cached_baseline(&mut self) -> f64 {
+        if self.cfg.replan != ReplanStrategy::Incremental {
+            return self.baseline_value();
+        }
+        if let Some(b) = self.baseline_memo {
+            return b;
+        }
+        let b = self.baseline_value();
+        self.baseline_memo = Some(b);
+        b
+    }
+
+    /// The admission baseline: the incumbent plan's *fractional* value
+    /// restricted to still-pending tasks — `Σ_j a_j(f_j)` over the
+    /// incumbent's pooled flop vector, summed in plan order. The same
+    /// plain arithmetic on every strategy and on both the full-solve and
+    /// value-estimate tentative paths, so a decision threshold cannot
+    /// drift between replanner arms. `0.0` without an incumbent.
+    fn baseline_value(&self) -> f64 {
+        let Some(plan) = self.plan.as_ref() else {
+            return 0.0;
+        };
+        let by_id: BTreeMap<u64, &PwlAccuracy> =
+            self.pool.iter().map(|p| (p.id, &p.accuracy)).collect();
+        let flops = &plan.approx.fractional.flops;
+        plan.task_ids
+            .iter()
+            .enumerate()
+            .filter_map(|(j, id)| by_id.get(id).map(|acc| acc.eval(flops[j])))
+            .sum()
+    }
+
+    /// The fractional tentative value of a full solve: bit-identical to
+    /// the `Σ_j a_j(f_j)` sum the value-estimate path reports for the
+    /// same flop vector, so the two tentative paths feed the admission
+    /// policy through one arithmetic.
+    fn fractional_total(inst: &Instance, flops: &[f64]) -> f64 {
+        flops
+            .iter()
+            .enumerate()
+            .map(|(j, &f)| inst.task(j).accuracy.eval(f))
+            .sum()
+    }
+
+    /// One gated admission evaluation, counted as exactly one solver
+    /// invocation whichever replanner path answers it, followed by plan
+    /// adoption on admission.
+    ///
+    /// Path order under [`ReplanStrategy::Incremental`]:
+    /// 0. the same-state probe memo replays the exact tentative values
+    ///    of an identical candidate seen since the last state mutation
+    ///    (pool-size-independent);
+    /// 1. a checkpoint *insertion delta* lower-bounds the tentative
+    ///    value at the incumbent's anchored caps —
+    ///    [`AdmissionPolicy::DegradeToFit`]'s test is monotone in the
+    ///    tentative value, so clearing the bar at a lower bound proves
+    ///    the re-optimized value clears it too (early admit only; a low
+    ///    bound proves nothing and falls through);
+    /// 2. a value-only warm estimate (the full descent without the
+    ///    waterfill/assignment/oracle finishers), served from the
+    ///    replanner's fingerprint-keyed estimate cache on repeats;
+    /// 3. the full solve — the only path under `Cold`/`WarmStart`
+    ///    (where it doubles as the adoption solve), and the bit-exact
+    ///    fallback whenever the cheap paths decline to answer.
+    fn decide_and_adopt(
+        &mut self,
+        task: &OnlineTask,
+        policy: AdmissionPolicy,
+        baseline: f64,
+    ) -> Decision {
+        let cand_floor = task.accuracy.a_min();
+        if policy == AdmissionPolicy::DegradeToFit {
+            let residual_cand = Task::new(task.deadline - self.now, task.accuracy.clone());
+            if let Some(bound) = self.replanner.insert_value_bound(&residual_cand) {
+                // `tentative_cand` is unknown on this path and unused by
+                // DegradeToFit's test; NaN poisons any future misuse.
+                if policy.decide(baseline, bound, f64::NAN, cand_floor) == Decision::Admitted {
+                    self.solves += 1;
+                    return self.admit_via_cache(task);
+                }
+            }
+        }
+        // Same-state probe memo: an identical candidate against an
+        // unmutated service replays its exact tentative values without
+        // rebuilding the residual — the per-arrival cost of a repeated
+        // rejection stays flat however large the pool is.
+        let memo_words =
+            (self.cfg.replan == ReplanStrategy::Incremental).then(|| Self::candidate_words(task));
+        if let Some(words) = memo_words.as_ref() {
+            if let Some(&(_, tentative, tentative_cand)) =
+                self.probe_memo.iter().find(|(seen, _, _)| seen == words)
+            {
+                self.memo_hits += 1;
+                self.solves += 1;
+                let decision = policy.decide(baseline, tentative, tentative_cand, cand_floor);
+                if decision == Decision::Admitted {
+                    return self.admit_via_cache(task);
+                }
+                self.record_unserved(task, self.now);
+                return decision;
+            }
+        }
+        let Some((res, machine_ids)) = self.residual_for(Some(task)) else {
+            // Every machine is dead: nothing can serve the candidate,
+            // so the gated policies turn it away.
+            self.record_unserved(task, self.now);
+            return Decision::Rejected;
+        };
+        let warm = self.warm_hint(&machine_ids);
+        if let Some(est) = self.replanner.estimate(&res.instance, warm.as_ref()) {
+            self.solves += 1;
+            let jc = res
+                .task_ids
+                .iter()
+                .position(|&id| id == task.id)
+                .expect("candidate is live, so it is in the residual");
+            let tentative_cand = res.instance.task(jc).accuracy.eval(est.flops[jc]);
+            if let Some(words) = memo_words {
+                self.remember_probe(words, est.total_accuracy, tentative_cand);
+            }
+            let decision = policy.decide(baseline, est.total_accuracy, tentative_cand, cand_floor);
+            if decision == Decision::Admitted {
+                return self.admit_via_cache(task);
+            }
+            self.record_unserved(task, self.now);
+            return decision;
+        }
+        let approx = self.solve_residual(&res, warm.as_ref());
+        self.solves += 1;
+        let jc = res
+            .task_ids
+            .iter()
+            .position(|&id| id == task.id)
+            .expect("candidate is live, so it is in the residual");
+        let tentative = Self::fractional_total(&res.instance, &approx.fractional.flops);
+        let tentative_cand = res
+            .instance
+            .task(jc)
+            .accuracy
+            .eval(approx.fractional.flops[jc]);
+        if let Some(words) = memo_words {
+            self.remember_probe(words, tentative, tentative_cand);
+        }
+        let decision = policy.decide(baseline, tentative, tentative_cand, cand_floor);
+        if decision == Decision::Admitted {
+            self.invalidate_probe_memo();
+            self.pool.push(task.clone());
+            self.replanner
+                .anchor(&res.instance, &approx.fractional.profile);
+            self.adopt(Plan {
+                time: self.now,
+                task_ids: res.task_ids,
+                machine_ids,
+                approx,
+            });
+        } else {
+            self.record_unserved(task, self.now);
+        }
+        decision
+    }
+
+    /// Admission reached without a full tentative solve (the delta-bound
+    /// or estimate path): the adopted plan must still be bitwise what
+    /// the cold pipeline produces, so the full solve runs now — served
+    /// from the replanner's plan cache whenever this residual state was
+    /// solved before. Deliberately *not* counted as a solver invocation:
+    /// the full-solve arms adopt their tentative solve directly, and
+    /// counter parity across strategies is part of the digest contract.
+    fn admit_via_cache(&mut self, task: &OnlineTask) -> Decision {
+        self.invalidate_probe_memo();
+        self.pool.push(task.clone());
+        match self.solve_pool(None) {
+            Some((approx, res, machine_ids)) => {
+                self.replanner
+                    .anchor(&res.instance, &approx.fractional.profile);
+                self.adopt(Plan {
+                    time: self.now,
+                    task_ids: res.task_ids,
+                    machine_ids,
+                    approx,
+                });
+            }
+            // Unreachable in practice — the cheap paths only answer with
+            // a live candidate on a live sub-park — but stay safe.
+            None => {
+                self.plan = None;
+                self.plan_dirty = false;
+                self.clear_queues();
+                self.replanner.clear_anchor();
+            }
+        }
+        Decision::Admitted
+    }
+
     /// Ensures the incumbent plan was solved for the current pool at the
     /// current time (the gated policies compare against it).
     fn ensure_plan(&mut self) {
@@ -1028,6 +1315,7 @@ impl OnlineService {
             self.plan = None;
             self.plan_dirty = false;
             self.clear_queues();
+            self.replanner.clear_anchor();
             return;
         }
         let fresh = !self.plan_dirty && self.plan.as_ref().map(|p| p.time) == Some(self.now);
@@ -1039,11 +1327,13 @@ impl OnlineService {
     /// Re-plans the pending pool at the current time and adopts the
     /// result as the incumbent.
     fn replan(&mut self) {
+        self.invalidate_probe_memo();
         self.plan_dirty = false;
         self.purge_expired();
         if self.pool.is_empty() {
             self.plan = None;
             self.clear_queues();
+            self.replanner.clear_anchor();
             return;
         }
         // `None` here means every machine is dead: pooled tasks can only
@@ -1051,6 +1341,8 @@ impl OnlineService {
         match self.solve_pool(None) {
             Some((approx, res, machine_ids)) => {
                 self.solves += 1;
+                self.replanner
+                    .anchor(&res.instance, &approx.fractional.profile);
                 self.adopt(Plan {
                     time: self.now,
                     task_ids: res.task_ids,
@@ -1061,6 +1353,7 @@ impl OnlineService {
             None => {
                 self.plan = None;
                 self.clear_queues();
+                self.replanner.clear_anchor();
             }
         }
     }
@@ -1097,18 +1390,15 @@ impl OnlineService {
         Some((MachinePark::new(machines), machine_ids))
     }
 
-    /// Solves the residual instance of the pool (plus an optional
-    /// candidate) at the current time, warm-starting when configured and
-    /// an incumbent exists. Returns `None` when there is nothing to
+    /// Builds the residual instance of the pool (plus an optional
+    /// candidate, appended last so equal deadlines keep it after the
+    /// incumbents under the residual's stable sort) at the current time
+    /// over the alive sub-park. Returns `None` when there is nothing to
     /// schedule — no live item, or no live machine.
-    fn solve_pool(
-        &mut self,
+    fn residual_for(
+        &self,
         extra: Option<&OnlineTask>,
-    ) -> Option<(
-        dsct_core::approx::ApproxSolution,
-        dsct_core::residual::ResidualInstance,
-        Vec<usize>,
-    )> {
+    ) -> Option<(dsct_core::residual::ResidualInstance, Vec<usize>)> {
         let (park, machine_ids) = self.alive_park()?;
         let mut items: Vec<ResidualItem> = self
             .pool
@@ -1132,18 +1422,39 @@ impl OnlineService {
         let res = residual_instance(&items, self.now, &park, self.ledger.remaining())
             .expect("pool tasks are validated at submission and the budget is clamped")?;
         debug_assert!(res.expired.is_empty(), "pool purged before solving");
-        let warm = self.warm_hint(&machine_ids);
-        let approx = match warm {
-            Some(profile) => {
-                self.solver
-                    .solve_typed_warm_with(&res.instance, &mut self.ctx, &profile)
-            }
-            None => self.solver.solve_typed_with(&res.instance, &mut self.ctx),
-        };
+        Some((res, machine_ids))
+    }
+
+    /// Runs a residual instance through the replanner's full-solve path,
+    /// enforcing the invariant oracle on the result when configured.
+    fn solve_residual(
+        &mut self,
+        res: &dsct_core::residual::ResidualInstance,
+        warm: Option<&EnergyProfile>,
+    ) -> dsct_core::approx::ApproxSolution {
+        let approx = self.replanner.solve(&res.instance, warm);
         if self.cfg.check_invariants {
             let sol = Solution::from_approx(&res.instance, approx.clone());
             oracle::enforce(&res.instance, &sol, &Claims::approx(), "online-residual");
         }
+        approx
+    }
+
+    /// Solves the residual instance of the pool (plus an optional
+    /// candidate) at the current time, warm-starting when configured and
+    /// an incumbent exists. Returns `None` when there is nothing to
+    /// schedule — no live item, or no live machine.
+    fn solve_pool(
+        &mut self,
+        extra: Option<&OnlineTask>,
+    ) -> Option<(
+        dsct_core::approx::ApproxSolution,
+        dsct_core::residual::ResidualInstance,
+        Vec<usize>,
+    )> {
+        let (res, machine_ids) = self.residual_for(extra)?;
+        let warm = self.warm_hint(&machine_ids);
+        let approx = self.solve_residual(&res, warm.as_ref());
         Some((approx, res, machine_ids))
     }
 
@@ -1179,6 +1490,7 @@ impl OnlineService {
     /// with an availability offset). Cutting only shortens times, so the
     /// materialized plan consumes at most the solved plan's energy.
     fn adopt(&mut self, plan: Plan) {
+        self.invalidate_probe_memo();
         self.clear_queues();
         let schedule = &plan.approx.schedule;
         for (r_sub, &r) in plan.machine_ids.iter().enumerate() {
@@ -1220,12 +1532,39 @@ impl OnlineService {
     }
 }
 
+/// The shared configuration shape of the trace-replay entry points:
+/// [`replay`] here and `replay_sharded` in `dsct-server` consume the
+/// same struct, so a harness sweeps one config across both paths. The
+/// plain replay is the single-cell case by definition and reads only
+/// [`ReplayConfig::online`]; the sharded path additionally reads
+/// `shards` and `workers`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Per-cell online service configuration.
+    pub online: OnlineConfig,
+    /// Shard cells of a sharded replay (ignored by [`replay`]).
+    pub shards: usize,
+    /// Worker threads flushing shard cells in a sharded replay; results
+    /// never depend on it (ignored by [`replay`]).
+    pub workers: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            online: OnlineConfig::default(),
+            shards: 4,
+            workers: 1,
+        }
+    }
+}
+
 /// Replays an [`ArrivalTrace`] through a fresh service: submits every
 /// task in arrival order and drains. Deterministic: equal inputs produce
 /// equal (bit-identical) reports, regardless of `solver_parallelism` or
 /// how many threads the surrounding harness uses.
-pub fn replay(trace: &ArrivalTrace, cfg: &OnlineConfig) -> Result<OnlineReport, OnlineError> {
-    let mut svc = OnlineService::new(trace.park.clone(), trace.budget, *cfg)?;
+pub fn replay(trace: &ArrivalTrace, cfg: &ReplayConfig) -> Result<OnlineReport, OnlineError> {
+    let mut svc = OnlineService::new(trace.park.clone(), trace.budget, cfg.online)?;
     for task in &trace.tasks {
         svc.try_submit(task)?;
     }
@@ -1258,7 +1597,10 @@ mod tests {
     #[test]
     fn single_arrival_is_served_and_the_ledger_balances() {
         let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
-        assert_eq!(svc.submit(&task(0, 0.0, 1.0)), Decision::Admitted);
+        assert_eq!(
+            svc.try_submit(&task(0, 0.0, 1.0)).unwrap(),
+            Decision::Admitted
+        );
         let report = svc.finish();
         assert_eq!(report.summary.dispatched, 1);
         assert_eq!(report.summary.solves, 1);
@@ -1273,7 +1615,8 @@ mod tests {
     fn same_timestamp_batch_replans_once_under_admit_all() {
         let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
         for id in 0..6 {
-            svc.submit(&task(id, 0.0, 1.0 + id as f64 * 0.1));
+            svc.try_submit(&task(id, 0.0, 1.0 + id as f64 * 0.1))
+                .unwrap();
         }
         let report = svc.finish();
         assert_eq!(report.summary.arrivals, 6);
@@ -1296,9 +1639,12 @@ mod tests {
                 ..OnlineConfig::default()
             };
             let mut svc = OnlineService::new(park(), 500.0, cfg).unwrap();
-            svc.submit(&task(0, 0.0, 0.5));
+            svc.try_submit(&task(0, 0.0, 0.5)).unwrap();
             // Arrives at t=1 with deadline 0.8: already dead.
-            assert_eq!(svc.submit(&task(1, 1.0, 0.8)), Decision::Rejected);
+            assert_eq!(
+                svc.try_submit(&task(1, 1.0, 0.8)).unwrap(),
+                Decision::Rejected
+            );
             let report = svc.finish();
             assert_eq!(report.summary.rejected, 1);
             assert_eq!(report.trace.tasks[1].accuracy, 0.1);
@@ -1315,7 +1661,7 @@ mod tests {
         };
         let mut svc = OnlineService::new(park(), 30.0, cfg).unwrap();
         for id in 0..5 {
-            svc.submit(&task(id, id as f64 * 0.05, 0.6));
+            svc.try_submit(&task(id, id as f64 * 0.05, 0.6)).unwrap();
         }
         let report = svc.finish();
         assert_eq!(
@@ -1404,7 +1750,7 @@ mod tests {
     fn drain_pending_hands_back_undispatched_tasks_and_keeps_remnants() {
         let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
         for id in 0..4 {
-            svc.submit(&task(id, 0.0, 5.0 + id as f64));
+            svc.try_submit(&task(id, 0.0, 5.0 + id as f64)).unwrap();
         }
         // Nothing dispatched yet (the batch re-plan is lazy): every
         // task drains, in admission order.
@@ -1427,7 +1773,7 @@ mod tests {
 
         // A failure remnant, by contrast, stays pooled on drain.
         let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
-        svc.submit(&task(0, 0.0, 1.0));
+        svc.try_submit(&task(0, 0.0, 1.0)).unwrap();
         svc.advance_clock(1e-6).unwrap();
         let machine = {
             let fl = svc.inflight.values().next().expect("one task in flight");
@@ -1446,7 +1792,7 @@ mod tests {
         // outcome is final.
         let park = MachinePark::new(vec![Machine::new(2000.0, 80.0).unwrap()]);
         let mut svc = OnlineService::new(park, 500.0, OnlineConfig::default()).unwrap();
-        svc.submit(&task(0, 0.0, 1.0));
+        svc.try_submit(&task(0, 0.0, 1.0)).unwrap();
         // Commit the dispatch without settling it (its completion lies
         // past 1e-6), then fail the machine it landed on mid-run.
         svc.advance_to(1e-6);
@@ -1473,7 +1819,7 @@ mod tests {
     #[test]
     fn failure_remnant_finishes_on_the_surviving_machine() {
         let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
-        svc.submit(&task(0, 0.0, 1.0));
+        svc.try_submit(&task(0, 0.0, 1.0)).unwrap();
         svc.advance_to(1e-6);
         let (machine, start, completion) = {
             let fl = svc.inflight.values().next().expect("one task in flight");
@@ -1501,7 +1847,7 @@ mod tests {
             ..OnlineConfig::default()
         };
         let mut svc = OnlineService::new(park(), 500.0, cfg).unwrap();
-        svc.submit(&task(0, 0.0, 1.0));
+        svc.try_submit(&task(0, 0.0, 1.0)).unwrap();
         svc.advance_to(1e-6);
         let (machine, start, completion) = {
             let fl = svc.inflight.values().next().expect("one task in flight");
@@ -1525,7 +1871,8 @@ mod tests {
         svc.inject(0.0, &Disruption::MachineFailure { machine: 1 })
             .unwrap();
         for id in 0..4 {
-            svc.submit(&task(id, 0.0, 1.0 + id as f64 * 0.2));
+            svc.try_submit(&task(id, 0.0, 1.0 + id as f64 * 0.2))
+                .unwrap();
         }
         let report = svc.finish();
         assert!(report.summary.dispatched > 0);
@@ -1539,7 +1886,7 @@ mod tests {
     fn degradation_slows_planning_speed_but_not_power() {
         let base = {
             let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
-            svc.submit(&task(0, 0.0, 0.3));
+            svc.try_submit(&task(0, 0.0, 0.3)).unwrap();
             svc.finish()
         };
         let degraded = {
@@ -1560,7 +1907,7 @@ mod tests {
                 },
             )
             .unwrap();
-            svc.submit(&task(0, 0.0, 0.3));
+            svc.try_submit(&task(0, 0.0, 0.3)).unwrap();
             svc.finish()
         };
         // Halved speeds with the same deadline and power: the served
@@ -1572,10 +1919,10 @@ mod tests {
     #[test]
     fn budget_shock_to_zero_starves_later_arrivals() {
         let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
-        svc.submit(&task(0, 0.0, 0.4));
+        svc.try_submit(&task(0, 0.0, 0.4)).unwrap();
         svc.inject(0.5, &Disruption::BudgetShock { delta: -1e6 })
             .unwrap();
-        svc.submit(&task(1, 0.6, 1.2));
+        svc.try_submit(&task(1, 0.6, 1.2)).unwrap();
         let report = svc.finish();
         assert_eq!(report.ledger.budget(), 0.0);
         // Task 0 ran before the shock; task 1 found an empty ledger.
@@ -1602,7 +1949,8 @@ mod tests {
                     .unwrap();
             }
             for id in 0..5 {
-                svc.submit(&task(id, id as f64 * 0.1, 0.8 + id as f64 * 0.15));
+                svc.try_submit(&task(id, id as f64 * 0.1, 0.8 + id as f64 * 0.15))
+                    .unwrap();
             }
             let r = svc.finish();
             (r.summary, r.trace.tasks)
@@ -1637,7 +1985,7 @@ mod tests {
                 }
             )
             .is_err());
-        svc.submit(&task(0, 1.0, 2.0));
+        svc.try_submit(&task(0, 1.0, 2.0)).unwrap();
         assert!(
             svc.inject(0.5, &Disruption::BudgetShock { delta: 0.0 })
                 .is_err(),
@@ -1658,6 +2006,69 @@ mod tests {
             let f = a.jitter_factor(id);
             assert_eq!(f, b.jitter_factor(id));
             assert!((0.8..=1.2).contains(&f), "factor {f} out of range");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_still_delegates_to_try_submit() {
+        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        assert_eq!(svc.submit(&task(0, 0.0, 1.0)), Decision::Admitted);
+        assert_eq!(svc.finish().summary.admitted, 1);
+    }
+
+    #[test]
+    fn preload_matches_a_same_timestamp_admit_all_burst() {
+        let batch: Vec<OnlineTask> = (0..6)
+            .map(|id| task(id, 0.0, 1.0 + id as f64 * 0.1))
+            .collect();
+        let mut bulk = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        bulk.preload(&batch).unwrap();
+        let mut serial = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
+        for t in &batch {
+            serial.try_submit(t).unwrap();
+        }
+        let (bulk, serial) = (bulk.finish(), serial.finish());
+        assert_eq!(bulk.summary, serial.summary);
+        assert_eq!(bulk.decisions, serial.decisions);
+        assert_eq!(bulk.summary.solves, 1, "preload must re-plan lazily, once");
+    }
+
+    /// The byte-identity contract of the replanner redesign, end to end
+    /// at the service level: under every gated policy, the `Incremental`
+    /// arm's decisions, summary, ledger, and outcomes equal the `Cold`
+    /// arm's — even though its tentative evaluations run through value
+    /// estimates and checkpoint delta bounds.
+    #[test]
+    fn incremental_runs_are_byte_identical_to_cold() {
+        for policy in [
+            AdmissionPolicy::RejectIfInfeasible,
+            AdmissionPolicy::DegradeToFit,
+        ] {
+            let run = |replan: ReplanStrategy| {
+                let cfg = OnlineConfig {
+                    policy,
+                    replan,
+                    ..OnlineConfig::default()
+                };
+                // A lean budget so the policies actually reject some
+                // arrivals, across several timestamps.
+                let mut svc = OnlineService::new(park(), 60.0, cfg).unwrap();
+                for id in 0..8 {
+                    svc.try_submit(&task(id, (id / 2) as f64 * 0.07, 0.6 + id as f64 * 0.05))
+                        .unwrap();
+                }
+                svc.finish()
+            };
+            let cold = run(ReplanStrategy::Cold);
+            let inc = run(ReplanStrategy::Incremental);
+            assert_eq!(cold.decisions, inc.decisions, "policy {policy:?}");
+            assert_eq!(cold.summary, inc.summary, "policy {policy:?}");
+            assert_eq!(cold.ledger, inc.ledger, "policy {policy:?}");
+            assert!(
+                inc.replan.estimates + inc.replan.delta_bounds + inc.replan.cache_hits > 0,
+                "the incremental arm must exercise at least one cheap path"
+            );
         }
     }
 }

@@ -32,41 +32,43 @@ use dsct_chaos::ShardKillPlan;
 use dsct_core::EPS_TIME;
 use dsct_exec::{ExecError, TaskOutcome};
 use dsct_machines::{Machine, MachinePark};
-use dsct_online::{Decision, Disruption, OnlineConfig, OnlineError, OnlineService, OnlineSummary};
+use dsct_online::{
+    Decision, Disruption, OnlineError, OnlineService, OnlineSummary, ReplanStats, ReplayConfig,
+};
 use dsct_workload::{ArrivalTrace, OnlineTask};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
-/// Configuration of a [`ScheduleServer`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Configuration of a [`ScheduleServer`]: the [`ReplayConfig`] shared
+/// with `dsct_online::replay` (shard count, worker pool, per-cell online
+/// config), plus the server-only federation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServerConfig {
-    /// Number of shard cells the park and budget are split across.
-    pub shards: usize,
-    /// Worker threads for tick flushes and the final drain; `0` = one
-    /// per available core. Results never depend on this — only
-    /// wall-clock does.
-    pub workers: usize,
-    /// Per-cell online service configuration.
-    pub online: OnlineConfig,
+    /// Shard cells, worker threads, and the per-cell online service
+    /// configuration — the same struct the single-cell
+    /// `dsct_online::replay` consumes, so a harness sweeps one config
+    /// across both replay paths.
+    pub replay: ReplayConfig,
     /// Cross-shard budget federation.
     pub federation: FederationConfig,
 }
 
-impl Default for ServerConfig {
-    fn default() -> Self {
-        Self {
-            shards: 4,
-            workers: 1,
-            online: OnlineConfig::default(),
-            federation: FederationConfig::default(),
-        }
+impl ServerConfig {
+    /// Shard cell count (from the embedded [`ReplayConfig`]).
+    pub fn shards(&self) -> usize {
+        self.replay.shards
+    }
+
+    /// Flush worker threads (from the embedded [`ReplayConfig`]).
+    pub fn workers(&self) -> usize {
+        self.replay.workers
     }
 }
 
 /// One task handed from a killed shard to a survivor (or dropped, when
 /// no survivor exists).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DrainRecord {
     /// Kill time (the drained task re-arrives at this instant).
     pub at: f64,
@@ -78,6 +80,45 @@ pub struct DrainRecord {
     pub to: Option<usize>,
     /// The receiver's admission decision, `None` when dropped.
     pub decision: Option<Decision>,
+    /// The dead cell's replanner path counters at kill time — what the
+    /// shard's re-solve history looked like when its work was handed
+    /// away, for drain attribution in post-mortems.
+    pub replan: ReplanStats,
+}
+
+// Hand-written (de)serialization: `replan` is in-memory attribution
+// only and must stay out of [`ServerReport::digest`], so the wire shape
+// remains the original five fields and digests stay byte-identical
+// across [`dsct_online::ReplanStrategy`] arms (the derive shim has no
+// `#[serde(skip)]`).
+impl ::serde::Serialize for DrainRecord {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"at\":");
+        ::serde::Serialize::to_json(&self.at, out);
+        out.push_str(",\"task\":");
+        ::serde::Serialize::to_json(&self.task, out);
+        out.push_str(",\"from\":");
+        ::serde::Serialize::to_json(&self.from, out);
+        out.push_str(",\"to\":");
+        ::serde::Serialize::to_json(&self.to, out);
+        out.push_str(",\"decision\":");
+        ::serde::Serialize::to_json(&self.decision, out);
+        out.push('}');
+    }
+}
+
+impl ::serde::Deserialize for DrainRecord {
+    fn from_json(v: &::serde::json::Value) -> Result<Self, ::serde::json::Error> {
+        Ok(Self {
+            at: ::serde::json::field(v, "at")?,
+            task: ::serde::json::field(v, "task")?,
+            from: ::serde::json::field(v, "from")?,
+            to: ::serde::json::field(v, "to")?,
+            decision: ::serde::json::field(v, "decision")?,
+            replan: ReplanStats::default(),
+        })
+    }
 }
 
 /// Server-level aggregate, folded from per-shard summaries in shard
@@ -169,13 +210,13 @@ impl ScheduleServer {
     /// [`OnlineError::InvalidBudget`] for a NaN/infinite/negative
     /// budget.
     pub fn new(park: &MachinePark, budget: f64, cfg: ServerConfig) -> Result<Self, OnlineError> {
-        if cfg.shards == 0 {
+        if cfg.replay.shards == 0 {
             return Err(OnlineError::EmptyPark);
         }
         if !(budget.is_finite() && budget >= 0.0) {
             return Err(OnlineError::InvalidBudget(budget));
         }
-        let shards = cfg.shards;
+        let shards = cfg.replay.shards;
         let mut groups: Vec<Vec<Machine>> = vec![Vec::new(); shards];
         for (i, m) in park.machines().iter().enumerate() {
             groups[i % shards].push(*m);
@@ -193,7 +234,9 @@ impl ScheduleServer {
             };
             shard_sizes.push(group.len());
             cells.push(Mutex::new(OnlineService::from_machines(
-                group, slice, cfg.online,
+                group,
+                slice,
+                cfg.replay.online,
             )?));
             slices.push(slice);
         }
@@ -223,12 +266,12 @@ impl ScheduleServer {
 
     /// Effective worker count for the flush pool.
     fn worker_count(&self) -> usize {
-        let configured = if self.cfg.workers == 0 {
+        let configured = if self.cfg.replay.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
-            self.cfg.workers
+            self.cfg.replay.workers
         };
         configured.min(self.cells.len()).max(1)
     }
@@ -390,10 +433,12 @@ impl ScheduleServer {
         let at = at.max(self.now);
         self.tick(at)?;
         self.router.kill(shard);
-        let drained = self.cells[shard]
-            .get_mut()
-            .expect("cell lock")
-            .drain_pending();
+        let victim = self.cells[shard].get_mut().expect("cell lock");
+        // Snapshot the victim's replanner history before the drain
+        // wipes its incumbent: every record of this kill carries the
+        // same attribution.
+        let replan = victim.replan_stats();
+        let drained = victim.drain_pending();
         for machine in 0..self.shard_sizes[shard] {
             self.inject(shard, at, &Disruption::MachineFailure { machine })?;
         }
@@ -412,6 +457,7 @@ impl ScheduleServer {
                         from: shard,
                         to: Some(dst),
                         decision: Some(decision),
+                        replan,
                     });
                 }
                 None => {
@@ -421,6 +467,7 @@ impl ScheduleServer {
                         from: shard,
                         to: None,
                         decision: None,
+                        replan,
                     });
                 }
             }
@@ -528,7 +575,8 @@ impl ScheduleServer {
 /// Replays `trace` through a fresh [`ScheduleServer`] with `plan`'s
 /// shard kills merged in by firing time (a kill fires before any
 /// arrival sharing its timestamp). An empty plan is a plain sharded
-/// replay.
+/// replay. `cfg.replay` is the same [`ReplayConfig`] the single-cell
+/// `dsct_online::replay` consumes.
 pub fn replay_sharded(
     trace: &ArrivalTrace,
     cfg: &ServerConfig,

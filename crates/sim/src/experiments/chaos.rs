@@ -170,7 +170,11 @@ fn measure(cfg: &ChaosExpConfig, chaos: &ChaosConfig, seed: u64, chaos_seed: u64
         trace.park.len(),
         trace.budget,
     );
-    let clean_report = dsct_online::replay(&trace, &ocfg).expect("valid config");
+    let rcfg = dsct_online::ReplayConfig {
+        online: ocfg,
+        ..Default::default()
+    };
+    let clean_report = dsct_online::replay(&trace, &rcfg).expect("valid config");
     let chaos_report = chaos_replay(&trace, &ocfg, &plan).expect("valid config");
     let clean = base_accuracy(&clean_report.trace.tasks, trace.tasks.len());
     let disrupted = base_accuracy(&chaos_report.report.trace.tasks, trace.tasks.len());

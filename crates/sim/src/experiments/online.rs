@@ -129,11 +129,14 @@ pub struct OnlineResult {
 fn measure(cfg: &OnlineExpConfig, load: f64, seed: u64, ctx: &mut SolverContext) -> Item {
     let trace = generate_arrivals(&cfg.arrival_config(load), seed).expect("validated config");
     let run = |policy: AdmissionPolicy| {
-        let ocfg = OnlineConfig {
-            policy,
-            ..OnlineConfig::default()
+        let rcfg = dsct_online::ReplayConfig {
+            online: OnlineConfig {
+                policy,
+                ..OnlineConfig::default()
+            },
+            ..Default::default()
         };
-        replay(&trace, &ocfg).expect("zero jitter is a valid execution config")
+        replay(&trace, &rcfg).expect("zero jitter is a valid execution config")
     };
     let admit = run(AdmissionPolicy::AdmitAll);
     let degrade = run(AdmissionPolicy::DegradeToFit);

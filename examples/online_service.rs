@@ -48,7 +48,7 @@ fn main() {
         .expect("zero jitter is a valid execution config");
 
     for task in &trace.tasks {
-        let decision = svc.submit(task);
+        let decision = svc.try_submit(task).expect("trace arrivals are valid");
         let ledger = svc.ledger();
         println!(
             "t={:7.3} ms  task {:>2} (deadline {:7.3} ms)  {:8}  \

@@ -56,7 +56,7 @@ pub mod prelude {
     pub use dsct_machines::{Machine, MachinePark};
     pub use dsct_online::{
         replay, AdmissionPolicy, Decision, Disruption, EnergyLedger, OnlineConfig, OnlineService,
-        ReplanStrategy,
+        ReplanStrategy, ReplayConfig,
     };
     pub use dsct_server::{replay_sharded, Router, ScheduleServer, ServerConfig};
     pub use dsct_sim::engine::{ExperimentPlan, ExperimentRun};

@@ -16,7 +16,7 @@
 //!    bit-exactly (work, assignment, accuracy, energy).
 
 use dsct_core::solver::{ApproxSolver, FrOptSolver, SolverContext};
-use dsct_online::{replay, AdmissionPolicy, OnlineConfig, ReplanStrategy};
+use dsct_online::{replay, AdmissionPolicy, OnlineConfig, ReplanStrategy, ReplayConfig};
 use dsct_workload::{
     generate, generate_arrivals, ArrivalConfig, ArrivalTrace, InstanceConfig, MachineConfig,
     TaskConfig, ThetaDistribution,
@@ -59,7 +59,11 @@ fn online_accuracy_never_beats_the_clairvoyant_fr_opt_bound() {
                 },
                 ..OnlineConfig::default()
             };
-            let report = replay(&trace, &cfg).expect("zero jitter is valid");
+            let rcfg = ReplayConfig {
+                online: cfg,
+                ..ReplayConfig::default()
+            };
+            let report = replay(&trace, &rcfg).expect("zero jitter is valid");
             assert!(
                 report.summary.total_accuracy <= bound + 1e-6,
                 "load {load} seed {seed} {:?}/{:?}: online {} > clairvoyant bound {}",
@@ -85,10 +89,13 @@ fn replays_are_byte_identical_across_runs_and_solver_parallelism() {
         let mut renderings = Vec::new();
         for parallelism in [1usize, 2, 8] {
             for _run in 0..2 {
-                let cfg = OnlineConfig {
-                    policy: AdmissionPolicy::DegradeToFit,
-                    solver_parallelism: parallelism,
-                    ..OnlineConfig::default()
+                let cfg = ReplayConfig {
+                    online: OnlineConfig {
+                        policy: AdmissionPolicy::DegradeToFit,
+                        solver_parallelism: parallelism,
+                        ..OnlineConfig::default()
+                    },
+                    ..ReplayConfig::default()
                 };
                 let report = replay(&trace, &cfg).expect("zero jitter is valid");
                 renderings.push(format!("{:?}|{:?}", report.summary, report.decisions));
@@ -116,7 +123,7 @@ fn degenerate_all_at_zero_trace_reproduces_offline_approx_bit_exactly() {
         let inst = generate(&icfg, seed);
         let offline = ApproxSolver::new().solve_typed(&inst);
         let trace = ArrivalTrace::degenerate(&inst);
-        let report = replay(&trace, &OnlineConfig::default()).expect("zero jitter is valid");
+        let report = replay(&trace, &ReplayConfig::default()).expect("zero jitter is valid");
 
         assert_eq!(
             report.summary.solves, 1,
@@ -162,10 +169,13 @@ fn warm_and_cold_replans_agree_on_decisions_and_accuracy() {
     for load in [0.4, 1.2] {
         let trace = generate_arrivals(&arrival_config(36, load), 5150).expect("valid config");
         let run = |replan: ReplanStrategy| {
-            let cfg = OnlineConfig {
-                policy: AdmissionPolicy::DegradeToFit,
-                replan,
-                ..OnlineConfig::default()
+            let cfg = ReplayConfig {
+                online: OnlineConfig {
+                    policy: AdmissionPolicy::DegradeToFit,
+                    replan,
+                    ..OnlineConfig::default()
+                },
+                ..ReplayConfig::default()
             };
             replay(&trace, &cfg).expect("zero jitter is valid")
         };
@@ -192,10 +202,13 @@ fn warm_and_cold_replans_agree_on_decisions_and_accuracy() {
 fn jitter_feeds_back_into_the_ledger() {
     let trace = generate_arrivals(&arrival_config(30, 1.0), 31337).expect("valid config");
     let run = |jitter: f64| {
-        let cfg = OnlineConfig {
-            speed_jitter: jitter,
-            jitter_seed: 7,
-            ..OnlineConfig::default()
+        let cfg = ReplayConfig {
+            online: OnlineConfig {
+                speed_jitter: jitter,
+                jitter_seed: 7,
+                ..OnlineConfig::default()
+            },
+            ..ReplayConfig::default()
         };
         replay(&trace, &cfg).expect("valid jitter")
     };

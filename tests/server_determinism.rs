@@ -17,7 +17,7 @@
 //! the door (typed errors) rather than panic or go non-deterministic.
 
 use dsct_ea::chaos::ShardKillPlan;
-use dsct_ea::online::OnlineError;
+use dsct_ea::online::{OnlineError, ReplanStrategy, ReplayConfig};
 use dsct_ea::server::{replay_sharded, ScheduleServer, ServerConfig};
 use dsct_ea::workload::{
     generate_arrivals, ArrivalConfig, ArrivalTrace, MachineConfig, OnlineTask, TaskConfig,
@@ -43,8 +43,11 @@ fn trace(seed: u64) -> ArrivalTrace {
 
 fn server_config(workers: usize) -> ServerConfig {
     ServerConfig {
-        shards: 4,
-        workers,
+        replay: ReplayConfig {
+            shards: 4,
+            workers,
+            ..ReplayConfig::default()
+        },
         ..ServerConfig::default()
     }
 }
@@ -76,6 +79,38 @@ fn server_reports_are_byte_identical_across_worker_counts() {
             digests[0], digests[2],
             "seed {seed}: workers 1 vs 8 diverged"
         );
+    }
+}
+
+/// The incremental replanner is invisible in every report digest: for
+/// each seed and worker count, a sharded replay under
+/// `ReplanStrategy::Incremental` must digest byte-identically to the
+/// cold pipeline — the per-cell caches and probe memos may change how
+/// answers are computed, never what is answered.
+#[test]
+fn incremental_shards_digest_identically_to_cold() {
+    let strategy_config = |workers: usize, replan: ReplanStrategy| {
+        let mut cfg = server_config(workers);
+        cfg.replay.online.replan = replan;
+        cfg
+    };
+    for seed in SEEDS {
+        let t = trace(seed);
+        for &w in &WORKER_COUNTS {
+            let cold = replay_sharded(&t, &strategy_config(w, ReplanStrategy::Cold), &empty_plan())
+                .expect("valid replay");
+            let inc = replay_sharded(
+                &t,
+                &strategy_config(w, ReplanStrategy::Incremental),
+                &empty_plan(),
+            )
+            .expect("valid replay");
+            assert_eq!(
+                cold.digest(),
+                inc.digest(),
+                "seed {seed} workers {w}: incremental digest drifted from cold"
+            );
+        }
     }
 }
 
@@ -224,19 +259,15 @@ proptest! {
 #[test]
 fn degenerate_server_shapes_are_typed_errors() {
     let t = trace(1);
-    let cfg = ServerConfig {
-        shards: 0,
-        ..server_config(1)
-    };
+    let mut cfg = server_config(1);
+    cfg.replay.shards = 0;
     assert!(matches!(
         ScheduleServer::new(&t.park, t.budget, cfg),
         Err(OnlineError::EmptyPark)
     ));
     // More shards than machines: some cell would own no machines.
-    let cfg = ServerConfig {
-        shards: t.park.len() + 1,
-        ..server_config(1)
-    };
+    let mut cfg = server_config(1);
+    cfg.replay.shards = t.park.len() + 1;
     assert!(matches!(
         ScheduleServer::new(&t.park, t.budget, cfg),
         Err(OnlineError::EmptyPark)

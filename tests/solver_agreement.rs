@@ -146,53 +146,3 @@ fn single_machine_chain_collapses() {
         );
     }
 }
-
-/// The deprecated free functions must stay byte-for-byte equivalent to the
-/// [`Solver`](dsct_core::solver::Solver) implementations wrapping them —
-/// this is the migration-safety diff for downstream code still on the old
-/// API.
-#[test]
-#[allow(deprecated)]
-fn deprecated_free_functions_match_solver_impls() {
-    use dsct_core::approx::{solve_approx, ApproxOptions};
-    use dsct_core::baselines::{edf_no_compression, edf_three_levels};
-    use dsct_core::fr_opt::{solve_fr_opt, FrOptOptions};
-    use dsct_core::mip_model::solve_mip_exact;
-    use dsct_core::solver::{EdfSolver, FrOptSolver, Solver};
-    use dsct_mip::MipOptions;
-
-    for seed in 0..6 {
-        let inst = tiny_instance(seed, 5, 2, 0.5, 0.3);
-
-        let old_fr = solve_fr_opt(&inst, &FrOptOptions::default());
-        let new_fr = FrOptSolver::new().solve_typed(&inst);
-        assert_eq!(old_fr.total_accuracy, new_fr.total_accuracy, "seed {seed}");
-        assert_eq!(old_fr.profile, new_fr.profile, "seed {seed}");
-
-        let old_approx = solve_approx(&inst, &ApproxOptions::default());
-        let new_approx = ApproxSolver::new().solve_typed(&inst);
-        assert_eq!(
-            old_approx.total_accuracy, new_approx.total_accuracy,
-            "seed {seed}"
-        );
-        assert_eq!(old_approx.assignment, new_approx.assignment, "seed {seed}");
-
-        let old_full = edf_no_compression(&inst);
-        let new_full = EdfSolver::no_compression().solve_typed(&inst);
-        assert_eq!(old_full.total_accuracy, new_full.total_accuracy);
-        assert_eq!(old_full.assignment, new_full.assignment);
-        let old_lvl = edf_three_levels(&inst);
-        let new_lvl = EdfSolver::three_levels().solve_typed(&inst);
-        assert_eq!(old_lvl.total_accuracy, new_lvl.total_accuracy);
-
-        let old_mip = solve_mip_exact(&inst, &MipOptions::default()).expect("builds");
-        let new_mip = MipSolver::new().solve_typed(&inst).expect("builds");
-        assert_eq!(old_mip.status, new_mip.status, "seed {seed}");
-        assert_eq!(old_mip.total_accuracy, new_mip.total_accuracy);
-
-        // And the erased trait-object path reports the same objective.
-        let erased: &dyn Solver = &ApproxSolver::new();
-        let sol = erased.solve(&inst).expect("approx is infallible");
-        assert_eq!(sol.total_accuracy, new_approx.total_accuracy);
-    }
-}
