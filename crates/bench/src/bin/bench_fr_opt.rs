@@ -1,6 +1,7 @@
-//! FR-OPT probe-path bench with machine-readable output: the `n=100,
-//! m=10` seed-777 paper instance solved by `DSCT-EA-FR-Opt` under the
-//! three probe configurations this repo ablates —
+//! FR-OPT and LP-arm bench with machine-readable output.
+//!
+//! Four probe-path configurations are ablated on the `n=100, m=10`
+//! seed-777 paper instance —
 //!
 //! * `serial` — cached workspace probes, Δ-probes off, gate on one
 //!   thread (the PR 1 baseline),
@@ -9,26 +10,68 @@
 //!   re-verified by the solution oracle, measuring the
 //!   `check_invariants` overhead against the serial baseline,
 //! * `incremental` — Δ-probe checkpoint evaluator, gate on one thread,
-//! * `parallel_gate` — Δ-probes plus the batched gate on all cores.
+//! * `parallel_gate` — Δ-probes plus the batched gate on all cores,
 //!
-//! Writes median ns/solve per arm (plus accuracy and probe counters) as
-//! JSON so CI can archive the perf trajectory across PRs. The three arms
-//! must agree on accuracy to ≤ 1e-9 — checked here, not just in the test
-//! suite, so a perf run can never silently trade correctness for speed.
+//! plus `incremental` scale arms across the `n ∈ {100, 1000} × m ∈
+//! {10, 32}` grid, an LP-arm timing column (the LU/Forrest–Tomlin
+//! revised simplex of `dsct-lp` over the sparse `u`-chain formulation)
+//! for the same grid, and a steady-state allocation meter: a counting
+//! global allocator records bytes-allocated-per-solve for every arm and
+//! bytes per Δ-probe for the checkpointed probe path specifically.
 //!
-//! Usage: `bench_fr_opt [--json PATH] [--repeats N] [--check]`
-//! `--check` exits non-zero if the incremental arm is > 10% slower than
-//! the serial baseline (the CI perf-smoke gate). No external deps: the
-//! JSON is assembled by hand.
+//! Writes median ns/solve per arm (plus accuracy, probe counters, and
+//! allocation columns) as JSON so CI can archive the perf trajectory
+//! across PRs. All probe arms must agree on accuracy to ≤ 1e-9 —
+//! checked here, not just in the test suite, so a perf run can never
+//! silently trade correctness for speed.
+//!
+//! Usage: `bench_fr_opt [--json PATH] [--repeats N] [--check] [--fast]`
+//! `--fast` skips the n=1000 arms (the n=1000, m=32 LP alone runs for
+//! minutes). `--check` exits non-zero — the CI perf-smoke gate — if:
+//! * the incremental arm is > 10% slower than the serial baseline,
+//! * the oracle-checked arm costs > 5% over the unchecked serial arm,
+//! * the steady-state Δ-probe path allocates a single byte, or
+//! * (full runs) the n=1000, m=32 LP arm fails to reach `Optimal`.
 
+use dsct_core::algo_naive::{NaiveSolver, ValueCheckpoint};
 use dsct_core::fr_opt::FrOptOptions;
-use dsct_core::solver::{FrOptSolver, Solver, SolverContext, SolverOptions};
+use dsct_core::solver::{FrOptSolver, LpSolver, Solver, SolverContext, SolverOptions};
 use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// Counting wrapper around the system allocator: every allocation adds
+/// its size to a global byte counter (reallocation counts the new size).
+/// Snapshot differences around a timed region give bytes allocated in
+/// it; frees are deliberately not subtracted — the meter asks "did this
+/// region hit the allocator at all", not "did the footprint grow".
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocated_bytes() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
 const SEED: u64 = 777;
-const N_TASKS: usize = 100;
-const M_MACHINES: usize = 10;
 const RHO: f64 = 0.35;
 const BETA: f64 = 0.5;
 const WARMUP: usize = 2;
@@ -38,29 +81,40 @@ const CHECK_MAX_RATIO: f64 = 1.10;
 /// CI gate: the oracle-checked serial arm may cost at most this much
 /// extra over the unchecked serial arm (the ≤ 5% acceptance bound).
 const CHECK_MAX_ORACLE_OVERHEAD: f64 = 0.05;
+/// Δ-probes issued by the steady-state allocation meter.
+const PROBE_METER_ROUNDS: usize = 10_000;
+
+fn instance_config(n: usize, m: usize) -> InstanceConfig {
+    InstanceConfig {
+        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+        machines: MachineConfig::paper_random(m),
+        rho: RHO,
+        beta: BETA,
+    }
+}
 
 struct ArmResult {
-    name: &'static str,
+    name: String,
+    n: usize,
+    m: usize,
     median_ns: u128,
     accuracy: f64,
     probes: u64,
     incremental_probes: u64,
+    bytes_per_solve: u64,
 }
 
+#[allow(clippy::too_many_arguments)] // bench arm matrix, one knob each
 fn run_arm(
-    name: &'static str,
+    name: &str,
+    n: usize,
+    m: usize,
     incremental: bool,
     gate_threads: usize,
     repeats: usize,
     oracle_checked: bool,
 ) -> ArmResult {
-    let cfg = InstanceConfig {
-        tasks: TaskConfig::paper(N_TASKS, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
-        machines: MachineConfig::paper_random(M_MACHINES),
-        rho: RHO,
-        beta: BETA,
-    };
-    let inst = generate(&cfg, SEED);
+    let inst = generate(&instance_config(n, m), SEED);
     let mut opts = FrOptOptions::default();
     opts.search.incremental_probes = incremental;
     opts.search.gate_threads = gate_threads;
@@ -80,6 +134,7 @@ fn run_arm(
         }
         let mut times_ns: Vec<u128> = Vec::with_capacity(repeats);
         let mut last = None;
+        let bytes_before = allocated_bytes();
         for _ in 0..repeats {
             let t0 = Instant::now();
             let sol = solver
@@ -88,14 +143,18 @@ fn run_arm(
             times_ns.push(t0.elapsed().as_nanos());
             last = Some(sol);
         }
+        let bytes_per_solve = (allocated_bytes() - bytes_before) / repeats as u64;
         times_ns.sort_unstable();
         let sol = last.expect("repeats >= 1");
         return ArmResult {
-            name,
+            name: name.to_string(),
+            n,
+            m,
             median_ns: times_ns[times_ns.len() / 2],
             accuracy: sol.total_accuracy,
             probes: sol.stats.probes,
             incremental_probes: sol.stats.incremental_probes,
+            bytes_per_solve,
         };
     }
 
@@ -104,28 +163,102 @@ fn run_arm(
     }
     let mut times_ns: Vec<u128> = Vec::with_capacity(repeats);
     let mut last = None;
+    let bytes_before = allocated_bytes();
     for _ in 0..repeats {
         let t0 = Instant::now();
         let sol = solver.solve_typed_with(&inst, &mut ctx);
         times_ns.push(t0.elapsed().as_nanos());
         last = Some(sol);
     }
+    let bytes_per_solve = (allocated_bytes() - bytes_before) / repeats as u64;
     times_ns.sort_unstable();
     let sol = last.expect("repeats >= 1");
     let search = sol.search.expect("FR-OPT runs the profile search");
     ArmResult {
-        name,
+        name: name.to_string(),
+        n,
+        m,
         median_ns: times_ns[times_ns.len() / 2],
         accuracy: sol.total_accuracy,
         probes: search.probe_stats.probes,
         incremental_probes: search.probe_stats.incremental_probes,
+        bytes_per_solve,
     }
+}
+
+struct LpArmResult {
+    n: usize,
+    m: usize,
+    solve_ms: f64,
+    iterations: usize,
+    accuracy: f64,
+    optimal: bool,
+}
+
+/// Times one LP-relaxation solve (build + LU simplex) at the given size.
+fn run_lp_arm(n: usize, m: usize) -> LpArmResult {
+    let inst = generate(&instance_config(n, m), SEED);
+    let solver = LpSolver::new();
+    let t0 = Instant::now();
+    let sol = solver
+        .solve_typed(&inst)
+        .expect("the FR relaxation is well-posed");
+    let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    LpArmResult {
+        n,
+        m,
+        solve_ms,
+        iterations: sol.iterations,
+        accuracy: sol.total_accuracy,
+        optimal: sol.status == dsct_lp::Status::Optimal,
+    }
+}
+
+/// Steady-state allocation per Δ-probe: checkpoint once, then hammer
+/// `value_delta` with alternating single-cap deltas. After warmup the
+/// checkpointed probe path must not touch the allocator at all — this is
+/// the SoA/arena contract the `--check` gate enforces.
+fn probe_steady_state_bytes() -> u64 {
+    let inst = generate(&instance_config(100, 10), SEED);
+    let m = inst.num_machines();
+    let solver = NaiveSolver::new(&inst);
+    let mut ws = solver.workspace();
+    let mut chk = ValueCheckpoint::new();
+    // A plausible incumbent: the uniform-energy-split profile caps.
+    let caps: Vec<f64> = inst
+        .machines()
+        .machines()
+        .iter()
+        .map(|mach| inst.budget() / (m as f64 * mach.power()))
+        .collect();
+    solver.checkpoint_into(&mut ws, &caps, &mut chk);
+    let deltas: Vec<(usize, f64)> = (0..m)
+        .flat_map(|r| [(r, caps[r] * 0.9), (r, caps[r] * 1.1)])
+        .collect();
+    for d in &deltas {
+        std::hint::black_box(
+            solver
+                .value_delta(&mut ws, &chk, std::slice::from_ref(d))
+                .expect("valid checkpoint and finite caps"),
+        );
+    }
+    let before = allocated_bytes();
+    for i in 0..PROBE_METER_ROUNDS {
+        let d = &deltas[i % deltas.len()];
+        std::hint::black_box(
+            solver
+                .value_delta(&mut ws, &chk, std::slice::from_ref(d))
+                .expect("valid checkpoint and finite caps"),
+        );
+    }
+    allocated_bytes() - before
 }
 
 fn main() {
     let mut json_path = String::from("BENCH_fr_opt.json");
     let mut repeats = DEFAULT_REPEATS;
     let mut check = false;
+    let mut fast = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -140,9 +273,10 @@ fn main() {
                 assert!(repeats >= 1, "--repeats requires a positive integer");
             }
             "--check" => check = true,
+            "--fast" => fast = true,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_fr_opt [--json PATH] [--repeats N] [--check]");
+                eprintln!("usage: bench_fr_opt [--json PATH] [--repeats N] [--check] [--fast]");
                 std::process::exit(2);
             }
         }
@@ -151,16 +285,38 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let arms = [
-        run_arm("serial", false, 1, repeats, false),
-        run_arm("serial_checked", false, 1, repeats, true),
-        run_arm("incremental", true, 1, repeats, false),
-        run_arm("parallel_gate", true, 0, repeats, false),
+    let scale_repeats = (repeats / 5).max(1);
+    let mut arms = vec![
+        run_arm("serial", 100, 10, false, 1, repeats, false),
+        run_arm("serial_checked", 100, 10, false, 1, repeats, true),
+        run_arm("incremental", 100, 10, true, 1, repeats, false),
+        run_arm("parallel_gate", 100, 10, true, 0, repeats, false),
+        run_arm("incremental_n100_m32", 100, 32, true, 1, repeats, false),
     ];
+    if !fast {
+        arms.push(run_arm(
+            "incremental_n1000_m10",
+            1000,
+            10,
+            true,
+            1,
+            scale_repeats,
+            false,
+        ));
+        arms.push(run_arm(
+            "incremental_n1000_m32",
+            1000,
+            32,
+            true,
+            1,
+            scale_repeats,
+            false,
+        ));
+    }
 
-    // All probe paths must land on the same optimum.
+    // All probe paths must land on the same optimum (per instance size).
     let base_acc = arms[0].accuracy;
-    for arm in &arms[1..] {
+    for arm in &arms[1..4] {
         let drift = (arm.accuracy - base_acc).abs();
         assert!(
             drift <= 1e-9,
@@ -170,35 +326,76 @@ fn main() {
         );
     }
 
+    let probe_bytes = probe_steady_state_bytes();
+
+    let mut lp_arms = vec![run_lp_arm(100, 10), run_lp_arm(100, 32)];
+    if !fast {
+        println!("[fr-opt bench] scale LP arms (n=1000 runs for minutes)...");
+        lp_arms.push(run_lp_arm(1000, 10));
+        lp_arms.push(run_lp_arm(1000, 32));
+    }
+
     let speedup = |arm: &ArmResult| arms[0].median_ns as f64 / arm.median_ns.max(1) as f64;
     let mut arm_json = Vec::with_capacity(arms.len());
     for arm in &arms {
         println!(
-            "[fr-opt bench] {:<13} median {:>12} ns/solve  ({:.2}x vs serial, acc {:.9}, \
-             probes {}, incremental {})",
+            "[fr-opt bench] {:<22} n={:<5} m={:<3} median {:>12} ns/solve  ({:.2}x vs serial, \
+             acc {:.9}, probes {}, incremental {}, {} B/solve)",
             arm.name,
+            arm.n,
+            arm.m,
             arm.median_ns,
             speedup(arm),
             arm.accuracy,
             arm.probes,
-            arm.incremental_probes
+            arm.incremental_probes,
+            arm.bytes_per_solve
         );
         arm_json.push(format!(
-            "    {{\"name\": \"{}\", \"median_ns_per_solve\": {}, \"speedup_vs_serial\": {:.4}, \
-             \"accuracy\": {:.12}, \"probes\": {}, \"incremental_probes\": {}}}",
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"median_ns_per_solve\": {}, \
+             \"speedup_vs_serial\": {:.4}, \"accuracy\": {:.12}, \"probes\": {}, \
+             \"incremental_probes\": {}, \"bytes_per_solve\": {}}}",
             arm.name,
+            arm.n,
+            arm.m,
             arm.median_ns,
             speedup(arm),
             arm.accuracy,
             arm.probes,
-            arm.incremental_probes
+            arm.incremental_probes,
+            arm.bytes_per_solve
         ));
     }
+    let mut lp_json = Vec::with_capacity(lp_arms.len());
+    for lp in &lp_arms {
+        println!(
+            "[fr-opt bench] lp                     n={:<5} m={:<3} solve {:>12.3} ms      \
+             ({} iterations, acc {:.9}{})",
+            lp.n,
+            lp.m,
+            lp.solve_ms,
+            lp.iterations,
+            lp.accuracy,
+            if lp.optimal { "" } else { ", NOT OPTIMAL" }
+        );
+        lp_json.push(format!(
+            "    {{\"n\": {}, \"m\": {}, \"solve_ms\": {:.3}, \"iterations\": {}, \
+             \"accuracy\": {:.12}, \"optimal\": {}}}",
+            lp.n, lp.m, lp.solve_ms, lp.iterations, lp.accuracy, lp.optimal
+        ));
+    }
+    println!(
+        "[fr-opt bench] steady-state Δ-probe allocation: {} bytes over {} probes",
+        probe_bytes, PROBE_METER_ROUNDS
+    );
     let json = format!(
-        "{{\n  \"bench\": \"fr_opt_profile_search\",\n  \"instance\": {{\"n\": {N_TASKS}, \
-         \"m\": {M_MACHINES}, \"seed\": {SEED}, \"rho\": {RHO}, \"beta\": {BETA}}},\n  \
-         \"cores\": {cores},\n  \"repeats\": {repeats},\n  \"arms\": [\n{}\n  ]\n}}\n",
-        arm_json.join(",\n")
+        "{{\n  \"bench\": \"fr_opt_profile_search\",\n  \"instance\": {{\"n\": 100, \
+         \"m\": 10, \"seed\": {SEED}, \"rho\": {RHO}, \"beta\": {BETA}}},\n  \
+         \"cores\": {cores},\n  \"repeats\": {repeats},\n  \
+         \"probe_steady_state_bytes\": {probe_bytes},\n  \"arms\": [\n{}\n  ],\n  \
+         \"lp_arms\": [\n{}\n  ]\n}}\n",
+        arm_json.join(",\n"),
+        lp_json.join(",\n")
     );
     std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
     println!("[fr-opt bench] wrote {json_path} ({cores} core(s), {repeats} repeats)");
@@ -239,6 +436,28 @@ fn main() {
                 100.0 * CHECK_MAX_ORACLE_OVERHEAD
             );
             std::process::exit(1);
+        }
+        if probe_bytes > 0 {
+            eprintln!(
+                "[fr-opt bench] FAIL: the steady-state Δ-probe path allocated {probe_bytes} \
+                 bytes over {PROBE_METER_ROUNDS} probes (must be 0)"
+            );
+            std::process::exit(1);
+        }
+        println!("[fr-opt bench] check passed: steady-state Δ-probe path allocates 0 bytes");
+        if !fast {
+            let lp_scale = lp_arms
+                .iter()
+                .find(|l| l.n == 1000 && l.m == 32)
+                .expect("full runs include the n=1000, m=32 LP arm");
+            if !lp_scale.optimal {
+                eprintln!("[fr-opt bench] FAIL: the n=1000, m=32 LP arm did not reach Optimal");
+                std::process::exit(1);
+            }
+            println!(
+                "[fr-opt bench] check passed: n=1000, m=32 LP arm optimal in {:.1} s",
+                lp_scale.solve_ms / 1e3
+            );
         }
     }
 }

@@ -22,12 +22,14 @@
 //! capacity argument, so the achieved accuracies are unchanged.
 
 use crate::algo_single::{
-    accuracy_gain_buckets, accuracy_gain_ordered, schedule_single_machine, BucketSlack,
-    SegmentSpec, SlackTree,
+    accuracy_gain_buckets_lanes, accuracy_gain_tree_lanes, schedule_single_machine,
+    times_tree_lanes, BucketSlack, SegmentSpec, SlackTree,
 };
+use crate::kernels;
 use crate::problem::{Instance, Task};
 use crate::profile::EnergyProfile;
 use crate::schedule::FractionalSchedule;
+use crate::soa::{PwlLanes, ScratchArena, SegmentLanes};
 use crate::EPS_TIME;
 
 /// Output of `ComputeNaiveSolution`.
@@ -42,6 +44,13 @@ pub struct NaiveSolution {
 /// Builds the flattened segment list of an instance for Algorithm 1.
 pub fn collect_segments(inst: &Instance) -> Vec<SegmentSpec> {
     let mut segs = Vec::new();
+    collect_segments_into(inst, &mut segs);
+    segs
+}
+
+/// [`collect_segments`] into a caller-owned (arena-pooled) buffer.
+fn collect_segments_into(inst: &Instance, segs: &mut Vec<SegmentSpec>) {
+    segs.clear();
     for (j, task) in inst.tasks().iter().enumerate() {
         for s in task.accuracy.segments() {
             segs.push(SegmentSpec {
@@ -52,7 +61,6 @@ pub fn collect_segments(inst: &Instance) -> Vec<SegmentSpec> {
             });
         }
     }
-    segs
 }
 
 /// Reusable Algorithm 2 evaluator for one instance.
@@ -68,6 +76,14 @@ pub struct NaiveSolver<'a> {
     inst: &'a Instance,
     segments: Vec<SegmentSpec>,
     order: Vec<usize>,
+    /// The positive-gain segments of `order`, as contiguous SoA lanes —
+    /// what every hot greedy walks (see [`crate::soa`]).
+    lanes: SegmentLanes,
+    /// Flat segment index over all tasks' accuracy breakpoints, for the
+    /// value-search finisher's per-task evaluation.
+    pwl: PwlLanes,
+    /// Machine speeds by index, hoisted out of the per-probe loops.
+    speeds: Vec<f64>,
     base_accuracy: f64,
     /// Task deadlines in task (EDF) order, cached for the Δ-probe's
     /// affected-suffix search.
@@ -141,6 +157,10 @@ pub struct ValueFnWorkspace {
     delta_buckets: Vec<f64>,
     /// Union-find slack buckets, reloaded from the checkpoint per probe.
     buckets: BucketSlack,
+    /// Recycling pool for per-solve scratch (solver lanes, checkpoint
+    /// vectors, descent buffers): steady-state solves through one
+    /// workspace allocate nothing on the probe path.
+    pub(crate) arena: ScratchArena,
     /// Evaluation counters.
     pub stats: ProbeStats,
 }
@@ -166,6 +186,11 @@ pub struct ValueCheckpoint {
     td: Vec<f64>,
     /// Pristine capacity buckets `b_j = td_j − td_{j−1}`.
     buckets: Vec<f64>,
+    /// Occupancy bit-words of the pristine buckets (bit `j & 63` of word
+    /// `j >> 6` ⇔ `buckets[j] > 0`), snapshotted at anchor time so
+    /// Δ-probes reload the untouched prefix by word copy instead of an
+    /// element scan.
+    bit_words: Vec<u64>,
     /// `V(caps)` as evaluated by the bucket greedy.
     value: f64,
     /// Whether the checkpoint holds a usable incumbent.
@@ -176,6 +201,28 @@ impl ValueCheckpoint {
     /// Fresh, invalid checkpoint.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh, invalid checkpoint over arena-pooled buffers.
+    pub(crate) fn new_in(arena: &mut ScratchArena) -> Self {
+        Self {
+            caps: arena.take_f64(),
+            td_raw: arena.take_f64(),
+            td: arena.take_f64(),
+            buckets: arena.take_f64(),
+            bit_words: arena.take_u64(),
+            value: 0.0,
+            valid: false,
+        }
+    }
+
+    /// Returns the checkpoint's buffers to `arena`.
+    pub(crate) fn recycle(self, arena: &mut ScratchArena) {
+        arena.put_f64(self.caps);
+        arena.put_f64(self.td_raw);
+        arena.put_f64(self.td);
+        arena.put_f64(self.buckets);
+        arena.put_u64(self.bit_words);
     }
 
     /// Whether the checkpoint holds a usable incumbent.
@@ -219,27 +266,67 @@ impl ValueFnWorkspace {
             tree: SlackTree::new(&[]),
             delta_buckets: Vec::with_capacity(n),
             buckets: BucketSlack::default(),
+            arena: ScratchArena::new(),
             stats: ProbeStats::default(),
         }
+    }
+
+    /// The workspace's scratch arena (per-solve buffer recycling).
+    pub fn arena_mut(&mut self) -> &mut ScratchArena {
+        &mut self.arena
     }
 }
 
 impl<'a> NaiveSolver<'a> {
     /// Prepares the evaluator for an instance.
     pub fn new(inst: &'a Instance) -> Self {
-        let segments = collect_segments(inst);
-        let order = crate::algo_single::sort_segments(&segments);
+        Self::new_in(inst, &mut ScratchArena::new())
+    }
+
+    /// [`NaiveSolver::new`] with every buffer pulled from `arena` —
+    /// pair with [`NaiveSolver::recycle`] so repeated solves through one
+    /// workspace reuse the warm capacity instead of allocating.
+    pub fn new_in(inst: &'a Instance, arena: &mut ScratchArena) -> Self {
+        let mut segments = arena.take_specs();
+        collect_segments_into(inst, &mut segments);
+        let mut order = arena.take_usize();
+        crate::algo_single::sort_segments_into(&segments, &mut order);
+        let lanes = SegmentLanes::build_in(&segments, &order, arena);
+        let pwl = PwlLanes::build_in(inst, arena);
+        let machines = inst.machines();
+        let mut speeds = arena.take_f64();
+        speeds.extend((0..machines.len()).map(|r| machines[r].speed()));
         let base_accuracy = inst.total_min_accuracy();
-        let deadlines = (0..inst.num_tasks())
-            .map(|j| inst.task(j).deadline)
-            .collect();
+        let mut deadlines = arena.take_f64();
+        deadlines.extend((0..inst.num_tasks()).map(|j| inst.task(j).deadline));
         Self {
             inst,
             segments,
             order,
+            lanes,
+            pwl,
+            speeds,
             base_accuracy,
             deadlines,
         }
+    }
+
+    /// Returns every buffer of a [`NaiveSolver::new_in`]-built solver to
+    /// `arena`.
+    pub fn recycle(self, arena: &mut ScratchArena) {
+        arena.put_specs(self.segments);
+        arena.put_usize(self.order);
+        self.lanes.recycle(arena);
+        self.pwl.recycle(arena);
+        arena.put_f64(self.speeds);
+        arena.put_f64(self.deadlines);
+    }
+
+    /// Accuracy of task `j` at work level `f` through the flat segment
+    /// index — bit-identical to `inst.task(j).accuracy.eval(f)`.
+    #[inline]
+    pub fn accuracy_at(&self, j: usize, f: f64) -> f64 {
+        self.pwl.eval(j, f)
     }
 
     /// Exact optimal total accuracy for the given profile caps — the
@@ -279,10 +366,8 @@ impl<'a> NaiveSolver<'a> {
     /// `d_j · s_r` (a speed suffix), and the deadlines ascend so one
     /// two-pointer pass covers all tasks.
     pub fn value_with(&self, ws: &mut ValueFnWorkspace, caps: &[f64]) -> f64 {
-        let inst = self.inst;
-        let n = inst.num_tasks();
-        let machines = inst.machines();
-        let m = machines.len();
+        let n = self.deadlines.len();
+        let m = self.speeds.len();
         debug_assert_eq!(caps.len(), m, "profile/machine count mismatch");
         ws.stats.probes += 1;
 
@@ -296,20 +381,20 @@ impl<'a> NaiveSolver<'a> {
         ws.speed_suffix.clear();
         ws.speed_suffix.resize(m + 1, 0.0);
         for k in (0..m).rev() {
-            ws.speed_suffix[k] = ws.speed_suffix[k + 1] + machines[ws.cap_index[k]].speed();
+            ws.speed_suffix[k] = ws.speed_suffix[k + 1] + self.speeds[ws.cap_index[k]];
         }
         ws.capwork_prefix.clear();
         ws.capwork_prefix.resize(m + 1, 0.0);
         for k in 0..m {
             ws.capwork_prefix[k + 1] =
-                ws.capwork_prefix[k] + ws.cap_sorted[k] * machines[ws.cap_index[k]].speed();
+                ws.capwork_prefix[k] + ws.cap_sorted[k] * self.speeds[ws.cap_index[k]];
         }
 
         ws.temp_deadlines.clear();
         let mut k = 0usize;
         let mut prev = 0.0f64;
         for j in 0..n {
-            let d_j = inst.task(j).deadline;
+            let d_j = self.deadlines[j];
             while k < m && ws.cap_sorted[k] <= d_j {
                 k += 1;
             }
@@ -323,14 +408,7 @@ impl<'a> NaiveSolver<'a> {
             ws.temp_deadlines.push(cap);
         }
 
-        self.base_accuracy
-            + accuracy_gain_ordered(
-                &ws.temp_deadlines,
-                1.0,
-                &self.segments,
-                &self.order,
-                &mut ws.tree,
-            )
+        self.base_accuracy + accuracy_gain_tree_lanes(&ws.temp_deadlines, &self.lanes, &mut ws.tree)
     }
 
     /// Evaluates `V(caps)` *and* records the incumbent state Δ-probes
@@ -349,10 +427,8 @@ impl<'a> NaiveSolver<'a> {
         caps: &[f64],
         chk: &mut ValueCheckpoint,
     ) -> f64 {
-        let inst = self.inst;
-        let n = inst.num_tasks();
-        let machines = inst.machines();
-        let m = machines.len();
+        let n = self.deadlines.len();
+        let m = self.speeds.len();
         debug_assert_eq!(caps.len(), m, "profile/machine count mismatch");
         ws.stats.probes += 1;
         chk.valid = false;
@@ -369,13 +445,13 @@ impl<'a> NaiveSolver<'a> {
         ws.speed_suffix.clear();
         ws.speed_suffix.resize(m + 1, 0.0);
         for k in (0..m).rev() {
-            ws.speed_suffix[k] = ws.speed_suffix[k + 1] + machines[ws.cap_index[k]].speed();
+            ws.speed_suffix[k] = ws.speed_suffix[k + 1] + self.speeds[ws.cap_index[k]];
         }
         ws.capwork_prefix.clear();
         ws.capwork_prefix.resize(m + 1, 0.0);
         for k in 0..m {
             ws.capwork_prefix[k + 1] =
-                ws.capwork_prefix[k] + ws.cap_sorted[k] * machines[ws.cap_index[k]].speed();
+                ws.capwork_prefix[k] + ws.cap_sorted[k] * self.speeds[ws.cap_index[k]];
         }
 
         chk.caps.clear();
@@ -399,7 +475,9 @@ impl<'a> NaiveSolver<'a> {
         }
 
         ws.buckets.load(&chk.buckets, &[]);
-        let gain = accuracy_gain_buckets(1.0, &self.segments, &self.order, &mut ws.buckets);
+        chk.bit_words.clear();
+        chk.bit_words.extend_from_slice(ws.buckets.bits_words());
+        let gain = accuracy_gain_buckets_lanes(&self.lanes, &mut ws.buckets);
         chk.value = self.base_accuracy + gain;
         chk.valid = true;
         chk.value
@@ -425,21 +503,21 @@ impl<'a> NaiveSolver<'a> {
         chk: &ValueCheckpoint,
         changed: &[(usize, f64)],
     ) -> Option<f64> {
-        let inst = self.inst;
-        let n = inst.num_tasks();
-        let machines = inst.machines();
-        let m = machines.len();
+        let n = self.deadlines.len();
+        let m = self.speeds.len();
         if !chk.valid || chk.caps.len() != m || changed.len() > 3 {
             return None;
         }
         // Smallest cap value involved in the delta: tasks with deadlines
         // at or below it keep their exact temporary deadline.
         let mut lo = f64::INFINITY;
-        for &(r, new_cap) in changed {
+        let mut ch = [(0.0f64, 0.0f64, 0.0f64); 3];
+        for (k, &(r, new_cap)) in changed.iter().enumerate() {
             if r >= m || !new_cap.is_finite() {
                 return None;
             }
             lo = lo.min(new_cap.min(chk.caps[r]));
+            ch[k] = (self.speeds[r], new_cap, chk.caps[r]);
         }
         ws.stats.probes += 1;
         ws.stats.incremental_probes += 1;
@@ -448,22 +526,26 @@ impl<'a> NaiveSolver<'a> {
             return Some(chk.value); // the delta is invisible to every task
         }
 
-        ws.delta_buckets.clear();
+        // Elementwise suffix adjustment (SIMD-friendly, no loop
+        // dependency), then the sequential running-max guard converts the
+        // adjusted raws to bucket widths in place.
+        kernels::delta_raw_into(
+            &mut ws.delta_buckets,
+            &chk.td_raw[a..],
+            &self.deadlines[a..],
+            &ch[..changed.len()],
+        );
         let mut prev = if a == 0 { 0.0 } else { chk.td[a - 1] };
-        for j in a..n {
-            let d_j = self.deadlines[j];
-            let mut raw = chk.td_raw[j];
-            for &(r, new_cap) in changed {
-                let s_r = machines[r].speed();
-                raw += s_r * (new_cap.min(d_j) - chk.caps[r].min(d_j));
-            }
+        for slot in ws.delta_buckets.iter_mut() {
+            let raw = *slot;
             let guarded = if raw < prev { prev } else { raw };
-            ws.delta_buckets.push(guarded - prev);
+            *slot = guarded - prev;
             prev = guarded;
         }
 
-        ws.buckets.load(&chk.buckets[..a], &ws.delta_buckets);
-        let gain = accuracy_gain_buckets(1.0, &self.segments, &self.order, &mut ws.buckets);
+        ws.buckets
+            .load_with_prefix(&chk.buckets[..a], &chk.bit_words, &ws.delta_buckets);
+        let gain = accuracy_gain_buckets_lanes(&self.lanes, &mut ws.buckets);
         Some(self.base_accuracy + gain)
     }
 
@@ -524,7 +606,8 @@ impl<'a> NaiveSolver<'a> {
             ws.delta_buckets.push((chk.td[p] - guarded_new).max(0.0));
             ws.delta_buckets.extend_from_slice(&chk.buckets[p + 1..]);
         }
-        ws.buckets.load(&chk.buckets[..p], &ws.delta_buckets);
+        ws.buckets
+            .load_with_prefix(&chk.buckets[..p], &chk.bit_words, &ws.delta_buckets);
 
         // Merged greedy: walk the incumbent's slope order and the new
         // task's segments (position order is slope-descending on a concave
@@ -622,25 +705,23 @@ impl<'a> NaiveSolver<'a> {
             ws.delta_buckets.push(guarded - prev);
             prev = guarded;
         }
-        ws.buckets.load(&chk.buckets[..removed], &ws.delta_buckets);
+        ws.buckets
+            .load_with_prefix(&chk.buckets[..removed], &chk.bit_words, &ws.delta_buckets);
 
         let mut gain = 0.0f64;
-        for &si in &self.order {
+        let removed_u = removed as u32;
+        for i in 0..self.lanes.len() {
             if ws.buckets.exhausted() {
                 break;
             }
-            let seg = &self.segments[si];
-            if seg.task == removed || seg.total_flops <= 0.0 || seg.slope <= 0.0 {
+            let t = self.lanes.task[i];
+            if t == removed_u {
                 continue;
             }
-            let bound = if seg.task < removed {
-                seg.task
-            } else {
-                seg.task - 1
-            };
-            let c = ws.buckets.consume(bound, seg.total_flops);
+            let bound = if t < removed_u { t } else { t - 1 };
+            let c = ws.buckets.consume(bound as usize, self.lanes.width[i]);
             if c > 0.0 {
-                gain += seg.slope * c;
+                gain += self.lanes.slope[i] * c;
             }
         }
         Some(self.base_accuracy - self.inst.task(removed).accuracy.a_min() + gain)
@@ -657,6 +738,19 @@ impl<'a> NaiveSolver<'a> {
         let mut temp_deadlines = Vec::with_capacity(self.inst.num_tasks());
         crate::profile::temp_deadlines_into(self.inst, caps, &mut temp_deadlines);
         schedule_single_machine_ordered(&temp_deadlines, 1.0, &self.segments, &self.order).times
+    }
+
+    /// [`NaiveSolver::flops_under`] through workspace scratch: the
+    /// temporary deadlines reuse the probe buffer and the greedy walks the
+    /// segment lanes, so only the returned vector (which escapes into the
+    /// search result) is allocated. Bit-identical output — zero takes
+    /// mutate nothing and the filtered segments never contributed.
+    pub fn flops_under_with(&self, ws: &mut ValueFnWorkspace, caps: &[f64]) -> Vec<f64> {
+        crate::profile::temp_deadlines_into(self.inst, caps, &mut ws.temp_deadlines);
+        let mut times = ws.arena.take_f64();
+        times.resize(self.deadlines.len(), 0.0);
+        times_tree_lanes(&ws.temp_deadlines, &self.lanes, &mut ws.tree, &mut times);
+        times
     }
 
     /// Full Algorithm 2 solve (with machine distribution) for a profile.
@@ -690,12 +784,17 @@ pub fn compute_naive_solution(inst: &Instance, profile: &EnergyProfile) -> Naive
     // tolerance must scale with the park's aggregate speed.
     let eps_work =
         (EPS_TIME * inst.machines().total_speed()).max(crate::EPS_FLOPS) * (m as f64 + 1.0);
+    let mut caps = vec![0.0f64; m];
+    let mut act: Vec<usize> = Vec::with_capacity(m);
     for j in 0..n {
         let d_j = inst.task(j).deadline;
         let mut w = flops[j];
         while w > eps_work {
-            let caps: Vec<f64> = (0..m).map(|r| profile.cap(r).min(d_j)).collect();
-            let act: Vec<usize> = (0..m).filter(|&r| load[r] + EPS_TIME < caps[r]).collect();
+            for (r, c) in caps.iter_mut().enumerate() {
+                *c = profile.cap(r).min(d_j);
+            }
+            act.clear();
+            act.extend((0..m).filter(|&r| load[r] + EPS_TIME < caps[r]));
             if act.is_empty() {
                 // Unreachable when `flops` came from the capacity-consistent
                 // single-machine solve; guard against accumulated rounding.

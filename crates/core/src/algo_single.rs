@@ -61,7 +61,15 @@ pub fn schedule_single_machine(
 /// segments, so callers solving the same task set under many deadline
 /// vectors (the profile search) compute it once.
 pub fn sort_segments(segments: &[SegmentSpec]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..segments.len()).collect();
+    let mut order = Vec::new();
+    sort_segments_into(segments, &mut order);
+    order
+}
+
+/// [`sort_segments`] into a caller-owned (arena-pooled) buffer.
+pub(crate) fn sort_segments_into(segments: &[SegmentSpec], order: &mut Vec<usize>) {
+    order.clear();
+    order.extend(0..segments.len());
     order.sort_by(|&a, &b| {
         let (sa, sb) = (&segments[a], &segments[b]);
         sb.slope
@@ -69,7 +77,6 @@ pub fn sort_segments(segments: &[SegmentSpec]) -> Vec<usize> {
             .then(sa.task.cmp(&sb.task))
             .then(sa.position.cmp(&sb.position))
     });
-    order
 }
 
 /// Algorithm 1 with a precomputed processing order (see
@@ -124,6 +131,9 @@ pub fn schedule_single_machine_ordered(
 /// allocating a fresh tree per solve. The loop exits early once the
 /// aggregate capacity is exhausted: every suffix minimum includes the last
 /// task's slack, so when that slack reaches zero no segment can contribute.
+// Retired from the hot path by the lane kernels below; kept as the legacy
+// reference the property suite diffs them against bit-for-bit.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn accuracy_gain_ordered(
     deadlines: &[f64],
     speed: f64,
@@ -186,6 +196,8 @@ pub(crate) fn accuracy_gain_ordered(
 /// cross-checks the two paths on random inputs). With path compression
 /// the whole pass is `O(S α(n) + n)` versus the tree's `O(S log n)`,
 /// which is what makes checkpointed Δ-probes cheap.
+// Same: the bucket greedy's legacy AoS form, for the bit-identity suite.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn accuracy_gain_buckets(
     speed: f64,
     segments: &[SegmentSpec],
@@ -210,16 +222,275 @@ pub(crate) fn accuracy_gain_buckets(
     gain
 }
 
-/// Union-find slack buckets: the checkpoint/rollback representation of
+/// [`accuracy_gain_ordered`] over [`SegmentLanes`]: the same greedy —
+/// identical consume sequence, identical early exits, identical
+/// accumulation order at unit speed — walking three contiguous lanes
+/// instead of the `order → segments` double indirection. The lanes are
+/// pre-filtered of zero-width/flat segments, which the AoS loop skipped
+/// without touching the tree, so the two paths are bit-identical (the
+/// property suite pins this).
+pub(crate) fn accuracy_gain_tree_lanes(
+    deadlines: &[f64],
+    lanes: &SegmentLanes,
+    tree: &mut SlackTree,
+) -> f64 {
+    debug_assert!(
+        deadlines.windows(2).all(|w| w[0] <= w[1]),
+        "deadlines must be non-decreasing"
+    );
+    let Some(&d_last) = deadlines.last() else {
+        return 0.0;
+    };
+    tree.reset(deadlines);
+    let mut v_last = d_last;
+    // Four rotating partial sums break the serial `gain += …` FP chain
+    // (4-cycle add latency × one add per productive lane) into four
+    // independent chains. The k-th executed add always lands in the
+    // (k mod 4)-th partial, and the final reduction is the fixed tree
+    // `((g0+g1)+g2)+g3` — both are functions of the executed-add sequence
+    // alone, so the bucket greedy below reproduces the exact same
+    // rounding by using the identical rotation. (Zero takes execute no
+    // add in either greedy, so early-exit differences can't desync the
+    // rotation.)
+    let (mut g0, mut g1, mut g2, mut g3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut dead_before = 0u32;
+    let n = lanes.len();
+    for i in 0..n {
+        if v_last <= 0.0 {
+            break;
+        }
+        let j = lanes.task[i];
+        if j < dead_before {
+            continue;
+        }
+        let contribution = tree.consume(j as usize, lanes.width[i]);
+        if contribution > 0.0 {
+            let t = g0 + lanes.slope[i] * contribution;
+            g0 = g1;
+            g1 = g2;
+            g2 = g3;
+            g3 = t;
+            v_last -= contribution;
+        } else {
+            dead_before = j + 1;
+        }
+    }
+    ((g0 + g1) + g2) + g3
+}
+
+/// [`accuracy_gain_buckets`] over [`SegmentLanes`] at unit speed, with
+/// the tree greedy's dead-prefix skip added: a zero take at task `j`
+/// means buckets `0..=j` are drained, and buckets only drain, so every
+/// later segment of a task `≤ j` is skipped without the union-find
+/// lookup. Skipped consumes never mutated bucket capacities (a zero take
+/// only path-compresses parents, which cannot change any future take),
+/// so the skip is trajectory-preserving — bit-identical values.
+pub(crate) fn accuracy_gain_buckets_lanes(lanes: &SegmentLanes, slack: &mut BucketSlack) -> f64 {
+    let n = lanes.len();
+    let tasks = &lanes.task[..n];
+    let widths = &lanes.width[..n];
+    let slopes = &lanes.slope[..n];
+    // Same 4-way rotating partial sums as [`accuracy_gain_tree_lanes`]:
+    // the executed-add sequences are identical (same takes, and zero
+    // takes execute no add), so rotating identically and reducing with
+    // the same fixed tree keeps the two greedies bit-identical — which
+    // the cold-vs-incremental digest invariants rely on.
+    let (mut g0, mut g1, mut g2, mut g3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut dead_before = 0u32;
+    // `consume` inlined by hand: `live` stays in a register across the
+    // whole pass and the per-call `j >= len`/`want <= 0` guards drop (the
+    // lanes are pre-filtered to positive widths and in-range tasks). The
+    // take arithmetic is byte-for-byte the same as [`BucketSlack::consume`],
+    // with `take < f ⇔ f − take > 0` (distinct doubles never subtract to
+    // zero), so the drain trajectory — and thus every take — is identical.
+    //
+    // Index-safety setup for the unchecked accesses below. One entry
+    // check pins the two-level structure: `bits` covers every bucket and
+    // `summary` covers every `bits` word. Given that, every index in the
+    // loop is in range:
+    //   • `from < nb` always — it starts at a lane task (`< nb` by
+    //     [`SegmentLanes`] construction against the same instance, which
+    //     the debug assert re-checks) and only moves to `b − 1` for some
+    //     in-range `b > 0` — so `from >> 6 < bits.len()`;
+    //   • summary indices are `w >> 6 < summary.len()` and descend;
+    //   • any `b` produced by the search is a set occupancy bit, and
+    //     `load`/`load_with_prefix` set bits only for buckets `< nb`
+    //     while the loop itself only ever clears them.
+    let nb = slack.free.len();
+    assert!(
+        slack.bits.len() == nb.div_ceil(64) && slack.summary.len() == slack.bits.len().div_ceil(64),
+        "BucketSlack occupancy words out of sync with bucket count"
+    );
+    let free = &mut slack.free[..];
+    let bits = &mut slack.bits[..];
+    let summary = &mut slack.summary[..];
+    let mut live = slack.live;
+    // Register-cached hot bucket: `cf` holds bucket `cb`'s free capacity
+    // while consecutive lanes keep drawing from it, so the common
+    // same-bucket run costs a register subtract instead of a
+    // store-to-load round trip through `free[]`. Every transition (cache
+    // switch, drain) flushes or drops the cache first, so `free[]` plus
+    // the cache always equals the uncached state and every take is
+    // computed from the exact same operands.
+    let mut cb = NO_BUCKET;
+    let mut cf = 0.0f64;
+    for i in 0..n {
+        if live == 0 {
+            break;
+        }
+        let j = tasks[i];
+        if j < dead_before {
+            continue;
+        }
+        debug_assert!((j as usize) < nb, "lane task outside bucket range");
+        let mut want = widths[i];
+        let mut taken = 0.0f64;
+        let mut from = j as usize;
+        // One trip per bucket consulted: usually a single take from the
+        // tail of `j`'s own bit word (one mask-and-lzcnt), continuing
+        // downward only while a drain leaves the request hungry. The take
+        // arithmetic is byte-for-byte [`BucketSlack::consume`]'s, so the
+        // drain trajectory — and thus every take — is identical.
+        loop {
+            let w = from >> 6;
+            // SAFETY: `from < nb` (entry invariant above), so `w` indexes
+            // `bits` and `w >> 6` indexes `summary`; descending summary
+            // scans stay in range, and a summary bit marks an existing
+            // non-empty `bits` word.
+            let masked = unsafe { *bits.get_unchecked(w) } & !(!0u64 << (from & 63) << 1);
+            let b = if masked != 0 {
+                (w << 6) | (63 - masked.leading_zeros() as usize)
+            } else {
+                // Latest non-empty word strictly before `w`, via the
+                // summary (rare; mask as in [`BucketSlack::find`]).
+                let below = w & 63;
+                let sw = w >> 6;
+                // SAFETY: `sw < summary.len()` and `si` only descends.
+                let mut scur = unsafe { *summary.get_unchecked(sw) }
+                    & if below == 0 { 0 } else { !0u64 >> (64 - below) };
+                let mut si = sw;
+                loop {
+                    if scur != 0 {
+                        let word = (si << 6) | (63 - scur.leading_zeros() as usize);
+                        // SAFETY: the summary bit certifies `word` is an
+                        // in-range, non-empty `bits` word.
+                        break (word << 6)
+                            | (63 - unsafe { *bits.get_unchecked(word) }.leading_zeros() as usize);
+                    }
+                    if si == 0 {
+                        break NO_BUCKET;
+                    }
+                    si -= 1;
+                    scur = unsafe { *summary.get_unchecked(si) };
+                }
+            };
+            if b == NO_BUCKET {
+                break; // nothing left at or below `j`: a zero take
+            }
+            let f = if b == cb {
+                cf
+            } else {
+                if cb != NO_BUCKET {
+                    // SAFETY: `cb` held an earlier found bucket `< nb`.
+                    unsafe { *free.get_unchecked_mut(cb) = cf };
+                }
+                cb = b;
+                // SAFETY: `b` came from a set occupancy bit, so `b < nb`.
+                unsafe { *free.get_unchecked(b) }
+            };
+            // `take = min(want, f)` split into its two branches so the
+            // common partial-take path is a pure subtract off the cached
+            // residue (no `min` on the cross-lane dependency chain); the
+            // values taken are identical to the fused form (`take < f ⇔
+            // want < f`, and a drain's `cf = f − f = 0` is never read —
+            // the cache is dropped with the bit).
+            if want < f {
+                cf = f - want;
+                taken += want;
+                break; // bucket satisfied the request with room to spare
+            }
+            // Drained exactly (`take = f`): clear occupancy and drop the
+            // cache (the bit is cleared, so the stale `free[b]` is never
+            // read again).
+            taken += f;
+            cb = NO_BUCKET;
+            let bw = b >> 6;
+            // SAFETY: `b < nb` (set occupancy bit), so `bw` indexes `bits`
+            // and `bw >> 6` indexes `summary` (entry invariant).
+            let word = unsafe { *bits.get_unchecked(bw) } & !(1u64 << (b & 63));
+            unsafe {
+                *bits.get_unchecked_mut(bw) = word;
+                *summary.get_unchecked_mut(bw >> 6) &= !(((word == 0) as u64) << (bw & 63));
+            }
+            live -= 1;
+            want -= f;
+            if want <= 0.0 || b == 0 || live == 0 {
+                break;
+            }
+            from = b - 1;
+        }
+        if taken > 0.0 {
+            let t = g0 + slopes[i] * taken;
+            g0 = g1;
+            g1 = g2;
+            g2 = g3;
+            g3 = t;
+        } else {
+            dead_before = j + 1;
+        }
+    }
+    if cb != NO_BUCKET {
+        free[cb] = cf;
+    }
+    slack.live = live;
+    ((g0 + g1) + g2) + g3
+}
+
+/// [`schedule_single_machine_ordered`] reduced to its per-task times, over
+/// [`SegmentLanes`] at unit speed: `times[j]` accumulates exactly the
+/// contributions the full solve records (zero takes mutate nothing, and
+/// the filtered segments never contributed), so the vector is
+/// bit-identical to [`SingleMachineSolution::times`] on the same inputs.
+/// `times` must be zero-filled with one entry per task.
+pub(crate) fn times_tree_lanes(
+    deadlines: &[f64],
+    lanes: &SegmentLanes,
+    tree: &mut SlackTree,
+    times: &mut [f64],
+) {
+    debug_assert_eq!(times.len(), deadlines.len());
+    if deadlines.is_empty() {
+        return;
+    }
+    tree.reset(deadlines);
+    let n = lanes.len();
+    for i in 0..n {
+        let j = lanes.task[i] as usize;
+        let contribution = tree.consume(j, lanes.width[i]);
+        if contribution > 0.0 {
+            times[j] += contribution;
+        }
+    }
+}
+
+use crate::soa::SegmentLanes;
+
+/// Bitmask slack buckets: the checkpoint/rollback representation of
 /// Algorithm 1's remaining capacity.
 ///
 /// Bucket `i` holds `b_i = td_i − td_{i−1} ≥ 0`, the capacity that opens
 /// between consecutive temporary deadlines; task `j` may draw from
 /// buckets `0..=j` and always drains the latest non-empty one first (see
 /// [`accuracy_gain_buckets`] for why that reproduces the tree greedy
-/// exactly). `parent[i]` points at the latest candidate bucket `≤ i` that
-/// may still hold capacity (`usize::MAX` once everything below is gone),
-/// with path compression on every lookup.
+/// exactly). Occupancy lives in a two-level bitmask: bit `i` of
+/// `bits[i/64]` marks a bucket with free capacity, and bit `w` of
+/// `summary[w/64]` marks a non-empty `bits` word. `find` is then two
+/// mask-and-`leading_zeros` probes instead of the pointer chase a
+/// union-find would pay, and draining a bucket clears one bit instead of
+/// relinking parents. (An earlier revision used union-find with path
+/// compression; the bitmask visits the *same* bucket sequence — latest
+/// non-empty `≤ j` — so takes are bit-identical, at about half the cost
+/// per consume on the Δ-probe path.)
 ///
 /// Rollback contract: [`BucketSlack::load`] rebuilds the *pristine*
 /// pre-greedy state from a checkpointed bucket array (prefix) plus a
@@ -229,7 +500,10 @@ pub(crate) fn accuracy_gain_buckets(
 #[derive(Debug, Clone, Default)]
 pub(crate) struct BucketSlack {
     free: Vec<f64>,
-    parent: Vec<usize>,
+    /// Bit `i & 63` of `bits[i >> 6]` set ⇔ `free[i] > 0`.
+    bits: Vec<u64>,
+    /// Bit `w & 63` of `summary[w >> 6]` set ⇔ `bits[w] != 0`.
+    summary: Vec<u64>,
     /// Number of buckets with free capacity (exact integer early-exit:
     /// the aggregate is exhausted iff every bucket is).
     live: usize,
@@ -247,44 +521,118 @@ impl BucketSlack {
         self.free.clear();
         self.free.extend_from_slice(prefix);
         self.free.extend_from_slice(suffix);
-        self.parent.clear();
-        self.parent.resize(n, NO_BUCKET);
+        let words = n.div_ceil(64);
+        self.bits.clear();
+        self.bits.resize(words, 0);
+        self.summary.clear();
+        self.summary.resize(words.div_ceil(64), 0);
         self.live = 0;
-        for i in 0..n {
-            debug_assert!(self.free[i] >= 0.0, "bucket {i} negative");
-            if self.free[i] > 0.0 {
-                self.parent[i] = i;
-                self.live += 1;
-            } else if i > 0 {
-                self.parent[i] = i - 1;
+        for (w, chunk) in self.free.chunks(64).enumerate() {
+            let mut word = 0u64;
+            for (b, &f) in chunk.iter().enumerate() {
+                debug_assert!(f >= 0.0, "bucket {} negative", (w << 6) | b);
+                word |= ((f > 0.0) as u64) << b;
             }
+            self.bits[w] = word;
+            if word != 0 {
+                self.summary[w >> 6] |= 1u64 << (w & 63);
+            }
+            self.live += word.count_ones() as usize;
+        }
+    }
+
+    /// The pristine occupancy words right after a [`BucketSlack::load`]
+    /// (checkpoints snapshot these so Δ-probes can reload the untouched
+    /// prefix without re-scanning its capacities).
+    pub(crate) fn bits_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// [`BucketSlack::load`] with the prefix's occupancy bits supplied by
+    /// the caller (a snapshot taken via [`BucketSlack::bits_words`] when
+    /// the prefix capacities were pristine): the prefix contributes a
+    /// word-level copy instead of an element scan, and only the suffix is
+    /// scanned for occupancy. State is identical to `load(prefix, suffix)`.
+    pub(crate) fn load_with_prefix(&mut self, prefix: &[f64], pre_bits: &[u64], suffix: &[f64]) {
+        let a = prefix.len();
+        let n = a + suffix.len();
+        self.free.clear();
+        self.free.extend_from_slice(prefix);
+        self.free.extend_from_slice(suffix);
+        let words = n.div_ceil(64);
+        let full = a >> 6;
+        self.bits.clear();
+        self.bits.extend_from_slice(&pre_bits[..full]);
+        self.bits.resize(words, 0);
+        if a & 63 != 0 {
+            // Straddling word: keep the prefix's bits below position `a`.
+            self.bits[full] = pre_bits[full] & ((1u64 << (a & 63)) - 1);
+        }
+        for (k, &f) in suffix.iter().enumerate() {
+            let i = a + k;
+            debug_assert!(f >= 0.0, "bucket {i} negative");
+            self.bits[i >> 6] |= ((f > 0.0) as u64) << (i & 63);
+        }
+        self.summary.clear();
+        self.summary.resize(words.div_ceil(64), 0);
+        self.live = 0;
+        for (w, &word) in self.bits.iter().enumerate() {
+            self.live += word.count_ones() as usize;
+            self.summary[w >> 6] |= ((word != 0) as u64) << (w & 63);
         }
     }
 
     /// Whether every bucket is drained.
+    #[inline]
     pub(crate) fn exhausted(&self) -> bool {
         self.live == 0
     }
 
-    /// Latest bucket `≤ i` with free capacity (`NO_BUCKET` when none),
-    /// with path compression.
-    fn find(&mut self, i: usize) -> usize {
-        let mut root = i;
-        while root != NO_BUCKET && self.parent[root] != root {
-            root = self.parent[root];
+    /// Latest bucket `≤ i` with free capacity (`NO_BUCKET` when none):
+    /// probe the tail of `i`'s own bit word, then fall back to the summary
+    /// for the latest earlier non-empty word.
+    #[inline]
+    fn find(&self, i: usize) -> usize {
+        let w = i >> 6;
+        // Keep bits at positions `≤ i & 63` (shift by `(i&63)+1 ≤ 64` done
+        // as a checked double shift to dodge the UB-avoiding 64-bit wrap).
+        let masked = self.bits[w] & !(!0u64 << (i & 63) << 1);
+        if masked != 0 {
+            return (w << 6) | (63 - masked.leading_zeros() as usize);
         }
-        let mut cur = i;
-        while cur != NO_BUCKET && self.parent[cur] != cur && self.parent[cur] != root {
-            let next = self.parent[cur];
-            self.parent[cur] = root;
-            cur = next;
+        // Latest non-empty word strictly before `w`, via the summary
+        // (mask keeps summary bits strictly below position `w & 63`; the
+        // `below == 0` branch dodges an undefined 64-bit shift).
+        let sw = w >> 6;
+        let below = w & 63;
+        let mut scur = self.summary[sw] & if below == 0 { 0 } else { !0u64 >> (64 - below) };
+        let mut si = sw;
+        while scur == 0 {
+            if si == 0 {
+                return NO_BUCKET;
+            }
+            si -= 1;
+            scur = self.summary[si];
         }
-        root
+        let word = (si << 6) | (63 - scur.leading_zeros() as usize);
+        (word << 6) | (63 - self.bits[word].leading_zeros() as usize)
+    }
+
+    /// Clears bucket `i`'s occupancy bit (it just drained to exactly 0.0).
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        let w = i >> 6;
+        self.bits[w] &= !(1u64 << (i & 63));
+        if self.bits[w] == 0 {
+            self.summary[w >> 6] &= !(1u64 << (w & 63));
+        }
+        self.live -= 1;
     }
 
     /// Takes `min(want, free capacity in buckets 0..=j)`, draining the
     /// latest non-empty buckets first. Equivalent to
     /// [`SlackTree::consume`]`(j, want)`.
+    #[inline]
     pub(crate) fn consume(&mut self, j: usize, want: f64) -> f64 {
         if j >= self.free.len() || want <= 0.0 {
             return 0.0;
@@ -301,13 +649,12 @@ impl BucketSlack {
                 break; // bucket satisfied the request with room to spare
             }
             // Drained exactly (take == free[i] ⇒ the subtraction is 0.0
-            // bit-exactly); unlink and continue downward if still hungry.
-            self.parent[i] = if i == 0 { NO_BUCKET } else { i - 1 };
-            self.live -= 1;
-            if remaining <= 0.0 {
+            // bit-exactly); clear and continue downward if still hungry.
+            self.clear(i);
+            if remaining <= 0.0 || i == 0 {
                 break;
             }
-            i = if i == 0 { NO_BUCKET } else { self.find(i - 1) };
+            i = self.find(i - 1);
         }
         taken
     }

@@ -1,0 +1,115 @@
+//! Elementwise f64 kernels for the Δ-probe hot loop (DESIGN.md §15).
+//!
+//! Contract: every kernel is a pure elementwise map — output `i` depends
+//! only on input(s) `i`, with the per-element arithmetic written in one
+//! fixed order. No horizontal reductions, no reassociation, so the
+//! `simd` and scalar builds are bit-identical by construction (the
+//! feature only changes *how many* independent elements are in flight,
+//! never the op sequence within one). The test suite runs once with the
+//! feature disabled in CI to hold that line.
+//!
+//! With the (default-on) `simd` feature the loops are hand-unrolled into
+//! 4-wide chunks of independent statements — the shape LLVM reliably
+//! turns into `vminpd`/`vmulpd`/`vaddpd` even when the surrounding
+//! function is too branchy for loop autovectorization. Without the
+//! feature a plain scalar loop remains as the fallback; both compile on
+//! stable Rust (no `std::simd` nightly dependency).
+//!
+//! The one kernel family here serves [`crate::algo_naive::NaiveSolver::
+//! value_delta`]: adjusting the checkpointed raw temporary deadlines of
+//! the affected suffix for 1–3 changed caps,
+//! `out[i] = raw[i] + Σ_c s_c · (min(new_c, d_i) − min(old_c, d_i))`,
+//! accumulated left-to-right in `changed` order exactly as the legacy
+//! fused loop did. The sequential running-max guard that follows stays
+//! scalar in the caller — it carries a loop dependency no lane width
+//! helps with.
+
+/// One changed cap: machine speed, new cap, old (checkpointed) cap.
+pub(crate) type ChangedCap = (f64, f64, f64);
+
+#[inline(always)]
+fn adjust(raw: f64, d: f64, ch: &[ChangedCap]) -> f64 {
+    let mut out = raw;
+    for &(s, new_cap, old_cap) in ch {
+        out += s * (new_cap.min(d) - old_cap.min(d));
+    }
+    out
+}
+
+/// Writes `raw[i]` adjusted for the changed caps into `out` (cleared
+/// first), one entry per suffix element. `raw` and `d` must have equal
+/// lengths; `ch` holds 1–3 changed caps in probe order.
+#[cfg(feature = "simd")]
+pub(crate) fn delta_raw_into(out: &mut Vec<f64>, raw: &[f64], d: &[f64], ch: &[ChangedCap]) {
+    debug_assert_eq!(raw.len(), d.len());
+    out.clear();
+    out.reserve(raw.len());
+    let mut raw4 = raw.chunks_exact(4);
+    let mut d4 = d.chunks_exact(4);
+    for (r, dd) in (&mut raw4).zip(&mut d4) {
+        // Four independent elements in flight: no cross-lane dependency,
+        // so the per-element op order (and the result bits) match the
+        // scalar fallback exactly.
+        let o0 = adjust(r[0], dd[0], ch);
+        let o1 = adjust(r[1], dd[1], ch);
+        let o2 = adjust(r[2], dd[2], ch);
+        let o3 = adjust(r[3], dd[3], ch);
+        out.extend_from_slice(&[o0, o1, o2, o3]);
+    }
+    for (&r, &dd) in raw4.remainder().iter().zip(d4.remainder()) {
+        out.push(adjust(r, dd, ch));
+    }
+}
+
+/// Scalar fallback: identical per-element arithmetic, plain loop.
+#[cfg(not(feature = "simd"))]
+pub(crate) fn delta_raw_into(out: &mut Vec<f64>, raw: &[f64], d: &[f64], ch: &[ChangedCap]) {
+    debug_assert_eq!(raw.len(), d.len());
+    out.clear();
+    out.reserve(raw.len());
+    for (&r, &dd) in raw.iter().zip(d) {
+        out.push(adjust(r, dd, ch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_raw_matches_reference_loop() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5150);
+        let mut out = Vec::new();
+        for trial in 0..50 {
+            let n = rng.gen_range(0..40);
+            let raw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..50.0)).collect();
+            let d: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let k = rng.gen_range(1..=3usize);
+            let ch: Vec<ChangedCap> = (0..k)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.5..4.0),
+                        rng.gen_range(0.0..8.0),
+                        rng.gen_range(0.0..8.0),
+                    )
+                })
+                .collect();
+            delta_raw_into(&mut out, &raw, &d, &ch);
+            assert_eq!(out.len(), n);
+            for i in 0..n {
+                // The legacy fused loop's exact op order.
+                let mut want = raw[i];
+                for &(s, new_cap, old_cap) in &ch {
+                    want += s * (new_cap.min(d[i]) - old_cap.min(d[i]));
+                }
+                assert_eq!(
+                    out[i].to_bits(),
+                    want.to_bits(),
+                    "trial {trial} element {i}: {} vs {want}",
+                    out[i]
+                );
+            }
+        }
+    }
+}

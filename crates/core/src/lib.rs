@@ -34,6 +34,8 @@
 //! - [`renewable`] — extension: time-varying (renewable) energy supply;
 //! - [`lp_model`] — the DSCT-EA-FR linear program for [`dsct_lp`] (§3.2);
 //! - [`mip_model`] — the full DSCT-EA MIP for [`dsct_mip`] (§3);
+//! - [`soa`] — struct-of-arrays lanes and the scratch arena behind the
+//!   solve hot path (DESIGN.md §15);
 //! - [`solver`] — the uniform [`solver::Solver`] trait every algorithm
 //!   above implements (the API the experiment engine schedules against).
 
@@ -44,6 +46,7 @@ pub mod approx;
 pub mod baselines;
 pub mod fr_opt;
 pub mod guarantee;
+mod kernels;
 pub mod lp_model;
 pub mod mip_model;
 pub mod oracle;
@@ -54,6 +57,7 @@ pub mod renewable;
 pub mod replan;
 pub mod residual;
 pub mod schedule;
+pub mod soa;
 pub mod solver;
 
 /// Time-feasibility tolerance in seconds.

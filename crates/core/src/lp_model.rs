@@ -1,10 +1,21 @@
 //! The DSCT-EA-FR linear program (paper §3.2), built for [`dsct_lp`].
 //!
-//! Variables: processing times `t_jr ≥ 0` and epigraph variables `z_j`
-//! with `z_j ≤ α_jk (Σ_r s_r t_jr) + b_jk` for every segment `k`;
-//! maximizing `Σ_j z_j` makes each `z_j` equal the concave accuracy
-//! `a_j(f_j)`. Constraints: per-machine EDF prefix deadlines, per-task
-//! work caps `f_j ≤ f_j^max`, and the global energy budget.
+//! Variables: processing times `t_jr ≥ 0`, work totals `f_j = Σ_r s_r
+//! t_jr`, EDF prefix loads `u_jr = Σ_{i≤j} t_ir`, and epigraph variables
+//! `z_j` with `z_j ≤ α_jk f_j + b_jk` for every segment `k`; maximizing
+//! `Σ_j z_j` makes each `z_j` equal the concave accuracy `a_j(f_j)`.
+//! Constraints: the `f`/`u` definition rows, per-machine EDF prefix
+//! deadlines (as bounds `u_jr ≤ d_j`), per-task work caps (as bounds
+//! `f_j ≤ f_j^max`), and the global energy budget.
+//!
+//! The `f_j` and `u_jr` auxiliaries exist purely for sparsity
+//! (DESIGN.md §15.6): the naive formulation writes the EDF prefix
+//! `Σ_{i≤j} t_ir ≤ d_j` as a row with `j+1` nonzeros — `Θ(n²m)`
+//! nonzeros overall, hopeless at `n = 1000` — while the telescoped
+//! chain `u_jr − u_{j−1,r} − t_jr = 0` is 3 nonzeros per row, `Θ(nm)`
+//! overall. Likewise each of the `K` epigraph rows per task shrinks
+//! from `m+1` nonzeros to 2 by referencing `f_j`. Both formulations
+//! describe the same polytope projected onto `(t, z)`.
 //!
 //! This is the general-purpose-solver path the paper benchmarks its
 //! combinatorial algorithm against in Table 1 (there with MOSEK).
@@ -50,35 +61,55 @@ pub fn build_fr_lp(inst: &Instance) -> FrLpModel {
         z_vars.push(model.add_var(1.0, acc.a_min(), acc.a_max()));
     }
 
-    // Segment epigraph rows: z_j − Σ_r α_jk s_r t_jr ≤ b_jk.
+    // f_j ∈ [0, f_j^max]: the upper bound IS the work cap.
+    let mut f_vars = Vec::with_capacity(n);
+    for j in 0..n {
+        f_vars.push(model.add_var(0.0, 0.0, inst.task(j).f_max()));
+    }
+    // u_jr ∈ [0, d_j]: the upper bound IS the EDF prefix deadline.
+    let mut u_vars = Vec::with_capacity(n * m);
+    for j in 0..n {
+        let deadline = inst.task(j).deadline;
+        for _r in 0..m {
+            u_vars.push(model.add_var(0.0, 0.0, deadline));
+        }
+    }
+
+    // Work definition rows: f_j − Σ_r s_r t_jr = 0.
+    for j in 0..n {
+        let mut terms: Vec<(Var, f64)> = Vec::with_capacity(m + 1);
+        terms.push((f_vars[j], 1.0));
+        for r in 0..m {
+            terms.push((t_vars[j * m + r], -machines[r].speed()));
+        }
+        model.add_row(Cmp::Eq, 0.0, &terms);
+    }
+
+    // Segment epigraph rows: z_j − α_jk f_j ≤ b_jk.
     for j in 0..n {
         let acc = &inst.task(j).accuracy;
         for seg in acc.segments() {
             // Line through the segment: a(f) = slope·f + intercept.
             let intercept = seg.a_lo - seg.slope * seg.f_lo;
-            let mut terms: Vec<(Var, f64)> = Vec::with_capacity(m + 1);
-            terms.push((z_vars[j], 1.0));
-            for r in 0..m {
-                terms.push((t_vars[j * m + r], -seg.slope * machines[r].speed()));
-            }
-            model.add_row(Cmp::Le, intercept, &terms);
+            model.add_row(
+                Cmp::Le,
+                intercept,
+                &[(z_vars[j], 1.0), (f_vars[j], -seg.slope)],
+            );
         }
     }
 
-    // EDF prefix deadlines: Σ_{i≤j} t_ir ≤ d_j for every machine.
-    for r in 0..m {
-        for j in 0..n {
-            let terms: Vec<(Var, f64)> = (0..=j).map(|i| (t_vars[i * m + r], 1.0)).collect();
-            model.add_row(Cmp::Le, inst.task(j).deadline, &terms);
-        }
-    }
-
-    // Work caps: Σ_r s_r t_jr ≤ f_j^max.
+    // EDF prefix chain: u_0r = t_0r, then u_jr − u_{j−1,r} − t_jr = 0.
     for j in 0..n {
-        let terms: Vec<(Var, f64)> = (0..m)
-            .map(|r| (t_vars[j * m + r], machines[r].speed()))
-            .collect();
-        model.add_row(Cmp::Le, inst.task(j).f_max(), &terms);
+        for r in 0..m {
+            let mut terms: Vec<(Var, f64)> = Vec::with_capacity(3);
+            terms.push((u_vars[j * m + r], 1.0));
+            if j > 0 {
+                terms.push((u_vars[(j - 1) * m + r], -1.0));
+            }
+            terms.push((t_vars[j * m + r], -1.0));
+            model.add_row(Cmp::Eq, 0.0, &terms);
+        }
     }
 
     // Energy budget: Σ_{j,r} P_r t_jr ≤ B.

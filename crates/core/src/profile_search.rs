@@ -160,7 +160,8 @@ struct Prober<'a, 'w> {
 
 impl<'a, 'w> Prober<'a, 'w> {
     fn new(inst: &'a Instance, ws: &'w mut ValueFnWorkspace, opts: &ProfileSearchOptions) -> Self {
-        let solver = NaiveSolver::new(inst);
+        let solver = NaiveSolver::new_in(inst, &mut ws.arena);
+        let chk = ValueCheckpoint::new_in(&mut ws.arena);
         Self {
             solver,
             ws,
@@ -168,7 +169,7 @@ impl<'a, 'w> Prober<'a, 'w> {
             // The Δ-probe path extends the cached machinery; the cold
             // ablation stays fully cold.
             incremental: opts.incremental_probes && opts.use_value_cache,
-            chk: ValueCheckpoint::new(),
+            chk,
         }
     }
 
@@ -291,7 +292,7 @@ fn apply_changed(caps: &[f64], changed: &[(usize, f64)], out: &mut Vec<f64>) {
 /// `g(δ) = V(p after stepping δ joules along `dir`)` over
 /// `[0, delta_max]`. One `V` evaluation per iteration. Returns the best
 /// `(δ, g(δ))` seen, including the right endpoint.
-#[allow(clippy::too_many_arguments)] // bundled search context, called twice
+#[allow(clippy::too_many_arguments)] // bundled search context, called thrice
 fn line_search(
     prober: &mut Prober<'_, '_>,
     caps: &[f64],
@@ -363,7 +364,8 @@ pub fn profile_search_with(
     opts: &ProfileSearchOptions,
     ws: &mut ValueFnWorkspace,
 ) -> (EnergyProfile, NaiveSolution, ProfileSearchOutcome) {
-    let (state, _) = descend(inst, start, opts, ws);
+    let (state, solver) = descend(inst, start, opts, ws);
+    solver.recycle(&mut ws.arena);
     let profile = EnergyProfile::new(state.caps);
     let solution = compute_naive_solution(inst, &profile);
     (profile, solution, state.outcome)
@@ -402,12 +404,15 @@ pub fn profile_search_value_with(
 ) -> ValueSearchResult {
     let (state, solver) = descend(inst, start, opts, ws);
     let profile = EnergyProfile::new(state.caps);
-    let flops = solver.flops_under(profile.caps());
+    let flops = solver.flops_under_with(ws, profile.caps());
+    // Flat segment index instead of per-task binary searches — same bits
+    // (see [`NaiveSolver::accuracy_at`]).
     let total_accuracy = flops
         .iter()
         .enumerate()
-        .map(|(j, &f)| inst.task(j).accuracy.eval(f))
+        .map(|(j, &f)| solver.accuracy_at(j, f))
         .sum();
+    solver.recycle(&mut ws.arena);
     ValueSearchResult {
         profile,
         flops,
@@ -436,7 +441,8 @@ fn descend<'a>(
     let stats_before = ws.stats;
     let m = inst.num_machines();
     let d_max = inst.d_max();
-    let power: Vec<f64> = (0..m).map(|r| inst.machines()[r].power()).collect();
+    let mut power = ws.arena.take_f64();
+    power.extend((0..m).map(|r| inst.machines()[r].power()));
     let gain_tol = opts.rel_gain_tol * inst.total_max_accuracy().max(1.0);
 
     let mut caps: Vec<f64> = start.caps().to_vec();
@@ -460,8 +466,18 @@ fn descend<'a>(
             }
         }
     }
+    // Per-solve scratch comes from (and returns to) the workspace's
+    // arena, before the prober takes the workspace borrow.
+    let mut scratch = ws.arena.take_f64();
+    let mut pairs = ws.arena.take_pairs();
+    let mut jobs = ws.arena.take_optf64();
+    let mut gate_vals = ws.arena.take_f64();
+    // Thread-local workspaces for the parallel gate, pooled across solves
+    // (probe counters reset on take); their counters fold into the main
+    // workspace at the end (addition commutes, so the fold is
+    // thread-count-independent).
+    let mut gate_workers = ws.arena.take_workspaces();
     let mut prober = Prober::new(inst, ws, opts);
-    let mut scratch: Vec<f64> = Vec::with_capacity(m);
     let mut current = prober.anchor(&caps);
     let mut sweeps = 0usize;
     let mut transfers = 0usize;
@@ -469,7 +485,7 @@ fn descend<'a>(
 
     // Pairwise scan order, frozen once: decisions fold in exactly this
     // order regardless of how gate probes are evaluated.
-    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(m.saturating_mul(m.saturating_sub(1)));
+    pairs.reserve(m.saturating_mul(m.saturating_sub(1)));
     for from in 0..m {
         for to in 0..m {
             if from != to {
@@ -489,14 +505,6 @@ fn descend<'a>(
     } else {
         1
     };
-    // Thread-local workspaces for the parallel gate, allocated on first
-    // use and reused across batches; their counters fold into the main
-    // workspace at the end (addition commutes, so the fold is
-    // thread-count-independent).
-    let mut gate_workers: Vec<ValueFnWorkspace> = Vec::new();
-    let mut jobs: Vec<Option<f64>> = Vec::new();
-    let mut gate_vals: Vec<f64> = Vec::new();
-
     // Tries one direction; applies it when it improves. With `probe`, a
     // single evaluation at 1e-3·δ_max rules the direction out when it does
     // not increase V there (by concavity this certifies [ε, δ_max]; the
@@ -517,8 +525,10 @@ fn descend<'a>(
             return false;
         }
         if probe {
-            let (changed, len) = direction_changed(dir, caps, &power, d_max, delta_max * 1e-3);
-            if prober.value_at(caps, &changed[..len], scratch) <= *current {
+            let eps = delta_max * 1e-3;
+            let (changed, len) = direction_changed(dir, caps, &power, d_max, eps);
+            let gate_val = prober.value_at(caps, &changed[..len], scratch);
+            if gate_val <= *current {
                 return false;
             }
         }
@@ -660,6 +670,17 @@ fn descend<'a>(
             // Triple polish: one-source/two-sink and two-source/one-sink
             // directions with a few split ratios. Only runs at pairwise
             // stalls; any success falls back to the cheap pairwise sweep.
+            //
+            // Each `(a, b, c, orientation)` trio probes its three λ gates
+            // at a *common* step `ε` (10⁻³ of the trio's smallest step
+            // limit): the probed cap vectors are then affine in λ — three
+            // collinear, equally spaced points — so concavity of `V`
+            // bounds the third gate by the first two,
+            // `V(p(λ₃)) ≤ 2·V(p(λ₂)) − V(p(λ₁))`, and a third gate
+            // certified not to improve on the incumbent is skipped
+            // without being evaluated. A gate that passes runs the full
+            // line search exactly as before, so accepted transfers are
+            // untouched by the shortcut.
             'polish: for a in 0..m {
                 for b in 0..m {
                     if b == a {
@@ -669,28 +690,76 @@ fn descend<'a>(
                         if c == a {
                             continue;
                         }
-                        for lambda in [0.25, 0.5, 0.75] {
-                            let split = [(a, -1.0), (b, lambda), (c, 1.0 - lambda)];
-                            let merge = [(b, -lambda), (c, -(1.0 - lambda)), (a, 1.0)];
-                            if try_direction(
-                                &split,
-                                true,
-                                &mut caps,
-                                &mut current,
-                                &mut transfers,
-                                &mut scratch,
-                                &mut prober,
-                            ) || try_direction(
-                                &merge,
-                                true,
-                                &mut caps,
-                                &mut current,
-                                &mut transfers,
-                                &mut scratch,
-                                &mut prober,
-                            ) {
-                                improved = true;
-                                break 'polish;
+                        for orient in 0..2u8 {
+                            let mut dirs = [[(0usize, 0.0f64); 3]; 3];
+                            let mut dms = [0.0f64; 3];
+                            let mut eps = f64::INFINITY;
+                            for (k, lambda) in [0.25, 0.5, 0.75].into_iter().enumerate() {
+                                dirs[k] = if orient == 0 {
+                                    [(a, -1.0), (b, lambda), (c, 1.0 - lambda)]
+                                } else {
+                                    [(b, -lambda), (c, -(1.0 - lambda)), (a, 1.0)]
+                                };
+                                let dm = direction_step_limit(&dirs[k], &caps, &power, d_max);
+                                if dm > 1e-15 && dm.is_finite() {
+                                    dms[k] = dm;
+                                    eps = eps.min(dm * 1e-3);
+                                }
+                            }
+                            if !eps.is_finite() {
+                                continue;
+                            }
+                            let (mut ga, mut gb) = (f64::NAN, f64::NAN);
+                            for k in 0..3 {
+                                if dms[k] == 0.0 {
+                                    continue;
+                                }
+                                if k == 2
+                                    && ga.is_finite()
+                                    && gb.is_finite()
+                                    && 2.0 * gb - ga <= current
+                                {
+                                    // Certified ≤ incumbent: the gate
+                                    // would fail; skip its evaluation.
+                                    continue;
+                                }
+                                let (changed, len) =
+                                    direction_changed(&dirs[k], &caps, &power, d_max, eps);
+                                let gv = prober.value_at(&caps, &changed[..len], &mut scratch);
+                                if k == 0 {
+                                    ga = gv;
+                                } else if k == 1 {
+                                    gb = gv;
+                                }
+                                if gv <= current {
+                                    continue;
+                                }
+                                let (best_delta, best_val) = line_search(
+                                    &mut prober,
+                                    &caps,
+                                    &mut scratch,
+                                    &dirs[k],
+                                    &power,
+                                    d_max,
+                                    dms[k],
+                                    opts.line_iterations,
+                                );
+                                if best_val > current + gain_tol {
+                                    apply_direction(
+                                        &dirs[k],
+                                        &caps,
+                                        &power,
+                                        d_max,
+                                        best_delta,
+                                        &mut scratch,
+                                    );
+                                    std::mem::swap(&mut caps, &mut scratch);
+                                    current = best_val;
+                                    transfers += 1;
+                                    prober.reanchor(&caps);
+                                    improved = true;
+                                    break 'polish;
+                                }
                             }
                         }
                     }
@@ -714,6 +783,18 @@ fn descend<'a>(
     }
 
     let probe_stats = prober.ws.stats.since(stats_before);
+    // Return every pooled buffer; the solver outlives the descent (the
+    // finishers materialize through it) and is recycled by them.
+    let Prober {
+        solver, ws, chk, ..
+    } = prober;
+    chk.recycle(&mut ws.arena);
+    ws.arena.put_workspaces(gate_workers);
+    ws.arena.put_f64(power);
+    ws.arena.put_f64(scratch);
+    ws.arena.put_pairs(pairs);
+    ws.arena.put_optf64(jobs);
+    ws.arena.put_f64(gate_vals);
     (
         DescentState {
             caps,
@@ -724,7 +805,7 @@ fn descend<'a>(
                 probe_stats,
             },
         },
-        prober.solver,
+        solver,
     )
 }
 

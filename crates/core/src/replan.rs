@@ -398,7 +398,10 @@ impl Replanner {
         }
         let owned = inst.clone();
         let mut chk = ValueCheckpoint::new();
-        NaiveSolver::new(&owned).checkpoint_into(self.ctx.workspace(), caps, &mut chk);
+        let ws = self.ctx.workspace();
+        let solver = NaiveSolver::new_in(&owned, ws.arena_mut());
+        solver.checkpoint_into(ws, caps, &mut chk);
+        solver.recycle(self.ctx.workspace().arena_mut());
         self.anchor = Some(DeltaAnchor { inst: owned, chk });
     }
 
@@ -421,8 +424,10 @@ impl Replanner {
     /// fallback).
     pub fn insert_value_bound(&mut self, extra: &Task) -> Option<f64> {
         let anchor = self.anchor.as_ref()?;
-        let solver = NaiveSolver::new(&anchor.inst);
-        let bound = solver.value_insert_delta(self.ctx.workspace(), &anchor.chk, extra);
+        let ws = self.ctx.workspace();
+        let solver = NaiveSolver::new_in(&anchor.inst, ws.arena_mut());
+        let bound = solver.value_insert_delta(ws, &anchor.chk, extra);
+        solver.recycle(self.ctx.workspace().arena_mut());
         match bound {
             Some(_) => self.stats.delta_bounds += 1,
             None => self.stats.fallbacks += 1,
@@ -435,8 +440,10 @@ impl Replanner {
     /// twin of [`Replanner::insert_value_bound`].
     pub fn remove_value_bound(&mut self, removed: usize) -> Option<f64> {
         let anchor = self.anchor.as_ref()?;
-        let solver = NaiveSolver::new(&anchor.inst);
-        let bound = solver.value_remove_delta(self.ctx.workspace(), &anchor.chk, removed);
+        let ws = self.ctx.workspace();
+        let solver = NaiveSolver::new_in(&anchor.inst, ws.arena_mut());
+        let bound = solver.value_remove_delta(ws, &anchor.chk, removed);
+        solver.recycle(self.ctx.workspace().arena_mut());
         match bound {
             Some(_) => self.stats.delta_bounds += 1,
             None => self.stats.fallbacks += 1,

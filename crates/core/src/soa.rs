@@ -1,0 +1,444 @@
+//! Struct-of-arrays layouts and the reusable scratch arena for the solve
+//! hot path (DESIGN.md §15).
+//!
+//! The profile search issues hundreds of value-function probes per solve,
+//! and each probe walks every positive-slope PWL segment of the instance.
+//! The AoS walk (`order[i] → segments[si]` with 32-byte [`SegmentSpec`]
+//! entries) costs two dependent loads per segment and drags the unused
+//! `position` field through the cache; [`SegmentLanes`] stores the same
+//! sequence as three contiguous lanes (task, width, slope) pre-filtered of
+//! the zero-width/flat segments every greedy skips anyway. Filtering is
+//! trajectory-preserving: skipped segments never touch the slack tree or
+//! the capacity buckets, so the lane greedy's take sequence — and
+//! therefore every value it produces — is bit-identical to the AoS
+//! greedy's.
+//!
+//! [`PwlLanes`] flattens every task's accuracy breakpoints into shared
+//! lanes behind a plain offset table, replacing the per-call binary search
+//! of [`dsct_accuracy::PwlAccuracy::eval`] on the value-search finisher
+//! path with an offset lookup plus a `K ≤ 8`-step linear scan. (A
+//! PGM-style ε-bounded learned index over the breakpoint lane is the
+//! drop-in upgrade if K ever grows large; at the paper's K = 5 the offset
+//! table is already exact and branch-predictable.)
+//!
+//! [`ScratchArena`] is the bump-style recycling pool behind both: every
+//! per-solve buffer ([`crate::algo_naive::NaiveSolver`]'s lanes, the
+//! [`crate::algo_naive::ValueCheckpoint`]'s vectors, the descent's
+//! direction scratch) is taken from the owning workspace's arena and
+//! returned on recycle, so steady-state solves reuse warm capacity
+//! instead of allocating. Lifetime rule: a taken buffer must be returned
+//! to the *same* arena before the solve ends; the arena never frees while
+//! the workspace lives, so pooled capacity only grows to the
+//! high-water mark of one solve.
+
+use crate::algo_single::SegmentSpec;
+use crate::problem::Instance;
+
+/// Recycling pool for per-solve scratch buffers, owned by a
+/// [`crate::algo_naive::ValueFnWorkspace`]. `take_*` hands out a cleared
+/// buffer with warm capacity (or a fresh empty one); `put_*` returns it.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchArena {
+    f64s: Vec<Vec<f64>>,
+    usizes: Vec<Vec<usize>>,
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+    specs: Vec<Vec<SegmentSpec>>,
+    pairs: Vec<Vec<(usize, usize)>>,
+    optf64s: Vec<Vec<Option<f64>>>,
+    workspaces: Vec<crate::algo_naive::ValueFnWorkspace>,
+}
+
+macro_rules! pool {
+    ($take:ident, $put:ident, $field:ident, $t:ty) => {
+        /// Takes a cleared buffer from the pool (empty when the pool is dry).
+        pub fn $take(&mut self) -> Vec<$t> {
+            match self.$field.pop() {
+                Some(mut v) => {
+                    v.clear();
+                    v
+                }
+                None => Vec::new(),
+            }
+        }
+
+        /// Returns a buffer to the pool for reuse.
+        pub fn $put(&mut self, v: Vec<$t>) {
+            self.$field.push(v);
+        }
+    };
+}
+
+impl ScratchArena {
+    /// Empty arena (no pooled capacity yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pool!(take_f64, put_f64, f64s, f64);
+    pool!(take_usize, put_usize, usizes, usize);
+    pool!(take_u32, put_u32, u32s, u32);
+    pool!(take_u64, put_u64, u64s, u64);
+    pool!(take_specs, put_specs, specs, SegmentSpec);
+    pool!(take_pairs, put_pairs, pairs, (usize, usize));
+    pool!(take_optf64, put_optf64, optf64s, Option<f64>);
+
+    /// Takes the pooled gate-worker workspaces (probe counters reset, so
+    /// a per-solve fold over them never sees a previous solve's counts).
+    pub(crate) fn take_workspaces(&mut self) -> Vec<crate::algo_naive::ValueFnWorkspace> {
+        let mut ws = std::mem::take(&mut self.workspaces);
+        for w in &mut ws {
+            w.stats = crate::algo_naive::ProbeStats::default();
+        }
+        ws
+    }
+
+    /// Returns the gate-worker workspaces to the pool.
+    pub(crate) fn put_workspaces(&mut self, ws: Vec<crate::algo_naive::ValueFnWorkspace>) {
+        self.workspaces = ws;
+    }
+}
+
+/// The instance's positive-gain PWL segments in slope-descending
+/// processing order, as three contiguous lanes. Built once per
+/// [`crate::algo_naive::NaiveSolver`]; every hot greedy
+/// (tree and bucket) walks these lanes instead of the AoS
+/// `order → segments` indirection.
+///
+/// Invariants: `task`, `width`, `slope` have equal length; entries appear
+/// in exactly the order [`crate::algo_single::sort_segments`] produces,
+/// with `width ≤ 0` and `slope ≤ 0` entries removed (the greedy skips
+/// them without touching any state, so removal preserves the take
+/// sequence bit-for-bit).
+#[derive(Debug, Clone, Default)]
+pub struct SegmentLanes {
+    /// Task index (deadline order) per segment, `u32` to halve the lane's
+    /// cache footprint (instances are bounded far below `u32::MAX` tasks).
+    pub(crate) task: Vec<u32>,
+    /// Segment width in GFLOP (positive).
+    pub(crate) width: Vec<f64>,
+    /// Segment slope in accuracy per GFLOP (positive).
+    pub(crate) slope: Vec<f64>,
+}
+
+impl SegmentLanes {
+    /// Builds the lanes from an AoS segment list and its processing order,
+    /// pulling buffers from `arena`.
+    pub(crate) fn build_in(
+        segments: &[SegmentSpec],
+        order: &[usize],
+        arena: &mut ScratchArena,
+    ) -> Self {
+        let mut task = arena.take_u32();
+        let mut width = arena.take_f64();
+        let mut slope = arena.take_f64();
+        task.reserve(order.len());
+        width.reserve(order.len());
+        slope.reserve(order.len());
+        for &si in order {
+            let seg = &segments[si];
+            if seg.total_flops <= 0.0 || seg.slope <= 0.0 {
+                continue;
+            }
+            debug_assert!(
+                seg.task < u32::MAX as usize,
+                "task index overflows the lane"
+            );
+            task.push(seg.task as u32);
+            width.push(seg.total_flops);
+            slope.push(seg.slope);
+        }
+        Self { task, width, slope }
+    }
+
+    /// Number of (positive-gain) segments in the lanes.
+    pub fn len(&self) -> usize {
+        self.task.len()
+    }
+
+    /// Whether no segment carries positive gain.
+    pub fn is_empty(&self) -> bool {
+        self.task.is_empty()
+    }
+
+    /// Returns the lane buffers to `arena`.
+    pub(crate) fn recycle(self, arena: &mut ScratchArena) {
+        arena.put_u32(self.task);
+        arena.put_f64(self.width);
+        arena.put_f64(self.slope);
+    }
+}
+
+/// Flat segment index over every task's PWL accuracy curve: concatenated
+/// breakpoint/value lanes (one entry per breakpoint) and a slope lane
+/// (one entry per segment), addressed through a plain offset table.
+///
+/// `eval(j, f)` reproduces [`dsct_accuracy::PwlAccuracy::eval`]
+/// bit-for-bit: the same segment is selected (breakpoints belong to the
+/// segment on their right; `f ≥ f_max` saturates at `a_max`) and the same
+/// `values[k] + slopes[k]·(f − breakpoints[k])` expression evaluated —
+/// only the lookup changed from a per-call binary search over the task's
+/// own vectors to an offset into shared lanes.
+#[derive(Debug, Clone, Default)]
+pub struct PwlLanes {
+    /// `off[j]..off[j+1]` is task `j`'s breakpoint range (`n + 1` entries).
+    off: Vec<u32>,
+    /// Concatenated breakpoint abscissae.
+    bp: Vec<f64>,
+    /// Concatenated breakpoint accuracies (aligned with `bp`).
+    val: Vec<f64>,
+    /// Concatenated segment slopes; task `j`'s segment `k` lives at
+    /// `off[j] - j + k` (each task has one more breakpoint than segments).
+    slope: Vec<f64>,
+}
+
+impl PwlLanes {
+    /// Flattens every task's accuracy curve, pulling buffers from `arena`.
+    pub(crate) fn build_in(inst: &Instance, arena: &mut ScratchArena) -> Self {
+        let n = inst.num_tasks();
+        let mut off = arena.take_u32();
+        let mut bp = arena.take_f64();
+        let mut val = arena.take_f64();
+        let mut slope = arena.take_f64();
+        off.reserve(n + 1);
+        off.push(0);
+        for j in 0..n {
+            let acc = &inst.task(j).accuracy;
+            bp.extend_from_slice(acc.breakpoints());
+            val.extend_from_slice(acc.values());
+            slope.extend_from_slice(acc.slopes());
+            debug_assert!(bp.len() < u32::MAX as usize, "breakpoint lane overflow");
+            off.push(bp.len() as u32);
+        }
+        Self {
+            off,
+            bp,
+            val,
+            slope,
+        }
+    }
+
+    /// Accuracy of task `j` at work level `f` — bit-identical to
+    /// `inst.task(j).accuracy.eval(f)`.
+    #[inline]
+    pub fn eval(&self, j: usize, f: f64) -> f64 {
+        debug_assert!(f >= 0.0, "work must be non-negative, got {f}");
+        let lo = self.off[j] as usize;
+        let hi = self.off[j + 1] as usize;
+        if f >= self.bp[hi - 1] {
+            return self.val[hi - 1];
+        }
+        // Count of breakpoints ≤ f, clamped to ≥ 1 (bp[lo] = 0 ≤ f): the
+        // linear-scan equivalent of `partition_point(|&p| p <= f).max(1)`,
+        // exact because breakpoints ascend. K stays small (the paper uses
+        // 5 segments), so the scan beats a binary search's branch misses.
+        let mut count = 1usize;
+        while lo + count < hi && self.bp[lo + count] <= f {
+            count += 1;
+        }
+        let k = count - 1;
+        self.val[lo + k] + self.slope[lo - j + k] * (f - self.bp[lo + k])
+    }
+
+    /// Returns the lane buffers to `arena`.
+    pub(crate) fn recycle(self, arena: &mut ScratchArena) {
+        arena.put_u32(self.off);
+        arena.put_f64(self.bp);
+        arena.put_f64(self.val);
+        arena.put_f64(self.slope);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Task;
+    use dsct_accuracy::PwlAccuracy;
+    use dsct_machines::{Machine, MachinePark};
+    use proptest::prelude::*;
+
+    /// Random valid instances: tasks with concave PWL curves (slopes
+    /// sorted descending), machines with independent speed/power.
+    fn arb_instance() -> impl Strategy<Value = Instance> {
+        (
+            proptest::collection::vec(
+                (
+                    0.2f64..5.0,
+                    proptest::collection::vec((1.0f64..50.0, 1e-4f64..0.05), 1..6),
+                ),
+                1..12,
+            ),
+            proptest::collection::vec((0.5f64..3.0, 0.5f64..2.0), 1..5),
+            10.0f64..200.0,
+        )
+            .prop_map(|(mut task_specs, machine_specs, budget)| {
+                // Canonical task indexing: non-decreasing deadlines.
+                task_specs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let tasks: Vec<Task> = task_specs
+                    .into_iter()
+                    .map(|(deadline, segs)| {
+                        let mut slopes: Vec<f64> = segs.iter().map(|&(_, s)| s).collect();
+                        slopes.sort_by(|a, b| b.total_cmp(a));
+                        let mut pts = vec![(0.0, 0.1)];
+                        let (mut f, mut a) = (0.0f64, 0.1f64);
+                        for (k, &(w, _)) in segs.iter().enumerate() {
+                            f += w;
+                            a += slopes[k] * w;
+                            pts.push((f, a));
+                        }
+                        Task::new(deadline, PwlAccuracy::new(&pts).expect("concave"))
+                    })
+                    .collect();
+                let park = MachinePark::new(
+                    machine_specs
+                        .into_iter()
+                        .map(|(s, p)| Machine::new(s, p).expect("positive"))
+                        .collect(),
+                );
+                Instance::new(tasks, park, budget).expect("valid")
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// AoS ↔ SoA round-trip identity: the segment lanes hold exactly
+        /// the positive-gain entries of the AoS walk, in walk order, with
+        /// bit-identical fields — so the lane greedy's take sequence is
+        /// the AoS greedy's by construction.
+        #[test]
+        fn segment_lanes_round_trip_aos(inst in arb_instance()) {
+            let segments = crate::algo_naive::collect_segments(&inst);
+            let order = crate::algo_single::sort_segments(&segments);
+            let mut arena = ScratchArena::new();
+            let lanes = SegmentLanes::build_in(&segments, &order, &mut arena);
+            // Forward: AoS filtered walk == lanes.
+            let filtered: Vec<&SegmentSpec> = order
+                .iter()
+                .map(|&si| &segments[si])
+                .filter(|s| s.total_flops > 0.0 && s.slope > 0.0)
+                .collect();
+            prop_assert_eq!(lanes.len(), filtered.len());
+            for (i, seg) in filtered.iter().enumerate() {
+                prop_assert_eq!(lanes.task[i] as usize, seg.task);
+                prop_assert_eq!(lanes.width[i].to_bits(), seg.total_flops.to_bits());
+                prop_assert_eq!(lanes.slope[i].to_bits(), seg.slope.to_bits());
+            }
+            // Backward: rebuilding AoS specs from the lanes and re-running
+            // the lane build reproduces the lanes (a fixed point).
+            let rebuilt: Vec<SegmentSpec> = (0..lanes.len())
+                .map(|i| SegmentSpec {
+                    task: lanes.task[i] as usize,
+                    position: 0,
+                    slope: lanes.slope[i],
+                    total_flops: lanes.width[i],
+                })
+                .collect();
+            let ident: Vec<usize> = (0..rebuilt.len()).collect();
+            let lanes2 = SegmentLanes::build_in(&rebuilt, &ident, &mut arena);
+            prop_assert_eq!(&lanes2.task, &lanes.task);
+            prop_assert_eq!(&lanes2.width, &lanes.width);
+            prop_assert_eq!(&lanes2.slope, &lanes.slope);
+            lanes2.recycle(&mut arena);
+            lanes.recycle(&mut arena);
+        }
+
+        /// The flat PWL index evaluates bit-identically to the per-task
+        /// binary search it replaced, across random work levels.
+        #[test]
+        fn pwl_lanes_round_trip_eval(inst in arb_instance(), probes in proptest::collection::vec(0.0f64..300.0, 1..20)) {
+            let mut arena = ScratchArena::new();
+            let lanes = PwlLanes::build_in(&inst, &mut arena);
+            for j in 0..inst.num_tasks() {
+                let acc = &inst.task(j).accuracy;
+                for &f in &probes {
+                    prop_assert_eq!(lanes.eval(j, f).to_bits(), acc.eval(f).to_bits());
+                }
+                // Exactly at each breakpoint, too (segment ownership edges).
+                for &bp in acc.breakpoints() {
+                    prop_assert_eq!(lanes.eval(j, bp).to_bits(), acc.eval(bp).to_bits());
+                }
+            }
+            lanes.recycle(&mut arena);
+        }
+    }
+
+    #[test]
+    fn arena_recycles_capacity() {
+        let mut arena = ScratchArena::new();
+        let mut v = arena.take_f64();
+        v.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        arena.put_f64(v);
+        let v2 = arena.take_f64();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(v2.as_ptr(), ptr, "the same buffer must come back");
+    }
+
+    #[test]
+    fn lanes_filter_preserves_order() {
+        let segs = vec![
+            SegmentSpec {
+                task: 0,
+                position: 0,
+                slope: 2.0,
+                total_flops: 1.0,
+            },
+            SegmentSpec {
+                task: 0,
+                position: 1,
+                slope: 0.0, // flat: filtered
+                total_flops: 1.0,
+            },
+            SegmentSpec {
+                task: 1,
+                position: 0,
+                slope: 3.0,
+                total_flops: 0.0, // zero width: filtered
+            },
+            SegmentSpec {
+                task: 1,
+                position: 1,
+                slope: 1.0,
+                total_flops: 2.0,
+            },
+        ];
+        let order = crate::algo_single::sort_segments(&segs);
+        let mut arena = ScratchArena::new();
+        let lanes = SegmentLanes::build_in(&segs, &order, &mut arena);
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes.task, vec![0, 1]);
+        assert_eq!(lanes.slope, vec![2.0, 1.0]);
+        assert_eq!(lanes.width, vec![1.0, 2.0]);
+        lanes.recycle(&mut arena);
+    }
+
+    #[test]
+    fn pwl_lanes_eval_is_bit_identical() {
+        let park = MachinePark::new(vec![Machine::new(1.0, 1.0).unwrap()]);
+        let tasks = vec![
+            Task::new(
+                1.0,
+                PwlAccuracy::new(&[(0.0, 0.1), (1.0, 0.5), (2.0, 0.7), (4.0, 0.8)]).unwrap(),
+            ),
+            Task::new(2.0, PwlAccuracy::new(&[(0.0, 0.0), (3.0, 0.9)]).unwrap()),
+        ];
+        let inst = Instance::new(tasks, park, 10.0).unwrap();
+        let mut arena = ScratchArena::new();
+        let lanes = PwlLanes::build_in(&inst, &mut arena);
+        for j in 0..2 {
+            for f in [0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 3.999, 4.0, 100.0] {
+                let want = inst.task(j).accuracy.eval(f);
+                let got = lanes.eval(j, f);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "task {j} at f = {f}: {got} vs {want}"
+                );
+            }
+        }
+        lanes.recycle(&mut arena);
+    }
+}

@@ -1,0 +1,672 @@
+//! Sparse LU factorization of the simplex basis with Forrest–Tomlin
+//! updates (DESIGN.md §15.5).
+//!
+//! The basis `B` (one sparse column per basis slot) is factorized as
+//! `L̄ U` where `L̄⁻¹` is a product of elementary transformations — the
+//! column etas produced by Gilbert–Peierls left-looking elimination plus
+//! one *row* eta per Forrest–Tomlin update — and `U` is upper triangular
+//! *in pivot order* (an explicit permutation pair, not a physical
+//! reordering). Solves never form `B⁻¹`:
+//!
+//! * FTRAN `B x = a`: apply the L etas in factorization order, the FT
+//!   row etas in creation order, then back-substitute through `U`'s
+//!   columns in descending pivot order.
+//! * BTRAN `Bᵀ y = c`: forward-substitute through `Uᵀ` in ascending
+//!   pivot order, then apply the FT etas transposed in reverse order and
+//!   the L etas transposed in reverse order.
+//!
+//! A Forrest–Tomlin update replaces one basis column in `O(row + spike)`
+//! work: the spike `v = L̄⁻¹ a` replaces the leaving column of `U`, the
+//! leaving pivot cycles to the last position, and the now out-of-place
+//! *row* of `U` is eliminated against the pivots after it — the combined
+//! row operation is recorded as a single new eta, and the elimination's
+//! final corner value becomes the new diagonal. A small corner (or any
+//! structural failure) reports [`UpdateOutcome::NeedsRefactor`] and the
+//! caller refactorizes from scratch; the caller also refactorizes on a
+//! fixed cadence so the eta file and the update garbage stay bounded.
+
+/// Pivots (and FT corners) below this are treated as numerically zero.
+const PIVOT_TOL: f64 = 1e-11;
+
+/// Sentinel for "row not pivoted yet" during factorization.
+const NONE: u32 = u32::MAX;
+
+/// Result of a Forrest–Tomlin column replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UpdateOutcome {
+    /// The update was absorbed; solves reflect the new basis.
+    Done,
+    /// The new corner pivot is numerically unusable — the factorization
+    /// is now stale and the caller must refactorize before solving.
+    NeedsRefactor,
+}
+
+/// LU factors of the basis plus the Forrest–Tomlin eta file.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LuFactors {
+    m: usize,
+    /// Number of Forrest–Tomlin updates absorbed since `factorize`.
+    pub(crate) updates: usize,
+
+    // --- L: column etas from Gilbert–Peierls elimination -------------
+    // Eta `k` (one per pivot, in factorization order) pivots row
+    // `l_pr[k]` and scatters multipliers into the then-unpivoted rows
+    // `l_row[l_ptr[k]..l_ptr[k+1]]`.
+    l_ptr: Vec<usize>,
+    l_pr: Vec<u32>,
+    l_row: Vec<u32>,
+    l_val: Vec<f64>,
+
+    // --- FT row etas -------------------------------------------------
+    // Eta `e` rewrites row `ft_tgt[e]`:  row ← row − Σ r_q · row_q over
+    // terms `ft_row/ft_val[ft_ptr[e]..ft_ptr[e+1]]`.
+    ft_tgt: Vec<u32>,
+    ft_ptr: Vec<usize>,
+    ft_row: Vec<u32>,
+    ft_val: Vec<f64>,
+
+    // --- U: entry pool with per-column and per-row adjacency ---------
+    e_row: Vec<u32>,
+    e_slot: Vec<u32>,
+    e_val: Vec<f64>,
+    e_alive: Vec<bool>,
+    /// Entry ids per basis slot (column), diagonal included.
+    ucols: Vec<Vec<u32>>,
+    /// Entry ids per original row, diagonal included.
+    urows: Vec<Vec<u32>>,
+    /// Diagonal entry id per slot.
+    diag_entry: Vec<u32>,
+
+    // --- pivot order -------------------------------------------------
+    slot_of_pos: Vec<u32>,
+    pos_of_slot: Vec<u32>,
+    prow_of_slot: Vec<u32>,
+
+    // --- scratch (reused across calls; cleared via touched lists) ----
+    work: Vec<f64>,
+    resid: Vec<f64>,
+    mark: Vec<u32>,
+    epoch: u32,
+    topo: Vec<u32>,
+    dfs: Vec<(u32, usize)>,
+    acc_pos: Vec<(u32, u32)>,
+}
+
+impl LuFactors {
+    /// Factorizes the basis given as `m` sparse columns (slot → sorted,
+    /// merged `(row, value)` entries). Returns `false` when the basis is
+    /// numerically singular; the factors are then unusable until the
+    /// next successful `factorize`.
+    pub(crate) fn factorize(&mut self, m: usize, cols: &[&[(usize, f64)]]) -> bool {
+        debug_assert_eq!(cols.len(), m);
+        self.m = m;
+        self.updates = 0;
+        self.l_ptr.clear();
+        self.l_ptr.push(0);
+        self.l_pr.clear();
+        self.l_row.clear();
+        self.l_val.clear();
+        self.ft_tgt.clear();
+        self.ft_ptr.clear();
+        self.ft_ptr.push(0);
+        self.ft_row.clear();
+        self.ft_val.clear();
+        self.e_row.clear();
+        self.e_slot.clear();
+        self.e_val.clear();
+        self.e_alive.clear();
+        self.ucols.clear();
+        self.ucols.resize(m, Vec::new());
+        self.urows.clear();
+        self.urows.resize(m, Vec::new());
+        self.diag_entry.clear();
+        self.diag_entry.resize(m, NONE);
+        self.slot_of_pos.clear();
+        self.pos_of_slot.clear();
+        self.pos_of_slot.resize(m, NONE);
+        self.prow_of_slot.clear();
+        self.prow_of_slot.resize(m, NONE);
+        self.work.clear();
+        self.work.resize(m, 0.0);
+        self.mark.clear();
+        self.mark.resize(m, 0);
+        self.epoch = 0;
+
+        // `eta_of_row[r]` = L eta index that pivoted row `r`.
+        let mut eta_of_row = vec![NONE; m];
+
+        // Process sparser columns first: a cheap, deterministic fill
+        // heuristic (stable tie-break on slot index).
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_by_key(|&s| (cols[s as usize].len(), s));
+
+        for &slot in &order {
+            let col = cols[slot as usize];
+            // Symbolic: rows reachable from the column's support through
+            // existing L etas, in reverse post-order (dependency order).
+            self.epoch += 1;
+            self.topo.clear();
+            for &(r, _) in col {
+                debug_assert!(r < m, "column entry row out of range");
+                self.dfs_reach(r as u32, &eta_of_row);
+            }
+            // Numeric: sparse lower solve along the reach.
+            for &(r, v) in col {
+                self.work[r] = v;
+            }
+            for ti in (0..self.topo.len()).rev() {
+                let r = self.topo[ti] as usize;
+                let k = eta_of_row[r];
+                if k == NONE {
+                    continue;
+                }
+                let xr = self.work[r];
+                if xr == 0.0 {
+                    continue;
+                }
+                let (a, b) = (self.l_ptr[k as usize], self.l_ptr[k as usize + 1]);
+                for t in a..b {
+                    self.work[self.l_row[t] as usize] -= self.l_val[t] * xr;
+                }
+            }
+            // Partial pivoting among the still-unpivoted reached rows.
+            let mut piv = NONE;
+            let mut piv_mag = PIVOT_TOL;
+            for &r in &self.topo {
+                if eta_of_row[r as usize] == NONE {
+                    let mag = self.work[r as usize].abs();
+                    if mag > piv_mag {
+                        piv_mag = mag;
+                        piv = r;
+                    }
+                }
+            }
+            if piv == NONE {
+                for &r in &self.topo {
+                    self.work[r as usize] = 0.0;
+                }
+                return false; // structurally or numerically singular
+            }
+            let piv_val = self.work[piv as usize];
+            // Record the U column (pivoted rows) and the L eta
+            // (multipliers into unpivoted rows).
+            let k = self.l_pr.len() as u32;
+            for ti in 0..self.topo.len() {
+                let r = self.topo[ti];
+                let x = self.work[r as usize];
+                self.work[r as usize] = 0.0;
+                if x == 0.0 || r == piv {
+                    continue;
+                }
+                if eta_of_row[r as usize] != NONE {
+                    self.push_entry(r, slot, x);
+                } else {
+                    self.l_row.push(r);
+                    self.l_val.push(x / piv_val);
+                }
+            }
+            self.l_ptr.push(self.l_row.len());
+            self.l_pr.push(piv);
+            eta_of_row[piv as usize] = k;
+            let d = self.push_entry(piv, slot, piv_val);
+            self.diag_entry[slot as usize] = d;
+            self.pos_of_slot[slot as usize] = self.slot_of_pos.len() as u32;
+            self.slot_of_pos.push(slot);
+            self.prow_of_slot[slot as usize] = piv;
+        }
+        true
+    }
+
+    fn push_entry(&mut self, row: u32, slot: u32, val: f64) -> u32 {
+        let id = self.e_row.len() as u32;
+        self.e_row.push(row);
+        self.e_slot.push(slot);
+        self.e_val.push(val);
+        self.e_alive.push(true);
+        self.ucols[slot as usize].push(id);
+        self.urows[row as usize].push(id);
+        id
+    }
+
+    /// Iterative DFS from `r` through L-eta adjacency, appending rows in
+    /// post-order to `self.topo` (callers consume it reversed).
+    fn dfs_reach(&mut self, r: u32, eta_of_row: &[u32]) {
+        if self.mark[r as usize] == self.epoch {
+            return;
+        }
+        self.mark[r as usize] = self.epoch;
+        self.dfs.clear();
+        self.dfs.push((r, 0));
+        while let Some(&(node, next)) = self.dfs.last() {
+            let k = eta_of_row[node as usize];
+            let (a, b) = if k == NONE {
+                (0, 0)
+            } else {
+                (self.l_ptr[k as usize], self.l_ptr[k as usize + 1])
+            };
+            let mut cursor = next;
+            let mut descended = false;
+            while a + cursor < b {
+                let child = self.l_row[a + cursor];
+                cursor += 1;
+                if self.mark[child as usize] != self.epoch {
+                    self.mark[child as usize] = self.epoch;
+                    self.dfs.last_mut().unwrap().1 = cursor;
+                    self.dfs.push((child, 0));
+                    descended = true;
+                    break;
+                }
+            }
+            if !descended {
+                self.topo.push(node);
+                self.dfs.pop();
+            }
+        }
+    }
+
+    /// Applies `L̄⁻¹` (L etas then FT etas, in order) to the dense
+    /// vector `x` indexed by original row.
+    fn apply_lbar_inv(&self, x: &mut [f64]) {
+        for k in 0..self.l_pr.len() {
+            let xr = x[self.l_pr[k] as usize];
+            if xr == 0.0 {
+                continue;
+            }
+            for t in self.l_ptr[k]..self.l_ptr[k + 1] {
+                x[self.l_row[t] as usize] -= self.l_val[t] * xr;
+            }
+        }
+        for e in 0..self.ft_tgt.len() {
+            let mut acc = 0.0;
+            for t in self.ft_ptr[e]..self.ft_ptr[e + 1] {
+                acc += self.ft_val[t] * x[self.ft_row[t] as usize];
+            }
+            x[self.ft_tgt[e] as usize] -= acc;
+        }
+    }
+
+    /// FTRAN: solves `B x = a` for a sparse right-hand side. `x` is
+    /// written densely per basis *slot*. The post-`L̄⁻¹` spike is left in
+    /// `self.work` for a following [`LuFactors::update`].
+    pub(crate) fn ftran_sparse(&mut self, a: &[(usize, f64)], x: &mut [f64]) {
+        self.work.iter_mut().for_each(|w| *w = 0.0);
+        for &(r, v) in a {
+            self.work[r] += v;
+        }
+        self.ftran_from_work(x);
+    }
+
+    /// FTRAN with a dense right-hand side (indexed by original row).
+    pub(crate) fn ftran_dense(&mut self, a: &[f64], x: &mut [f64]) {
+        self.work.copy_from_slice(a);
+        self.ftran_from_work(x);
+    }
+
+    fn ftran_from_work(&mut self, x: &mut [f64]) {
+        let mut spike = std::mem::take(&mut self.work);
+        self.apply_lbar_inv(&mut spike);
+        // Back-substitution through U in descending pivot order. The
+        // residual updates land only at earlier positions (U is upper
+        // triangular in pivot order), and `x` must not alias `spike`:
+        // slot values are read out of the residual as it finalizes.
+        let mut resid = std::mem::take(&mut self.resid);
+        resid.clear();
+        resid.extend_from_slice(&spike);
+        for pos in (0..self.slot_of_pos.len()).rev() {
+            let slot = self.slot_of_pos[pos] as usize;
+            let pr = self.prow_of_slot[slot] as usize;
+            let v = resid[pr];
+            if v == 0.0 {
+                x[slot] = 0.0;
+                continue;
+            }
+            let xv = v / self.e_val[self.diag_entry[slot] as usize];
+            x[slot] = xv;
+            for &id in &self.ucols[slot] {
+                let id = id as usize;
+                if !self.e_alive[id] || id as u32 == self.diag_entry[slot] {
+                    continue;
+                }
+                resid[self.e_row[id] as usize] -= self.e_val[id] * xv;
+            }
+        }
+        self.work = spike; // keep the spike for `update`
+        self.resid = resid;
+    }
+
+    /// BTRAN: solves `Bᵀ y = c` with `c` dense per basis slot; `y` is
+    /// written densely per original row.
+    pub(crate) fn btran_dense(&self, c: &[f64], y: &mut [f64]) {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        // Forward substitution through Uᵀ in ascending pivot order.
+        for pos in 0..self.slot_of_pos.len() {
+            let slot = self.slot_of_pos[pos] as usize;
+            let pr = self.prow_of_slot[slot] as usize;
+            let mut sum = c[slot];
+            for &id in &self.ucols[slot] {
+                let id = id as usize;
+                if !self.e_alive[id] || id as u32 == self.diag_entry[slot] {
+                    continue;
+                }
+                sum -= self.e_val[id] * y[self.e_row[id] as usize];
+            }
+            y[pr] = sum / self.e_val[self.diag_entry[slot] as usize];
+        }
+        // FT etas transposed, newest first.
+        for e in (0..self.ft_tgt.len()).rev() {
+            let yt = y[self.ft_tgt[e] as usize];
+            if yt == 0.0 {
+                continue;
+            }
+            for t in self.ft_ptr[e]..self.ft_ptr[e + 1] {
+                y[self.ft_row[t] as usize] -= self.ft_val[t] * yt;
+            }
+        }
+        // L etas transposed, newest first.
+        for k in (0..self.l_pr.len()).rev() {
+            let mut acc = 0.0;
+            for t in self.l_ptr[k]..self.l_ptr[k + 1] {
+                acc += self.l_val[t] * y[self.l_row[t] as usize];
+            }
+            y[self.l_pr[k] as usize] -= acc;
+        }
+    }
+
+    /// Forrest–Tomlin update: the basis column in `slot` is replaced by
+    /// the column whose FTRAN was just computed (its `L̄⁻¹` spike is
+    /// still in `self.work` — this *must* be called directly after the
+    /// entering column's [`LuFactors::ftran_sparse`]).
+    pub(crate) fn update(&mut self, slot: usize) -> UpdateOutcome {
+        let pos_p = self.pos_of_slot[slot] as usize;
+        let row_p = self.prow_of_slot[slot] as usize;
+
+        // 1. Retire the old column.
+        for i in 0..self.ucols[slot].len() {
+            let id = self.ucols[slot][i] as usize;
+            self.e_alive[id] = false;
+        }
+        self.ucols[slot].clear();
+        self.diag_entry[slot] = NONE;
+
+        // 2. Insert the spike as the new (logically last) column; its
+        // entry at the leaving pivot row is the corner candidate.
+        let spike = std::mem::take(&mut self.work);
+        let mut corner = spike[row_p];
+        for (r, &v) in spike.iter().enumerate() {
+            if v != 0.0 && r != row_p {
+                self.push_entry(r as u32, slot as u32, v);
+            }
+        }
+        self.work = spike;
+
+        // 3. Eliminate the out-of-place row: gather row_p's live entries
+        // (all at later pivot positions), then cancel them in ascending
+        // position order against the corresponding pivot rows. Row
+        // operations can create fill at still-later positions, so the
+        // worklist is a position-sorted insertion queue. `acc` holds the
+        // evolving row values per slot.
+        let mut acc: Vec<f64> = std::mem::take(&mut self.work);
+        acc.iter_mut().for_each(|v| *v = 0.0);
+        self.acc_pos.clear();
+        for i in 0..self.urows[row_p].len() {
+            let id = self.urows[row_p][i] as usize;
+            if !self.e_alive[id] {
+                continue;
+            }
+            let s = self.e_slot[id] as usize;
+            if s == slot {
+                continue; // the freshly inserted corner lives in `corner`
+            }
+            debug_assert!(self.pos_of_slot[s] as usize > pos_p);
+            acc[s] = self.e_val[id];
+            self.acc_pos.push((self.pos_of_slot[s], s as u32));
+            self.e_alive[id] = false;
+        }
+        self.urows[row_p].clear();
+        let mut queue = std::mem::take(&mut self.acc_pos);
+        queue.sort_unstable();
+        let ft_terms_start = self.ft_row.len();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (_, q_slot) = queue[qi];
+            qi += 1;
+            let q_slot = q_slot as usize;
+            let r_mult = acc[q_slot];
+            acc[q_slot] = 0.0;
+            if r_mult == 0.0 {
+                continue; // cancelled by earlier fill
+            }
+            let q_diag = self.e_val[self.diag_entry[q_slot] as usize];
+            let r_mult = r_mult / q_diag;
+            let q_row = self.prow_of_slot[q_slot] as usize;
+            self.ft_row.push(q_row as u32);
+            self.ft_val.push(r_mult);
+            // row_p ← row_p − r · row_q over row_q's live entries.
+            for i in 0..self.urows[q_row].len() {
+                let id = self.urows[q_row][i] as usize;
+                if !self.e_alive[id] {
+                    continue;
+                }
+                let s = self.e_slot[id] as usize;
+                if s == q_slot {
+                    continue; // the diagonal: cancels r_mult exactly
+                }
+                let delta = r_mult * self.e_val[id];
+                if s == slot {
+                    corner -= delta; // the spike column (moving to last)
+                    continue;
+                }
+                let had = acc[s] != 0.0;
+                acc[s] -= delta;
+                if !had && acc[s] != 0.0 {
+                    // Fill-in strictly after the current position.
+                    let p = self.pos_of_slot[s];
+                    let at = queue[qi..].partition_point(|&(qp, _)| qp < p);
+                    queue.insert(qi + at, (p, s as u32));
+                }
+            }
+        }
+        self.work = acc;
+        self.acc_pos = queue;
+        self.acc_pos.clear();
+
+        // 4. The corner becomes the new diagonal; a tiny corner means
+        // the updated factorization is unusable.
+        if corner.abs() < PIVOT_TOL || !corner.is_finite() {
+            self.ft_row.truncate(ft_terms_start);
+            self.ft_val.truncate(ft_terms_start);
+            return UpdateOutcome::NeedsRefactor;
+        }
+        if self.ft_row.len() > ft_terms_start {
+            self.ft_tgt.push(row_p as u32);
+            self.ft_ptr.push(self.ft_row.len());
+        }
+        let d = self.push_entry(row_p as u32, slot as u32, corner);
+        self.diag_entry[slot] = d;
+
+        // 5. Cycle the pivot to the last position.
+        self.slot_of_pos.remove(pos_p);
+        self.slot_of_pos.push(slot as u32);
+        for p in pos_p..self.slot_of_pos.len() {
+            self.pos_of_slot[self.slot_of_pos[p] as usize] = p as u32;
+        }
+        self.updates += 1;
+        UpdateOutcome::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference solve via Gaussian elimination.
+    fn dense_solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+        let m = b.len();
+        let mut aug: Vec<Vec<f64>> = (0..m)
+            .map(|i| {
+                let mut r: Vec<f64> = (0..m).map(|j| a[i][j]).collect();
+                r.push(b[i]);
+                r
+            })
+            .collect();
+        for c in 0..m {
+            let piv = (c..m)
+                .max_by(|&x, &y| aug[x][c].abs().total_cmp(&aug[y][c].abs()))
+                .unwrap();
+            aug.swap(c, piv);
+            let d = aug[c][c];
+            for k in c..=m {
+                aug[c][k] /= d;
+            }
+            for r in 0..m {
+                if r != c && aug[r][c] != 0.0 {
+                    let f = aug[r][c];
+                    for k in c..=m {
+                        aug[r][k] -= f * aug[c][k];
+                    }
+                }
+            }
+        }
+        (0..m).map(|i| aug[i][m]).collect()
+    }
+
+    fn dense_cols(cols: &[Vec<(usize, f64)>], m: usize) -> Vec<Vec<f64>> {
+        let mut a = vec![vec![0.0; m]; m];
+        for (s, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                a[r][s] = v;
+            }
+        }
+        a
+    }
+
+    fn check_solves(lu: &mut LuFactors, cols: &[Vec<(usize, f64)>], m: usize) {
+        let a = dense_cols(cols, m);
+        // FTRAN against dense reference on a deterministic rhs.
+        let rhs: Vec<(usize, f64)> = (0..m).step_by(2).map(|r| (r, 1.0 + r as f64)).collect();
+        let mut dense_rhs = vec![0.0; m];
+        for &(r, v) in &rhs {
+            dense_rhs[r] = v;
+        }
+        let want = dense_solve(&a, &dense_rhs);
+        let mut got = vec![0.0; m];
+        lu.ftran_sparse(&rhs, &mut got);
+        for s in 0..m {
+            assert!(
+                (got[s] - want[s]).abs() < 1e-8 * (1.0 + want[s].abs()),
+                "ftran slot {s}: {} vs {}",
+                got[s],
+                want[s]
+            );
+        }
+        // BTRAN: Bᵀ y = c  ⇔  dense solve on the transpose.
+        let c: Vec<f64> = (0..m).map(|s| (s as f64) - 1.5).collect();
+        let at: Vec<Vec<f64>> = (0..m).map(|i| (0..m).map(|j| a[j][i]).collect()).collect();
+        let want = dense_solve(&at, &c);
+        let mut got = vec![0.0; m];
+        lu.btran_dense(&c, &mut got);
+        for r in 0..m {
+            assert!(
+                (got[r] - want[r]).abs() < 1e-8 * (1.0 + want[r].abs()),
+                "btran row {r}: {} vs {}",
+                got[r],
+                want[r]
+            );
+        }
+    }
+
+    /// Deterministic pseudo-random sparse nonsingular test matrix:
+    /// diagonal plus a few off-diagonal entries.
+    fn test_cols(m: usize, seed: u64) -> Vec<Vec<(usize, f64)>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..m)
+            .map(|s| {
+                let mut col = vec![(s, 2.0 + (next() % 7) as f64)];
+                for _ in 0..(next() % 3) {
+                    let r = (next() as usize) % m;
+                    if col.iter().all(|&(cr, _)| cr != r) {
+                        col.push((r, ((next() % 11) as f64) - 5.0));
+                    }
+                }
+                col.sort_by_key(|&(r, _)| r);
+                col.retain(|&(_, v)| v != 0.0);
+                col
+            })
+            .collect()
+    }
+
+    #[test]
+    fn factorize_and_solve_match_dense_reference() {
+        for seed in [3u64, 17, 99] {
+            let m = 24;
+            let cols = test_cols(m, seed);
+            let refs: Vec<&[(usize, f64)]> = cols.iter().map(|c| c.as_slice()).collect();
+            let mut lu = LuFactors::default();
+            assert!(lu.factorize(m, &refs), "seed {seed} should be nonsingular");
+            check_solves(&mut lu, &cols, m);
+        }
+    }
+
+    #[test]
+    fn forrest_tomlin_updates_track_column_replacements() {
+        let m = 24;
+        let mut cols = test_cols(m, 42);
+        let refs: Vec<&[(usize, f64)]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut lu = LuFactors::default();
+        assert!(lu.factorize(m, &refs));
+        let mut state = 0xD1CEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..40 {
+            let slot = (next() as usize) % m;
+            let mut newcol = vec![(slot, 3.0 + (next() % 5) as f64)];
+            for _ in 0..(next() % 4) {
+                let r = (next() as usize) % m;
+                if newcol.iter().all(|&(cr, _)| cr != r) {
+                    newcol.push((r, ((next() % 9) as f64) - 4.0));
+                }
+            }
+            newcol.sort_by_key(|&(r, _)| r);
+            // FTRAN the entering column (required before update), then
+            // replace and re-verify both solves against dense reference.
+            let mut w = vec![0.0; m];
+            lu.ftran_sparse(&newcol, &mut w);
+            match lu.update(slot) {
+                UpdateOutcome::Done => {
+                    cols[slot] = newcol;
+                }
+                UpdateOutcome::NeedsRefactor => {
+                    cols[slot] = newcol;
+                    let refs: Vec<&[(usize, f64)]> = cols.iter().map(|c| c.as_slice()).collect();
+                    assert!(lu.factorize(m, &refs), "refactor at step {step}");
+                }
+            }
+            check_solves(&mut lu, &cols, m);
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let m = 4;
+        // Column 2 duplicates column 0 → structurally singular.
+        let cols: Vec<Vec<(usize, f64)>> = vec![
+            vec![(0, 1.0), (1, 2.0)],
+            vec![(1, 1.0)],
+            vec![(0, 1.0), (1, 2.0)],
+            vec![(3, 1.0)],
+        ];
+        let refs: Vec<&[(usize, f64)]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut lu = LuFactors::default();
+        assert!(!lu.factorize(m, &refs));
+    }
+}

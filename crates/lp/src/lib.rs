@@ -4,7 +4,8 @@
 #![allow(clippy::needless_range_loop)]
 
 //! A self-contained linear-programming solver: bounded-variable two-phase
-//! revised simplex with a dense explicit basis inverse and sparse columns.
+//! revised simplex on a sparse LU-factorized basis with Forrest–Tomlin
+//! updates (DESIGN.md §15.5) and sparse columns.
 //!
 //! Built as the general-purpose LP substrate for the DSCT-EA reproduction
 //! (the paper uses MOSEK, which has no offline Rust equivalent). It solves
@@ -18,14 +19,17 @@
 //! Design notes (documented for maintainers):
 //! - Every row gets a slack with bounds encoding its sense (`≤` → `[0, ∞)`,
 //!   `≥` → `(−∞, 0]`, `=` → fixed at 0), so the all-slack basis is the
-//!   identity and the initial basis inverse is exact.
+//!   identity and factorizes trivially.
 //! - Phase 1 uses the composite (artificial-free) method: minimize the sum
 //!   of bound violations of basic variables, with the piecewise-linear
 //!   ratio test blocking at the first bound crossed.
 //! - Anti-cycling: Dantzig pricing switches to Bland's rule after a streak
 //!   of degenerate pivots.
-//! - The basis inverse is refreshed (and basic values recomputed) on a
-//!   fixed cadence to bound numerical drift.
+//! - The basis is maintained as a Gilbert–Peierls sparse LU with
+//!   Forrest–Tomlin updates per pivot; it is refactorized (and basic
+//!   values recomputed) on a fixed cadence — or eagerly when an update
+//!   hits a small corner pivot — to bound eta growth and numerical
+//!   drift.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@
 //! assert!((sol.objective - 6.0).abs() < 1e-9); // x = 2, y = 2
 //! ```
 
+mod factor;
 mod model;
 mod simplex;
 

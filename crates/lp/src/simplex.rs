@@ -1,13 +1,17 @@
-//! Bounded-variable two-phase revised simplex with a dense explicit basis
-//! inverse. See the crate docs for the method outline.
+//! Bounded-variable two-phase revised simplex over an LU-factorized
+//! basis with Forrest–Tomlin updates. See the crate docs for the method
+//! outline and `factor` for the factorization engine.
 
+use crate::factor::{LuFactors, UpdateOutcome};
 use crate::model::{Cmp, Model, Sense, Solution, SolveOptions, Status};
 use std::time::Instant;
 
-/// Cadence (in pivots) for recomputing basic values from the basis inverse.
+/// Cadence (in pivots) for recomputing basic values from the factors.
 const XB_REFRESH: usize = 256;
-/// Cadence (in pivots) for full reinversion of the basis.
-const FULL_REFRESH: usize = 4096;
+/// Forrest–Tomlin updates absorbed before a scheduled refactorization:
+/// bounds both the FT eta file scanned by every solve and the dead-entry
+/// garbage left in `U`'s adjacency lists.
+const FT_REFRESH: usize = 64;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 const DEGEN_LIMIT: usize = 40;
 /// Direction entries below this are treated as zero in the ratio test.
@@ -37,13 +41,15 @@ struct Tableau {
     vstat: Vec<VStat>,
     /// Basic variable values, aligned with `basis`.
     xb: Vec<f64>,
-    /// Dense basis inverse, row-major `m × m`.
-    binv: Vec<f64>,
+    /// LU factors of the basis (`basis[i]`'s column is basis slot `i`).
+    lu: LuFactors,
     /// Equilibration row scales (rhs and duals mapping).
     row_scale: Vec<f64>,
     /// Equilibration column scales for structural variables
     /// (`x_original = col_scale · x_scaled`).
     col_scale: Vec<f64>,
+    /// Dense scratch, one slot per row.
+    scratch: Vec<f64>,
 }
 
 /// Geometric-mean equilibration: alternately scales rows and columns so
@@ -188,10 +194,6 @@ impl Tableau {
         for (i, &bj) in basis.iter().enumerate() {
             vstat[bj] = VStat::Basic(i);
         }
-        let mut binv = vec![0.0; m * m];
-        for i in 0..m {
-            binv[i * m + i] = 1.0;
-        }
 
         let mut t = Self {
             m,
@@ -205,11 +207,12 @@ impl Tableau {
             basis,
             vstat,
             xb: vec![0.0; m],
-            binv,
+            lu: LuFactors::default(),
             row_scale,
             col_scale,
+            scratch: vec![0.0; m],
         };
-        t.recompute_xb();
+        t.factorize_basis();
         t
     }
 
@@ -234,10 +237,10 @@ impl Tableau {
         self.lb[j] == f64::NEG_INFINITY && self.ub[j] == f64::INFINITY
     }
 
-    /// Recomputes `xb = B⁻¹ (b − A_N x_N)` with the current inverse.
+    /// Recomputes `xb = B⁻¹ (b − A_N x_N)` through the LU factors.
     fn recompute_xb(&mut self) {
-        let m = self.m;
-        let mut r = self.b.clone();
+        let mut r = std::mem::take(&mut self.scratch);
+        r.copy_from_slice(&self.b);
         for j in 0..self.ncols {
             if matches!(self.vstat[j], VStat::Basic(_)) {
                 continue;
@@ -249,72 +252,46 @@ impl Tableau {
                 }
             }
         }
-        for i in 0..m {
-            let row = &self.binv[i * m..(i + 1) * m];
-            self.xb[i] = row.iter().zip(&r).map(|(&bi, &ri)| bi * ri).sum();
-        }
+        self.lu.ftran_dense(&r, &mut self.xb);
+        self.scratch = r;
     }
 
-    /// Full reinversion of the basis via Gauss-Jordan with partial
-    /// pivoting. Returns `false` when the basis is numerically singular.
-    fn reinvert(&mut self) -> bool {
-        let m = self.m;
-        if m == 0 {
-            return true;
+    /// Refactorizes the current basis from scratch; on numerical
+    /// singularity, falls back to the all-slack basis (identity — always
+    /// factorizable) and lets phase 1 restore feasibility. Basic values
+    /// are recomputed either way.
+    fn factorize_basis(&mut self) {
+        let ok = {
+            let cols = &self.cols;
+            let refs: Vec<&[(usize, f64)]> =
+                self.basis.iter().map(|&j| cols[j].as_slice()).collect();
+            self.lu.factorize(self.m, &refs)
+        };
+        if !ok {
+            // Evict every basic variable to its nearest finite bound and
+            // reinstate the slack basis.
+            for i in 0..self.m {
+                let bj = self.basis[i];
+                self.vstat[bj] = if self.lb[bj].is_finite() {
+                    VStat::AtLower
+                } else if self.ub[bj].is_finite() {
+                    VStat::AtUpper
+                } else {
+                    VStat::AtLower // free variable, held at value 0
+                };
+            }
+            for i in 0..self.m {
+                let s = self.n_struct + i;
+                self.basis[i] = s;
+                self.vstat[s] = VStat::Basic(i);
+            }
+            let cols = &self.cols;
+            let refs: Vec<&[(usize, f64)]> =
+                self.basis.iter().map(|&j| cols[j].as_slice()).collect();
+            let ok = self.lu.factorize(self.m, &refs);
+            debug_assert!(ok, "slack basis is the identity");
         }
-        // Dense basis matrix, row-major.
-        let mut bmat = vec![0.0; m * m];
-        for (k, &j) in self.basis.iter().enumerate() {
-            for &(i, v) in &self.cols[j] {
-                bmat[i * m + k] = v;
-            }
-        }
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            let mut piv = col;
-            let mut best = bmat[col * m + col].abs();
-            for row in (col + 1)..m {
-                let cand = bmat[row * m + col].abs();
-                if cand > best {
-                    best = cand;
-                    piv = row;
-                }
-            }
-            if best < 1e-12 {
-                return false;
-            }
-            if piv != col {
-                for k in 0..m {
-                    bmat.swap(col * m + k, piv * m + k);
-                    inv.swap(col * m + k, piv * m + k);
-                }
-            }
-            let d = bmat[col * m + col];
-            let dinv = 1.0 / d;
-            for k in 0..m {
-                bmat[col * m + k] *= dinv;
-                inv[col * m + k] *= dinv;
-            }
-            for row in 0..m {
-                if row == col {
-                    continue;
-                }
-                let f = bmat[row * m + col];
-                if f == 0.0 {
-                    continue;
-                }
-                for k in 0..m {
-                    bmat[row * m + k] -= f * bmat[col * m + k];
-                    inv[row * m + k] -= f * inv[col * m + k];
-                }
-            }
-        }
-        self.binv = inv;
         self.recompute_xb();
-        true
     }
 
     /// Total bound violation of basic variables.
@@ -331,32 +308,16 @@ impl Tableau {
         total
     }
 
-    /// Simplex multipliers `y = cB' B⁻¹` for a given basic cost vector.
-    fn multipliers(&self, cb: &[f64]) -> Vec<f64> {
-        let m = self.m;
-        let mut y = vec![0.0; m];
-        for (i, &ci) in cb.iter().enumerate() {
-            if ci == 0.0 {
-                continue;
-            }
-            let row = &self.binv[i * m..(i + 1) * m];
-            for (k, yk) in y.iter_mut().enumerate() {
-                *yk += ci * row[k];
-            }
-        }
-        y
+    /// Simplex multipliers: solves `Bᵀ y = cB` through the LU factors.
+    fn multipliers(&self, cb: &[f64], y: &mut [f64]) {
+        self.lu.btran_dense(cb, y);
     }
 
-    /// Direction `w = B⁻¹ a_j`.
-    fn ftran(&self, j: usize, w: &mut [f64]) {
-        let m = self.m;
-        w.iter_mut().for_each(|x| *x = 0.0);
-        for &(i, v) in &self.cols[j] {
-            // Add v times column i of binv.
-            for (row, wr) in w.iter_mut().enumerate() {
-                *wr += v * self.binv[row * m + i];
-            }
-        }
+    /// Direction `w = B⁻¹ a_j` (per basis slot). Leaves the factor
+    /// engine primed for a Forrest–Tomlin update of this column.
+    fn ftran(&mut self, j: usize, w: &mut [f64]) {
+        let cols = &self.cols;
+        self.lu.ftran_sparse(cols[j].as_slice(), w);
     }
 }
 
@@ -370,23 +331,23 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Solution {
     let mut iterations = 0usize;
     let mut degen_streak = 0usize;
     let mut pivots_since_xb = 0usize;
-    let mut pivots_since_inv = 0usize;
     let mut w = vec![0.0; m];
     let mut cb = vec![0.0; m];
+    let mut y = vec![0.0; m];
 
     let status = loop {
         if iterations >= opts.max_iterations {
             break Status::IterationLimit;
         }
         if let Some(limit) = opts.time_limit {
-            // Checking the clock is cheap relative to an O(m²) iteration.
+            // Checking the clock is cheap relative to an O(m + nnz)
+            // iteration.
             if started.elapsed() >= limit {
                 break Status::TimeLimit;
             }
         }
-        if pivots_since_inv >= FULL_REFRESH {
-            t.reinvert();
-            pivots_since_inv = 0;
+        if t.lu.updates >= FT_REFRESH {
+            t.factorize_basis();
             pivots_since_xb = 0;
         } else if pivots_since_xb >= XB_REFRESH {
             t.recompute_xb();
@@ -410,7 +371,7 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Solution {
                 t.c[bj]
             };
         }
-        let y = t.multipliers(&cb);
+        t.multipliers(&cb, &mut y);
 
         // Pricing: Dantzig by default, Bland under a degenerate streak.
         let bland = degen_streak >= DEGEN_LIMIT;
@@ -564,7 +525,10 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Solution {
 
         match leave {
             Some((r, hit)) if delta < flip_limit - 1e-12 || flip_limit.is_infinite() => {
-                // Pivot: update basic values, swap basis, update inverse.
+                // Pivot: update basic values, swap basis, absorb the
+                // column replacement into the factors. `t.ftran(jin)`
+                // just ran, so the factor engine still holds the spike
+                // the Forrest–Tomlin update needs.
                 for i in 0..m {
                     t.xb[i] += -sigma * w[i] * delta;
                 }
@@ -574,39 +538,12 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Solution {
                 t.basis[r] = jin;
                 t.vstat[jin] = VStat::Basic(r);
                 t.xb[r] = enter_val;
-
-                // binv ← E · binv with eta column from w.
-                let piv = w[r];
-                let inv_piv = 1.0 / piv;
-                // Scale pivot row.
-                {
-                    let row = &mut t.binv[r * m..(r + 1) * m];
-                    for v in row.iter_mut() {
-                        *v *= inv_piv;
-                    }
+                if t.lu.update(r) == UpdateOutcome::NeedsRefactor {
+                    t.factorize_basis();
+                    pivots_since_xb = 0;
+                } else {
+                    pivots_since_xb += 1;
                 }
-                for i in 0..m {
-                    if i == r {
-                        continue;
-                    }
-                    let f = w[i];
-                    if f == 0.0 {
-                        continue;
-                    }
-                    // t.binv[i] -= f * t.binv[r]; split borrows via split_at_mut.
-                    let (lo, hi) = if i < r {
-                        let (a, b) = t.binv.split_at_mut(r * m);
-                        (&mut a[i * m..(i + 1) * m], &b[..m])
-                    } else {
-                        let (a, b) = t.binv.split_at_mut(i * m);
-                        (&mut b[..m], &a[r * m..(r + 1) * m])
-                    };
-                    for (li, &hi_v) in lo.iter_mut().zip(hi.iter()) {
-                        *li -= f * hi_v;
-                    }
-                }
-                pivots_since_xb += 1;
-                pivots_since_inv += 1;
             }
             _ => {
                 // Bound flip of the entering variable.
@@ -635,7 +572,8 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Solution {
     for (i, &bj) in t.basis.iter().enumerate() {
         cb[i] = t.c[bj];
     }
-    let mut duals = t.multipliers(&cb);
+    t.multipliers(&cb, &mut y);
+    let mut duals = y;
     for (i, d) in duals.iter_mut().enumerate() {
         *d *= t.row_scale[i];
     }

@@ -1,0 +1,95 @@
+//! PR 8 agreement suite for the data-oriented solve core and the LU
+//! simplex (DESIGN.md §15):
+//!
+//! 1. **SoA vs legacy solver agreement** — the Δ-probe/checkpoint SoA
+//!    path must match the legacy full-evaluation path to ≤ 1e-9 relative
+//!    across 24 seeds × 3 load regimes, with the solution oracle
+//!    validating the SoA output.
+//! 2. **Simplex vs MIP at scale** — on relaxed instances (single
+//!    machine, so the assignment binaries are forced and the MIP's root
+//!    relaxation is integral) the LU/Forrest–Tomlin simplex objective
+//!    must agree with the branch-and-bound MIP objective at n = 1000
+//!    (scaled down under debug builds, where the LP alone would dominate
+//!    the tier-1 wall clock).
+
+use dsct_core::fr_opt::FrOptOptions;
+use dsct_core::oracle::{Claims, SolutionOracle};
+use dsct_core::schedule::ScheduleKind;
+use dsct_core::solver::{FrOptSolver, LpSolver, MipSolver, Solution, SolverContext};
+use dsct_mip::MipStatus;
+use dsct_workload::{generate, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+
+fn config(n: usize, m: usize, rho: f64, beta: f64) -> InstanceConfig {
+    InstanceConfig {
+        tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 1.0 }),
+        machines: MachineConfig::paper_random(m),
+        rho,
+        beta,
+    }
+}
+
+/// SoA Δ-probe FR-OPT vs the legacy full-evaluation configuration
+/// (incremental probes and the value cache disabled — every probe walks
+/// the whole value function, the pre-SoA control flow): ≤ 1e-9 relative
+/// agreement over 24 seeds × 3 deadline/budget load regimes.
+#[test]
+fn soa_and_legacy_fr_opt_agree_across_seeds_and_loads() {
+    let loads = [(0.2, 0.3), (0.35, 0.5), (0.6, 0.8)];
+    let (n, m) = if cfg!(debug_assertions) {
+        (24, 3)
+    } else {
+        (48, 5)
+    };
+    let mut checked = 0usize;
+    for (li, &(rho, beta)) in loads.iter().enumerate() {
+        for seed in 0..24u64 {
+            let inst = generate(&config(n, m, rho, beta), 9000 + 100 * li as u64 + seed);
+            let mut ctx = SolverContext::new();
+            let soa = FrOptSolver::new().solve_typed_with(&inst, &mut ctx);
+            let mut legacy_opts = FrOptOptions::default();
+            legacy_opts.search.incremental_probes = false;
+            legacy_opts.search.use_value_cache = false;
+            let legacy = FrOptSolver::with_options(legacy_opts).solve_typed(&inst);
+            let scale = legacy.total_accuracy.abs().max(1.0);
+            assert!(
+                (soa.total_accuracy - legacy.total_accuracy).abs() <= 1e-9 * scale,
+                "load {li} seed {seed}: SoA {} vs legacy {}",
+                soa.total_accuracy,
+                legacy.total_accuracy
+            );
+            // The oracle vets the SoA output, not just its objective.
+            let sol = Solution::from_fr(&inst, soa);
+            SolutionOracle::new()
+                .verify(&inst, &sol, &Claims::feasible(ScheduleKind::Fractional))
+                .expect("SoA FR-OPT output must satisfy every solution invariant");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 72, "24 seeds x 3 loads");
+}
+
+/// LU-simplex LP vs branch-and-bound MIP on relaxed (single-machine)
+/// instances: with m = 1 the assignment binaries are forced to 1, the
+/// MIP's feasible set equals the LP's, and the two objectives must agree
+/// to LP tolerance. Runs at n = 1000 in release (the scale the dense
+/// simplex could not reach); scaled down in debug where tier-1 runs.
+#[test]
+fn simplex_and_mip_objectives_agree_on_relaxed_instances() {
+    let n = if cfg!(debug_assertions) { 60 } else { 1000 };
+    for seed in [11u64, 12] {
+        let inst = generate(&config(n, 1, 0.35, 0.5), seed);
+        let lp = LpSolver::new()
+            .solve_typed(&inst)
+            .expect("well-posed relaxation");
+        assert_eq!(lp.status, dsct_lp::Status::Optimal, "seed {seed}");
+        let mip = MipSolver::new().solve_typed(&inst).expect("well-posed MIP");
+        assert_eq!(mip.status, MipStatus::Optimal, "seed {seed}");
+        let scale = lp.total_accuracy.abs().max(1.0);
+        assert!(
+            (lp.total_accuracy - mip.total_accuracy).abs() <= 1e-6 * scale,
+            "seed {seed} n {n}: LP {} vs MIP {}",
+            lp.total_accuracy,
+            mip.total_accuracy
+        );
+    }
+}
