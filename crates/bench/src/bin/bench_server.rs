@@ -14,11 +14,24 @@
 //! enforced in the bench itself, so a perf run can never silently trade
 //! determinism for speed.
 //!
+//! A second set of arms measures the `dsct-gateway` ingestion front-end
+//! at shard counts {1, 4, 8}: the same trace with arrivals quantized
+//! into 8 bursts (so several tasks land on every flush boundary — the
+//! shape the bounded queue exists for) is fed through 4 producer lanes,
+//! each `Gateway::admit` is timed on the consumer side, and the lanes'
+//! high-water queue depth is reported next to throughput and p99. The
+//! gateway digest guard compares 1 vs 4 producers before timing.
+//!
 //! Usage: `bench_server [--json PATH] [--repeats N] [--check]`
-//! `--check` exits non-zero if the best multi-shard arm sustains less
-//! than 75% of the single-shard throughput (the CI perf-smoke gate:
-//! sharding shrinks each residual solve and must not globally regress).
+//! `--check` exits non-zero if the best multi-shard arm — server or
+//! gateway — sustains less than 75% of its own single-shard arm (the
+//! CI perf-smoke gate: sharding shrinks each residual solve and must
+//! not globally regress, and the gateway must preserve that).
 
+use dsct_chaos::ShardChaosPlan;
+use dsct_gateway::{
+    drain_key, replay_gateway, Gateway, GatewayConfig, GatewayReport, IngressQueue, QuotaConfig,
+};
 use dsct_online::OnlineConfig;
 use dsct_server::{ScheduleServer, ServerConfig, ServerReport};
 use dsct_workload::{
@@ -34,6 +47,13 @@ const LOAD: f64 = 1.0;
 const DEADLINE_SLACK: f64 = 2.0;
 const BETA: f64 = 0.5;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const GATEWAY_SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+/// Producer lanes of the timed gateway arms (the digest guard compares
+/// against a single lane).
+const GATEWAY_PRODUCERS: usize = 4;
+/// Arrival quantization of the gateway burst trace: all arrivals snap
+/// down onto this many burst instants.
+const GATEWAY_BURSTS: usize = 8;
 const WARMUP: usize = 1;
 const DEFAULT_REPEATS: usize = 5;
 /// CI gate: the best multi-shard arm must sustain at least this
@@ -84,6 +104,134 @@ fn replay_timed(trace: &ArrivalTrace, cfg: ServerConfig) -> (Vec<u128>, ServerRe
         latencies.push(t0.elapsed().as_nanos());
     }
     (latencies, server.finish())
+}
+
+/// The gateway arms' trace: the bench trace with every arrival snapped
+/// down onto one of [`GATEWAY_BURSTS`] instants, so each flush boundary
+/// swallows a burst of submissions instead of one.
+fn burst_trace(base: &ArrivalTrace) -> ArrivalTrace {
+    let mut trace = base.clone();
+    let span = trace.horizon().max(f64::MIN_POSITIVE);
+    let step = span / GATEWAY_BURSTS as f64;
+    for task in trace.tasks.iter_mut() {
+        let bucket = (task.arrival / step)
+            .floor()
+            .min((GATEWAY_BURSTS - 1) as f64);
+        // Snapping down keeps arrival <= the original, so every
+        // deadline stays feasible.
+        task.arrival = bucket * step;
+    }
+    trace
+}
+
+fn gateway_config(shards: usize, workers: usize) -> GatewayConfig {
+    GatewayConfig {
+        server: server_config(shards, workers),
+        // A generous token bucket: effectively everything admits, but
+        // every submit pays the per-tenant bucket math and the audit
+        // bookkeeping — the gateway arm measures the front-end's
+        // overhead, not quota starvation.
+        quota: QuotaConfig {
+            enabled: true,
+            rate: 1e9,
+            burst: 1e9,
+            retry: false,
+        },
+        ..GatewayConfig::default()
+    }
+}
+
+struct GatewayArmResult {
+    shards: usize,
+    arrivals_per_sec: f64,
+    p99_ns: u128,
+    admitted: usize,
+    max_queue_depth: usize,
+}
+
+/// Replays the burst trace through a gateway fed by
+/// [`GATEWAY_PRODUCERS`] lanes, timing each `admit` on the consumer
+/// side. Structured like `dsct_gateway::replay_gateway`, inlined here
+/// so the timer wraps exactly the admission call.
+fn replay_gateway_timed(
+    trace: &ArrivalTrace,
+    cfg: GatewayConfig,
+) -> (Vec<u128>, GatewayReport, usize) {
+    let mut gateway =
+        Gateway::new(&trace.park, trace.budget, cfg).expect("bench gateway config is valid");
+    let mut tasks = trace.tasks.clone();
+    tasks.sort_by(|a, b| {
+        let (ka, kb) = (drain_key(a), drain_key(b));
+        ka.0.total_cmp(&kb.0)
+            .then(ka.1.cmp(&kb.1))
+            .then(ka.2.cmp(&kb.2))
+    });
+    let (mut queue, handles) = IngressQueue::new(GATEWAY_PRODUCERS, cfg.queue_capacity);
+    let chunk = tasks.len().div_ceil(GATEWAY_PRODUCERS).max(1);
+    let mut latencies = Vec::with_capacity(tasks.len());
+    std::thread::scope(|scope| {
+        for (chunk_tasks, producer) in tasks.chunks(chunk).zip(handles) {
+            scope.spawn(move || {
+                for task in chunk_tasks {
+                    if !producer.send(task.clone()) {
+                        break;
+                    }
+                }
+            });
+        }
+        while let Some(task) = queue.recv().expect("in-order lanes") {
+            let t0 = Instant::now();
+            gateway.admit(&task).expect("bench trace is well-formed");
+            latencies.push(t0.elapsed().as_nanos());
+        }
+    });
+    let max_depth = queue.max_depth();
+    (latencies, gateway.finish(), max_depth)
+}
+
+fn run_gateway_arm(base: &ArrivalTrace, shards: usize, repeats: usize) -> GatewayArmResult {
+    let trace = burst_trace(base);
+    // Determinism guard: 1 and 4 producer lanes must produce
+    // byte-identical gateway digests before any timing is trusted.
+    let plan = ShardChaosPlan::none(SEED);
+    let one =
+        replay_gateway(&trace, &gateway_config(shards, 2), &plan, 1).expect("bench gateway replay");
+    let four = replay_gateway(&trace, &gateway_config(shards, 2), &plan, GATEWAY_PRODUCERS)
+        .expect("bench gateway replay");
+    assert_eq!(
+        one.digest(),
+        four.digest(),
+        "gateway shards={shards}: digests diverged between 1 and {GATEWAY_PRODUCERS} producers"
+    );
+
+    let cfg = gateway_config(shards, 0);
+    for _ in 0..WARMUP {
+        std::hint::black_box(replay_gateway_timed(&trace, cfg));
+    }
+    let mut throughputs: Vec<f64> = Vec::with_capacity(repeats);
+    let mut p99s: Vec<u128> = Vec::with_capacity(repeats);
+    let mut max_depth = 0usize;
+    let mut last = None;
+    for _ in 0..repeats {
+        let (mut latencies, report, depth) = replay_gateway_timed(&trace, cfg);
+        let total_ns: u128 = latencies.iter().sum();
+        throughputs.push(latencies.len() as f64 / (total_ns.max(1) as f64 / 1e9));
+        latencies.sort_unstable();
+        let idx = (latencies.len() * 99).div_ceil(100).saturating_sub(1);
+        p99s.push(latencies[idx]);
+        max_depth = max_depth.max(depth);
+        last = Some(report);
+    }
+    throughputs.sort_by(f64::total_cmp);
+    p99s.sort_unstable();
+    let report = last.expect("repeats >= 1");
+    GatewayArmResult {
+        shards,
+        arrivals_per_sec: throughputs[throughputs.len() / 2],
+        p99_ns: p99s[p99s.len() / 2],
+        admitted: report.core.summary.admitted,
+        max_queue_depth: max_depth,
+    }
 }
 
 fn run_arm(trace: &ArrivalTrace, shards: usize, workers: usize, repeats: usize) -> ArmResult {
@@ -160,6 +308,10 @@ fn main() {
         .iter()
         .map(|&s| run_arm(&trace, s, 0, repeats))
         .collect();
+    let gateway_arms: Vec<GatewayArmResult> = GATEWAY_SHARD_COUNTS
+        .iter()
+        .map(|&s| run_gateway_arm(&trace, s, repeats))
+        .collect();
 
     let base = arms[0].arrivals_per_sec;
     let mut arm_json = Vec::with_capacity(arms.len());
@@ -188,12 +340,39 @@ fn main() {
             arm.total_accuracy
         ));
     }
+    let gw_base = gateway_arms[0].arrivals_per_sec;
+    let mut gw_json = Vec::with_capacity(gateway_arms.len());
+    for arm in &gateway_arms {
+        println!(
+            "[gateway bench] shards={:<2} {:>10.0} arrivals/sec  p99 {:>10} ns/admit  \
+             ({:.2}x vs 1 shard, admitted {}, max queue depth {})",
+            arm.shards,
+            arm.arrivals_per_sec,
+            arm.p99_ns,
+            arm.arrivals_per_sec / gw_base,
+            arm.admitted,
+            arm.max_queue_depth
+        );
+        gw_json.push(format!(
+            "    {{\"shards\": {}, \"producers\": {GATEWAY_PRODUCERS}, \
+             \"arrivals_per_sec\": {:.2}, \"p99_admission_ns\": {}, \
+             \"speedup_vs_one_shard\": {:.4}, \"admitted\": {}, \"max_queue_depth\": {}}}",
+            arm.shards,
+            arm.arrivals_per_sec,
+            arm.p99_ns,
+            arm.arrivals_per_sec / gw_base,
+            arm.admitted,
+            arm.max_queue_depth
+        ));
+    }
     let json = format!(
         "{{\n  \"bench\": \"sharded_server\",\n  \"instance\": {{\"n\": {N_TASKS}, \
          \"m\": {M_MACHINES}, \"seed\": {SEED}, \"tenants\": {TENANTS}, \"load\": {LOAD}, \
          \"beta\": {BETA}}},\n  \"cores\": {cores},\n  \"repeats\": {repeats},\n  \
-         \"arms\": [\n{}\n  ]\n}}\n",
-        arm_json.join(",\n")
+         \"arms\": [\n{}\n  ],\n  \"gateway\": {{\"bursts\": {GATEWAY_BURSTS}, \
+         \"producers\": {GATEWAY_PRODUCERS}}},\n  \"gateway_arms\": [\n{}\n  ]\n}}\n",
+        arm_json.join(",\n"),
+        gw_json.join(",\n")
     );
     std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
     println!("[server bench] wrote {json_path} ({cores} core(s), {repeats} repeats)");
@@ -216,6 +395,24 @@ fn main() {
             "[server bench] CHECK OK: best multi-shard arm sustains {:.2}x the \
              single-shard throughput (floor {CHECK_MIN_RATIO}x)",
             ratio
+        );
+        let gw_best_multi = gateway_arms[1..]
+            .iter()
+            .map(|a| a.arrivals_per_sec)
+            .fold(0.0, f64::max);
+        let gw_ratio = gw_best_multi / gw_base;
+        if gw_ratio < CHECK_MIN_RATIO {
+            eprintln!(
+                "[gateway bench] FAIL: best multi-shard gateway arm sustains only {:.2}x \
+                 the single-shard gateway throughput (floor {CHECK_MIN_RATIO}x)",
+                gw_ratio
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[gateway bench] CHECK OK: best multi-shard gateway arm sustains {:.2}x the \
+             single-shard gateway throughput (floor {CHECK_MIN_RATIO}x)",
+            gw_ratio
         );
     }
 }

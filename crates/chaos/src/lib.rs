@@ -24,7 +24,19 @@
 //!   (`dsct-server`): each event kills a whole shard, which the server
 //!   turns into per-machine failures plus a deterministic drain of the
 //!   cell's pending pool into surviving shards. Pure data, same
-//!   `(seed, index)` purity contract as [`ChaosPlan`].
+//!   `(seed, index)` purity contract as [`ChaosPlan`];
+//! - [`ShardChaosPlan`] — the kill→recover generalization: each
+//!   [`ShardEvent`] kills *or* respawns a shard, so one plan drives
+//!   full lifecycle chaos through `dsct-server` / `dsct-gateway`.
+//!
+//! # Synthesized task-id ranges
+//!
+//! Chaos bursts synthesize arrivals with ids from [`BURST_ID_BASE`]
+//! (`1 << 40`) upward; the ingestion gateway (`dsct-gateway`) synthesizes
+//! quota-retry ids from `RETRY_ID_BASE` (`1 << 44`) upward. Trace
+//! generators stay below `1 << 40`. The three ranges are disjoint by
+//! construction and the gateway rejects submissions that stray into a
+//! reserved range with a typed error instead of double-accounting.
 
 mod plan;
 mod replay;
@@ -32,4 +44,4 @@ mod shard;
 
 pub use plan::{ChaosConfig, ChaosEvent, ChaosEventKind, ChaosPlan, BURST_ID_BASE};
 pub use replay::{chaos_replay, ChaosReport, ChaosSummary};
-pub use shard::{ShardKillEvent, ShardKillPlan};
+pub use shard::{ShardChaosPlan, ShardEvent, ShardEventKind, ShardKillEvent, ShardKillPlan};

@@ -78,6 +78,115 @@ impl ShardKillPlan {
     }
 }
 
+/// What a [`ShardEvent`] does to its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardEventKind {
+    /// Every machine of the shard fails at once (see [`ShardKillEvent`]).
+    Kill,
+    /// The shard respawns: a fresh cell over the original machine
+    /// group, rendezvous tenants handed back, budget re-federated.
+    Recover,
+}
+
+/// One lifecycle event of a shard chaos plan: a kill or a recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardEvent {
+    /// Firing time on the server clock (seconds).
+    pub at: f64,
+    /// The event's index in the plan (the RNG discriminator; unique
+    /// across kills and recoveries).
+    pub index: usize,
+    /// Index of the shard the event targets.
+    pub shard: usize,
+    /// Kill or recover.
+    pub kind: ShardEventKind,
+}
+
+/// A deterministic shard lifecycle plan: kills, optionally paired with
+/// later recoveries. The kill→recover generalization of
+/// [`ShardKillPlan`] — pure data with the same `(seed, index)` purity
+/// contract; the consumer (`dsct-server` / `dsct-gateway`) fires each
+/// event against the live server. Killing a dead shard or recovering a
+/// live one is a no-op at the consumer, so overlapping plans compose
+/// safely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardChaosPlan {
+    /// Seed the plan was generated from.
+    pub chaos_seed: u64,
+    /// Events sorted by `(at, index)`.
+    pub events: Vec<ShardEvent>,
+}
+
+impl ShardChaosPlan {
+    /// Generates `kills` shard kills (exactly [`ShardKillPlan::generate`]
+    /// with the same arguments — byte-identical kill times and victims)
+    /// and pairs each with a recovery `recover_delay` seconds later.
+    /// Recovery events take plan indices after every kill index, so the
+    /// two halves never collide in the `(at, index)` order even when a
+    /// recovery lands on another kill's timestamp.
+    ///
+    /// # Panics
+    /// Panics on the [`ShardKillPlan::generate`] preconditions, or when
+    /// `recover_delay` is not finite and positive.
+    pub fn kill_recover(
+        chaos_seed: u64,
+        horizon: f64,
+        shards: usize,
+        kills: usize,
+        recover_delay: f64,
+    ) -> ShardChaosPlan {
+        assert!(
+            recover_delay.is_finite() && recover_delay > 0.0,
+            "recover_delay must be finite and positive, got {recover_delay}"
+        );
+        let kill_plan = ShardKillPlan::generate(chaos_seed, horizon, shards, kills);
+        let n = kill_plan.events.len();
+        let mut events: Vec<ShardEvent> = Vec::with_capacity(2 * n);
+        for e in &kill_plan.events {
+            events.push(ShardEvent {
+                at: e.at,
+                index: e.index,
+                shard: e.shard,
+                kind: ShardEventKind::Kill,
+            });
+            events.push(ShardEvent {
+                at: e.at + recover_delay,
+                index: n + e.index,
+                shard: e.shard,
+                kind: ShardEventKind::Recover,
+            });
+        }
+        events.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.index.cmp(&b.index)));
+        ShardChaosPlan { chaos_seed, events }
+    }
+
+    /// A kills-only plan: `plan`'s events verbatim, no recoveries.
+    /// Lets one replay driver accept either plan shape.
+    pub fn kills_only(plan: &ShardKillPlan) -> ShardChaosPlan {
+        ShardChaosPlan {
+            chaos_seed: plan.chaos_seed,
+            events: plan
+                .events
+                .iter()
+                .map(|e| ShardEvent {
+                    at: e.at,
+                    index: e.index,
+                    shard: e.shard,
+                    kind: ShardEventKind::Kill,
+                })
+                .collect(),
+        }
+    }
+
+    /// The empty plan (a plain replay, no shard events).
+    pub fn none(chaos_seed: u64) -> ShardChaosPlan {
+        ShardChaosPlan {
+            chaos_seed,
+            events: Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +214,49 @@ mod tests {
         assert_eq!(p.events.len(), 3, "kills cap at shards − 1");
         assert!(ShardKillPlan::generate(1, 5.0, 1, 5).events.is_empty());
         assert!(ShardKillPlan::generate(1, 5.0, 0, 0).events.is_empty());
+    }
+
+    #[test]
+    fn kill_recover_pairs_and_orders_events() {
+        let plan = ShardChaosPlan::kill_recover(7, 10.0, 8, 3, 1.5);
+        assert_eq!(plan, ShardChaosPlan::kill_recover(7, 10.0, 8, 3, 1.5));
+        assert_eq!(plan.events.len(), 6);
+        let kills = ShardKillPlan::generate(7, 10.0, 8, 3);
+        for e in &kills.events {
+            let k = plan
+                .events
+                .iter()
+                .find(|p| p.kind == ShardEventKind::Kill && p.shard == e.shard)
+                .expect("kill present");
+            assert_eq!((k.at, k.index), (e.at, e.index), "kill half is verbatim");
+            let r = plan
+                .events
+                .iter()
+                .find(|p| p.kind == ShardEventKind::Recover && p.shard == e.shard)
+                .expect("recovery present");
+            assert_eq!(r.at, e.at + 1.5);
+            assert_eq!(r.index, kills.events.len() + e.index);
+        }
+        assert!(plan
+            .events
+            .windows(2)
+            .all(|w| w[0].at < w[1].at || (w[0].at == w[1].at && w[0].index < w[1].index)));
+        let indices: std::collections::BTreeSet<usize> =
+            plan.events.iter().map(|e| e.index).collect();
+        assert_eq!(indices.len(), plan.events.len(), "indices unique");
+    }
+
+    #[test]
+    fn kills_only_conversion_is_verbatim() {
+        let kills = ShardKillPlan::generate(11, 8.0, 4, 2);
+        let plan = ShardChaosPlan::kills_only(&kills);
+        assert_eq!(plan.events.len(), kills.events.len());
+        for (p, e) in plan.events.iter().zip(&kills.events) {
+            assert_eq!(
+                (p.at, p.index, p.shard, p.kind),
+                (e.at, e.index, e.shard, ShardEventKind::Kill)
+            );
+        }
+        assert!(ShardChaosPlan::none(3).events.is_empty());
     }
 }

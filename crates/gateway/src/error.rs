@@ -1,0 +1,83 @@
+//! Typed gateway errors.
+
+use dsct_online::OnlineError;
+
+/// Everything that can go wrong at the ingestion tier. Server-side
+/// failures pass through as [`GatewayError::Online`]; the rest are
+/// gateway-specific contract violations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayError {
+    /// The underlying [`dsct_server::ScheduleServer`] or
+    /// [`dsct_online::OnlineService`] rejected an operation.
+    Online(OnlineError),
+    /// A producer submitted a task whose id lies in a reserved
+    /// synthesized range (see [`crate::RETRY_ID_BASE`]): ids at or
+    /// above `base` belong to chaos bursts or gateway retries, and
+    /// accepting one would double-account a synthesized task.
+    ReservedId {
+        /// The offending task id.
+        id: u64,
+        /// The base of the reserved range the id strayed into.
+        base: u64,
+    },
+    /// A task id was offered twice. Admitting it again would break the
+    /// single-accounting invariant every report check relies on.
+    DuplicateId {
+        /// The repeated task id.
+        id: u64,
+    },
+    /// Producer `producer` sent tasks out of `(arrival, tenant, id)`
+    /// order. Per-producer monotonicity is what makes the k-way merge
+    /// drain equal to the global sort — the whole determinism argument
+    /// rests on it, so a violation is a hard error, not a reorder.
+    OutOfOrder {
+        /// The misbehaving producer's index.
+        producer: usize,
+        /// The id of the task that arrived out of order.
+        task: u64,
+    },
+    /// A gateway configuration field is out of range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+        /// What the field must satisfy.
+        requirement: &'static str,
+    },
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Online(e) => write!(f, "server error: {e}"),
+            GatewayError::ReservedId { id, base } => write!(
+                f,
+                "task id {id} lies in the reserved synthesized range starting at {base}"
+            ),
+            GatewayError::DuplicateId { id } => {
+                write!(f, "task id {id} was already offered to the gateway")
+            }
+            GatewayError::OutOfOrder { producer, task } => write!(
+                f,
+                "producer {producer} sent task {task} out of (arrival, tenant, id) order"
+            ),
+            GatewayError::InvalidConfig {
+                field,
+                value,
+                requirement,
+            } => write!(
+                f,
+                "invalid gateway config: {field} = {value} ({requirement})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<OnlineError> for GatewayError {
+    fn from(e: OnlineError) -> Self {
+        GatewayError::Online(e)
+    }
+}

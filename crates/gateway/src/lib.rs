@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! Async ingestion front-end for the DSCT-EA sharded server.
+//!
+//! [`dsct_server::ScheduleServer`] couples submission to its tick
+//! flushes: whoever calls `submit` pays for the flush. This crate
+//! decouples the two — producers enqueue [`dsct_workload::OnlineTask`]s
+//! concurrently into bounded mpsc lanes, and a deterministic k-way
+//! merge drains them in canonical `(arrival, tenant, id)` order before
+//! anything touches the server, so the report digest is byte-identical
+//! for any producer count, producer interleaving, and worker count:
+//!
+//! - [`IngressQueue`] / [`Producer`] — the bounded lanes and the merge
+//!   drain (determinism argument in [`queue`]'s module docs);
+//! - [`Gateway`] — the front-end proper: per-tenant token-bucket
+//!   admission quotas (typed [`QuotaRejection`] records, per-flush
+//!   [`FlushAudit`] fairness audits, optional retries under
+//!   [`RETRY_ID_BASE`] ids), load-skew rebalancing with hysteresis
+//!   ([`RebalanceConfig`], moves executed by
+//!   [`dsct_server::ScheduleServer::rebalance_tenants`] so task ids
+//!   stay single-accounted), and shard lifecycle events — kills *and*
+//!   recoveries — from a [`dsct_chaos::ShardChaosPlan`];
+//! - [`replay_gateway`] — deterministic replay of an
+//!   [`dsct_workload::ArrivalTrace`] through producers → merge →
+//!   quota gate → server, chaos events merged by firing time;
+//! - [`GatewayReport::digest`] — the byte-comparable contract:
+//!   [`GatewayCore`] (rejections, audits, summary, full
+//!   [`dsct_server::ServerReport`]) serialized canonically, with the
+//!   timing-dependent [`IngestStats`] kept outside.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dsct_chaos::ShardChaosPlan;
+//! use dsct_gateway::{replay_gateway, GatewayConfig};
+//! use dsct_workload::{
+//!     generate_arrivals, ArrivalConfig, MachineConfig, TaskConfig, ThetaDistribution,
+//! };
+//!
+//! let arrivals = ArrivalConfig {
+//!     tasks: TaskConfig::paper(16, ThetaDistribution::Uniform { min: 0.1, max: 2.0 }),
+//!     machines: MachineConfig::paper_random(4),
+//!     load: 1.0,
+//!     deadline_slack: 2.0,
+//!     beta: 0.5,
+//! };
+//! let trace = generate_arrivals(&arrivals, 7)
+//!     .expect("valid config")
+//!     .with_tenants(8, 7);
+//! let mut cfg = GatewayConfig::default();
+//! cfg.server.replay.shards = 2;
+//! // Kill one shard mid-trace, recover it two time-units later.
+//! let plan = ShardChaosPlan::kill_recover(7, trace.horizon(), 2, 1, 2.0);
+//! let report = replay_gateway(&trace, &cfg, &plan, 4).expect("replay");
+//! assert_eq!(report.core.summary.recoveries, 1);
+//! // Same digest with 1 producer — the determinism contract.
+//! let serial = replay_gateway(&trace, &cfg, &plan, 1).expect("replay");
+//! assert_eq!(report.digest(), serial.digest());
+//! ```
+
+mod error;
+mod gateway;
+pub mod queue;
+mod quota;
+mod rebalance;
+
+pub use error::GatewayError;
+pub use gateway::{
+    replay_gateway, Gateway, GatewayConfig, GatewayCore, GatewayDecision, GatewayReport,
+    GatewaySummary, IngestStats, RETRY_ID_BASE,
+};
+pub use queue::{drain_key, IngressQueue, Producer};
+pub use quota::{FlushAudit, QuotaBook, QuotaConfig, QuotaRejection};
+pub use rebalance::{RebalanceConfig, SkewState};

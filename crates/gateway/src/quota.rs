@@ -1,0 +1,158 @@
+//! Per-tenant admission quotas: a token bucket on offered work.
+//!
+//! The bucket is keyed on *simulated* time (task arrival timestamps),
+//! not wall clock, so quota decisions are a pure function of the
+//! arrival stream — the same determinism contract as everything else.
+//! Cost is the task's uncompressed work `f_max` in GFLOP: the most a
+//! task can ask the park for, known at admission time without running
+//! any solver. A tenant sustains `rate` GFLOP/s of offered work and may
+//! burst up to `burst` GFLOP; beyond that the gateway turns the task
+//! away with a typed [`QuotaRejection`] instead of letting one tenant
+//! starve a shard's pool.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-tenant admission-quota configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuotaConfig {
+    /// Master switch; when `false` every task passes.
+    pub enabled: bool,
+    /// Sustained admissible work per tenant, GFLOP/s of uncompressed
+    /// (`f_max`) work.
+    pub rate: f64,
+    /// Bucket capacity: the largest burst of uncompressed work (GFLOP)
+    /// a tenant can land at one instant. Buckets start full.
+    pub burst: f64,
+    /// Re-offer quota-rejected tasks at the next flush boundary under a
+    /// fresh synthesized id (see [`crate::RETRY_ID_BASE`]). Retries
+    /// still pay the quota; whatever never fits is dropped at finish.
+    pub retry: bool,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            rate: 0.0,
+            burst: 0.0,
+            retry: false,
+        }
+    }
+}
+
+/// One quota rejection, recorded in the digest-stable gateway report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuotaRejection {
+    /// Rejection time (the task's arrival).
+    pub at: f64,
+    /// The rejected task's id (the producer's id, never a retry id).
+    pub task: u64,
+    /// The over-quota tenant.
+    pub tenant: u64,
+    /// Tokens the task needed (its `f_max`, GFLOP).
+    pub needed: f64,
+    /// Tokens the tenant's bucket held at `at`.
+    pub available: f64,
+    /// The synthesized id the retry will carry, when
+    /// [`QuotaConfig::retry`] is on.
+    pub retry_id: Option<u64>,
+}
+
+/// One per-flush fairness audit record: who got through the gate in the
+/// window that just closed. Digest-stable, so a fairness regression
+/// shows up as a digest change, not a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlushAudit {
+    /// The boundary time that closed the window.
+    pub at: f64,
+    /// Tasks admitted through the quota gate in the window.
+    pub admitted: usize,
+    /// Tasks quota-rejected in the window.
+    pub rejected: usize,
+    /// Distinct tenants that offered work in the window.
+    pub tenants: usize,
+    /// The tenant with the most admissions (ties toward the lower id).
+    pub top_tenant: u64,
+    /// That tenant's admission count — `top_admitted / admitted` is the
+    /// window's max tenant share, the fairness headline.
+    pub top_admitted: usize,
+}
+
+/// One tenant's bucket.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last: f64,
+}
+
+/// The per-tenant token-bucket book.
+#[derive(Debug, Clone)]
+pub struct QuotaBook {
+    cfg: QuotaConfig,
+    buckets: BTreeMap<u64, Bucket>,
+}
+
+impl QuotaBook {
+    /// A book over `cfg`; buckets materialize full on first touch.
+    pub fn new(cfg: QuotaConfig) -> Self {
+        Self {
+            cfg,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Charges `cost` GFLOP against `tenant`'s bucket at time `at`.
+    /// `Ok(())` consumes the tokens; `Err(available)` reports what the
+    /// bucket held. Disabled quotas always admit. Time may move
+    /// backwards between tenants (the merge orders by arrival, retries
+    /// re-arrive at flush time) but never within one tenant's stream;
+    /// refill clamps at the bucket's own last-touch time.
+    pub fn try_admit(&mut self, tenant: u64, at: f64, cost: f64) -> Result<(), f64> {
+        if !self.cfg.enabled {
+            return Ok(());
+        }
+        let bucket = self.buckets.entry(tenant).or_insert(Bucket {
+            tokens: self.cfg.burst,
+            last: at,
+        });
+        let dt = (at - bucket.last).max(0.0);
+        bucket.tokens = (bucket.tokens + self.cfg.rate * dt).min(self.cfg.burst);
+        bucket.last = bucket.last.max(at);
+        if bucket.tokens + 1e-12 >= cost {
+            bucket.tokens -= cost;
+            Ok(())
+        } else {
+            Err(bucket.tokens)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_refills_at_rate_and_caps_at_burst() {
+        let mut book = QuotaBook::new(QuotaConfig {
+            enabled: true,
+            rate: 1.0,
+            burst: 2.0,
+            retry: false,
+        });
+        assert!(book.try_admit(7, 0.0, 2.0).is_ok(), "burst starts full");
+        assert_eq!(book.try_admit(7, 0.5, 1.0), Err(0.5));
+        assert!(book.try_admit(7, 1.5, 1.0).is_ok(), "refilled 1.0 by t=1.5");
+        assert!(
+            book.try_admit(7, 100.0, 2.0).is_ok(),
+            "refill caps at burst, not rate x dt"
+        );
+        assert!(book.try_admit(8, 0.0, 2.0).is_ok(), "tenants independent");
+    }
+
+    #[test]
+    fn disabled_quota_admits_everything() {
+        let mut book = QuotaBook::new(QuotaConfig::default());
+        assert!(book.try_admit(1, 0.0, 1e18).is_ok());
+    }
+}

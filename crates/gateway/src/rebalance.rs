@@ -1,0 +1,154 @@
+//! Load-skew detection with hysteresis.
+//!
+//! Rendezvous hashing balances tenants in expectation, but a heavy
+//! tenant (or a kill-drain pile-up) can still run one shard's pending
+//! pool hot. The gateway samples pending depths at every flush boundary
+//! and marks a shard *hot* when its pool is both deep in absolute terms
+//! (`min_pending`) and far above the live-shard mean (`enter_ratio`);
+//! the flag clears only when the pool falls back below `exit_ratio` ×
+//! mean. The gap between the two ratios is the hysteresis band that
+//! keeps a shard hovering at the threshold from flapping — and every
+//! flap would be a tenant drain, so the band is load-bearing, not
+//! cosmetic. Actual moves run through
+//! [`dsct_server::ScheduleServer::rebalance_tenants`].
+
+use serde::{Deserialize, Serialize};
+
+/// Load-skew rebalancing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceConfig {
+    /// Master switch; when `false` the gateway never moves tenants.
+    pub enabled: bool,
+    /// A shard turns hot when `pending > enter_ratio × mean(live)`.
+    pub enter_ratio: f64,
+    /// A hot shard cools when `pending < exit_ratio × mean(live)`.
+    /// Must be below `enter_ratio` (the hysteresis band).
+    pub exit_ratio: f64,
+    /// Absolute floor: a shard is never hot below this pending depth,
+    /// whatever the ratios say (tiny pools skew means).
+    pub min_pending: usize,
+    /// Cap on tenant moves per flush boundary — rebalancing drains
+    /// pools, so it is rationed like any other disruption.
+    pub max_moves_per_flush: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            enter_ratio: 2.0,
+            exit_ratio: 1.25,
+            min_pending: 4,
+            max_moves_per_flush: 1,
+        }
+    }
+}
+
+/// Per-shard hysteresis flags.
+#[derive(Debug, Clone)]
+pub struct SkewState {
+    hot: Vec<bool>,
+}
+
+impl SkewState {
+    /// Fresh state over `shards` cells, all cold.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            hot: vec![false; shards],
+        }
+    }
+
+    /// Whether `shard` is currently flagged hot.
+    pub fn is_hot(&self, shard: usize) -> bool {
+        self.hot[shard]
+    }
+
+    /// Clears `shard`'s flag (used when a hot shard has nothing movable
+    /// left — carry-only pools cannot be drained).
+    pub fn cool(&mut self, shard: usize) {
+        self.hot[shard] = false;
+    }
+
+    /// One hysteresis step over the flush-boundary sample: `pending`
+    /// depths and the router's live mask. Dead shards are always cold
+    /// and excluded from the mean.
+    pub fn update(&mut self, cfg: &RebalanceConfig, pending: &[usize], alive: &[bool]) {
+        let live: Vec<usize> = (0..pending.len()).filter(|&s| alive[s]).collect();
+        if live.is_empty() {
+            self.hot.iter_mut().for_each(|h| *h = false);
+            return;
+        }
+        let mean = live.iter().map(|&s| pending[s]).sum::<usize>() as f64 / live.len() as f64;
+        for s in 0..pending.len() {
+            if !alive[s] {
+                self.hot[s] = false;
+                continue;
+            }
+            let depth = pending[s] as f64;
+            if self.hot[s] {
+                if depth < cfg.exit_ratio * mean {
+                    self.hot[s] = false;
+                }
+            } else if pending[s] >= cfg.min_pending && depth > cfg.enter_ratio * mean {
+                self.hot[s] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RebalanceConfig {
+        RebalanceConfig {
+            enabled: true,
+            ..RebalanceConfig::default()
+        }
+    }
+
+    #[test]
+    fn hysteresis_enters_high_and_exits_low() {
+        let cfg = cfg();
+        let mut state = SkewState::new(4);
+        let alive = [true; 4];
+        // Mean 3; shard 0 at 12 = 4x mean and ≥ min_pending: hot.
+        state.update(&cfg, &[12, 0, 0, 0], &alive);
+        assert!(state.is_hot(0));
+        // Mean 3; 6 = 2x mean sits inside the band (above exit 1.25x,
+        // at enter 2x but not strictly above): hot stays hot...
+        state.update(&cfg, &[6, 2, 2, 2], &alive);
+        assert!(state.is_hot(0), "inside the band: no exit");
+        // ...and the same depth on a cold shard does not enter.
+        assert!(!state.is_hot(1));
+        state.update(&cfg, &[6, 6, 2, 2], &alive);
+        assert!(!state.is_hot(1), "inside the band: no entry either");
+        // Mean 2; 2 < 1.25 x 2: cools.
+        state.update(&cfg, &[2, 2, 2, 2], &alive);
+        assert!(!state.is_hot(0));
+    }
+
+    #[test]
+    fn small_pools_never_trip_the_absolute_floor() {
+        let cfg = cfg();
+        let mut state = SkewState::new(4);
+        // 3 is far above the mean but below min_pending = 4.
+        state.update(&cfg, &[3, 0, 0, 0], &[true; 4]);
+        assert!(!state.is_hot(0));
+    }
+
+    #[test]
+    fn dead_shards_are_cold_and_out_of_the_mean() {
+        let cfg = cfg();
+        let mut state = SkewState::new(4);
+        let alive = [true, false, true, true];
+        // Live mean (30 + 2 + 4) / 3 = 12; 30 > 24: hot. The dead
+        // shard stays cold whatever its pool says.
+        state.update(&cfg, &[30, 99, 2, 4], &alive);
+        assert!(state.is_hot(0));
+        assert!(!state.is_hot(1));
+        // A hot shard that dies cools immediately.
+        state.update(&cfg, &[30, 99, 2, 4], &[false, false, true, true]);
+        assert!(!state.is_hot(0));
+    }
+}

@@ -515,32 +515,22 @@ impl OnlineService {
         Ok(())
     }
 
-    /// Submits one arrival, advancing the clock to its arrival time
-    /// (committing every dispatch the incumbent plan starts before it),
-    /// running the admission policy, and — for the gated policies —
-    /// adopting the tentative re-plan on admission. Under
+    /// Submits one arrival with typed errors instead of panics: the
+    /// sharded server reroutes drained tasks between cells and must
+    /// survive adversarial inputs. Advances the clock to the arrival
+    /// time (committing every dispatch the incumbent plan starts before
+    /// it), runs the admission policy, and — for the gated policies —
+    /// adopts the tentative re-plan on admission. Under
     /// [`AdmissionPolicy::AdmitAll`] the re-plan is deferred until the
     /// clock next advances, so a batch of same-timestamp arrivals is
     /// re-planned once.
     ///
-    /// # Panics
-    /// Panics where [`Self::try_submit`] returns an error: a
-    /// non-monotone arrival, or a NaN/infinite arrival or deadline.
-    #[deprecated(
-        since = "0.7.0",
-        note = "panics on invalid input; use `try_submit` and handle the typed error"
-    )]
-    pub fn submit(&mut self, task: &OnlineTask) -> Decision {
-        self.try_submit(task)
-            .unwrap_or_else(|e| panic!("submit failed: {e}"))
-    }
-
-    /// [`Self::submit`] with typed errors instead of panics: the sharded
-    /// server reroutes drained tasks between cells and must survive
-    /// adversarial inputs. A NaN or infinite arrival/deadline is
+    /// A NaN or infinite arrival/deadline is
     /// [`OnlineError::InvalidTask`], a backwards arrival is
     /// [`OnlineError::NonMonotoneClock`]; neither records a decision nor
-    /// touches the pool, so the service stays usable.
+    /// touches the pool, so the service stays usable. (The panicking
+    /// `submit` wrapper deprecated in 0.7.0 is gone; this is the only
+    /// submission entry point.)
     pub fn try_submit(&mut self, task: &OnlineTask) -> Result<Decision, OnlineError> {
         if !task.arrival.is_finite() {
             return Err(OnlineError::InvalidTask {
@@ -637,6 +627,45 @@ impl OnlineService {
         self.replanner.clear_anchor();
         self.plan_dirty = !self.pool.is_empty();
         drained
+    }
+
+    /// Removes and returns every pooled task of `tenant` that has not
+    /// been dispatched and carries no partial work, in pool (admission)
+    /// order — the single-tenant variant of [`Self::drain_pending`],
+    /// used by the server's load-skew rebalancer to move one tenant's
+    /// queue to another cell. Failure remnants stay for the same
+    /// reason as in a full drain: their partial outcomes belong to this
+    /// cell's trace. When anything moves, the incumbent plan and queues
+    /// are dropped and the remaining pool re-plans on the next advance.
+    pub fn drain_tenant(&mut self, tenant: u64) -> Vec<OnlineTask> {
+        let carry = &self.carry;
+        let (drained, kept): (Vec<OnlineTask>, Vec<OnlineTask>) = std::mem::take(&mut self.pool)
+            .into_iter()
+            .partition(|t| t.tenant == tenant && !carry.contains_key(&t.id));
+        self.pool = kept;
+        if drained.is_empty() {
+            return drained;
+        }
+        self.invalidate_probe_memo();
+        self.plan = None;
+        self.clear_queues();
+        self.replanner.clear_anchor();
+        self.plan_dirty = !self.pool.is_empty();
+        drained
+    }
+
+    /// Pending *movable* tasks per tenant — pool tasks that a
+    /// [`Self::drain_tenant`] call would actually hand over (failure
+    /// remnants carrying partial work are excluded). Ascending tenant
+    /// order, so callers iterate deterministically.
+    pub fn pending_by_tenant(&self) -> Vec<(u64, usize)> {
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+        for t in &self.pool {
+            if !self.carry.contains_key(&t.id) {
+                *counts.entry(t.tenant).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().collect()
     }
 
     /// Injects a disruption at service time `at`, advancing the clock to
@@ -2007,14 +2036,6 @@ mod tests {
             assert_eq!(f, b.jitter_factor(id));
             assert!((0.8..=1.2).contains(&f), "factor {f} out of range");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_submit_still_delegates_to_try_submit() {
-        let mut svc = OnlineService::new(park(), 500.0, OnlineConfig::default()).unwrap();
-        assert_eq!(svc.submit(&task(0, 0.0, 1.0)), Decision::Admitted);
-        assert_eq!(svc.finish().summary.admitted, 1);
     }
 
     #[test]

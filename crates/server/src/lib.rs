@@ -27,6 +27,14 @@
 //!   deterministically, in-flight work is cut with the usual failure
 //!   semantics, and the dead shard's unspent budget becomes lending
 //!   stock;
+//! - [`ScheduleServer::recover_shard`] — the inverse: respawn a killed
+//!   cell over its original machine group with a fresh service and
+//!   replanner, archive the dead incarnation's report
+//!   ([`ArchivedShard`]), hand its rendezvous tenants back, and let the
+//!   federation refund its slice;
+//! - [`ScheduleServer::rebalance_tenants`] — load-skew repair: drain a
+//!   tenant's pending tasks off a hot shard, pin the tenant to a cold
+//!   one, every task recorded as a [`MoveRecord`];
 //! - [`replay_sharded`] — deterministic replay of an
 //!   [`dsct_workload::ArrivalTrace`] with a kill plan merged in by
 //!   firing time.
@@ -38,5 +46,6 @@ mod server;
 pub use federation::{plan_transfers, FederationConfig, Settlement, ShardFunds};
 pub use route::{rendezvous_score, Router};
 pub use server::{
-    replay_sharded, DrainRecord, ScheduleServer, ServerConfig, ServerReport, ServerSummary,
+    replay_sharded, ArchivedShard, DrainRecord, MoveRecord, RecoveryRecord, ScheduleServer,
+    ServerConfig, ServerReport, ServerSummary,
 };

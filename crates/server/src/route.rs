@@ -22,10 +22,16 @@ pub fn rendezvous_score(tenant: u64, shard: usize) -> u64 {
     splitmix64(splitmix64(tenant) ^ splitmix64(shard as u64))
 }
 
-/// Tenant → shard router over a fixed shard universe with a live mask.
+/// Tenant → shard router over a fixed shard universe with a live mask
+/// and an explicit pin map (load-skew rebalancing overrides).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Router {
     alive: Vec<bool>,
+    /// Rebalance pins: `tenant → shard` overrides consulted before the
+    /// rendezvous argmax. A pin only applies while its target is alive;
+    /// while the target is dead the tenant falls back to plain HRW over
+    /// the live mask (and snaps back if the target is revived).
+    pins: std::collections::BTreeMap<u64, usize>,
 }
 
 impl Router {
@@ -37,6 +43,7 @@ impl Router {
         assert!(shards > 0, "a router needs at least one shard");
         Self {
             alive: vec![true; shards],
+            pins: std::collections::BTreeMap::new(),
         }
     }
 
@@ -66,10 +73,43 @@ impl Router {
         self.alive[shard] = false;
     }
 
-    /// Routes `tenant` to the live shard with the highest rendezvous
+    /// Marks `shard` alive again (shard recovery). Tenants whose
+    /// rendezvous argmax is `shard` — exactly the set the kill remapped,
+    /// by the HRW minimal-disruption property — route back to it on the
+    /// next [`Router::route`] call; every other tenant is untouched.
+    pub fn revive(&mut self, shard: usize) {
+        self.alive[shard] = true;
+    }
+
+    /// Pins `tenant` to `shard`, overriding the rendezvous argmax while
+    /// `shard` is alive. The rebalancer installs these when it moves a
+    /// tenant off a hot shard, so future arrivals follow the moved
+    /// pending pool instead of re-creating the skew.
+    pub fn pin(&mut self, tenant: u64, shard: usize) {
+        assert!(shard < self.alive.len(), "pin target out of range");
+        self.pins.insert(tenant, shard);
+    }
+
+    /// Removes `tenant`'s pin (if any), returning it to plain HRW.
+    pub fn unpin(&mut self, tenant: u64) {
+        self.pins.remove(&tenant);
+    }
+
+    /// The shard `tenant` is pinned to, if any (dead or alive).
+    pub fn pinned(&self, tenant: u64) -> Option<usize> {
+        self.pins.get(&tenant).copied()
+    }
+
+    /// Routes `tenant` to its pinned shard when one exists and is
+    /// alive, otherwise to the live shard with the highest rendezvous
     /// score (ties toward the lower index), or `None` when every shard
     /// is dead.
     pub fn route(&self, tenant: u64) -> Option<usize> {
+        if let Some(&pinned) = self.pins.get(&tenant) {
+            if self.alive[pinned] {
+                return Some(pinned);
+            }
+        }
         let mut best: Option<(u64, usize)> = None;
         for (shard, &alive) in self.alive.iter().enumerate() {
             if !alive {

@@ -121,6 +121,53 @@ impl ::serde::Deserialize for DrainRecord {
     }
 }
 
+/// One task re-assigned by the load-skew rebalancer: drained out of a
+/// hot shard's pending pool and re-submitted to a cold one, with the
+/// tenant pinned to the destination so future arrivals follow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoveRecord {
+    /// Move time (the task re-arrives at this instant).
+    pub at: f64,
+    /// Task id.
+    pub task: u64,
+    /// The tenant being re-assigned (every task of the move shares it).
+    pub tenant: u64,
+    /// The hot shard the task was pooled on.
+    pub from: usize,
+    /// The receiving (cold) shard.
+    pub to: usize,
+    /// The receiver's admission decision.
+    pub decision: Decision,
+}
+
+/// One shard recovery: a killed cell respawned with a fresh
+/// [`OnlineService`] over the original machine group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Recovery time.
+    pub at: f64,
+    /// The respawned shard.
+    pub shard: usize,
+    /// Joules the fresh cell restarts with — whatever the dead
+    /// incarnation's ledger still held (usually near zero: dead shards
+    /// lend their whole slice to the federation).
+    pub restored: f64,
+}
+
+/// The finished report of a dead shard incarnation, archived when the
+/// shard is recovered. Outcomes the incarnation realized (dispatches,
+/// failure cuts, starved leftovers) live here, not in the fresh cell's
+/// trace — task ids stay single-accounted across the respawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchivedShard {
+    /// The shard index this incarnation served.
+    pub shard: usize,
+    /// The incarnation's service summary.
+    pub summary: OnlineSummary,
+    /// The incarnation's `(task id, outcome)` pairs, ascending by id.
+    pub tasks: Vec<(u64, TaskOutcome)>,
+}
+
 /// Server-level aggregate, folded from per-shard summaries in shard
 /// order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -137,8 +184,12 @@ pub struct ServerSummary {
     pub dispatched: usize,
     /// Shard kills applied.
     pub kills: usize,
+    /// Shard recoveries applied.
+    pub recoveries: usize,
     /// Tasks drained out of killed shards.
     pub drained: usize,
+    /// Tasks moved by the load-skew rebalancer.
+    pub moved: usize,
     /// Federation settlements executed.
     pub settlements: usize,
     /// Joules moved by the federation.
@@ -166,6 +217,15 @@ pub struct ServerReport {
     pub settlements: Vec<Settlement>,
     /// Kill drains, in execution order.
     pub drains: Vec<DrainRecord>,
+    /// Rebalancer moves, in execution order.
+    pub moves: Vec<MoveRecord>,
+    /// Shard recoveries, in execution order.
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Finished reports of dead shard incarnations that were later
+    /// recovered, in recovery order. `shard_summaries`/`shard_tasks`
+    /// cover only the incarnation alive at [`ScheduleServer::finish`];
+    /// the union of both is the full single-accounted task set.
+    pub archived: Vec<ArchivedShard>,
     /// The folded aggregate.
     pub summary: ServerSummary,
 }
@@ -186,8 +246,9 @@ const NO_SHARD: usize = usize::MAX;
 pub struct ScheduleServer {
     cfg: ServerConfig,
     cells: Vec<Mutex<OnlineService>>,
-    /// Machines per shard (cell-local park sizes, for kill fan-out).
-    shard_sizes: Vec<usize>,
+    /// Machine group per shard — kept whole (not just sizes) so a
+    /// recovery can respawn the cell over the original hardware.
+    shard_machines: Vec<Vec<Machine>>,
     /// Initial budget slice per shard (the federation basis).
     slices: Vec<f64>,
     router: Router,
@@ -195,6 +256,9 @@ pub struct ScheduleServer {
     decisions: Vec<(u64, usize, Decision)>,
     settlements: Vec<Settlement>,
     drains: Vec<DrainRecord>,
+    moves: Vec<MoveRecord>,
+    recoveries: Vec<RecoveryRecord>,
+    archived: Vec<ArchivedShard>,
     kills: usize,
 }
 
@@ -223,7 +287,7 @@ impl ScheduleServer {
         }
         let total_power: f64 = park.total_power();
         let mut cells = Vec::with_capacity(shards);
-        let mut shard_sizes = Vec::with_capacity(shards);
+        let mut shard_machines = Vec::with_capacity(shards);
         let mut slices = Vec::with_capacity(shards);
         for group in groups {
             let power: f64 = group.iter().map(|m| m.power()).sum();
@@ -232,24 +296,27 @@ impl ScheduleServer {
             } else {
                 budget / shards as f64
             };
-            shard_sizes.push(group.len());
             cells.push(Mutex::new(OnlineService::from_machines(
-                group,
+                group.clone(),
                 slice,
                 cfg.replay.online,
             )?));
+            shard_machines.push(group);
             slices.push(slice);
         }
         Ok(Self {
             cfg,
             cells,
-            shard_sizes,
+            shard_machines,
             slices,
             router: Router::new(shards),
             now: 0.0,
             decisions: Vec::new(),
             settlements: Vec::new(),
             drains: Vec::new(),
+            moves: Vec::new(),
+            recoveries: Vec::new(),
+            archived: Vec::new(),
             kills: 0,
         })
     }
@@ -357,6 +424,175 @@ impl ScheduleServer {
         Ok(())
     }
 
+    /// Advances the server clock to `t` without submitting anything:
+    /// flushes every cell on the worker pool and runs a federation
+    /// round, exactly as the first arrival of a new tick would. The
+    /// ingestion gateway calls this at flush boundaries so rebalance
+    /// evaluation sees settled pending pools.
+    ///
+    /// `t` at or before the current clock (within `EPS_TIME`) is a
+    /// no-op; a finite but *earlier* `t` is a
+    /// [`OnlineError::NonMonotoneClock`] error, a non-finite `t` an
+    /// invalid-config error.
+    pub fn advance(&mut self, t: f64) -> Result<(), OnlineError> {
+        if !t.is_finite() {
+            return Err(OnlineError::Exec(ExecError::InvalidConfig {
+                field: "advance.t",
+                value: t,
+                requirement: "finite",
+            }));
+        }
+        if t < self.now - EPS_TIME {
+            return Err(OnlineError::NonMonotoneClock {
+                at: t,
+                now: self.now,
+            });
+        }
+        if t > self.now + EPS_TIME {
+            self.tick(t)?;
+        }
+        Ok(())
+    }
+
+    /// Pending pool depth of every shard (admitted-but-undispatched
+    /// tasks, failure remnants included), indexed by shard. The skew
+    /// signal the rebalancer thresholds on.
+    pub fn pending_per_shard(&mut self) -> Vec<usize> {
+        self.cells
+            .iter_mut()
+            .map(|cell| cell.get_mut().expect("cell lock").pending())
+            .collect()
+    }
+
+    /// `(tenant, movable task count)` for `shard`'s pending pool,
+    /// ascending by tenant id. Counts only tasks a
+    /// [`ScheduleServer::rebalance_tenants`] drain would actually move
+    /// (failure remnants with partial work stay put).
+    pub fn tenant_loads(&mut self, shard: usize) -> Vec<(u64, usize)> {
+        self.cells[shard]
+            .get_mut()
+            .expect("cell lock")
+            .pending_by_tenant()
+    }
+
+    /// Moves `tenants` from shard `from` to shard `to` at time `t`:
+    /// each tenant's never-dispatched pending tasks drain out of `from`
+    /// (the same machinery as a kill drain, so task ids stay
+    /// single-accounted), re-arrive at `t` on `to`, and the tenant is
+    /// pinned to `to` in the router so future arrivals follow the moved
+    /// pool instead of re-creating the skew. Returns the number of
+    /// tasks moved; every one is recorded as a [`MoveRecord`].
+    ///
+    /// Both shards must be alive and distinct.
+    pub fn rebalance_tenants(
+        &mut self,
+        t: f64,
+        from: usize,
+        to: usize,
+        tenants: &[u64],
+    ) -> Result<usize, OnlineError> {
+        if from >= self.cells.len() || to >= self.cells.len() || from == to {
+            return Err(OnlineError::Exec(ExecError::InvalidConfig {
+                field: "rebalance.shards",
+                value: from as f64,
+                requirement: "distinct valid shard indices",
+            }));
+        }
+        if !self.router.is_alive(from) || !self.router.is_alive(to) {
+            return Err(OnlineError::Exec(ExecError::InvalidConfig {
+                field: "rebalance.shards",
+                value: to as f64,
+                requirement: "both shards alive",
+            }));
+        }
+        self.advance(t)?;
+        let t = t.max(self.now);
+        let mut moved = 0usize;
+        for &tenant in tenants {
+            let drained = self.cells[from]
+                .get_mut()
+                .expect("cell lock")
+                .drain_tenant(tenant);
+            self.router.pin(tenant, to);
+            for mut task in drained {
+                task.arrival = t;
+                let decision = self.cells[to]
+                    .get_mut()
+                    .expect("cell lock")
+                    .try_submit(&task)?;
+                self.moves.push(MoveRecord {
+                    at: t,
+                    task: task.id,
+                    tenant,
+                    from,
+                    to,
+                    decision,
+                });
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Recovers a killed shard at time `t`: respawns the cell as a
+    /// fresh [`OnlineService`] (new `Replanner`, clean pool) over the
+    /// shard's original machine group, archives the dead incarnation's
+    /// finished report (see [`ArchivedShard`]), revives the shard in
+    /// the router — its rendezvous tenants route back to it, pins
+    /// excepted — and runs a federation round so the broke newcomer can
+    /// immediately borrow back into its slice. The fresh cell restarts
+    /// with whatever the dead ledger still held.
+    ///
+    /// Recovering a live shard is a no-op returning `false`; a real
+    /// recovery returns `true` and appends a [`RecoveryRecord`].
+    pub fn recover_shard(&mut self, t: f64, shard: usize) -> Result<bool, OnlineError> {
+        if shard >= self.cells.len() {
+            return Err(OnlineError::Exec(ExecError::InvalidConfig {
+                field: "recover.shard",
+                value: shard as f64,
+                requirement: "a valid shard index",
+            }));
+        }
+        if self.router.is_alive(shard) {
+            return Ok(false);
+        }
+        self.advance(t)?;
+        let t = t.max(self.now);
+        let restored = self.cells[shard]
+            .get_mut()
+            .expect("cell lock")
+            .ledger()
+            .remaining()
+            .max(0.0);
+        let fresh = OnlineService::from_machines(
+            self.shard_machines[shard].clone(),
+            restored,
+            self.cfg.replay.online,
+        )?;
+        let old = std::mem::replace(&mut self.cells[shard], Mutex::new(fresh))
+            .into_inner()
+            .expect("cell lock");
+        let report = old.finish();
+        self.archived.push(ArchivedShard {
+            shard,
+            summary: report.summary.clone(),
+            tasks: report
+                .task_ids
+                .iter()
+                .copied()
+                .zip(report.trace.tasks.iter().cloned())
+                .collect(),
+        });
+        self.router.revive(shard);
+        self.recoveries.push(RecoveryRecord {
+            at: t,
+            shard,
+            restored,
+        });
+        self.rebalance(t)?;
+        Ok(true)
+    }
+
     /// Submits one arrival: routes it by rendezvous hash on
     /// `task.tenant` and hands it to the owning cell. Arrivals must be
     /// non-decreasing on the server clock; the first arrival of a new
@@ -439,7 +675,7 @@ impl ScheduleServer {
         // same attribution.
         let replan = victim.replan_stats();
         let drained = victim.drain_pending();
-        for machine in 0..self.shard_sizes[shard] {
+        for machine in 0..self.shard_machines[shard].len() {
             self.inject(shard, at, &Disruption::MachineFailure { machine })?;
         }
         for task in drained {
@@ -544,20 +780,39 @@ impl ScheduleServer {
             .iter()
             .filter(|(_, _, d)| *d == Decision::Rejected)
             .count();
+        // Archived (recovered-over) incarnations realized outcomes of
+        // their own; fold them into the run totals alongside the cells
+        // alive at finish.
+        let archived_summaries = self.archived.iter().map(|a| &a.summary);
         let summary = ServerSummary {
             shards,
             arrivals: self.decisions.len(),
             admitted: self.decisions.len() - rejected,
             rejected,
-            dispatched: shard_summaries.iter().map(|s| s.dispatched).sum(),
+            dispatched: shard_summaries
+                .iter()
+                .chain(archived_summaries.clone())
+                .map(|s| s.dispatched)
+                .sum(),
             kills: self.kills,
+            recoveries: self.recoveries.len(),
             drained: self.drains.len(),
+            moved: self.moves.len(),
             settlements: self.settlements.len(),
             federated_joules: self.settlements.iter().map(|s| s.joules).sum(),
-            total_accuracy: shard_summaries.iter().map(|s| s.total_accuracy).sum(),
-            spent_energy: shard_summaries.iter().map(|s| s.spent_energy).sum(),
+            total_accuracy: shard_summaries
+                .iter()
+                .chain(archived_summaries.clone())
+                .map(|s| s.total_accuracy)
+                .sum(),
+            spent_energy: shard_summaries
+                .iter()
+                .chain(archived_summaries.clone())
+                .map(|s| s.spent_energy)
+                .sum(),
             makespan: shard_summaries
                 .iter()
+                .chain(archived_summaries)
                 .map(|s| s.makespan)
                 .fold(0.0, f64::max),
         };
@@ -567,6 +822,9 @@ impl ScheduleServer {
             shard_tasks,
             settlements: self.settlements,
             drains: self.drains,
+            moves: self.moves,
+            recoveries: self.recoveries,
+            archived: self.archived,
             summary,
         }
     }

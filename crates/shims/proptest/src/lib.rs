@@ -348,6 +348,10 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)+);
+    }};
 }
 
 #[cfg(test)]

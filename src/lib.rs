@@ -24,12 +24,16 @@
 //! - [`chaos`] — deterministic fault-injection plans and chaos replays;
 //! - [`server`] — sharded multi-tenant scheduling server: rendezvous
 //!   tenant routing, per-shard cells, cross-shard budget federation;
+//! - [`gateway`] — async ingestion front-end: bounded-mpsc producer
+//!   lanes with a deterministic merge drain, per-tenant admission
+//!   quotas, load-skew rebalancing, and shard recovery;
 //! - [`sim`] — the experiment harness regenerating every table and figure.
 
 pub use dsct_accuracy as accuracy;
 pub use dsct_chaos as chaos;
 pub use dsct_core as core;
 pub use dsct_exec as exec;
+pub use dsct_gateway as gateway;
 pub use dsct_lp as lp;
 pub use dsct_machines as machines;
 pub use dsct_mip as mip;
@@ -53,6 +57,7 @@ pub mod prelude {
             SolveStats, Solver, SolverContext,
         },
     };
+    pub use dsct_gateway::{replay_gateway, Gateway, GatewayConfig, QuotaConfig, RebalanceConfig};
     pub use dsct_machines::{Machine, MachinePark};
     pub use dsct_online::{
         replay, AdmissionPolicy, Decision, Disruption, EnergyLedger, OnlineConfig, OnlineService,
