@@ -1,0 +1,196 @@
+//! Composition of stage accuracy curves under the min-combination rule.
+//!
+//! A multi-stage task (DESIGN §17) reaches accuracy
+//! `min_v a_v(f_v)` when stage `v` receives `f_v` GFLOP; given a total
+//! work allotment `F`, the best split equalizes the stage accuracies, so
+//! the task behaves like a single compressible task with the curve
+//!
+//! ```text
+//! a*(F) = max { λ : Σ_v a_v⁻¹(λ) ≤ F }
+//! ```
+//!
+//! Each `a_v⁻¹` is convex (inverse of a concave non-decreasing function),
+//! so their sum is convex and `a*` is again concave, non-decreasing, and
+//! piecewise linear with kinks only at levels where some stage curve has
+//! a breakpoint — which is exactly how [`min_combine`] constructs it.
+//!
+//! For a single stage the combination is the identity, returned
+//! bit-exactly (the flat-model compatibility pin relies on this).
+
+use crate::{AccuracyError, PwlAccuracy};
+
+/// Minimum work stage curve `c` needs to reach accuracy `target`
+/// (`target ≤ a_max` required by the caller).
+///
+/// Unlike [`PwlAccuracy::inverse`] this resolves levels that coincide
+/// with a breakpoint value to the breakpoint abscissa *exactly* (no
+/// slope round trip), so recombining the curves of an equal-split chain
+/// reproduces the original breakpoints bit-for-bit.
+fn work_for_level(c: &PwlAccuracy, target: f64) -> f64 {
+    if target <= c.a_min() {
+        return 0.0;
+    }
+    let vals = c.values();
+    // First breakpoint value reaching the target; values are
+    // non-decreasing, so this is also the minimum-work one.
+    let k = vals.partition_point(|&v| v < target);
+    if k < vals.len() && vals[k] == target {
+        return c.breakpoints()[k];
+    }
+    if k == vals.len() {
+        // target > a_max: guarded by the caller (levels are clamped to
+        // the reachable range); saturate defensively.
+        return c.f_max();
+    }
+    let k0 = k - 1;
+    let slope = c.slopes()[k0];
+    if slope <= 0.0 {
+        return c.breakpoints()[k];
+    }
+    c.breakpoints()[k0] + (target - vals[k0]) / slope
+}
+
+/// Combines stage accuracy curves under the min rule into the task's
+/// effective single-stage curve `a*(F)` (see module docs).
+///
+/// - one curve → returned unchanged (bit-exact identity);
+/// - the combined `a_max` is `min_v a_v^max` (the weakest stage caps the
+///   task) and `a_min` is `min_v a_v(0)`;
+/// - the combined `f_max` is `Σ_v a_v⁻¹(min_v a_v^max)` — per-stage work
+///   caps are honoured by construction, since the equalizing split never
+///   asks a stage for more than its own curve can use.
+///
+/// Errors only on an empty slice ([`AccuracyError::TooFewPoints`]).
+pub fn min_combine(curves: &[PwlAccuracy]) -> Result<PwlAccuracy, AccuracyError> {
+    match curves {
+        [] => Err(AccuracyError::TooFewPoints(0)),
+        [only] => Ok(only.clone()),
+        _ => {
+            let floor = curves
+                .iter()
+                .map(|c| c.a_min())
+                .fold(f64::INFINITY, f64::min);
+            let cap = curves
+                .iter()
+                .map(|c| c.a_max())
+                .fold(f64::INFINITY, f64::min);
+            if cap <= floor {
+                // Some stage is flat at the global floor: the task cannot
+                // climb above it no matter how work is split.
+                let span: f64 = curves.iter().map(|c| c.f_max()).sum();
+                return PwlAccuracy::new(&[(0.0, floor), (span, floor)]);
+            }
+            let mut levels: Vec<f64> = curves
+                .iter()
+                .flat_map(|c| c.values().iter().copied())
+                .filter(|&v| v > floor && v < cap)
+                .collect();
+            levels.push(floor);
+            levels.push(cap);
+            levels.sort_by(f64::total_cmp);
+            levels.dedup_by(|a, b| a.total_cmp(b).is_eq());
+            let mut points: Vec<(f64, f64)> = Vec::with_capacity(levels.len());
+            for level in levels {
+                let total: f64 = curves.iter().map(|c| work_for_level(c, level)).sum();
+                match points.last_mut() {
+                    // Two levels within float noise of the same total
+                    // work: keep the higher level (they are the same
+                    // kink), preserving strictly increasing abscissae.
+                    Some(last) if total <= last.0 => last.1 = level,
+                    _ => points.push((total, level)),
+                }
+            }
+            PwlAccuracy::new(&points)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
+        PwlAccuracy::new(points).unwrap()
+    }
+
+    #[test]
+    fn single_curve_is_identity_bit_exact() {
+        let a = acc(&[(0.0, 0.1), (1.0, 0.5), (2.0, 0.7), (4.0, 0.8)]);
+        let c = min_combine(std::slice::from_ref(&a)).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn equal_split_chain_recomposes_bit_exactly() {
+        // Splitting a curve into k identical stages with the work axis
+        // scaled by 1/k (k a power of two) and recombining must
+        // reproduce the original curve exactly — the chain-collapse
+        // metamorphic relation depends on it.
+        let a = acc(&[(0.0, 0.1), (1.0, 0.5), (2.0, 0.7), (4.0, 0.8)]);
+        for k in [2usize, 4] {
+            let stage = a.scale_f(1.0 / k as f64).unwrap();
+            let stages: Vec<PwlAccuracy> = (0..k).map(|_| stage.clone()).collect();
+            let c = min_combine(&stages).unwrap();
+            assert_eq!(a.breakpoints(), c.breakpoints(), "k = {k}");
+            assert_eq!(a.values(), c.values(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn combination_matches_brute_force_split() {
+        let a = acc(&[(0.0, 0.0), (1.0, 0.4), (3.0, 0.7)]);
+        let b = acc(&[(0.0, 0.1), (2.0, 0.6), (4.0, 0.9)]);
+        let c = min_combine(&[a.clone(), b.clone()]).unwrap();
+        // a_max capped by the weaker stage (a: 0.7), a_min is the floor.
+        assert!((c.a_max() - 0.7).abs() < 1e-12);
+        assert!((c.a_min() - 0.0).abs() < 1e-12);
+        // Brute-force the best split on a grid and compare.
+        for total in [0.5, 1.0, 2.0, 3.5, 5.0] {
+            let mut best = f64::NEG_INFINITY;
+            let steps = 2000;
+            for i in 0..=steps {
+                let fa = total * i as f64 / steps as f64;
+                let fb = total - fa;
+                best = best.max(a.eval(fa).min(b.eval(fb)));
+            }
+            assert!(
+                (c.eval(total) - best).abs() < 2e-3,
+                "F = {total}: combined {} vs brute {}",
+                c.eval(total),
+                best
+            );
+            // The combined curve never exceeds what any split achieves.
+            assert!(c.eval(total) >= best - 2e-3);
+        }
+    }
+
+    #[test]
+    fn flat_stage_pins_the_combination_to_its_floor() {
+        let a = acc(&[(0.0, 0.3), (2.0, 0.3)]);
+        let b = acc(&[(0.0, 0.0), (1.0, 0.9)]);
+        let c = min_combine(&[a, b]).unwrap();
+        // At F = 0 the steep stage sits at 0.0; the flat stage caps the
+        // climb at 0.3 (reached once the steep stage earns 0.3).
+        assert!((c.a_min() - 0.0).abs() < 1e-12);
+        assert!((c.a_max() - 0.3).abs() < 1e-12);
+        assert!((c.f_max() - 0.3 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slice_is_rejected() {
+        assert!(matches!(
+            min_combine(&[]),
+            Err(AccuracyError::TooFewPoints(0))
+        ));
+    }
+
+    #[test]
+    fn combined_work_cap_respects_stages() {
+        let a = acc(&[(0.0, 0.0), (1.0, 0.5), (2.0, 0.8)]);
+        let b = acc(&[(0.0, 0.0), (3.0, 0.8)]);
+        let c = min_combine(&[a.clone(), b.clone()]).unwrap();
+        // Reaching the shared a_max = 0.8 needs f_max_a + f_max_b work.
+        assert!((c.f_max() - 5.0).abs() < 1e-12);
+        assert!((c.a_max() - 0.8).abs() < 1e-12);
+    }
+}

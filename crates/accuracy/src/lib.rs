@@ -20,17 +20,22 @@
 //!   `a(f) = a_min + (a_max − a_min)·(1 − e^{−θf}) / (1 − e^{−θ f_max})`;
 //! - [`fit`] — chord interpolation and least-squares segmented regression
 //!   (with concavity repair) used to derive the piecewise-linear model;
+//! - [`min_combine`] — the min-rule composition of multi-stage accuracy
+//!   curves: the effective single-task curve of a stage DAG whose task
+//!   accuracy is the minimum over its stages (DESIGN §17);
 //! - [`catalog`] — OFA-style reference curves for well-known backbones.
 //!
 //! Units: work `f` is measured in GFLOP throughout the workspace; accuracy
 //! is a fraction in `[0, 1]`.
 
 pub mod catalog;
+mod compose;
 mod error;
 mod exponential;
 pub mod fit;
 mod pwl;
 
+pub use compose::min_combine;
 pub use error::AccuracyError;
 pub use exponential::ExponentialAccuracy;
 pub use pwl::{PwlAccuracy, Segment};

@@ -36,6 +36,9 @@
 //! - [`mip_model`] — the full DSCT-EA MIP for [`dsct_mip`] (§3);
 //! - [`soa`] — struct-of-arrays lanes and the scratch arena behind the
 //!   solve hot path (DESIGN.md §15);
+//! - [`staged`] — extension: stage-DAG tasks on DVFS machines, solved by
+//!   lowering to the flat model and realizing timed placements back
+//!   (DESIGN.md §17);
 //! - [`solver`] — the uniform [`solver::Solver`] trait every algorithm
 //!   above implements (the API the experiment engine schedules against).
 
@@ -59,6 +62,7 @@ pub mod residual;
 pub mod schedule;
 pub mod soa;
 pub mod solver;
+pub mod staged;
 
 /// Time-feasibility tolerance in seconds.
 pub const EPS_TIME: f64 = 1e-9;

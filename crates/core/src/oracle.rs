@@ -39,6 +39,7 @@ use crate::guarantee::absolute_guarantee;
 use crate::problem::Instance;
 use crate::schedule::{ScheduleKind, Violation as FeasibilityViolation};
 use crate::solver::Solution;
+use crate::staged::{StagedInstance, StagedSolution, StagedTask, StagedViolation};
 use crate::{EPS_FLOPS, EPS_TIME};
 use std::fmt;
 
@@ -625,22 +626,8 @@ pub fn enforce(inst: &Instance, sol: &Solution, claims: &Claims, label: &str) {
 /// ```
 pub fn instance_to_json(inst: &Instance, label: &str) -> String {
     use std::fmt::Write as _;
-    // JSON string escaping (escape_default would emit Rust-style
-    // `\u{…}` escapes, which JSON rejects); non-ASCII passes through
-    // verbatim — JSON strings are plain UTF-8.
-    let mut escaped = String::with_capacity(label.len());
-    for c in label.chars() {
-        match c {
-            '"' => escaped.push_str("\\\""),
-            '\\' => escaped.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(escaped, "\\u{:04x}", c as u32);
-            }
-            c => escaped.push(c),
-        }
-    }
     let mut s = String::new();
-    let _ = write!(s, "{{\n  \"label\": \"{escaped}\",");
+    let _ = write!(s, "{{\n  \"label\": \"{}\",", escape_json(label));
     let _ = write!(s, "\n  \"budget\": {:?},", inst.budget());
     s.push_str("\n  \"machines\": [");
     for (r, mach) in inst.machines().machines().iter().enumerate() {
@@ -684,7 +671,13 @@ pub fn instance_to_json(inst: &Instance, label: &str) -> String {
 /// the directory cannot be written — verification must not fail because
 /// artifact capture did.
 pub fn dump_instance(inst: &Instance, label: &str) -> Option<std::path::PathBuf> {
-    let json = instance_to_json(inst, label);
+    write_dump(instance_to_json(inst, label), label)
+}
+
+/// Shared artifact writer for [`dump_instance`] / [`dump_staged_instance`]:
+/// content-hash filename (FNV-1a over the JSON bytes) under
+/// `DSCT_ORACLE_DUMP_DIR`, default `target/oracle-violations/`.
+fn write_dump(json: String, label: &str) -> Option<std::path::PathBuf> {
     let dir = std::env::var_os("DSCT_ORACLE_DUMP_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("target/oracle-violations"));
@@ -701,6 +694,210 @@ pub fn dump_instance(inst: &Instance, label: &str) -> Option<std::path::PathBuf>
     let path = dir.join(format!("{safe}-{hash:016x}.json"));
     std::fs::write(&path, json).ok()?;
     Some(path)
+}
+
+/// JSON string escaping for handrolled serializers (JSON rejects
+/// Rust-style `\u{…}` escapes; non-ASCII passes through as UTF-8).
+fn escape_json(label: &str) -> String {
+    use std::fmt::Write as _;
+    let mut escaped = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(escaped, "\\u{:04x}", c as u32);
+            }
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+/// Verifies a staged solution from first principles against the staged
+/// invariants (DESIGN §17): the timed schedule's feasibility — shape,
+/// operating-point membership, precedence, stage-release-adjusted
+/// deadlines, non-overlap, the generalized EDF prefix, per-stage work
+/// caps, energy recomputed from the chosen (s, P) points ≤ budget — plus
+/// agreement between the solver's reported aggregates and quantities
+/// recomputed from the placements, and consistency with the certified
+/// upper bound.
+pub fn verify_staged(
+    inst: &StagedInstance,
+    sol: &StagedSolution,
+) -> Result<(), Vec<StagedViolation>> {
+    let mut out = match sol.schedule.validate(inst) {
+        Ok(()) => Vec::new(),
+        Err(vs) => vs,
+    };
+    if out
+        .iter()
+        .any(|v| matches!(v, StagedViolation::ShapeMismatch { .. }))
+    {
+        // Per-stage recomputation needs a matching shape.
+        return Err(out);
+    }
+
+    let recomputed_acc = sol.schedule.total_accuracy(inst);
+    let acc_scale = inst.num_tasks() as f64;
+    if (sol.total_accuracy - recomputed_acc).abs() > 1e-9 * (1.0 + acc_scale) {
+        out.push(StagedViolation::AccuracyMismatch {
+            reported: sol.total_accuracy,
+            recomputed: recomputed_acc,
+        });
+    }
+
+    let recomputed_energy = sol.schedule.energy(inst);
+    if (sol.energy - recomputed_energy).abs() > crate::EPS_ENERGY + 1e-9 * inst.budget().abs() {
+        out.push(StagedViolation::EnergyMismatch {
+            reported: sol.energy,
+            recomputed: recomputed_energy,
+        });
+    }
+
+    if sol.stage_work.len() != inst.num_tasks()
+        || sol
+            .stage_work
+            .iter()
+            .zip(inst.tasks())
+            .any(|(w, t)| w.len() != t.num_stages())
+    {
+        out.push(StagedViolation::ShapeMismatch {
+            got: sol.stage_work.iter().map(Vec::len).sum(),
+            want: inst.tasks().iter().map(StagedTask::num_stages).sum(),
+        });
+    } else {
+        for j in 0..inst.num_tasks() {
+            for v in 0..inst.task(j).num_stages() {
+                let recomputed = sol.schedule.work(inst, j, v);
+                let cap = inst.task(j).stages[v].accuracy.f_max();
+                if (sol.stage_work[j][v] - recomputed).abs() > EPS_FLOPS + 1e-9 * cap {
+                    out.push(StagedViolation::WorkMismatch {
+                        task: j,
+                        stage: v,
+                        reported: sol.stage_work[j][v],
+                        recomputed,
+                    });
+                }
+            }
+        }
+    }
+
+    if let Some(ub) = sol.upper_bound {
+        if recomputed_acc > ub + 1e-6 * (1.0 + ub.abs()) {
+            out.push(StagedViolation::UpperBoundExceeded {
+                accuracy: recomputed_acc,
+                upper_bound: ub,
+            });
+        }
+    }
+
+    if out.is_empty() {
+        Ok(())
+    } else {
+        Err(out)
+    }
+}
+
+/// Staged counterpart of [`enforce`]: verifies and panics with a
+/// pinpointed report on failure, dumping the staged instance for the
+/// regression corpus first.
+pub fn enforce_staged(inst: &StagedInstance, sol: &StagedSolution, label: &str) {
+    if let Err(violations) = verify_staged(inst, sol) {
+        let dumped = dump_staged_instance(inst, label)
+            .map(|p| format!("\ninstance dumped to {}", p.display()))
+            .unwrap_or_default();
+        let list: Vec<String> = violations.iter().map(|v| format!("  - {v}")).collect();
+        panic!(
+            "staged oracle: {} violation(s) from {label}:\n{}{dumped}",
+            violations.len(),
+            list.join("\n"),
+        );
+    }
+}
+
+/// Serializes a staged instance to the staged corpus JSON schema
+/// (handrolled, `{:?}` floats round-trip exactly):
+///
+/// ```json
+/// {
+///   "label": "...",
+///   "budget": 40.0,
+///   "machines": [{"points": [{"speed": 2000.0, "power": 80.0}]}],
+///   "tasks": [{
+///     "deadline": 0.8,
+///     "stages": [{"preds": [], "points": [[0.0, 0.0], [300.0, 0.5]]},
+///                {"preds": [0], "points": [[0.0, 0.0], [300.0, 0.5]]}]
+///   }]
+/// }
+/// ```
+pub fn staged_instance_to_json(inst: &StagedInstance, label: &str) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "{{\n  \"label\": \"{}\",", escape_json(label));
+    let _ = write!(s, "\n  \"budget\": {:?},", inst.budget());
+    s.push_str("\n  \"machines\": [");
+    for (r, mach) in inst.park().machines().iter().enumerate() {
+        if r > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"points\": [");
+        for (p, point) in mach.points().iter().enumerate() {
+            if p > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{\"speed\": {:?}, \"power\": {:?}}}",
+                point.speed(),
+                point.power()
+            );
+        }
+        s.push_str("]}");
+    }
+    s.push_str("\n  ],\n  \"tasks\": [");
+    for (j, task) in inst.tasks().iter().enumerate() {
+        if j > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"deadline\": {:?}, \"stages\": [",
+            task.deadline
+        );
+        for (v, stage) in task.stages.iter().enumerate() {
+            if v > 0 {
+                s.push(',');
+            }
+            s.push_str("\n      {\"preds\": [");
+            for (i, &p) in stage.preds.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{p}");
+            }
+            s.push_str("], \"points\": [");
+            let acc = &stage.accuracy;
+            for (k, (&bp, &val)) in acc.breakpoints().iter().zip(acc.values()).enumerate() {
+                if k > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "[{:?}, {:?}]", bp, val);
+            }
+            s.push_str("]}");
+        }
+        s.push_str("\n    ]}");
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Staged counterpart of [`dump_instance`]: writes the staged instance
+/// to the oracle-violation artifact directory with a content-hash
+/// filename. Returns `None` (silently) when the directory cannot be
+/// written.
+pub fn dump_staged_instance(inst: &StagedInstance, label: &str) -> Option<std::path::PathBuf> {
+    write_dump(staged_instance_to_json(inst, label), label)
 }
 
 #[cfg(test)]

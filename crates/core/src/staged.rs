@@ -1,0 +1,1271 @@
+//! Multi-stage precedence tasks on speed-scaling machines (DESIGN §17).
+//!
+//! This module generalizes the paper's flat instance model along the two
+//! axes the related work grounds:
+//!
+//! - **Stage DAGs** (Bampis et al., *Energy Efficient Scheduling of
+//!   MapReduce Jobs*): a task is a small DAG of compressible stages,
+//!   each with its own concave PWL accuracy curve and work range
+//!   `[0, f_v^max]`. The task's accuracy is the **minimum** over its
+//!   stages (an inference pipeline is only as good as its weakest
+//!   stage), and a precedence edge `u → v` constrains stage `v` to start
+//!   at or after stage `u` finishes.
+//! - **DVFS operating points** (Agrawal & Rao, *Scheduling Under Power
+//!   and Energy Constraints*): each machine exposes a catalog of
+//!   (speed, power) operating points and every stage placement names the
+//!   point it runs at.
+//!
+//! **The feasibility transform.** Under the min rule the optimal split of
+//! a task's total work `F` across its stages equalizes stage accuracies,
+//! so each task *lowers* to a single flat task with the combined curve
+//! [`dsct_accuracy::min_combine`] — bit-exactly its own curve for
+//! single-stage tasks — and each machine lowers to its min-energy-per-work
+//! operating point ([`DvfsMachine::selected_index`], ties broken via
+//! `total_cmp`). The flat solvers run unchanged on the lowered
+//! [`Instance`]; the resulting EDF schedule is *realized* back into timed
+//! stage placements (stages of a task back-to-back on its machine, in
+//! topological order), which satisfies every precedence edge by
+//! construction. Conversely, any timed staged schedule induces an
+//! EDF-prefix-feasible flat schedule on the selected points — placements
+//! finishing by `D` occupy disjoint slices of `[0, D]` — so the lowered
+//! fractional optimum upper-bounds every staged schedule that sticks to
+//! the selected points.
+//!
+//! **Stage-release-adjusted deadlines.** A stage whose successors still
+//! need `tail(v)` seconds (the longest chain of successor durations) must
+//! itself finish by the *adjusted deadline* `d_j − tail(v)`. The
+//! generalized EDF-prefix check in [`StagedSchedule::validate`] sorts each
+//! machine's placements by adjusted deadline and requires every prefix
+//! load to fit — the flat check is the special case with no successors.
+//!
+//! [`oracle::verify_staged`](crate::oracle::verify_staged) checks all of
+//! this from first principles against the typed [`StagedViolation`]s;
+//! `tests/oracle_mutation.rs` proves the checks are not vacuous.
+
+use crate::problem::{Instance, ProblemError, Task};
+use crate::solver::{ApproxSolver, Solution, SolveError, Solver, SolverContext};
+use crate::{EPS_ENERGY, EPS_FLOPS, EPS_TIME};
+use dsct_accuracy::{min_combine, AccuracyError, PwlAccuracy};
+use dsct_machines::{DvfsMachine, DvfsPark, MachineError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors constructing or lowering a staged instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StagedError {
+    /// An instance needs at least one task.
+    NoTasks,
+    /// A task needs at least one stage.
+    NoStages {
+        /// Task index (construction order).
+        task: usize,
+    },
+    /// A precedence edge must point at an earlier stage index
+    /// (topological indexing keeps the DAG acyclic by construction).
+    BadPredecessor {
+        /// Task index.
+        task: usize,
+        /// Stage holding the bad edge.
+        stage: usize,
+        /// The offending predecessor index.
+        pred: usize,
+    },
+    /// Deadlines must be finite and positive.
+    InvalidDeadline {
+        /// Task index.
+        task: usize,
+        /// The offending deadline.
+        deadline: f64,
+    },
+    /// The energy budget must be finite and non-negative.
+    InvalidBudget(f64),
+    /// Machine/park construction failed.
+    Machine(MachineError),
+    /// Combining stage curves failed.
+    Accuracy(AccuracyError),
+    /// The lowered flat instance failed validation.
+    Lowering(ProblemError),
+    /// The embedded flat solve failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for StagedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StagedError::NoTasks => write!(f, "instance has no tasks"),
+            StagedError::NoStages { task } => write!(f, "task {task} has no stages"),
+            StagedError::BadPredecessor { task, stage, pred } => write!(
+                f,
+                "task {task} stage {stage}: predecessor {pred} is not an earlier stage"
+            ),
+            StagedError::InvalidDeadline { task, deadline } => {
+                write!(f, "task {task}: invalid deadline {deadline}")
+            }
+            StagedError::InvalidBudget(b) => write!(f, "invalid energy budget {b}"),
+            StagedError::Machine(e) => write!(f, "machine error: {e}"),
+            StagedError::Accuracy(e) => write!(f, "accuracy error: {e}"),
+            StagedError::Lowering(e) => write!(f, "lowered instance invalid: {e}"),
+            StagedError::Solve(e) => write!(f, "embedded flat solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StagedError {}
+
+impl From<MachineError> for StagedError {
+    fn from(e: MachineError) -> Self {
+        StagedError::Machine(e)
+    }
+}
+
+impl From<AccuracyError> for StagedError {
+    fn from(e: AccuracyError) -> Self {
+        StagedError::Accuracy(e)
+    }
+}
+
+/// One compressible stage of a task: an accuracy curve over the stage's
+/// own work range `[0, f_v^max]` plus the precedence edges into it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Concave PWL accuracy over the stage's work (GFLOP).
+    pub accuracy: PwlAccuracy,
+    /// Indices of predecessor stages within the same task; each must be
+    /// strictly smaller than this stage's own index.
+    pub preds: Vec<usize>,
+}
+
+impl Stage {
+    /// A stage with no predecessors.
+    pub fn new(accuracy: PwlAccuracy) -> Self {
+        Self {
+            accuracy,
+            preds: Vec::new(),
+        }
+    }
+
+    /// A stage with explicit predecessor edges.
+    pub fn with_preds(accuracy: PwlAccuracy, preds: Vec<usize>) -> Self {
+        Self { accuracy, preds }
+    }
+}
+
+/// A task as a DAG of compressible stages sharing one deadline.
+///
+/// Stage indices are a topological order: every predecessor index is
+/// strictly smaller than the stage's own, so the DAG is acyclic by
+/// construction. Task accuracy is `min_v a_v(f_v)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedTask {
+    /// Deadline in seconds (shared by every stage).
+    pub deadline: f64,
+    /// The stages, topologically indexed.
+    pub stages: Vec<Stage>,
+}
+
+impl StagedTask {
+    /// A single-stage task — the flat model's task, embedded.
+    pub fn single(deadline: f64, accuracy: PwlAccuracy) -> Self {
+        Self {
+            deadline,
+            stages: vec![Stage::new(accuracy)],
+        }
+    }
+
+    /// A chain `v_0 → v_1 → … → v_{k-1}` (map→reduce style pipeline).
+    pub fn chain(deadline: f64, curves: Vec<PwlAccuracy>) -> Self {
+        let stages = curves
+            .into_iter()
+            .enumerate()
+            .map(|(v, accuracy)| {
+                if v == 0 {
+                    Stage::new(accuracy)
+                } else {
+                    Stage::with_preds(accuracy, vec![v - 1])
+                }
+            })
+            .collect();
+        Self { deadline, stages }
+    }
+
+    /// A fan-in: independent source stages all feeding one sink stage.
+    pub fn fan_in(deadline: f64, sources: Vec<PwlAccuracy>, sink: PwlAccuracy) -> Self {
+        let n_src = sources.len();
+        let mut stages: Vec<Stage> = sources.into_iter().map(Stage::new).collect();
+        stages.push(Stage::with_preds(sink, (0..n_src).collect()));
+        Self { deadline, stages }
+    }
+
+    /// Number of stages.
+    #[inline]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The task's effective single-stage curve under the min rule
+    /// ([`min_combine`]); bit-exactly the stage's own curve when the
+    /// task has one stage.
+    pub fn combined_accuracy(&self) -> Result<PwlAccuracy, AccuracyError> {
+        let curves: Vec<PwlAccuracy> = self.stages.iter().map(|s| s.accuracy.clone()).collect();
+        min_combine(&curves)
+    }
+
+    fn validate(&self, task: usize) -> Result<(), StagedError> {
+        if self.stages.is_empty() {
+            return Err(StagedError::NoStages { task });
+        }
+        if !(self.deadline.is_finite() && self.deadline > 0.0) {
+            return Err(StagedError::InvalidDeadline {
+                task,
+                deadline: self.deadline,
+            });
+        }
+        for (v, stage) in self.stages.iter().enumerate() {
+            for &p in &stage.preds {
+                if p >= v {
+                    return Err(StagedError::BadPredecessor {
+                        task,
+                        stage: v,
+                        pred: p,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A staged DSCT-EA instance: stage-DAG tasks (sorted by non-decreasing
+/// deadline), a park of speed-scaling machines, and the shared energy
+/// budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedInstance {
+    tasks: Vec<StagedTask>,
+    park: DvfsPark,
+    budget: f64,
+}
+
+impl StagedInstance {
+    /// Validates and wraps an instance, sorting tasks by deadline first
+    /// (stable, `total_cmp` — the same order [`Instance::new_sorting`]
+    /// would produce, so lowered task indices line up).
+    pub fn new_sorting(
+        mut tasks: Vec<StagedTask>,
+        park: DvfsPark,
+        budget: f64,
+    ) -> Result<Self, StagedError> {
+        if tasks.is_empty() {
+            return Err(StagedError::NoTasks);
+        }
+        for (j, task) in tasks.iter().enumerate() {
+            task.validate(j)?;
+        }
+        if !(budget.is_finite() && budget >= 0.0) {
+            return Err(StagedError::InvalidBudget(budget));
+        }
+        tasks.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
+        Ok(Self {
+            tasks,
+            park,
+            budget,
+        })
+    }
+
+    /// Embeds a flat instance: every task becomes single-stage, every
+    /// machine a single-point catalog. Lowering the result reproduces
+    /// `inst` exactly.
+    pub fn from_flat(inst: &Instance) -> Self {
+        Self {
+            tasks: inst
+                .tasks()
+                .iter()
+                .map(|t| StagedTask::single(t.deadline, t.accuracy.clone()))
+                .collect(),
+            park: DvfsPark::from_park(inst.machines()),
+            budget: inst.budget(),
+        }
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.park.len()
+    }
+
+    /// The tasks in deadline order.
+    #[inline]
+    pub fn tasks(&self) -> &[StagedTask] {
+        &self.tasks
+    }
+
+    /// Task `j` (deadline order).
+    #[inline]
+    pub fn task(&self, j: usize) -> &StagedTask {
+        &self.tasks[j]
+    }
+
+    /// The speed-scaling machine park.
+    #[inline]
+    pub fn park(&self) -> &DvfsPark {
+        &self.park
+    }
+
+    /// The energy budget in joules.
+    #[inline]
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The feasibility transform: the flat [`Instance`] whose solutions
+    /// realize back into staged schedules (see module docs). Task `j`
+    /// lowers to its combined min-rule curve under the same deadline;
+    /// machine `r` lowers to its selected operating point. For an
+    /// embedded flat instance ([`StagedInstance::from_flat`]) this is the
+    /// identity, bit for bit.
+    pub fn lowered(&self) -> Result<Instance, StagedError> {
+        let tasks: Vec<Task> = self
+            .tasks
+            .iter()
+            .map(|t| Ok(Task::new(t.deadline, t.combined_accuracy()?)))
+            .collect::<Result<_, AccuracyError>>()?;
+        Instance::new(tasks, self.park.selected_park(), self.budget).map_err(StagedError::Lowering)
+    }
+}
+
+/// Where and when one stage runs: a machine, an operating point from its
+/// catalog, and a closed time window `[start, start + duration]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagePlacement {
+    /// Machine index.
+    pub machine: usize,
+    /// Operating-point index within the machine's catalog.
+    pub point: usize,
+    /// Start time in seconds.
+    pub start: f64,
+    /// Processing duration in seconds (work = speed × duration).
+    pub duration: f64,
+}
+
+impl StagePlacement {
+    /// Finish time `start + duration`.
+    #[inline]
+    pub fn finish(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+/// One pinpointed invariant breach in a staged schedule or solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StagedViolation {
+    /// The schedule's shape does not match the instance (task or stage
+    /// counts differ).
+    ShapeMismatch {
+        /// Tasks × stages the schedule carries.
+        got: usize,
+        /// Tasks × stages the instance requires.
+        want: usize,
+    },
+    /// A placement has a negative or non-finite start/duration.
+    InvalidPlacement {
+        /// Task index.
+        task: usize,
+        /// Stage index.
+        stage: usize,
+        /// The placement's start.
+        start: f64,
+        /// The placement's duration.
+        duration: f64,
+    },
+    /// A placement names a machine or operating point outside the
+    /// park's catalog — the point it claims to run at does not exist.
+    UnknownOperatingPoint {
+        /// Task index.
+        task: usize,
+        /// Stage index.
+        stage: usize,
+        /// Machine the placement names.
+        machine: usize,
+        /// Operating-point index the placement names.
+        point: usize,
+    },
+    /// A stage starts before one of its predecessors finishes.
+    PrecedenceViolated {
+        /// Task index.
+        task: usize,
+        /// The stage that jumped the gun.
+        stage: usize,
+        /// The predecessor it did not wait for.
+        pred: usize,
+        /// The stage's start time.
+        start: f64,
+        /// The predecessor's finish time.
+        pred_finish: f64,
+    },
+    /// A stage finishes after its stage-release-adjusted deadline
+    /// `d_j − tail(v)` (`tail` = the longest chain of successor
+    /// durations still to run). With no successors this is the plain
+    /// task deadline.
+    StageDeadlineExceeded {
+        /// Task index.
+        task: usize,
+        /// Stage index.
+        stage: usize,
+        /// The stage's finish time.
+        finish: f64,
+        /// The adjusted deadline it had to meet.
+        adjusted_deadline: f64,
+    },
+    /// Two placements overlap in time on the same machine.
+    MachineOverlap {
+        /// Machine index.
+        machine: usize,
+        /// Earlier-starting `(task, stage)`.
+        first: (usize, usize),
+        /// The placement that starts before `first` finishes.
+        second: (usize, usize),
+    },
+    /// Generalized EDF-prefix overflow: on one machine, the total
+    /// duration of placements with adjusted deadline ≤ this one's
+    /// exceeds the adjusted deadline itself.
+    EdfPrefixExceeded {
+        /// Machine index.
+        machine: usize,
+        /// Task of the binding placement.
+        task: usize,
+        /// Stage of the binding placement.
+        stage: usize,
+        /// Prefix load in seconds.
+        load: f64,
+        /// The adjusted deadline the prefix must fit in.
+        adjusted_deadline: f64,
+    },
+    /// A stage was allotted more work than its curve can use
+    /// (per-stage work cap `f_v^max`).
+    StageWorkExceeded {
+        /// Task index.
+        task: usize,
+        /// Stage index.
+        stage: usize,
+        /// Work implied by the placement (GFLOP).
+        work: f64,
+        /// The stage's cap `f_v^max`.
+        cap: f64,
+    },
+    /// Energy recomputed from the chosen (s, P) points exceeds the
+    /// budget.
+    BudgetExceeded {
+        /// Recomputed energy (J).
+        energy: f64,
+        /// The budget (J).
+        budget: f64,
+    },
+    /// Reported total accuracy disagrees with `Σ_j min_v a_v(f_v)`
+    /// recomputed from the placements.
+    AccuracyMismatch {
+        /// Accuracy the solver reported.
+        reported: f64,
+        /// Accuracy recomputed from the schedule.
+        recomputed: f64,
+    },
+    /// Reported energy disagrees with `Σ P_point · duration` recomputed
+    /// from the placements.
+    EnergyMismatch {
+        /// Energy the solver reported (J).
+        reported: f64,
+        /// Energy recomputed from the schedule (J).
+        recomputed: f64,
+    },
+    /// The solver's per-stage work vector disagrees with the schedule.
+    WorkMismatch {
+        /// Task index.
+        task: usize,
+        /// Stage index.
+        stage: usize,
+        /// Work the solver reported (GFLOP).
+        reported: f64,
+        /// Work recomputed from the placement (GFLOP).
+        recomputed: f64,
+    },
+    /// The solution's accuracy exceeds the upper bound it certifies.
+    UpperBoundExceeded {
+        /// Achieved total accuracy.
+        accuracy: f64,
+        /// The bound the solver itself certified.
+        upper_bound: f64,
+    },
+}
+
+impl fmt::Display for StagedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StagedViolation::ShapeMismatch { got, want } => {
+                write!(f, "schedule shape mismatch: {got} placements, want {want}")
+            }
+            StagedViolation::InvalidPlacement {
+                task,
+                stage,
+                start,
+                duration,
+            } => write!(
+                f,
+                "task {task} stage {stage}: invalid placement start {start} duration {duration}"
+            ),
+            StagedViolation::UnknownOperatingPoint {
+                task,
+                stage,
+                machine,
+                point,
+            } => write!(
+                f,
+                "task {task} stage {stage}: machine {machine} has no operating point {point}"
+            ),
+            StagedViolation::PrecedenceViolated {
+                task,
+                stage,
+                pred,
+                start,
+                pred_finish,
+            } => write!(
+                f,
+                "task {task}: stage {stage} starts at {start} before predecessor {pred} \
+                 finishes at {pred_finish}"
+            ),
+            StagedViolation::StageDeadlineExceeded {
+                task,
+                stage,
+                finish,
+                adjusted_deadline,
+            } => write!(
+                f,
+                "task {task} stage {stage}: finish {finish} exceeds the \
+                 stage-release-adjusted deadline {adjusted_deadline}"
+            ),
+            StagedViolation::MachineOverlap {
+                machine,
+                first,
+                second,
+            } => write!(
+                f,
+                "machine {machine}: task {} stage {} overlaps task {} stage {}",
+                first.0, first.1, second.0, second.1
+            ),
+            StagedViolation::EdfPrefixExceeded {
+                machine,
+                task,
+                stage,
+                load,
+                adjusted_deadline,
+            } => write!(
+                f,
+                "machine {machine}: EDF prefix load {load} up to task {task} stage {stage} \
+                 exceeds the adjusted deadline {adjusted_deadline}"
+            ),
+            StagedViolation::StageWorkExceeded {
+                task,
+                stage,
+                work,
+                cap,
+            } => write!(
+                f,
+                "task {task} stage {stage}: work {work} GFLOP exceeds the stage cap {cap}"
+            ),
+            StagedViolation::BudgetExceeded { energy, budget } => {
+                write!(
+                    f,
+                    "recomputed energy {energy} J exceeds the budget {budget} J"
+                )
+            }
+            StagedViolation::AccuracyMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "reported accuracy {reported} disagrees with recomputed {recomputed}"
+            ),
+            StagedViolation::EnergyMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "reported energy {reported} J disagrees with recomputed {recomputed} J"
+            ),
+            StagedViolation::WorkMismatch {
+                task,
+                stage,
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "task {task} stage {stage}: reported work {reported} GFLOP disagrees \
+                 with recomputed {recomputed}"
+            ),
+            StagedViolation::UpperBoundExceeded {
+                accuracy,
+                upper_bound,
+            } => write!(
+                f,
+                "accuracy {accuracy} exceeds the certified upper bound {upper_bound}"
+            ),
+        }
+    }
+}
+
+/// A timed staged schedule: one [`StagePlacement`] per stage of every
+/// task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedSchedule {
+    placements: Vec<Vec<StagePlacement>>,
+}
+
+impl StagedSchedule {
+    /// Wraps explicit placements (shape is validated by
+    /// [`StagedSchedule::validate`], not here — mutation tests build
+    /// deliberately broken schedules).
+    pub fn new(placements: Vec<Vec<StagePlacement>>) -> Self {
+        Self { placements }
+    }
+
+    /// The all-idle schedule: every stage on machine 0's selected point
+    /// with zero duration.
+    pub fn zero(inst: &StagedInstance) -> Self {
+        let point = inst.park().machines()[0].selected_index();
+        Self {
+            placements: inst
+                .tasks()
+                .iter()
+                .map(|t| {
+                    vec![
+                        StagePlacement {
+                            machine: 0,
+                            point,
+                            start: 0.0,
+                            duration: 0.0,
+                        };
+                        t.num_stages()
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    /// The placements, `[task][stage]`.
+    #[inline]
+    pub fn placements(&self) -> &[Vec<StagePlacement>] {
+        &self.placements
+    }
+
+    /// Placement of task `j`, stage `v`.
+    #[inline]
+    pub fn placement(&self, j: usize, v: usize) -> StagePlacement {
+        self.placements[j][v]
+    }
+
+    /// Mutable placement access (fault-injection tests).
+    #[inline]
+    pub fn placement_mut(&mut self, j: usize, v: usize) -> &mut StagePlacement {
+        &mut self.placements[j][v]
+    }
+
+    /// The operating point a placement runs at, if it exists in the
+    /// park's catalog.
+    fn point_of(
+        &self,
+        inst: &StagedInstance,
+        j: usize,
+        v: usize,
+    ) -> Option<dsct_machines::Machine> {
+        let p = &self.placements[j][v];
+        inst.park().get(p.machine).and_then(|m| m.point(p.point))
+    }
+
+    /// Work stage `v` of task `j` performs (GFLOP): point speed ×
+    /// duration; zero when the placement names a non-catalog point (the
+    /// membership violation is flagged separately).
+    pub fn work(&self, inst: &StagedInstance, j: usize, v: usize) -> f64 {
+        self.point_of(inst, j, v)
+            .map_or(0.0, |m| m.work_for_time(self.placements[j][v].duration))
+    }
+
+    /// Accuracy stage `v` of task `j` reaches.
+    pub fn stage_accuracy(&self, inst: &StagedInstance, j: usize, v: usize) -> f64 {
+        inst.task(j).stages[v].accuracy.eval(self.work(inst, j, v))
+    }
+
+    /// Task accuracy: the minimum over its stages.
+    pub fn task_accuracy(&self, inst: &StagedInstance, j: usize) -> f64 {
+        (0..inst.task(j).num_stages())
+            .map(|v| self.stage_accuracy(inst, j, v))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total accuracy `Σ_j min_v a_v(f_v)`.
+    pub fn total_accuracy(&self, inst: &StagedInstance) -> f64 {
+        (0..inst.num_tasks())
+            .map(|j| self.task_accuracy(inst, j))
+            .sum()
+    }
+
+    /// Energy recomputed from the chosen operating points:
+    /// `Σ P_point · duration` (J). Non-catalog points contribute zero
+    /// (flagged separately).
+    pub fn energy(&self, inst: &StagedInstance) -> f64 {
+        let mut total = 0.0;
+        for j in 0..inst.num_tasks() {
+            for v in 0..self.placements.get(j).map_or(0, Vec::len) {
+                if let Some(m) = self.point_of(inst, j, v) {
+                    total += m.energy_for_time(self.placements[j][v].duration);
+                }
+            }
+        }
+        total
+    }
+
+    /// Longest chain of successor durations after stage `v` of task `j`
+    /// (the `tail(v)` of the stage-release-adjusted deadline).
+    fn successor_tail(&self, inst: &StagedInstance, j: usize) -> Vec<f64> {
+        let task = inst.task(j);
+        let k = task.num_stages();
+        // tail[v] = max over successors w of duration(w) + tail[w];
+        // reverse topological order (indices descending).
+        let mut tail = vec![0.0f64; k];
+        for w in (0..k).rev() {
+            let need = self.placements[j][w].duration.max(0.0) + tail[w];
+            for &p in &task.stages[w].preds {
+                if need > tail[p] {
+                    tail[p] = need;
+                }
+            }
+        }
+        tail
+    }
+
+    /// First-principles feasibility of the timed schedule: shape, finite
+    /// non-negative placements, operating-point membership, precedence,
+    /// stage-release-adjusted deadlines, per-machine non-overlap, the
+    /// generalized EDF-prefix condition, per-stage work caps, and the
+    /// energy budget. Returns every violation found.
+    pub fn validate(&self, inst: &StagedInstance) -> Result<(), Vec<StagedViolation>> {
+        let mut out = Vec::new();
+        let want: usize = inst.tasks().iter().map(StagedTask::num_stages).sum();
+        let got: usize = self.placements.iter().map(Vec::len).sum();
+        if self.placements.len() != inst.num_tasks() || got != want {
+            out.push(StagedViolation::ShapeMismatch { got, want });
+            return Err(out);
+        }
+
+        // Per-machine queue of (start, duration, adjusted deadline,
+        // task, stage) for the overlap and EDF-prefix passes.
+        type QueueEntry = (f64, f64, f64, usize, usize);
+        let mut by_machine: Vec<Vec<QueueEntry>> = vec![Vec::new(); inst.num_machines()];
+
+        for j in 0..inst.num_tasks() {
+            let task = inst.task(j);
+            let d = task.deadline;
+            let time_tol = EPS_TIME + 1e-9 * d.abs();
+            let tail = self.successor_tail(inst, j);
+            for v in 0..task.num_stages() {
+                let p = self.placements[j][v];
+                if !(p.start.is_finite() && p.duration.is_finite())
+                    || p.start < -EPS_TIME
+                    || p.duration < -EPS_TIME
+                {
+                    out.push(StagedViolation::InvalidPlacement {
+                        task: j,
+                        stage: v,
+                        start: p.start,
+                        duration: p.duration,
+                    });
+                    continue;
+                }
+                let Some(point) = self.point_of(inst, j, v) else {
+                    out.push(StagedViolation::UnknownOperatingPoint {
+                        task: j,
+                        stage: v,
+                        machine: p.machine,
+                        point: p.point,
+                    });
+                    continue;
+                };
+                for &u in &task.stages[v].preds {
+                    let pred_finish = self.placements[j][u].finish();
+                    if p.start < pred_finish - time_tol {
+                        out.push(StagedViolation::PrecedenceViolated {
+                            task: j,
+                            stage: v,
+                            pred: u,
+                            start: p.start,
+                            pred_finish,
+                        });
+                    }
+                }
+                let adjusted = d - tail[v];
+                if p.finish() > adjusted + time_tol {
+                    out.push(StagedViolation::StageDeadlineExceeded {
+                        task: j,
+                        stage: v,
+                        finish: p.finish(),
+                        adjusted_deadline: adjusted,
+                    });
+                }
+                let work = point.work_for_time(p.duration);
+                let cap = task.stages[v].accuracy.f_max();
+                if work > cap + EPS_FLOPS + 1e-9 * cap {
+                    out.push(StagedViolation::StageWorkExceeded {
+                        task: j,
+                        stage: v,
+                        work,
+                        cap,
+                    });
+                }
+                if p.duration > EPS_TIME {
+                    by_machine[p.machine].push((p.start, p.duration, adjusted, j, v));
+                }
+            }
+        }
+
+        for (r, queue) in by_machine.iter_mut().enumerate() {
+            // Overlap: sweep in start order.
+            queue.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.3.cmp(&b.3)).then(a.4.cmp(&b.4)));
+            for w in queue.windows(2) {
+                let (s0, d0, _, j0, v0) = w[0];
+                let (s1, _, _, j1, v1) = w[1];
+                let tol = EPS_TIME + 1e-9 * (s0 + d0).abs();
+                if s1 < s0 + d0 - tol {
+                    out.push(StagedViolation::MachineOverlap {
+                        machine: r,
+                        first: (j0, v0),
+                        second: (j1, v1),
+                    });
+                }
+            }
+            // Generalized EDF prefix over adjusted deadlines.
+            queue.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.3.cmp(&b.3)).then(a.4.cmp(&b.4)));
+            let mut load = 0.0;
+            for &(_, dur, adjusted, j, v) in queue.iter() {
+                load += dur;
+                let tol = EPS_TIME + 1e-9 * adjusted.abs();
+                if load > adjusted + tol {
+                    out.push(StagedViolation::EdfPrefixExceeded {
+                        machine: r,
+                        task: j,
+                        stage: v,
+                        load,
+                        adjusted_deadline: adjusted,
+                    });
+                }
+            }
+        }
+
+        let energy = self.energy(inst);
+        let budget = inst.budget();
+        if energy > budget + EPS_ENERGY + 1e-9 * budget.abs() {
+            out.push(StagedViolation::BudgetExceeded { energy, budget });
+        }
+
+        if out.is_empty() {
+            Ok(())
+        } else {
+            Err(out)
+        }
+    }
+}
+
+/// The uniform staged solution: the timed schedule, the per-stage work
+/// vector, reported aggregates, and the embedded lowered flat solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedSolution {
+    /// The timed stage placements.
+    pub schedule: StagedSchedule,
+    /// Work per `[task][stage]` in GFLOP.
+    pub stage_work: Vec<Vec<f64>>,
+    /// Total accuracy `Σ_j min_v a_v(f_v)`.
+    pub total_accuracy: f64,
+    /// Energy consumed (J), from the chosen operating points.
+    pub energy: f64,
+    /// The lowered instance's fractional optimum: an upper bound on any
+    /// staged schedule restricted to the selected operating points.
+    pub upper_bound: Option<f64>,
+    /// The lowered flat solve the schedule was realized from (the
+    /// flat-model bit-compatibility pin compares against this).
+    pub flat: Solution,
+}
+
+/// The staged approximation solver: lowers the instance to the flat
+/// model ([`StagedInstance::lowered`]), runs [`ApproxSolver`] (which
+/// carries the paper's guarantee against the lowered fractional
+/// optimum), and realizes the EDF schedule into timed stage placements —
+/// every stage of a task back-to-back on its machine at the machine's
+/// selected min-energy-per-work operating point.
+///
+/// For a single-stage task the realized work and duration are taken
+/// verbatim from the flat schedule, so embedding a flat instance
+/// ([`StagedInstance::from_flat`]) reproduces the flat solution bit for
+/// bit.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedApproxSolver {
+    /// Verify every produced solution against the staged oracle
+    /// (panics on violation). Defaults to debug builds only, matching
+    /// [`crate::solver::SolverOptions`].
+    pub check_invariants: bool,
+}
+
+impl Default for StagedApproxSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StagedApproxSolver {
+    /// Solver with the default invariant policy (checked in debug).
+    pub fn new() -> Self {
+        Self {
+            check_invariants: cfg!(debug_assertions),
+        }
+    }
+
+    /// Always verify against the staged oracle.
+    pub fn checked() -> Self {
+        Self {
+            check_invariants: true,
+        }
+    }
+
+    /// Never verify (benchmarks).
+    pub fn unchecked() -> Self {
+        Self {
+            check_invariants: false,
+        }
+    }
+
+    /// Solves with a fresh per-thread context.
+    pub fn solve(&self, inst: &StagedInstance) -> Result<StagedSolution, StagedError> {
+        self.solve_with(inst, &mut SolverContext::new())
+    }
+
+    /// Solves reusing a caller-owned [`SolverContext`] (probe cache).
+    pub fn solve_with(
+        &self,
+        inst: &StagedInstance,
+        ctx: &mut SolverContext,
+    ) -> Result<StagedSolution, StagedError> {
+        let lowered = inst.lowered()?;
+        let flat = ApproxSolver::new()
+            .solve_with(&lowered, ctx)
+            .map_err(StagedError::Solve)?;
+        let sol = realize(inst, &lowered, flat);
+        if self.check_invariants {
+            crate::oracle::enforce_staged(inst, &sol, "StagedApproxSolver");
+        }
+        Ok(sol)
+    }
+}
+
+/// Realizes a flat EDF solution of the lowered instance into a timed
+/// staged schedule (see [`StagedApproxSolver`] docs for the policy).
+fn realize(inst: &StagedInstance, lowered: &Instance, flat: Solution) -> StagedSolution {
+    let n = inst.num_tasks();
+    let m = inst.num_machines();
+    let selected: Vec<usize> = inst
+        .park()
+        .machines()
+        .iter()
+        .map(DvfsMachine::selected_index)
+        .collect();
+    let mut cursor = vec![0.0f64; m];
+    let mut placements: Vec<Vec<StagePlacement>> = Vec::with_capacity(n);
+    let mut stage_work: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut total_accuracy = 0.0;
+    let mut energy = 0.0;
+
+    for j in 0..n {
+        let task = inst.task(j);
+        let k = task.num_stages();
+        // The machine holding task j's time (integral schedules put a
+        // task on at most one machine; dropped tasks have none).
+        let holder = (0..m).find(|&r| flat.schedule.t(j, r) > 0.0);
+        let (r, t_j) = match holder {
+            Some(r) => (r, flat.schedule.t(j, r)),
+            None => (0, 0.0),
+        };
+        let point = inst.park().machines()[r]
+            .point(selected[r])
+            .expect("selected index is in catalog");
+        let mut rows = Vec::with_capacity(k);
+        let mut works = Vec::with_capacity(k);
+        let start0 = cursor[r];
+        if k == 1 {
+            // Bit-exact embedding of the flat model: duration and work
+            // taken verbatim from the flat schedule.
+            let f = flat.schedule.flops(j, lowered);
+            rows.push(StagePlacement {
+                machine: r,
+                point: selected[r],
+                start: start0,
+                duration: t_j,
+            });
+            works.push(f);
+        } else {
+            // Equalizing split: every stage climbs to the same level the
+            // combined curve reaches at the task's total work.
+            let total = flat.schedule.flops(j, lowered);
+            let level = lowered.task(j).accuracy.eval(total);
+            let mut t_cursor = start0;
+            for v in 0..k {
+                let acc = &task.stages[v].accuracy;
+                let f_v = acc
+                    .inverse(level.clamp(acc.a_min(), acc.a_max()))
+                    .unwrap_or(0.0);
+                let dur = point.time_for_work(f_v);
+                rows.push(StagePlacement {
+                    machine: r,
+                    point: selected[r],
+                    start: t_cursor,
+                    duration: dur,
+                });
+                t_cursor += dur;
+                works.push(f_v);
+            }
+        }
+        let used: f64 = rows.iter().map(|p| p.duration).sum();
+        cursor[r] += used.max(t_j);
+        let task_acc = (0..k)
+            .map(|v| task.stages[v].accuracy.eval(works[v]))
+            .fold(f64::INFINITY, f64::min);
+        total_accuracy += task_acc;
+        energy += point.power() * used;
+        placements.push(rows);
+        stage_work.push(works);
+    }
+
+    StagedSolution {
+        schedule: StagedSchedule::new(placements),
+        stage_work,
+        total_accuracy,
+        energy,
+        upper_bound: flat.upper_bound,
+        flat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsct_machines::Machine;
+
+    fn acc(points: &[(f64, f64)]) -> PwlAccuracy {
+        PwlAccuracy::new(points).unwrap()
+    }
+
+    fn park() -> DvfsPark {
+        DvfsPark::new(vec![
+            DvfsMachine::fixed(Machine::from_efficiency(2000.0, 80.0).unwrap()),
+            DvfsMachine::new(vec![
+                Machine::from_efficiency(5000.0, 70.0).unwrap(),
+                // Dominated: slower and less efficient.
+                Machine::from_efficiency(4000.0, 30.0).unwrap(),
+            ])
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn staged_instance() -> StagedInstance {
+        let tasks = vec![
+            StagedTask::single(0.3, acc(&[(0.0, 0.0), (300.0, 0.5), (900.0, 0.8)])),
+            StagedTask::chain(
+                0.8,
+                vec![
+                    acc(&[(0.0, 0.0), (250.0, 0.4), (600.0, 0.7)]),
+                    acc(&[(0.0, 0.0), (250.0, 0.4), (600.0, 0.7)]),
+                ],
+            ),
+            StagedTask::fan_in(
+                1.5,
+                vec![
+                    acc(&[(0.0, 0.0), (125.0, 0.6), (300.0, 0.82)]),
+                    acc(&[(0.0, 0.0), (125.0, 0.6), (300.0, 0.82)]),
+                ],
+                acc(&[(0.0, 0.1), (200.0, 0.9)]),
+            ),
+        ];
+        StagedInstance::new_sorting(tasks, park(), 40.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_edges_and_scalars() {
+        let bad = StagedTask {
+            deadline: 1.0,
+            stages: vec![Stage::with_preds(acc(&[(0.0, 0.0), (1.0, 0.5)]), vec![0])],
+        };
+        assert!(matches!(
+            StagedInstance::new_sorting(vec![bad], park(), 1.0),
+            Err(StagedError::BadPredecessor {
+                task: 0,
+                stage: 0,
+                pred: 0
+            })
+        ));
+        let t = StagedTask::single(f64::NAN, acc(&[(0.0, 0.0), (1.0, 0.5)]));
+        assert!(matches!(
+            StagedInstance::new_sorting(vec![t], park(), 1.0),
+            Err(StagedError::InvalidDeadline { .. })
+        ));
+        let t = StagedTask::single(1.0, acc(&[(0.0, 0.0), (1.0, 0.5)]));
+        assert!(matches!(
+            StagedInstance::new_sorting(vec![t], park(), f64::NEG_INFINITY),
+            Err(StagedError::InvalidBudget(_))
+        ));
+        assert!(matches!(
+            StagedInstance::new_sorting(vec![], park(), 1.0),
+            Err(StagedError::NoTasks)
+        ));
+    }
+
+    #[test]
+    fn lowering_selects_points_and_combines_curves() {
+        let inst = staged_instance();
+        let low = inst.lowered().unwrap();
+        assert_eq!(low.num_tasks(), 3);
+        assert_eq!(low.num_machines(), 2);
+        // Machine 1 lowers to its efficient point, not the dominated one.
+        assert!((low.machines().get(1).speed() - 5000.0).abs() < 1e-9);
+        // Single-stage task lowers to its own curve bit-exactly.
+        assert_eq!(low.task(0).accuracy, inst.task(0).stages[0].accuracy);
+        // The chain task's combined f_max is the sum of its stage caps.
+        assert!((low.task(1).accuracy.f_max() - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_produces_a_valid_staged_solution() {
+        let inst = staged_instance();
+        let sol = StagedApproxSolver::checked().solve(&inst).unwrap();
+        sol.schedule
+            .validate(&inst)
+            .unwrap_or_else(|vs| panic!("{vs:?}"));
+        assert!(sol.total_accuracy > 0.0);
+        assert!(sol.energy <= inst.budget() + 1e-6);
+        let ub = sol.upper_bound.expect("approx certifies a bound");
+        assert!(sol.total_accuracy <= ub + 1e-9);
+    }
+
+    #[test]
+    fn flat_embedding_reproduces_flat_solution_bit_for_bit() {
+        let lowered = staged_instance().lowered().unwrap();
+        let staged = StagedInstance::from_flat(&lowered);
+        let re_lowered = staged.lowered().unwrap();
+        assert_eq!(lowered, re_lowered);
+        let flat_sol = Solver::solve(&ApproxSolver::new(), &lowered).unwrap();
+        let staged_sol = StagedApproxSolver::checked().solve(&staged).unwrap();
+        for j in 0..lowered.num_tasks() {
+            assert_eq!(
+                staged_sol.stage_work[j][0].to_bits(),
+                flat_sol.flops[j].to_bits(),
+                "task {j} work"
+            );
+        }
+        assert_eq!(
+            staged_sol.flat.total_accuracy.to_bits(),
+            flat_sol.total_accuracy.to_bits()
+        );
+        assert_eq!(staged_sol.energy.to_bits(), flat_sol.energy.to_bits());
+    }
+
+    #[test]
+    fn zero_budget_floors_accuracy() {
+        let inst =
+            StagedInstance::new_sorting(staged_instance().tasks().to_vec(), park(), 0.0).unwrap();
+        let sol = StagedApproxSolver::checked().solve(&inst).unwrap();
+        let floor: f64 = inst
+            .tasks()
+            .iter()
+            .map(|t| {
+                t.stages
+                    .iter()
+                    .map(|s| s.accuracy.a_min())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        assert!((sol.total_accuracy - floor).abs() < 1e-9);
+        assert!(sol.energy <= 1e-9);
+    }
+
+    #[test]
+    fn validate_flags_precedence_and_overlap() {
+        let inst = staged_instance();
+        let mut sol = StagedApproxSolver::unchecked().solve(&inst).unwrap();
+        // Find the chain task (2 stages, stage 1 depends on stage 0)
+        // and make stage 1 start before stage 0 finishes.
+        let j = (0..inst.num_tasks())
+            .find(|&j| inst.task(j).num_stages() == 2)
+            .unwrap();
+        if sol.schedule.placement(j, 0).duration <= EPS_TIME {
+            // Give stage 0 a duration so the precedence bites.
+            sol.schedule.placement_mut(j, 0).duration = 0.1;
+        }
+        sol.schedule.placement_mut(j, 1).start = 0.0;
+        sol.schedule.placement_mut(j, 1).duration = 0.05;
+        let vs = sol.schedule.validate(&inst).unwrap_err();
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, StagedViolation::PrecedenceViolated { .. })),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn successor_tails_adjust_deadlines() {
+        // A 2-stage chain where each stage needs 0.4 s: stage 0 must
+        // finish by d − 0.4, not d.
+        let inst = StagedInstance::new_sorting(
+            vec![StagedTask::chain(
+                1.0,
+                vec![
+                    acc(&[(0.0, 0.0), (800.0, 0.8)]),
+                    acc(&[(0.0, 0.0), (800.0, 0.8)]),
+                ],
+            )],
+            DvfsPark::new(vec![DvfsMachine::fixed(
+                Machine::new(2000.0, 10.0).unwrap(),
+            )])
+            .unwrap(),
+            1e9,
+        )
+        .unwrap();
+        let mut sched = StagedSchedule::zero(&inst);
+        // Stage 0 runs [0.61, 1.01 − 0.4 = wait]: place stage 0 late so
+        // its own finish meets d but the successor cannot fit.
+        *sched.placement_mut(0, 0) = StagePlacement {
+            machine: 0,
+            point: 0,
+            start: 0.2,
+            duration: 0.4,
+        };
+        *sched.placement_mut(0, 1) = StagePlacement {
+            machine: 0,
+            point: 0,
+            start: 0.6,
+            duration: 0.4,
+        };
+        // Feasible: stage 0 finishes at 0.6 = 1.0 − tail(0.4).
+        sched.validate(&inst).unwrap();
+        // Push stage 0 by 0.05: its own finish (0.65) still meets d,
+        // but the adjusted deadline 0.6 is missed (and the successor now
+        // overlaps or misses d too).
+        sched.placement_mut(0, 0).start = 0.25;
+        let vs = sched.validate(&inst).unwrap_err();
+        assert!(
+            vs.iter().any(|v| matches!(
+                v,
+                StagedViolation::StageDeadlineExceeded { stage: 0, .. }
+                    | StagedViolation::PrecedenceViolated { .. }
+            )),
+            "{vs:?}"
+        );
+    }
+}

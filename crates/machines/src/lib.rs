@@ -11,11 +11,18 @@
 //! Fig. 1 of the paper (after Desislavov et al., *Sustainable Computing*
 //! 2023), and [`gen`] provides the uniform samplers the paper's experiments
 //! draw machines from (speeds 1–20 TFLOPS, efficiencies 5–60 GFLOPS/W).
+//!
+//! [`DvfsMachine`] and [`DvfsPark`] extend the model with DVFS-style
+//! speed scaling: a machine exposes several (speed, power) operating
+//! points and the staged solvers pick the min-energy-per-work point per
+//! stage (DESIGN §17, after Agrawal & Rao).
 
 pub mod catalog;
+mod dvfs;
 pub mod gen;
 mod machine;
 mod park;
 
+pub use dvfs::{DvfsMachine, DvfsPark};
 pub use machine::{Machine, MachineError};
 pub use park::MachinePark;

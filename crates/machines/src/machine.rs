@@ -8,6 +8,10 @@ pub enum MachineError {
     InvalidSpeed(f64),
     /// Power must be finite and positive (W).
     InvalidPower(f64),
+    /// A DVFS machine needs at least one operating point.
+    NoOperatingPoints,
+    /// A park needs at least one machine.
+    EmptyPark,
 }
 
 impl fmt::Display for MachineError {
@@ -15,6 +19,10 @@ impl fmt::Display for MachineError {
         match self {
             MachineError::InvalidSpeed(s) => write!(f, "invalid machine speed {s} GFLOP/s"),
             MachineError::InvalidPower(p) => write!(f, "invalid machine power {p} W"),
+            MachineError::NoOperatingPoints => {
+                write!(f, "a DVFS machine needs at least one operating point")
+            }
+            MachineError::EmptyPark => write!(f, "a machine park needs at least one machine"),
         }
     }
 }

@@ -4,7 +4,7 @@
 //! dsct-experiments [EXPERIMENTS…] [OPTIONS]
 //!
 //! Experiments: all fig1 fig2 fig3 fig4 fig4a fig4b table1 fig5 fig6 fig6a
-//!              fig6b energy-gain robustness online chaos (default: all)
+//!              fig6b energy-gain robustness online chaos staged (default: all)
 //! Options:
 //!   --quick        reduced sizes/replications (smoke-test scale)
 //!   --seed N       base RNG seed (default: per-experiment paper seed)
@@ -16,7 +16,7 @@
 //! Run `--quick` first: the full Fig. 3 / Table 1 sweeps take minutes.
 
 use dsct_sim::experiments::{
-    chaos, fig1, fig2, fig3, fig4, fig5, fig6, online, robustness, table1,
+    chaos, fig1, fig2, fig3, fig4, fig5, fig6, online, robustness, staged, table1,
 };
 use dsct_sim::report::{write_artifacts, TextTable};
 use dsct_sim::runner::Execution;
@@ -87,7 +87,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> &'static str {
     "dsct-experiments [EXPERIMENTS…] [--quick] [--seed N] [--out DIR] [--threads N] [--sequential]\n\
-     experiments: all fig1 fig2 fig3 fig4 fig4a fig4b table1 fig5 fig6 fig6a fig6b energy-gain robustness online chaos"
+     experiments: all fig1 fig2 fig3 fig4 fig4a fig4b table1 fig5 fig6 fig6a fig6b energy-gain robustness online chaos staged"
 }
 
 fn main() -> ExitCode {
@@ -251,6 +251,24 @@ fn main() -> ExitCode {
             "online",
             serde_json::to_value(&r).expect("serializable"),
             online::table(&r),
+        );
+    }
+    if wants("staged") {
+        banner("Extension — staged solver over DAG depth × operating points");
+        let mut cfg = if args.quick {
+            staged::StagedExpConfig::quick()
+        } else {
+            staged::StagedExpConfig::default()
+        };
+        if let Some(s) = args.seed {
+            cfg.base_seed = s;
+        }
+        let r = staged::run(&cfg, args.execution());
+        println!("{}", staged::render(&r));
+        save(
+            "staged",
+            serde_json::to_value(&r).expect("serializable"),
+            staged::table(&r),
         );
     }
     if wants("chaos") {

@@ -12,6 +12,7 @@
 //! | [`robustness`] | extension: realized accuracy under runtime speed jitter |
 //! | [`online`] | extension: online arrival service regret vs clairvoyant FR-OPT |
 //! | [`chaos`] | extension: accuracy retention under deterministic fault injection |
+//! | [`staged`] | extension: staged solver quality over DAG depth × operating points |
 
 pub mod chaos;
 pub mod fig1;
@@ -22,4 +23,5 @@ pub mod fig5;
 pub mod fig6;
 pub mod online;
 pub mod robustness;
+pub mod staged;
 pub mod table1;

@@ -177,13 +177,15 @@ pub fn generate_arrivals(cfg: &ArrivalConfig, seed: u64) -> Result<ArrivalTrace,
     cfg.validate()?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
+    // Reject empty machine configurations *before* constructing the park
+    // (`MachinePark::new` panics on an empty list, which would turn a bad
+    // config into a crash instead of a typed error).
     let park = match &cfg.machines {
+        MachineConfig::Random { m: 0, .. } => return Err(ConfigError::Empty("machines")),
+        MachineConfig::Explicit(ms) if ms.is_empty() => return Err(ConfigError::Empty("machines")),
         MachineConfig::Random { m, sampler } => sampler.sample_park(&mut rng, *m),
         MachineConfig::Explicit(ms) => MachinePark::new(ms.clone()),
     };
-    if park.is_empty() {
-        return Err(ConfigError::Empty("machines"));
-    }
 
     // θ per arrival rank, then the accuracy functions (same recipe as the
     // offline generator).
@@ -364,6 +366,36 @@ mod tests {
         let mut c = cfg(0.5);
         c.tasks.n = 0;
         assert_eq!(c.validate(), Err(ConfigError::Empty("tasks.n")));
+    }
+
+    #[test]
+    fn non_finite_load_is_a_typed_error_not_a_panic() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let c = cfg(bad);
+            match generate_arrivals(&c, 1) {
+                Err(ConfigError::OutOfDomain { field: "load", .. }) => {}
+                other => panic!("load = {bad}: expected OutOfDomain, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_machine_configs_are_typed_errors_not_panics() {
+        let mut c = cfg(0.5);
+        c.machines = MachineConfig::Explicit(Vec::new());
+        assert_eq!(
+            generate_arrivals(&c, 1),
+            Err(ConfigError::Empty("machines"))
+        );
+        let mut c = cfg(0.5);
+        c.machines = MachineConfig::Random {
+            m: 0,
+            sampler: dsct_machines::gen::MachineSampler::PAPER,
+        };
+        assert_eq!(
+            generate_arrivals(&c, 1),
+            Err(ConfigError::Empty("machines"))
+        );
     }
 
     #[test]

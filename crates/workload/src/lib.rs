@@ -17,7 +17,9 @@
 mod arrivals;
 mod config;
 mod generate;
+mod staged;
 
 pub use arrivals::{generate_arrivals, synthesize_burst, ArrivalConfig, ArrivalTrace, OnlineTask};
 pub use config::{ConfigError, InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
 pub use generate::generate;
+pub use staged::{dvfs_park_with_dominated, generate_staged, DagShape, StagedConfig};

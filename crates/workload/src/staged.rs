@@ -1,0 +1,252 @@
+//! Staged-workload generators: DAG tasks and DVFS parks (DESIGN §17).
+//!
+//! Staged instances are derived from the paper's flat generator
+//! ([`crate::generate`]) so every scenario knob (θ distribution, ρ, β,
+//! machine sampling) carries over: each flat task's curve is split into
+//! `depth` equal stages (`scale_f(1/depth)`, so the min-rule combination
+//! recomposes the original curve), wired as a chain or fan-in DAG, and
+//! each flat machine is expanded into a DVFS catalog whose extra
+//! operating points are all *dominated* — the selected point stays the
+//! original machine, so lowering a generated staged instance reproduces
+//! the flat instance's machines exactly.
+
+use crate::config::{ConfigError, InstanceConfig};
+use crate::generate::generate;
+use dsct_core::staged::{StagedInstance, StagedTask};
+use dsct_machines::{DvfsMachine, DvfsPark, Machine, MachinePark};
+use serde::{Deserialize, Serialize};
+
+/// Shape of the per-task stage DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DagShape {
+    /// A linear pipeline `v_0 → v_1 → … → v_{depth-1}`.
+    Chain,
+    /// `depth − 1` independent sources all feeding one sink stage
+    /// (degenerates to a single stage at depth 1).
+    FanIn,
+}
+
+/// Configuration of the staged generator: the flat scenario plus the
+/// DAG and DVFS knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedConfig {
+    /// The flat scenario the staged instance is derived from.
+    pub base: InstanceConfig,
+    /// Per-task DAG shape.
+    pub shape: DagShape,
+    /// Stages per task (≥ 1; 1 reproduces the flat model).
+    pub depth: usize,
+    /// Dominated operating points added per machine on top of the
+    /// original spec point (0 keeps every machine fixed-frequency).
+    pub extra_points: usize,
+}
+
+impl StagedConfig {
+    /// A flat-equivalent configuration: single-stage tasks on
+    /// fixed-frequency machines.
+    pub fn flat(base: InstanceConfig) -> Self {
+        Self {
+            base,
+            shape: DagShape::Chain,
+            depth: 1,
+            extra_points: 0,
+        }
+    }
+}
+
+/// Expands a flat park into a DVFS park: each machine keeps its spec
+/// point at catalog index 0 and gains `extra` dominated points — point
+/// `i` runs at `speed · (1 − 0.1·min(i, 9))` drawing `power · (1 +
+/// 0.05·i)` watts, slower *and* less efficient than the original. The
+/// selected (min-energy-per-work) point is therefore the original
+/// machine, bit for bit, and `selected_park()` reproduces `park`.
+pub fn dvfs_park_with_dominated(park: &MachinePark, extra: usize) -> DvfsPark {
+    let machines = park
+        .machines()
+        .iter()
+        .map(|&m| {
+            let mut points = vec![m];
+            for i in 1..=extra {
+                let slow = 1.0 - 0.1 * (i.min(9) as f64);
+                let hungry = 1.0 + 0.05 * (i as f64);
+                points.push(
+                    Machine::new(m.speed() * slow, m.power() * hungry)
+                        .expect("scaled point stays positive"),
+                );
+            }
+            DvfsMachine::new(points).expect("catalog is non-empty")
+        })
+        .collect();
+    DvfsPark::new(machines).expect("parks are non-empty")
+}
+
+/// Generates a reproducible staged instance from a configuration and a
+/// seed by deriving it from the flat instance `generate(&cfg.base, seed)`
+/// (see module docs for the construction).
+///
+/// Deterministic: the same `(config, seed)` always yields the same
+/// instance. At `depth == 1` every task is single-stage and lowering the
+/// result reproduces the flat instance bit for bit.
+pub fn generate_staged(cfg: &StagedConfig, seed: u64) -> Result<StagedInstance, ConfigError> {
+    if cfg.depth == 0 {
+        return Err(ConfigError::OutOfDomain {
+            field: "depth",
+            value: 0.0,
+            requirement: "at least 1 stage per task",
+        });
+    }
+    let flat = generate(&cfg.base, seed);
+    let park = dvfs_park_with_dominated(flat.machines(), cfg.extra_points);
+
+    let split = 1.0 / cfg.depth as f64;
+    let tasks: Vec<StagedTask> = flat
+        .tasks()
+        .iter()
+        .map(|t| {
+            if cfg.depth == 1 {
+                return StagedTask::single(t.deadline, t.accuracy.clone());
+            }
+            let stage = t
+                .accuracy
+                .scale_f(split)
+                .expect("positive split factor on a valid curve");
+            let curves = vec![stage; cfg.depth];
+            match cfg.shape {
+                DagShape::Chain => StagedTask::chain(t.deadline, curves),
+                DagShape::FanIn => {
+                    let mut curves = curves;
+                    let sink = curves.pop().expect("depth >= 2");
+                    StagedTask::fan_in(t.deadline, curves, sink)
+                }
+            }
+        })
+        .collect();
+
+    StagedInstance::new_sorting(tasks, park, flat.budget()).map_err(|_| ConfigError::Empty("tasks"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, TaskConfig, ThetaDistribution};
+
+    fn base(n: usize) -> InstanceConfig {
+        InstanceConfig {
+            tasks: TaskConfig::paper(n, ThetaDistribution::Uniform { min: 0.1, max: 2.0 }),
+            machines: MachineConfig::paper_random(3),
+            rho: 0.35,
+            beta: 0.5,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = StagedConfig {
+            base: base(12),
+            shape: DagShape::Chain,
+            depth: 3,
+            extra_points: 2,
+        };
+        let a = generate_staged(&cfg, 7).unwrap();
+        let b = generate_staged(&cfg, 7).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, generate_staged(&cfg, 8).unwrap());
+    }
+
+    #[test]
+    fn zero_depth_is_a_typed_error() {
+        let cfg = StagedConfig {
+            base: base(4),
+            shape: DagShape::Chain,
+            depth: 0,
+            extra_points: 0,
+        };
+        assert!(matches!(
+            generate_staged(&cfg, 1),
+            Err(ConfigError::OutOfDomain { field: "depth", .. })
+        ));
+    }
+
+    #[test]
+    fn depth_one_lowers_to_the_flat_instance_bit_for_bit() {
+        let cfg = StagedConfig::flat(base(10));
+        let staged = generate_staged(&cfg, 3).unwrap();
+        let flat = generate(&cfg.base, 3);
+        assert_eq!(staged.lowered().unwrap(), flat);
+    }
+
+    #[test]
+    fn dag_shapes_wire_the_expected_edges() {
+        let chain = generate_staged(
+            &StagedConfig {
+                base: base(4),
+                shape: DagShape::Chain,
+                depth: 3,
+                extra_points: 0,
+            },
+            5,
+        )
+        .unwrap();
+        for t in chain.tasks() {
+            assert_eq!(t.num_stages(), 3);
+            assert_eq!(t.stages[0].preds, Vec::<usize>::new());
+            assert_eq!(t.stages[1].preds, vec![0]);
+            assert_eq!(t.stages[2].preds, vec![1]);
+        }
+        let fan = generate_staged(
+            &StagedConfig {
+                base: base(4),
+                shape: DagShape::FanIn,
+                depth: 3,
+                extra_points: 0,
+            },
+            5,
+        )
+        .unwrap();
+        for t in fan.tasks() {
+            assert_eq!(t.num_stages(), 3);
+            assert_eq!(t.stages[0].preds, Vec::<usize>::new());
+            assert_eq!(t.stages[1].preds, Vec::<usize>::new());
+            assert_eq!(t.stages[2].preds, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn extra_operating_points_are_dominated_and_unselected() {
+        let staged = generate_staged(
+            &StagedConfig {
+                base: base(6),
+                shape: DagShape::Chain,
+                depth: 2,
+                extra_points: 3,
+            },
+            9,
+        )
+        .unwrap();
+        let flat = generate(&base(6), 9);
+        for (r, m) in staged.park().machines().iter().enumerate() {
+            assert_eq!(m.num_points(), 4);
+            assert_eq!(m.selected_index(), 0);
+            for p in 1..m.num_points() {
+                assert!(m.is_dominated(p), "machine {r} point {p} not dominated");
+            }
+        }
+        assert_eq!(&staged.park().selected_park(), flat.machines());
+    }
+
+    #[test]
+    fn chain_split_recomposes_the_flat_curve_budgetwise() {
+        // depth 2 (power of two): the min-combined lowered curve must be
+        // bit-identical to the flat task's curve, so the whole lowered
+        // instance equals the flat one.
+        let cfg = StagedConfig {
+            base: base(8),
+            shape: DagShape::Chain,
+            depth: 2,
+            extra_points: 1,
+        };
+        let staged = generate_staged(&cfg, 11).unwrap();
+        let flat = generate(&cfg.base, 11);
+        assert_eq!(staged.lowered().unwrap(), flat);
+    }
+}

@@ -44,7 +44,7 @@ pub use dsct_workload as workload;
 
 /// Convenient glob-import surface with the most commonly used items.
 pub mod prelude {
-    pub use dsct_accuracy::{ExponentialAccuracy, PwlAccuracy};
+    pub use dsct_accuracy::{min_combine, ExponentialAccuracy, PwlAccuracy};
     pub use dsct_chaos::{chaos_replay, ChaosConfig, ChaosPlan};
     pub use dsct_core::{
         approx::ApproxOptions,
@@ -56,9 +56,12 @@ pub mod prelude {
             ApproxSolver, EdfSolver, FrOptSolver, LpSolver, MipSolver, Solution, SolveError,
             SolveStats, Solver, SolverContext,
         },
+        staged::{
+            Stage, StagedApproxSolver, StagedInstance, StagedSchedule, StagedSolution, StagedTask,
+        },
     };
     pub use dsct_gateway::{replay_gateway, Gateway, GatewayConfig, QuotaConfig, RebalanceConfig};
-    pub use dsct_machines::{Machine, MachinePark};
+    pub use dsct_machines::{DvfsMachine, DvfsPark, Machine, MachinePark};
     pub use dsct_online::{
         replay, AdmissionPolicy, Decision, Disruption, EnergyLedger, OnlineConfig, OnlineService,
         ReplanStrategy, ReplayConfig,
@@ -66,7 +69,7 @@ pub mod prelude {
     pub use dsct_server::{replay_sharded, Router, ScheduleServer, ServerConfig};
     pub use dsct_sim::engine::{ExperimentPlan, ExperimentRun};
     pub use dsct_workload::{
-        generate_arrivals, ArrivalConfig, ArrivalTrace, InstanceConfig, MachineConfig, OnlineTask,
-        TaskConfig, ThetaDistribution,
+        generate_arrivals, generate_staged, ArrivalConfig, ArrivalTrace, DagShape, InstanceConfig,
+        MachineConfig, OnlineTask, StagedConfig, TaskConfig, ThetaDistribution,
     };
 }

@@ -13,9 +13,10 @@ mod support;
 use dsct_core::oracle::{self, Claims};
 use dsct_core::schedule::ScheduleKind;
 use dsct_core::solver::{ApproxSolver, EdfSolver, FrOptSolver, Solution};
+use dsct_core::staged::StagedApproxSolver;
 
-fn corpus_files() -> Vec<std::path::PathBuf> {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+fn corpus_files_in(subdir: &str) -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(subdir);
     let mut files: Vec<_> = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
         .filter_map(|entry| {
@@ -25,6 +26,10 @@ fn corpus_files() -> Vec<std::path::PathBuf> {
         .collect();
     files.sort();
     files
+}
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    corpus_files_in("tests/corpus")
 }
 
 #[test]
@@ -84,6 +89,112 @@ fn every_corpus_instance_round_trips_and_passes_the_oracle() {
             );
         }
     }
+}
+
+#[test]
+fn every_staged_corpus_instance_round_trips_and_passes_every_solver_family() {
+    let files = corpus_files_in("tests/corpus/staged");
+    assert!(
+        files.len() >= 4,
+        "the staged corpus must hold at least the 4 hand-minimized DAG/DVFS cases"
+    );
+    for path in files {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let label = support::corpus_label(&text);
+        let inst = support::staged_instance_from_json(&text)
+            .unwrap_or_else(|e| panic!("{} ({label}): {e}", path.display()));
+
+        // The staged schema must round-trip bit-exactly.
+        let rewritten = oracle::staged_instance_to_json(&inst, &label);
+        let reparsed = support::staged_instance_from_json(&rewritten)
+            .unwrap_or_else(|e| panic!("{} ({label}): reparse failed: {e}", path.display()));
+        assert_eq!(
+            inst,
+            reparsed,
+            "{}: staged JSON round-trip drifted",
+            path.display()
+        );
+
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+
+        // The staged solver must survive the edge case; `checked()`
+        // enforces the full staged oracle on the way out, and we
+        // re-verify explicitly for a corpus-labelled report.
+        let staged_sol = StagedApproxSolver::checked()
+            .solve(&inst)
+            .unwrap_or_else(|e| panic!("{name} ({label}): staged solve failed: {e}"));
+        oracle::enforce_staged(&inst, &staged_sol, &format!("corpus/staged/{name}/approx"));
+
+        // Every flat solver family must survive the lowered instance too
+        // (the staged corpus doubles as a flat edge-case corpus).
+        let lowered = inst
+            .lowered()
+            .unwrap_or_else(|e| panic!("{name} ({label}): lowering failed: {e}"));
+        let fr = Solution::from_fr(&lowered, FrOptSolver::new().solve_typed(&lowered));
+        oracle::enforce(
+            &lowered,
+            &fr,
+            &Claims::fr_optimal(),
+            &format!("corpus/staged/{name}/fr-opt"),
+        );
+        let approx = Solution::from_approx(&lowered, ApproxSolver::new().solve_typed(&lowered));
+        oracle::enforce(
+            &lowered,
+            &approx,
+            &Claims::approx(),
+            &format!("corpus/staged/{name}/approx-lowered"),
+        );
+        for (solver, tag) in [
+            (EdfSolver::no_compression(), "edf-nc"),
+            (EdfSolver::three_levels(), "edf-3l"),
+        ] {
+            let sol = Solution::from_baseline(&lowered, solver.solve_typed(&lowered));
+            oracle::enforce(
+                &lowered,
+                &sol,
+                &Claims::feasible(ScheduleKind::Integral),
+                &format!("corpus/staged/{name}/{tag}"),
+            );
+        }
+
+        // The staged solution can never beat the lowered fractional
+        // optimum (selected-point upper bound).
+        assert!(
+            staged_sol.total_accuracy <= fr.total_accuracy + 1e-9,
+            "{name} ({label}): staged {} beats FR-OPT {}",
+            staged_sol.total_accuracy,
+            fr.total_accuracy
+        );
+    }
+}
+
+#[test]
+fn zero_slack_precedence_corpus_instance_fills_its_deadline_exactly() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus/staged/zero-slack-precedence.json");
+    let inst =
+        support::staged_instance_from_json(&std::fs::read_to_string(path).expect("seeded file"))
+            .expect("valid corpus file");
+    let sol = StagedApproxSolver::checked().solve(&inst).unwrap();
+    // The budget is generous and the deadline exactly fits both stages
+    // at full work: the solver must use the whole window and reach the
+    // maximum accuracy, with zero slack between the chained stages.
+    let task = inst.task(0);
+    let p0 = sol.schedule.placement(0, 0);
+    let p1 = sol.schedule.placement(0, 1);
+    assert!((p0.finish() - p1.start).abs() < 1e-9, "stages must abut");
+    assert!(
+        (p1.finish() - task.deadline).abs() < 1e-9,
+        "finish {} must hit the deadline {}",
+        p1.finish(),
+        task.deadline
+    );
+    assert!(
+        (sol.total_accuracy - 0.8).abs() < 1e-9,
+        "full work reaches a_max, got {}",
+        sol.total_accuracy
+    );
 }
 
 #[test]

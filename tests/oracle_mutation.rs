@@ -3,10 +3,14 @@
 //! oracle (one that accepts everything) would silently pass the rest of
 //! the suite; these tests prove each seeded defect is caught.
 
-use dsct_core::oracle::{Claims, SolutionOracle, Violation};
+use dsct_core::oracle::{self, Claims, SolutionOracle, Violation};
 use dsct_core::schedule::Violation as Feas;
 use dsct_core::solver::{FrOptSolver, Solution};
-use dsct_workload::{InstanceConfig, MachineConfig, TaskConfig, ThetaDistribution};
+use dsct_core::staged::{StagedApproxSolver, StagedSolution, StagedViolation};
+use dsct_workload::{
+    generate_staged, DagShape, InstanceConfig, MachineConfig, StagedConfig, TaskConfig,
+    ThetaDistribution,
+};
 
 fn instance() -> dsct_core::problem::Instance {
     let cfg = InstanceConfig {
@@ -158,6 +162,101 @@ fn non_stationary_claimed_optimum_is_flagged() {
         vs.iter()
             .any(|v| matches!(v, Violation::KktNotStationary { .. })),
         "expected KktNotStationary, got {vs:?}"
+    );
+}
+
+fn staged_instance() -> dsct_core::staged::StagedInstance {
+    let cfg = StagedConfig {
+        base: InstanceConfig {
+            tasks: TaskConfig::paper(6, ThetaDistribution::Uniform { min: 0.1, max: 2.0 }),
+            machines: MachineConfig::paper_random(2),
+            rho: 0.4,
+            beta: 0.5,
+        },
+        shape: DagShape::Chain,
+        depth: 3,
+        extra_points: 2,
+    };
+    generate_staged(&cfg, 7).expect("valid staged config")
+}
+
+fn staged_violations(
+    inst: &dsct_core::staged::StagedInstance,
+    sol: &StagedSolution,
+) -> Vec<StagedViolation> {
+    oracle::verify_staged(inst, sol).expect_err("the mutated staged solution must be rejected")
+}
+
+/// Staged mutant A: a solver that violates a precedence edge — it moves
+/// a successor stage's start to time zero while its predecessor is still
+/// running. The staged oracle must pinpoint `PrecedenceViolated` on that
+/// exact (task, stage, pred) triple.
+#[test]
+fn violated_precedence_edge_is_flagged() {
+    let inst = staged_instance();
+    let mut sol = StagedApproxSolver::unchecked().solve(&inst).unwrap();
+    // Find a chained stage whose predecessor actually runs for a while.
+    let (j, v, u) = (0..inst.num_tasks())
+        .flat_map(|j| {
+            let sched = &sol.schedule;
+            inst.task(j)
+                .stages
+                .iter()
+                .enumerate()
+                .flat_map(move |(v, s)| s.preds.iter().map(move |&u| (j, v, u)))
+                .filter(|&(j, _, u)| sched.placement(j, u).duration > 1e-6)
+                .collect::<Vec<_>>()
+        })
+        .next()
+        .expect("a β=0.5 chain instance runs some predecessor stage");
+    sol.schedule.placement_mut(j, v).start = 0.0;
+    // Keep the reported aggregates truthful so the precedence breach is
+    // the seeded defect (moving a start changes no duration, hence no
+    // work, accuracy, or energy).
+    let vs = staged_violations(&inst, &sol);
+    assert!(
+        vs.iter().any(|w| matches!(
+            w,
+            StagedViolation::PrecedenceViolated { task, stage, pred, .. }
+                if *task == j && *stage == v && *pred == u
+        )),
+        "expected PrecedenceViolated on task {j} stage {v} pred {u}, got {vs:?}"
+    );
+    assert!(
+        !vs.iter().any(|w| matches!(
+            w,
+            StagedViolation::AccuracyMismatch { .. }
+                | StagedViolation::EnergyMismatch { .. }
+                | StagedViolation::WorkMismatch { .. }
+        )),
+        "aggregates stayed truthful; only timing may be flagged: {vs:?}"
+    );
+}
+
+/// Staged mutant B: a solver that runs a stage at an operating point the
+/// machine's catalog does not contain (an out-of-range index). The
+/// staged oracle must flag `UnknownOperatingPoint` with the offending
+/// indices.
+#[test]
+fn non_catalog_operating_point_is_flagged() {
+    let inst = staged_instance();
+    let mut sol = StagedApproxSolver::unchecked().solve(&inst).unwrap();
+    // Pick a stage that actually runs, so the bogus point also matters.
+    let (j, v) = (0..inst.num_tasks())
+        .flat_map(|j| (0..inst.task(j).num_stages()).map(move |v| (j, v)))
+        .find(|&(j, v)| sol.schedule.placement(j, v).duration > 1e-6)
+        .expect("some stage runs");
+    let machine = sol.schedule.placement(j, v).machine;
+    let bogus = inst.park().get(machine).unwrap().num_points();
+    sol.schedule.placement_mut(j, v).point = bogus;
+    let vs = staged_violations(&inst, &sol);
+    assert!(
+        vs.iter().any(|w| matches!(
+            w,
+            StagedViolation::UnknownOperatingPoint { task, stage, point, .. }
+                if *task == j && *stage == v && *point == bogus
+        )),
+        "expected UnknownOperatingPoint on task {j} stage {v} point {bogus}, got {vs:?}"
     );
 }
 

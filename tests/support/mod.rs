@@ -1,9 +1,11 @@
-//! Shared helpers for the integration tests: the corpus JSON loader
-//! (the counterpart of `dsct_core::oracle::instance_to_json`).
+//! Shared helpers for the integration tests: the corpus JSON loaders
+//! (counterparts of `dsct_core::oracle::instance_to_json` and
+//! `dsct_core::oracle::staged_instance_to_json`).
 
 use dsct_ea::accuracy::PwlAccuracy;
 use dsct_ea::core::problem::{Instance, Task};
-use dsct_ea::machines::{Machine, MachinePark};
+use dsct_ea::core::staged::{Stage, StagedInstance, StagedTask};
+use dsct_ea::machines::{DvfsMachine, DvfsPark, Machine, MachinePark};
 use serde_json::Value;
 
 fn num(v: Option<&Value>, what: &str) -> Result<f64, String> {
@@ -41,25 +43,71 @@ pub fn instance_from_json(text: &str) -> Result<Instance, String> {
         .iter()
         .map(|t| {
             let deadline = num(t.get("deadline"), "task.deadline")?;
-            let points = arr(t.get("points"), "task.points")?
-                .iter()
-                .map(|p| {
-                    let pair = match p {
-                        Value::Array(xs) if xs.len() == 2 => xs,
-                        other => return Err(format!("bad point: {other:?}")),
-                    };
-                    Ok((
-                        num(Some(&pair[0]), "point.x")?,
-                        num(Some(&pair[1]), "point.y")?,
-                    ))
-                })
-                .collect::<Result<Vec<(f64, f64)>, String>>()?;
-            let acc = PwlAccuracy::new(&points).map_err(|e| format!("bad accuracy: {e:?}"))?;
+            let acc = pwl_points(t.get("points"), "task.points")?;
             Ok(Task::new(deadline, acc))
         })
         .collect::<Result<Vec<_>, String>>()?;
     Instance::new_sorting(tasks, MachinePark::new(machines), budget)
         .map_err(|e| format!("bad instance: {e:?}"))
+}
+
+fn pwl_points(v: Option<&Value>, what: &str) -> Result<PwlAccuracy, String> {
+    let points = arr(v, what)?
+        .iter()
+        .map(|p| {
+            let pair = match p {
+                Value::Array(xs) if xs.len() == 2 => xs,
+                other => return Err(format!("{what}: bad point: {other:?}")),
+            };
+            Ok((
+                num(Some(&pair[0]), "point.x")?,
+                num(Some(&pair[1]), "point.y")?,
+            ))
+        })
+        .collect::<Result<Vec<(f64, f64)>, String>>()?;
+    PwlAccuracy::new(&points).map_err(|e| format!("{what}: bad accuracy: {e:?}"))
+}
+
+/// Parses the staged corpus JSON schema (the counterpart of
+/// `dsct_core::oracle::staged_instance_to_json`) back into a
+/// [`StagedInstance`], re-validating through the public constructors.
+pub fn staged_instance_from_json(text: &str) -> Result<StagedInstance, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+    let budget = num(v.get("budget"), "budget")?;
+    let machines = arr(v.get("machines"), "machines")?
+        .iter()
+        .map(|m| {
+            let points = arr(m.get("points"), "machine.points")?
+                .iter()
+                .map(|p| {
+                    let speed = num(p.get("speed"), "point.speed")?;
+                    let power = num(p.get("power"), "point.power")?;
+                    Machine::new(speed, power).map_err(|e| format!("bad point: {e:?}"))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            DvfsMachine::new(points).map_err(|e| format!("bad machine: {e:?}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let park = DvfsPark::new(machines).map_err(|e| format!("bad park: {e:?}"))?;
+    let tasks = arr(v.get("tasks"), "tasks")?
+        .iter()
+        .map(|t| {
+            let deadline = num(t.get("deadline"), "task.deadline")?;
+            let stages = arr(t.get("stages"), "task.stages")?
+                .iter()
+                .map(|s| {
+                    let preds = arr(s.get("preds"), "stage.preds")?
+                        .iter()
+                        .map(|p| num(Some(p), "pred").map(|x| x as usize))
+                        .collect::<Result<Vec<usize>, String>>()?;
+                    let accuracy = pwl_points(s.get("points"), "stage.points")?;
+                    Ok(Stage::with_preds(accuracy, preds))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(StagedTask { deadline, stages })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    StagedInstance::new_sorting(tasks, park, budget).map_err(|e| format!("bad instance: {e:?}"))
 }
 
 /// The corpus file's label field (diagnostics).
